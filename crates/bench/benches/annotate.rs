@@ -1,0 +1,51 @@
+//! Benchmark of the service-definition annotation engine: YAML parse →
+//! annotate → emit, the controller's registration-time path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgectl::{annotate, AnnotateOptions};
+
+const MANIFEST: &str = r#"
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: user-supplied
+spec:
+  replicas: 3
+  template:
+    spec:
+      containers:
+        - name: web
+          image: nginx:1.23.2
+          ports:
+            - containerPort: 80
+          resources:
+            requests:
+              cpu: 250m
+              memory: 128Mi
+        - name: side
+          image: josefhammer/env-writer-py
+      volumes:
+        - name: html
+          hostPath:
+            path: /srv/html
+"#;
+
+fn bench_annotate(c: &mut Criterion) {
+    c.bench_function("annotate_full_manifest", |b| {
+        let opts = AnnotateOptions::new("edge-nginx-web-001", 80);
+        b.iter(|| {
+            let doc = yamlite::parse(MANIFEST).unwrap();
+            let out = annotate(&doc, &opts).unwrap();
+            std::hint::black_box(yamlite::to_string(&out.deployment).len())
+        });
+    });
+    c.bench_function("yaml_parse_emit_roundtrip", |b| {
+        b.iter(|| {
+            let doc = yamlite::parse(MANIFEST).unwrap();
+            std::hint::black_box(yamlite::to_string(&doc).len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_annotate);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the OpenFlow flow table — the controller's data-plane
+//! hot path: lookup under varying table occupancy, install/replace, and the
+//! timeout sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcore::{SimDuration, SimTime};
+use simnet::openflow::{Action, FlowMatch, FlowTable, PortId};
+use simnet::{IpAddr, Packet, SocketAddr};
+
+fn sa(a: u8, b: u8, port: u16) -> SocketAddr {
+    SocketAddr::new(IpAddr::new(10, a, 0, b), port)
+}
+
+fn filled_table(n: usize) -> FlowTable {
+    let mut table = FlowTable::new();
+    for i in 0..n {
+        let client = IpAddr::new(10, 1, (i / 250) as u8, (i % 250) as u8);
+        let dst = sa(2, (i % 200) as u8, 80);
+        table.add(
+            SimTime::ZERO,
+            100,
+            FlowMatch::client_to_service(client, dst),
+            vec![Action::SetDstIp(IpAddr::new(10, 0, 0, 100)), Action::Output(PortId(1))],
+            Some(SimDuration::from_secs(10)),
+            None,
+            i as u64,
+        );
+    }
+    table
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_table_lookup");
+    for &n in &[16usize, 256, 2048] {
+        group.bench_with_input(BenchmarkId::new("hit_last", n), &n, |b, &n| {
+            let mut table = filled_table(n);
+            // match the last-installed (worst-case scan position at equal prio)
+            let client = IpAddr::new(10, 1, ((n - 1) / 250) as u8, ((n - 1) % 250) as u8);
+            let packet = Packet::syn(
+                SocketAddr::new(client, 40000),
+                sa(2, ((n - 1) % 200) as u8, 80),
+                0,
+            );
+            b.iter(|| {
+                let hit = table.lookup(SimTime::ZERO + SimDuration::from_secs(1), &packet);
+                std::hint::black_box(hit.is_some())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, &n| {
+            let mut table = filled_table(n);
+            let packet = Packet::syn(sa(9, 9, 9999), sa(9, 8, 7), 0);
+            b.iter(|| {
+                let hit = table.lookup(SimTime::ZERO, &packet);
+                std::hint::black_box(hit.is_none())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_install(c: &mut Criterion) {
+    c.bench_function("flow_table_install_into_1k", |b| {
+        b.iter_batched(
+            || filled_table(1024),
+            |mut table| {
+                table.add(
+                    SimTime::ZERO,
+                    100,
+                    FlowMatch::client_to_service(IpAddr::new(99, 0, 0, 1), sa(2, 1, 80)),
+                    vec![Action::Output(PortId(0))],
+                    Some(SimDuration::from_secs(10)),
+                    None,
+                    0,
+                );
+                table
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_expire_sweep(c: &mut Criterion) {
+    c.bench_function("flow_table_sweep_1k_half_expired", |b| {
+        b.iter_batched(
+            || {
+                let mut table = filled_table(1024);
+                // touch half the entries so they survive the sweep
+                for i in 0..512 {
+                    let client = IpAddr::new(10, 1, (i / 250) as u8, (i % 250) as u8);
+                    let packet =
+                        Packet::syn(SocketAddr::new(client, 40000), sa(2, (i % 200) as u8, 80), 0);
+                    table.lookup(SimTime::ZERO + SimDuration::from_secs(8), &packet);
+                }
+                table
+            },
+            |mut table| {
+                let removed = table.expire(SimTime::ZERO + SimDuration::from_secs(10));
+                std::hint::black_box(removed.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_install, bench_expire_sweep);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end benchmark: the full five-minute bigFlows replay through the
+//! simulated testbed (1708 requests, 42 on-demand deployments) — the cost of
+//! regenerating one data point of Figs. 9–16.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use testbed::{measure_first_request, run_bigflows, PhaseSetup, ScenarioConfig};
+
+fn bench_bigflows_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_scenario");
+    group.sample_size(10);
+    group.bench_function("bigflows_replay_docker", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (_, result) = run_bigflows(ScenarioConfig::default().with_seed(seed));
+            std::hint::black_box(result.records.len())
+        });
+    });
+    group.bench_function("single_first_request_cold", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = ScenarioConfig::default()
+                .with_phase(PhaseSetup::Cold)
+                .with_seed(seed);
+            std::hint::black_box(measure_first_request(cfg).0)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigflows_replay);
+criterion_main!(benches);

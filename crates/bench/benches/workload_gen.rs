@@ -1,0 +1,38 @@
+//! Benchmarks of the workload substrate: trace generation and the
+//! statistics used by the harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::{Percentiles, SimRng};
+use workload::{Trace, TraceConfig};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("bigflows_trace_generate", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let trace = Trace::generate(TraceConfig::default(), &mut SimRng::seed_from_u64(seed));
+            std::hint::black_box(trace.requests.len())
+        });
+    });
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    c.bench_function("percentiles_median_10k", |b| {
+        let mut rng = SimRng::seed_from_u64(7);
+        let values: Vec<f64> = (0..10_000).map(|_| rng.f64() * 1000.0).collect();
+        b.iter_batched(
+            || {
+                let mut p = Percentiles::new();
+                for &v in &values {
+                    p.record(v);
+                }
+                p
+            },
+            |mut p| std::hint::black_box(p.median()),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_trace_generation, bench_percentiles);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerate paper Fig. 9: the bigFlows-like request distribution.
+fn main() {
+    println!("{}", bench::experiments::fig09(1).render());
+}

@@ -1,0 +1,4 @@
+//! Regenerate paper Fig. 10: deployments over time when replaying the trace.
+fn main() {
+    println!("{}", bench::experiments::fig10(1).render());
+}

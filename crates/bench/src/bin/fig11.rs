@@ -1,0 +1,5 @@
+//! Regenerate paper Fig11.
+fn main() {
+    let seeds = bench::experiments::default_seeds();
+    println!("{}", bench::experiments::fig11(&seeds).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerate paper Fig12.
+fn main() {
+    let seeds = bench::experiments::default_seeds();
+    println!("{}", bench::experiments::fig12(&seeds).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerate paper Fig13.
+fn main() {
+    let seeds = bench::experiments::default_seeds();
+    println!("{}", bench::experiments::fig13(&seeds).render());
+}

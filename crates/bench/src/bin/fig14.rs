@@ -1,0 +1,5 @@
+//! Regenerate paper Fig14.
+fn main() {
+    let seeds = bench::experiments::default_seeds();
+    println!("{}", bench::experiments::fig14(&seeds).render());
+}

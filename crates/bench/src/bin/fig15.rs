@@ -1,0 +1,5 @@
+//! Regenerate paper Fig15.
+fn main() {
+    let seeds = bench::experiments::default_seeds();
+    println!("{}", bench::experiments::fig15(&seeds).render());
+}

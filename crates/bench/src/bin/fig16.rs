@@ -1,0 +1,5 @@
+//! Regenerate paper Fig16.
+fn main() {
+    let seeds = bench::experiments::default_seeds();
+    println!("{}", bench::experiments::fig16(&seeds).render());
+}

@@ -1,0 +1,29 @@
+//! §VIII future work: the same web workload deployed as a Docker container,
+//! a Kubernetes pod, and a WebAssembly function through the same
+//! transparent-access controller — see `bench::experiments::futurework_wasm`.
+
+use simcore::Percentiles;
+use testbed::{run_bigflows, ScenarioConfig};
+use workload::ServiceKind;
+
+fn main() {
+    let seeds: Vec<u64> = (1..=15).collect();
+    println!("{}", bench::experiments::futurework_wasm(&seeds).render());
+
+    // The trace view: replay bigFlows against a wasm-only edge.
+    let mut cfg = ScenarioConfig::default().with_seed(5);
+    cfg.service = ServiceKind::WasmWeb;
+    cfg.backends = vec![cluster::ClusterKind::Wasm];
+    let (_, result) = run_bigflows(cfg);
+    let mut p = Percentiles::new();
+    for r in &result.records {
+        p.record_duration(r.time_total());
+    }
+    println!(
+        "bigFlows on a wasm edge: {} requests, {} deployments, median first-request {}, p99 {}",
+        result.records.len(),
+        result.deployments.len(),
+        bench::report::fmt_ms(result.median_first_request_ms()),
+        bench::report::fmt_ms(p.p99()),
+    );
+}

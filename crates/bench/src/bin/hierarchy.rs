@@ -1,0 +1,7 @@
+//! The hierarchical edge continuum of paper §IV-A2 — see
+//! `bench::experiments::hierarchy` for the scenario definitions.
+
+fn main() {
+    let seeds: Vec<u64> = (1..=7).collect();
+    println!("{}", bench::experiments::hierarchy(&seeds).render());
+}

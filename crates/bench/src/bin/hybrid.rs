@@ -1,0 +1,5 @@
+//! The §VII hybrid-strategy experiment: Docker answers first, K8s takes over.
+fn main() {
+    let seeds: Vec<u64> = (1..=9).collect();
+    println!("{}", bench::experiments::hybrid(&seeds).render());
+}

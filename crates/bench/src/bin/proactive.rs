@@ -1,0 +1,7 @@
+//! Proactive deployment (paper §VII's closing outlook) — see
+//! `bench::experiments::proactive`.
+
+fn main() {
+    let seeds: Vec<u64> = (1..=7).collect();
+    println!("{}", bench::experiments::proactive(&seeds).render());
+}

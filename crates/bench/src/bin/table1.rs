@@ -1,0 +1,4 @@
+//! Regenerate paper Table I.
+fn main() {
+    println!("{}", bench::experiments::table1().render());
+}

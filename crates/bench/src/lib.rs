@@ -1,0 +1,8 @@
+//! Shared helpers for the experiment binaries (see `src/bin/`) that
+//! regenerate every table and figure of the paper's evaluation section.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{all, Experiment};
+pub use report::{fmt_ms, Table};

@@ -1,0 +1,99 @@
+//! Table formatting shared by the figure/table binaries: fixed-width text
+//! tables that mirror the rows/series the paper reports, plus millisecond
+//! formatting that matches the figures' axis units.
+
+/// Format milliseconds the way the paper's figures label values: seconds with
+/// three decimals above 1 s, whole milliseconds below.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms.is_nan() {
+        "-".to_string()
+    } else if ms >= 1000.0 {
+        format!("{:.3} s", ms / 1000.0)
+    } else {
+        format!("{ms:.1} ms")
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ms_units() {
+        assert_eq!(fmt_ms(0.9), "0.9 ms");
+        assert_eq!(fmt_ms(999.9), "999.9 ms");
+        assert_eq!(fmt_ms(1500.0), "1.500 s");
+        assert_eq!(fmt_ms(f64::NAN), "-");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["service", "docker", "k8s"]);
+        t.row(["nginx", "0.5 s", "3.0 s"]);
+        t.row(["resnet", "3.3 s", "5.9 s"]);
+        let s = t.render();
+        assert!(s.contains("service"));
+        assert!(s.lines().count() == 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].split_whitespace().next(), Some("nginx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

@@ -1,0 +1,180 @@
+//! State-machine property tests: under arbitrary operation sequences, the
+//! Docker and Kubernetes backends must never panic, must keep their status
+//! consistent with a simple reference model, and time must flow forward
+//! through every returned completion instant.
+
+use cluster::{
+    ClusterBackend, ClusterError, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate,
+};
+use containers::image::synthesize_layers;
+use containers::{ImageManifest, Runtime};
+use proptest::prelude::*;
+use registry::{Registry, RegistryProfile, RegistrySet};
+use simcore::{DurationDist, SimDuration, SimRng, SimTime};
+use simnet::IpAddr;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Pull,
+    Create,
+    ScaleUp(u32),
+    ScaleDown(u32),
+    Remove,
+    AdvanceSecs(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            1 => Just(Op::Pull),
+            2 => Just(Op::Create),
+            3 => (1u32..4).prop_map(Op::ScaleUp),
+            2 => (0u32..3).prop_map(Op::ScaleDown),
+            1 => Just(Op::Remove),
+            3 => (1u64..30).prop_map(Op::AdvanceSecs),
+        ],
+        0..40,
+    )
+}
+
+fn registries() -> RegistrySet {
+    let mut hub = Registry::new(RegistryProfile::docker_hub());
+    hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 10_000_000, 3)));
+    let mut s = RegistrySet::new();
+    s.add(hub);
+    s
+}
+
+fn template() -> ServiceTemplate {
+    ServiceTemplate::single("svc", "nginx:1.23.2", 80, DurationDist::constant_ms(50.0))
+}
+
+/// Reference model of what must hold.
+#[derive(Default)]
+struct Model {
+    pulled: bool,
+    created: bool,
+}
+
+fn drive(backend: &mut dyn ClusterBackend, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let regs = registries();
+    let tpl = template();
+    let mut model = Model::default();
+    let mut now = SimTime::ZERO;
+
+    for op in ops {
+        match op {
+            Op::Pull => {
+                let done = backend.pull(now, &tpl, &regs).expect("pull never fails here");
+                prop_assert!(done >= now, "time must not go backwards");
+                now = done;
+                model.pulled = true;
+            }
+            Op::Create => match backend.create(now, &tpl) {
+                Ok(done) => {
+                    prop_assert!(done >= now);
+                    prop_assert!(!model.created, "create succeeded twice");
+                    now = done;
+                    model.created = true;
+                }
+                Err(ClusterError::AlreadyCreated(_)) => prop_assert!(model.created),
+                Err(ClusterError::ImageNotCached(_)) => prop_assert!(!model.pulled),
+                Err(e) => prop_assert!(false, "unexpected create error: {e}"),
+            },
+            Op::ScaleUp(n) => match backend.scale_up(now, "svc", n) {
+                Ok(receipt) => {
+                    prop_assert!(model.created);
+                    prop_assert!(receipt.accepted_at >= now);
+                    prop_assert!(receipt.expected_ready >= receipt.accepted_at);
+                    now = receipt.accepted_at;
+                    // at expected_ready, at least n replicas answer
+                    let st = backend.status(receipt.expected_ready, "svc");
+                    prop_assert!(
+                        st.ready_replicas >= n.min(st.desired_replicas),
+                        "ready {} < {}",
+                        st.ready_replicas,
+                        n
+                    );
+                }
+                Err(ClusterError::NotCreated(_)) => prop_assert!(!model.created),
+                Err(ClusterError::ImageNotCached(_)) => prop_assert!(!model.pulled),
+                Err(ClusterError::InsufficientResources(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected scale_up error: {e}"),
+            },
+            Op::ScaleDown(n) => match backend.scale_down(now, "svc", n) {
+                Ok(done) => {
+                    prop_assert!(model.created);
+                    prop_assert!(done >= now);
+                    now = done;
+                    let st = backend.status(now + SimDuration::from_secs(60), "svc");
+                    prop_assert!(st.ready_replicas <= n.max(st.desired_replicas));
+                }
+                Err(ClusterError::UnknownService(_)) => prop_assert!(!model.created),
+                Err(e) => prop_assert!(false, "unexpected scale_down error: {e}"),
+            },
+            Op::Remove => match backend.remove(now, "svc") {
+                Ok(done) => {
+                    prop_assert!(model.created);
+                    now = done;
+                    model.created = false;
+                    prop_assert!(!backend.status(now, "svc").created);
+                }
+                Err(ClusterError::UnknownService(_)) => prop_assert!(!model.created),
+                Err(e) => prop_assert!(false, "unexpected remove error: {e}"),
+            },
+            Op::AdvanceSecs(s) => {
+                now += SimDuration::from_secs(s);
+            }
+        }
+
+        // Global invariants after every step.
+        let st = backend.status(now, "svc");
+        prop_assert_eq!(st.created, model.created, "created flag diverged");
+        if model.created {
+            prop_assert!(st.endpoint.is_some(), "created service must have an endpoint");
+        }
+        prop_assert!(backend.load() >= 0.0 && backend.load() <= 1.0);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn docker_lifecycle_safe(seq in ops(), seed in 0u64..1000) {
+        let rng = SimRng::seed_from_u64(seed);
+        let mut backend = DockerCluster::new(
+            "d",
+            IpAddr::new(10, 0, 0, 1),
+            Runtime::egs(rng.stream("rt")),
+            rng.stream("docker"),
+        );
+        drive(&mut backend, seq)?;
+    }
+
+    #[test]
+    fn k8s_lifecycle_safe(seq in ops(), seed in 0u64..1000) {
+        let rng = SimRng::seed_from_u64(seed);
+        let mut backend = K8sCluster::new(
+            "k",
+            IpAddr::new(10, 0, 0, 2),
+            Runtime::egs(rng.stream("rt")),
+            rng.stream("k8s"),
+            K8sTimings::egs(),
+        );
+        drive(&mut backend, seq)?;
+    }
+
+    #[test]
+    fn wasm_lifecycle_safe(seq in ops(), seed in 0u64..1000) {
+        let rng = SimRng::seed_from_u64(seed);
+        let mut backend = cluster::WasmEdgeCluster::new(
+            "w",
+            IpAddr::new(10, 0, 0, 3),
+            rng.stream("wasm"),
+            cluster::WasmTimings::egs(),
+        );
+        drive(&mut backend, seq)?;
+    }
+}

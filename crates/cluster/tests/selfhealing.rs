@@ -1,0 +1,112 @@
+//! Self-healing comparison (supports the paper's §VII argument for keeping
+//! Kubernetes despite its slow starts: "Kubernetes provides us with
+//! automated management"): after a container crash, K8s recovers on its own
+//! while plain Docker stays down until the controller intervenes; the wasm
+//! gateway re-instantiates in milliseconds.
+
+use cluster::{ClusterBackend, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate};
+use containers::image::synthesize_layers;
+use containers::{ImageManifest, Runtime};
+use registry::{Registry, RegistryProfile, RegistrySet};
+use simcore::{DurationDist, SimDuration, SimRng, SimTime};
+use simnet::IpAddr;
+
+fn registries() -> RegistrySet {
+    let mut hub = Registry::new(RegistryProfile::docker_hub());
+    hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 10_000_000, 3)));
+    hub.publish(ImageManifest::new("edge/web.wasm", synthesize_layers(2, 3 << 20, 1)));
+    let mut s = RegistrySet::new();
+    s.add(hub);
+    s
+}
+
+fn deploy(backend: &mut dyn ClusterBackend, tpl: &ServiceTemplate) -> SimTime {
+    let regs = registries();
+    let t = backend.pull(SimTime::ZERO, tpl, &regs).unwrap();
+    let t = backend.create(t, tpl).unwrap();
+    backend.scale_up(t, &tpl.name, 1).unwrap().expected_ready + SimDuration::from_secs(1)
+}
+
+#[test]
+fn k8s_self_heals_after_crash() {
+    let rng = SimRng::seed_from_u64(1);
+    let mut k8s = K8sCluster::new(
+        "k",
+        IpAddr::new(10, 0, 0, 2),
+        Runtime::egs(rng.stream("rt")),
+        rng.stream("k8s"),
+        K8sTimings::egs(),
+    );
+    let tpl = ServiceTemplate::single("svc", "nginx:1.23.2", 80, DurationDist::constant_ms(100.0));
+    let warm = deploy(&mut k8s, &tpl);
+    assert!(k8s.is_ready(warm, "svc"));
+
+    let recovered = k8s
+        .inject_crash(warm, "svc")
+        .recovery()
+        .expect("kubelet restarts the pod");
+    assert!(!k8s.is_ready(warm + SimDuration::from_millis(1), "svc"), "down right after the crash");
+    assert!(k8s.is_ready(recovered, "svc"), "self-healed");
+    let downtime = (recovered - warm).as_millis_f64();
+    // kubelet sync + container start + readiness probe + endpoints ≈ 1-3 s
+    assert!((500.0..5000.0).contains(&downtime), "k8s downtime {downtime} ms");
+}
+
+#[test]
+fn docker_stays_down_after_crash() {
+    let rng = SimRng::seed_from_u64(2);
+    let mut docker = DockerCluster::new(
+        "d",
+        IpAddr::new(10, 0, 0, 1),
+        Runtime::egs(rng.stream("rt")),
+        rng.stream("docker"),
+    );
+    let tpl = ServiceTemplate::single("svc", "nginx:1.23.2", 80, DurationDist::constant_ms(100.0));
+    let warm = deploy(&mut docker, &tpl);
+    assert!(docker.is_ready(warm, "svc"));
+
+    let outcome = docker.inject_crash(warm, "svc");
+    assert_eq!(outcome, cluster::CrashOutcome::Down, "no restart policy");
+    let much_later = warm + SimDuration::from_secs(3600);
+    assert!(!docker.is_ready(much_later, "svc"), "stays down without help");
+
+    // …until something scales it up again (what the controller does on the
+    // next request): restart of the existing container, sub-second.
+    let receipt = docker.scale_up(much_later, "svc", 1).unwrap();
+    assert!(docker.is_ready(receipt.expected_ready, "svc"));
+    assert!((receipt.expected_ready - much_later) < SimDuration::from_secs(1));
+}
+
+#[test]
+fn wasm_reinstantiates_in_milliseconds() {
+    let mut wasm = cluster::WasmEdgeCluster::new(
+        "w",
+        IpAddr::new(10, 0, 0, 3),
+        SimRng::seed_from_u64(3),
+        cluster::WasmTimings::egs(),
+    );
+    let tpl = ServiceTemplate::single("svc", "edge/web.wasm", 80, DurationDist::zero());
+    let warm = deploy(&mut wasm, &tpl);
+    let recovered = wasm
+        .inject_crash(warm, "svc")
+        .recovery()
+        .expect("gateway re-instantiates");
+    let downtime = (recovered - warm).as_millis_f64();
+    assert!(downtime < 50.0, "wasm downtime {downtime} ms");
+    assert!(wasm.is_ready(recovered, "svc"));
+}
+
+#[test]
+fn crash_on_absent_or_idle_service_is_none() {
+    let rng = SimRng::seed_from_u64(4);
+    let mut docker = DockerCluster::new(
+        "d",
+        IpAddr::new(10, 0, 0, 1),
+        Runtime::egs(rng.stream("rt")),
+        rng.stream("docker"),
+    );
+    assert_eq!(
+        docker.inject_crash(SimTime::ZERO, "ghost"),
+        cluster::CrashOutcome::NoInstance
+    );
+}

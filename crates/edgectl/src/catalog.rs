@@ -1,0 +1,119 @@
+//! The registry of *registered services*.
+//!
+//! Paper §II: "The services to be redirected to the edge are first registered
+//! with a mobile edge platform provider, identified by their unique
+//! combination of domain name/IP address and port number." This module maps
+//! that cloud-facing address to the deployable service definition.
+
+use std::collections::HashMap;
+
+use cluster::ServiceTemplate;
+use simnet::SocketAddr;
+
+/// One registered edge service.
+#[derive(Debug, Clone)]
+pub struct RegisteredService {
+    /// The cloud address clients use (the flow-match key).
+    pub cloud_addr: SocketAddr,
+    /// The deployable definition (from the annotation engine).
+    pub template: ServiceTemplate,
+}
+
+/// Cloud address → service lookup, as the Dispatcher uses it on PacketIn.
+#[derive(Debug, Default, Clone)]
+pub struct ServiceCatalog {
+    by_addr: HashMap<SocketAddr, RegisteredService>,
+    by_name: HashMap<String, SocketAddr>,
+}
+
+impl ServiceCatalog {
+    pub fn new() -> ServiceCatalog {
+        ServiceCatalog::default()
+    }
+
+    /// Register a service. Replaces any previous registration of the same
+    /// address (re-registration updates the definition) and returns the
+    /// previous entry if there was one.
+    pub fn register(
+        &mut self,
+        cloud_addr: SocketAddr,
+        template: ServiceTemplate,
+    ) -> Option<RegisteredService> {
+        self.by_name.insert(template.name.clone(), cloud_addr);
+        self.by_addr
+            .insert(cloud_addr, RegisteredService { cloud_addr, template })
+    }
+
+    pub fn unregister(&mut self, cloud_addr: SocketAddr) -> Option<RegisteredService> {
+        let entry = self.by_addr.remove(&cloud_addr)?;
+        self.by_name.remove(&entry.template.name);
+        Some(entry)
+    }
+
+    /// The Dispatcher's PacketIn lookup: is this destination a registered
+    /// edge service?
+    pub fn lookup(&self, addr: SocketAddr) -> Option<&RegisteredService> {
+        self.by_addr.get(&addr)
+    }
+
+    pub fn lookup_name(&self, name: &str) -> Option<&RegisteredService> {
+        self.by_addr.get(self.by_name.get(name)?)
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_addr.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.by_addr.is_empty()
+    }
+
+    pub fn services(&self) -> impl Iterator<Item = &RegisteredService> {
+        self.by_addr.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::DurationDist;
+    use simnet::IpAddr;
+
+    fn addr(d: u8) -> SocketAddr {
+        SocketAddr::new(IpAddr::new(93, 184, 0, d), 80)
+    }
+
+    fn tpl(name: &str) -> ServiceTemplate {
+        ServiceTemplate::single(name, "nginx:1.23.2", 80, DurationDist::zero())
+    }
+
+    #[test]
+    fn register_lookup_roundtrip() {
+        let mut c = ServiceCatalog::new();
+        assert!(c.register(addr(1), tpl("svc-a")).is_none());
+        assert_eq!(c.lookup(addr(1)).unwrap().template.name, "svc-a");
+        assert!(c.lookup(addr(2)).is_none());
+        assert_eq!(c.lookup_name("svc-a").unwrap().cloud_addr, addr(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut c = ServiceCatalog::new();
+        c.register(addr(1), tpl("old"));
+        let prev = c.register(addr(1), tpl("new")).unwrap();
+        assert_eq!(prev.template.name, "old");
+        assert_eq!(c.lookup(addr(1)).unwrap().template.name, "new");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn unregister_removes_both_indexes() {
+        let mut c = ServiceCatalog::new();
+        c.register(addr(1), tpl("svc"));
+        assert!(c.unregister(addr(1)).is_some());
+        assert!(c.lookup(addr(1)).is_none());
+        assert!(c.lookup_name("svc").is_none());
+        assert!(c.unregister(addr(1)).is_none());
+        assert!(c.is_empty());
+    }
+}

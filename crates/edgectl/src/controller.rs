@@ -1,0 +1,1008 @@
+//! The SDN controller: PacketIn handling (the Dispatcher algorithm of paper
+//! Fig. 7), the three-phase on-demand deployment pipeline, port-open polling,
+//! flow installation and idle scale-down.
+//!
+//! The controller *owns* the cluster backends and the registry routing — just
+//! like the paper's Ryu application holds the Docker/Kubernetes client
+//! handles — and communicates with the switch purely through
+//! [`ControllerOutput`] messages (`FlowMod`s and buffered-packet releases)
+//! stamped with the virtual time at which they are emitted. The surrounding
+//! event loop (the `testbed` crate) delivers them with the control-channel
+//! latency applied.
+
+use std::collections::HashMap;
+
+use cluster::{ClusterBackend, ClusterError, ClusterKind};
+use registry::RegistrySet;
+use simcore::{SimDuration, SimTime};
+use simnet::openflow::{Action, BufferId, FlowMatch, PortId};
+use simnet::{IpAddr, Packet, SocketAddr};
+
+use crate::catalog::ServiceCatalog;
+use crate::flowmemory::{FlowKey, FlowMemory};
+use crate::predictor::{NoPrediction, Predictor};
+use crate::scheduler::{ClusterId, ClusterView, GlobalScheduler, LocalScheduler, CLOUD_CLUSTER};
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Decision-making time per PacketIn (Ryu app processing).
+    pub processing_delay: SimDuration,
+    /// Port-open polling interval ("the controller continuously tests if the
+    /// respective port is open", paper §VI).
+    pub probe_interval: SimDuration,
+    /// Give up on a deployment if the port never opens within this horizon.
+    pub probe_timeout: SimDuration,
+    /// Idle timeout for flows installed *in the switch* — kept low because
+    /// the FlowMemory can always re-install (paper §V).
+    pub switch_idle_timeout: SimDuration,
+    /// Idle timeout of memorized flows (longer than the switch's).
+    pub memory_idle_timeout: SimDuration,
+    /// Scale service instances to zero once no memorized flow references
+    /// them (paper §V's second purpose of the timeouts).
+    pub scale_down_idle: bool,
+    /// Remove the service objects entirely (Fig. 4's Remove phase) after a
+    /// service has been scaled to zero for this long; `None` keeps created
+    /// services around forever (cheap: scaled-to-zero services only hold
+    /// API objects / stopped containers).
+    pub remove_after: Option<SimDuration>,
+    /// Priority of installed redirect flows.
+    pub flow_priority: u16,
+    /// How many times to retry a failed deployment phase (transient cluster
+    /// or registry errors) before falling back to the cloud.
+    pub deploy_retries: u32,
+    /// Back-off between retries.
+    pub retry_backoff: SimDuration,
+    /// Replica autoscaling (Fahs et al.'s Voilà line of work, the paper's
+    /// \[18\]): keep about this many live client flows per replica; `None`
+    /// disables autoscaling (the paper's evaluated setting).
+    pub autoscale_flows_per_replica: Option<u32>,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            processing_delay: SimDuration::from_micros(500),
+            probe_interval: SimDuration::from_millis(50),
+            probe_timeout: SimDuration::from_secs(120),
+            switch_idle_timeout: SimDuration::from_secs(10),
+            memory_idle_timeout: SimDuration::from_secs(60),
+            scale_down_idle: true,
+            remove_after: None,
+            flow_priority: 100,
+            deploy_retries: 2,
+            retry_backoff: SimDuration::from_millis(250),
+            autoscale_flows_per_replica: None,
+        }
+    }
+}
+
+/// One of the (possibly several) switches the controller manages — the
+/// "distributed" in the paper's title; the paper speaks of instructing "the
+/// switch(es)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchId(pub usize);
+
+/// The default single-switch setup's only switch.
+pub const INGRESS: SwitchId = SwitchId(0);
+
+/// A message from the controller to a switch, stamped with emission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerOutput {
+    /// Install (or replace) a flow entry.
+    FlowMod {
+        at: SimTime,
+        switch: SwitchId,
+        priority: u16,
+        matcher: FlowMatch,
+        actions: Vec<Action>,
+        idle_timeout: Option<SimDuration>,
+        cookie: u64,
+    },
+    /// Release a buffered packet through the flow table (`OFPP_TABLE`).
+    ReleaseViaTable { at: SimTime, switch: SwitchId, buffer_id: BufferId },
+    /// Give up on a buffered packet.
+    DropBuffered { at: SimTime, switch: SwitchId, buffer_id: BufferId },
+}
+
+impl ControllerOutput {
+    pub fn at(&self) -> SimTime {
+        match self {
+            ControllerOutput::FlowMod { at, .. }
+            | ControllerOutput::ReleaseViaTable { at, .. }
+            | ControllerOutput::DropBuffered { at, .. } => *at,
+        }
+    }
+
+    pub fn switch(&self) -> SwitchId {
+        match self {
+            ControllerOutput::FlowMod { switch, .. }
+            | ControllerOutput::ReleaseViaTable { switch, .. }
+            | ControllerOutput::DropBuffered { switch, .. } => *switch,
+        }
+    }
+}
+
+/// Everything recorded about one on-demand deployment (drives Figs. 10–15).
+#[derive(Debug, Clone)]
+pub struct DeploymentRecord {
+    pub service: String,
+    pub cluster: ClusterId,
+    pub kind: ClusterKind,
+    /// When the triggering PacketIn reached the Dispatcher.
+    pub triggered_at: SimTime,
+    /// Pull phase (start, end); `None` when the image was cached.
+    pub pull: Option<(SimTime, SimTime)>,
+    /// Create phase (start, end); `None` when already created.
+    pub create: Option<(SimTime, SimTime)>,
+    /// Scale-Up phase: (issue, backend API returned, backend-expected ready).
+    pub scale_up: Option<(SimTime, SimTime, SimTime)>,
+    /// When the controller's port polling confirmed readiness.
+    pub ready_detected: SimTime,
+    /// Was a client request held waiting on this deployment?
+    pub waited: bool,
+}
+
+impl DeploymentRecord {
+    /// Time from trigger until the controller considered the service usable.
+    pub fn total(&self) -> SimDuration {
+        self.ready_detected - self.triggered_at
+    }
+
+    /// The Fig. 14/15 metric: wait from the scale-up API returning until the
+    /// port was seen open.
+    pub fn wait_time(&self) -> SimDuration {
+        match self.scale_up {
+            Some((_, accepted, _)) => self.ready_detected - accepted,
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Counters and logs exposed for the evaluation harness.
+#[derive(Debug, Default)]
+pub struct ControllerStats {
+    pub packet_ins: u64,
+    /// PacketIns answered straight from FlowMemory.
+    pub memory_hits: u64,
+    /// Requests forwarded toward the real cloud.
+    pub cloud_forwards: u64,
+    /// Requests held for an in-flight deployment (with waiting).
+    pub held_requests: u64,
+    /// Requests redirected to a farther instance while BEST deploys.
+    pub detoured_requests: u64,
+    /// Completed deployments.
+    pub deployments: Vec<DeploymentRecord>,
+    /// Deployments that never became ready within the probe timeout.
+    pub failed_deployments: u64,
+    /// Idle instances scaled to zero.
+    pub scale_downs: u64,
+    /// Services fully removed after prolonged idleness (Fig. 4 Remove).
+    pub removals: u64,
+    /// Flow retargets after a BEST deployment became ready.
+    pub retargets: u64,
+    /// Deployments started by the predictor rather than a request.
+    pub proactive_deployments: u64,
+    /// Phase retries after transient failures.
+    pub retried_operations: u64,
+    /// Replica increases performed by the autoscaler.
+    pub autoscale_ups: u64,
+    /// Memorized flows abandoned because the client moved nearer to another
+    /// ready instance (Follow-Me-Edge).
+    pub follow_me_moves: u64,
+}
+
+/// One attached cluster: the backend plus where it sits.
+pub struct AttachedCluster {
+    pub backend: Box<dyn ClusterBackend>,
+    /// Per-switch latency to this cluster's host; indexed by [`SwitchId`].
+    /// "Nearest" is always relative to the requesting client's ingress
+    /// switch.
+    pub distances: Vec<SimDuration>,
+    /// Per-switch port leading (directly or via trunks) to this cluster's
+    /// host; indexed by [`SwitchId`]. Single-switch setups have one entry.
+    pub ports: Vec<PortId>,
+}
+
+/// The transparent-edge SDN controller.
+pub struct Controller {
+    config: ControllerConfig,
+    pub catalog: ServiceCatalog,
+    memory: FlowMemory,
+    global: Box<dyn GlobalScheduler>,
+    local: Box<dyn LocalScheduler>,
+    clusters: Vec<AttachedCluster>,
+    registries: RegistrySet,
+    /// Per-switch port toward the cloud/WAN uplink (directly or via trunks).
+    cloud_ports: Vec<PortId>,
+    /// In-flight (or completed) deployments: ready-detected instant.
+    pending: HashMap<(ClusterId, String), SimTime>,
+    /// Dispatcher-tracked client locations: which switch and port each
+    /// client was last seen at (paper §IV-B).
+    client_ports: HashMap<IpAddr, (SwitchId, PortId)>,
+    /// Pending flow moves produced by BEST deployments:
+    /// (ready instant, cluster, service).
+    retarget_queue: Vec<(SimTime, ClusterId, String)>,
+    /// Services scaled to zero, awaiting the Remove phase: when each was
+    /// scaled down.
+    scaled_to_zero: HashMap<(ClusterId, String), SimTime>,
+    predictor: Box<dyn Predictor>,
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    pub fn new(
+        config: ControllerConfig,
+        global: Box<dyn GlobalScheduler>,
+        local: Box<dyn LocalScheduler>,
+        registries: RegistrySet,
+        cloud_port: PortId,
+    ) -> Controller {
+        let memory = FlowMemory::new(config.memory_idle_timeout);
+        Controller {
+            config,
+            catalog: ServiceCatalog::new(),
+            memory,
+            global,
+            local,
+            clusters: Vec::new(),
+            registries,
+            cloud_ports: vec![cloud_port],
+            pending: HashMap::new(),
+            client_ports: HashMap::new(),
+            retarget_queue: Vec::new(),
+            scaled_to_zero: HashMap::new(),
+            predictor: Box::new(NoPrediction),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Install a proactive-deployment predictor (default: none — the paper's
+    /// pure on-demand setting).
+    pub fn set_predictor(&mut self, predictor: Box<dyn Predictor>) {
+        self.predictor = predictor;
+    }
+
+    /// Attach an edge cluster reachable via `port` on the primary switch;
+    /// returns its id. Multi-switch fabrics extend the port map with
+    /// [`Controller::add_switch`].
+    pub fn attach_cluster(
+        &mut self,
+        backend: Box<dyn ClusterBackend>,
+        distance: SimDuration,
+        port: PortId,
+    ) -> ClusterId {
+        self.clusters.push(AttachedCluster {
+            backend,
+            distances: vec![distance],
+            ports: vec![port],
+        });
+        ClusterId(self.clusters.len() - 1)
+    }
+
+    /// Register an additional ingress switch: its port toward the cloud and,
+    /// per attached cluster, the port leading toward that cluster (a local
+    /// port or the trunk toward the switch the cluster hangs off) plus the
+    /// latency from this switch to the cluster.
+    pub fn add_switch(
+        &mut self,
+        cloud_port: PortId,
+        cluster_ports: Vec<(PortId, SimDuration)>,
+    ) -> SwitchId {
+        assert_eq!(
+            cluster_ports.len(),
+            self.clusters.len(),
+            "one (port, distance) per attached cluster"
+        );
+        self.cloud_ports.push(cloud_port);
+        for (cluster, (port, distance)) in self.clusters.iter_mut().zip(cluster_ports) {
+            cluster.ports.push(port);
+            cluster.distances.push(distance);
+        }
+        SwitchId(self.cloud_ports.len() - 1)
+    }
+
+    /// Number of switches under this controller.
+    pub fn switch_count(&self) -> usize {
+        self.cloud_ports.len()
+    }
+
+    pub fn cluster(&self, id: ClusterId) -> &dyn ClusterBackend {
+        self.clusters[id.0].backend.as_ref()
+    }
+
+    pub fn cluster_mut(&mut self, id: ClusterId) -> &mut dyn ClusterBackend {
+        self.clusters[id.0].backend.as_mut()
+    }
+
+    pub fn memory(&self) -> &FlowMemory {
+        &self.memory
+    }
+
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Where the Dispatcher last saw each client (location tracking).
+    pub fn client_location(&self, ip: IpAddr) -> Option<PortId> {
+        self.client_ports.get(&ip).map(|&(_, p)| p)
+    }
+
+    /// Which switch the client was last seen behind.
+    pub fn client_switch(&self, ip: IpAddr) -> Option<SwitchId> {
+        self.client_ports.get(&ip).map(|&(s, _)| s)
+    }
+
+    // -----------------------------------------------------------------------
+    // PacketIn — the Dispatcher algorithm (paper Fig. 7)
+    // -----------------------------------------------------------------------
+
+    /// Handle a table-miss PacketIn from the primary switch (single-switch
+    /// convenience wrapper around [`Controller::on_packet_in_at`]).
+    pub fn on_packet_in(
+        &mut self,
+        now: SimTime,
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    ) -> Vec<ControllerOutput> {
+        self.on_packet_in_at(now, INGRESS, packet, buffer_id, in_port)
+    }
+
+    /// Handle a table-miss PacketIn from switch `sw`.
+    pub fn on_packet_in_at(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    ) -> Vec<ControllerOutput> {
+        self.stats.packet_ins += 1;
+        self.client_ports.insert(packet.src.ip, (sw, in_port));
+        let decide_at = now + self.config.processing_delay;
+        let key = FlowKey { client_ip: packet.src.ip, service_addr: packet.dst };
+
+        // 1. Memorized flow? Re-install immediately (the fast path that lets
+        //    switch idle timeouts stay low).
+        if let Some(flow) = self.memory.recall(now, key) {
+            let (target, cluster) = (flow.target, flow.cluster);
+            let service_name = flow.service.clone();
+            if cluster == CLOUD_CLUSTER {
+                self.stats.memory_hits += 1;
+                return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(&service_name));
+            }
+            // Follow-Me-Edge (related work [12], [13]): if the client has
+            // moved and a strictly nearer cluster now has a ready instance,
+            // fall through to a fresh scheduling decision instead of
+            // re-installing the stale redirect (which would hairpin traffic
+            // across the fabric).
+            let cur_dist = self.clusters[cluster.0].distances[sw.0];
+            let nearer_ready = self.clusters.iter().enumerate().any(|(i, c)| {
+                i != cluster.0
+                    && c.distances[sw.0] < cur_dist
+                    && c.backend.status(now, &service_name).is_ready()
+            });
+            // The remembered instance may have been scaled down meanwhile.
+            if !nearer_ready
+                && self.clusters[cluster.0]
+                    .backend
+                    .status(now, &service_name)
+                    .is_ready()
+            {
+                self.stats.memory_hits += 1;
+                return self.redirect_outputs(decide_at, sw, key, &service_name, target, cluster, in_port, Some(buffer_id));
+            }
+            if nearer_ready {
+                self.stats.follow_me_moves += 1;
+            }
+            self.memory.forget(key);
+        }
+
+        // 2. Registered service? Unregistered destinations pass through to
+        //    the cloud untouched.
+        let Some(service) = self.catalog.lookup(packet.dst) else {
+            return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None);
+        };
+        let service_name = service.template.name.clone();
+        let template = service.template.clone();
+        self.predictor.observe(now, packet.dst);
+
+        // 3. Feed the Global Scheduler the Dispatcher's system view.
+        let views: Vec<ClusterView> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClusterView {
+                id: ClusterId(i),
+                kind: c.backend.kind(),
+                distance: c.distances[sw.0],
+                status: c.backend.status(now, &service_name),
+                load: c.backend.load(),
+            })
+            .collect();
+        let decision = self.global.decide(&service_name, &views);
+
+        // 4. Kick off the BEST deployment first (without waiting it runs in
+        //    parallel with serving the current request elsewhere).
+        if let Some(best) = decision.best {
+            if best != decision.fast.unwrap_or(ClusterId(usize::MAX)) {
+                if let Some(ready_at) = self.ensure_deployed(now, best, &template, false) {
+                    self.schedule_retarget(ready_at, best, &service_name);
+                }
+            }
+        }
+
+        // 5. Serve the current request.
+        match decision.fast {
+            Some(fast) => {
+                let status = self.clusters[fast.0].backend.status(now, &service_name);
+                if status.is_ready() {
+                    // Redirect immediately (possibly a detour to a farther
+                    // cluster while BEST deploys).
+                    if decision.is_without_waiting() {
+                        self.stats.detoured_requests += 1;
+                    }
+                    // Local Scheduler: pick the instance within the cluster.
+                    let target = self.pick_instance(now, fast, &service_name);
+                    self.redirect_outputs(decide_at, sw, key, &service_name, target, fast, in_port, Some(buffer_id))
+                } else {
+                    // On-demand deployment WITH waiting (paper Fig. 5): hold
+                    // the buffered packet until the port opens.
+                    match self.ensure_deployed(now, fast, &template, true) {
+                        Some(ready_at) => {
+                            self.stats.held_requests += 1;
+                            let target = self.pick_instance(ready_at, fast, &service_name);
+                            self.redirect_outputs(
+                                ready_at.max(decide_at),
+                                sw,
+                                key,
+                                &service_name,
+                                target,
+                                fast,
+                                in_port,
+                                Some(buffer_id),
+                            )
+                        }
+                        None => {
+                            // Deployment failed; fall back to the cloud.
+                            self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None)
+                        }
+                    }
+                }
+            }
+            None => self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(&service_name)),
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Deployment pipeline (Pull → Create → Scale-Up → poll port)
+    // -----------------------------------------------------------------------
+
+    /// Ensure `template` has a ready instance on `cluster`; returns the
+    /// instant the controller detects readiness (`None` if the deployment
+    /// failed or timed out). Piggybacks on an in-flight deployment if one
+    /// exists.
+    fn ensure_deployed(
+        &mut self,
+        now: SimTime,
+        cluster: ClusterId,
+        template: &cluster::ServiceTemplate,
+        waited: bool,
+    ) -> Option<SimTime> {
+        let name = template.name.clone();
+        if let Some(&t) = self.pending.get(&(cluster, name.clone())) {
+            if t > now {
+                return Some(t); // piggyback on the in-flight deployment
+            }
+        }
+        let backend = &mut self.clusters[cluster.0].backend;
+        let status = backend.status(now, &name);
+        if status.is_ready() {
+            return Some(now);
+        }
+        let images_cached = backend.has_images(template);
+
+        let mut record = DeploymentRecord {
+            service: name.clone(),
+            cluster,
+            kind: backend.kind(),
+            triggered_at: now,
+            pull: None,
+            create: None,
+            scale_up: None,
+            ready_detected: SimTime::FAR_FUTURE,
+            waited,
+        };
+        let mut t = now;
+        let retries = self.config.deploy_retries;
+        let backoff = self.config.retry_backoff;
+        let mut retried: u64 = 0;
+
+        // Retry a phase on transient errors with back-off; returns the
+        // successful result and the (possibly delayed) issue time.
+        fn with_retries<R>(
+            t: &mut SimTime,
+            retries: u32,
+            backoff: SimDuration,
+            retried: &mut u64,
+            mut op: impl FnMut(SimTime) -> Result<R, ClusterError>,
+        ) -> Option<(SimTime, R)> {
+            let mut attempt = 0;
+            loop {
+                let issued = *t;
+                match op(issued) {
+                    Ok(r) => return Some((issued, r)),
+                    Err(_) if attempt < retries => {
+                        attempt += 1;
+                        *retried += 1;
+                        *t = issued + backoff;
+                    }
+                    Err(_) => return None,
+                }
+            }
+        }
+
+        // Phase 1: Pull (skipped when cached).
+        if !images_cached {
+            let registries = &self.registries;
+            let Some((issued, end)) = with_retries(&mut t, retries, backoff, &mut retried, |at| {
+                backend.pull(at, template, registries)
+            }) else {
+                self.stats.retried_operations += retried;
+                self.stats.failed_deployments += 1;
+                return None;
+            };
+            record.pull = Some((issued, end));
+            t = end;
+        }
+
+        // Phase 2: Create (skipped when the service objects exist).
+        if !status.created {
+            match with_retries(&mut t, retries, backoff, &mut retried, |at| {
+                match backend.create(at, template) {
+                    Err(ClusterError::AlreadyCreated(_)) => Ok(at),
+                    other => other,
+                }
+            }) {
+                Some((issued, end)) => {
+                    if end > issued {
+                        record.create = Some((issued, end));
+                    }
+                    t = end.max(t);
+                }
+                None => {
+                    self.stats.retried_operations += retried;
+                    self.stats.failed_deployments += 1;
+                    return None;
+                }
+            }
+        }
+
+        // Phase 3: Scale Up.
+        let Some((issued, receipt)) = with_retries(&mut t, retries, backoff, &mut retried, |at| {
+            backend.scale_up(at, &name, 1)
+        }) else {
+            self.stats.retried_operations += retried;
+            self.stats.failed_deployments += 1;
+            return None;
+        };
+        self.stats.retried_operations += retried;
+        record.scale_up = Some((issued, receipt.accepted_at, receipt.expected_ready));
+
+        // Port polling: probe every `probe_interval` from the moment the
+        // scale-up API returned, plus the probe's own round trip to the host.
+        // Probes originate at the controller (co-located with the primary
+        // switch).
+        let probe_rtt = self.clusters[cluster.0].distances[0] * 2;
+        let mut probe_t = receipt.accepted_at;
+        let deadline = receipt.accepted_at + self.config.probe_timeout;
+        let ready_detected = loop {
+            if self.clusters[cluster.0].backend.is_ready(probe_t, &name) {
+                break Some(probe_t + probe_rtt);
+            }
+            probe_t += self.config.probe_interval;
+            if probe_t > deadline {
+                break None;
+            }
+        };
+        let Some(ready_detected) = ready_detected else {
+            self.stats.failed_deployments += 1;
+            return None;
+        };
+
+        record.ready_detected = ready_detected;
+        self.stats.deployments.push(record);
+        self.scaled_to_zero.remove(&(cluster, name.clone()));
+        self.pending.insert((cluster, name), ready_detected);
+        Some(ready_detected)
+    }
+
+    /// Note that a BEST deployment will become ready at `ready_at`; the flow
+    /// move to it is computed when the instant is drained, so requests served
+    /// in the meantime are retargeted too (paper Fig. 3: "future requests are
+    /// redirected to this optimal location as soon as the new instance is
+    /// running").
+    fn schedule_retarget(&mut self, ready_at: SimTime, cluster: ClusterId, service: &str) {
+        self.retarget_queue.push((ready_at, cluster, service.to_string()));
+    }
+
+    /// The earliest pending retarget instant, so the event loop can schedule
+    /// a drain exactly when a BEST deployment becomes ready.
+    pub fn next_retarget_at(&self) -> Option<SimTime> {
+        self.retarget_queue.iter().map(|(at, _, _)| *at).min()
+    }
+
+    /// Collect the FlowMods produced by retargets due at or before `upto`.
+    /// (The testbed calls this when draining controller outputs.)
+    pub fn take_retarget_outputs(&mut self, upto: SimTime) -> Vec<ControllerOutput> {
+        let mut outputs = Vec::new();
+        let mut due: Vec<(SimTime, ClusterId, String)> = Vec::new();
+        let mut remaining: Vec<(SimTime, ClusterId, String)> = Vec::new();
+        for item in std::mem::take(&mut self.retarget_queue) {
+            if item.0 <= upto {
+                due.push(item);
+            } else {
+                remaining.push(item);
+            }
+        }
+        self.retarget_queue = remaining;
+        for (at, cluster, service) in due {
+            let status = self.clusters[cluster.0].backend.status(at, &service);
+            let Some(target) = status.endpoint.filter(|_| status.is_ready()) else {
+                continue; // instance vanished before the hand-over
+            };
+            let moved = self.memory.retarget_service(&service, target, cluster);
+            self.stats.retargets += moved.len() as u64;
+            for key in moved {
+                if let Some((sw, client_port)) = self.client_ports.get(&key.client_ip).copied() {
+                    outputs.extend(flow_pair(
+                        at,
+                        sw,
+                        self.config.flow_priority,
+                        key,
+                        target,
+                        self.clusters[cluster.0].ports[sw.0],
+                        client_port,
+                        Some(self.config.switch_idle_timeout),
+                        cookie_for(&service),
+                    ));
+                    outputs.extend(self.host_route_outputs(at, sw, key.client_ip, client_port));
+                }
+            }
+        }
+        outputs
+    }
+
+    /// Ask the predictor which services should be running within `horizon`
+    /// and pre-deploy the ones that are not (background, never holds a
+    /// request). Returns how many deployments were started.
+    pub fn on_predict_tick(&mut self, now: SimTime, horizon: SimDuration) -> usize {
+        let nominations = self.predictor.predict(now, horizon);
+        let mut started = 0;
+        for addr in nominations {
+            let Some(service) = self.catalog.lookup(addr) else {
+                continue;
+            };
+            let name = service.template.name.clone();
+            let template = service.template.clone();
+            // Already running (or being deployed) somewhere? Nothing to do.
+            let anywhere_ready = (0..self.clusters.len()).any(|i| {
+                self.clusters[i].backend.status(now, &name).is_ready()
+            });
+            let in_flight = self
+                .pending
+                .iter()
+                .any(|((_, n), &t)| *n == name && t > now);
+            if anywhere_ready || in_flight {
+                continue;
+            }
+            // Deploy at the cluster the Global Scheduler would pick for the
+            // future (BEST semantics with no requesting client).
+            let views: Vec<ClusterView> = self
+                .clusters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ClusterView {
+                    id: ClusterId(i),
+                    kind: c.backend.kind(),
+                    distance: c.distances[0],
+                    status: c.backend.status(now, &name),
+                    load: c.backend.load(),
+                })
+                .collect();
+            let decision = self.global.decide(&name, &views);
+            let Some(target) = decision.target_for_future() else {
+                continue;
+            };
+            if self.ensure_deployed(now, target, &template, false).is_some() {
+                self.stats.proactive_deployments += 1;
+                started += 1;
+            }
+        }
+        started
+    }
+
+    // -----------------------------------------------------------------------
+    // Housekeeping tick: FlowMemory expiry and idle scale-down
+    // -----------------------------------------------------------------------
+
+    /// Run expiry housekeeping at `now`; returns the next instant a tick is
+    /// needed (if any flows remain).
+    pub fn on_tick(&mut self, now: SimTime) -> Option<SimTime> {
+        // Replica autoscaling: keep flows-per-replica near the target.
+        if let Some(target) = self.config.autoscale_flows_per_replica {
+            let target = target.max(1);
+            for (service, cluster, flows) in self.memory.services_with_flows() {
+                if cluster == CLOUD_CLUSTER {
+                    continue;
+                }
+                let backend = &mut self.clusters[cluster.0].backend;
+                let status = backend.status(now, &service);
+                if !status.created {
+                    continue;
+                }
+                let want = (flows as u32).div_ceil(target);
+                let have = status.desired_replicas.max(status.ready_replicas);
+                if want > have && backend.scale_up(now, &service, want).is_ok() {
+                    self.stats.autoscale_ups += 1;
+                }
+            }
+        }
+
+        let expired = self.memory.expire(now);
+        if self.config.scale_down_idle {
+            // Group by (service, cluster); scale down instances nobody
+            // references anymore.
+            let mut candidates: Vec<(String, ClusterId)> = expired
+                .iter()
+                .map(|f| (f.service.clone(), f.cluster))
+                .collect();
+            candidates.sort();
+            candidates.dedup();
+            for (service, cluster) in candidates {
+                if self.memory.flows_for_service(&service, cluster) == 0 {
+                    let backend = &mut self.clusters[cluster.0].backend;
+                    if backend.status(now, &service).ready_replicas > 0
+                        && backend.scale_down(now, &service, 0).is_ok()
+                    {
+                        self.stats.scale_downs += 1;
+                        self.pending.remove(&(cluster, service.clone()));
+                        self.scaled_to_zero.insert((cluster, service), now);
+                    }
+                }
+            }
+        }
+
+        // Remove phase (Fig. 4): services idle at zero replicas long enough
+        // are deleted entirely; their cached images stay on disk, so a later
+        // request pays Create + Scale-Up but not Pull.
+        if let Some(remove_after) = self.config.remove_after {
+            let due: Vec<(ClusterId, String)> = self
+                .scaled_to_zero
+                .iter()
+                .filter(|(_, &at)| now.since(at) >= remove_after)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for (cluster, service) in due {
+                let backend = &mut self.clusters[cluster.0].backend;
+                // A request may have revived the service in the meantime.
+                if backend.status(now, &service).ready_replicas == 0 {
+                    if backend.remove(now, &service).is_ok() {
+                        self.stats.removals += 1;
+                    }
+                }
+                self.scaled_to_zero.remove(&(cluster, service));
+            }
+        }
+        let mut next = self.memory.next_expiry();
+        if let Some(remove_after) = self.config.remove_after {
+            if let Some(&soonest) = self.scaled_to_zero.values().min() {
+                let due = soonest + remove_after;
+                next = Some(next.map_or(due, |n| n.min(due)));
+            }
+        }
+        next
+    }
+
+    /// Local-Scheduler instance selection: pick one ready replica endpoint
+    /// of `service` on `cluster` (paper Fig. 6's Local Scheduler; for
+    /// Kubernetes the Service VIP balances internally, so one endpoint is
+    /// returned and the choice is a no-op).
+    fn pick_instance(&mut self, now: SimTime, cluster: ClusterId, service: &str) -> SocketAddr {
+        let endpoints = self.clusters[cluster.0]
+            .backend
+            .replica_endpoints(now, service);
+        assert!(
+            !endpoints.is_empty(),
+            "pick_instance on a service with no ready replica"
+        );
+        let idx = self.local.pick(service, endpoints.len() as u32) as usize;
+        endpoints[idx.min(endpoints.len() - 1)]
+    }
+
+    // -----------------------------------------------------------------------
+    // Output builders
+    // -----------------------------------------------------------------------
+
+    /// Install forward+reverse rewrite flows on the client's ingress switch
+    /// (plus host routes on the other switches so responses find a roamed
+    /// client) and release the buffered packet.
+    #[allow(clippy::too_many_arguments)]
+    fn redirect_outputs(
+        &mut self,
+        at: SimTime,
+        sw: SwitchId,
+        key: FlowKey,
+        service: &str,
+        target: SocketAddr,
+        cluster: ClusterId,
+        client_port: PortId,
+        buffer: Option<BufferId>,
+    ) -> Vec<ControllerOutput> {
+        self.memory.remember(at, key, service, target, cluster);
+        let mut outputs = flow_pair(
+            at,
+            sw,
+            self.config.flow_priority,
+            key,
+            target,
+            self.clusters[cluster.0].ports[sw.0],
+            client_port,
+            Some(self.config.switch_idle_timeout),
+            cookie_for(service),
+        );
+        outputs.extend(self.host_route_outputs(at, sw, key.client_ip, client_port));
+        if let Some(buffer_id) = buffer {
+            outputs.push(ControllerOutput::ReleaseViaTable { at, switch: sw, buffer_id });
+        }
+        outputs
+    }
+
+    /// Host routes steering traffic for `client_ip` toward its current
+    /// ingress switch from every other switch (needed once clients roam
+    /// between switches; no-ops in single-switch setups).
+    fn host_route_outputs(
+        &self,
+        at: SimTime,
+        client_sw: SwitchId,
+        client_ip: IpAddr,
+        _client_port: PortId,
+    ) -> Vec<ControllerOutput> {
+        let mut outputs = Vec::new();
+        for s in 0..self.switch_count() {
+            if s == client_sw.0 {
+                continue;
+            }
+            // Toward the client's switch: in the chain fabric the trunk in
+            // the client's direction is the same port that leads to any
+            // destination behind that switch; we reuse the cloud-or-trunk
+            // port toward switch `client_sw` — which, for a chain rooted at
+            // switch 0, is port 1 when client_sw > s, else port 0.
+            let port = if client_sw.0 > s { PortId(1) } else { PortId(0) };
+            outputs.push(ControllerOutput::FlowMod {
+                at,
+                switch: SwitchId(s),
+                priority: self.config.flow_priority - 1,
+                matcher: FlowMatch {
+                    dst_ip: Some(client_ip),
+                    ..FlowMatch::default()
+                },
+                actions: vec![Action::Output(port)],
+                idle_timeout: Some(self.config.switch_idle_timeout),
+                cookie: cookie_for("host-route"),
+            });
+        }
+        outputs
+    }
+
+    /// Pass-through to the cloud: forward unchanged, bring responses back.
+    /// For *registered* services the decision is memorized (under the cloud
+    /// sentinel cluster) so a later BEST deployment can retarget it.
+    fn cloud_outputs(
+        &mut self,
+        at: SimTime,
+        sw: SwitchId,
+        packet: Packet,
+        client_port: PortId,
+        buffer_id: BufferId,
+        service: Option<&str>,
+    ) -> Vec<ControllerOutput> {
+        self.stats.cloud_forwards += 1;
+        if let Some(service) = service {
+            let key = FlowKey { client_ip: packet.src.ip, service_addr: packet.dst };
+            self.memory.remember(at, key, service, packet.dst, CLOUD_CLUSTER);
+        }
+        let cookie = cookie_for("cloud");
+        let forward = ControllerOutput::FlowMod {
+            at,
+            switch: sw,
+            priority: self.config.flow_priority,
+            matcher: FlowMatch::client_to_service(packet.src.ip, packet.dst),
+            actions: vec![Action::Output(self.cloud_ports[sw.0])],
+            idle_timeout: Some(self.config.switch_idle_timeout),
+            cookie,
+        };
+        let reverse = ControllerOutput::FlowMod {
+            at,
+            switch: sw,
+            priority: self.config.flow_priority,
+            matcher: FlowMatch {
+                protocol: Some(packet.protocol),
+                src_ip: Some(packet.dst.ip),
+                src_port: Some(packet.dst.port),
+                dst_ip: Some(packet.src.ip),
+                ..FlowMatch::default()
+            },
+            actions: vec![Action::Output(client_port)],
+            idle_timeout: Some(self.config.switch_idle_timeout),
+            cookie,
+        };
+        let mut outputs = vec![forward, reverse];
+        outputs.extend(self.host_route_outputs(at, sw, packet.src.ip, client_port));
+        outputs.push(ControllerOutput::ReleaseViaTable { at, switch: sw, buffer_id });
+        outputs
+    }
+}
+
+/// Forward + reverse rewrite rules for one client↔service redirect on the
+/// client's ingress switch (paper Fig. 2: the rewrite must be transparent in
+/// both directions).
+#[allow(clippy::too_many_arguments)]
+fn flow_pair(
+    at: SimTime,
+    switch: SwitchId,
+    priority: u16,
+    key: FlowKey,
+    target: SocketAddr,
+    cluster_port: PortId,
+    client_port: PortId,
+    idle_timeout: Option<SimDuration>,
+    cookie: u64,
+) -> Vec<ControllerOutput> {
+    let forward = ControllerOutput::FlowMod {
+        at,
+        switch,
+        priority,
+        matcher: FlowMatch::client_to_service(key.client_ip, key.service_addr),
+        actions: vec![
+            Action::SetDstIp(target.ip),
+            Action::SetDstPort(target.port),
+            Action::Output(cluster_port),
+        ],
+        idle_timeout,
+        cookie,
+    };
+    // Response path: rewrite the edge instance's address back to the cloud
+    // address the client thinks it is talking to.
+    let reverse = ControllerOutput::FlowMod {
+        at,
+        switch,
+        priority,
+        matcher: FlowMatch {
+            protocol: Some(simnet::Protocol::Tcp),
+            src_ip: Some(target.ip),
+            src_port: Some(target.port),
+            dst_ip: Some(key.client_ip),
+            ..FlowMatch::default()
+        },
+        actions: vec![
+            Action::SetSrcIp(key.service_addr.ip),
+            Action::SetSrcPort(key.service_addr.port),
+            Action::Output(client_port),
+        ],
+        idle_timeout,
+        cookie,
+    };
+    vec![forward, reverse]
+}
+
+/// Stable cookie derived from the service name (diagnostics only).
+fn cookie_for(service: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in service.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,321 @@
+//! FlowMemory: the controller-side cache of installed redirect flows.
+//!
+//! Paper §V: the controller "memorizes all these flows in a component called
+//! FlowMemory. This approach allows us to keep the idle-timeout values in the
+//! switches low — if a request from the same client to the same service
+//! arrives again, the controller can immediately install the same flow it
+//! used before. However, also the memorized flows have an idle timeout …
+//! Apart from removing stale flows, these timeouts serve a second purpose:
+//! Our controller may automatically scale down idle edge service instances."
+
+use std::collections::HashMap;
+
+use simcore::{SimDuration, SimTime};
+use simnet::{IpAddr, SocketAddr};
+
+use crate::scheduler::ClusterId;
+
+/// Key of a memorized flow: one client talking to one registered service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    pub client_ip: IpAddr,
+    /// The *cloud* address of the registered service (pre-rewrite).
+    pub service_addr: SocketAddr,
+}
+
+/// A memorized redirect decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemorizedFlow {
+    pub key: FlowKey,
+    /// The service's unique name (for scale-down bookkeeping).
+    pub service: String,
+    /// Where the flow redirects to.
+    pub target: SocketAddr,
+    pub cluster: ClusterId,
+    pub installed_at: SimTime,
+    pub last_seen: SimTime,
+}
+
+/// The FlowMemory component.
+///
+/// ```
+/// use edgectl::{FlowKey, FlowMemory, ClusterId};
+/// use simcore::{SimDuration, SimTime};
+/// use simnet::{IpAddr, SocketAddr};
+///
+/// let mut memory = FlowMemory::new(SimDuration::from_secs(60));
+/// let key = FlowKey {
+///     client_ip: IpAddr::new(10, 1, 0, 1),
+///     service_addr: SocketAddr::new(IpAddr::new(93, 184, 0, 1), 80),
+/// };
+/// let target = SocketAddr::new(IpAddr::new(10, 0, 0, 100), 8000);
+/// memory.remember(SimTime::ZERO, key, "edge-web", target, ClusterId(0));
+/// // a minute of silence later, the entry has expired
+/// assert!(memory.recall(SimTime::ZERO + SimDuration::from_secs(61), key).is_none());
+/// ```
+#[derive(Debug)]
+pub struct FlowMemory {
+    flows: HashMap<FlowKey, MemorizedFlow>,
+    /// Idle timeout of *memorized* flows — longer than the switch's.
+    idle_timeout: SimDuration,
+}
+
+impl FlowMemory {
+    pub fn new(idle_timeout: SimDuration) -> FlowMemory {
+        assert!(!idle_timeout.is_zero(), "zero idle timeout would evict instantly");
+        FlowMemory { flows: HashMap::new(), idle_timeout }
+    }
+
+    pub fn idle_timeout(&self) -> SimDuration {
+        self.idle_timeout
+    }
+
+    /// Record (or refresh) a flow decision.
+    pub fn remember(
+        &mut self,
+        now: SimTime,
+        key: FlowKey,
+        service: impl Into<String>,
+        target: SocketAddr,
+        cluster: ClusterId,
+    ) {
+        let service = service.into();
+        self.flows
+            .entry(key)
+            .and_modify(|f| {
+                f.target = target;
+                f.cluster = cluster;
+                f.service = service.clone();
+                f.last_seen = now;
+            })
+            .or_insert(MemorizedFlow {
+                key,
+                service,
+                target,
+                cluster,
+                installed_at: now,
+                last_seen: now,
+            });
+    }
+
+    /// Look up a live memorized flow, refreshing its idle timer. Expired
+    /// entries are treated as absent (and dropped).
+    pub fn recall(&mut self, now: SimTime, key: FlowKey) -> Option<&MemorizedFlow> {
+        let expired = match self.flows.get(&key) {
+            Some(f) => now.since(f.last_seen) >= self.idle_timeout,
+            None => return None,
+        };
+        if expired {
+            self.flows.remove(&key);
+            return None;
+        }
+        let f = self.flows.get_mut(&key).unwrap();
+        f.last_seen = now;
+        Some(f)
+    }
+
+    /// Peek without refreshing (diagnostics).
+    pub fn get(&self, key: FlowKey) -> Option<&MemorizedFlow> {
+        self.flows.get(&key)
+    }
+
+    /// Drop a specific flow (e.g. its target instance was removed).
+    pub fn forget(&mut self, key: FlowKey) -> Option<MemorizedFlow> {
+        self.flows.remove(&key)
+    }
+
+    /// Drop all flows pointing at `service` on `cluster` (instance retired).
+    pub fn forget_service(&mut self, service: &str, cluster: ClusterId) -> usize {
+        let before = self.flows.len();
+        self.flows
+            .retain(|_, f| !(f.service == service && f.cluster == cluster));
+        before - self.flows.len()
+    }
+
+    /// Retarget every live flow of `service` to a new instance — what happens
+    /// when the BEST deployment becomes ready and future requests move over
+    /// (on-demand *without waiting*, paper Fig. 3). Returns the affected keys
+    /// so the controller can re-install switch rules.
+    pub fn retarget_service(
+        &mut self,
+        service: &str,
+        target: SocketAddr,
+        cluster: ClusterId,
+    ) -> Vec<FlowKey> {
+        let mut keys = Vec::new();
+        for f in self.flows.values_mut() {
+            if f.service == service && (f.target != target || f.cluster != cluster) {
+                f.target = target;
+                f.cluster = cluster;
+                keys.push(f.key);
+            }
+        }
+        keys.sort_by_key(|k| (k.client_ip, k.service_addr));
+        keys
+    }
+
+    /// Evict idle entries; returns them (the controller's scale-down input).
+    pub fn expire(&mut self, now: SimTime) -> Vec<MemorizedFlow> {
+        let timeout = self.idle_timeout;
+        let mut expired = Vec::new();
+        self.flows.retain(|_, f| {
+            if now.since(f.last_seen) >= timeout {
+                expired.push(f.clone());
+                false
+            } else {
+                true
+            }
+        });
+        expired.sort_by_key(|f| (f.key.client_ip, f.key.service_addr));
+        expired
+    }
+
+    /// Earliest instant any entry could expire.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .map(|f| f.last_seen + self.idle_timeout)
+            .min()
+    }
+
+    /// How many live flows reference `service` on `cluster` — zero means the
+    /// instance is idle and a candidate for scale-down.
+    pub fn flows_for_service(&self, service: &str, cluster: ClusterId) -> usize {
+        self.flows
+            .values()
+            .filter(|f| f.service == service && f.cluster == cluster)
+            .count()
+    }
+
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Distinct `(service, cluster)` pairs with live flows and their counts —
+    /// the autoscaler's demand signal.
+    pub fn services_with_flows(&self) -> Vec<(String, ClusterId, usize)> {
+        let mut counts: HashMap<(String, ClusterId), usize> = HashMap::new();
+        for f in self.flows.values() {
+            *counts.entry((f.service.clone(), f.cluster)).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, ClusterId, usize)> = counts
+            .into_iter()
+            .map(|((s, c), n)| (s, c, n))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(c: u8, s: u8) -> FlowKey {
+        FlowKey {
+            client_ip: IpAddr::new(10, 0, 0, c),
+            service_addr: SocketAddr::new(IpAddr::new(93, 184, 0, s), 80),
+        }
+    }
+
+    fn target(p: u16) -> SocketAddr {
+        SocketAddr::new(IpAddr::new(10, 0, 0, 100), p)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn mem() -> FlowMemory {
+        FlowMemory::new(SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn remember_recall() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        let f = m.recall(t(10), key(1, 1)).unwrap();
+        assert_eq!(f.target, target(8000));
+        assert_eq!(f.cluster, ClusterId(0));
+        assert!(m.recall(t(10), key(2, 1)).is_none());
+    }
+
+    #[test]
+    fn recall_refreshes_idle_timer() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        assert!(m.recall(t(50_000), key(1, 1)).is_some()); // refresh at 50 s
+        assert!(m.recall(t(100_000), key(1, 1)).is_some(), "alive: refreshed at 50 s");
+        assert!(m.recall(t(170_000), key(1, 1)).is_none(), "expired 60 s after last use");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn expire_returns_stale_entries() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "a", target(8000), ClusterId(0));
+        m.remember(t(30_000), key(2, 1), "b", target(8001), ClusterId(0));
+        let expired = m.expire(t(60_000));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].service, "a");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn next_expiry_is_minimum() {
+        let mut m = mem();
+        assert_eq!(m.next_expiry(), None);
+        m.remember(t(0), key(1, 1), "a", target(8000), ClusterId(0));
+        m.remember(t(5000), key(2, 1), "b", target(8001), ClusterId(0));
+        assert_eq!(m.next_expiry(), Some(t(60_000)));
+    }
+
+    #[test]
+    fn flows_for_service_counts() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        m.remember(t(0), key(2, 1), "svc", target(8000), ClusterId(0));
+        m.remember(t(0), key(3, 2), "other", target(8001), ClusterId(1));
+        assert_eq!(m.flows_for_service("svc", ClusterId(0)), 2);
+        assert_eq!(m.flows_for_service("svc", ClusterId(1)), 0);
+        assert_eq!(m.forget_service("svc", ClusterId(0)), 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn retarget_moves_flows_and_reports_keys() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        m.remember(t(0), key(2, 1), "svc", target(8000), ClusterId(0));
+        let moved = m.retarget_service("svc", target(30000), ClusterId(1));
+        assert_eq!(moved.len(), 2);
+        let f = m.get(key(1, 1)).unwrap();
+        assert_eq!(f.target, target(30000));
+        assert_eq!(f.cluster, ClusterId(1));
+        // idempotent: retargeting again moves nothing
+        assert!(m.retarget_service("svc", target(30000), ClusterId(1)).is_empty());
+    }
+
+    #[test]
+    fn forget_specific_flow() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        assert!(m.forget(key(1, 1)).is_some());
+        assert!(m.forget(key(1, 1)).is_none());
+    }
+
+    #[test]
+    fn remember_updates_existing() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        m.remember(t(10), key(1, 1), "svc", target(9000), ClusterId(1));
+        assert_eq!(m.len(), 1);
+        let f = m.get(key(1, 1)).unwrap();
+        assert_eq!(f.target, target(9000));
+        assert_eq!(f.installed_at, t(0), "original install time preserved");
+        assert_eq!(f.last_seen, t(10));
+    }
+}

@@ -1,0 +1,45 @@
+//! # edgectl — the transparent-edge SDN controller (the paper's contribution)
+//!
+//! This crate is the system the paper presents: an SDN controller that makes
+//! edge computing *transparent* (clients address cloud IPs; the network
+//! redirects them to nearby edge instances) and — the new part — deploys
+//! containerized services **on demand** when a request arrives for a service
+//! with no running instance nearby.
+//!
+//! Components, matching the paper's architecture (Figs. 6–7):
+//!
+//! * [`catalog`] — the registry of *registered services*: cloud `(IP, port)` →
+//!   service definition,
+//! * [`flowmemory`] — memorized redirect flows with idle timeouts; lets switch
+//!   table timeouts stay low and drives idle-instance scale-down (paper §V),
+//! * [`scheduler`] — the pluggable **Global Scheduler** (picks FAST and BEST
+//!   clusters) and **Local Scheduler** (picks an instance within a cluster),
+//!   with the policies evaluated in this reproduction,
+//! * [`annotate`](mod@annotate) — the automated annotation of Kubernetes-style service
+//!   definition files (unique name, matchLabels, `edge.service` label,
+//!   `replicas: 0`, `schedulerName`, generated `Service`),
+//! * [`controller`] — the Dispatcher and the controller event loop: PacketIn
+//!   handling, the three-phase deployment pipeline (Pull → Create → Scale-Up),
+//!   on-demand deployment *with* and *without* waiting, port-open polling,
+//!   flow installation and idle scale-down,
+//! * [`predictor`] — proactive pre-deployment (the paper's §VII outlook:
+//!   on-demand "more so when combined with good prediction").
+
+pub mod annotate;
+pub mod catalog;
+pub mod controller;
+pub mod flowmemory;
+pub mod predictor;
+pub mod scheduler;
+
+pub use annotate::{annotate, annotate_documents, AnnotateError, AnnotateOptions, AnnotatedService};
+pub use catalog::ServiceCatalog;
+pub use controller::{
+    Controller, ControllerConfig, ControllerOutput, ControllerStats, DeploymentRecord, SwitchId,
+};
+pub use flowmemory::{FlowKey, FlowMemory, MemorizedFlow};
+pub use predictor::{NoPrediction, OraclePredictor, PopularityPredictor, Predictor};
+pub use scheduler::{
+    ClusterId, ClusterView, Decision, GlobalScheduler, HybridDockerFirst, HybridWasmFirst,
+    LeastLoaded, LocalScheduler, NearestReadyFirst, NearestWaiting, RoundRobinLocal,
+};

@@ -1,0 +1,425 @@
+//! The pluggable schedulers (paper Fig. 6).
+//!
+//! * The **Global Scheduler** chooses the edge *cluster*. It receives the
+//!   Dispatcher's view of every cluster and returns two results (paper
+//!   §IV-B): **FAST** — the fastest location for the *current* request — and
+//!   **BEST** — the best location for *future* requests. BEST is empty when
+//!   it equals FAST; FAST empty means "forward toward the cloud".
+//!   If FAST == BEST and no instance runs there yet, the Dispatcher performs
+//!   on-demand deployment **with waiting** (the request is held). If BEST is
+//!   non-empty and differs from FAST, deployment runs at BEST **without
+//!   waiting** while the request goes to FAST (or the cloud).
+//! * The **Local Scheduler** picks a specific instance inside a cluster —
+//!   on Kubernetes this may be the default kube-scheduler or a custom one
+//!   (the controller's annotation step writes its name into the manifest).
+//!
+//! The paper loads the concrete scheduler from controller configuration; here
+//! the same role is played by trait objects handed to the controller.
+
+use cluster::{ClusterKind, ServiceStatus};
+use simcore::SimDuration;
+
+/// Index of a cluster in the controller's cluster list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId(pub usize);
+
+/// Sentinel "cluster" standing for the real cloud — used by the FlowMemory
+/// to remember pass-through decisions so they can be retargeted to an edge
+/// instance once one is ready.
+pub const CLOUD_CLUSTER: ClusterId = ClusterId(usize::MAX);
+
+/// What the Dispatcher tells the Global Scheduler about one cluster
+/// (paper: "the Dispatcher component … feeds the Scheduler with information
+/// about the current system state").
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    pub id: ClusterId,
+    pub kind: ClusterKind,
+    /// Network latency from the requesting client's ingress switch.
+    pub distance: SimDuration,
+    /// State of the requested service on this cluster.
+    pub status: ServiceStatus,
+    /// CPU load fraction (0.0–1.0) for load-aware policies.
+    pub load: f64,
+}
+
+impl ClusterView {
+    fn has_ready_instance(&self) -> bool {
+        self.status.is_ready()
+    }
+}
+
+/// The Global Scheduler's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Cluster for the *current* request; `None` = forward toward the cloud
+    /// (or, when equal to `best`, wait for the deployment there).
+    pub fast: Option<ClusterId>,
+    /// Cluster to deploy at for *future* requests; `None` = same as `fast`.
+    pub best: Option<ClusterId>,
+}
+
+impl Decision {
+    /// Normalized accessor: where should future requests land?
+    pub fn target_for_future(&self) -> Option<ClusterId> {
+        self.best.or(self.fast)
+    }
+
+    /// Is this decision an on-demand deployment *without* waiting
+    /// (deploy at BEST while the current request goes elsewhere)?
+    pub fn is_without_waiting(&self) -> bool {
+        self.best.is_some() && self.best != self.fast
+    }
+}
+
+/// Picks the cluster(s) for a request.
+pub trait GlobalScheduler: Send {
+    fn name(&self) -> &'static str;
+
+    /// Decide FAST and BEST for a request to `service`, given the system
+    /// state. `views` is ordered by the controller's cluster list; distances
+    /// are from the requesting client's switch.
+    fn decide(&mut self, service: &str, views: &[ClusterView]) -> Decision;
+}
+
+/// Picks an instance (replica) within a cluster.
+pub trait LocalScheduler: Send {
+    fn name(&self) -> &'static str;
+
+    /// Choose a replica index in `[0, ready_replicas)`.
+    fn pick(&mut self, service: &str, ready_replicas: u32) -> u32;
+}
+
+// ---------------------------------------------------------------------------
+// Global scheduler policies
+// ---------------------------------------------------------------------------
+
+/// The paper's *with waiting* policy: always choose the nearest eligible
+/// cluster for both FAST and BEST, even if nothing runs there yet — the
+/// Dispatcher will deploy and hold the request (paper Fig. 5).
+#[derive(Debug, Default, Clone)]
+pub struct NearestWaiting;
+
+impl GlobalScheduler for NearestWaiting {
+    fn name(&self) -> &'static str {
+        "nearest-waiting"
+    }
+
+    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+        let best = nearest(views, |_| true);
+        Decision { fast: best, best: None }
+    }
+}
+
+/// The paper's *without waiting* policy (Fig. 3): FAST = nearest cluster with
+/// a **ready instance** (None → the request goes to the cloud); BEST = the
+/// nearest cluster overall. If they coincide, BEST is reported empty.
+#[derive(Debug, Default, Clone)]
+pub struct NearestReadyFirst;
+
+impl GlobalScheduler for NearestReadyFirst {
+    fn name(&self) -> &'static str {
+        "nearest-ready-first"
+    }
+
+    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+        let fast = nearest(views, ClusterView::has_ready_instance);
+        let overall = nearest(views, |_| true);
+        let best = if overall == fast { None } else { overall };
+        Decision { fast, best }
+    }
+}
+
+/// §VII's hybrid: respond fast via a **Docker** cluster, settle on
+/// **Kubernetes** for the long run. FAST prefers (ready instance anywhere) >
+/// (nearest Docker cluster, deploying with waiting); BEST is the nearest
+/// Kubernetes cluster.
+#[derive(Debug, Default, Clone)]
+pub struct HybridDockerFirst;
+
+impl GlobalScheduler for HybridDockerFirst {
+    fn name(&self) -> &'static str {
+        "hybrid-docker-first"
+    }
+
+    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+        let ready = nearest(views, ClusterView::has_ready_instance);
+        let docker = nearest(views, |v| v.kind == ClusterKind::Docker);
+        let k8s = nearest(views, |v| v.kind == ClusterKind::Kubernetes);
+        let fast = ready.or(docker).or(k8s);
+        let best = if k8s == fast { None } else { k8s };
+        Decision { fast, best }
+    }
+}
+
+/// §VIII side-by-side operation of containers and serverless: a WebAssembly
+/// runtime answers the first request (its instantiation is near-instant, so
+/// even *with waiting* the request barely waits), while the BEST choice is a
+/// container cluster that takes over once its instance is up — keeping the
+/// flexibility/compatibility containers offer for the steady state.
+#[derive(Debug, Default, Clone)]
+pub struct HybridWasmFirst;
+
+impl GlobalScheduler for HybridWasmFirst {
+    fn name(&self) -> &'static str {
+        "hybrid-wasm-first"
+    }
+
+    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+        let ready = nearest(views, ClusterView::has_ready_instance);
+        let wasm = nearest(views, |v| v.kind == ClusterKind::Wasm);
+        let container = nearest(views, |v| {
+            matches!(v.kind, ClusterKind::Docker | ClusterKind::Kubernetes)
+        });
+        let fast = ready.or(wasm).or(container);
+        let best = if container == fast { None } else { container };
+        Decision { fast, best }
+    }
+}
+
+/// Load-aware ablation policy: like [`NearestWaiting`] but weighs distance by
+/// the cluster's CPU load, spilling to farther clusters when the near one is
+/// saturated.
+#[derive(Debug, Clone)]
+pub struct LeastLoaded {
+    /// How strongly load inflates effective distance (0 = ignore load).
+    pub load_weight: f64,
+}
+
+impl Default for LeastLoaded {
+    fn default() -> Self {
+        LeastLoaded { load_weight: 2.0 }
+    }
+}
+
+impl GlobalScheduler for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+        let best = views
+            .iter()
+            .min_by(|a, b| {
+                let score = |v: &ClusterView| {
+                    v.distance.as_secs_f64() * (1.0 + self.load_weight * v.load)
+                };
+                score(a)
+                    .partial_cmp(&score(b))
+                    .unwrap()
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|v| v.id);
+        Decision { fast: best, best: None }
+    }
+}
+
+fn nearest(views: &[ClusterView], pred: impl Fn(&ClusterView) -> bool) -> Option<ClusterId> {
+    views
+        .iter()
+        .filter(|v| pred(v))
+        .min_by(|a, b| a.distance.cmp(&b.distance).then(a.id.cmp(&b.id)))
+        .map(|v| v.id)
+}
+
+// ---------------------------------------------------------------------------
+// Local scheduler policies
+// ---------------------------------------------------------------------------
+
+/// Round-robin over ready replicas.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinLocal {
+    counter: u64,
+}
+
+impl LocalScheduler for RoundRobinLocal {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, _service: &str, ready_replicas: u32) -> u32 {
+        if ready_replicas == 0 {
+            return 0;
+        }
+        let pick = (self.counter % ready_replicas as u64) as u32;
+        self.counter += 1;
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: usize, kind: ClusterKind, distance_ms: u64, ready: bool) -> ClusterView {
+        ClusterView {
+            id: ClusterId(id),
+            kind,
+            distance: SimDuration::from_millis(distance_ms),
+            status: ServiceStatus {
+                images_cached: true,
+                created: ready,
+                desired_replicas: ready as u32,
+                ready_replicas: ready as u32,
+                endpoint: None,
+            },
+            load: 0.0,
+        }
+    }
+
+    #[test]
+    fn nearest_waiting_picks_closest_regardless_of_state() {
+        let mut s = NearestWaiting;
+        let d = s.decide(
+            "svc",
+            &[
+                view(0, ClusterKind::Docker, 5, false),
+                view(1, ClusterKind::Docker, 1, false),
+                view(2, ClusterKind::Kubernetes, 10, true),
+            ],
+        );
+        assert_eq!(d.fast, Some(ClusterId(1)));
+        assert_eq!(d.best, None);
+        assert!(!d.is_without_waiting());
+        assert_eq!(d.target_for_future(), Some(ClusterId(1)));
+    }
+
+    #[test]
+    fn nearest_ready_first_splits_fast_and_best() {
+        let mut s = NearestReadyFirst;
+        // nearest (id 0) not ready; farther (id 1) ready
+        let d = s.decide(
+            "svc",
+            &[
+                view(0, ClusterKind::Docker, 1, false),
+                view(1, ClusterKind::Docker, 8, true),
+            ],
+        );
+        assert_eq!(d.fast, Some(ClusterId(1)), "serve now from the ready one");
+        assert_eq!(d.best, Some(ClusterId(0)), "deploy at the nearest");
+        assert!(d.is_without_waiting());
+    }
+
+    #[test]
+    fn nearest_ready_first_collapses_when_nearest_is_ready() {
+        let mut s = NearestReadyFirst;
+        let d = s.decide(
+            "svc",
+            &[
+                view(0, ClusterKind::Docker, 1, true),
+                view(1, ClusterKind::Docker, 8, true),
+            ],
+        );
+        assert_eq!(d.fast, Some(ClusterId(0)));
+        assert_eq!(d.best, None, "BEST empty when equal to FAST");
+    }
+
+    #[test]
+    fn nearest_ready_first_cloud_when_nothing_ready() {
+        let mut s = NearestReadyFirst;
+        let d = s.decide("svc", &[view(0, ClusterKind::Docker, 1, false)]);
+        assert_eq!(d.fast, None, "forward to cloud");
+        assert_eq!(d.best, Some(ClusterId(0)), "still deploy for the future");
+        assert!(d.is_without_waiting());
+    }
+
+    #[test]
+    fn hybrid_prefers_docker_fast_k8s_best() {
+        let mut s = HybridDockerFirst;
+        let d = s.decide(
+            "svc",
+            &[
+                view(0, ClusterKind::Docker, 2, false),
+                view(1, ClusterKind::Kubernetes, 2, false),
+            ],
+        );
+        assert_eq!(d.fast, Some(ClusterId(0)), "Docker answers the first request");
+        assert_eq!(d.best, Some(ClusterId(1)), "K8s takes over");
+        assert!(d.is_without_waiting());
+    }
+
+    #[test]
+    fn hybrid_uses_ready_instance_if_one_exists() {
+        let mut s = HybridDockerFirst;
+        let d = s.decide(
+            "svc",
+            &[
+                view(0, ClusterKind::Docker, 2, false),
+                view(1, ClusterKind::Kubernetes, 5, true),
+            ],
+        );
+        assert_eq!(d.fast, Some(ClusterId(1)));
+        assert_eq!(d.best, None, "K8s is both fast and best here");
+    }
+
+    #[test]
+    fn hybrid_wasm_first_prefers_wasm_fast_container_best() {
+        let mut s = HybridWasmFirst;
+        let d = s.decide(
+            "svc",
+            &[
+                view(0, ClusterKind::Wasm, 2, false),
+                view(1, ClusterKind::Docker, 2, false),
+            ],
+        );
+        assert_eq!(d.fast, Some(ClusterId(0)), "wasm answers the first request");
+        assert_eq!(d.best, Some(ClusterId(1)), "containers take over");
+        // with a ready container instance, no split
+        let d = s.decide(
+            "svc",
+            &[
+                view(0, ClusterKind::Wasm, 2, false),
+                view(1, ClusterKind::Docker, 2, true),
+            ],
+        );
+        assert_eq!(d.fast, Some(ClusterId(1)));
+        assert_eq!(d.best, None);
+    }
+
+    #[test]
+    fn least_loaded_spills_under_load() {
+        let mut s = LeastLoaded::default();
+        let mut near = view(0, ClusterKind::Docker, 1, true);
+        near.load = 0.95;
+        let far = view(1, ClusterKind::Docker, 2, true);
+        let d = s.decide("svc", &[near.clone(), far.clone()]);
+        assert_eq!(d.fast, Some(ClusterId(1)), "saturated near cluster skipped");
+        // without load, nearest wins
+        near.load = 0.0;
+        let d2 = s.decide("svc", &[near, far]);
+        assert_eq!(d2.fast, Some(ClusterId(0)));
+    }
+
+    #[test]
+    fn empty_views_mean_cloud() {
+        assert_eq!(
+            NearestWaiting.decide("svc", &[]),
+            Decision { fast: None, best: None }
+        );
+        assert_eq!(
+            NearestReadyFirst.decide("svc", &[]),
+            Decision { fast: None, best: None }
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobinLocal::default();
+        let picks: Vec<u32> = (0..6).map(|_| rr.pick("svc", 3)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(rr.pick("svc", 0), 0, "no replicas → degenerate 0");
+    }
+
+    #[test]
+    fn tie_break_is_lowest_id() {
+        let mut s = NearestWaiting;
+        let d = s.decide(
+            "svc",
+            &[
+                view(1, ClusterKind::Docker, 5, false),
+                view(0, ClusterKind::Docker, 5, false),
+            ],
+        );
+        assert_eq!(d.fast, Some(ClusterId(0)));
+    }
+}

@@ -1,0 +1,82 @@
+//! Registry connection profiles: where a registry lives on the network and
+//! what its protocol overheads look like.
+
+use simcore::{DurationDist, SimDuration};
+use simnet::TcpModel;
+
+/// Performance profile of one registry as seen from the pulling node.
+#[derive(Debug, Clone)]
+pub struct RegistryProfile {
+    pub name: String,
+    /// Path model from the edge node to the registry.
+    pub tcp: TcpModel,
+    /// Time for `GET /v2/<name>/manifests/<tag>` incl. auth round trips
+    /// (token service on Docker Hub) — paid once per pull.
+    pub manifest_fetch: DurationDist,
+    /// Per-layer HTTP request + digest verification overhead (excludes the
+    /// body transfer itself).
+    pub per_layer_overhead: DurationDist,
+    /// Local layer extraction speed (gunzip + untar), bytes/second of
+    /// *uncompressed* data. A property of the pulling node, kept here because
+    /// the evaluation always pulls onto the EGS.
+    pub extract_bytes_per_sec: u64,
+    /// Maximum concurrent layer downloads (Docker's default is 3).
+    pub max_concurrent_layers: usize,
+}
+
+const MBPS: u64 = 1_000_000;
+const GBPS: u64 = 1_000_000_000;
+
+impl RegistryProfile {
+    /// Docker Hub over the university WAN (paper's default source for the
+    /// Nginx / asmttpd / env-writer images).
+    pub fn docker_hub() -> RegistryProfile {
+        RegistryProfile {
+            name: "docker-hub".into(),
+            tcp: TcpModel::new(SimDuration::from_millis(32), 600 * MBPS),
+            manifest_fetch: DurationDist::log_normal_ms(420.0, 0.25),
+            per_layer_overhead: DurationDist::log_normal_ms(130.0, 0.3),
+            extract_bytes_per_sec: 280 * MBPS / 8 * 8, // ~280 MB/s on the EGS NVMe
+            max_concurrent_layers: 3,
+        }
+    }
+
+    /// Google Container Registry (the ResNet image's home).
+    pub fn gcr() -> RegistryProfile {
+        RegistryProfile {
+            name: "gcr".into(),
+            tcp: TcpModel::new(SimDuration::from_millis(28), 700 * MBPS),
+            manifest_fetch: DurationDist::log_normal_ms(380.0, 0.25),
+            per_layer_overhead: DurationDist::log_normal_ms(120.0, 0.3),
+            extract_bytes_per_sec: 280 * MBPS / 8 * 8,
+            max_concurrent_layers: 3,
+        }
+    }
+
+    /// A private registry on the same LAN segment (paper §VI: improves pull
+    /// times by about 1.5–2 s).
+    pub fn private_lan() -> RegistryProfile {
+        RegistryProfile {
+            name: "private-lan".into(),
+            tcp: TcpModel::new(SimDuration::from_micros(800), GBPS),
+            manifest_fetch: DurationDist::log_normal_ms(18.0, 0.2),
+            per_layer_overhead: DurationDist::log_normal_ms(6.0, 0.25),
+            extract_bytes_per_sec: 280 * MBPS / 8 * 8,
+            max_concurrent_layers: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_sane_orderings() {
+        let hub = RegistryProfile::docker_hub();
+        let lan = RegistryProfile::private_lan();
+        assert!(hub.tcp.rtt > lan.tcp.rtt * 10);
+        assert!(hub.manifest_fetch.0.mean().unwrap() > lan.manifest_fetch.0.mean().unwrap());
+        assert_eq!(hub.max_concurrent_layers, 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # simcore — deterministic discrete-event simulation engine
+//!
+//! This crate provides the foundation every other crate in the workspace builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`EventQueue`] — a deterministic future-event list with stable FIFO tie-breaking
+//!   and O(log n) cancellation,
+//! * [`rng::SimRng`] — a splittable, seedable random-number generator with *named
+//!   streams*, so adding a new consumer of randomness never perturbs existing ones,
+//! * [`dist`] — the distributions used to model service times, link jitter and
+//!   workload arrival processes,
+//! * [`stats`] — streaming summaries, percentile estimation and time-binned counters
+//!   used by the benchmark harness,
+//! * [`runner`] — a crossbeam-based fan-out runner that executes many independent
+//!   (seed, config) simulation replicas in parallel and returns results in seed order.
+//!
+//! Every simulation in this workspace is **single-threaded and deterministic** given
+//! `(config, seed)`; parallelism only ever happens *across* replicas (see DESIGN.md §7).
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod runner;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Dist, DurationDist};
+pub use queue::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use runner::run_seeds;
+pub use stats::{LogHistogram, Percentiles, Summary, TimeSeries};
+pub use time::{SimDuration, SimTime};

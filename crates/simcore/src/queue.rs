@@ -1,0 +1,229 @@
+//! The future-event list: a priority queue of `(SimTime, event)` pairs with
+//! **deterministic FIFO tie-breaking** and O(log n) amortized cancellation.
+//!
+//! Determinism is the load-bearing property here. Two events scheduled for the
+//! same instant pop in the order they were pushed, so a simulation run is a pure
+//! function of `(config, seed)` — which the test suite and the experiment runner
+//! both rely on.
+//!
+//! Cancellation uses tombstones: [`EventQueue::cancel`] marks the id dead and the
+//! entry is discarded lazily when it reaches the top. This keeps `push`/`pop`
+//! allocation-free and avoids a secondary index. Components that re-arm timers
+//! frequently (e.g. flow idle timeouts) cancel the stale timer and push a new one.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to get earliest-first, with the
+// insertion sequence number as the tie-breaker (earlier push pops first).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use simcore::{EventQueue, SimTime, SimDuration};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(10), "b");
+/// q.push(SimTime::from_nanos(5), "a");
+/// let id = q.push(SimTime::from_nanos(7), "dropped");
+/// q.cancel(id);
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Seqs scheduled but not yet fired or cancelled.
+    pending: HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: HashSet::new(),
+        }
+    }
+
+    /// Schedule `event` to fire at `time`. Returns an id usable with
+    /// [`EventQueue::cancel`].
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancel a scheduled event. Returns `true` if the event was still pending
+    /// (i.e. had not fired and had not already been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Pop the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.pending.remove(&entry.seq) {
+                continue; // tombstoned by cancel()
+            }
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain tombstones off the top so the peek is accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                return Some(top.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total events ever scheduled (diagnostic; monotone).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(42), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        let b = q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(!q.cancel(b), "cancel after fire reports false");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_tracks_live_entries() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        let base = SimTime::ZERO;
+        q.push(base + SimDuration::from_millis(10), 10u64);
+        q.push(base + SimDuration::from_millis(5), 5);
+        assert_eq!(q.pop().unwrap().1, 5);
+        q.push(base + SimDuration::from_millis(7), 7);
+        q.push(base + SimDuration::from_millis(1), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 7);
+        assert_eq!(q.pop().unwrap().1, 10);
+    }
+}

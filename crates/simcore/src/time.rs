@@ -1,0 +1,289 @@
+//! Virtual time for the simulation: [`SimTime`] (an instant) and [`SimDuration`]
+//! (a span), both with nanosecond resolution backed by `u64`.
+//!
+//! `u64` nanoseconds cover ~584 years of virtual time, far beyond any scenario in
+//! this workspace (the paper's longest experiment is five minutes). Arithmetic is
+//! saturating on the low end (an instant never goes negative) and panics on
+//! overflow in debug builds, like std.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    pub const fn from_nanos(n: u64) -> Self {
+        SimDuration(n)
+    }
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Build a duration from a (non-negative, finite) floating-point number of
+    /// seconds. Negative and non-finite inputs clamp to zero — all model code
+    /// treats "negative time" as "immediately".
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Like [`SimDuration::from_secs_f64`], for milliseconds.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Multiply by a non-negative float factor (used for jitter / scaling knobs).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+/// An instant in virtual time: nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// An instant later than every reachable instant; useful as an "infinity"
+    /// sentinel for deadlines.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX);
+
+    pub const fn from_nanos(n: u64) -> Self {
+        SimTime(n)
+    }
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(SimDuration::from_secs_f64(s).as_nanos())
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration since an earlier instant; zero if `earlier` is actually later
+    /// (model code treats causality violations as "no time elapsed" rather than
+    /// panicking, because they can only arise from zero-latency feedback loops).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
+        assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5000));
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let d = SimDuration::from_secs_f64(1.234_567_891);
+        assert_eq!(d.as_nanos(), 1_234_567_891);
+        assert!((d.as_secs_f64() - 1.234_567_891).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_millis(500);
+        assert_eq!(t1.as_nanos(), 500_000_000);
+        assert_eq!(t1 - t0, SimDuration::from_millis(500));
+        // causality-safe subtraction
+        assert_eq!(t0 - t1, SimDuration::ZERO);
+        assert_eq!(t0.since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_ops() {
+        let a = SimDuration::from_millis(100);
+        let b = SimDuration::from_millis(40);
+        assert_eq!(a - b, SimDuration::from_millis(60));
+        assert_eq!(b - a, SimDuration::ZERO); // saturates
+        assert_eq!(a * 3, SimDuration::from_millis(300));
+        assert_eq!(a / 4, SimDuration::from_millis(25));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn sum_works() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+}

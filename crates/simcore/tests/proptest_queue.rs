@@ -1,0 +1,147 @@
+//! Model-based property tests: the EventQueue must behave exactly like a
+//! naive reference model (a sorted list with FIFO tie-breaking and
+//! tombstone-free cancellation) under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use simcore::{EventQueue, SimTime};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push { time_ns: u64, value: u32 },
+    /// Cancel the n-th still-tracked id (modulo live count).
+    Cancel(usize),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..1000, any::<u32>()).prop_map(|(time_ns, value)| Op::Push { time_ns, value }),
+        1 => (0usize..16).prop_map(Op::Cancel),
+        3 => Just(Op::Pop),
+    ]
+}
+
+/// The reference model: a Vec of (time, seq, value, cancelled).
+#[derive(Default)]
+struct Model {
+    entries: Vec<(u64, u64, u32, bool)>,
+    next_seq: u64,
+}
+
+impl Model {
+    fn push(&mut self, time: u64, value: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((time, seq, value, false));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        for e in &mut self.entries {
+            if e.1 == seq && !e.3 {
+                e.3 = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.3)
+            .min_by_key(|(_, e)| (e.0, e.1))
+            .map(|(i, _)| i)?;
+        let e = self.entries.remove(idx);
+        Some((e.0, e.2))
+    }
+
+    fn len(&self) -> usize {
+        self.entries.iter().filter(|e| !e.3).count()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn queue_matches_reference_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut queue = EventQueue::new();
+        let mut model = Model::default();
+        // parallel id tracking: queue ids and model seqs issued in lockstep
+        let mut live_ids = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Push { time_ns, value } => {
+                    let qid = queue.push(SimTime::from_nanos(time_ns), value);
+                    let mseq = model.push(time_ns, value);
+                    live_ids.push((qid, mseq));
+                }
+                Op::Cancel(n) => {
+                    if !live_ids.is_empty() {
+                        let (qid, mseq) = live_ids[n % live_ids.len()];
+                        let q = queue.cancel(qid);
+                        let m = model.cancel(mseq);
+                        prop_assert_eq!(q, m, "cancel outcome must agree");
+                    }
+                }
+                Op::Pop => {
+                    let q = queue.pop();
+                    let m = model.pop();
+                    match (q, m) {
+                        (None, None) => {}
+                        (Some((qt, qv)), Some((mt, mv))) => {
+                            prop_assert_eq!(qt.as_nanos(), mt);
+                            prop_assert_eq!(qv, mv);
+                        }
+                        other => prop_assert!(false, "pop mismatch: {:?}", other),
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len(), "live counts must agree");
+        }
+
+        // Drain both: remaining orders must agree completely.
+        loop {
+            let q = queue.pop();
+            let m = model.pop();
+            match (q, m) {
+                (None, None) => break,
+                (Some((qt, qv)), Some((mt, mv))) => {
+                    prop_assert_eq!(qt.as_nanos(), mt);
+                    prop_assert_eq!(qv, mv);
+                }
+                other => prop_assert!(false, "drain mismatch: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn pops_are_monotone_in_time(times in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t.as_nanos() >= last);
+            last = t.as_nanos();
+        }
+    }
+
+    #[test]
+    fn peek_agrees_with_pop(times in prop::collection::vec(0u64..1000, 0..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        while let Some(peek) = q.peek_time() {
+            let (t, _) = q.pop().unwrap();
+            prop_assert_eq!(peek, t);
+        }
+        prop_assert!(q.pop().is_none());
+    }
+}

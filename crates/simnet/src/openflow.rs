@@ -1,0 +1,828 @@
+//! An OpenFlow-style switch: flow table with priorities and idle/hard
+//! timeouts, match/action processing with SetField rewrites, table-miss
+//! buffering (`PacketIn`), `FlowMod`/`PacketOut` handling and flow-removed
+//! notifications.
+//!
+//! This models the control surface the paper's controller uses (paper Fig. 2):
+//! the first packet of a flow to a registered service misses the table and is
+//! *buffered* at the switch while a `PacketIn` goes to the controller — that
+//! buffering is precisely the "keep the client's request waiting" mechanism of
+//! on-demand deployment *with waiting*. The controller later answers with a
+//! `FlowMod` (install the redirect rewrite) plus a `PacketOut` (release the
+//! buffered packet through the new actions).
+
+use std::collections::HashMap;
+
+use simcore::{SimDuration, SimTime};
+
+use crate::addr::{IpAddr, SocketAddr};
+use crate::packet::{Packet, Protocol};
+
+/// A switch port. Ports are dense indices; the testbed maps each port to the
+/// topology node attached to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(pub usize);
+
+/// Identifies an installed flow entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub u64);
+
+/// Identifies a packet buffered at the switch awaiting a controller decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub u64);
+
+/// A masked IPv4 prefix (OpenFlow arbitrary-mask match, restricted to CIDR
+/// prefixes): `10.1.0.0/16` etc. Used for the static topology routes a
+/// multi-switch fabric needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpNet {
+    pub addr: IpAddr,
+    /// Prefix length 0..=32.
+    pub prefix: u8,
+}
+
+impl IpNet {
+    pub fn new(addr: IpAddr, prefix: u8) -> IpNet {
+        assert!(prefix <= 32, "prefix length {prefix} > 32");
+        IpNet { addr, prefix }
+    }
+
+    pub fn contains(&self, ip: IpAddr) -> bool {
+        let mask = if self.prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix as u32)
+        };
+        (ip.0 & mask) == (self.addr.0 & mask)
+    }
+}
+
+/// Match fields (all optional = wildcard). The transparent-edge controller
+/// matches on (src ip, dst ip, dst port, protocol): per-client, per-service
+/// flows, exactly as in the paper's prototype. The masked `*_net` fields
+/// express the coarse topology routes of a multi-switch fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowMatch {
+    pub protocol: Option<Protocol>,
+    pub src_ip: Option<IpAddr>,
+    pub src_port: Option<u16>,
+    pub dst_ip: Option<IpAddr>,
+    pub dst_port: Option<u16>,
+    /// Masked source match (combines with `src_ip` conjunctively).
+    pub src_net: Option<IpNet>,
+    /// Masked destination match.
+    pub dst_net: Option<IpNet>,
+}
+
+impl FlowMatch {
+    /// Match any packet.
+    pub fn any() -> FlowMatch {
+        FlowMatch::default()
+    }
+
+    /// Match every TCP packet addressed to `dst` (service-wide rule).
+    pub fn to_service(dst: SocketAddr) -> FlowMatch {
+        FlowMatch {
+            protocol: Some(Protocol::Tcp),
+            dst_ip: Some(dst.ip),
+            dst_port: Some(dst.port),
+            ..FlowMatch::default()
+        }
+    }
+
+    /// Match everything destined into `net` (a topology route).
+    pub fn to_net(net: IpNet) -> FlowMatch {
+        FlowMatch { dst_net: Some(net), ..FlowMatch::default() }
+    }
+
+    /// Match everything whose source lies in `net`.
+    pub fn from_net(net: IpNet) -> FlowMatch {
+        FlowMatch { src_net: Some(net), ..FlowMatch::default() }
+    }
+
+    /// Match TCP packets from one client IP to `dst` (per-client rule — what
+    /// the controller installs so different clients can go to different
+    /// instances).
+    pub fn client_to_service(client_ip: IpAddr, dst: SocketAddr) -> FlowMatch {
+        FlowMatch {
+            src_ip: Some(client_ip),
+            ..FlowMatch::to_service(dst)
+        }
+    }
+
+    pub fn matches(&self, p: &Packet) -> bool {
+        self.protocol.is_none_or(|v| v == p.protocol)
+            && self.src_ip.is_none_or(|v| v == p.src.ip)
+            && self.src_port.is_none_or(|v| v == p.src.port)
+            && self.dst_ip.is_none_or(|v| v == p.dst.ip)
+            && self.dst_port.is_none_or(|v| v == p.dst.port)
+            && self.src_net.is_none_or(|n| n.contains(p.src.ip))
+            && self.dst_net.is_none_or(|n| n.contains(p.dst.ip))
+    }
+}
+
+/// Actions applied to a matching packet, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    SetSrcIp(IpAddr),
+    SetSrcPort(u16),
+    SetDstIp(IpAddr),
+    SetDstPort(u16),
+    /// Emit on a port.
+    Output(PortId),
+    /// Punt to the controller (used by the low-priority catch-all rule for
+    /// registered service addresses).
+    ToController,
+    Drop,
+}
+
+/// An installed flow entry.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    pub id: FlowId,
+    pub priority: u16,
+    pub matcher: FlowMatch,
+    pub actions: Vec<Action>,
+    /// Evict after this long without a matching packet.
+    pub idle_timeout: Option<SimDuration>,
+    /// Evict this long after installation regardless of use.
+    pub hard_timeout: Option<SimDuration>,
+    pub cookie: u64,
+    pub installed_at: SimTime,
+    pub last_used: SimTime,
+    pub packets: u64,
+}
+
+/// Why a flow entry left the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovalReason {
+    IdleTimeout,
+    HardTimeout,
+    Deleted,
+}
+
+/// A flow-removed notification (OpenFlow `OFPT_FLOW_REMOVED`); the controller
+/// uses idle-timeout removals to drive FlowMemory expiry and scale-down.
+#[derive(Debug, Clone)]
+pub struct FlowRemoved {
+    pub entry: FlowEntry,
+    pub reason: RemovalReason,
+    pub at: SimTime,
+}
+
+/// Priority-ordered flow table.
+///
+/// Entries are kept sorted by `(priority desc, insertion order asc)`;
+/// lookup scans in that order and takes the first match, which matches
+/// OpenFlow semantics when overlapping same-priority entries exist.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    next_id: u64,
+}
+
+impl FlowTable {
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Install an entry; returns its id.
+    ///
+    /// OpenFlow `OFPFC_ADD` semantics: an entry with the same `(priority,
+    /// match)` replaces the existing one (counters reset), so re-installing a
+    /// redirect simply overwrites it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add(
+        &mut self,
+        now: SimTime,
+        priority: u16,
+        matcher: FlowMatch,
+        actions: Vec<Action>,
+        idle_timeout: Option<SimDuration>,
+        hard_timeout: Option<SimDuration>,
+        cookie: u64,
+    ) -> FlowId {
+        self.entries
+            .retain(|e| !(e.priority == priority && e.matcher == matcher));
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let entry = FlowEntry {
+            id,
+            priority,
+            matcher,
+            actions,
+            idle_timeout,
+            hard_timeout,
+            cookie,
+            installed_at: now,
+            last_used: now,
+            packets: 0,
+        };
+        // Insert after all entries with priority >= ours (stable order).
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.priority < priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, entry);
+        id
+    }
+
+    /// Find the highest-priority matching entry, updating its stats.
+    pub fn lookup(&mut self, now: SimTime, p: &Packet) -> Option<&FlowEntry> {
+        let idx = self.entries.iter().position(|e| e.matcher.matches(p))?;
+        let e = &mut self.entries[idx];
+        e.last_used = now;
+        e.packets += 1;
+        Some(&self.entries[idx])
+    }
+
+    /// Peek without touching stats (diagnostics).
+    pub fn find(&self, p: &Packet) -> Option<&FlowEntry> {
+        self.entries.iter().find(|e| e.matcher.matches(p))
+    }
+
+    pub fn get(&self, id: FlowId) -> Option<&FlowEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Remove all entries whose matcher equals `matcher` (OpenFlow strict
+    /// delete). Returns the removed entries.
+    pub fn delete_matching(&mut self, now: SimTime, matcher: &FlowMatch) -> Vec<FlowRemoved> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if &e.matcher == matcher {
+                removed.push(FlowRemoved {
+                    entry: e.clone(),
+                    reason: RemovalReason::Deleted,
+                    at: now,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    pub fn delete_by_cookie(&mut self, now: SimTime, cookie: u64) -> Vec<FlowRemoved> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if e.cookie == cookie {
+                removed.push(FlowRemoved {
+                    entry: e.clone(),
+                    reason: RemovalReason::Deleted,
+                    at: now,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Evict entries whose idle or hard timeout has elapsed at `now`.
+    pub fn expire(&mut self, now: SimTime) -> Vec<FlowRemoved> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if let Some(hard) = e.hard_timeout {
+                if now.since(e.installed_at) >= hard {
+                    removed.push(FlowRemoved {
+                        entry: e.clone(),
+                        reason: RemovalReason::HardTimeout,
+                        at: now,
+                    });
+                    return false;
+                }
+            }
+            if let Some(idle) = e.idle_timeout {
+                if now.since(e.last_used) >= idle {
+                    removed.push(FlowRemoved {
+                        entry: e.clone(),
+                        reason: RemovalReason::IdleTimeout,
+                        at: now,
+                    });
+                    return false;
+                }
+            }
+            true
+        });
+        removed
+    }
+
+    /// The earliest instant at which some entry could expire — the testbed
+    /// schedules its next eviction sweep there.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .flat_map(|e| {
+                let idle = e.idle_timeout.map(|d| e.last_used + d);
+                let hard = e.hard_timeout.map(|d| e.installed_at + d);
+                idle.into_iter().chain(hard)
+            })
+            .min()
+    }
+
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+}
+
+/// What the switch decided to do with a received packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketVerdict {
+    /// Matched a flow with an `Output` action: forward (possibly rewritten).
+    Forward { packet: Packet, out_port: PortId },
+    /// No match (or an explicit `ToController` action): packet buffered,
+    /// `PacketIn` raised to the controller.
+    PacketIn { buffer_id: BufferId, packet: Packet },
+    /// Matched a flow whose actions drop the packet (or had no output).
+    Dropped,
+}
+
+/// The switch: a flow table plus ports and a packet buffer.
+#[derive(Debug, Default)]
+pub struct Switch {
+    pub table: FlowTable,
+    buffered: HashMap<BufferId, Packet>,
+    next_buffer: u64,
+    port_count: usize,
+    /// Counters for the evaluation: table misses = controller round trips.
+    pub stats: SwitchStats,
+}
+
+/// Data-plane counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchStats {
+    pub packets: u64,
+    pub table_hits: u64,
+    pub table_misses: u64,
+    pub forwarded: u64,
+    pub dropped: u64,
+}
+
+impl Switch {
+    pub fn new(port_count: usize) -> Switch {
+        Switch {
+            port_count,
+            ..Switch::default()
+        }
+    }
+
+    pub fn port_count(&self) -> usize {
+        self.port_count
+    }
+
+    /// Number of packets parked at the switch awaiting controller decisions.
+    pub fn buffered_count(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Process a packet arriving on a port.
+    pub fn receive(&mut self, now: SimTime, packet: Packet) -> PacketVerdict {
+        self.stats.packets += 1;
+        let Some(entry) = self.table.lookup(now, &packet) else {
+            self.stats.table_misses += 1;
+            return self.buffer_packet(packet);
+        };
+        self.stats.table_hits += 1;
+        let actions = entry.actions.clone();
+        self.apply(now, packet, &actions)
+    }
+
+    fn buffer_packet(&mut self, packet: Packet) -> PacketVerdict {
+        let id = BufferId(self.next_buffer);
+        self.next_buffer += 1;
+        self.buffered.insert(id, packet);
+        PacketVerdict::PacketIn { buffer_id: id, packet }
+    }
+
+    fn apply(&mut self, _now: SimTime, mut packet: Packet, actions: &[Action]) -> PacketVerdict {
+        for action in actions {
+            match action {
+                Action::SetSrcIp(ip) => packet.src.ip = *ip,
+                Action::SetSrcPort(p) => packet.src.port = *p,
+                Action::SetDstIp(ip) => packet.dst.ip = *ip,
+                Action::SetDstPort(p) => packet.dst.port = *p,
+                Action::Output(port) => {
+                    assert!(port.0 < self.port_count, "output to unknown port {port:?}");
+                    self.stats.forwarded += 1;
+                    return PacketVerdict::Forward { packet, out_port: *port };
+                }
+                Action::ToController => {
+                    return self.buffer_packet(packet);
+                }
+                Action::Drop => break,
+            }
+        }
+        self.stats.dropped += 1;
+        PacketVerdict::Dropped
+    }
+
+    /// Controller → switch: install a flow entry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_mod(
+        &mut self,
+        now: SimTime,
+        priority: u16,
+        matcher: FlowMatch,
+        actions: Vec<Action>,
+        idle_timeout: Option<SimDuration>,
+        hard_timeout: Option<SimDuration>,
+        cookie: u64,
+    ) -> FlowId {
+        self.table
+            .add(now, priority, matcher, actions, idle_timeout, hard_timeout, cookie)
+    }
+
+    /// Controller → switch: release a buffered packet through `actions`
+    /// (OpenFlow `PacketOut`). Returns the forwarding outcome; `None` if the
+    /// buffer id is unknown (already released or expired).
+    pub fn packet_out(
+        &mut self,
+        now: SimTime,
+        buffer_id: BufferId,
+        actions: &[Action],
+    ) -> Option<PacketVerdict> {
+        let packet = self.buffered.remove(&buffer_id)?;
+        Some(self.apply(now, packet, actions))
+    }
+
+    /// Controller → switch: re-inject a buffered packet through the flow
+    /// table (OpenFlow `OFPP_TABLE`). This is what the paper's controller does
+    /// after a `FlowMod`: the released packet hits the freshly installed rule.
+    pub fn packet_out_via_table(&mut self, now: SimTime, buffer_id: BufferId) -> Option<PacketVerdict> {
+        let packet = self.buffered.remove(&buffer_id)?;
+        Some(self.receive_unbuffered(now, packet))
+    }
+
+    /// Like [`Switch::receive`] but a repeated miss drops instead of
+    /// re-buffering (prevents PacketIn loops on `OFPP_TABLE` resubmission).
+    fn receive_unbuffered(&mut self, now: SimTime, packet: Packet) -> PacketVerdict {
+        self.stats.packets += 1;
+        let Some(entry) = self.table.lookup(now, &packet) else {
+            self.stats.table_misses += 1;
+            self.stats.dropped += 1;
+            return PacketVerdict::Dropped;
+        };
+        self.stats.table_hits += 1;
+        let actions = entry.actions.clone();
+        self.apply(now, packet, &actions)
+    }
+
+    /// Drop a buffered packet without forwarding (controller gave up).
+    pub fn discard_buffer(&mut self, buffer_id: BufferId) -> Option<Packet> {
+        self.buffered.remove(&buffer_id)
+    }
+
+    /// Run a timeout sweep; returns flow-removed notifications.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<FlowRemoved> {
+        self.table.expire(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(d: u8) -> IpAddr {
+        IpAddr::new(10, 0, 0, d)
+    }
+    fn sa(d: u8, port: u16) -> SocketAddr {
+        SocketAddr::new(ip(d), port)
+    }
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn service_packet() -> Packet {
+        Packet::syn(sa(1, 40000), sa(200, 80), 7)
+    }
+
+    #[test]
+    fn ipnet_contains() {
+        let net = IpNet::new(IpAddr::new(10, 1, 0, 0), 16);
+        assert!(net.contains(IpAddr::new(10, 1, 0, 1)));
+        assert!(net.contains(IpAddr::new(10, 1, 255, 255)));
+        assert!(!net.contains(IpAddr::new(10, 2, 0, 1)));
+        let all = IpNet::new(IpAddr::new(0, 0, 0, 0), 0);
+        assert!(all.contains(IpAddr::new(203, 0, 113, 9)));
+        let host = IpNet::new(IpAddr::new(10, 0, 0, 5), 32);
+        assert!(host.contains(IpAddr::new(10, 0, 0, 5)));
+        assert!(!host.contains(IpAddr::new(10, 0, 0, 6)));
+    }
+
+    #[test]
+    fn masked_match_routes_by_prefix() {
+        let m = FlowMatch::to_net(IpNet::new(IpAddr::new(10, 1, 0, 0), 16));
+        let to_client = Packet::syn(sa(200, 80), SocketAddr::new(IpAddr::new(10, 1, 0, 7), 4000), 0);
+        let elsewhere = Packet::syn(sa(200, 80), SocketAddr::new(IpAddr::new(10, 2, 0, 7), 4000), 0);
+        assert!(m.matches(&to_client));
+        assert!(!m.matches(&elsewhere));
+        // masked and exact fields combine conjunctively
+        let both = FlowMatch {
+            dst_net: Some(IpNet::new(IpAddr::new(10, 1, 0, 0), 16)),
+            dst_port: Some(4000),
+            ..FlowMatch::default()
+        };
+        assert!(both.matches(&to_client));
+        let wrong_port = Packet::syn(sa(200, 80), SocketAddr::new(IpAddr::new(10, 1, 0, 7), 9), 0);
+        assert!(!both.matches(&wrong_port));
+    }
+
+    #[test]
+    fn match_wildcards() {
+        let p = service_packet();
+        assert!(FlowMatch::any().matches(&p));
+        assert!(FlowMatch::to_service(sa(200, 80)).matches(&p));
+        assert!(!FlowMatch::to_service(sa(200, 443)).matches(&p));
+        assert!(FlowMatch::client_to_service(ip(1), sa(200, 80)).matches(&p));
+        assert!(!FlowMatch::client_to_service(ip(2), sa(200, 80)).matches(&p));
+    }
+
+    #[test]
+    fn table_miss_buffers_and_raises_packet_in() {
+        let mut sw = Switch::new(4);
+        let p = service_packet();
+        match sw.receive(t(0), p) {
+            PacketVerdict::PacketIn { packet, .. } => assert_eq!(packet, p),
+            other => panic!("expected PacketIn, got {other:?}"),
+        }
+        assert_eq!(sw.buffered_count(), 1);
+        assert_eq!(sw.stats.table_misses, 1);
+    }
+
+    #[test]
+    fn flow_mod_then_hit_rewrites_and_forwards() {
+        let mut sw = Switch::new(4);
+        let edge = sa(50, 8080);
+        sw.flow_mod(
+            t(0),
+            100,
+            FlowMatch::to_service(sa(200, 80)),
+            vec![
+                Action::SetDstIp(edge.ip),
+                Action::SetDstPort(edge.port),
+                Action::Output(PortId(2)),
+            ],
+            Some(SimDuration::from_secs(10)),
+            None,
+            1,
+        );
+        match sw.receive(t(1), service_packet()) {
+            PacketVerdict::Forward { packet, out_port } => {
+                assert_eq!(packet.dst, edge);
+                assert_eq!(packet.src, sa(1, 40000), "src untouched");
+                assert_eq!(out_port, PortId(2));
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+        assert_eq!(sw.stats.table_hits, 1);
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut sw = Switch::new(4);
+        sw.flow_mod(t(0), 1, FlowMatch::any(), vec![Action::Output(PortId(0))], None, None, 0);
+        sw.flow_mod(
+            t(0),
+            100,
+            FlowMatch::to_service(sa(200, 80)),
+            vec![Action::Output(PortId(3))],
+            None,
+            None,
+            0,
+        );
+        match sw.receive(t(1), service_packet()) {
+            PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(3)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_priority_same_match_replaces() {
+        // OFPFC_ADD semantics: identical (priority, match) overwrites.
+        let mut sw = Switch::new(4);
+        sw.flow_mod(t(0), 5, FlowMatch::any(), vec![Action::Output(PortId(1))], None, None, 0);
+        sw.flow_mod(t(0), 5, FlowMatch::any(), vec![Action::Output(PortId(2))], None, None, 0);
+        assert_eq!(sw.table.len(), 1);
+        match sw.receive(t(1), service_packet()) {
+            PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_priority_different_match_first_wins() {
+        let mut sw = Switch::new(4);
+        sw.flow_mod(
+            t(0),
+            5,
+            FlowMatch::to_service(sa(200, 80)),
+            vec![Action::Output(PortId(1))],
+            None,
+            None,
+            0,
+        );
+        sw.flow_mod(t(0), 5, FlowMatch::any(), vec![Action::Output(PortId(2))], None, None, 0);
+        match sw.receive(t(1), service_packet()) {
+            PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_out_releases_buffered_packet() {
+        let mut sw = Switch::new(4);
+        let PacketVerdict::PacketIn { buffer_id, .. } = sw.receive(t(0), service_packet()) else {
+            panic!("expected PacketIn");
+        };
+        let verdict = sw
+            .packet_out(
+                t(2),
+                buffer_id,
+                &[Action::SetDstIp(ip(50)), Action::Output(PortId(1))],
+            )
+            .unwrap();
+        match verdict {
+            PacketVerdict::Forward { packet, out_port } => {
+                assert_eq!(packet.dst.ip, ip(50));
+                assert_eq!(out_port, PortId(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sw.buffered_count(), 0);
+        // double release fails
+        assert!(sw.packet_out(t(3), buffer_id, &[]).is_none());
+    }
+
+    #[test]
+    fn packet_out_via_table_uses_installed_flow() {
+        let mut sw = Switch::new(4);
+        let PacketVerdict::PacketIn { buffer_id, .. } = sw.receive(t(0), service_packet()) else {
+            panic!("expected PacketIn");
+        };
+        sw.flow_mod(
+            t(1),
+            100,
+            FlowMatch::to_service(sa(200, 80)),
+            vec![Action::SetDstIp(ip(50)), Action::Output(PortId(2))],
+            None,
+            None,
+            0,
+        );
+        match sw.packet_out_via_table(t(2), buffer_id).unwrap() {
+            PacketVerdict::Forward { packet, out_port } => {
+                assert_eq!(packet.dst.ip, ip(50));
+                assert_eq!(out_port, PortId(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn resubmission_miss_drops_instead_of_rebuffering() {
+        let mut sw = Switch::new(4);
+        let PacketVerdict::PacketIn { buffer_id, .. } = sw.receive(t(0), service_packet()) else {
+            panic!("expected PacketIn");
+        };
+        // no flow installed: resubmission must not loop
+        assert_eq!(
+            sw.packet_out_via_table(t(1), buffer_id),
+            Some(PacketVerdict::Dropped)
+        );
+        assert_eq!(sw.buffered_count(), 0);
+    }
+
+    #[test]
+    fn idle_timeout_expires_unused_flows() {
+        let mut table = FlowTable::new();
+        table.add(
+            t(0),
+            10,
+            FlowMatch::to_service(sa(200, 80)),
+            vec![Action::Output(PortId(0))],
+            Some(SimDuration::from_secs(5)),
+            None,
+            7,
+        );
+        assert!(table.expire(t(4999)).is_empty());
+        let removed = table.expire(t(5000));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, RemovalReason::IdleTimeout);
+        assert_eq!(removed[0].entry.cookie, 7);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn traffic_refreshes_idle_timer() {
+        let mut table = FlowTable::new();
+        table.add(
+            t(0),
+            10,
+            FlowMatch::to_service(sa(200, 80)),
+            vec![Action::Output(PortId(0))],
+            Some(SimDuration::from_secs(5)),
+            None,
+            0,
+        );
+        let p = service_packet();
+        assert!(table.lookup(t(3000), &p).is_some());
+        assert!(table.expire(t(5000)).is_empty(), "refreshed at t=3s");
+        assert_eq!(table.expire(t(8000)).len(), 1);
+    }
+
+    #[test]
+    fn hard_timeout_fires_even_with_traffic() {
+        let mut table = FlowTable::new();
+        table.add(
+            t(0),
+            10,
+            FlowMatch::any(),
+            vec![Action::Output(PortId(0))],
+            Some(SimDuration::from_secs(60)),
+            Some(SimDuration::from_secs(10)),
+            0,
+        );
+        let p = service_packet();
+        assert!(table.lookup(t(9000), &p).is_some());
+        let removed = table.expire(t(10_000));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, RemovalReason::HardTimeout);
+    }
+
+    #[test]
+    fn next_expiry_tracks_minimum() {
+        let mut table = FlowTable::new();
+        table.add(
+            t(0),
+            1,
+            FlowMatch::any(),
+            vec![],
+            Some(SimDuration::from_secs(30)),
+            None,
+            0,
+        );
+        table.add(
+            t(0),
+            1,
+            FlowMatch::any(),
+            vec![],
+            None,
+            Some(SimDuration::from_secs(7)),
+            0,
+        );
+        assert_eq!(table.next_expiry(), Some(t(7000)));
+        assert_eq!(FlowTable::new().next_expiry(), None);
+    }
+
+    #[test]
+    fn delete_by_cookie_and_matcher() {
+        let mut table = FlowTable::new();
+        let m = FlowMatch::to_service(sa(200, 80));
+        table.add(t(0), 1, m, vec![], None, None, 42);
+        table.add(t(0), 1, FlowMatch::any(), vec![], None, None, 42);
+        table.add(t(0), 1, FlowMatch::to_service(sa(201, 80)), vec![], None, None, 1);
+        assert_eq!(table.delete_matching(t(1), &m).len(), 1);
+        assert_eq!(table.delete_by_cookie(t(1), 42).len(), 1);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn lookup_updates_stats() {
+        let mut table = FlowTable::new();
+        let id = table.add(t(0), 1, FlowMatch::any(), vec![], None, None, 0);
+        let p = service_packet();
+        table.lookup(t(5), &p);
+        table.lookup(t(9), &p);
+        let e = table.get(id).unwrap();
+        assert_eq!(e.packets, 2);
+        assert_eq!(e.last_used, t(9));
+    }
+
+    #[test]
+    fn drop_action() {
+        let mut sw = Switch::new(1);
+        sw.flow_mod(t(0), 1, FlowMatch::any(), vec![Action::Drop], None, None, 0);
+        assert_eq!(sw.receive(t(1), service_packet()), PacketVerdict::Dropped);
+        assert_eq!(sw.stats.dropped, 1);
+    }
+
+    #[test]
+    fn to_controller_action_buffers() {
+        let mut sw = Switch::new(1);
+        sw.flow_mod(t(0), 1, FlowMatch::any(), vec![Action::ToController], None, None, 0);
+        match sw.receive(t(1), service_packet()) {
+            PacketVerdict::PacketIn { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The minimal packet representation the switch matches on and rewrites.
+//!
+//! A simulated "packet" stands for the *first packet of a TCP flow* (the SYN
+//! carrying the client's connection attempt). Once the switch has a matching
+//! flow entry, the rest of the conversation is modelled at flow level by
+//! [`crate::tcp::TcpModel`]; only flow setup goes through the OpenFlow path —
+//! exactly how the paper's testbed behaves (subsequent packets hit the
+//! installed flow in the data plane and never reach the controller).
+
+use crate::addr::SocketAddr;
+
+/// Transport protocol of a flow. The evaluation traffic is all TCP; UDP exists
+/// so flow matches can distinguish protocols like the real switch does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    Tcp,
+    Udp,
+}
+
+/// A packet observed at a switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    pub src: SocketAddr,
+    pub dst: SocketAddr,
+    pub protocol: Protocol,
+    /// Wire size in bytes (headers included); used for serialization delay.
+    pub size: u32,
+    /// Opaque correlation id set by the traffic source (the client request id);
+    /// carried through rewrites untouched.
+    pub tag: u64,
+}
+
+impl Packet {
+    /// A TCP SYN-sized packet from `src` to `dst`.
+    pub fn syn(src: SocketAddr, dst: SocketAddr, tag: u64) -> Packet {
+        Packet { src, dst, protocol: Protocol::Tcp, size: 74, tag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::IpAddr;
+
+    #[test]
+    fn syn_has_tcp_and_tag() {
+        let a = SocketAddr::new(IpAddr::new(10, 0, 0, 1), 5000);
+        let b = SocketAddr::new(IpAddr::new(1, 1, 1, 1), 80);
+        let p = Packet::syn(a, b, 99);
+        assert_eq!(p.protocol, Protocol::Tcp);
+        assert_eq!(p.tag, 99);
+        assert_eq!(p.src, a);
+        assert_eq!(p.dst, b);
+    }
+}

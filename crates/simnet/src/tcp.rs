@@ -1,0 +1,199 @@
+//! Flow-level TCP timing.
+//!
+//! The evaluation measures `time_total` as reported by Curl: everything from
+//! the start of the TCP handshake until the last byte of the HTTP response
+//! (paper §VI, the *timecurl* script). We therefore need a model of
+//!
+//! * connection establishment — one RTT (SYN / SYN-ACK; the request departs
+//!   with the ACK),
+//! * request upload and response download — serialization at the bottleneck
+//!   bandwidth plus slow-start round trips for transfers that exceed the
+//!   initial congestion window.
+//!
+//! The slow-start term models IW10 (RFC 6928: initial window of 10 segments)
+//! with the window doubling each RTT until either the transfer completes or
+//! the bandwidth-delay product is reached. This level of detail reproduces the
+//! behaviours the figures depend on: sub-millisecond LAN requests (Fig. 16),
+//! multi-second WAN image pulls that shrink by ~2 s on a LAN registry
+//! (Fig. 13), and the 83 KiB ResNet POST upload costing a few extra round
+//! trips.
+
+use simcore::SimDuration;
+
+/// Standard Ethernet-ish segment size used to convert bytes to segments.
+const MSS: u64 = 1460;
+/// RFC 6928 initial congestion window, in segments.
+const INITIAL_WINDOW_SEGMENTS: u64 = 10;
+
+/// A TCP timing model over a path with fixed RTT and bottleneck bandwidth.
+///
+/// ```
+/// use simcore::SimDuration;
+/// use simnet::TcpModel;
+///
+/// // a 1 Gbps LAN path with 600 µs RTT
+/// let lan = TcpModel::new(SimDuration::from_micros(600), 1_000_000_000);
+/// let t = lan.request_response_time(300, 500, SimDuration::from_micros(150));
+/// assert!(t.as_millis_f64() < 3.0, "short LAN exchanges are milliseconds");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpModel {
+    pub rtt: SimDuration,
+    pub bandwidth_bps: u64,
+}
+
+impl TcpModel {
+    pub fn new(rtt: SimDuration, bandwidth_bps: u64) -> TcpModel {
+        assert!(bandwidth_bps > 0, "zero-bandwidth path");
+        TcpModel { rtt, bandwidth_bps }
+    }
+
+    /// Time to establish a connection: one RTT (the request departs with the
+    /// final ACK of the three-way handshake).
+    pub fn connect_time(&self) -> SimDuration {
+        self.rtt
+    }
+
+    /// Pure serialization delay for `bytes` at the bottleneck bandwidth.
+    pub fn serialization(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps as f64)
+    }
+
+    /// One-way delivery time for a message of `bytes` on an **established**
+    /// connection: half an RTT of propagation plus the classic
+    /// latency/throughput envelope — the transfer takes at least its
+    /// serialization time at the bottleneck, and at least the slow-start
+    /// ramp (the window doubles from IW10 each round trip, so reaching
+    /// `bytes` in flight needs ~log2(bytes/IW) round trips).
+    ///
+    /// Using the *maximum* of the two envelopes keeps the model strictly
+    /// monotone in bytes, bandwidth and RTT (verified by property tests) —
+    /// a per-round stall count is not, because a larger bandwidth-delay
+    /// product admits more doubling rounds.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let propagation = self.rtt / 2;
+        propagation + self.serialization(bytes).max(self.slow_start_ramp(bytes))
+    }
+
+    /// Time for the congestion window to grow from IW10 until `bytes` have
+    /// been sent: `RTT * log2(1 + bytes/IW)` (continuous/fluid form).
+    fn slow_start_ramp(&self, bytes: u64) -> SimDuration {
+        let iw = (INITIAL_WINDOW_SEGMENTS * MSS) as f64;
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let rounds = (1.0 + bytes as f64 / iw).log2();
+        self.rtt.mul_f64(rounds)
+    }
+
+    /// Curl-style `time_total` for a full request/response exchange on a new
+    /// connection: handshake + request upload + server think time + response
+    /// download.
+    pub fn request_response_time(
+        &self,
+        request_bytes: u64,
+        response_bytes: u64,
+        server_time: SimDuration,
+    ) -> SimDuration {
+        self.connect_time()
+            + self.transfer_time(request_bytes)
+            + server_time
+            + self.transfer_time(response_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: u64 = 1_000_000_000;
+    const MBPS: u64 = 1_000_000;
+
+    fn lan() -> TcpModel {
+        TcpModel::new(SimDuration::from_micros(600), GBPS)
+    }
+
+    fn wan() -> TcpModel {
+        TcpModel::new(SimDuration::from_millis(30), 200 * MBPS)
+    }
+
+    #[test]
+    fn connect_is_one_rtt() {
+        assert_eq!(lan().connect_time(), SimDuration::from_micros(600));
+        assert_eq!(wan().connect_time(), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn small_lan_request_is_about_a_millisecond() {
+        // Fig. 16: a short request/response on the LAN completes in ~1 ms.
+        let t = lan().request_response_time(300, 500, SimDuration::from_micros(100));
+        let ms = t.as_millis_f64();
+        assert!((0.5..2.5).contains(&ms), "lan request took {ms} ms");
+    }
+
+    #[test]
+    fn small_lan_transfer_is_serialization_bound_plus_ramp() {
+        let m = lan();
+        let t = m.transfer_time(10_000);
+        let floor = m.rtt / 2 + m.serialization(10_000);
+        // the ramp for <1 IW of data is below one RTT
+        assert!(t >= floor);
+        assert!(t <= floor + m.rtt);
+    }
+
+    #[test]
+    fn large_transfer_pays_slow_start_on_wan() {
+        let m = wan();
+        let small = m.transfer_time(10_000);
+        let big = m.transfer_time(1_000_000);
+        // 1 MB needs ~6 doubling rounds at 30 ms RTT ≈ 180 ms of ramp,
+        // far above its 40 ms serialization
+        assert!(big > small + SimDuration::from_millis(60), "big={big} small={small}");
+        let ramp_floor = m.rtt.mul_f64(5.0);
+        assert!(big >= ramp_floor, "big={big}");
+    }
+
+    #[test]
+    fn serialization_scales_linearly() {
+        let m = lan();
+        let one = m.serialization(1_000_000);
+        let two = m.serialization(2_000_000);
+        assert_eq!(one * 2, two);
+        // 1 MB at 1 Gbps = 8 ms
+        assert!((one.as_millis_f64() - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn wan_pull_vs_lan_pull_gap_is_seconds() {
+        // Fig. 13 shape: a 135 MiB Nginx image pulls ~1.5-2 s faster from a
+        // LAN registry than over the WAN (propagation + slow start + bw).
+        let image = 135 * 1024 * 1024;
+        let wan_t = wan().transfer_time(image);
+        let lan_t = TcpModel::new(SimDuration::from_micros(600), GBPS).transfer_time(image);
+        let gap = wan_t.as_secs_f64() - lan_t.as_secs_f64();
+        assert!(gap > 1.0, "gap = {gap} s");
+    }
+
+    #[test]
+    fn zero_bytes_transfer_is_half_rtt() {
+        let m = lan();
+        assert_eq!(m.transfer_time(0), m.rtt / 2);
+        let w = wan();
+        assert_eq!(w.transfer_time(0), w.rtt / 2);
+    }
+
+    #[test]
+    fn request_response_composition() {
+        let m = lan();
+        let think = SimDuration::from_millis(5);
+        let total = m.request_response_time(100, 100, think);
+        let manual = m.connect_time() + m.transfer_time(100) * 2 + think;
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn zero_bandwidth_rejected() {
+        TcpModel::new(SimDuration::from_millis(1), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Network topology: nodes joined by links with propagation latency and
+//! bandwidth. Routing is shortest-path by latency (Dijkstra), computed on
+//! demand and cached per source.
+//!
+//! The evaluation topology (paper Fig. 8) is small — one OVS switch, the EGS,
+//! a cloud uplink and 20 Raspberry Pi clients — but the model supports the
+//! hierarchical multi-cluster layouts of §IV-A2 (small near edges, larger
+//! ones towards the cloud), which the scheduler experiments use.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use simcore::SimDuration;
+
+/// Index of a node in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of a link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// What a node *is* — used for display and for sanity checks when wiring the
+/// testbed (e.g. a switch port must attach to a link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host (client UE, edge server, registry host).
+    Host,
+    /// A forwarding element (the OVS switch, the gNB in 5G terms).
+    Switch,
+    /// The remote cloud (origin servers, public registries).
+    Cloud,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+struct Link {
+    a: NodeId,
+    b: NodeId,
+    /// One-way propagation latency.
+    latency: SimDuration,
+    /// Bandwidth in bits per second.
+    bandwidth_bps: u64,
+}
+
+/// Result of a path query: total one-way latency, bottleneck bandwidth and
+/// the hop sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathInfo {
+    pub latency: SimDuration,
+    pub bottleneck_bps: u64,
+    pub hops: Vec<NodeId>,
+}
+
+impl PathInfo {
+    /// Round-trip time along this path.
+    pub fn rtt(&self) -> SimDuration {
+        self.latency * 2
+    }
+}
+
+/// An undirected graph of nodes and links.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// adjacency: node -> [(neighbor, link)]
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl Topology {
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a node; names must be unique (they key config and output tables).
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.nodes.len());
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, kind });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected link. `bandwidth_bps` is bits per second.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        latency: SimDuration,
+        bandwidth_bps: u64,
+    ) -> LinkId {
+        assert!(a != b, "self-loop link at {a:?}");
+        assert!(bandwidth_bps > 0, "zero-bandwidth link");
+        let id = LinkId(self.links.len());
+        self.links.push(Link { a, b, latency, bandwidth_bps });
+        self.adj[a.0].push((b, id));
+        self.adj[b.0].push((a, id));
+        id
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0].kind
+    }
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn link_latency(&self, id: LinkId) -> SimDuration {
+        self.links[id.0].latency
+    }
+    pub fn link_bandwidth(&self, id: LinkId) -> u64 {
+        self.links[id.0].bandwidth_bps
+    }
+    /// The two nodes a link joins.
+    pub fn link_endpoints(&self, id: LinkId) -> (NodeId, NodeId) {
+        (self.links[id.0].a, self.links[id.0].b)
+    }
+
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
+        self.adj[id.0].iter().copied()
+    }
+
+    /// Shortest path from `src` to `dst` by cumulative latency.
+    /// Returns `None` if unreachable.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<PathInfo> {
+        if src == dst {
+            return Some(PathInfo {
+                latency: SimDuration::ZERO,
+                bottleneck_bps: u64::MAX,
+                hops: vec![src],
+            });
+        }
+        // Dijkstra over latency in nanoseconds.
+        let n = self.nodes.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.0] = 0;
+        heap.push(std::cmp::Reverse((0u64, src.0)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == dst.0 {
+                break;
+            }
+            for &(v, link) in &self.adj[u] {
+                let nd = d.saturating_add(self.links[link.0].latency.as_nanos());
+                if nd < dist[v.0] {
+                    dist[v.0] = nd;
+                    prev[v.0] = Some((NodeId(u), link));
+                    heap.push(std::cmp::Reverse((nd, v.0)));
+                }
+            }
+        }
+        if dist[dst.0] == u64::MAX {
+            return None;
+        }
+        // Reconstruct.
+        let mut hops = vec![dst];
+        let mut bottleneck = u64::MAX;
+        let mut cur = dst;
+        while let Some((p, link)) = prev[cur.0] {
+            bottleneck = bottleneck.min(self.links[link.0].bandwidth_bps);
+            hops.push(p);
+            cur = p;
+        }
+        hops.reverse();
+        debug_assert_eq!(hops[0], src);
+        Some(PathInfo {
+            latency: SimDuration::from_nanos(dist[dst.0]),
+            bottleneck_bps: bottleneck,
+            hops,
+        })
+    }
+
+    /// One-way latency between two nodes (None if unreachable).
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        self.path(src, dst).map(|p| p.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+    const GBPS: u64 = 1_000_000_000;
+
+    /// a --1ms-- b --2ms-- c, plus a --10ms-- c direct (slower).
+    fn triangle() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Switch);
+        let c = t.add_node("c", NodeKind::Host);
+        t.add_link(a, b, ms(1), GBPS);
+        t.add_link(b, c, ms(2), GBPS / 10);
+        t.add_link(a, c, ms(10), GBPS);
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn shortest_path_prefers_low_latency() {
+        let (t, a, _b, c) = triangle();
+        let p = t.path(a, c).unwrap();
+        assert_eq!(p.latency, ms(3));
+        assert_eq!(p.hops.len(), 3);
+        assert_eq!(p.bottleneck_bps, GBPS / 10);
+        assert_eq!(p.rtt(), ms(6));
+    }
+
+    #[test]
+    fn self_path_is_zero() {
+        let (t, a, ..) = triangle();
+        let p = t.path(a, a).unwrap();
+        assert_eq!(p.latency, SimDuration::ZERO);
+        assert_eq!(p.hops, vec![a]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Host);
+        assert!(t.path(a, b).is_none());
+        assert!(t.latency(a, b).is_none());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (t, a, b, _c) = triangle();
+        assert_eq!(t.lookup("a"), Some(a));
+        assert_eq!(t.lookup("b"), Some(b));
+        assert_eq!(t.lookup("zzz"), None);
+        assert_eq!(t.node_name(a), "a");
+        assert_eq!(t.node_kind(b), NodeKind::Switch);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_name_panics() {
+        let mut t = Topology::new();
+        t.add_node("x", NodeKind::Host);
+        t.add_node("x", NodeKind::Host);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        t.add_link(a, a, ms(1), GBPS);
+    }
+
+    #[test]
+    fn star_topology_paths() {
+        // 20 clients around one switch, like the evaluation topology.
+        let mut t = Topology::new();
+        let sw = t.add_node("ovs", NodeKind::Switch);
+        let egs = t.add_node("egs", NodeKind::Host);
+        t.add_link(sw, egs, SimDuration::from_micros(100), 10 * GBPS);
+        let clients: Vec<NodeId> = (0..20)
+            .map(|i| {
+                let c = t.add_node(format!("pi{i}"), NodeKind::Host);
+                t.add_link(c, sw, SimDuration::from_micros(200), GBPS);
+                c
+            })
+            .collect();
+        for &c in &clients {
+            let p = t.path(c, egs).unwrap();
+            assert_eq!(p.latency, SimDuration::from_micros(300));
+            assert_eq!(p.bottleneck_bps, GBPS);
+            assert_eq!(p.hops, vec![c, sw, egs]);
+        }
+    }
+
+    #[test]
+    fn neighbors_enumerates_links() {
+        let (t, a, ..) = triangle();
+        let n: Vec<_> = t.neighbors(a).collect();
+        assert_eq!(n.len(), 2);
+    }
+}

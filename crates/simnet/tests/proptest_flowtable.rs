@@ -1,0 +1,176 @@
+//! Model-based property tests of the OpenFlow flow table: priority order,
+//! OFPFC_ADD replace semantics, idle/hard timeout eviction and stats must
+//! match a naive reference implementation under arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use simnet::openflow::{Action, FlowMatch, FlowTable, PortId};
+use simnet::{IpAddr, Packet, SocketAddr};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { priority: u16, client: u8, dst: u8, idle_ms: Option<u64>, hard_ms: Option<u64> },
+    Packet { client: u8, dst: u8, advance_ms: u64 },
+    Expire { advance_ms: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u16..4, 0u8..4, 0u8..4, prop::option::of(1u64..5000), prop::option::of(1u64..5000))
+            .prop_map(|(priority, client, dst, idle_ms, hard_ms)| Op::Add {
+                priority, client, dst, idle_ms, hard_ms
+            }),
+        4 => (0u8..4, 0u8..4, 0u64..500).prop_map(|(client, dst, advance_ms)| Op::Packet {
+            client, dst, advance_ms
+        }),
+        1 => (0u64..3000).prop_map(|advance_ms| Op::Expire { advance_ms }),
+    ]
+}
+
+fn matcher(client: u8, dst: u8) -> FlowMatch {
+    FlowMatch::client_to_service(
+        IpAddr::new(10, 0, 0, client),
+        SocketAddr::new(IpAddr::new(93, 184, 0, dst), 80),
+    )
+}
+
+fn packet(client: u8, dst: u8) -> Packet {
+    Packet::syn(
+        SocketAddr::new(IpAddr::new(10, 0, 0, client), 40000),
+        SocketAddr::new(IpAddr::new(93, 184, 0, dst), 80),
+        0,
+    )
+}
+
+/// Naive reference: ordered Vec of entries.
+#[derive(Debug)]
+struct ModelEntry {
+    priority: u16,
+    client: u8,
+    dst: u8,
+    idle: Option<u64>,
+    hard: Option<u64>,
+    installed: u64,
+    last_used: u64,
+    cookie: u64,
+}
+
+#[derive(Default)]
+struct Model {
+    entries: Vec<ModelEntry>,
+}
+
+impl Model {
+    fn add(&mut self, now: u64, e: ModelEntry) {
+        // OFPFC_ADD: same (priority, match) replaces
+        self.entries
+            .retain(|x| !(x.priority == e.priority && x.client == e.client && x.dst == e.dst));
+        let pos = self
+            .entries
+            .iter()
+            .position(|x| x.priority < e.priority)
+            .unwrap_or(self.entries.len());
+        let mut e = e;
+        e.installed = now;
+        e.last_used = now;
+        self.entries.insert(pos, e);
+    }
+
+    fn expire(&mut self, now: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            let hard_dead = e.hard.is_some_and(|h| now - e.installed >= h);
+            let idle_dead = e.idle.is_some_and(|i| now - e.last_used >= i);
+            !(hard_dead || idle_dead)
+        });
+        before - self.entries.len()
+    }
+
+    fn lookup(&mut self, now: u64, client: u8, dst: u8) -> Option<u64> {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.client == client && e.dst == dst)?;
+        e.last_used = now;
+        Some(e.cookie)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn flow_table_matches_model(ops in prop::collection::vec(op_strategy(), 0..120)) {
+        let mut table = FlowTable::new();
+        let mut model = Model::default();
+        let mut now_ms = 0u64;
+        let mut cookie = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Add { priority, client, dst, idle_ms, hard_ms } => {
+                    cookie += 1;
+                    let t = SimTime::ZERO + SimDuration::from_millis(now_ms);
+                    table.add(
+                        t,
+                        priority,
+                        matcher(client, dst),
+                        vec![Action::Output(PortId(0))],
+                        idle_ms.map(SimDuration::from_millis),
+                        hard_ms.map(SimDuration::from_millis),
+                        cookie,
+                    );
+                    model.add(now_ms, ModelEntry {
+                        priority, client, dst,
+                        idle: idle_ms, hard: hard_ms,
+                        installed: 0, last_used: 0, cookie,
+                    });
+                }
+                Op::Packet { client, dst, advance_ms } => {
+                    now_ms += advance_ms;
+                    let t = SimTime::ZERO + SimDuration::from_millis(now_ms);
+                    // expire first in both (the switch sweeps before receive
+                    // in the testbed loop)
+                    table.expire(t);
+                    model.expire(now_ms);
+                    let got = table.lookup(t, &packet(client, dst)).map(|e| e.cookie);
+                    let want = model.lookup(now_ms, client, dst);
+                    prop_assert_eq!(got, want, "lookup mismatch at t={}ms", now_ms);
+                }
+                Op::Expire { advance_ms } => {
+                    now_ms += advance_ms;
+                    let t = SimTime::ZERO + SimDuration::from_millis(now_ms);
+                    let removed = table.expire(t).len();
+                    let model_removed = model.expire(now_ms);
+                    prop_assert_eq!(removed, model_removed, "eviction count at t={}ms", now_ms);
+                }
+            }
+            prop_assert_eq!(table.len(), model.entries.len(), "table size");
+        }
+    }
+
+    #[test]
+    fn next_expiry_is_sound(
+        idles in prop::collection::vec(1u64..1000, 1..20),
+    ) {
+        // next_expiry() never reports an instant later than a real expiry:
+        // sweeping at next_expiry always evicts at least one entry.
+        let mut table = FlowTable::new();
+        for (i, &idle) in idles.iter().enumerate() {
+            table.add(
+                SimTime::ZERO,
+                1,
+                matcher((i % 250) as u8, (i / 250) as u8),
+                vec![],
+                Some(SimDuration::from_millis(idle)),
+                None,
+                i as u64,
+            );
+        }
+        let at = table.next_expiry().expect("entries have timeouts");
+        prop_assert!(table.expire(at - SimDuration::from_nanos(1)).is_empty(),
+            "nothing may expire before next_expiry");
+        prop_assert!(!table.expire(at).is_empty(), "something must expire at next_expiry");
+    }
+}

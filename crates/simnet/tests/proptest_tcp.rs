@@ -1,0 +1,73 @@
+//! Property tests of the flow-level TCP timing model: monotonicity in every
+//! argument and compositionality — properties the calibration story depends
+//! on (if more bytes could ever be faster, the pull-time and payload curves
+//! would be meaningless).
+
+use proptest::prelude::*;
+use simcore::SimDuration;
+use simnet::TcpModel;
+
+fn model_strategy() -> impl Strategy<Value = TcpModel> {
+    // RTT 0.1 ms .. 100 ms, bandwidth 1 Mbps .. 10 Gbps
+    (100u64..100_000, 1_000_000u64..10_000_000_000).prop_map(|(rtt_us, bw)| {
+        TcpModel::new(SimDuration::from_micros(rtt_us), bw)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn transfer_monotone_in_bytes(m in model_strategy(), a in 0u64..100_000_000, b in 0u64..100_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            m.transfer_time(lo) <= m.transfer_time(hi),
+            "transfer({lo}) > transfer({hi})"
+        );
+    }
+
+    #[test]
+    fn transfer_monotone_in_bandwidth(
+        rtt_us in 100u64..100_000,
+        bytes in 1u64..100_000_000,
+        bw_a in 1_000_000u64..10_000_000_000,
+        bw_b in 1_000_000u64..10_000_000_000,
+    ) {
+        let (slow, fast) = if bw_a <= bw_b { (bw_a, bw_b) } else { (bw_b, bw_a) };
+        let rtt = SimDuration::from_micros(rtt_us);
+        let t_slow = TcpModel::new(rtt, slow).transfer_time(bytes);
+        let t_fast = TcpModel::new(rtt, fast).transfer_time(bytes);
+        prop_assert!(t_fast <= t_slow, "more bandwidth must never be slower");
+    }
+
+    #[test]
+    fn transfer_monotone_in_rtt(
+        bw in 1_000_000u64..10_000_000_000,
+        bytes in 0u64..100_000_000,
+        rtt_a in 100u64..100_000,
+        rtt_b in 100u64..100_000,
+    ) {
+        let (short, long) = if rtt_a <= rtt_b { (rtt_a, rtt_b) } else { (rtt_b, rtt_a) };
+        let t_short = TcpModel::new(SimDuration::from_micros(short), bw).transfer_time(bytes);
+        let t_long = TcpModel::new(SimDuration::from_micros(long), bw).transfer_time(bytes);
+        prop_assert!(t_short <= t_long, "longer RTT must never be faster");
+    }
+
+    #[test]
+    fn request_response_composes(m in model_strategy(), req in 0u64..1_000_000, resp in 0u64..1_000_000, think_us in 0u64..1_000_000) {
+        let think = SimDuration::from_micros(think_us);
+        let total = m.request_response_time(req, resp, think);
+        let manual = m.connect_time() + m.transfer_time(req) + think + m.transfer_time(resp);
+        prop_assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn transfer_at_least_serialization_plus_propagation(m in model_strategy(), bytes in 0u64..100_000_000) {
+        let t = m.transfer_time(bytes);
+        let floor = m.rtt / 2 + m.serialization(bytes);
+        prop_assert!(t >= floor);
+        // and bounded: slow start can add at most ~32 extra RTTs for any
+        // realistic transfer size
+        prop_assert!(t <= floor + m.rtt * 64, "unreasonable slow-start stalls");
+    }
+}

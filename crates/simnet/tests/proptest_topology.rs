@@ -1,0 +1,104 @@
+//! Property tests of the topology's shortest-path routing against a
+//! Floyd–Warshall reference on random graphs.
+
+use proptest::prelude::*;
+use simcore::SimDuration;
+use simnet::topology::{NodeKind, Topology};
+
+/// A random graph: n nodes, a spanning chain (for connectivity on a subset)
+/// plus random extra edges.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
+    (3usize..12).prop_flat_map(|n| {
+        let extra = prop::collection::vec(
+            (0..n, 0..n, 1u64..10_000),
+            0..20,
+        );
+        (Just(n), extra)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, u64)]) -> (Topology, Vec<simnet::NodeId>) {
+    let mut t = Topology::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|i| t.add_node(format!("n{i}"), NodeKind::Host))
+        .collect();
+    for &(a, b, w) in edges {
+        if a != b {
+            t.add_link(nodes[a], nodes[b], SimDuration::from_micros(w), 1_000_000_000);
+        }
+    }
+    (t, nodes)
+}
+
+/// Floyd–Warshall over the same edge list (µs weights).
+fn reference(n: usize, edges: &[(usize, usize, u64)]) -> Vec<Vec<u64>> {
+    const INF: u64 = u64::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for &(a, b, w) in edges {
+        if a != b {
+            d[a][b] = d[a][b].min(w);
+            d[b][a] = d[b][a].min(w);
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k].saturating_add(d[k][j]);
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall((n, edges) in graph_strategy()) {
+        const INF: u64 = u64::MAX / 4;
+        let (topo, nodes) = build(n, &edges);
+        let want = reference(n, &edges);
+        for i in 0..n {
+            for j in 0..n {
+                let got = topo.latency(nodes[i], nodes[j]);
+                if want[i][j] >= INF {
+                    prop_assert!(got.is_none(), "{i}->{j} should be unreachable");
+                } else {
+                    let got = got.expect("reachable").as_micros();
+                    prop_assert_eq!(got, want[i][j], "{}->{}", i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_hops_are_adjacent_and_latencies_sum((n, edges) in graph_strategy()) {
+        let (topo, nodes) = build(n, &edges);
+        for i in 0..n {
+            for j in 0..n {
+                let Some(path) = topo.path(nodes[i], nodes[j]) else { continue };
+                prop_assert_eq!(*path.hops.first().unwrap(), nodes[i]);
+                prop_assert_eq!(*path.hops.last().unwrap(), nodes[j]);
+                // consecutive hops are joined by a link, and per-hop latencies
+                // sum to the reported total
+                let mut sum = 0u64;
+                for w in path.hops.windows(2) {
+                    let hop_lat = topo
+                        .neighbors(w[0])
+                        .filter(|&(nb, _)| nb == w[1])
+                        .map(|(_, l)| topo.link_latency(l).as_micros())
+                        .min();
+                    let hop_lat = hop_lat.expect("hops must be adjacent");
+                    sum += hop_lat;
+                }
+                prop_assert_eq!(sum, path.latency.as_micros());
+            }
+        }
+    }
+}

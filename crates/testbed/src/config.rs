@@ -1,0 +1,318 @@
+//! Scenario configuration from YAML — the `edgesim` CLI's input format.
+//!
+//! ```yaml
+//! seed: 7
+//! service: Nginx            # Asm | Nginx | ResNet | Nginx+Py | Wasm-Web
+//! scheduler: nearest-waiting # | nearest-ready-first | hybrid | least-loaded
+//! backends: [docker, k8s]    # | wasm
+//! phase: created             # cold | images-cached | created | running
+//! private_registry: false
+//! clients: 20
+//! predictor: none            # | popularity | oracle
+//! controller:
+//!   probe_interval_ms: 50
+//!   switch_idle_timeout_s: 10
+//!   memory_idle_timeout_s: 600
+//!   scale_down_idle: false
+//!   deploy_retries: 2
+//!   autoscale_flows_per_replica: 8
+//! sites:                     # optional hierarchical layout
+//!   - name: near-edge
+//!     class: pi              # pi | egs
+//!     latency_ms: 0.3
+//!     nodes: 8
+//!     backend: docker
+//! ```
+
+use cluster::ClusterKind;
+use simcore::SimDuration;
+use workload::ServiceKind;
+use yamlite::Yaml;
+
+use crate::scenario::{PhaseSetup, PredictorKind, ScenarioConfig, SchedulerKind};
+use crate::topology::{NodeClass, SiteSpec};
+
+/// Parse a scenario from a YAML document. Unknown keys are rejected so typos
+/// fail loudly.
+pub fn scenario_from_yaml(doc: &Yaml) -> Result<ScenarioConfig, String> {
+    let mut cfg = ScenarioConfig::default();
+    let Some(map) = doc.as_map() else {
+        return Err("scenario must be a YAML mapping".into());
+    };
+    for (key, value) in map {
+        match key.as_str() {
+            "seed" => cfg.seed = as_u64(value, key)?,
+            "service" => cfg.service = parse_service(value, key)?,
+            "scheduler" => cfg.scheduler = parse_scheduler(value, key)?,
+            "backends" => {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| format!("`{key}` must be a sequence"))?;
+                cfg.backends = seq
+                    .iter()
+                    .map(|v| parse_backend(v, key))
+                    .collect::<Result<_, _>>()?;
+            }
+            "phase" => cfg.phase_setup = parse_phase(value, key)?,
+            "private_registry" => cfg.private_registry = as_bool(value, key)?,
+            "clients" => cfg.clients = as_u64(value, key)? as usize,
+            "predictor" => cfg.predictor = parse_predictor(value, key)?,
+            "predict_interval_s" => {
+                cfg.predict_interval = SimDuration::from_secs_f64(as_f64(value, key)?)
+            }
+            "prewarm_sites" => {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| format!("`{key}` must be a sequence"))?;
+                cfg.prewarm_sites = Some(
+                    seq.iter()
+                        .map(|v| as_u64(v, key).map(|n| n as usize))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "controller" => apply_controller(value, &mut cfg)?,
+            "sites" => {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| format!("`{key}` must be a sequence"))?;
+                cfg.sites = seq.iter().map(parse_site).collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown scenario key `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn apply_controller(value: &Yaml, cfg: &mut ScenarioConfig) -> Result<(), String> {
+    let Some(map) = value.as_map() else {
+        return Err("`controller` must be a mapping".into());
+    };
+    for (key, v) in map {
+        match key.as_str() {
+            "probe_interval_ms" => {
+                cfg.controller.probe_interval = SimDuration::from_millis_f64(as_f64(v, key)?)
+            }
+            "probe_timeout_s" => {
+                cfg.controller.probe_timeout = SimDuration::from_secs_f64(as_f64(v, key)?)
+            }
+            "switch_idle_timeout_s" => {
+                cfg.controller.switch_idle_timeout = SimDuration::from_secs_f64(as_f64(v, key)?)
+            }
+            "memory_idle_timeout_s" => {
+                cfg.controller.memory_idle_timeout = SimDuration::from_secs_f64(as_f64(v, key)?)
+            }
+            "scale_down_idle" => cfg.controller.scale_down_idle = as_bool(v, key)?,
+            "deploy_retries" => cfg.controller.deploy_retries = as_u64(v, key)? as u32,
+            "retry_backoff_ms" => {
+                cfg.controller.retry_backoff = SimDuration::from_millis_f64(as_f64(v, key)?)
+            }
+            "autoscale_flows_per_replica" => {
+                cfg.controller.autoscale_flows_per_replica = Some(as_u64(v, key)? as u32)
+            }
+            "remove_after_s" => {
+                cfg.controller.remove_after = Some(SimDuration::from_secs_f64(as_f64(v, key)?))
+            }
+            other => return Err(format!("unknown controller key `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+fn parse_site(v: &Yaml) -> Result<(SiteSpec, ClusterKind), String> {
+    let Some(map) = v.as_map() else {
+        return Err("each site must be a mapping".into());
+    };
+    let mut name = None;
+    let mut class = NodeClass::Egs;
+    let mut latency = SimDuration::from_micros(80);
+    let mut nodes = 1usize;
+    let mut backend = ClusterKind::Docker;
+    for (key, val) in map {
+        match key.as_str() {
+            "name" => name = val.as_str().map(str::to_string),
+            "class" => {
+                class = match val.as_str() {
+                    Some("pi") => NodeClass::RaspberryPi,
+                    Some("egs") => NodeClass::Egs,
+                    other => return Err(format!("unknown site class {other:?}")),
+                }
+            }
+            "latency_ms" => latency = SimDuration::from_millis_f64(as_f64(val, key)?),
+            "nodes" => nodes = as_u64(val, key)? as usize,
+            "backend" => backend = parse_backend(val, key)?,
+            other => return Err(format!("unknown site key `{other}`")),
+        }
+    }
+    let name = name.ok_or("site needs a `name`")?;
+    let base = match class {
+        NodeClass::Egs => SiteSpec::egs(name),
+        NodeClass::RaspberryPi => SiteSpec::pi(name, latency),
+    };
+    Ok((SiteSpec { latency, nodes, ..base }, backend))
+}
+
+fn parse_service(v: &Yaml, key: &str) -> Result<ServiceKind, String> {
+    match v.as_str().map(str::to_ascii_lowercase).as_deref() {
+        Some("asm") => Ok(ServiceKind::Asm),
+        Some("nginx") => Ok(ServiceKind::Nginx),
+        Some("resnet") => Ok(ServiceKind::ResNet),
+        Some("nginx+py" | "nginx-py" | "nginxpy") => Ok(ServiceKind::NginxPy),
+        Some("wasm-web" | "wasmweb" | "wasm") => Ok(ServiceKind::WasmWeb),
+        other => Err(format!("`{key}`: unknown service {other:?}")),
+    }
+}
+
+fn parse_scheduler(v: &Yaml, key: &str) -> Result<SchedulerKind, String> {
+    match v.as_str() {
+        Some("nearest-waiting" | "waiting") => Ok(SchedulerKind::NearestWaiting),
+        Some("nearest-ready-first" | "without-waiting") => Ok(SchedulerKind::NearestReadyFirst),
+        Some("hybrid" | "hybrid-docker-first") => Ok(SchedulerKind::HybridDockerFirst),
+        Some("hybrid-wasm-first") => Ok(SchedulerKind::HybridWasmFirst),
+        Some("least-loaded") => Ok(SchedulerKind::LeastLoaded),
+        other => Err(format!("`{key}`: unknown scheduler {other:?}")),
+    }
+}
+
+fn parse_backend(v: &Yaml, key: &str) -> Result<ClusterKind, String> {
+    match v.as_str().map(str::to_ascii_lowercase).as_deref() {
+        Some("docker") => Ok(ClusterKind::Docker),
+        Some("k8s" | "kubernetes") => Ok(ClusterKind::Kubernetes),
+        Some("wasm") => Ok(ClusterKind::Wasm),
+        other => Err(format!("`{key}`: unknown backend {other:?}")),
+    }
+}
+
+fn parse_phase(v: &Yaml, key: &str) -> Result<PhaseSetup, String> {
+    match v.as_str() {
+        Some("cold") => Ok(PhaseSetup::Cold),
+        Some("images-cached") => Ok(PhaseSetup::ImagesCached),
+        Some("created") => Ok(PhaseSetup::Created),
+        Some("running") => Ok(PhaseSetup::Running),
+        other => Err(format!("`{key}`: unknown phase {other:?}")),
+    }
+}
+
+fn parse_predictor(v: &Yaml, key: &str) -> Result<PredictorKind, String> {
+    match v.as_str() {
+        Some("none") => Ok(PredictorKind::None),
+        Some("popularity") => Ok(PredictorKind::Popularity),
+        Some("oracle") => Ok(PredictorKind::Oracle),
+        other => Err(format!("`{key}`: unknown predictor {other:?}")),
+    }
+}
+
+fn as_u64(v: &Yaml, key: &str) -> Result<u64, String> {
+    v.as_i64()
+        .filter(|&n| n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
+fn as_f64(v: &Yaml, key: &str) -> Result<f64, String> {
+    v.as_f64().ok_or_else(|| format!("`{key}` must be a number"))
+}
+
+fn as_bool(v: &Yaml, key: &str) -> Result<bool, String> {
+    v.as_bool().ok_or_else(|| format!("`{key}` must be a boolean"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scenario_parses() {
+        let doc = yamlite::parse(
+            r#"
+seed: 7
+service: ResNet
+scheduler: hybrid
+backends: [docker, k8s]
+phase: images-cached
+private_registry: true
+clients: 10
+predictor: popularity
+predict_interval_s: 2
+controller:
+  probe_interval_ms: 20
+  memory_idle_timeout_s: 120
+  scale_down_idle: true
+  deploy_retries: 4
+"#,
+        )
+        .unwrap();
+        let cfg = scenario_from_yaml(&doc).unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.service, ServiceKind::ResNet);
+        assert_eq!(cfg.scheduler, SchedulerKind::HybridDockerFirst);
+        assert_eq!(cfg.backends, vec![ClusterKind::Docker, ClusterKind::Kubernetes]);
+        assert_eq!(cfg.phase_setup, PhaseSetup::ImagesCached);
+        assert!(cfg.private_registry);
+        assert_eq!(cfg.clients, 10);
+        assert_eq!(cfg.predictor, PredictorKind::Popularity);
+        assert_eq!(cfg.controller.probe_interval, SimDuration::from_millis(20));
+        assert_eq!(cfg.controller.memory_idle_timeout, SimDuration::from_secs(120));
+        assert!(cfg.controller.scale_down_idle);
+        assert_eq!(cfg.controller.deploy_retries, 4);
+    }
+
+    #[test]
+    fn sites_parse_into_specs() {
+        let doc = yamlite::parse(
+            r#"
+sites:
+  - name: near-edge
+    class: pi
+    latency_ms: 0.3
+    nodes: 8
+    backend: docker
+  - name: far-edge
+    class: egs
+    latency_ms: 8
+    backend: k8s
+"#,
+        )
+        .unwrap();
+        let cfg = scenario_from_yaml(&doc).unwrap();
+        let sites = cfg.resolved_sites();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].0.name, "near-edge");
+        assert_eq!(sites[0].0.class, NodeClass::RaspberryPi);
+        assert_eq!(sites[0].0.nodes, 8);
+        assert_eq!(sites[0].1, ClusterKind::Docker);
+        assert_eq!(sites[1].0.latency, SimDuration::from_millis(8));
+        assert_eq!(sites[1].1, ClusterKind::Kubernetes);
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let cfg = scenario_from_yaml(&yamlite::parse("{}").unwrap()).unwrap();
+        assert_eq!(cfg.service, ServiceKind::Nginx);
+        assert_eq!(cfg.clients, 20);
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        let err = scenario_from_yaml(&yamlite::parse("sevice: Nginx").unwrap()).unwrap_err();
+        assert!(err.contains("unknown scenario key"), "{err}");
+        let err =
+            scenario_from_yaml(&yamlite::parse("controller:\n  probez: 1").unwrap()).unwrap_err();
+        assert!(err.contains("unknown controller key"), "{err}");
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(scenario_from_yaml(&yamlite::parse("service: gopher").unwrap()).is_err());
+        assert!(scenario_from_yaml(&yamlite::parse("seed: -4").unwrap()).is_err());
+        assert!(scenario_from_yaml(&yamlite::parse("backends: docker").unwrap()).is_err());
+        assert!(scenario_from_yaml(&yamlite::parse("42").unwrap()).is_err());
+    }
+
+    #[test]
+    fn wasm_service_and_backend() {
+        let doc = yamlite::parse("service: wasm-web\nbackends: [wasm]\n").unwrap();
+        let cfg = scenario_from_yaml(&doc).unwrap();
+        assert_eq!(cfg.service, ServiceKind::WasmWeb);
+        assert_eq!(cfg.backends, vec![ClusterKind::Wasm]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # testbed — the simulated Carinthian Computing Continuum (C³)
+//!
+//! Paper §VI evaluates on a real testbed: an Edge Gateway Server (EGS)
+//! running the SDN controller, a virtual OVS switch, a Kubernetes cluster and
+//! Docker; clients on 20 Raspberry Pis; a layer-3 switch connecting them; the
+//! cloud reachable over the WAN (Fig. 8). This crate reproduces that setup as
+//! one deterministic event loop:
+//!
+//! * [`topology`] — the C³ network graph and the switch port map,
+//! * [`scenario`] — run configuration (service type, backend(s), scheduler
+//!   policy, registry setup, pre-warm level) mirroring the paper's test
+//!   matrix,
+//! * [`sim`] — the event loop: client SYNs traverse the OpenFlow switch,
+//!   table misses reach the controller (with control-channel latency), the
+//!   controller deploys / redirects / holds, released packets complete as
+//!   flow-level TCP exchanges measured with timecurl semantics.
+
+pub mod config;
+pub mod fabric;
+pub mod scenario;
+pub mod sim;
+pub mod topology;
+
+pub use config::scenario_from_yaml;
+pub use fabric::{run_mobility, FabricConfig, FabricResult};
+pub use scenario::{PhaseSetup, PredictorKind, SchedulerKind, ScenarioConfig};
+pub use sim::{measure_first_request, run_bigflows, run_trace_scenario, RunResult, Testbed};
+pub use topology::{C3Topology, CLOUD_PORT, DOCKER_PORT, K8S_PORT};

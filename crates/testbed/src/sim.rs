@@ -1,0 +1,635 @@
+//! The event loop: clients, switch, controller and clusters in one
+//! deterministic simulation.
+//!
+//! Per request, only the **first packet** (the TCP SYN) travels through the
+//! OpenFlow machinery — matching reality, where subsequent packets hit the
+//! installed flow in the data plane. Once the SYN is forwarded (immediately
+//! on a table hit, or after the controller's decision/deployment released the
+//! buffered packet), the rest of the exchange is computed with the flow-level
+//! TCP model and recorded with timecurl `time_total` semantics: from the
+//! client starting the connection until the full response arrived. The time
+//! the SYN spent buffered at the switch (on-demand deployment *with waiting*)
+//! is part of that total, exactly as the paper measures it.
+
+use std::collections::HashMap;
+
+use cluster::{ClusterBackend, ClusterKind, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate};
+use containers::Runtime;
+use edgectl::{
+    Controller, ControllerOutput, HybridDockerFirst, LeastLoaded, NearestReadyFirst,
+    NearestWaiting, RoundRobinLocal,
+};
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
+use simnet::{Packet, SocketAddr, TcpModel};
+use workload::client::RequestRecord;
+use workload::{ServiceProfile, Trace, TraceConfig};
+
+use crate::scenario::{PhaseSetup, PredictorKind, ScenarioConfig, SchedulerKind};
+use crate::topology::{C3Topology, NodeClass, CLOUD_PORT};
+
+/// Latency of the SDN control channel (switch ↔ controller, both on the EGS).
+const CTRL_LATENCY: SimDuration = SimDuration::from_micros(150);
+
+/// Events of the testbed simulation.
+enum Ev {
+    /// A client's SYN reaches the switch.
+    SynAtSwitch { tag: u64 },
+    /// A PacketIn reaches the controller.
+    CtrlPacketIn { packet: Packet, buffer_id: BufferId, in_port: PortId },
+    /// A controller output reaches the switch.
+    ApplyOutput { output: ControllerOutput },
+    /// Drain due retargets (a BEST deployment became ready).
+    RetargetDrain,
+    /// FlowMemory housekeeping.
+    Tick,
+    /// Proactive-deployment predictor run.
+    PredictTick,
+    /// Fault injection: crash one running instance of a random service.
+    CrashTick,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Completed requests, in completion order.
+    pub records: Vec<RequestRecord>,
+    /// All on-demand deployments the controller performed.
+    pub deployments: Vec<edgectl::DeploymentRecord>,
+    /// Requests whose packet was dropped (deployment failed / flow raced).
+    pub lost: u64,
+    pub switch_stats: simnet::openflow::SwitchStats,
+    pub memory_hits: u64,
+    pub cloud_forwards: u64,
+    pub held_requests: u64,
+    pub detoured_requests: u64,
+    pub scale_downs: u64,
+    pub retargets: u64,
+    pub proactive_deployments: u64,
+    /// Instances killed by fault injection.
+    pub crashes_injected: u64,
+    /// Instant the trace's t=0 was mapped to (after pre-warm setup).
+    pub trace_offset: SimDuration,
+}
+
+impl RunResult {
+    /// `time_total` values in milliseconds, in trace order.
+    pub fn time_totals_ms(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.time_total().as_millis_f64())
+            .collect()
+    }
+
+    /// Median `time_total` over all requests (ms).
+    pub fn median_time_total_ms(&self) -> f64 {
+        let mut p = simcore::Percentiles::new();
+        for r in &self.records {
+            p.record_duration(r.time_total());
+        }
+        p.median()
+    }
+
+    /// Median `time_total` over deployment-triggering requests only (ms).
+    pub fn median_first_request_ms(&self) -> f64 {
+        let mut p = simcore::Percentiles::new();
+        for r in self.records.iter().filter(|r| r.triggered_deployment) {
+            p.record_duration(r.time_total());
+        }
+        p.median()
+    }
+}
+
+struct InFlight {
+    started: SimTime,
+    syn_at_switch: SimTime,
+    service: usize,
+    client: usize,
+    deployments_before: usize,
+}
+
+/// The assembled testbed.
+pub struct Testbed {
+    cfg: ScenarioConfig,
+    c3: C3Topology,
+    switch: Switch,
+    controller: Controller,
+    profile: ServiceProfile,
+    /// Cloud addresses of the registered services (trace order).
+    service_addrs: Vec<SocketAddr>,
+    /// Per-service deployable templates (trace order).
+    templates: Vec<ServiceTemplate>,
+    rng: SimRng,
+    events: EventQueue<Ev>,
+    in_flight: HashMap<u64, InFlight>,
+    records: Vec<RequestRecord>,
+    lost: u64,
+    crashes_injected: u64,
+    next_tick_scheduled: Option<SimTime>,
+    /// Single-server FIFO queue per (service, serving port): the instant the
+    /// instance frees up. Requests arriving while it is busy wait in line —
+    /// that is what actually happens inside one nginx/TF-Serving instance.
+    busy_until: HashMap<(usize, PortId), SimTime>,
+}
+
+impl Testbed {
+    /// Build the testbed for `cfg`, registering `n_services` instances of the
+    /// configured service type at the given cloud addresses.
+    pub fn build(cfg: ScenarioConfig, service_addrs: Vec<SocketAddr>) -> Testbed {
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        let sites = cfg.resolved_sites();
+        let c3 = C3Topology::build_sites(
+            &sites.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>(),
+            cfg.clients,
+        );
+        let switch = Switch::new(c3.port_count());
+        let registries = workload::services::standard_registries(cfg.private_registry);
+        let profile = ServiceProfile::of(cfg.service);
+
+        let global: Box<dyn edgectl::GlobalScheduler> = match cfg.scheduler {
+            SchedulerKind::NearestWaiting => Box::new(NearestWaiting),
+            SchedulerKind::NearestReadyFirst => Box::new(NearestReadyFirst),
+            SchedulerKind::HybridDockerFirst => Box::new(HybridDockerFirst),
+            SchedulerKind::HybridWasmFirst => Box::new(edgectl::HybridWasmFirst),
+            SchedulerKind::LeastLoaded => Box::new(LeastLoaded::default()),
+        };
+        let mut controller = Controller::new(
+            cfg.controller.clone(),
+            global,
+            Box::new(RoundRobinLocal::default()),
+            registries,
+            CLOUD_PORT,
+        );
+
+        for (i, (spec, kind)) in sites.iter().enumerate() {
+            let nodes = spec.nodes.max(1) as u32;
+            let runtime = match spec.class {
+                NodeClass::Egs => Runtime::new(
+                    containers::CostModel::egs(),
+                    rng.stream(&format!("rt-{i}")),
+                    12_000 * nodes,
+                    32 * (1u64 << 30) * nodes as u64,
+                ),
+                NodeClass::RaspberryPi => Runtime::new(
+                    containers::CostModel::raspberry_pi(),
+                    rng.stream(&format!("rt-{i}")),
+                    4_000 * nodes,
+                    4 * (1u64 << 30) * nodes as u64,
+                ),
+            };
+            let ip = c3.site_ips[i];
+            let backend: Box<dyn ClusterBackend> = match kind {
+                ClusterKind::Docker => Box::new(DockerCluster::new(
+                    format!("{}-docker", spec.name),
+                    ip,
+                    runtime,
+                    rng.stream(&format!("docker-{i}")),
+                )),
+                ClusterKind::Kubernetes => Box::new(K8sCluster::new(
+                    format!("{}-k8s", spec.name),
+                    ip,
+                    runtime,
+                    rng.stream(&format!("k8s-{i}")),
+                    cfg.k8s_timings.clone().unwrap_or_else(K8sTimings::egs),
+                )),
+                ClusterKind::Wasm => Box::new(cluster::WasmEdgeCluster::new(
+                    format!("{}-wasm", spec.name),
+                    ip,
+                    rng.stream(&format!("wasm-{i}")),
+                    cluster::WasmTimings::egs(),
+                )),
+            };
+            controller.attach_cluster(backend, c3.switch_site_latency(i), c3.site_port(i));
+        }
+
+        // Register one service per cloud address; all are instances of the
+        // same Table I service type (paper: one type per test run).
+        let mut templates = Vec::with_capacity(service_addrs.len());
+        for (i, addr) in service_addrs.iter().enumerate() {
+            let mut template = profile.template.clone();
+            template.name = format!("{}-{i:02}", profile.template.name);
+            controller.catalog.register(*addr, template.clone());
+            templates.push(template);
+        }
+
+        Testbed {
+            cfg,
+            c3,
+            switch,
+            controller,
+            profile,
+            service_addrs,
+            templates,
+            rng,
+            events: EventQueue::new(),
+            in_flight: HashMap::new(),
+            records: Vec::new(),
+            lost: 0,
+            crashes_injected: 0,
+            next_tick_scheduled: None,
+            busy_until: HashMap::new(),
+        }
+    }
+
+    /// Pre-warm the pipeline per the scenario's [`PhaseSetup`] on every
+    /// attached cluster. Returns the instant the setup finished.
+    fn prewarm(&mut self) -> SimTime {
+        let setup = self.cfg.phase_setup;
+        if setup == PhaseSetup::Cold {
+            return SimTime::ZERO;
+        }
+        let registries = workload::services::standard_registries(self.cfg.private_registry);
+        let mut t_end = SimTime::ZERO;
+        for c in 0..self.c3.site_hosts.len() {
+            if let Some(only) = &self.cfg.prewarm_sites {
+                if !only.contains(&c) {
+                    continue;
+                }
+            }
+            let mut t = SimTime::ZERO;
+            for template in self.templates.clone() {
+                let cluster = self.controller.cluster_mut(edgectl::ClusterId(c));
+                t = cluster
+                    .pull(t, &template, &registries)
+                    .expect("prewarm pull");
+                if matches!(setup, PhaseSetup::Created | PhaseSetup::Running) {
+                    t = cluster.create(t, &template).expect("prewarm create");
+                }
+                if setup == PhaseSetup::Running {
+                    t = cluster
+                        .scale_up(t, &template.name, 1)
+                        .expect("prewarm scale-up")
+                        .expected_ready;
+                }
+            }
+            t_end = t_end.max(t);
+        }
+        t_end
+    }
+
+    /// Run a full trace through the testbed.
+    pub fn run_trace(mut self, trace: &Trace) -> RunResult {
+        assert_eq!(
+            trace.service_addrs, self.service_addrs,
+            "testbed must be built with the trace's addresses"
+        );
+        let setup_end = self.prewarm();
+        // Leave slack after setup so in-flight readiness (Running setup)
+        // settles before the first request.
+        let offset = (setup_end - SimTime::ZERO) + SimDuration::from_secs(5);
+
+        // Arm the proactive predictor, if configured.
+        match self.cfg.predictor {
+            PredictorKind::None => {}
+            PredictorKind::Popularity => {
+                // Nominate generously (the controller skips services that are
+                // already running or being deployed): every service whose
+                // decayed score clears the threshold.
+                self.controller.set_predictor(Box::new(edgectl::PopularityPredictor::new(
+                    SimDuration::from_secs(120),
+                    usize::MAX,
+                    0.4,
+                )));
+            }
+            PredictorKind::Oracle => {
+                let schedule: Vec<(SimTime, simnet::SocketAddr)> = trace
+                    .requests
+                    .iter()
+                    .map(|r| (r.at + offset, trace.service_addrs[r.service]))
+                    .collect();
+                self.controller
+                    .set_predictor(Box::new(edgectl::OraclePredictor::with_schedule(schedule)));
+            }
+        }
+        // Fault injection: exponential inter-crash times over the window.
+        if let Some(mtbf) = self.cfg.crash_mtbf {
+            let mut crash_rng = self.rng.stream("crash-schedule");
+            let mut t = SimTime::ZERO + offset;
+            let end = SimTime::ZERO + offset + trace.config.duration;
+            loop {
+                let gap = SimDuration::from_secs_f64(
+                    -mtbf.as_secs_f64() * (1.0 - crash_rng.f64()).ln(),
+                );
+                t += gap;
+                if t >= end {
+                    break;
+                }
+                self.events.push(t, Ev::CrashTick);
+            }
+        }
+
+        if self.cfg.predictor != PredictorKind::None {
+            let mut t = SimTime::ZERO + offset - SimDuration::from_secs(4);
+            let end = SimTime::ZERO + offset + self.cfg.controller.probe_timeout.min(SimDuration::from_secs(1)) + trace.config.duration;
+            while t <= end {
+                self.events.push(t, Ev::PredictTick);
+                t += self.cfg.predict_interval;
+            }
+        }
+
+        for (idx, req) in trace.requests.iter().enumerate() {
+            let tag = idx as u64;
+            let started = req.at + offset;
+            let syn_at_switch = started + self.c3.client_switch_latency(req.client);
+            self.in_flight.insert(
+                tag,
+                InFlight {
+                    started,
+                    syn_at_switch,
+                    service: req.service,
+                    client: req.client,
+                    deployments_before: 0,
+                },
+            );
+            self.events.push(syn_at_switch, Ev::SynAtSwitch { tag });
+        }
+        self.run_loop();
+        self.finish(offset)
+    }
+
+    /// Run a single request to service 0 from client 0 (the per-figure
+    /// measurement helper). Returns the run result with exactly one record.
+    pub fn run_single_request(mut self) -> RunResult {
+        let setup_end = self.prewarm();
+        let offset = (setup_end - SimTime::ZERO) + SimDuration::from_secs(5);
+        let started = SimTime::ZERO + offset;
+        let syn_at_switch = started + self.c3.client_switch_latency(0);
+        self.in_flight.insert(
+            0,
+            InFlight {
+                started,
+                syn_at_switch,
+                service: 0,
+                client: 0,
+                deployments_before: 0,
+            },
+        );
+        self.events.push(syn_at_switch, Ev::SynAtSwitch { tag: 0 });
+        self.run_loop();
+        self.finish(offset)
+    }
+
+    fn finish(self, offset: SimDuration) -> RunResult {
+        let stats = &self.controller.stats;
+        RunResult {
+            deployments: stats.deployments.clone(),
+            lost: self.lost,
+            switch_stats: self.switch.stats,
+            memory_hits: stats.memory_hits,
+            cloud_forwards: stats.cloud_forwards,
+            held_requests: stats.held_requests,
+            detoured_requests: stats.detoured_requests,
+            scale_downs: stats.scale_downs,
+            retargets: stats.retargets,
+            proactive_deployments: stats.proactive_deployments,
+            crashes_injected: self.crashes_injected,
+            records: self.records,
+            trace_offset: offset,
+        }
+    }
+
+    fn run_loop(&mut self) {
+        while let Some((now, ev)) = self.events.pop() {
+            // Data-plane timeouts fire lazily before each event.
+            self.switch.sweep(now);
+            match ev {
+                Ev::SynAtSwitch { tag } => self.on_syn(now, tag),
+                Ev::CtrlPacketIn { packet, buffer_id, in_port } => {
+                    self.on_ctrl_packet_in(now, packet, buffer_id, in_port)
+                }
+                Ev::ApplyOutput { output } => self.on_apply_output(now, output),
+                Ev::RetargetDrain => self.on_retarget_drain(now),
+                Ev::Tick => self.on_tick(now),
+                Ev::PredictTick => {
+                    // Look one interval plus the typical deployment time ahead
+                    // so instances are up before their requests arrive.
+                    let horizon = self.cfg.predict_interval + SimDuration::from_secs(5);
+                    self.controller.on_predict_tick(now, horizon);
+                    self.schedule_controller_wakeups(now);
+                }
+                Ev::CrashTick => self.on_crash_tick(now),
+            }
+        }
+    }
+
+    fn on_syn(&mut self, now: SimTime, tag: u64) {
+        let fl = &self.in_flight[&tag];
+        let src = SocketAddr::new(self.c3.client_ips[fl.client], 40000 + fl.service as u16);
+        let dst = self.service_addrs[fl.service];
+        let packet = Packet::syn(src, dst, tag);
+        match self.switch.receive(now, packet) {
+            PacketVerdict::Forward { packet, out_port } => {
+                self.complete_request(now, tag, packet, out_port);
+            }
+            PacketVerdict::PacketIn { buffer_id, packet } => {
+                let in_port = self.c3.client_port(fl.client);
+                self.events.push(
+                    now + CTRL_LATENCY,
+                    Ev::CtrlPacketIn { packet, buffer_id, in_port },
+                );
+            }
+            PacketVerdict::Dropped => {
+                self.lost += 1;
+                self.in_flight.remove(&tag);
+            }
+        }
+    }
+
+    fn on_ctrl_packet_in(
+        &mut self,
+        now: SimTime,
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    ) {
+        if let Some(fl) = self.in_flight.get_mut(&packet.tag) {
+            fl.deployments_before = self.controller.stats.deployments.len();
+        }
+        let outputs = self.controller.on_packet_in(now, packet, buffer_id, in_port);
+        for output in outputs {
+            let at = output.at() + CTRL_LATENCY;
+            self.events.push(at, Ev::ApplyOutput { output });
+        }
+        self.schedule_controller_wakeups(now);
+    }
+
+    fn on_apply_output(&mut self, now: SimTime, output: ControllerOutput) {
+        match output {
+            ControllerOutput::FlowMod {
+                priority,
+                matcher,
+                actions,
+                idle_timeout,
+                cookie,
+                ..
+            } => {
+                self.switch
+                    .flow_mod(now, priority, matcher, actions, idle_timeout, None, cookie);
+            }
+            ControllerOutput::ReleaseViaTable { buffer_id, .. } => {
+                match self.switch.packet_out_via_table(now, buffer_id) {
+                    Some(PacketVerdict::Forward { packet, out_port }) => {
+                        self.complete_request(now, packet.tag, packet, out_port);
+                    }
+                    Some(_) | None => {
+                        self.lost += 1;
+                    }
+                }
+            }
+            ControllerOutput::DropBuffered { buffer_id, .. } => {
+                self.switch.discard_buffer(buffer_id);
+                self.lost += 1;
+            }
+        }
+    }
+
+    fn on_retarget_drain(&mut self, now: SimTime) {
+        for output in self.controller.take_retarget_outputs(now) {
+            self.events
+                .push(output.at() + CTRL_LATENCY, Ev::ApplyOutput { output });
+        }
+        self.schedule_controller_wakeups(now);
+    }
+
+    /// Kill one running instance of a uniformly chosen service on a
+    /// uniformly chosen cluster (if any is up).
+    fn on_crash_tick(&mut self, now: SimTime) {
+        let mut rng = self.rng.stream_u64(now.as_nanos());
+        let cluster = edgectl::ClusterId(rng.index(self.c3.site_hosts.len()));
+        let start = rng.index(self.templates.len());
+        for k in 0..self.templates.len() {
+            let name = self.templates[(start + k) % self.templates.len()].name.clone();
+            if self
+                .controller
+                .cluster_mut(cluster)
+                .inject_crash(now, &name)
+                .crashed()
+            {
+                self.crashes_injected += 1;
+                return;
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        self.next_tick_scheduled = None;
+        if let Some(next) = self.controller.on_tick(now) {
+            self.schedule_tick(next);
+        }
+    }
+
+    /// Make sure pending retargets and FlowMemory expiries have wake-ups.
+    fn schedule_controller_wakeups(&mut self, now: SimTime) {
+        if let Some(at) = self.controller.next_retarget_at() {
+            self.events.push(at.max(now), Ev::RetargetDrain);
+        }
+        if self.controller.config().scale_down_idle {
+            if let Some(at) = self.controller.memory().next_expiry() {
+                self.schedule_tick(at.max(now));
+            }
+        }
+    }
+
+    fn schedule_tick(&mut self, at: SimTime) {
+        // Avoid flooding the queue: one pending tick at a time is enough,
+        // since each tick reschedules from the authoritative next_expiry.
+        if self.next_tick_scheduled.is_none_or(|t| at < t) {
+            self.events.push(at, Ev::Tick);
+            self.next_tick_scheduled = Some(at);
+        }
+    }
+
+    /// The SYN was forwarded at `release` towards `out_port`; compute the
+    /// remainder of the exchange analytically and record timecurl's
+    /// `time_total`.
+    fn complete_request(&mut self, release: SimTime, tag: u64, _packet: Packet, out_port: PortId) {
+        let Some(fl) = self.in_flight.remove(&tag) else {
+            return; // duplicate completion (cannot happen by construction)
+        };
+        let host = if out_port == CLOUD_PORT {
+            self.c3.cloud
+        } else if let Some(site) = self.c3.site_of_port(out_port) {
+            self.c3.site_hosts[site]
+        } else {
+            // Forwarded to a client port: a misinstalled flow. Count as
+            // lost rather than fabricating a response.
+            debug_assert!(out_port.0 >= self.c3.client_port_base(), "unknown port {out_port:?}");
+            self.lost += 1;
+            return;
+        };
+        let path = self
+            .c3
+            .net
+            .path(self.c3.clients[fl.client], host)
+            .expect("client reaches host");
+        let tcp = TcpModel::new(path.rtt(), path.bottleneck_bps);
+        let server_time = self.profile.server_time.sample(&mut self.rng);
+        // Time the SYN spent buffered at the switch (deployment wait).
+        let hold = release - fl.syn_at_switch;
+        // Queueing at the instance: the request's processing starts when the
+        // instance frees up (single-server FIFO per service instance), so
+        // concurrent requests to a hot service serialize on its CPU.
+        let upload = tcp.connect_time() + tcp.transfer_time(self.profile.request_bytes);
+        let at_server = fl.started + hold + upload;
+        let slot = self.busy_until.entry((fl.service, out_port)).or_insert(SimTime::ZERO);
+        let start_serving = at_server.max(*slot);
+        let queue_delay = start_serving - at_server;
+        *slot = start_serving + server_time;
+        let exchange =
+            tcp.request_response_time(self.profile.request_bytes, self.profile.response_bytes, server_time);
+        let finished = fl.started + hold + queue_delay + exchange;
+        let triggered =
+            self.controller.stats.deployments.len() > fl.deployments_before && hold > SimDuration::ZERO;
+        self.records.push(RequestRecord {
+            started: fl.started,
+            finished,
+            service: fl.service,
+            client: fl.client,
+            triggered_deployment: triggered,
+        });
+    }
+}
+
+/// Run an externally supplied trace (e.g. loaded from CSV) under a scenario.
+pub fn run_trace_scenario(cfg: ScenarioConfig, trace: &Trace) -> RunResult {
+    let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+    testbed.run_trace(trace)
+}
+
+/// Build a testbed plus the paper's default bigFlows-like trace and run it.
+///
+/// ```
+/// use testbed::{run_bigflows, ScenarioConfig};
+///
+/// let (trace, result) = run_bigflows(ScenarioConfig::default());
+/// assert_eq!(trace.requests.len(), result.records.len());
+/// assert_eq!(result.deployments.len(), 42); // one per service, Fig. 10
+/// ```
+pub fn run_bigflows(cfg: ScenarioConfig) -> (Trace, RunResult) {
+    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
+    let trace = Trace::generate(
+        TraceConfig {
+            clients: cfg.clients,
+            ..TraceConfig::default()
+        },
+        &mut trace_rng,
+    );
+    let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+    let result = testbed.run_trace(&trace);
+    (trace, result)
+}
+
+/// Measure a single first request against one service (the Figs. 11–15
+/// micro-scenario): returns `(time_total_ms, deployment_record)`.
+pub fn measure_first_request(cfg: ScenarioConfig) -> (f64, Option<edgectl::DeploymentRecord>) {
+    let addr = SocketAddr::new(simnet::IpAddr::new(93, 184, 0, 1), 80);
+    let testbed = Testbed::build(cfg, vec![addr]);
+    let result = testbed.run_single_request();
+    assert_eq!(result.records.len() + result.lost as usize, 1);
+    let ms = result
+        .records
+        .first()
+        .map(|r| r.time_total().as_millis_f64())
+        .unwrap_or(f64::NAN);
+    (ms, result.deployments.into_iter().next())
+}

@@ -1,0 +1,71 @@
+//! timecurl semantics: the paper measures `time_total` — "everything from
+//! when Curl starts establishing a TCP connection until it gets a response
+//! for the HTTP request". This module carries the per-service HTTP exchange
+//! shape and the timing breakdown the testbed records per request.
+
+use simcore::{SimDuration, SimTime};
+
+use crate::services::ServiceProfile;
+
+/// The wire shape of one HTTP exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpExchange {
+    pub request_bytes: u64,
+    pub response_bytes: u64,
+}
+
+impl HttpExchange {
+    pub fn for_service(profile: &ServiceProfile) -> HttpExchange {
+        HttpExchange {
+            request_bytes: profile.request_bytes,
+            response_bytes: profile.response_bytes,
+        }
+    }
+}
+
+/// One measured request, as timecurl would log it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// When curl started connecting.
+    pub started: SimTime,
+    /// When the full response arrived.
+    pub finished: SimTime,
+    /// Which trace service this was.
+    pub service: usize,
+    pub client: usize,
+    /// Did this request trigger a deployment (first request to the service)?
+    pub triggered_deployment: bool,
+}
+
+impl RequestRecord {
+    /// Curl's `time_total`.
+    pub fn time_total(&self) -> SimDuration {
+        self.finished - self.started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::ServiceKind;
+
+    #[test]
+    fn exchange_mirrors_profile() {
+        let p = ServiceProfile::of(ServiceKind::ResNet);
+        let e = HttpExchange::for_service(&p);
+        assert_eq!(e.request_bytes, 83 * 1024);
+        assert_eq!(e.response_bytes, p.response_bytes);
+    }
+
+    #[test]
+    fn time_total_is_difference() {
+        let r = RequestRecord {
+            started: SimTime::from_secs_f64(1.0),
+            finished: SimTime::from_secs_f64(1.5),
+            service: 0,
+            client: 3,
+            triggered_deployment: true,
+        };
+        assert_eq!(r.time_total(), SimDuration::from_millis(500));
+    }
+}

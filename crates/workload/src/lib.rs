@@ -1,0 +1,18 @@
+//! # workload — evaluation services and traffic
+//!
+//! * [`services`] — the four edge services of paper Table I (asmttpd, Nginx,
+//!   TensorFlow-Serving ResNet50, Nginx+Python) with their image shapes,
+//!   app-init behaviour and per-request cost,
+//! * [`bigflows`] — a synthetic stand-in for the `bigFlows.pcap` capture the
+//!   paper replays: 42 services, 1708 requests, five minutes, every service
+//!   receiving ≥ 20 requests, with the bursty start that produces up to
+//!   ~8 deployments/s (Figs. 9–10),
+//! * [`client`] — timecurl semantics: what `time_total` measures.
+
+pub mod bigflows;
+pub mod client;
+pub mod services;
+
+pub use bigflows::{Trace, TraceConfig, TraceRequest};
+pub use client::HttpExchange;
+pub use services::{ServiceKind, ServiceProfile};

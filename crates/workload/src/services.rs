@@ -1,0 +1,388 @@
+//! The four edge services of paper Table I.
+//!
+//! | Service  | Image(s)                                 | Size / Layers | Containers | HTTP |
+//! |----------|------------------------------------------|---------------|------------|------|
+//! | Asm      | josefhammer/web-asm:amd64                | 6.18 KiB / 1  | 1          | GET  |
+//! | Nginx    | nginx:1.23.2                             | 135 MiB / 6   | 1          | GET  |
+//! | ResNet   | gcr.io/tensorflow-serving/resnet         | 308 MiB / 9   | 1          | POST |
+//! | Nginx+Py | nginx:1.23.2 + josefhammer/env-writer-py | 181 MiB / 7   | 2          | GET  |
+//!
+//! App-init values (time from process start until the port opens) are
+//! calibrated to the paper's waiting-time observations (Figs. 14–15): asmttpd
+//! is "negligible", Nginx is fast, ResNet loads a model for seconds ("the
+//! waiting time alone accounts for more than a fourth of the total time"),
+//! and the Python side-app reads config and warms up before writing its
+//! first index.html.
+
+use cluster::{ContainerTemplate, ServiceTemplate};
+use containers::image::synthesize_layers;
+use containers::{ImageManifest, ImageRef};
+use registry::{Registry, RegistryProfile, RegistrySet};
+use simcore::DurationDist;
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+/// The four services of Table I, plus the serverless WebAssembly variant of
+/// the paper's §VIII future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    Asm,
+    Nginx,
+    ResNet,
+    NginxPy,
+    /// A web service compiled to a WebAssembly module (future work §VIII):
+    /// functionally the Nginx workload, deployed on a serverless runtime.
+    WasmWeb,
+}
+
+impl ServiceKind {
+    /// The paper's evaluated services (Table I).
+    pub const ALL: [ServiceKind; 4] = [
+        ServiceKind::Asm,
+        ServiceKind::Nginx,
+        ServiceKind::ResNet,
+        ServiceKind::NginxPy,
+    ];
+}
+
+impl std::fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServiceKind::Asm => "Asm",
+            ServiceKind::Nginx => "Nginx",
+            ServiceKind::ResNet => "ResNet",
+            ServiceKind::NginxPy => "Nginx+Py",
+            ServiceKind::WasmWeb => "Wasm-Web",
+        })
+    }
+}
+
+/// Everything the testbed needs to deploy and exercise one service type.
+#[derive(Debug, Clone)]
+pub struct ServiceProfile {
+    pub kind: ServiceKind,
+    /// Deployable template (images, app-init, resources).
+    pub template: ServiceTemplate,
+    /// Image manifests to publish in registries.
+    pub manifests: Vec<ImageManifest>,
+    pub http_method: &'static str,
+    /// Request payload on the wire (83 KiB cat picture for ResNet).
+    pub request_bytes: u64,
+    /// Response payload (short plain text; classification result for ResNet).
+    pub response_bytes: u64,
+    /// Server-side processing time per request once running (Fig. 16's
+    /// "about a millisecond" for the web servers, much more for inference).
+    pub server_time: DurationDist,
+}
+
+impl ServiceProfile {
+    pub fn of(kind: ServiceKind) -> ServiceProfile {
+        match kind {
+            ServiceKind::Asm => asm(),
+            ServiceKind::Nginx => nginx(),
+            ServiceKind::ResNet => resnet(),
+            ServiceKind::NginxPy => nginx_py(),
+            ServiceKind::WasmWeb => wasm_web(),
+        }
+    }
+
+    /// All four, in Table I order.
+    pub fn catalog() -> Vec<ServiceProfile> {
+        ServiceKind::ALL.iter().map(|&k| ServiceProfile::of(k)).collect()
+    }
+
+    /// Sum of compressed image sizes (the Table I Size column).
+    pub fn image_bytes(&self) -> u64 {
+        self.manifests.iter().map(|m| m.compressed_bytes()).sum()
+    }
+
+    pub fn layer_count(&self) -> usize {
+        self.manifests.iter().map(|m| m.layer_count()).sum()
+    }
+
+    pub fn container_count(&self) -> usize {
+        self.template.container_count()
+    }
+}
+
+/// The shared nginx image (used by both the Nginx and Nginx+Py services, so
+/// the layer store deduplicates it — paper §IV-C).
+fn nginx_manifest() -> ImageManifest {
+    ImageManifest::new("nginx:1.23.2", synthesize_layers(0x6e67_696e, 135 * MIB, 6))
+}
+
+fn asm() -> ServiceProfile {
+    let image = "josefhammer/web-asm:amd64";
+    ServiceProfile {
+        kind: ServiceKind::Asm,
+        template: ServiceTemplate {
+            name: "web-asm".into(),
+            port: 80,
+            scheduler_name: None,
+            containers: vec![ContainerTemplate {
+                name: "asmttpd".into(),
+                image: ImageRef::new(image),
+                // "negligible launch time … measures the minimal overhead of
+                // starting a service in a container"
+                app_init: DurationDist::log_normal_ms(2.0, 0.3),
+                cpu_millis: 100,
+                mem_bytes: 8 << 20,
+            }],
+        },
+        manifests: vec![ImageManifest::new(
+            image,
+            // 6.18 KiB, a single layer
+            synthesize_layers(0x61_736d, (6.18 * KIB as f64) as u64, 1),
+        )],
+        http_method: "GET",
+        request_bytes: 180,
+        response_bytes: 250, // short plain-text file
+        server_time: DurationDist::log_normal_ms(0.08, 0.3),
+    }
+}
+
+fn nginx() -> ServiceProfile {
+    ServiceProfile {
+        kind: ServiceKind::Nginx,
+        template: ServiceTemplate {
+            name: "nginx-web".into(),
+            port: 80,
+            scheduler_name: None,
+            containers: vec![ContainerTemplate {
+                name: "nginx".into(),
+                image: ImageRef::new("nginx:1.23.2"),
+                app_init: DurationDist::log_normal_ms(110.0, 0.2),
+                cpu_millis: 250,
+                mem_bytes: 128 << 20,
+            }],
+        },
+        manifests: vec![nginx_manifest()],
+        http_method: "GET",
+        request_bytes: 180,
+        response_bytes: 250,
+        server_time: DurationDist::log_normal_ms(0.15, 0.3),
+    }
+}
+
+fn resnet() -> ServiceProfile {
+    let image = "gcr.io/tensorflow-serving/resnet";
+    ServiceProfile {
+        kind: ServiceKind::ResNet,
+        template: ServiceTemplate {
+            name: "resnet-serving".into(),
+            port: 8501,
+            scheduler_name: None,
+            containers: vec![ContainerTemplate {
+                name: "tf-serving".into(),
+                image: ImageRef::new(image),
+                // Loading the ResNet50 model takes seconds; dominates the
+                // wait time (Fig. 14).
+                app_init: DurationDist::log_normal_ms(2300.0, 0.15),
+                cpu_millis: 2000,
+                mem_bytes: 2 << 30,
+            }],
+        },
+        manifests: vec![ImageManifest::new(image, synthesize_layers(0x7265_736e, 308 * MIB, 9))],
+        http_method: "POST",
+        request_bytes: 83 * KIB, // the cat picture
+        response_bytes: 2 * KIB, // classification scores
+        server_time: DurationDist::log_normal_ms(190.0, 0.2),
+    }
+}
+
+fn nginx_py() -> ServiceProfile {
+    let py_image = "josefhammer/env-writer-py";
+    ServiceProfile {
+        kind: ServiceKind::NginxPy,
+        template: ServiceTemplate {
+            name: "nginx-py".into(),
+            port: 80,
+            scheduler_name: None,
+            containers: vec![
+                ContainerTemplate {
+                    name: "nginx".into(),
+                    image: ImageRef::new("nginx:1.23.2"),
+                    app_init: DurationDist::log_normal_ms(110.0, 0.2),
+                    cpu_millis: 250,
+                    mem_bytes: 128 << 20,
+                },
+                ContainerTemplate {
+                    name: "env-writer".into(),
+                    image: ImageRef::new(py_image),
+                    // CPython interpreter start + config read + first write
+                    app_init: DurationDist::log_normal_ms(420.0, 0.2),
+                    cpu_millis: 150,
+                    mem_bytes: 64 << 20,
+                },
+            ],
+        },
+        manifests: vec![
+            nginx_manifest(),
+            // 181 MiB total − 135 MiB nginx = 46 MiB, 7 − 6 = 1 layer
+            ImageManifest::new(py_image, synthesize_layers(0x70_7973, 46 * MIB, 1)),
+        ],
+        http_method: "GET",
+        request_bytes: 180,
+        response_bytes: 600, // generated index.html
+        server_time: DurationDist::log_normal_ms(0.15, 0.3),
+    }
+}
+
+/// The serverless variant: same web workload as Nginx, shipped as a 3 MiB
+/// single-module artifact for a WebAssembly runtime (future work §VIII).
+fn wasm_web() -> ServiceProfile {
+    let module = "edge/web-fn.wasm";
+    ServiceProfile {
+        kind: ServiceKind::WasmWeb,
+        template: ServiceTemplate {
+            name: "wasm-web".into(),
+            port: 80,
+            scheduler_name: None,
+            containers: vec![ContainerTemplate {
+                name: "web-fn".into(),
+                image: ImageRef::new(module),
+                // instantiation readiness is modelled by the wasm backend;
+                // the app itself has no warm-up
+                app_init: DurationDist::zero(),
+                cpu_millis: 100,
+                mem_bytes: 32 << 20,
+            }],
+        },
+        manifests: vec![ImageManifest::new(module, synthesize_layers(0x7761_736d, 3 * MIB, 1))],
+        http_method: "GET",
+        request_bytes: 180,
+        // wasm call gate adds a little per-request overhead vs a native
+        // server (Gackstatter et al.: cold starts win, throughput does not)
+        response_bytes: 250,
+        server_time: DurationDist::log_normal_ms(0.45, 0.3),
+    }
+}
+
+/// Build the three registries of the evaluation (Docker Hub, GCR, private
+/// LAN) with every Table I image published in its home registry. When
+/// `use_private_mirror` is set, the LAN registry also carries everything and
+/// is preferred — Fig. 13's "private registry" series.
+pub fn standard_registries(use_private_mirror: bool) -> RegistrySet {
+    let mut hub = Registry::new(RegistryProfile::docker_hub());
+    let mut gcr = Registry::new(RegistryProfile::gcr());
+    let mut lan = Registry::new(RegistryProfile::private_lan());
+    let mut all = ServiceProfile::catalog();
+    all.push(wasm_web());
+    for profile in all {
+        for manifest in &profile.manifests {
+            if manifest.reference.registry_host() == "gcr.io" {
+                gcr.publish(manifest.clone());
+            } else {
+                hub.publish(manifest.clone());
+            }
+            lan.publish(manifest.clone());
+        }
+    }
+    let mut set = RegistrySet::new();
+    set.add(hub);
+    set.add(gcr);
+    if use_private_mirror {
+        set.add_mirror(lan);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sizes_and_layers() {
+        let asm = ServiceProfile::of(ServiceKind::Asm);
+        assert_eq!(asm.image_bytes(), 6328); // 6.18 KiB
+        assert_eq!(asm.layer_count(), 1);
+        assert_eq!(asm.container_count(), 1);
+        assert_eq!(asm.http_method, "GET");
+
+        let nginx = ServiceProfile::of(ServiceKind::Nginx);
+        assert_eq!(nginx.image_bytes(), 135 * MIB);
+        assert_eq!(nginx.layer_count(), 6);
+
+        let resnet = ServiceProfile::of(ServiceKind::ResNet);
+        assert_eq!(resnet.image_bytes(), 308 * MIB);
+        assert_eq!(resnet.layer_count(), 9);
+        assert_eq!(resnet.http_method, "POST");
+        assert_eq!(resnet.request_bytes, 83 * KIB);
+
+        let combo = ServiceProfile::of(ServiceKind::NginxPy);
+        assert_eq!(combo.image_bytes(), 181 * MIB);
+        assert_eq!(combo.layer_count(), 7);
+        assert_eq!(combo.container_count(), 2);
+    }
+
+    #[test]
+    fn nginx_image_is_shared_between_services() {
+        let nginx = ServiceProfile::of(ServiceKind::Nginx);
+        let combo = ServiceProfile::of(ServiceKind::NginxPy);
+        assert_eq!(nginx.manifests[0], combo.manifests[0]);
+    }
+
+    #[test]
+    fn app_init_ordering_matches_paper() {
+        // asm ≪ nginx ≪ py ≪ resnet
+        let mean = |k: ServiceKind, idx: usize| {
+            ServiceProfile::of(k).template.containers[idx]
+                .app_init
+                .0
+                .mean()
+                .unwrap()
+        };
+        assert!(mean(ServiceKind::Asm, 0) < mean(ServiceKind::Nginx, 0));
+        assert!(mean(ServiceKind::Nginx, 0) < mean(ServiceKind::NginxPy, 1));
+        assert!(mean(ServiceKind::NginxPy, 1) < mean(ServiceKind::ResNet, 0));
+        assert!(mean(ServiceKind::ResNet, 0) > 2000.0, "model load is seconds");
+    }
+
+    #[test]
+    fn registries_route_images_home() {
+        let regs = standard_registries(false);
+        let nginx_ref = ImageRef::new("nginx:1.23.2");
+        let resnet_ref = ImageRef::new("gcr.io/tensorflow-serving/resnet");
+        assert_eq!(regs.route(&nginx_ref).unwrap().profile.name, "docker-hub");
+        assert_eq!(regs.route(&resnet_ref).unwrap().profile.name, "gcr");
+    }
+
+    #[test]
+    fn mirror_takes_over_when_enabled() {
+        let regs = standard_registries(true);
+        for profile in ServiceProfile::catalog() {
+            for m in &profile.manifests {
+                assert_eq!(
+                    regs.route(&m.reference).unwrap().profile.name,
+                    "private-lan",
+                    "{} should come from the mirror",
+                    m.reference
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn server_time_ordering() {
+        let asm = ServiceProfile::of(ServiceKind::Asm).server_time.0.mean().unwrap();
+        let resnet = ServiceProfile::of(ServiceKind::ResNet).server_time.0.mean().unwrap();
+        assert!(resnet > asm * 100.0, "inference ≫ static file serving");
+    }
+
+    #[test]
+    fn catalog_has_four_distinct_services() {
+        let cat = ServiceProfile::catalog();
+        assert_eq!(cat.len(), 4);
+        let mut names: Vec<&str> = cat.iter().map(|p| p.template.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ServiceKind::NginxPy.to_string(), "Nginx+Py");
+        assert_eq!(ServiceKind::Asm.to_string(), "Asm");
+    }
+}

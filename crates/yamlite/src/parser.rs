@@ -1,0 +1,667 @@
+//! Block-style YAML parser for the subset described in the crate docs.
+//!
+//! The parser is line-oriented: the source is first cut into `(indent, text)`
+//! records with comments stripped, then a recursive-descent pass assembles
+//! block mappings and sequences by comparing indentation levels. Inline
+//! sequence entries (`- name: nginx`) are handled by re-interpreting the rest
+//! of the line as a virtual line indented past the dash — the same trick the
+//! YAML spec's indentation rules describe.
+
+use std::fmt;
+
+use crate::value::Yaml;
+
+/// A parse failure, with the 1-based source line where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Parse a single YAML document. An empty (or comment-only) input parses to
+/// [`Yaml::Null`].
+pub fn parse(src: &str) -> Result<Yaml, ParseError> {
+    let mut docs = parse_all(src)?;
+    match docs.len() {
+        0 => Ok(Yaml::Null),
+        1 => Ok(docs.pop().unwrap()),
+        n => err(1, format!("expected a single document, found {n}")),
+    }
+}
+
+/// Parse a `---`-separated multi-document stream.
+pub fn parse_all(src: &str) -> Result<Vec<Yaml>, ParseError> {
+    let mut docs = Vec::new();
+    let mut chunk: Vec<Line> = Vec::new();
+    let mut saw_separator = false;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let no = idx + 1;
+        let trimmed = raw.trim_end();
+        if trimmed == "---" {
+            if !chunk.is_empty() || saw_separator {
+                docs.push(parse_lines(std::mem::take(&mut chunk))?);
+            }
+            saw_separator = true;
+            continue;
+        }
+        if let Some(line) = prepare_line(trimmed, no)? {
+            chunk.push(line);
+        }
+    }
+    if !chunk.is_empty() {
+        docs.push(parse_lines(chunk)?);
+    } else if saw_separator && docs.is_empty() {
+        docs.push(Yaml::Null);
+    }
+    Ok(docs)
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    indent: usize,
+    text: String,
+    no: usize,
+}
+
+/// Strip comments and measure indentation; returns `None` for blank /
+/// comment-only lines.
+fn prepare_line(raw: &str, no: usize) -> Result<Option<Line>, ParseError> {
+    let mut indent = 0;
+    for ch in raw.chars() {
+        match ch {
+            ' ' => indent += 1,
+            '\t' => return err(no, "tab characters are not allowed in indentation"),
+            _ => break,
+        }
+    }
+    let body = &raw[indent..];
+    let body = strip_comment(body);
+    let body = body.trim_end();
+    if body.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(Line { indent, text: body.to_string(), no }))
+}
+
+/// Remove a trailing `# comment`, respecting quoted strings. A `#` only starts
+/// a comment at the beginning of the content or after whitespace.
+fn strip_comment(s: &str) -> &str {
+    let bytes = s.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => {
+                // skip escaped quotes inside double-quoted strings
+                if i > 0 && bytes[i - 1] == b'\\' && in_double {
+                } else {
+                    in_double = !in_double;
+                }
+            }
+            b'#' if !in_single && !in_double && (i == 0 || bytes[i - 1] == b' ') => {
+                return &s[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    s
+}
+
+fn parse_lines(lines: Vec<Line>) -> Result<Yaml, ParseError> {
+    if lines.is_empty() {
+        return Ok(Yaml::Null);
+    }
+    let mut p = Parser { lines, pos: 0 };
+    let root_indent = p.lines[0].indent;
+    let v = p.parse_node(root_indent)?;
+    if p.pos < p.lines.len() {
+        let l = &p.lines[p.pos];
+        return err(
+            l.no,
+            format!("unexpected content at indent {} after document root", l.indent),
+        );
+    }
+    Ok(v)
+}
+
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl Parser {
+    fn cur(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    /// Parse the block starting at the current line, which must sit at
+    /// exactly `indent`.
+    fn parse_node(&mut self, indent: usize) -> Result<Yaml, ParseError> {
+        let line = self.cur().expect("parse_node at EOF");
+        debug_assert_eq!(line.indent, indent);
+        if is_seq_entry(&line.text) {
+            self.parse_seq(indent)
+        } else if find_mapping_colon(&line.text).is_some() {
+            self.parse_map(indent)
+        } else {
+            // A bare scalar document (e.g. `42`).
+            let l = self.lines[self.pos].clone();
+            self.pos += 1;
+            parse_scalar_or_flow(&l.text, l.no)
+        }
+    }
+
+    fn parse_map(&mut self, indent: usize) -> Result<Yaml, ParseError> {
+        let mut map: Vec<(String, Yaml)> = Vec::new();
+        while let Some(line) = self.cur() {
+            if line.indent < indent {
+                break;
+            }
+            if line.indent > indent {
+                return err(line.no, "unexpected deeper indentation in mapping");
+            }
+            if is_seq_entry(&line.text) {
+                return err(line.no, "sequence entry inside mapping at same indent");
+            }
+            let line = self.lines[self.pos].clone();
+            let Some(colon) = find_mapping_colon(&line.text) else {
+                return err(line.no, format!("expected `key:` line, got `{}`", line.text));
+            };
+            let key = parse_key(line.text[..colon].trim(), line.no)?;
+            if map.iter().any(|(k, _)| *k == key) {
+                return err(line.no, format!("duplicate mapping key `{key}`"));
+            }
+            let rest = line.text[colon + 1..].trim().to_string();
+            self.pos += 1;
+            let value = if rest.is_empty() {
+                // Nested block or explicit null.
+                match self.cur() {
+                    Some(next) if next.indent > indent => {
+                        let ni = next.indent;
+                        self.parse_node(ni)?
+                    }
+                    // `key:` followed by a *sequence at the same indent* is
+                    // valid YAML (common in hand-written manifests).
+                    Some(next) if next.indent == indent && is_seq_entry(&next.text) => {
+                        self.parse_seq(indent)?
+                    }
+                    _ => Yaml::Null,
+                }
+            } else {
+                parse_scalar_or_flow(&rest, line.no)?
+            };
+            map.push((key, value));
+        }
+        Ok(Yaml::Map(map))
+    }
+
+    fn parse_seq(&mut self, indent: usize) -> Result<Yaml, ParseError> {
+        let mut seq = Vec::new();
+        while let Some(line) = self.cur() {
+            if line.indent != indent || !is_seq_entry(&line.text) {
+                if line.indent > indent {
+                    return err(line.no, "unexpected deeper indentation in sequence");
+                }
+                break;
+            }
+            let line = self.lines[self.pos].clone();
+            let rest = line.text[1..].trim_start();
+            if rest.is_empty() {
+                // `-` alone: value is the nested block.
+                self.pos += 1;
+                let value = match self.cur() {
+                    Some(next) if next.indent > indent => {
+                        let ni = next.indent;
+                        self.parse_node(ni)?
+                    }
+                    _ => Yaml::Null,
+                };
+                seq.push(value);
+            } else {
+                // Inline entry: re-interpret the remainder as a virtual line
+                // indented past the dash, then parse a node there. Continuation
+                // lines (`  image: ...`) already sit at that indent.
+                let offset = line.text.len() - rest.len();
+                let virt_indent = indent + offset;
+                self.lines[self.pos] = Line {
+                    indent: virt_indent,
+                    text: rest.to_string(),
+                    no: line.no,
+                };
+                seq.push(self.parse_node(virt_indent)?);
+            }
+        }
+        Ok(Yaml::Seq(seq))
+    }
+}
+
+/// Does this line open a sequence entry (`- item` or a lone `-`)?
+fn is_seq_entry(text: &str) -> bool {
+    text == "-" || text.starts_with("- ")
+}
+
+/// Find the colon that separates key from value: the first `:` outside quotes
+/// that is followed by a space or ends the line.
+fn find_mapping_colon(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single && (i == 0 || bytes[i - 1] != b'\\') => in_double = !in_double,
+            b':' if !in_single && !in_double && (i + 1 == bytes.len() || bytes[i + 1] == b' ') => {
+                return Some(i);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_key(raw: &str, no: usize) -> Result<String, ParseError> {
+    if raw.is_empty() {
+        return err(no, "empty mapping key");
+    }
+    // Mapping keys are stored as strings; non-string scalars (e.g. `80:`)
+    // keep their literal spelling. Collection keys are not part of the
+    // supported subset.
+    match parse_scalar_or_flow(raw, no)? {
+        Yaml::Str(s) => Ok(s),
+        Yaml::Null => Ok("null".to_string()),
+        Yaml::Bool(b) => Ok(b.to_string()),
+        Yaml::Int(i) => Ok(i.to_string()),
+        Yaml::Float(f) => Ok(f.to_string()),
+        Yaml::Seq(_) | Yaml::Map(_) => err(no, "collection mapping keys are not supported"),
+    }
+}
+
+/// Parse a scalar or a one-line flow collection.
+fn parse_scalar_or_flow(text: &str, no: usize) -> Result<Yaml, ParseError> {
+    let t = text.trim();
+    if t.starts_with('[') {
+        if !t.ends_with(']') {
+            return err(no, "unterminated flow sequence");
+        }
+        let inner = &t[1..t.len() - 1];
+        let mut seq = Vec::new();
+        for part in split_flow_items(inner, no)? {
+            if !part.trim().is_empty() {
+                seq.push(parse_scalar_or_flow(part.trim(), no)?);
+            }
+        }
+        return Ok(Yaml::Seq(seq));
+    }
+    if t.starts_with('{') {
+        if !t.ends_with('}') {
+            return err(no, "unterminated flow mapping");
+        }
+        let inner = &t[1..t.len() - 1];
+        let mut map = Vec::new();
+        for part in split_flow_items(inner, no)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some(colon) = find_mapping_colon(part).or_else(|| part.find(':')) else {
+                return err(no, format!("flow mapping entry without `:`: `{part}`"));
+            };
+            let key = parse_key(part[..colon].trim(), no)?;
+            let value = parse_scalar_or_flow(part[colon + 1..].trim(), no)?;
+            map.push((key, value));
+        }
+        return Ok(Yaml::Map(map));
+    }
+    parse_scalar(t, no)
+}
+
+/// Split the inside of a flow collection on top-level commas.
+fn split_flow_items(inner: &str, no: usize) -> Result<Vec<&str>, ParseError> {
+    let bytes = inner.as_bytes();
+    let mut items = Vec::new();
+    let mut depth = 0i32;
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut start = 0;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single && (i == 0 || bytes[i - 1] != b'\\') => in_double = !in_double,
+            b'[' | b'{' if !in_single && !in_double => depth += 1,
+            b']' | b'}' if !in_single && !in_double => depth -= 1,
+            b',' if depth == 0 && !in_single && !in_double => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return err(no, "unbalanced brackets in flow collection");
+    }
+    items.push(&inner[start..]);
+    Ok(items)
+}
+
+fn parse_scalar(t: &str, no: usize) -> Result<Yaml, ParseError> {
+    if t.is_empty() {
+        return Ok(Yaml::Null);
+    }
+    if let Some(stripped) = t.strip_prefix('"') {
+        let Some(body) = stripped.strip_suffix('"') else {
+            return err(no, "unterminated double-quoted string");
+        };
+        return Ok(Yaml::Str(unescape_double(body, no)?));
+    }
+    if let Some(stripped) = t.strip_prefix('\'') {
+        let Some(body) = stripped.strip_suffix('\'') else {
+            return err(no, "unterminated single-quoted string");
+        };
+        return Ok(Yaml::Str(body.replace("''", "'")));
+    }
+    match t {
+        "~" | "null" | "Null" | "NULL" => return Ok(Yaml::Null),
+        "true" | "True" | "TRUE" => return Ok(Yaml::Bool(true)),
+        "false" | "False" | "FALSE" => return Ok(Yaml::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Yaml::Int(i));
+    }
+    if looks_like_float(t) {
+        if let Ok(f) = t.parse::<f64>() {
+            return Ok(Yaml::Float(f));
+        }
+    }
+    Ok(Yaml::Str(t.to_string()))
+}
+
+/// Only treat a token as a float if it has canonical float shape — `1.23`,
+/// `-4.5e6`. Version-ish strings like `1.23.2` must stay strings.
+fn looks_like_float(t: &str) -> bool {
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    for (i, c) in t.char_indices() {
+        match c {
+            '0'..='9' => seen_digit = true,
+            '-' | '+' if i == 0 => {}
+            '-' | '+' => {
+                // only allowed right after the exponent marker
+                let prev = t.as_bytes()[i - 1];
+                if prev != b'e' && prev != b'E' {
+                    return false;
+                }
+            }
+            '.' if !seen_dot && !seen_exp => seen_dot = true,
+            'e' | 'E' if seen_digit && !seen_exp => seen_exp = true,
+            _ => return false,
+        }
+    }
+    seen_digit && (seen_dot || seen_exp)
+}
+
+fn unescape_double(s: &str, no: usize) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('0') => out.push('\0'),
+            Some(other) => return err(no, format!("unsupported escape `\\{other}`")),
+            None => return err(no, "dangling backslash in double-quoted string"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_resolve() {
+        assert_eq!(parse("42").unwrap(), Yaml::Int(42));
+        assert_eq!(parse("-7").unwrap(), Yaml::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), Yaml::Float(2.5));
+        assert_eq!(parse("true").unwrap(), Yaml::Bool(true));
+        assert_eq!(parse("null").unwrap(), Yaml::Null);
+        assert_eq!(parse("~").unwrap(), Yaml::Null);
+        assert_eq!(parse("hello world").unwrap(), Yaml::str("hello world"));
+    }
+
+    #[test]
+    fn version_strings_stay_strings() {
+        assert_eq!(parse("1.23.2").unwrap(), Yaml::str("1.23.2"));
+        assert_eq!(
+            parse("image: nginx:1.23.2").unwrap().at("image"),
+            Some(&Yaml::str("nginx:1.23.2"))
+        );
+    }
+
+    #[test]
+    fn quoted_scalars() {
+        assert_eq!(parse("\"42\"").unwrap(), Yaml::str("42"));
+        assert_eq!(parse("'it''s'").unwrap(), Yaml::str("it's"));
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Yaml::str("a\nb"));
+    }
+
+    #[test]
+    fn simple_map() {
+        let y = parse("a: 1\nb: two\nc:\n").unwrap();
+        assert_eq!(y.get("a"), Some(&Yaml::Int(1)));
+        assert_eq!(y.get("b"), Some(&Yaml::str("two")));
+        assert_eq!(y.get("c"), Some(&Yaml::Null));
+    }
+
+    #[test]
+    fn nested_map() {
+        let y = parse("outer:\n  inner:\n    k: v\n").unwrap();
+        assert_eq!(y.at("outer.inner.k"), Some(&Yaml::str("v")));
+    }
+
+    #[test]
+    fn block_sequence() {
+        let y = parse("- 1\n- 2\n- three\n").unwrap();
+        assert_eq!(
+            y,
+            Yaml::Seq(vec![Yaml::Int(1), Yaml::Int(2), Yaml::str("three")])
+        );
+    }
+
+    #[test]
+    fn seq_of_maps_inline_dash() {
+        let y = parse("containers:\n  - name: nginx\n    image: nginx:1.23.2\n  - name: py\n").unwrap();
+        let seq = y.get("containers").unwrap().as_seq().unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].get("name"), Some(&Yaml::str("nginx")));
+        assert_eq!(seq[0].get("image"), Some(&Yaml::str("nginx:1.23.2")));
+        assert_eq!(seq[1].get("name"), Some(&Yaml::str("py")));
+    }
+
+    #[test]
+    fn seq_at_same_indent_as_key() {
+        // Kubernetes manifests often write sequences at the key's own indent.
+        let y = parse("ports:\n- containerPort: 80\n- containerPort: 443\n").unwrap();
+        let seq = y.get("ports").unwrap().as_seq().unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[1].get("containerPort"), Some(&Yaml::Int(443)));
+    }
+
+    #[test]
+    fn dash_alone_nested_block() {
+        let y = parse("-\n  a: 1\n-\n  b: 2\n").unwrap();
+        let seq = y.as_seq().unwrap();
+        assert_eq!(seq[0].get("a"), Some(&Yaml::Int(1)));
+        assert_eq!(seq[1].get("b"), Some(&Yaml::Int(2)));
+    }
+
+    #[test]
+    fn nested_seq_in_seq() {
+        let y = parse("- - a\n  - b\n- c\n").unwrap();
+        let seq = y.as_seq().unwrap();
+        assert_eq!(
+            seq[0],
+            Yaml::Seq(vec![Yaml::str("a"), Yaml::str("b")])
+        );
+        assert_eq!(seq[1], Yaml::str("c"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let y = parse("# header\na: 1 # trailing\n\n  \nb: 2\n").unwrap();
+        assert_eq!(y.get("a"), Some(&Yaml::Int(1)));
+        assert_eq!(y.get("b"), Some(&Yaml::Int(2)));
+    }
+
+    #[test]
+    fn hash_inside_quotes_not_comment() {
+        let y = parse("a: \"x # y\"\n").unwrap();
+        assert_eq!(y.get("a"), Some(&Yaml::str("x # y")));
+    }
+
+    #[test]
+    fn flow_collections() {
+        let y = parse("args: [a, 1, true]\nsel: {app: web, tier: front}\nempty: []\nnone: {}\n").unwrap();
+        assert_eq!(
+            y.get("args"),
+            Some(&Yaml::Seq(vec![Yaml::str("a"), Yaml::Int(1), Yaml::Bool(true)]))
+        );
+        assert_eq!(y.at("sel.app"), Some(&Yaml::str("web")));
+        assert_eq!(y.get("empty"), Some(&Yaml::Seq(vec![])));
+        assert_eq!(y.get("none"), Some(&Yaml::Map(vec![])));
+    }
+
+    #[test]
+    fn nested_flow() {
+        let y = parse("m: {list: [1, 2], sub: {k: v}}\n").unwrap();
+        assert_eq!(y.at("m.list.1"), Some(&Yaml::Int(2)));
+        assert_eq!(y.at("m.sub.k"), Some(&Yaml::str("v")));
+    }
+
+    #[test]
+    fn urls_with_colons_in_values() {
+        let y = parse("url: http://example.org:8080/x\n").unwrap();
+        assert_eq!(y.get("url"), Some(&Yaml::str("http://example.org:8080/x")));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let e = parse("a: 1\na: 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn collection_keys_rejected() {
+        assert!(parse("[a]: 1\n").is_err());
+        assert!(parse("{k: v}: 1\n").is_err());
+    }
+
+    #[test]
+    fn tab_indent_rejected() {
+        let e = parse("a:\n\tb: 1\n").unwrap_err();
+        assert!(e.message.contains("tab"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse("a: \"oops\n").is_err());
+        assert!(parse("a: 'oops\n").is_err());
+    }
+
+    #[test]
+    fn bad_indent_in_mapping_rejected() {
+        let e = parse("a: 1\n   b: 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn empty_doc_is_null() {
+        assert_eq!(parse("").unwrap(), Yaml::Null);
+        assert_eq!(parse("# only comments\n\n").unwrap(), Yaml::Null);
+    }
+
+    #[test]
+    fn multi_doc_stream() {
+        let docs = parse_all("---\nkind: Deployment\n---\nkind: Service\n").unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("kind"), Some(&Yaml::str("Deployment")));
+        assert_eq!(docs[1].get("kind"), Some(&Yaml::str("Service")));
+    }
+
+    #[test]
+    fn numeric_keys_become_strings() {
+        let y = parse("80: http\n443: https\n").unwrap();
+        assert_eq!(y.get("80"), Some(&Yaml::str("http")));
+        assert_eq!(y.get("443"), Some(&Yaml::str("https")));
+    }
+
+    #[test]
+    fn full_deployment_manifest() {
+        let src = r#"
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: resnet
+spec:
+  replicas: 0
+  selector:
+    matchLabels:
+      edge.service: resnet
+  template:
+    spec:
+      containers:
+        - name: resnet
+          image: gcr.io/tensorflow-serving/resnet
+          ports:
+            - containerPort: 8501
+          volumeMounts:
+            - mountPath: /models
+              name: model-store
+      volumes:
+        - name: model-store
+          hostPath:
+            path: /srv/models
+"#;
+        let y = parse(src).unwrap();
+        assert_eq!(y.at("spec.replicas"), Some(&Yaml::Int(0)));
+        assert_eq!(
+            y.at("spec.template.spec.containers.0.image").and_then(Yaml::as_str),
+            Some("gcr.io/tensorflow-serving/resnet")
+        );
+        assert_eq!(
+            y.at("spec.template.spec.volumes.0.hostPath.path").and_then(Yaml::as_str),
+            Some("/srv/models")
+        );
+        assert_eq!(
+            y.at("spec.selector.matchLabels.edge:service"),
+            None,
+            "path separator is a dot"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests: any value built from the supported model must
+//! survive an emit → parse round trip unchanged.
+
+use proptest::prelude::*;
+use yamlite::{parse, to_string, Yaml};
+
+/// Strategy for scalar values (floats restricted to exactly-representable
+/// halves so equality comparisons are meaningful after formatting).
+fn scalar() -> impl Strategy<Value = Yaml> {
+    prop_oneof![
+        Just(Yaml::Null),
+        any::<bool>().prop_map(Yaml::Bool),
+        any::<i64>().prop_map(Yaml::Int),
+        (-1000i32..1000).prop_map(|n| Yaml::Float(n as f64 / 2.0)),
+        string_value().prop_map(Yaml::Str),
+    ]
+}
+
+/// Printable strings incl. the troublemakers: colons, hashes, quotes, digits.
+fn string_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9 :#'\"_./-]{0,24}",
+        Just("true".to_string()),
+        Just("null".to_string()),
+        Just("123".to_string()),
+        Just("1.5".to_string()),
+        Just("nginx:1.23.2".to_string()),
+        Just("- leading dash".to_string()),
+    ]
+}
+
+/// Keys: non-empty, no control characters (keys with dots are fine — only the
+/// path helpers treat dots specially, not the document model).
+fn key() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9._/-]{0,15}"
+}
+
+fn yaml_value() -> impl Strategy<Value = Yaml> {
+    scalar().prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Yaml::Seq),
+            prop::collection::vec((key(), inner), 0..5).prop_map(|pairs| {
+                // deduplicate keys, keeping first occurrence (parser rejects dups)
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for (k, v) in pairs {
+                    if seen.insert(k.clone()) {
+                        out.push((k, v));
+                    }
+                }
+                Yaml::Map(out)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn emit_parse_roundtrip(value in yaml_value()) {
+        let emitted = to_string(&value);
+        let reparsed = parse(&emitted)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n--- emitted ---\n{emitted}"));
+        prop_assert_eq!(reparsed, value, "emitted:\n{}", emitted);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(src in "[ a-z0-9:#\\-\\n\"'\\[\\]{},.]{0,200}") {
+        let _ = parse(&src); // must return Ok or Err, never panic
+    }
+
+    #[test]
+    fn at_path_is_consistent_with_get(
+        k1 in "[a-z]{1,8}",
+        k2 in "[a-z]{1,8}",
+        v in -1000i64..1000,
+    ) {
+        let mut inner = Yaml::map();
+        inner.insert(k2.clone(), Yaml::Int(v));
+        let mut y = Yaml::map();
+        y.insert(k1.clone(), inner);
+        let path = format!("{k1}.{k2}");
+        prop_assert_eq!(y.at(&path), Some(&Yaml::Int(v)));
+        prop_assert_eq!(y.get(&k1).unwrap().get(&k2), Some(&Yaml::Int(v)));
+    }
+
+    #[test]
+    fn set_path_then_at_reads_back(
+        k1 in "[a-z]{1,8}",
+        k2 in "[a-z]{1,8}",
+        k3 in "[a-z]{1,8}",
+        v in any::<i64>(),
+    ) {
+        let mut y = Yaml::map();
+        let path = format!("{k1}.{k2}.{k3}");
+        prop_assert!(y.set_path(&path, Yaml::Int(v)));
+        prop_assert_eq!(y.at(&path), Some(&Yaml::Int(v)));
+    }
+}

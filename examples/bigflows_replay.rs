@@ -1,0 +1,98 @@
+//! Replay the paper's five-minute workload (42 services, 1708 requests,
+//! extracted from a real traffic capture) through the transparent edge and
+//! print the request/deployment timelines of Figs. 9–10 plus the latency
+//! split between deployment-triggering and steady-state requests.
+//!
+//! ```text
+//! cargo run --release --example bigflows_replay
+//! ```
+
+use simcore::stats::ascii_bars;
+use simcore::{SimDuration, SimTime, TimeSeries};
+use testbed::{run_bigflows, ScenarioConfig};
+
+fn main() {
+    let cfg = ScenarioConfig::default().with_seed(2026);
+    let (trace, result) = run_bigflows(cfg);
+
+    println!("bigFlows-like replay: {} requests to {} services over {}s",
+        trace.requests.len(),
+        trace.service_addrs.len(),
+        trace.config.duration.as_secs(),
+    );
+    println!();
+
+    // Fig. 9: requests per 30 s bucket.
+    let mut req_ts = TimeSeries::new(SimDuration::from_secs(30), trace.config.duration);
+    for r in &trace.requests {
+        req_ts.record(r.at);
+    }
+    let rows: Vec<(String, f64)> = req_ts
+        .points()
+        .map(|(t, c)| (format!("t={t:>3.0}s"), c as f64))
+        .collect();
+    println!("requests per 30 s (Fig. 9):");
+    print!("{}", ascii_bars(&rows, 40));
+    println!();
+
+    // Fig. 10: deployments per 15 s bucket (relative to trace start).
+    let mut dep_ts = TimeSeries::new(SimDuration::from_secs(15), trace.config.duration);
+    for d in &result.deployments {
+        let rel = d.triggered_at - (SimTime::ZERO + result.trace_offset);
+        dep_ts.record(SimTime::ZERO + rel);
+    }
+    let rows: Vec<(String, f64)> = dep_ts
+        .points()
+        .map(|(t, c)| (format!("t={t:>3.0}s"), c as f64))
+        .collect();
+    println!("deployments per 15 s (Fig. 10): total {}", result.deployments.len());
+    print!("{}", ascii_bars(&rows, 40));
+    println!();
+
+    // Latency split.
+    let first: Vec<f64> = result
+        .records
+        .iter()
+        .filter(|r| r.triggered_deployment)
+        .map(|r| r.time_total().as_millis_f64())
+        .collect();
+    let warm: Vec<f64> = result
+        .records
+        .iter()
+        .filter(|r| !r.triggered_deployment)
+        .map(|r| r.time_total().as_millis_f64())
+        .collect();
+    let med = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if v.is_empty() { f64::NAN } else { v[v.len() / 2] }
+    };
+    println!("deployment-triggering requests: {:>5}  median {:>8.1} ms", first.len(), med(first));
+    println!("steady-state requests:          {:>5}  median {:>8.1} ms", warm.len(), med(warm));
+    println!();
+    // Latency CDF over all requests — sub-ms steady state with a cold-start
+    // tail around the Docker scale-up time.
+    let mut hist = simcore::LogHistogram::new(1.0, 4.0, 8);
+    for r in &result.records {
+        hist.record_duration(r.time_total());
+    }
+    println!("latency CDF (time_total):");
+    for (edge, frac) in hist.cdf() {
+        if edge.is_finite() {
+            println!("  <= {edge:>7.0} ms : {:>5.1} %", frac * 100.0);
+        } else {
+            println!("   > rest      : {:>5.1} %", frac * 100.0);
+        }
+        if frac >= 1.0 {
+            break;
+        }
+    }
+    println!();
+    println!(
+        "switch: {} packets, {} table hits, {} misses (PacketIns to the controller)",
+        result.switch_stats.packets, result.switch_stats.table_hits, result.switch_stats.table_misses
+    );
+    println!(
+        "controller: {} memory fast-path hits, {} held requests, {} cloud forwards",
+        result.memory_hits, result.held_requests, result.cloud_forwards
+    );
+}

@@ -1,0 +1,42 @@
+//! Fault tolerance end to end: instances crash mid-run and the platform
+//! recovers — by kubelet self-healing on Kubernetes, or by the controller's
+//! on-demand redeployment on plain Docker (the trade-off behind the paper's
+//! §VII hybrid recommendation).
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use cluster::ClusterKind;
+use simcore::SimDuration;
+use testbed::{run_bigflows, ScenarioConfig};
+
+fn run(label: &str, backend: ClusterKind) {
+    let mut cfg = ScenarioConfig::default().with_seed(17).with_backend(backend);
+    cfg.crash_mtbf = Some(SimDuration::from_secs(15));
+    let (_, r) = run_bigflows(cfg);
+    let recoveries = r.deployments.len().saturating_sub(42);
+    println!(
+        "{label:<12} {} requests ({} lost), {} crashes injected, {} controller redeployments",
+        r.records.len(),
+        r.lost,
+        r.crashes_injected,
+        recoveries,
+    );
+}
+
+fn main() {
+    println!("Five-minute bigFlows replay with an instance crash every ~15 s:\n");
+    run("Docker:", ClusterKind::Docker);
+    run("Kubernetes:", ClusterKind::Kubernetes);
+    println!(
+        "\nDocker leaves crashed containers down, so the controller redeploys when the\n\
+         next request arrives (on-demand deployment doubling as failure recovery).\n\
+         Kubernetes restarts pods itself — few controller redeployments — at the\n\
+         price of the ~3 s scale-up the paper measures in Fig. 11."
+    );
+
+    // Retry behaviour under a flaky control plane (transient API errors).
+    println!("\nTransient API failures are retried with back-off (deploy_retries=2 default);");
+    println!("see `cluster::faults::FaultyCluster` for the injection harness.");
+}

@@ -1,0 +1,79 @@
+//! Compare the Global Scheduler policies on the same workload: with
+//! waiting, without waiting (cloud detour + background deployment), the
+//! §VII hybrid (Docker first, Kubernetes after), and the load-aware
+//! ablation policy.
+//!
+//! ```text
+//! cargo run --release --example scheduler_playground
+//! ```
+
+use cluster::ClusterKind;
+use simcore::Percentiles;
+use testbed::{run_bigflows, ScenarioConfig, SchedulerKind};
+
+struct Row {
+    name: &'static str,
+    cfg: ScenarioConfig,
+}
+
+fn main() {
+    let cases = vec![
+        Row {
+            name: "with waiting (Docker)",
+            cfg: ScenarioConfig::default(),
+        },
+        Row {
+            name: "with waiting (Kubernetes)",
+            cfg: ScenarioConfig::default().with_backend(ClusterKind::Kubernetes),
+        },
+        Row {
+            name: "without waiting (detour via cloud)",
+            cfg: ScenarioConfig {
+                scheduler: SchedulerKind::NearestReadyFirst,
+                ..ScenarioConfig::default()
+            },
+        },
+        Row {
+            name: "hybrid Docker-first + K8s",
+            cfg: ScenarioConfig {
+                scheduler: SchedulerKind::HybridDockerFirst,
+                backends: vec![ClusterKind::Docker, ClusterKind::Kubernetes],
+                ..ScenarioConfig::default()
+            },
+        },
+        Row {
+            name: "least-loaded (load-aware ablation)",
+            cfg: ScenarioConfig {
+                scheduler: SchedulerKind::LeastLoaded,
+                ..ScenarioConfig::default()
+            },
+        },
+    ];
+
+    println!(
+        "{:<36} {:>9} {:>9} {:>9} {:>6} {:>6} {:>6}",
+        "policy", "median", "p99", "max", "held", "cloud", "deps"
+    );
+    for case in cases {
+        let (_, result) = run_bigflows(case.cfg.with_seed(7));
+        let mut p = Percentiles::new();
+        for r in &result.records {
+            p.record_duration(r.time_total());
+        }
+        println!(
+            "{:<36} {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>6} {:>6} {:>6}",
+            case.name,
+            p.median(),
+            p.p99(),
+            p.max(),
+            result.held_requests,
+            result.cloud_forwards,
+            result.deployments.len(),
+        );
+    }
+    println!();
+    println!(
+        "'held' = requests kept waiting at the switch during a deployment; 'cloud' = \
+         requests answered by the real cloud; 'deps' = on-demand deployments performed."
+    );
+}

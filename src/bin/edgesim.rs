@@ -1,0 +1,235 @@
+//! `edgesim` — the command-line front end to the transparent-edge simulator.
+//!
+//! ```text
+//! edgesim run <scenario.yaml>            replay the bigFlows trace under a scenario
+//! edgesim first-request <scenario.yaml>  measure one on-demand first request
+//! edgesim annotate <service.yaml> --name <svc> --port <p> [--scheduler <name>]
+//!                                        print the annotated Deployment + Service
+//! edgesim trace [--seed N]               print the generated workload trace summary
+//! ```
+//!
+//! Scenario files are documented in `testbed::config`; an empty file runs the
+//! paper's default setup (Nginx on Docker, with waiting, 20 clients).
+
+use std::process::ExitCode;
+
+use edgectl::{annotate_documents, AnnotateOptions};
+use simcore::{Percentiles, SimRng};
+use testbed::{run_bigflows, run_trace_scenario, scenario_from_yaml, ScenarioConfig, Testbed};
+use workload::{Trace, TraceConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("first-request") => cmd_first_request(&args[1..]),
+        Some("annotate") => cmd_annotate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("fabric") => cmd_fabric(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("edgesim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  edgesim run <scenario.yaml> [--trace <trace.csv>]
+  edgesim first-request <scenario.yaml>
+  edgesim annotate <service.yaml> --name <svc> --port <port> [--scheduler <name>]
+  edgesim trace [--seed N]
+  edgesim fabric [--switches N] [--no-roam]";
+
+fn load_scenario(args: &[String]) -> Result<ScenarioConfig, String> {
+    let path = args.first().ok_or("missing scenario file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = yamlite::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    scenario_from_yaml(&doc)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let cfg = load_scenario(args)?;
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1));
+    let (trace, result) = match trace_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let trace = Trace::from_csv(&text, cfg.clients)?;
+            let result = run_trace_scenario(cfg, &trace);
+            (trace, result)
+        }
+        None => run_bigflows(cfg),
+    };
+    let mut p = Percentiles::new();
+    for r in &result.records {
+        p.record_duration(r.time_total());
+    }
+    println!(
+        "requests: {} ({} lost) over {}s, services: {}",
+        result.records.len(),
+        result.lost,
+        trace.config.duration.as_secs(),
+        trace.service_addrs.len()
+    );
+    println!(
+        "deployments: {} ({} proactive), held: {}, detoured: {}, cloud: {}, scale-downs: {}, retargets: {}",
+        result.deployments.len(),
+        result.proactive_deployments,
+        result.held_requests,
+        result.detoured_requests,
+        result.cloud_forwards,
+        result.scale_downs,
+        result.retargets
+    );
+    println!(
+        "time_total: median {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        p.median(),
+        p.p90(),
+        p.p99(),
+        p.max()
+    );
+    let first = result.median_first_request_ms();
+    if first.is_finite() {
+        println!("deployment-triggering requests: median {first:.2} ms");
+    }
+    println!(
+        "switch: {} packets, {} hits, {} misses; controller memory hits: {}",
+        result.switch_stats.packets,
+        result.switch_stats.table_hits,
+        result.switch_stats.table_misses,
+        result.memory_hits
+    );
+    Ok(())
+}
+
+fn cmd_first_request(args: &[String]) -> Result<(), String> {
+    let cfg = load_scenario(args)?;
+    let addr = simnet::SocketAddr::new(simnet::IpAddr::new(93, 184, 0, 1), 80);
+    let testbed = Testbed::build(cfg, vec![addr]);
+    let result = testbed.run_single_request();
+    match result.records.first() {
+        Some(r) => println!("time_total: {}", r.time_total()),
+        None => return Err("request was lost (deployment failed?)".into()),
+    }
+    if let Some(dep) = result.deployments.first() {
+        if let Some((a, b)) = dep.pull {
+            println!("  pull:     {}", b - a);
+        }
+        if let Some((a, b)) = dep.create {
+            println!("  create:   {}", b - a);
+        }
+        if let Some((issue, accepted, _)) = dep.scale_up {
+            println!("  scale-up: {} (API)", accepted - issue);
+        }
+        println!("  wait:     {}", dep.wait_time());
+        println!("  total:    {}", dep.total());
+    } else {
+        println!("  (no deployment was needed)");
+    }
+    Ok(())
+}
+
+fn cmd_annotate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing service definition file")?;
+    let mut name = None;
+    let mut port = None;
+    let mut scheduler = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--name" => {
+                name = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--port" => {
+                port = args.get(i + 1).and_then(|p| p.parse::<u16>().ok());
+                i += 2;
+            }
+            "--scheduler" => {
+                scheduler = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let name = name.ok_or("missing --name")?;
+    let port = port.ok_or("missing or invalid --port")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let docs = yamlite::parse_all(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut opts = AnnotateOptions::new(name, port);
+    opts.local_scheduler = scheduler;
+    let out = annotate_documents(&docs, &opts).map_err(|e| e.to_string())?;
+    print!("{}", yamlite::to_string_all(&[out.deployment, out.service]));
+    Ok(())
+}
+
+fn cmd_fabric(args: &[String]) -> Result<(), String> {
+    let mut cfg = testbed::FabricConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--switches" => {
+                cfg.switches = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --switches")?;
+                i += 2;
+            }
+            "--no-roam" => {
+                cfg.roam_at = None;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let r = testbed::run_mobility(cfg);
+    println!(
+        "fabric run: {} requests ({} lost), deployments per site {:?}",
+        r.records.len(),
+        r.lost,
+        r.deployments_per_site
+    );
+    println!(
+        "median time_total before roam: {:.2} ms, after: {:.2} ms",
+        r.median_before_ms, r.median_after_ms
+    );
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let seed = match args {
+        [flag, value] if flag == "--seed" => value.parse().map_err(|_| "bad --seed")?,
+        [] => 1,
+        _ => return Err(format!("unexpected arguments\n{USAGE}")),
+    };
+    let trace = Trace::generate(TraceConfig::default(), &mut SimRng::seed_from_u64(seed));
+    let counts = trace.per_service_counts();
+    println!(
+        "trace: {} requests to {} services over {}s (seed {seed})",
+        trace.requests.len(),
+        trace.service_addrs.len(),
+        trace.config.duration.as_secs()
+    );
+    let mut by_count: Vec<(usize, usize)> = counts.iter().copied().enumerate().collect();
+    by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("top services:");
+    for &(svc, count) in by_count.iter().take(5) {
+        println!("  {} — {count} requests", trace.service_addrs[svc]);
+    }
+    println!(
+        "per-service counts: min {}, max {}",
+        counts.iter().min().unwrap(),
+        counts.iter().max().unwrap()
+    );
+    Ok(())
+}

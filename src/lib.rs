@@ -1,0 +1,14 @@
+//! Umbrella crate: re-exports every subsystem of the transparent-edge
+//! reproduction so examples and integration tests have one import root.
+//! See README.md for the architecture overview and DESIGN.md for the
+//! paper-to-module mapping.
+
+pub use cluster;
+pub use containers;
+pub use edgectl;
+pub use registry;
+pub use simcore;
+pub use simnet;
+pub use testbed;
+pub use workload;
+pub use yamlite;

@@ -1,0 +1,101 @@
+//! Scale and accounting-invariant tests: a workload several times the
+//! paper's size must run quickly, deterministically, and with every counter
+//! adding up.
+
+use cluster::ClusterKind;
+use simcore::{SimDuration, SimRng};
+use testbed::topology::SiteSpec;
+use testbed::{run_trace_scenario, ScenarioConfig, Testbed};
+use workload::{Trace, TraceConfig};
+
+#[test]
+fn ten_thousand_requests_two_hundred_services() {
+    let cfg = TraceConfig {
+        services: 200,
+        total_requests: 10_000,
+        duration: SimDuration::from_secs(600),
+        min_per_service: 10,
+        clients: 40,
+        ..TraceConfig::default()
+    };
+    let trace = Trace::generate(cfg, &mut SimRng::seed_from_u64(1));
+    assert_eq!(trace.requests.len(), 10_000);
+
+    // 200 concurrent nginx instances need ~50 cores: an 8-node EGS rack
+    // (the single-EGS default tops out at 48 instances — the controller
+    // then degrades gracefully to cloud forwarding, tested separately).
+    let scenario = ScenarioConfig {
+        clients: 40,
+        seed: 1,
+        sites: vec![(SiteSpec::egs("rack").with_nodes(8), ClusterKind::Docker)],
+        ..ScenarioConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let result = run_trace_scenario(scenario, &trace);
+    let wall = started.elapsed();
+
+    // correctness at scale
+    assert_eq!(result.records.len(), 10_000);
+    assert_eq!(result.lost, 0);
+    assert_eq!(result.deployments.len(), 200, "one deployment per service");
+
+    // accounting identities
+    let st = result.switch_stats;
+    assert_eq!(st.packets, st.table_hits + st.table_misses, "every packet hits or misses");
+    assert!(st.forwarded <= st.packets);
+    // every record belongs to a known service and client
+    for r in &result.records {
+        assert!(r.service < 200);
+        assert!(r.client < 40);
+        assert!(r.finished > r.started);
+    }
+    // simulation speed: a 10-minute scenario should simulate in seconds
+    assert!(
+        wall.as_secs() < 30,
+        "10k-request sim took {wall:?} — performance regression?"
+    );
+}
+
+#[test]
+fn saturated_edge_degrades_to_cloud_not_to_loss() {
+    // The paper-scale single EGS can hold 48 nginx instances; requesting 200
+    // services must not lose requests — the surplus is served by the cloud.
+    let cfg = TraceConfig {
+        services: 200,
+        total_requests: 4_000,
+        duration: SimDuration::from_secs(300),
+        min_per_service: 10,
+        clients: 40,
+        ..TraceConfig::default()
+    };
+    let trace = Trace::generate(cfg, &mut SimRng::seed_from_u64(3));
+    let scenario = ScenarioConfig { clients: 40, seed: 3, ..ScenarioConfig::default() };
+    let result = run_trace_scenario(scenario, &trace);
+    assert_eq!(result.records.len(), 4_000);
+    assert_eq!(result.lost, 0);
+    assert!(result.deployments.len() < 200, "the edge saturates");
+    assert!(result.cloud_forwards > 0, "overflow goes to the cloud");
+}
+
+#[test]
+fn large_run_is_deterministic() {
+    let make = || {
+        let cfg = TraceConfig {
+            services: 100,
+            total_requests: 5_000,
+            duration: SimDuration::from_secs(300),
+            min_per_service: 10,
+            clients: 30,
+            ..TraceConfig::default()
+        };
+        let trace = Trace::generate(cfg, &mut SimRng::seed_from_u64(7));
+        let scenario = ScenarioConfig { clients: 30, seed: 7, ..ScenarioConfig::default() };
+        let testbed = Testbed::build(scenario, trace.service_addrs.clone());
+        testbed.run_trace(&trace)
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.switch_stats, b.switch_stats);
+    assert_eq!(a.deployments.len(), b.deployments.len());
+}
