@@ -2,13 +2,11 @@
 //! (a PacketIn answered from memory), the scheduler decision, and FlowMemory
 //! churn (remember/recall/expire).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cluster::{DockerCluster, ServiceTemplate};
 use containers::image::synthesize_layers;
 use containers::{ImageManifest, Runtime};
-use edgectl::{
-    ClusterId, Controller, ControllerConfig, FlowKey, FlowMemory, NearestWaiting, RoundRobinLocal,
-};
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgectl::{ClusterId, Controller, ControllerConfig, FlowKey, FlowMemory, NearestWaiting};
 use registry::{Registry, RegistryProfile, RegistrySet};
 use simcore::{DurationDist, SimDuration, SimRng, SimTime};
 use simnet::openflow::{BufferId, PortId};
@@ -16,7 +14,10 @@ use simnet::{IpAddr, Packet, SocketAddr};
 
 fn registries() -> RegistrySet {
     let mut hub = Registry::new(RegistryProfile::docker_hub());
-    hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 141_000_000, 6)));
+    hub.publish(ImageManifest::new(
+        "nginx:1.23.2",
+        synthesize_layers(1, 141_000_000, 6),
+    ));
     let mut s = RegistrySet::new();
     s.add(hub);
     s
@@ -29,13 +30,11 @@ fn service_addr(i: u8) -> SocketAddr {
 /// A controller with a warm, ready nginx service.
 fn warm_controller() -> (Controller, SimTime) {
     let rng = SimRng::seed_from_u64(1);
-    let mut c = Controller::new(
-        ControllerConfig::default(),
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        PortId(0),
-    );
+    let mut c = Controller::builder(ControllerConfig::default())
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(PortId(0))
+        .build();
     c.attach_cluster(
         Box::new(DockerCluster::new(
             "egs",
@@ -46,10 +45,18 @@ fn warm_controller() -> (Controller, SimTime) {
         SimDuration::from_micros(300),
         PortId(2),
     );
-    let tpl = ServiceTemplate::single("edge-nginx", "nginx:1.23.2", 80, DurationDist::constant_ms(100.0));
+    let tpl = ServiceTemplate::single(
+        "edge-nginx",
+        "nginx:1.23.2",
+        80,
+        DurationDist::constant_ms(100.0),
+    );
     c.catalog.register(service_addr(1), tpl.clone());
     let regs = registries();
-    let t = c.cluster_mut(ClusterId(0)).pull(SimTime::ZERO, &tpl, &regs).unwrap();
+    let t = c
+        .cluster_mut(ClusterId(0))
+        .pull(SimTime::ZERO, &tpl, &regs)
+        .unwrap();
     let t = c.cluster_mut(ClusterId(0)).create(t, &tpl).unwrap();
     let warm = c
         .cluster_mut(ClusterId(0))
@@ -86,7 +93,12 @@ fn bench_packet_in_memory_hit(c: &mut Criterion) {
         b.iter(|| {
             tag += 1;
             let p = Packet::syn(SocketAddr::new(client, 40000), service_addr(1), tag);
-            let out = ctl.on_packet_in(warm + SimDuration::from_millis(tag), p, BufferId(tag), PortId(5));
+            let out = ctl.on_packet_in(
+                warm + SimDuration::from_millis(tag),
+                p,
+                BufferId(tag),
+                PortId(5),
+            );
             std::hint::black_box(out.len())
         });
     });
@@ -111,7 +123,9 @@ fn bench_flow_memory_churn(c: &mut Criterion) {
                         client_ip: IpAddr::new(10, 1, (i >> 8) as u8, (i & 0xff) as u8),
                         service_addr: service_addr((i % 42) as u8),
                     };
-                    if m.recall(SimTime::ZERO + SimDuration::from_secs(1), key).is_some() {
+                    if m.recall(SimTime::ZERO + SimDuration::from_secs(1), key)
+                        .is_some()
+                    {
                         hits += 1;
                     }
                 }
@@ -122,5 +136,10 @@ fn bench_flow_memory_churn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_packet_in_ready_instance, bench_packet_in_memory_hit, bench_flow_memory_churn);
+criterion_group!(
+    benches,
+    bench_packet_in_ready_instance,
+    bench_packet_in_memory_hit,
+    bench_flow_memory_churn
+);
 criterion_main!(benches);

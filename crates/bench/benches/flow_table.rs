@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simcore::{SimDuration, SimTime};
-use simnet::openflow::{Action, FlowMatch, FlowTable, PortId};
+use simnet::openflow::{Action, FlowMatch, FlowSpec, FlowTable, PortId};
 use simnet::{IpAddr, Packet, SocketAddr};
 
 fn sa(a: u8, b: u8, port: u16) -> SocketAddr {
@@ -16,14 +16,16 @@ fn filled_table(n: usize) -> FlowTable {
     for i in 0..n {
         let client = IpAddr::new(10, 1, (i / 250) as u8, (i % 250) as u8);
         let dst = sa(2, (i % 200) as u8, 80);
-        table.add(
+        table.install(
             SimTime::ZERO,
-            100,
-            FlowMatch::client_to_service(client, dst),
-            vec![Action::SetDstIp(IpAddr::new(10, 0, 0, 100)), Action::Output(PortId(1))],
-            Some(SimDuration::from_secs(10)),
-            None,
-            i as u64,
+            FlowSpec::new(FlowMatch::client_to_service(client, dst))
+                .priority(100)
+                .actions(vec![
+                    Action::SetDstIp(IpAddr::new(10, 0, 0, 100)),
+                    Action::Output(PortId(1)),
+                ])
+                .idle(SimDuration::from_secs(10))
+                .cookie(i as u64),
         );
     }
     table
@@ -31,7 +33,7 @@ fn filled_table(n: usize) -> FlowTable {
 
 fn bench_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_table_lookup");
-    for &n in &[16usize, 256, 2048] {
+    for &n in &[16usize, 256, 1024, 2048] {
         group.bench_with_input(BenchmarkId::new("hit_last", n), &n, |b, &n| {
             let mut table = filled_table(n);
             // match the last-installed (worst-case scan position at equal prio)
@@ -54,6 +56,36 @@ fn bench_lookup(c: &mut Criterion) {
                 std::hint::black_box(hit.is_none())
             });
         });
+        // Reference point for the indexed fast path: the pre-index
+        // implementation's priority-ordered linear scan over the same rules.
+        group.bench_with_input(
+            BenchmarkId::new("hit_last_linear_reference", n),
+            &n,
+            |b, &n| {
+                let rules: Vec<(FlowMatch, u64)> = (0..n)
+                    .map(|i| {
+                        let client = IpAddr::new(10, 1, (i / 250) as u8, (i % 250) as u8);
+                        (
+                            FlowMatch::client_to_service(client, sa(2, (i % 200) as u8, 80)),
+                            i as u64,
+                        )
+                    })
+                    .collect();
+                let client = IpAddr::new(10, 1, ((n - 1) / 250) as u8, ((n - 1) % 250) as u8);
+                let packet = Packet::syn(
+                    SocketAddr::new(client, 40000),
+                    sa(2, ((n - 1) % 200) as u8, 80),
+                    0,
+                );
+                b.iter(|| {
+                    let hit = rules
+                        .iter()
+                        .find(|(m, _)| m.matches(&packet))
+                        .map(|&(_, c)| c);
+                    std::hint::black_box(hit)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -63,14 +95,15 @@ fn bench_install(c: &mut Criterion) {
         b.iter_batched(
             || filled_table(1024),
             |mut table| {
-                table.add(
+                table.install(
                     SimTime::ZERO,
-                    100,
-                    FlowMatch::client_to_service(IpAddr::new(99, 0, 0, 1), sa(2, 1, 80)),
-                    vec![Action::Output(PortId(0))],
-                    Some(SimDuration::from_secs(10)),
-                    None,
-                    0,
+                    FlowSpec::new(FlowMatch::client_to_service(
+                        IpAddr::new(99, 0, 0, 1),
+                        sa(2, 1, 80),
+                    ))
+                    .priority(100)
+                    .action(Action::Output(PortId(0)))
+                    .idle(SimDuration::from_secs(10)),
                 );
                 table
             },
@@ -87,8 +120,11 @@ fn bench_expire_sweep(c: &mut Criterion) {
                 // touch half the entries so they survive the sweep
                 for i in 0..512 {
                     let client = IpAddr::new(10, 1, (i / 250) as u8, (i % 250) as u8);
-                    let packet =
-                        Packet::syn(SocketAddr::new(client, 40000), sa(2, (i % 200) as u8, 80), 0);
+                    let packet = Packet::syn(
+                        SocketAddr::new(client, 40000),
+                        sa(2, (i % 200) as u8, 80),
+                        0,
+                    );
                     table.lookup(SimTime::ZERO + SimDuration::from_secs(8), &packet);
                 }
                 table

@@ -27,7 +27,12 @@ fn seeds() -> Vec<u64> {
 
 fn probe_interval_ablation() {
     println!("== Ablation 1: port-probe interval (Docker, Nginx, scale-up only) ==\n");
-    let mut t = Table::new(["probe interval", "median total", "median wait", "probes/deploy (est.)"]);
+    let mut t = Table::new([
+        "probe interval",
+        "median total",
+        "median wait",
+        "probes/deploy (est.)",
+    ]);
     for ms in [5u64, 20, 50, 100, 250, 500] {
         let rows: Vec<(f64, f64)> = run_seeds(&seeds(), 0, |seed| {
             let mut cfg = ScenarioConfig::default()
@@ -35,7 +40,9 @@ fn probe_interval_ablation() {
                 .with_seed(seed);
             cfg.controller.probe_interval = SimDuration::from_millis(ms);
             let (total, dep) = measure_first_request(cfg);
-            let wait = dep.map(|d| d.wait_time().as_millis_f64()).unwrap_or(f64::NAN);
+            let wait = dep
+                .map(|d| d.wait_time().as_millis_f64())
+                .unwrap_or(f64::NAN);
             (total, wait)
         });
         let total = median(rows.iter().map(|r| r.0).collect());
@@ -48,7 +55,9 @@ fn probe_interval_ablation() {
         ]);
     }
     println!("{}", t.render());
-    println!("  * Coarser probing quantizes readiness detection: total time grows by ~interval/2.\n");
+    println!(
+        "  * Coarser probing quantizes readiness detection: total time grows by ~interval/2.\n"
+    );
 }
 
 fn kubelet_ablation() {
@@ -68,27 +77,46 @@ fn kubelet_ablation() {
         }))
     };
     let stock = measure(None);
-    t.row(["stock (calibrated EGS)".to_string(), fmt_ms(stock), "-".to_string()]);
+    t.row([
+        "stock (calibrated EGS)".to_string(),
+        fmt_ms(stock),
+        "-".to_string(),
+    ]);
     let cases: Vec<(&str, K8sTimings)> = vec![
         (
             "instant readiness probes (period → 0.1 s)",
-            K8sTimings { readiness_probe_period: SimDuration::from_millis(100), ..K8sTimings::egs() },
+            K8sTimings {
+                readiness_probe_period: SimDuration::from_millis(100),
+                ..K8sTimings::egs()
+            },
         ),
         (
             "fast kubelet sync (380 → 50 ms)",
-            K8sTimings { kubelet_sync: DurationDist::log_normal_ms(50.0, 0.25), ..K8sTimings::egs() },
+            K8sTimings {
+                kubelet_sync: DurationDist::log_normal_ms(50.0, 0.25),
+                ..K8sTimings::egs()
+            },
         ),
         (
             "fast watches (85 → 10 ms)",
-            K8sTimings { watch_latency: DurationDist::log_normal_ms(10.0, 0.3), ..K8sTimings::egs() },
+            K8sTimings {
+                watch_latency: DurationDist::log_normal_ms(10.0, 0.3),
+                ..K8sTimings::egs()
+            },
         ),
         (
             "dedicated scheduler (260 → 60 ms)",
-            K8sTimings { scheduler_latency: DurationDist::log_normal_ms(60.0, 0.3), ..K8sTimings::egs() },
+            K8sTimings {
+                scheduler_latency: DurationDist::log_normal_ms(60.0, 0.3),
+                ..K8sTimings::egs()
+            },
         ),
         (
             "fast endpoints propagation (230 → 30 ms)",
-            K8sTimings { endpoints_propagation: DurationDist::log_normal_ms(30.0, 0.3), ..K8sTimings::egs() },
+            K8sTimings {
+                endpoints_propagation: DurationDist::log_normal_ms(30.0, 0.3),
+                ..K8sTimings::egs()
+            },
         ),
         (
             "all of the above",
@@ -104,7 +132,11 @@ fn kubelet_ablation() {
     ];
     for (name, timings) in cases {
         let ms = measure(Some(timings));
-        t.row([name.to_string(), fmt_ms(ms), format!("{:+.0} ms", ms - stock)]);
+        t.row([
+            name.to_string(),
+            fmt_ms(ms),
+            format!("{:+.0} ms", ms - stock),
+        ]);
     }
     let docker: f64 = median(run_seeds(&seeds(), 0, |seed| {
         let cfg = ScenarioConfig::default()
@@ -122,7 +154,9 @@ fn kubelet_ablation() {
 }
 
 fn idle_timeout_ablation() {
-    println!("== Ablation 3: FlowMemory idle timeout → scale-downs and redeploys (bigFlows trace) ==\n");
+    println!(
+        "== Ablation 3: FlowMemory idle timeout → scale-downs and redeploys (bigFlows trace) ==\n"
+    );
     let mut t = Table::new([
         "idle timeout",
         "scale-downs",
@@ -131,18 +165,19 @@ fn idle_timeout_ablation() {
         "median all",
     ]);
     for secs in [15u64, 30, 60, 120, 600] {
-        let rows: Vec<(u64, usize, f64, f64)> = run_seeds(&(1..=5).collect::<Vec<_>>(), 0, |seed| {
-            let mut cfg = ScenarioConfig::default().with_seed(seed);
-            cfg.controller.scale_down_idle = true;
-            cfg.controller.memory_idle_timeout = SimDuration::from_secs(secs);
-            let (_, r) = run_bigflows(cfg);
-            (
-                r.scale_downs,
-                r.deployments.len(),
-                r.median_first_request_ms(),
-                r.median_time_total_ms(),
-            )
-        });
+        let rows: Vec<(u64, usize, f64, f64)> =
+            run_seeds(&(1..=5).collect::<Vec<_>>(), 0, |seed| {
+                let mut cfg = ScenarioConfig::default().with_seed(seed);
+                cfg.controller.scale_down_idle = true;
+                cfg.controller.memory_idle_timeout = SimDuration::from_secs(secs);
+                let (_, r) = run_bigflows(cfg);
+                (
+                    r.scale_downs,
+                    r.deployments.len(),
+                    r.median_first_request_ms(),
+                    r.median_time_total_ms(),
+                )
+            });
         let sd = rows.iter().map(|r| r.0).sum::<u64>() / rows.len() as u64;
         let deps = rows.iter().map(|r| r.1).sum::<usize>() / rows.len();
         let first = median(rows.iter().map(|r| r.2).collect());
@@ -164,15 +199,21 @@ fn strategy_ablation() {
     let mut t = Table::new(["strategy", "held", "cloud detours", "p99 all requests"]);
     let cases: Vec<(&str, ScenarioConfig)> = vec![
         ("with waiting (Docker)", ScenarioConfig::default()),
-        ("without waiting", ScenarioConfig {
-            scheduler: SchedulerKind::NearestReadyFirst,
-            ..ScenarioConfig::default()
-        }),
-        ("hybrid Docker+K8s", ScenarioConfig {
-            scheduler: SchedulerKind::HybridDockerFirst,
-            backends: vec![ClusterKind::Docker, ClusterKind::Kubernetes],
-            ..ScenarioConfig::default()
-        }),
+        (
+            "without waiting",
+            ScenarioConfig {
+                scheduler: SchedulerKind::NearestReadyFirst,
+                ..ScenarioConfig::default()
+            },
+        ),
+        (
+            "hybrid Docker+K8s",
+            ScenarioConfig {
+                scheduler: SchedulerKind::HybridDockerFirst,
+                backends: vec![ClusterKind::Docker, ClusterKind::Kubernetes],
+                ..ScenarioConfig::default()
+            },
+        ),
     ];
     for (name, cfg) in cases {
         let rows: Vec<(u64, u64, f64)> = run_seeds(&(1..=5).collect::<Vec<_>>(), 0, |seed| {
@@ -186,7 +227,12 @@ fn strategy_ablation() {
         let held = rows.iter().map(|r| r.0).sum::<u64>() / rows.len() as u64;
         let cloud = rows.iter().map(|r| r.1).sum::<u64>() / rows.len() as u64;
         let p99 = median(rows.iter().map(|r| r.2).collect());
-        t.row([name.to_string(), held.to_string(), cloud.to_string(), fmt_ms(p99)]);
+        t.row([
+            name.to_string(),
+            held.to_string(),
+            cloud.to_string(),
+            fmt_ms(p99),
+        ]);
     }
     println!("{}", t.render());
     println!("  * Waiting concentrates latency in few held requests (high p99); detouring spreads a small WAN penalty over the first requests.\n");
@@ -194,7 +240,11 @@ fn strategy_ablation() {
 
 fn resnet_waiting_ablation() {
     println!("== Ablation 5: which service types tolerate on-demand waiting ==\n");
-    let mut t = Table::new(["service", "first-request total (Docker)", "verdict vs 1 s budget"]);
+    let mut t = Table::new([
+        "service",
+        "first-request total (Docker)",
+        "verdict vs 1 s budget",
+    ]);
     for kind in ServiceKind::ALL {
         let total = median(run_seeds(&seeds(), 0, |seed| {
             let cfg = ScenarioConfig::default()
@@ -203,7 +253,11 @@ fn resnet_waiting_ablation() {
                 .with_seed(seed);
             measure_first_request(cfg).0
         }));
-        let verdict = if total < 1000.0 { "OK for most apps" } else { "needs without-waiting / pre-deploy" };
+        let verdict = if total < 1000.0 {
+            "OK for most apps"
+        } else {
+            "needs without-waiting / pre-deploy"
+        };
         t.row([kind.to_string(), fmt_ms(total), verdict.to_string()]);
     }
     println!("{}", t.render());

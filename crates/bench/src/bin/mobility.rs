@@ -21,11 +21,18 @@ fn main() {
     for (name, cfg) in [
         (
             "no roaming",
-            FabricConfig { roam_at: None, seed: 3, ..FabricConfig::default() },
+            FabricConfig {
+                roam_at: None,
+                seed: 3,
+                ..FabricConfig::default()
+            },
         ),
         (
             "roam at t=60 s (2 switches)",
-            FabricConfig { seed: 3, ..FabricConfig::default() },
+            FabricConfig {
+                seed: 3,
+                ..FabricConfig::default()
+            },
         ),
         (
             "roam at t=60 s (3-switch chain)",

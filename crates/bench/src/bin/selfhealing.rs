@@ -5,7 +5,10 @@
 //! the service stays unreachable on each backend.
 
 use bench::report::{fmt_ms, Table};
-use cluster::{ClusterBackend, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate, WasmEdgeCluster, WasmTimings};
+use cluster::{
+    ClusterBackend, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate, WasmEdgeCluster,
+    WasmTimings,
+};
 use containers::Runtime;
 use simcore::{run_seeds, DurationDist, Percentiles, SimDuration, SimRng, SimTime};
 use simnet::IpAddr;
@@ -46,7 +49,8 @@ fn main() {
         80,
         DurationDist::log_normal_ms(110.0, 0.2),
     );
-    let wasm_fn = ServiceTemplate::single("wasm-web-00", "edge/web-fn.wasm", 80, DurationDist::zero());
+    let wasm_fn =
+        ServiceTemplate::single("wasm-web-00", "edge/web-fn.wasm", 80, DurationDist::zero());
 
     let mut t = Table::new(["backend", "self-heals?", "median downtime after crash"]);
 
@@ -65,7 +69,9 @@ fn main() {
     t.row([
         "Docker (no restart policy)".to_string(),
         "no — controller must redeploy".to_string(),
-        docker_downtime.map(fmt_ms).unwrap_or_else(|| "∞ (until next request)".into()),
+        docker_downtime
+            .map(fmt_ms)
+            .unwrap_or_else(|| "∞ (until next request)".into()),
     ]);
 
     let k8s_downtime = median_downtime(

@@ -9,8 +9,8 @@
 
 use cluster::ClusterKind;
 use containers::ImageStore;
-use simcore::{run_seeds, Percentiles, SimRng, SimTime, TimeSeries};
 use simcore::time::SimDuration;
+use simcore::{run_seeds, Percentiles, SimRng, SimTime, TimeSeries};
 use testbed::{measure_first_request, run_bigflows, PhaseSetup, ScenarioConfig, SchedulerKind};
 use workload::{ServiceKind, ServiceProfile, Trace, TraceConfig};
 
@@ -40,7 +40,12 @@ pub struct Experiment {
 
 impl Experiment {
     pub fn render(&self) -> String {
-        let mut out = format!("== {} — {} ==\n\n{}", self.id, self.title, self.table.render());
+        let mut out = format!(
+            "== {} — {} ==\n\n{}",
+            self.id,
+            self.title,
+            self.table.render()
+        );
         if !self.notes.is_empty() {
             out.push('\n');
             for n in &self.notes {
@@ -57,7 +62,14 @@ impl Experiment {
 
 /// Table I: the four edge services.
 pub fn table1() -> Experiment {
-    let mut t = Table::new(["Service", "Image(s)", "Size", "Layers", "Containers", "HTTP"]);
+    let mut t = Table::new([
+        "Service",
+        "Image(s)",
+        "Size",
+        "Layers",
+        "Containers",
+        "HTTP",
+    ]);
     for p in ServiceProfile::catalog() {
         let images: Vec<String> = p.manifests.iter().map(|m| m.reference.0.clone()).collect();
         let size = p.image_bytes();
@@ -107,15 +119,13 @@ pub fn fig09(seed: u64) -> Experiment {
         id: "Fig. 9",
         title: "Distribution of 1708 requests to 42 edge services over five minutes",
         table: t,
-        notes: vec![
-            format!(
-                "{} requests to {} services; per-service counts {}..{} (paper: every service ≥ 20).",
-                trace.requests.len(),
-                trace.service_addrs.len(),
-                min,
-                max
-            ),
-        ],
+        notes: vec![format!(
+            "{} requests to {} services; per-service counts {}..{} (paper: every service ≥ 20).",
+            trace.requests.len(),
+            trace.service_addrs.len(),
+            min,
+            max
+        )],
     }
 }
 
@@ -134,13 +144,11 @@ pub fn fig10(seed: u64) -> Experiment {
         id: "Fig. 10",
         title: "Distribution of 42 edge service deployments over five minutes",
         table: t,
-        notes: vec![
-            format!(
-                "{} deployments, peak {}/s (paper: 42 deployments, up to 8/s in the beginning).",
-                result.deployments.len(),
-                ts.peak()
-            ),
-        ],
+        notes: vec![format!(
+            "{} deployments, peak {}/s (paper: 42 deployments, up to 8/s in the beginning).",
+            result.deployments.len(),
+            ts.peak()
+        )],
     }
 }
 
@@ -179,11 +187,21 @@ fn first_request_median_ms(
 
 /// Median plus interquartile range, mirroring the paper's boxplots.
 fn fmt_box(p: &mut Percentiles) -> String {
-    format!("{} [{}..{}]", fmt_ms(p.median()), fmt_ms(p.p25()), fmt_ms(p.p75()))
+    format!(
+        "{} [{}..{}]",
+        fmt_ms(p.median()),
+        fmt_ms(p.p25()),
+        fmt_ms(p.p75())
+    )
 }
 
 fn phase_table(phase: PhaseSetup, seeds: &[u64]) -> Table {
-    let mut t = Table::new(["Service", "Docker  median [IQR]", "K8s  median [IQR]", "K8s / Docker"]);
+    let mut t = Table::new([
+        "Service",
+        "Docker  median [IQR]",
+        "K8s  median [IQR]",
+        "K8s / Docker",
+    ]);
     for kind in ServiceKind::ALL {
         let mut d = first_request_samples(kind, ClusterKind::Docker, phase, seeds);
         let mut k = first_request_samples(kind, ClusterKind::Kubernetes, phase, seeds);
@@ -294,7 +312,9 @@ fn wait_median_ms(
             .with_phase(phase)
             .with_seed(seed);
         let (_, dep) = measure_first_request(cfg);
-        dep.expect("first request deploys").wait_time().as_millis_f64()
+        dep.expect("first request deploys")
+            .wait_time()
+            .as_millis_f64()
     }))
 }
 
@@ -368,10 +388,7 @@ pub fn hybrid(seeds: &[u64]) -> Experiment {
         "deployments",
     ]);
     let strategies: Vec<(&str, ScenarioConfig)> = vec![
-        (
-            "Docker, with waiting",
-            ScenarioConfig::default(),
-        ),
+        ("Docker, with waiting", ScenarioConfig::default()),
         (
             "K8s, with waiting",
             ScenarioConfig::default().with_backend(ClusterKind::Kubernetes),
@@ -452,25 +469,34 @@ pub fn hierarchy(seeds: &[u64]) -> Experiment {
         "retargets",
     ]);
     let cases: Vec<(&str, ScenarioConfig)> = vec![
-        ("near Pi edge, with waiting", ScenarioConfig {
-            sites: vec![(near_pi(), ClusterKind::Docker)],
-            ..ScenarioConfig::default()
-        }),
-        ("near Pi + far EGS (running), without waiting", ScenarioConfig {
-            sites: vec![
-                (near_pi(), ClusterKind::Docker),
-                (far_egs(), ClusterKind::Docker),
-            ],
-            scheduler: SchedulerKind::NearestReadyFirst,
-            phase_setup: PhaseSetup::Running,
-            prewarm_sites: Some(vec![1]),
-            ..ScenarioConfig::default()
-        }),
-        ("near Pi edge only, without waiting (cloud detour)", ScenarioConfig {
-            sites: vec![(near_pi(), ClusterKind::Docker)],
-            scheduler: SchedulerKind::NearestReadyFirst,
-            ..ScenarioConfig::default()
-        }),
+        (
+            "near Pi edge, with waiting",
+            ScenarioConfig {
+                sites: vec![(near_pi(), ClusterKind::Docker)],
+                ..ScenarioConfig::default()
+            },
+        ),
+        (
+            "near Pi + far EGS (running), without waiting",
+            ScenarioConfig {
+                sites: vec![
+                    (near_pi(), ClusterKind::Docker),
+                    (far_egs(), ClusterKind::Docker),
+                ],
+                scheduler: SchedulerKind::NearestReadyFirst,
+                phase_setup: PhaseSetup::Running,
+                prewarm_sites: Some(vec![1]),
+                ..ScenarioConfig::default()
+            },
+        ),
+        (
+            "near Pi edge only, without waiting (cloud detour)",
+            ScenarioConfig {
+                sites: vec![(near_pi(), ClusterKind::Docker)],
+                scheduler: SchedulerKind::NearestReadyFirst,
+                ..ScenarioConfig::default()
+            },
+        ),
     ];
     for (name, cfg) in cases {
         let rows: Vec<(f64, f64, u64, u64, u64)> = run_seeds(seeds, 0, |seed| {
@@ -494,9 +520,18 @@ pub fn hierarchy(seeds: &[u64]) -> Experiment {
             name.to_string(),
             fmt_ms(med(|r| r.0)),
             fmt_ms(med(|r| r.1)),
-            format!("{}", rows.iter().map(|r| r.2).sum::<u64>() / rows.len() as u64),
-            format!("{}", rows.iter().map(|r| r.3).sum::<u64>() / rows.len() as u64),
-            format!("{}", rows.iter().map(|r| r.4).sum::<u64>() / rows.len() as u64),
+            format!(
+                "{}",
+                rows.iter().map(|r| r.2).sum::<u64>() / rows.len() as u64
+            ),
+            format!(
+                "{}",
+                rows.iter().map(|r| r.3).sum::<u64>() / rows.len() as u64
+            ),
+            format!(
+                "{}",
+                rows.iter().map(|r| r.4).sum::<u64>() / rows.len() as u64
+            ),
         ]);
     }
     Experiment {
@@ -524,7 +559,11 @@ pub fn proactive(seeds: &[u64]) -> Experiment {
         ("none (paper baseline)", PredictorKind::None, false),
         ("oracle (perfect foresight)", PredictorKind::Oracle, false),
         ("none + 30 s idle scale-down", PredictorKind::None, true),
-        ("popularity + 30 s idle scale-down", PredictorKind::Popularity, true),
+        (
+            "popularity + 30 s idle scale-down",
+            PredictorKind::Popularity,
+            true,
+        ),
     ];
     for (name, kind, scale_down) in cases {
         let rows: Vec<(u64, u64, f64, f64)> = run_seeds(seeds, 0, |seed| {
@@ -551,8 +590,14 @@ pub fn proactive(seeds: &[u64]) -> Experiment {
         };
         t.row([
             name.to_string(),
-            format!("{}", rows.iter().map(|r| r.0).sum::<u64>() / rows.len() as u64),
-            format!("{}", rows.iter().map(|r| r.1).sum::<u64>() / rows.len() as u64),
+            format!(
+                "{}",
+                rows.iter().map(|r| r.0).sum::<u64>() / rows.len() as u64
+            ),
+            format!(
+                "{}",
+                rows.iter().map(|r| r.1).sum::<u64>() / rows.len() as u64
+            ),
             fmt_ms(med(|r| r.2)),
             fmt_ms(med(|r| r.3)),
         ]);
@@ -578,9 +623,24 @@ pub fn futurework_wasm(seeds: &[u64]) -> Experiment {
     ] {
         t.row([
             label.to_string(),
-            fmt_ms(first_request_median_ms(ServiceKind::Nginx, ClusterKind::Docker, phase, seeds)),
-            fmt_ms(first_request_median_ms(ServiceKind::Nginx, ClusterKind::Kubernetes, phase, seeds)),
-            fmt_ms(first_request_median_ms(ServiceKind::WasmWeb, ClusterKind::Wasm, phase, seeds)),
+            fmt_ms(first_request_median_ms(
+                ServiceKind::Nginx,
+                ClusterKind::Docker,
+                phase,
+                seeds,
+            )),
+            fmt_ms(first_request_median_ms(
+                ServiceKind::Nginx,
+                ClusterKind::Kubernetes,
+                phase,
+                seeds,
+            )),
+            fmt_ms(first_request_median_ms(
+                ServiceKind::WasmWeb,
+                ClusterKind::Wasm,
+                phase,
+                seeds,
+            )),
         ]);
     }
     Experiment {
@@ -597,8 +657,16 @@ pub fn futurework_wasm(seeds: &[u64]) -> Experiment {
 /// by `all_experiments` and the EXPERIMENTS.md generator). `quick` trims
 /// seeds for CI-speed runs.
 pub fn all(quick: bool) -> Vec<Experiment> {
-    let seeds: Vec<u64> = if quick { (1..=7).collect() } else { default_seeds() };
-    let trace_seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=9).collect() };
+    let seeds: Vec<u64> = if quick {
+        (1..=7).collect()
+    } else {
+        default_seeds()
+    };
+    let trace_seeds: Vec<u64> = if quick {
+        (1..=3).collect()
+    } else {
+        (1..=9).collect()
+    };
     vec![
         table1(),
         fig09(1),

@@ -121,15 +121,26 @@ pub trait ClusterBackend {
     /// Phase 2: create the service — Docker: create the container(s);
     /// Kubernetes: create Deployment + Service with zero replicas.
     /// Returns the creation-complete instant.
-    fn create(&mut self, now: SimTime, template: &ServiceTemplate) -> Result<SimTime, ClusterError>;
+    fn create(&mut self, now: SimTime, template: &ServiceTemplate)
+        -> Result<SimTime, ClusterError>;
 
     /// Phase 3: scale the service to `replicas`. The controller still
     /// verifies readiness by polling the port (paper §VI) — the receipt's
     /// `expected_ready` is the backend's own view, not a promise.
-    fn scale_up(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<ScaleReceipt, ClusterError>;
+    fn scale_up(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<ScaleReceipt, ClusterError>;
 
     /// Scale down to `replicas` (0 = stop all instances, keep the service).
-    fn scale_down(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<SimTime, ClusterError>;
+    fn scale_down(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<SimTime, ClusterError>;
 
     /// Remove the service entirely (containers / Deployment + Service).
     fn remove(&mut self, now: SimTime, service: &str) -> Result<SimTime, ClusterError>;

@@ -13,7 +13,9 @@ use registry::RegistrySet;
 use simcore::{DurationDist, SimRng, SimTime};
 use simnet::{IpAddr, SocketAddr};
 
-use crate::api::{ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus};
+use crate::api::{
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+};
 use crate::template::ServiceTemplate;
 
 /// One replica of a service: the containers backing it and the host port
@@ -49,7 +51,12 @@ pub struct DockerCluster {
 }
 
 impl DockerCluster {
-    pub fn new(name: impl Into<String>, ip: IpAddr, runtime: Runtime, rng: SimRng) -> DockerCluster {
+    pub fn new(
+        name: impl Into<String>,
+        ip: IpAddr,
+        runtime: Runtime,
+        rng: SimRng,
+    ) -> DockerCluster {
         DockerCluster {
             name: name.into(),
             ip,
@@ -104,7 +111,12 @@ impl DockerCluster {
         }
         let host_port = self.alloc_port();
         Ok((
-            Replica { containers, host_port, started: false, ready_at: SimTime::FAR_FUTURE },
+            Replica {
+                containers,
+                host_port,
+                started: false,
+                ready_at: SimTime::FAR_FUTURE,
+            },
             t,
         ))
     }
@@ -161,13 +173,19 @@ impl ClusterBackend for DockerCluster {
                 .ok_or_else(|| ClusterError::ImageUnavailable(image.clone()))?;
             let outcome = reg
                 .pull(t, image, &mut self.runtime.store, &mut self.rng)
-                .map_err(|registry::PullError::UnknownImage(i)| ClusterError::ImageUnavailable(i))?;
+                .map_err(|registry::PullError::UnknownImage(i)| {
+                    ClusterError::ImageUnavailable(i)
+                })?;
             t = outcome.completed_at;
         }
         Ok(t)
     }
 
-    fn create(&mut self, now: SimTime, template: &ServiceTemplate) -> Result<SimTime, ClusterError> {
+    fn create(
+        &mut self,
+        now: SimTime,
+        template: &ServiceTemplate,
+    ) -> Result<SimTime, ClusterError> {
         if self.services.contains_key(&template.name) {
             return Err(ClusterError::AlreadyCreated(template.name.clone()));
         }
@@ -183,7 +201,12 @@ impl ClusterBackend for DockerCluster {
         Ok(done)
     }
 
-    fn scale_up(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<ScaleReceipt, ClusterError> {
+    fn scale_up(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<ScaleReceipt, ClusterError> {
         if !self.services.contains_key(service) {
             return Err(ClusterError::NotCreated(service.to_string()));
         }
@@ -195,7 +218,11 @@ impl ClusterBackend for DockerCluster {
         for _ in current..replicas {
             let (replica, done) = self.create_replica(t, &template)?;
             t = done;
-            self.services.get_mut(service).unwrap().replicas.push(replica);
+            self.services
+                .get_mut(service)
+                .unwrap()
+                .replicas
+                .push(replica);
         }
 
         // Start all not-yet-started replicas up to the desired count.
@@ -221,15 +248,27 @@ impl ClusterBackend for DockerCluster {
         // Replicas already started but still warming up gate readiness too
         // (a repeated scale-up while the first is in flight must not claim
         // instant readiness).
-        for r in self.services[service].replicas.iter().take(replicas as usize) {
+        for r in self.services[service]
+            .replicas
+            .iter()
+            .take(replicas as usize)
+        {
             if r.started {
                 ready = ready.max(r.ready_at);
             }
         }
-        Ok(ScaleReceipt { accepted_at: accepted, expected_ready: ready })
+        Ok(ScaleReceipt {
+            accepted_at: accepted,
+            expected_ready: ready,
+        })
     }
 
-    fn scale_down(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<SimTime, ClusterError> {
+    fn scale_down(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<SimTime, ClusterError> {
         if !self.services.contains_key(service) {
             return Err(ClusterError::UnknownService(service.to_string()));
         }
@@ -273,7 +312,10 @@ impl ClusterBackend for DockerCluster {
                     self.runtime.get(id).map(|c| c.state_at(t)),
                     Some(ContainerState::Created | ContainerState::Stopped)
                 ) {
-                    t = self.runtime.remove(t, id).expect("remove stopped container");
+                    t = self
+                        .runtime
+                        .remove(t, id)
+                        .expect("remove stopped container");
                 }
             }
         }
@@ -371,7 +413,9 @@ impl ClusterBackend for DockerCluster {
         svc.replicas[idx].ready_at = SimTime::FAR_FUTURE;
         let ids = svc.replicas[idx].containers.clone();
         for id in ids {
-            self.runtime.crash(now, id).expect("victim containers are running");
+            self.runtime
+                .crash(now, id)
+                .expect("victim containers are running");
         }
         CrashOutcome::Down
     }
@@ -386,7 +430,10 @@ mod tests {
 
     fn registries() -> RegistrySet {
         let mut hub = Registry::new(RegistryProfile::docker_hub());
-        hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 141_000_000, 6)));
+        hub.publish(ImageManifest::new(
+            "nginx:1.23.2",
+            synthesize_layers(1, 141_000_000, 6),
+        ));
         hub.publish(ImageManifest::new(
             "josefhammer/env-writer-py",
             synthesize_layers(2, 46_000_000, 1),
@@ -551,7 +598,10 @@ mod tests {
         assert!(!c.status(gone, "nginx-svc").created);
         assert!(c.services().is_empty());
         // image still cached after remove (paper: images survive service removal)
-        assert!(c.runtime.store.has_image(&containers::ImageRef::new("nginx:1.23.2")));
+        assert!(c
+            .runtime
+            .store
+            .has_image(&containers::ImageRef::new("nginx:1.23.2")));
     }
 
     #[test]

@@ -8,7 +8,9 @@ use containers::ImageRef;
 use registry::RegistrySet;
 use simcore::{DurationDist, SimRng, SimTime};
 
-use crate::api::{ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus};
+use crate::api::{
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+};
 use crate::template::ServiceTemplate;
 
 /// Failure probabilities and latency inflation per operation class.
@@ -57,7 +59,12 @@ pub struct FaultyCluster<B> {
 
 impl<B: ClusterBackend> FaultyCluster<B> {
     pub fn new(inner: B, plan: FaultPlan, rng: SimRng) -> FaultyCluster<B> {
-        FaultyCluster { inner, plan, rng, injected: 0 }
+        FaultyCluster {
+            inner,
+            plan,
+            rng,
+            injected: 0,
+        }
     }
 
     fn roll(&mut self, p: f64) -> bool {
@@ -89,14 +96,22 @@ impl<B: ClusterBackend> ClusterBackend for FaultyCluster<B> {
     ) -> Result<SimTime, ClusterError> {
         if self.roll(self.plan.pull_failure) {
             return Err(ClusterError::ImageUnavailable(
-                template.images().next().cloned().unwrap_or_else(|| ImageRef::new("unknown")),
+                template
+                    .images()
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| ImageRef::new("unknown")),
             ));
         }
         let start = self.delay(now);
         self.inner.pull(start, template, registries)
     }
 
-    fn create(&mut self, now: SimTime, template: &ServiceTemplate) -> Result<SimTime, ClusterError> {
+    fn create(
+        &mut self,
+        now: SimTime,
+        template: &ServiceTemplate,
+    ) -> Result<SimTime, ClusterError> {
         if self.roll(self.plan.create_failure) {
             return Err(ClusterError::InsufficientResources("api"));
         }
@@ -104,7 +119,12 @@ impl<B: ClusterBackend> ClusterBackend for FaultyCluster<B> {
         self.inner.create(start, template)
     }
 
-    fn scale_up(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<ScaleReceipt, ClusterError> {
+    fn scale_up(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<ScaleReceipt, ClusterError> {
         if self.roll(self.plan.scale_up_failure) {
             return Err(ClusterError::InsufficientResources("placement"));
         }
@@ -112,7 +132,12 @@ impl<B: ClusterBackend> ClusterBackend for FaultyCluster<B> {
         self.inner.scale_up(start, service, replicas)
     }
 
-    fn scale_down(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<SimTime, ClusterError> {
+    fn scale_down(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<SimTime, ClusterError> {
         self.inner.scale_down(now, service, replicas)
     }
 
@@ -157,7 +182,10 @@ mod tests {
 
     fn registries() -> RegistrySet {
         let mut hub = Registry::new(RegistryProfile::docker_hub());
-        hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 1_000_000, 2)));
+        hub.publish(ImageManifest::new(
+            "nginx:1.23.2",
+            synthesize_layers(1, 1_000_000, 2),
+        ));
         let mut s = RegistrySet::new();
         s.add(hub);
         s

@@ -25,7 +25,9 @@ use registry::RegistrySet;
 use simcore::{DurationDist, SimDuration, SimRng, SimTime};
 use simnet::{IpAddr, SocketAddr};
 
-use crate::api::{ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus};
+use crate::api::{
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+};
 use crate::template::ServiceTemplate;
 
 /// Control-plane latency knobs.
@@ -127,7 +129,11 @@ impl K8sCluster {
 
     /// Walk the control-plane chain for one new pod, starting from the
     /// moment the replica-count change is committed. Returns the pod.
-    fn spawn_pod(&mut self, committed: SimTime, template: &ServiceTemplate) -> Result<Pod, ClusterError> {
+    fn spawn_pod(
+        &mut self,
+        committed: SimTime,
+        template: &ServiceTemplate,
+    ) -> Result<Pod, ClusterError> {
         // deployment controller observes scale change, updates ReplicaSet
         let mut t = committed
             + self.sample(|t| &t.watch_latency)
@@ -199,7 +205,11 @@ impl K8sCluster {
             + self.sample(|t| &t.watch_latency)
             + self.sample(|t| &t.endpoints_propagation);
 
-        Ok(Pod { containers, connectable_at, terminating: false })
+        Ok(Pod {
+            containers,
+            connectable_at,
+            terminating: false,
+        })
     }
 }
 
@@ -225,7 +235,9 @@ impl ClusterBackend for K8sCluster {
                 .ok_or_else(|| ClusterError::ImageUnavailable(image.clone()))?;
             let outcome = reg
                 .pull(t, image, &mut self.runtime.store, &mut self.rng)
-                .map_err(|registry::PullError::UnknownImage(i)| ClusterError::ImageUnavailable(i))?;
+                .map_err(|registry::PullError::UnknownImage(i)| {
+                    ClusterError::ImageUnavailable(i)
+                })?;
             t = outcome.completed_at;
         }
         Ok(t)
@@ -233,7 +245,11 @@ impl ClusterBackend for K8sCluster {
 
     /// Create = `kubectl apply` of the annotated Deployment (replicas: 0) and
     /// the generated Service: two API writes, no pods yet.
-    fn create(&mut self, now: SimTime, template: &ServiceTemplate) -> Result<SimTime, ClusterError> {
+    fn create(
+        &mut self,
+        now: SimTime,
+        template: &ServiceTemplate,
+    ) -> Result<SimTime, ClusterError> {
         if self.services.contains_key(&template.name) {
             return Err(ClusterError::AlreadyCreated(template.name.clone()));
         }
@@ -252,7 +268,12 @@ impl ClusterBackend for K8sCluster {
         Ok(t)
     }
 
-    fn scale_up(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<ScaleReceipt, ClusterError> {
+    fn scale_up(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<ScaleReceipt, ClusterError> {
         if !self.services.contains_key(service) {
             return Err(ClusterError::NotCreated(service.to_string()));
         }
@@ -288,10 +309,18 @@ impl ClusterBackend for K8sCluster {
         }
         let svc = self.services.get_mut(service).unwrap();
         svc.desired = svc.desired.max(replicas);
-        Ok(ScaleReceipt { accepted_at: committed, expected_ready: latest })
+        Ok(ScaleReceipt {
+            accepted_at: committed,
+            expected_ready: latest,
+        })
     }
 
-    fn scale_down(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<SimTime, ClusterError> {
+    fn scale_down(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<SimTime, ClusterError> {
         if !self.services.contains_key(service) {
             return Err(ClusterError::UnknownService(service.to_string()));
         }
@@ -318,7 +347,10 @@ impl ClusterBackend for K8sCluster {
         }
         for id in stops {
             if self.runtime.get(id).map(|c| c.state_at(t)) == Some(ContainerState::Running) {
-                t = self.runtime.stop(t, id).expect("stop running pod container");
+                t = self
+                    .runtime
+                    .stop(t, id)
+                    .expect("stop running pod container");
             }
         }
         Ok(t)
@@ -442,7 +474,10 @@ mod tests {
 
     fn registries() -> RegistrySet {
         let mut hub = Registry::new(RegistryProfile::docker_hub());
-        hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 141_000_000, 6)));
+        hub.publish(ImageManifest::new(
+            "nginx:1.23.2",
+            synthesize_layers(1, 141_000_000, 6),
+        ));
         let mut s = RegistrySet::new();
         s.add(hub);
         s
@@ -460,7 +495,12 @@ mod tests {
     }
 
     fn nginx() -> ServiceTemplate {
-        ServiceTemplate::single("nginx-svc", "nginx:1.23.2", 80, DurationDist::constant_ms(110.0))
+        ServiceTemplate::single(
+            "nginx-svc",
+            "nginx:1.23.2",
+            80,
+            DurationDist::constant_ms(110.0),
+        )
     }
 
     fn deploy_ready_ms(seed: u64) -> f64 {
@@ -512,7 +552,10 @@ mod tests {
         let k = med(&mut k8s_ms);
         let d = med(&mut docker_ms);
         let factor = k / d;
-        assert!((3.0..9.0).contains(&factor), "k8s/docker = {factor} (k={k}, d={d})");
+        assert!(
+            (3.0..9.0).contains(&factor),
+            "k8s/docker = {factor} (k={k}, d={d})"
+        );
     }
 
     #[test]
@@ -580,7 +623,10 @@ mod tests {
         let ready = c.scale_up(created, "nginx-svc", 1).unwrap().expected_ready;
         let gone = c.remove(ready, "nginx-svc").unwrap();
         assert!(!c.status(gone, "nginx-svc").created);
-        assert!(c.runtime.store.has_image(&containers::ImageRef::new("nginx:1.23.2")));
+        assert!(c
+            .runtime
+            .store
+            .has_image(&containers::ImageRef::new("nginx:1.23.2")));
         assert_eq!(c.runtime.container_count(), 0);
     }
 

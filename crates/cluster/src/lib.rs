@@ -29,5 +29,5 @@ pub use api::{ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ServiceSt
 pub use docker::DockerCluster;
 pub use faults::{FaultPlan, FaultyCluster};
 pub use k8s::{K8sCluster, K8sTimings};
-pub use wasm::{WasmEdgeCluster, WasmTimings};
 pub use template::{ContainerTemplate, ServiceTemplate};
+pub use wasm::{WasmEdgeCluster, WasmTimings};

@@ -83,7 +83,8 @@ mod tests {
 
     #[test]
     fn single_builder() {
-        let t = ServiceTemplate::single("web", "nginx:1.23.2", 80, DurationDist::constant_ms(100.0));
+        let t =
+            ServiceTemplate::single("web", "nginx:1.23.2", 80, DurationDist::constant_ms(100.0));
         assert_eq!(t.container_count(), 1);
         assert_eq!(t.port, 80);
         assert_eq!(t.images().next().unwrap().0, "nginx:1.23.2");

@@ -27,7 +27,9 @@ use registry::RegistrySet;
 use simcore::{DurationDist, SimRng, SimTime};
 use simnet::{IpAddr, SocketAddr};
 
-use crate::api::{ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus};
+use crate::api::{
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+};
 use crate::template::ServiceTemplate;
 
 /// Cost knobs of the serverless runtime.
@@ -78,7 +80,12 @@ pub struct WasmEdgeCluster {
 }
 
 impl WasmEdgeCluster {
-    pub fn new(name: impl Into<String>, ip: IpAddr, rng: SimRng, timings: WasmTimings) -> WasmEdgeCluster {
+    pub fn new(
+        name: impl Into<String>,
+        ip: IpAddr,
+        rng: SimRng,
+        timings: WasmTimings,
+    ) -> WasmEdgeCluster {
         WasmEdgeCluster {
             name: name.into(),
             ip,
@@ -112,16 +119,20 @@ impl ClusterBackend for WasmEdgeCluster {
             let reg = registries
                 .route(image)
                 .ok_or_else(|| ClusterError::ImageUnavailable(image.clone()))?;
-            let outcome = reg
-                .pull(t, image, &mut self.store, &mut self.rng)
-                .map_err(|registry::PullError::UnknownImage(i)| ClusterError::ImageUnavailable(i))?;
+            let outcome = reg.pull(t, image, &mut self.store, &mut self.rng).map_err(
+                |registry::PullError::UnknownImage(i)| ClusterError::ImageUnavailable(i),
+            )?;
             t = outcome.completed_at;
         }
         Ok(t)
     }
 
     /// Register the function with the gateway: one API call, no artifacts.
-    fn create(&mut self, now: SimTime, template: &ServiceTemplate) -> Result<SimTime, ClusterError> {
+    fn create(
+        &mut self,
+        now: SimTime,
+        template: &ServiceTemplate,
+    ) -> Result<SimTime, ClusterError> {
         if self.functions.contains_key(&template.name) {
             return Err(ClusterError::AlreadyCreated(template.name.clone()));
         }
@@ -147,16 +158,17 @@ impl ClusterBackend for WasmEdgeCluster {
 
     /// Instantiate: compile on first use (cached), then millisecond-scale
     /// instantiation — no namespaces, no process spawn.
-    fn scale_up(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<ScaleReceipt, ClusterError> {
+    fn scale_up(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<ScaleReceipt, ClusterError> {
         if !self.functions.contains_key(service) {
             return Err(ClusterError::NotCreated(service.to_string()));
         }
         let accepted = now + self.timings.api_call.sample(&mut self.rng);
-        let images: Vec<ImageRef> = self.functions[service]
-            .template
-            .images()
-            .cloned()
-            .collect();
+        let images: Vec<ImageRef> = self.functions[service].template.images().cloned().collect();
         let mut t = accepted;
         for image in images {
             if self.compiled.insert(image) {
@@ -168,7 +180,11 @@ impl ClusterBackend for WasmEdgeCluster {
         for _ in live..replicas {
             let ready = t + self.timings.instantiate.sample(&mut self.rng);
             latest = latest.max(ready);
-            self.functions.get_mut(service).unwrap().instances.push(ready);
+            self.functions
+                .get_mut(service)
+                .unwrap()
+                .instances
+                .push(ready);
         }
         // Instances still instantiating gate readiness for the requested
         // count.
@@ -181,10 +197,18 @@ impl ClusterBackend for WasmEdgeCluster {
         }
         let f = self.functions.get_mut(service).unwrap();
         f.desired = f.desired.max(replicas);
-        Ok(ScaleReceipt { accepted_at: accepted, expected_ready: latest })
+        Ok(ScaleReceipt {
+            accepted_at: accepted,
+            expected_ready: latest,
+        })
     }
 
-    fn scale_down(&mut self, now: SimTime, service: &str, replicas: u32) -> Result<SimTime, ClusterError> {
+    fn scale_down(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<SimTime, ClusterError> {
         let f = self
             .functions
             .get_mut(service)
@@ -228,7 +252,13 @@ impl ClusterBackend for WasmEdgeCluster {
 
     fn load(&self) -> f64 {
         // Serverless: effectively elastic; report instance pressure.
-        (self.functions.values().map(|f| f.instances.len()).sum::<usize>() as f64 / 256.0).min(1.0)
+        (self
+            .functions
+            .values()
+            .map(|f| f.instances.len())
+            .sum::<usize>() as f64
+            / 256.0)
+            .min(1.0)
     }
 
     fn has_images(&self, template: &ServiceTemplate) -> bool {
@@ -261,7 +291,10 @@ mod tests {
     fn registries() -> RegistrySet {
         let mut hub = Registry::new(RegistryProfile::docker_hub());
         // a 3 MiB single-layer wasm module
-        hub.publish(ImageManifest::new("edge/web.wasm", synthesize_layers(9, 3 << 20, 1)));
+        hub.publish(ImageManifest::new(
+            "edge/web.wasm",
+            synthesize_layers(9, 3 << 20, 1),
+        ));
         let mut s = RegistrySet::new();
         s.add(hub);
         s
@@ -327,7 +360,10 @@ mod tests {
         assert_eq!(c.status(r.expected_ready, "web-fn").ready_replicas, 2);
         let down = c.scale_down(r.expected_ready, "web-fn", 0).unwrap();
         assert_eq!(c.status(down, "web-fn").ready_replicas, 0);
-        assert!(c.status(down, "web-fn").created, "function stays registered");
+        assert!(
+            c.status(down, "web-fn").created,
+            "function stays registered"
+        );
         let gone = c.remove(down, "web-fn").unwrap();
         assert!(!c.status(gone, "web-fn").created);
     }
@@ -358,7 +394,10 @@ mod tests {
             rng.stream("d"),
         );
         let mut hub = Registry::new(RegistryProfile::docker_hub());
-        hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 141_000_000, 6)));
+        hub.publish(ImageManifest::new(
+            "nginx:1.23.2",
+            synthesize_layers(1, 141_000_000, 6),
+        ));
         let mut regs2 = RegistrySet::new();
         regs2.add(hub);
         let tpl2 = ServiceTemplate::single(

@@ -39,7 +39,10 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 
 fn registries() -> RegistrySet {
     let mut hub = Registry::new(RegistryProfile::docker_hub());
-    hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 10_000_000, 3)));
+    hub.publish(ImageManifest::new(
+        "nginx:1.23.2",
+        synthesize_layers(1, 10_000_000, 3),
+    ));
     let mut s = RegistrySet::new();
     s.add(hub);
     s
@@ -65,7 +68,9 @@ fn drive(backend: &mut dyn ClusterBackend, ops: Vec<Op>) -> Result<(), TestCaseE
     for op in ops {
         match op {
             Op::Pull => {
-                let done = backend.pull(now, &tpl, &regs).expect("pull never fails here");
+                let done = backend
+                    .pull(now, &tpl, &regs)
+                    .expect("pull never fails here");
                 prop_assert!(done >= now, "time must not go backwards");
                 now = done;
                 model.pulled = true;
@@ -131,7 +136,10 @@ fn drive(backend: &mut dyn ClusterBackend, ops: Vec<Op>) -> Result<(), TestCaseE
         let st = backend.status(now, "svc");
         prop_assert_eq!(st.created, model.created, "created flag diverged");
         if model.created {
-            prop_assert!(st.endpoint.is_some(), "created service must have an endpoint");
+            prop_assert!(
+                st.endpoint.is_some(),
+                "created service must have an endpoint"
+            );
         }
         prop_assert!(backend.load() >= 0.0 && backend.load() <= 1.0);
     }

@@ -13,8 +13,14 @@ use simnet::IpAddr;
 
 fn registries() -> RegistrySet {
     let mut hub = Registry::new(RegistryProfile::docker_hub());
-    hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 10_000_000, 3)));
-    hub.publish(ImageManifest::new("edge/web.wasm", synthesize_layers(2, 3 << 20, 1)));
+    hub.publish(ImageManifest::new(
+        "nginx:1.23.2",
+        synthesize_layers(1, 10_000_000, 3),
+    ));
+    hub.publish(ImageManifest::new(
+        "edge/web.wasm",
+        synthesize_layers(2, 3 << 20, 1),
+    ));
     let mut s = RegistrySet::new();
     s.add(hub);
     s
@@ -45,11 +51,17 @@ fn k8s_self_heals_after_crash() {
         .inject_crash(warm, "svc")
         .recovery()
         .expect("kubelet restarts the pod");
-    assert!(!k8s.is_ready(warm + SimDuration::from_millis(1), "svc"), "down right after the crash");
+    assert!(
+        !k8s.is_ready(warm + SimDuration::from_millis(1), "svc"),
+        "down right after the crash"
+    );
     assert!(k8s.is_ready(recovered, "svc"), "self-healed");
     let downtime = (recovered - warm).as_millis_f64();
     // kubelet sync + container start + readiness probe + endpoints ≈ 1-3 s
-    assert!((500.0..5000.0).contains(&downtime), "k8s downtime {downtime} ms");
+    assert!(
+        (500.0..5000.0).contains(&downtime),
+        "k8s downtime {downtime} ms"
+    );
 }
 
 #[test]
@@ -68,7 +80,10 @@ fn docker_stays_down_after_crash() {
     let outcome = docker.inject_crash(warm, "svc");
     assert_eq!(outcome, cluster::CrashOutcome::Down, "no restart policy");
     let much_later = warm + SimDuration::from_secs(3600);
-    assert!(!docker.is_ready(much_later, "svc"), "stays down without help");
+    assert!(
+        !docker.is_ready(much_later, "svc"),
+        "stays down without help"
+    );
 
     // …until something scales it up again (what the controller does on the
     // next request): restart of the existing container, sub-second.

@@ -71,7 +71,10 @@ pub struct ImageManifest {
 
 impl ImageManifest {
     pub fn new(reference: impl Into<String>, layers: Vec<Layer>) -> ImageManifest {
-        ImageManifest { reference: ImageRef::new(reference), layers }
+        ImageManifest {
+            reference: ImageRef::new(reference),
+            layers,
+        }
     }
 
     /// Total compressed size (the "Size" column of Table I).
@@ -107,8 +110,7 @@ pub fn synthesize_layers(seed: u64, total_bytes: u64, n: usize) -> Vec<Layer> {
         };
         assigned += bytes;
         // digest derived from (seed, index) via splitmix-like mixing
-        let mut z = seed
-            .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         layers.push(Layer::new(z ^ (z >> 31), bytes));
@@ -122,10 +124,7 @@ mod tests {
 
     #[test]
     fn manifest_sizes_sum() {
-        let m = ImageManifest::new(
-            "nginx:1.23.2",
-            vec![Layer::new(1, 100), Layer::new(2, 50)],
-        );
+        let m = ImageManifest::new("nginx:1.23.2", vec![Layer::new(1, 100), Layer::new(2, 50)]);
         assert_eq!(m.compressed_bytes(), 150);
         assert_eq!(m.layer_count(), 2);
         assert_eq!(m.uncompressed_bytes(), 250 + 125);
@@ -133,7 +132,10 @@ mod tests {
 
     #[test]
     fn registry_host_inference() {
-        assert_eq!(ImageRef::new("nginx:1.23.2").registry_host(), "registry-1.docker.io");
+        assert_eq!(
+            ImageRef::new("nginx:1.23.2").registry_host(),
+            "registry-1.docker.io"
+        );
         assert_eq!(
             ImageRef::new("gcr.io/tensorflow-serving/resnet").registry_host(),
             "gcr.io"
@@ -142,7 +144,10 @@ mod tests {
             ImageRef::new("registry.local:5000/web-asm").registry_host(),
             "registry.local:5000"
         );
-        assert_eq!(ImageRef::new("josefhammer/web-asm:amd64").registry_host(), "registry-1.docker.io");
+        assert_eq!(
+            ImageRef::new("josefhammer/web-asm:amd64").registry_host(),
+            "registry-1.docker.io"
+        );
     }
 
     #[test]
@@ -170,7 +175,11 @@ mod tests {
         let mut digests: Vec<u64> = a.iter().chain(&c).map(|l| l.digest.0).collect();
         digests.sort_unstable();
         digests.dedup();
-        assert_eq!(digests.len(), 10, "digests must be distinct across seeds and indices");
+        assert_eq!(
+            digests.len(),
+            10,
+            "digests must be distinct across seeds and indices"
+        );
     }
 
     #[test]

@@ -137,8 +137,13 @@ pub enum RuntimeError {
     UnknownContainer(ContainerId),
     /// The container is not in a state that allows the operation (includes
     /// calling an op before the previous transition completed).
-    InvalidState { have: ContainerState, want: &'static str },
-    InsufficientResources { what: &'static str },
+    InvalidState {
+        have: ContainerState,
+        want: &'static str,
+    },
+    InsufficientResources {
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -250,7 +255,12 @@ impl Runtime {
         let c = self.get_mut(id)?;
         match c.state_at(now) {
             ContainerState::Created | ContainerState::Stopped => {}
-            have => return Err(RuntimeError::InvalidState { have, want: "Created or Stopped" }),
+            have => {
+                return Err(RuntimeError::InvalidState {
+                    have,
+                    want: "Created or Stopped",
+                })
+            }
         }
         if c.spec.cpu_millis > cpu_free {
             return Err(RuntimeError::InsufficientResources { what: "cpu" });
@@ -278,7 +288,12 @@ impl Runtime {
         let c = self.get_mut(id)?;
         match c.state_at(now) {
             ContainerState::Running => {}
-            have => return Err(RuntimeError::InvalidState { have, want: "Running" }),
+            have => {
+                return Err(RuntimeError::InvalidState {
+                    have,
+                    want: "Running",
+                })
+            }
         }
         c.state = ContainerState::Stopped;
         c.transition_done = now;
@@ -296,7 +311,12 @@ impl Runtime {
         let c = self.get_mut(id)?;
         match c.state_at(now) {
             ContainerState::Running => {}
-            have => return Err(RuntimeError::InvalidState { have, want: "Running" }),
+            have => {
+                return Err(RuntimeError::InvalidState {
+                    have,
+                    want: "Running",
+                })
+            }
         }
         c.state = ContainerState::Stopped;
         c.transition_done = now + dur;
@@ -314,7 +334,12 @@ impl Runtime {
         let c = self.get_mut(id)?;
         match c.state_at(now) {
             ContainerState::Created | ContainerState::Stopped => {}
-            have => return Err(RuntimeError::InvalidState { have, want: "Created or Stopped" }),
+            have => {
+                return Err(RuntimeError::InvalidState {
+                    have,
+                    want: "Created or Stopped",
+                })
+            }
         }
         c.state = ContainerState::Removed;
         c.transition_done = now + dur;
@@ -396,13 +421,22 @@ mod tests {
         let mut rt = rt();
         let (id, created_at) = rt.create(t(0), spec(100)).unwrap();
         assert_eq!(rt.get(id).unwrap().state_at(t(0)), ContainerState::Creating);
-        assert_eq!(rt.get(id).unwrap().state_at(created_at), ContainerState::Created);
+        assert_eq!(
+            rt.get(id).unwrap().state_at(created_at),
+            ContainerState::Created
+        );
 
         let (running_at, ready_at) = rt.start(created_at, id).unwrap();
         assert!(running_at > created_at);
         assert_eq!(ready_at, running_at + SimDuration::from_millis(100));
-        assert_eq!(rt.get(id).unwrap().state_at(running_at), ContainerState::Running);
-        assert!(!rt.is_port_open(running_at, id), "port closed during app init");
+        assert_eq!(
+            rt.get(id).unwrap().state_at(running_at),
+            ContainerState::Running
+        );
+        assert!(
+            !rt.is_port_open(running_at, id),
+            "port closed during app init"
+        );
         assert!(rt.is_port_open(ready_at, id));
 
         let stopped_at = rt.stop(ready_at, id).unwrap();
@@ -443,7 +477,10 @@ mod tests {
         let err = rt.start(running_at, id).unwrap_err();
         assert!(matches!(
             err,
-            RuntimeError::InvalidState { have: ContainerState::Running, .. }
+            RuntimeError::InvalidState {
+                have: ContainerState::Running,
+                ..
+            }
         ));
     }
 
@@ -482,7 +519,10 @@ mod tests {
         let err = rt.start(created, id).unwrap_err();
         assert_eq!(err, RuntimeError::InsufficientResources { what: "memory" });
         // nothing leaked; the container stays Created
-        assert_eq!(rt.get(id).unwrap().state_at(created), ContainerState::Created);
+        assert_eq!(
+            rt.get(id).unwrap().state_at(created),
+            ContainerState::Created
+        );
         assert_eq!(rt.mem_free_bytes(), 32 * (1 << 30));
     }
 
@@ -536,7 +576,15 @@ mod tests {
         let (_b, _) = rt.create(t(0), spec(0)).unwrap();
         rt.start(created_a, a).unwrap();
         let later = t(10_000);
-        assert_eq!(rt.containers_in_state(later, ContainerState::Running).count(), 1);
-        assert_eq!(rt.containers_in_state(later, ContainerState::Created).count(), 1);
+        assert_eq!(
+            rt.containers_in_state(later, ContainerState::Running)
+                .count(),
+            1
+        );
+        assert_eq!(
+            rt.containers_in_state(later, ContainerState::Created)
+                .count(),
+            1
+        );
     }
 }

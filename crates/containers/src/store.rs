@@ -90,7 +90,11 @@ impl ImageStore {
         StoreStats {
             images: self.images.len(),
             layers: self.layers.len(),
-            disk_bytes: self.layers.values().map(|(l, _)| l.uncompressed_bytes).sum(),
+            disk_bytes: self
+                .layers
+                .values()
+                .map(|(l, _)| l.uncompressed_bytes)
+                .sum(),
         }
     }
 
@@ -153,7 +157,10 @@ mod tests {
         // nginx gone as an image, but its 6 layers live on via nginx_py
         assert!(!s.has_image(&nginx().reference));
         assert_eq!(s.stats().layers, 7);
-        assert!(s.missing_layers(&nginx()).is_empty(), "re-pull needs zero layers");
+        assert!(
+            s.missing_layers(&nginx()).is_empty(),
+            "re-pull needs zero layers"
+        );
         // dropping nginx_py now clears the store
         assert!(s.remove_image(&nginx_py().reference));
         assert_eq!(s.stats().layers, 0);

@@ -1,0 +1,85 @@
+//! Offline stand-in for the crates.io `crossbeam` facade.
+//!
+//! The build container has no network access to a cargo registry, so the
+//! workspace vendors the (tiny) slice of crossbeam it actually uses:
+//! [`scope`] / [`Scope::spawn`], implemented on top of [`std::thread::scope`],
+//! which provides the same structured-concurrency guarantee (all spawned
+//! threads join before `scope` returns, so borrowing from the enclosing stack
+//! frame is safe).
+//!
+//! Behavioural difference to real crossbeam: a panicking child thread makes
+//! the enclosing `std::thread::scope` re-raise the panic at join time instead
+//! of surfacing it through the returned `Result`. Callers that `.expect()` the
+//! result (as this workspace does) observe a panic either way.
+
+use std::thread;
+
+/// Result type of [`scope`], matching `crossbeam::thread::ScopeResult`.
+pub type ScopeResult<T> = Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+/// A handle to the scope in which child threads run, passed both to the
+/// closure given to [`scope`] and to every spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a scope handle so it can
+    /// spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Sub-module alias so `crossbeam::thread::scope` also resolves.
+pub mod thread_shim {
+    pub use super::{scope, Scope, ScopeResult};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_and_allows_borrows() {
+        let counter = AtomicU64::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

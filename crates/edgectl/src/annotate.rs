@@ -158,7 +158,11 @@ pub fn annotate(doc: &Yaml, opts: &AnnotateOptions) -> Result<AnnotatedService, 
     let template = build_template(&deployment, opts)?;
     let service = generate_service(&template, opts);
 
-    Ok(AnnotatedService { deployment, service, template })
+    Ok(AnnotatedService {
+        deployment,
+        service,
+        template,
+    })
 }
 
 /// Navigate to a mapping at a dotted path of *simple* segments, creating
@@ -200,10 +204,7 @@ fn normalize_deployment(doc: &Yaml, opts: &AnnotateOptions) -> Result<Yaml, Anno
         let mut container = Yaml::map();
         container.insert("name", Yaml::str(opts.service_name.clone()));
         container.insert("image", Yaml::str(img));
-        out.set_path(
-            "spec.template.spec.containers",
-            Yaml::Seq(vec![container]),
-        );
+        out.set_path("spec.template.spec.containers", Yaml::Seq(vec![container]));
     }
 
     let containers = out.at("spec.template.spec.containers");
@@ -408,7 +409,10 @@ mod tests {
             "spec.template.metadata.labels",
         ] {
             let labels = out.deployment.at(path).expect(path);
-            assert_eq!(labels.get("app").and_then(Yaml::as_str), Some("edge-nginx-web-001"));
+            assert_eq!(
+                labels.get("app").and_then(Yaml::as_str),
+                Some("edge-nginx-web-001")
+            );
             assert_eq!(
                 labels.get(EDGE_SERVICE_LABEL).and_then(Yaml::as_str),
                 Some("edge-nginx-web-001"),
@@ -438,7 +442,10 @@ mod tests {
         );
         // absent when not configured
         let out2 = annotate(&doc, &opts()).unwrap();
-        assert!(out2.deployment.at("spec.template.spec.schedulerName").is_none());
+        assert!(out2
+            .deployment
+            .at("spec.template.spec.schedulerName")
+            .is_none());
     }
 
     #[test]
@@ -448,11 +455,19 @@ mod tests {
         )
         .unwrap();
         let out = annotate(&doc, &opts()).unwrap();
-        assert_eq!(out.service.get("kind").and_then(Yaml::as_str), Some("Service"));
-        assert_eq!(out.service.at("spec.ports.0.port"), Some(&Yaml::Int(80)));
-        assert_eq!(out.service.at("spec.ports.0.targetPort"), Some(&Yaml::Int(8080)));
         assert_eq!(
-            out.service.at("spec.ports.0.protocol").and_then(Yaml::as_str),
+            out.service.get("kind").and_then(Yaml::as_str),
+            Some("Service")
+        );
+        assert_eq!(out.service.at("spec.ports.0.port"), Some(&Yaml::Int(80)));
+        assert_eq!(
+            out.service.at("spec.ports.0.targetPort"),
+            Some(&Yaml::Int(8080))
+        );
+        assert_eq!(
+            out.service
+                .at("spec.ports.0.protocol")
+                .and_then(Yaml::as_str),
             Some("TCP")
         );
         assert_eq!(
@@ -539,7 +554,10 @@ spec:
 
     #[test]
     fn missing_image_rejected() {
-        assert_eq!(annotate(&parse("").unwrap(), &opts()).unwrap_err(), AnnotateError::MissingImage);
+        assert_eq!(
+            annotate(&parse("").unwrap(), &opts()).unwrap_err(),
+            AnnotateError::MissingImage
+        );
         let doc = parse("spec:\n  template:\n    spec:\n      containers: []\n").unwrap();
         assert!(matches!(
             annotate(&doc, &opts()).unwrap_err(),
@@ -597,7 +615,10 @@ spec:
     fn multi_document_without_service_generates_one() {
         let docs = yamlite::parse_all("image: nginx:1.23.2\n").unwrap();
         let out = annotate_documents(&docs, &opts()).unwrap();
-        assert_eq!(out.service.get("kind").and_then(Yaml::as_str), Some("Service"));
+        assert_eq!(
+            out.service.get("kind").and_then(Yaml::as_str),
+            Some("Service")
+        );
         assert_eq!(out.service.at("spec.ports.0.port"), Some(&Yaml::Int(80)));
     }
 

@@ -40,8 +40,13 @@ impl ServiceCatalog {
         template: ServiceTemplate,
     ) -> Option<RegisteredService> {
         self.by_name.insert(template.name.clone(), cloud_addr);
-        self.by_addr
-            .insert(cloud_addr, RegisteredService { cloud_addr, template })
+        self.by_addr.insert(
+            cloud_addr,
+            RegisteredService {
+                cloud_addr,
+                template,
+            },
+        )
     }
 
     pub fn unregister(&mut self, cloud_addr: SocketAddr) -> Option<RegisteredService> {

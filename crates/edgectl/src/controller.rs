@@ -15,13 +15,16 @@ use std::collections::HashMap;
 use cluster::{ClusterBackend, ClusterError, ClusterKind};
 use registry::RegistrySet;
 use simcore::{SimDuration, SimTime};
-use simnet::openflow::{Action, BufferId, FlowMatch, PortId};
+use simnet::openflow::{Action, BufferId, FlowMatch, FlowSpec, PortId};
 use simnet::{IpAddr, Packet, SocketAddr};
 
 use crate::catalog::ServiceCatalog;
 use crate::flowmemory::{FlowKey, FlowMemory};
 use crate::predictor::{NoPrediction, Predictor};
-use crate::scheduler::{ClusterId, ClusterView, GlobalScheduler, LocalScheduler, CLOUD_CLUSTER};
+use crate::scheduler::{
+    ClusterId, ClusterView, GlobalScheduler, LocalScheduler, NearestWaiting, RoundRobinLocal,
+    CLOUD_CLUSTER,
+};
 
 /// Controller tuning knobs.
 #[derive(Debug, Clone)]
@@ -89,20 +92,25 @@ pub const INGRESS: SwitchId = SwitchId(0);
 /// A message from the controller to a switch, stamped with emission time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControllerOutput {
-    /// Install (or replace) a flow entry.
+    /// Install (or replace) the flow entry described by `spec` — feed the
+    /// spec straight into [`simnet::Switch::flow_mod`].
     FlowMod {
         at: SimTime,
         switch: SwitchId,
-        priority: u16,
-        matcher: FlowMatch,
-        actions: Vec<Action>,
-        idle_timeout: Option<SimDuration>,
-        cookie: u64,
+        spec: FlowSpec,
     },
     /// Release a buffered packet through the flow table (`OFPP_TABLE`).
-    ReleaseViaTable { at: SimTime, switch: SwitchId, buffer_id: BufferId },
+    ReleaseViaTable {
+        at: SimTime,
+        switch: SwitchId,
+        buffer_id: BufferId,
+    },
     /// Give up on a buffered packet.
-    DropBuffered { at: SimTime, switch: SwitchId, buffer_id: BufferId },
+    DropBuffered {
+        at: SimTime,
+        switch: SwitchId,
+        buffer_id: BufferId,
+    },
 }
 
 impl ControllerOutput {
@@ -230,35 +238,102 @@ pub struct Controller {
     pub stats: ControllerStats,
 }
 
-impl Controller {
-    pub fn new(
-        config: ControllerConfig,
-        global: Box<dyn GlobalScheduler>,
-        local: Box<dyn LocalScheduler>,
-        registries: RegistrySet,
-        cloud_port: PortId,
-    ) -> Controller {
-        let memory = FlowMemory::new(config.memory_idle_timeout);
+/// Fluent constructor for [`Controller`] — every dependency has a default
+/// (NearestWaiting global scheduler, round-robin local scheduler, empty
+/// registry set, cloud uplink on port 0, no predictor), so call-sites only
+/// name the pieces they care about:
+///
+/// ```
+/// use edgectl::{Controller, ControllerConfig, NearestReadyFirst};
+/// use simnet::openflow::PortId;
+///
+/// let controller = Controller::builder(ControllerConfig::default())
+///     .global(NearestReadyFirst)
+///     .cloud_port(PortId(2))
+///     .build();
+/// assert_eq!(controller.switch_count(), 1);
+/// ```
+pub struct ControllerBuilder {
+    config: ControllerConfig,
+    global: Box<dyn GlobalScheduler>,
+    local: Box<dyn LocalScheduler>,
+    registries: RegistrySet,
+    cloud_port: PortId,
+    predictor: Box<dyn Predictor>,
+}
+
+impl ControllerBuilder {
+    /// Global (cluster-picking) scheduler; already-boxed trait objects are
+    /// accepted too.
+    pub fn global(mut self, scheduler: impl GlobalScheduler + 'static) -> ControllerBuilder {
+        self.global = Box::new(scheduler);
+        self
+    }
+
+    /// Local (replica-picking) scheduler.
+    pub fn local(mut self, scheduler: impl LocalScheduler + 'static) -> ControllerBuilder {
+        self.local = Box::new(scheduler);
+        self
+    }
+
+    /// Image registries the deployment pipeline pulls from.
+    pub fn registries(mut self, registries: RegistrySet) -> ControllerBuilder {
+        self.registries = registries;
+        self
+    }
+
+    /// Primary switch's port toward the cloud/WAN uplink.
+    pub fn cloud_port(mut self, port: PortId) -> ControllerBuilder {
+        self.cloud_port = port;
+        self
+    }
+
+    /// Proactive-deployment predictor (default: none — the paper's pure
+    /// on-demand setting).
+    pub fn predictor(mut self, predictor: impl Predictor + 'static) -> ControllerBuilder {
+        self.predictor = Box::new(predictor);
+        self
+    }
+
+    pub fn build(self) -> Controller {
+        let memory = FlowMemory::new(self.config.memory_idle_timeout);
         Controller {
-            config,
+            config: self.config,
             catalog: ServiceCatalog::new(),
             memory,
-            global,
-            local,
+            global: self.global,
+            local: self.local,
             clusters: Vec::new(),
-            registries,
-            cloud_ports: vec![cloud_port],
+            registries: self.registries,
+            cloud_ports: vec![self.cloud_port],
             pending: HashMap::new(),
             client_ports: HashMap::new(),
             retarget_queue: Vec::new(),
             scaled_to_zero: HashMap::new(),
-            predictor: Box::new(NoPrediction),
+            predictor: self.predictor,
             stats: ControllerStats::default(),
         }
     }
+}
 
-    /// Install a proactive-deployment predictor (default: none — the paper's
-    /// pure on-demand setting).
+impl Controller {
+    /// Start building a controller: `Controller::builder(config)` + the
+    /// [`ControllerBuilder`] setters replace the former positional
+    /// constructor.
+    pub fn builder(config: ControllerConfig) -> ControllerBuilder {
+        ControllerBuilder {
+            config,
+            global: Box::new(NearestWaiting),
+            local: Box::new(RoundRobinLocal::default()),
+            registries: RegistrySet::new(),
+            cloud_port: PortId(0),
+            predictor: Box::new(NoPrediction),
+        }
+    }
+
+    /// Swap the proactive-deployment predictor after construction (the
+    /// testbed derives oracle schedules from the trace, which only exists
+    /// once the controller is already built).
     pub fn set_predictor(&mut self, predictor: Box<dyn Predictor>) {
         self.predictor = predictor;
     }
@@ -361,7 +436,10 @@ impl Controller {
         self.stats.packet_ins += 1;
         self.client_ports.insert(packet.src.ip, (sw, in_port));
         let decide_at = now + self.config.processing_delay;
-        let key = FlowKey { client_ip: packet.src.ip, service_addr: packet.dst };
+        let key = FlowKey {
+            client_ip: packet.src.ip,
+            service_addr: packet.dst,
+        };
 
         // 1. Memorized flow? Re-install immediately (the fast path that lets
         //    switch idle timeouts stay low).
@@ -370,7 +448,14 @@ impl Controller {
             let service_name = flow.service.clone();
             if cluster == CLOUD_CLUSTER {
                 self.stats.memory_hits += 1;
-                return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(&service_name));
+                return self.cloud_outputs(
+                    decide_at,
+                    sw,
+                    packet,
+                    in_port,
+                    buffer_id,
+                    Some(&service_name),
+                );
             }
             // Follow-Me-Edge (related work [12], [13]): if the client has
             // moved and a strictly nearer cluster now has a ready instance,
@@ -391,7 +476,16 @@ impl Controller {
                     .is_ready()
             {
                 self.stats.memory_hits += 1;
-                return self.redirect_outputs(decide_at, sw, key, &service_name, target, cluster, in_port, Some(buffer_id));
+                return self.redirect_outputs(
+                    decide_at,
+                    sw,
+                    key,
+                    &service_name,
+                    target,
+                    cluster,
+                    in_port,
+                    Some(buffer_id),
+                );
             }
             if nearer_ready {
                 self.stats.follow_me_moves += 1;
@@ -445,7 +539,16 @@ impl Controller {
                     }
                     // Local Scheduler: pick the instance within the cluster.
                     let target = self.pick_instance(now, fast, &service_name);
-                    self.redirect_outputs(decide_at, sw, key, &service_name, target, fast, in_port, Some(buffer_id))
+                    self.redirect_outputs(
+                        decide_at,
+                        sw,
+                        key,
+                        &service_name,
+                        target,
+                        fast,
+                        in_port,
+                        Some(buffer_id),
+                    )
                 } else {
                     // On-demand deployment WITH waiting (paper Fig. 5): hold
                     // the buffered packet until the port opens.
@@ -471,7 +574,14 @@ impl Controller {
                     }
                 }
             }
-            None => self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(&service_name)),
+            None => self.cloud_outputs(
+                decide_at,
+                sw,
+                packet,
+                in_port,
+                buffer_id,
+                Some(&service_name),
+            ),
         }
     }
 
@@ -624,7 +734,8 @@ impl Controller {
     /// redirected to this optimal location as soon as the new instance is
     /// running").
     fn schedule_retarget(&mut self, ready_at: SimTime, cluster: ClusterId, service: &str) {
-        self.retarget_queue.push((ready_at, cluster, service.to_string()));
+        self.retarget_queue
+            .push((ready_at, cluster, service.to_string()));
     }
 
     /// The earliest pending retarget instant, so the event loop can schedule
@@ -656,9 +767,7 @@ impl Controller {
             self.stats.retargets += moved.len() as u64;
             for key in moved {
                 if let Some((sw, client_port)) = self.client_ports.get(&key.client_ip).copied() {
-                    outputs.extend(flow_pair(
-                        at,
-                        sw,
+                    let pair = flow_pair(
                         self.config.flow_priority,
                         key,
                         target,
@@ -666,7 +775,12 @@ impl Controller {
                         client_port,
                         Some(self.config.switch_idle_timeout),
                         cookie_for(&service),
-                    ));
+                    );
+                    outputs.extend(pair.into_iter().map(|spec| ControllerOutput::FlowMod {
+                        at,
+                        switch: sw,
+                        spec,
+                    }));
                     outputs.extend(self.host_route_outputs(at, sw, key.client_ip, client_port));
                 }
             }
@@ -687,9 +801,8 @@ impl Controller {
             let name = service.template.name.clone();
             let template = service.template.clone();
             // Already running (or being deployed) somewhere? Nothing to do.
-            let anywhere_ready = (0..self.clusters.len()).any(|i| {
-                self.clusters[i].backend.status(now, &name).is_ready()
-            });
+            let anywhere_ready = (0..self.clusters.len())
+                .any(|i| self.clusters[i].backend.status(now, &name).is_ready());
             let in_flight = self
                 .pending
                 .iter()
@@ -715,7 +828,10 @@ impl Controller {
             let Some(target) = decision.target_for_future() else {
                 continue;
             };
-            if self.ensure_deployed(now, target, &template, false).is_some() {
+            if self
+                .ensure_deployed(now, target, &template, false)
+                .is_some()
+            {
                 self.stats.proactive_deployments += 1;
                 started += 1;
             }
@@ -787,10 +903,10 @@ impl Controller {
             for (cluster, service) in due {
                 let backend = &mut self.clusters[cluster.0].backend;
                 // A request may have revived the service in the meantime.
-                if backend.status(now, &service).ready_replicas == 0 {
-                    if backend.remove(now, &service).is_ok() {
-                        self.stats.removals += 1;
-                    }
+                if backend.status(now, &service).ready_replicas == 0
+                    && backend.remove(now, &service).is_ok()
+                {
+                    self.stats.removals += 1;
                 }
                 self.scaled_to_zero.remove(&(cluster, service));
             }
@@ -841,9 +957,7 @@ impl Controller {
         buffer: Option<BufferId>,
     ) -> Vec<ControllerOutput> {
         self.memory.remember(at, key, service, target, cluster);
-        let mut outputs = flow_pair(
-            at,
-            sw,
+        let pair = flow_pair(
             self.config.flow_priority,
             key,
             target,
@@ -852,9 +966,21 @@ impl Controller {
             Some(self.config.switch_idle_timeout),
             cookie_for(service),
         );
+        let mut outputs: Vec<ControllerOutput> = pair
+            .into_iter()
+            .map(|spec| ControllerOutput::FlowMod {
+                at,
+                switch: sw,
+                spec,
+            })
+            .collect();
         outputs.extend(self.host_route_outputs(at, sw, key.client_ip, client_port));
         if let Some(buffer_id) = buffer {
-            outputs.push(ControllerOutput::ReleaseViaTable { at, switch: sw, buffer_id });
+            outputs.push(ControllerOutput::ReleaseViaTable {
+                at,
+                switch: sw,
+                buffer_id,
+            });
         }
         outputs
     }
@@ -879,18 +1005,23 @@ impl Controller {
             // destination behind that switch; we reuse the cloud-or-trunk
             // port toward switch `client_sw` — which, for a chain rooted at
             // switch 0, is port 1 when client_sw > s, else port 0.
-            let port = if client_sw.0 > s { PortId(1) } else { PortId(0) };
+            let port = if client_sw.0 > s {
+                PortId(1)
+            } else {
+                PortId(0)
+            };
+            let matcher = FlowMatch {
+                dst_ip: Some(client_ip),
+                ..FlowMatch::default()
+            };
             outputs.push(ControllerOutput::FlowMod {
                 at,
                 switch: SwitchId(s),
-                priority: self.config.flow_priority - 1,
-                matcher: FlowMatch {
-                    dst_ip: Some(client_ip),
-                    ..FlowMatch::default()
-                },
-                actions: vec![Action::Output(port)],
-                idle_timeout: Some(self.config.switch_idle_timeout),
-                cookie: cookie_for("host-route"),
+                spec: FlowSpec::new(matcher)
+                    .priority(self.config.flow_priority - 1)
+                    .action(Action::Output(port))
+                    .idle(self.config.switch_idle_timeout)
+                    .cookie(cookie_for("host-route")),
             });
         }
         outputs
@@ -910,48 +1041,55 @@ impl Controller {
     ) -> Vec<ControllerOutput> {
         self.stats.cloud_forwards += 1;
         if let Some(service) = service {
-            let key = FlowKey { client_ip: packet.src.ip, service_addr: packet.dst };
-            self.memory.remember(at, key, service, packet.dst, CLOUD_CLUSTER);
+            let key = FlowKey {
+                client_ip: packet.src.ip,
+                service_addr: packet.dst,
+            };
+            self.memory
+                .remember(at, key, service, packet.dst, CLOUD_CLUSTER);
         }
         let cookie = cookie_for("cloud");
         let forward = ControllerOutput::FlowMod {
             at,
             switch: sw,
-            priority: self.config.flow_priority,
-            matcher: FlowMatch::client_to_service(packet.src.ip, packet.dst),
-            actions: vec![Action::Output(self.cloud_ports[sw.0])],
-            idle_timeout: Some(self.config.switch_idle_timeout),
-            cookie,
+            spec: FlowSpec::new(FlowMatch::client_to_service(packet.src.ip, packet.dst))
+                .priority(self.config.flow_priority)
+                .action(Action::Output(self.cloud_ports[sw.0]))
+                .idle(self.config.switch_idle_timeout)
+                .cookie(cookie),
+        };
+        let reverse_matcher = FlowMatch {
+            protocol: Some(packet.protocol),
+            src_ip: Some(packet.dst.ip),
+            src_port: Some(packet.dst.port),
+            dst_ip: Some(packet.src.ip),
+            ..FlowMatch::default()
         };
         let reverse = ControllerOutput::FlowMod {
             at,
             switch: sw,
-            priority: self.config.flow_priority,
-            matcher: FlowMatch {
-                protocol: Some(packet.protocol),
-                src_ip: Some(packet.dst.ip),
-                src_port: Some(packet.dst.port),
-                dst_ip: Some(packet.src.ip),
-                ..FlowMatch::default()
-            },
-            actions: vec![Action::Output(client_port)],
-            idle_timeout: Some(self.config.switch_idle_timeout),
-            cookie,
+            spec: FlowSpec::new(reverse_matcher)
+                .priority(self.config.flow_priority)
+                .action(Action::Output(client_port))
+                .idle(self.config.switch_idle_timeout)
+                .cookie(cookie),
         };
         let mut outputs = vec![forward, reverse];
         outputs.extend(self.host_route_outputs(at, sw, packet.src.ip, client_port));
-        outputs.push(ControllerOutput::ReleaseViaTable { at, switch: sw, buffer_id });
+        outputs.push(ControllerOutput::ReleaseViaTable {
+            at,
+            switch: sw,
+            buffer_id,
+        });
         outputs
     }
 }
 
 /// Forward + reverse rewrite rules for one client↔service redirect on the
 /// client's ingress switch (paper Fig. 2: the rewrite must be transparent in
-/// both directions).
-#[allow(clippy::too_many_arguments)]
+/// both directions). Returns bare [`FlowSpec`]s; the caller stamps them with
+/// the emission time and target switch.
 fn flow_pair(
-    at: SimTime,
-    switch: SwitchId,
     priority: u16,
     key: FlowKey,
     target: SocketAddr,
@@ -959,42 +1097,38 @@ fn flow_pair(
     client_port: PortId,
     idle_timeout: Option<SimDuration>,
     cookie: u64,
-) -> Vec<ControllerOutput> {
-    let forward = ControllerOutput::FlowMod {
-        at,
-        switch,
-        priority,
-        matcher: FlowMatch::client_to_service(key.client_ip, key.service_addr),
-        actions: vec![
-            Action::SetDstIp(target.ip),
-            Action::SetDstPort(target.port),
-            Action::Output(cluster_port),
-        ],
-        idle_timeout,
-        cookie,
-    };
+) -> [FlowSpec; 2] {
+    let forward = FlowSpec::new(FlowMatch::client_to_service(
+        key.client_ip,
+        key.service_addr,
+    ))
+    .priority(priority)
+    .actions(vec![
+        Action::SetDstIp(target.ip),
+        Action::SetDstPort(target.port),
+        Action::Output(cluster_port),
+    ])
+    .idle_opt(idle_timeout)
+    .cookie(cookie);
     // Response path: rewrite the edge instance's address back to the cloud
     // address the client thinks it is talking to.
-    let reverse = ControllerOutput::FlowMod {
-        at,
-        switch,
-        priority,
-        matcher: FlowMatch {
-            protocol: Some(simnet::Protocol::Tcp),
-            src_ip: Some(target.ip),
-            src_port: Some(target.port),
-            dst_ip: Some(key.client_ip),
-            ..FlowMatch::default()
-        },
-        actions: vec![
+    let reverse_matcher = FlowMatch {
+        protocol: Some(simnet::Protocol::Tcp),
+        src_ip: Some(target.ip),
+        src_port: Some(target.port),
+        dst_ip: Some(key.client_ip),
+        ..FlowMatch::default()
+    };
+    let reverse = FlowSpec::new(reverse_matcher)
+        .priority(priority)
+        .actions(vec![
             Action::SetSrcIp(key.service_addr.ip),
             Action::SetSrcPort(key.service_addr.port),
             Action::Output(client_port),
-        ],
-        idle_timeout,
-        cookie,
-    };
-    vec![forward, reverse]
+        ])
+        .idle_opt(idle_timeout)
+        .cookie(cookie);
+    [forward, reverse]
 }
 
 /// Stable cookie derived from the service name (diagnostics only).

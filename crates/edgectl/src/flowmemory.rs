@@ -7,8 +7,18 @@
 //! used before. However, also the memorized flows have an idle timeout …
 //! Apart from removing stale flows, these timeouts serve a second purpose:
 //! Our controller may automatically scale down idle edge service instances."
+//!
+//! Like the switch flow table, FlowMemory is indexed so the controller's
+//! per-tick work no longer scales with the number of memorized flows:
+//! a `(service, cluster)` secondary index makes the scale-down queries
+//! (`flows_for_service`, `forget_service`, `services_with_flows`,
+//! `retarget_service`) proportional to the flows of the touched service, and
+//! a lazy-deletion min-heap keeps `next_expiry` an O(1) peek (see DESIGN.md,
+//! "Flow pipeline complexity").
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::ops::Bound;
 
 use simcore::{SimDuration, SimTime};
 use simnet::{IpAddr, SocketAddr};
@@ -16,7 +26,9 @@ use simnet::{IpAddr, SocketAddr};
 use crate::scheduler::ClusterId;
 
 /// Key of a memorized flow: one client talking to one registered service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The derived `Ord` (client ip, then service address) is the order in which
+/// expiry and retarget results are reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowKey {
     pub client_ip: IpAddr,
     /// The *cloud* address of the registered service (pre-rewrite).
@@ -56,14 +68,31 @@ pub struct MemorizedFlow {
 #[derive(Debug)]
 pub struct FlowMemory {
     flows: HashMap<FlowKey, MemorizedFlow>,
+    /// Secondary index: which flows reference a given `(service, cluster)`
+    /// pair. A `BTreeMap` so `services_with_flows` can walk pairs in sorted
+    /// order and `retarget_service` can range-scan one service's clusters.
+    by_service: BTreeMap<(String, ClusterId), BTreeSet<FlowKey>>,
+    /// Lazy-deletion expiry schedule of `(last_seen + idle_timeout, key)`.
+    /// Invariant ("accurate top"): after every `&mut self` method the heap
+    /// top is live — its flow exists and still expires at that instant — so
+    /// [`FlowMemory::next_expiry`] is a plain peek.
+    expiry: BinaryHeap<Reverse<(SimTime, FlowKey)>>,
     /// Idle timeout of *memorized* flows — longer than the switch's.
     idle_timeout: SimDuration,
 }
 
 impl FlowMemory {
     pub fn new(idle_timeout: SimDuration) -> FlowMemory {
-        assert!(!idle_timeout.is_zero(), "zero idle timeout would evict instantly");
-        FlowMemory { flows: HashMap::new(), idle_timeout }
+        assert!(
+            !idle_timeout.is_zero(),
+            "zero idle timeout would evict instantly"
+        );
+        FlowMemory {
+            flows: HashMap::new(),
+            by_service: BTreeMap::new(),
+            expiry: BinaryHeap::new(),
+            idle_timeout,
+        }
     }
 
     pub fn idle_timeout(&self) -> SimDuration {
@@ -80,22 +109,40 @@ impl FlowMemory {
         cluster: ClusterId,
     ) {
         let service = service.into();
-        self.flows
-            .entry(key)
-            .and_modify(|f| {
+        match self.flows.get_mut(&key) {
+            Some(f) => {
+                if f.service != service || f.cluster != cluster {
+                    Self::index_remove(&mut self.by_service, (f.service.clone(), f.cluster), key);
+                    self.by_service
+                        .entry((service.clone(), cluster))
+                        .or_default()
+                        .insert(key);
+                }
                 f.target = target;
                 f.cluster = cluster;
-                f.service = service.clone();
+                f.service = service;
                 f.last_seen = now;
-            })
-            .or_insert(MemorizedFlow {
-                key,
-                service,
-                target,
-                cluster,
-                installed_at: now,
-                last_seen: now,
-            });
+            }
+            None => {
+                self.by_service
+                    .entry((service.clone(), cluster))
+                    .or_default()
+                    .insert(key);
+                self.flows.insert(
+                    key,
+                    MemorizedFlow {
+                        key,
+                        service,
+                        target,
+                        cluster,
+                        installed_at: now,
+                        last_seen: now,
+                    },
+                );
+            }
+        }
+        self.expiry.push(Reverse((now + self.idle_timeout, key)));
+        self.normalize_expiry();
     }
 
     /// Look up a live memorized flow, refreshing its idle timer. Expired
@@ -106,12 +153,16 @@ impl FlowMemory {
             None => return None,
         };
         if expired {
-            self.flows.remove(&key);
+            self.detach(key);
+            self.normalize_expiry();
             return None;
         }
+        let deadline = now + self.idle_timeout;
+        self.expiry.push(Reverse((deadline, key)));
         let f = self.flows.get_mut(&key).unwrap();
         f.last_seen = now;
-        Some(f)
+        self.normalize_expiry();
+        Some(self.flows.get(&key).unwrap())
     }
 
     /// Peek without refreshing (diagnostics).
@@ -121,15 +172,24 @@ impl FlowMemory {
 
     /// Drop a specific flow (e.g. its target instance was removed).
     pub fn forget(&mut self, key: FlowKey) -> Option<MemorizedFlow> {
-        self.flows.remove(&key)
+        let removed = self.detach(key);
+        self.normalize_expiry();
+        removed
     }
 
     /// Drop all flows pointing at `service` on `cluster` (instance retired).
+    /// O(flows of that instance), not O(all flows).
     pub fn forget_service(&mut self, service: &str, cluster: ClusterId) -> usize {
-        let before = self.flows.len();
-        self.flows
-            .retain(|_, f| !(f.service == service && f.cluster == cluster));
-        before - self.flows.len()
+        let keys = match self.by_service.remove(&(service.to_string(), cluster)) {
+            Some(keys) => keys,
+            None => return 0,
+        };
+        let count = keys.len();
+        for key in keys {
+            self.flows.remove(&key);
+        }
+        self.normalize_expiry();
+        count
     }
 
     /// Retarget every live flow of `service` to a new instance — what happens
@@ -142,49 +202,68 @@ impl FlowMemory {
         target: SocketAddr,
         cluster: ClusterId,
     ) -> Vec<FlowKey> {
+        // All clusters currently holding flows of this service.
+        let range = (
+            Bound::Included((service.to_string(), ClusterId(0))),
+            Bound::Included((service.to_string(), ClusterId(usize::MAX))),
+        );
         let mut keys = Vec::new();
-        for f in self.flows.values_mut() {
-            if f.service == service && (f.target != target || f.cluster != cluster) {
-                f.target = target;
-                f.cluster = cluster;
-                keys.push(f.key);
+        for ((_, from_cluster), members) in self.by_service.range(range) {
+            for &key in members {
+                let f = &self.flows[&key];
+                if f.target != target || *from_cluster != cluster {
+                    keys.push(key);
+                }
             }
         }
-        keys.sort_by_key(|k| (k.client_ip, k.service_addr));
+        for &key in &keys {
+            let f = self.flows.get_mut(&key).unwrap();
+            let from = (f.service.clone(), f.cluster);
+            f.target = target;
+            f.cluster = cluster;
+            if from.1 != cluster {
+                Self::index_remove(&mut self.by_service, from, key);
+                self.by_service
+                    .entry((service.to_string(), cluster))
+                    .or_default()
+                    .insert(key);
+            }
+        }
+        keys.sort();
         keys
     }
 
-    /// Evict idle entries; returns them (the controller's scale-down input).
+    /// Evict idle entries; returns them (the controller's scale-down input)
+    /// sorted by key. O(evicted · log memory) thanks to the expiry heap.
     pub fn expire(&mut self, now: SimTime) -> Vec<MemorizedFlow> {
-        let timeout = self.idle_timeout;
         let mut expired = Vec::new();
-        self.flows.retain(|_, f| {
-            if now.since(f.last_seen) >= timeout {
-                expired.push(f.clone());
-                false
-            } else {
-                true
+        loop {
+            // The top is accurate, so `> now` means nothing else is due.
+            match self.expiry.peek() {
+                Some(&Reverse((deadline, key))) if deadline <= now => {
+                    self.expiry.pop();
+                    expired.push(self.detach(key).expect("accurate top pointed at live flow"));
+                    self.normalize_expiry();
+                }
+                _ => break,
             }
-        });
-        expired.sort_by_key(|f| (f.key.client_ip, f.key.service_addr));
+        }
+        expired.sort_by_key(|f| f.key);
         expired
     }
 
-    /// Earliest instant any entry could expire.
+    /// Earliest instant any entry could expire. O(1): the heap top is kept
+    /// accurate by every mutation.
     pub fn next_expiry(&self) -> Option<SimTime> {
-        self.flows
-            .values()
-            .map(|f| f.last_seen + self.idle_timeout)
-            .min()
+        self.expiry.peek().map(|&Reverse((deadline, _))| deadline)
     }
 
     /// How many live flows reference `service` on `cluster` — zero means the
-    /// instance is idle and a candidate for scale-down.
+    /// instance is idle and a candidate for scale-down. O(1) index lookup.
     pub fn flows_for_service(&self, service: &str, cluster: ClusterId) -> usize {
-        self.flows
-            .values()
-            .filter(|f| f.service == service && f.cluster == cluster)
-            .count()
+        self.by_service
+            .get(&(service.to_string(), cluster))
+            .map_or(0, BTreeSet::len)
     }
 
     pub fn len(&self) -> usize {
@@ -195,18 +274,54 @@ impl FlowMemory {
     }
 
     /// Distinct `(service, cluster)` pairs with live flows and their counts —
-    /// the autoscaler's demand signal.
+    /// the autoscaler's demand signal. O(pairs): reads the secondary index,
+    /// which the BTreeMap already keeps sorted.
     pub fn services_with_flows(&self) -> Vec<(String, ClusterId, usize)> {
-        let mut counts: HashMap<(String, ClusterId), usize> = HashMap::new();
-        for f in self.flows.values() {
-            *counts.entry((f.service.clone(), f.cluster)).or_insert(0) += 1;
+        self.by_service
+            .iter()
+            .map(|((s, c), members)| (s.clone(), *c, members.len()))
+            .collect()
+    }
+
+    /// Remove a flow from the primary map and the service index (the expiry
+    /// heap keeps a stale record until it surfaces).
+    fn detach(&mut self, key: FlowKey) -> Option<MemorizedFlow> {
+        let flow = self.flows.remove(&key)?;
+        Self::index_remove(
+            &mut self.by_service,
+            (flow.service.clone(), flow.cluster),
+            key,
+        );
+        Some(flow)
+    }
+
+    fn index_remove(
+        index: &mut BTreeMap<(String, ClusterId), BTreeSet<FlowKey>>,
+        at: (String, ClusterId),
+        key: FlowKey,
+    ) {
+        if let Some(members) = index.get_mut(&at) {
+            members.remove(&key);
+            if members.is_empty() {
+                index.remove(&at);
+            }
         }
-        let mut out: Vec<(String, ClusterId, usize)> = counts
-            .into_iter()
-            .map(|((s, c), n)| (s, c, n))
-            .collect();
-        out.sort();
-        out
+    }
+
+    /// Restore the accurate-top invariant: pop records whose flow is gone or
+    /// has been refreshed past the recorded deadline.
+    fn normalize_expiry(&mut self) {
+        while let Some(&Reverse((deadline, key))) = self.expiry.peek() {
+            let live = self
+                .flows
+                .get(&key)
+                .map(|f| f.last_seen + self.idle_timeout)
+                == Some(deadline);
+            if live {
+                break;
+            }
+            self.expiry.pop();
+        }
     }
 }
 
@@ -248,8 +363,14 @@ mod tests {
         let mut m = mem();
         m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
         assert!(m.recall(t(50_000), key(1, 1)).is_some()); // refresh at 50 s
-        assert!(m.recall(t(100_000), key(1, 1)).is_some(), "alive: refreshed at 50 s");
-        assert!(m.recall(t(170_000), key(1, 1)).is_none(), "expired 60 s after last use");
+        assert!(
+            m.recall(t(100_000), key(1, 1)).is_some(),
+            "alive: refreshed at 50 s"
+        );
+        assert!(
+            m.recall(t(170_000), key(1, 1)).is_none(),
+            "expired 60 s after last use"
+        );
         assert!(m.is_empty());
     }
 
@@ -274,6 +395,20 @@ mod tests {
     }
 
     #[test]
+    fn next_expiry_tracks_refresh_and_forget() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "a", target(8000), ClusterId(0));
+        m.remember(t(5000), key(2, 1), "b", target(8001), ClusterId(0));
+        // refreshing the older flow moves the frontier to the younger one
+        assert!(m.recall(t(20_000), key(1, 1)).is_some());
+        assert_eq!(m.next_expiry(), Some(t(65_000)));
+        m.forget(key(2, 1));
+        assert_eq!(m.next_expiry(), Some(t(80_000)));
+        m.forget(key(1, 1));
+        assert_eq!(m.next_expiry(), None);
+    }
+
+    #[test]
     fn flows_for_service_counts() {
         let mut m = mem();
         m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
@@ -283,6 +418,23 @@ mod tests {
         assert_eq!(m.flows_for_service("svc", ClusterId(1)), 0);
         assert_eq!(m.forget_service("svc", ClusterId(0)), 2);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn services_with_flows_reports_sorted_counts() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "web", target(8000), ClusterId(1));
+        m.remember(t(0), key(2, 1), "web", target(8000), ClusterId(1));
+        m.remember(t(0), key(3, 2), "api", target(8001), ClusterId(0));
+        m.remember(t(0), key(4, 2), "web", target(8002), ClusterId(0));
+        assert_eq!(
+            m.services_with_flows(),
+            vec![
+                ("api".to_string(), ClusterId(0), 1),
+                ("web".to_string(), ClusterId(0), 1),
+                ("web".to_string(), ClusterId(1), 2),
+            ]
+        );
     }
 
     #[test]
@@ -296,7 +448,24 @@ mod tests {
         assert_eq!(f.target, target(30000));
         assert_eq!(f.cluster, ClusterId(1));
         // idempotent: retargeting again moves nothing
-        assert!(m.retarget_service("svc", target(30000), ClusterId(1)).is_empty());
+        assert!(m
+            .retarget_service("svc", target(30000), ClusterId(1))
+            .is_empty());
+        // and the index followed the move
+        assert_eq!(m.flows_for_service("svc", ClusterId(0)), 0);
+        assert_eq!(m.flows_for_service("svc", ClusterId(1)), 2);
+    }
+
+    #[test]
+    fn retarget_gathers_flows_across_clusters() {
+        let mut m = mem();
+        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        m.remember(t(0), key(2, 1), "svc", target(8001), ClusterId(2));
+        m.remember(t(0), key(3, 2), "other", target(8002), ClusterId(0));
+        let moved = m.retarget_service("svc", target(30000), ClusterId(1));
+        assert_eq!(moved, vec![key(1, 1), key(2, 1)]);
+        assert_eq!(m.flows_for_service("svc", ClusterId(1)), 2);
+        assert_eq!(m.flows_for_service("other", ClusterId(0)), 1);
     }
 
     #[test]
@@ -317,5 +486,8 @@ mod tests {
         assert_eq!(f.target, target(9000));
         assert_eq!(f.installed_at, t(0), "original install time preserved");
         assert_eq!(f.last_seen, t(10));
+        // the index moved with the cluster change
+        assert_eq!(m.flows_for_service("svc", ClusterId(0)), 0);
+        assert_eq!(m.flows_for_service("svc", ClusterId(1)), 1);
     }
 }

@@ -32,10 +32,13 @@ pub mod flowmemory;
 pub mod predictor;
 pub mod scheduler;
 
-pub use annotate::{annotate, annotate_documents, AnnotateError, AnnotateOptions, AnnotatedService};
+pub use annotate::{
+    annotate, annotate_documents, AnnotateError, AnnotateOptions, AnnotatedService,
+};
 pub use catalog::ServiceCatalog;
 pub use controller::{
-    Controller, ControllerConfig, ControllerOutput, ControllerStats, DeploymentRecord, SwitchId,
+    Controller, ControllerBuilder, ControllerConfig, ControllerOutput, ControllerStats,
+    DeploymentRecord, SwitchId,
 };
 pub use flowmemory::{FlowKey, FlowMemory, MemorizedFlow};
 pub use predictor::{NoPrediction, OraclePredictor, PopularityPredictor, Predictor};

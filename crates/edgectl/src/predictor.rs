@@ -36,6 +36,22 @@ pub trait Predictor: Send {
     fn predict(&mut self, now: SimTime, horizon: SimDuration) -> Vec<SocketAddr>;
 }
 
+// Boxed predictors stay usable where an `impl Predictor` is expected
+// (e.g. `ControllerBuilder::predictor`).
+impl Predictor for Box<dyn Predictor> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, now: SimTime, service_addr: SocketAddr) {
+        (**self).observe(now, service_addr)
+    }
+
+    fn predict(&mut self, now: SimTime, horizon: SimDuration) -> Vec<SocketAddr> {
+        (**self).predict(now, horizon)
+    }
+}
+
 /// The no-op baseline: pure on-demand deployment (the paper's setting).
 #[derive(Debug, Default, Clone)]
 pub struct NoPrediction;
@@ -66,7 +82,12 @@ pub struct PopularityPredictor {
 impl PopularityPredictor {
     pub fn new(half_life: SimDuration, top_k: usize, threshold: f64) -> PopularityPredictor {
         assert!(!half_life.is_zero());
-        PopularityPredictor { half_life, top_k, threshold, scores: HashMap::new() }
+        PopularityPredictor {
+            half_life,
+            top_k,
+            threshold,
+            scores: HashMap::new(),
+        }
     }
 
     fn decayed(&self, score: f64, since: SimDuration) -> f64 {
@@ -89,11 +110,7 @@ impl Predictor for PopularityPredictor {
     }
 
     fn observe(&mut self, now: SimTime, service: SocketAddr) {
-        let (score, last) = self
-            .scores
-            .get(&service)
-            .copied()
-            .unwrap_or((0.0, now));
+        let (score, last) = self.scores.get(&service).copied().unwrap_or((0.0, now));
         let decayed = self.decayed(score, now.since(last));
         self.scores.insert(service, (decayed + 1.0, now));
     }
@@ -187,8 +204,14 @@ mod tests {
             p.observe(t(0), addr(1));
         }
         assert!((p.score(t(0), addr(1)) - 4.0).abs() < 1e-9);
-        assert!((p.score(t(10), addr(1)) - 2.0).abs() < 1e-9, "one half-life");
-        assert!((p.score(t(20), addr(1)) - 1.0).abs() < 1e-9, "two half-lives");
+        assert!(
+            (p.score(t(10), addr(1)) - 2.0).abs() < 1e-9,
+            "one half-life"
+        );
+        assert!(
+            (p.score(t(20), addr(1)) - 1.0).abs() < 1e-9,
+            "two half-lives"
+        );
         // after enough decay the service drops below threshold
         assert!(p.predict(t(40), SimDuration::from_secs(60)).is_empty());
     }

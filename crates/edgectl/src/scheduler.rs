@@ -90,6 +90,29 @@ pub trait LocalScheduler: Send {
     fn pick(&mut self, service: &str, ready_replicas: u32) -> u32;
 }
 
+// Already-boxed trait objects remain usable where an `impl GlobalScheduler`
+// is expected (e.g. `ControllerBuilder::global` after a config-driven match
+// produced a `Box<dyn GlobalScheduler>`).
+impl GlobalScheduler for Box<dyn GlobalScheduler> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn decide(&mut self, service: &str, views: &[ClusterView]) -> Decision {
+        (**self).decide(service, views)
+    }
+}
+
+impl LocalScheduler for Box<dyn LocalScheduler> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn pick(&mut self, service: &str, ready_replicas: u32) -> u32 {
+        (**self).pick(service, ready_replicas)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Global scheduler policies
 // ---------------------------------------------------------------------------
@@ -107,7 +130,10 @@ impl GlobalScheduler for NearestWaiting {
 
     fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
         let best = nearest(views, |_| true);
-        Decision { fast: best, best: None }
+        Decision {
+            fast: best,
+            best: None,
+        }
     }
 }
 
@@ -201,16 +227,18 @@ impl GlobalScheduler for LeastLoaded {
         let best = views
             .iter()
             .min_by(|a, b| {
-                let score = |v: &ClusterView| {
-                    v.distance.as_secs_f64() * (1.0 + self.load_weight * v.load)
-                };
+                let score =
+                    |v: &ClusterView| v.distance.as_secs_f64() * (1.0 + self.load_weight * v.load);
                 score(a)
                     .partial_cmp(&score(b))
                     .unwrap()
                     .then(a.id.cmp(&b.id))
             })
             .map(|v| v.id);
-        Decision { fast: best, best: None }
+        Decision {
+            fast: best,
+            best: None,
+        }
     }
 }
 
@@ -333,7 +361,11 @@ mod tests {
                 view(1, ClusterKind::Kubernetes, 2, false),
             ],
         );
-        assert_eq!(d.fast, Some(ClusterId(0)), "Docker answers the first request");
+        assert_eq!(
+            d.fast,
+            Some(ClusterId(0)),
+            "Docker answers the first request"
+        );
         assert_eq!(d.best, Some(ClusterId(1)), "K8s takes over");
         assert!(d.is_without_waiting());
     }
@@ -394,11 +426,17 @@ mod tests {
     fn empty_views_mean_cloud() {
         assert_eq!(
             NearestWaiting.decide("svc", &[]),
-            Decision { fast: None, best: None }
+            Decision {
+                fast: None,
+                best: None
+            }
         );
         assert_eq!(
             NearestReadyFirst.decide("svc", &[]),
-            Decision { fast: None, best: None }
+            Decision {
+                fast: None,
+                best: None
+            }
         );
     }
 

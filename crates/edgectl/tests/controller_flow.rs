@@ -7,13 +7,10 @@
 use cluster::{ClusterBackend, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate};
 use containers::image::synthesize_layers;
 use containers::{ImageManifest, Runtime};
-use edgectl::{
-    Controller, ControllerConfig, ControllerOutput, NearestReadyFirst, NearestWaiting,
-    RoundRobinLocal,
-};
+use edgectl::{Controller, ControllerConfig, ControllerOutput, NearestReadyFirst, NearestWaiting};
 use registry::{Registry, RegistryProfile, RegistrySet};
 use simcore::{DurationDist, SimDuration, SimRng, SimTime};
-use simnet::openflow::{Action, BufferId, FlowMatch, PortId};
+use simnet::openflow::{Action, BufferId, FlowMatch, FlowSpec, PortId};
 use simnet::{IpAddr, Packet, SocketAddr};
 
 const CLOUD_PORT: PortId = PortId(0);
@@ -71,19 +68,25 @@ fn client_ip(n: u8) -> IpAddr {
 }
 
 fn packet(client: u8, tag: u64) -> Packet {
-    Packet::syn(SocketAddr::new(client_ip(client), 40000), service_addr(), tag)
+    Packet::syn(
+        SocketAddr::new(client_ip(client), 40000),
+        service_addr(),
+        tag,
+    )
 }
 
 /// A controller with one Docker cluster, NearestWaiting policy.
 fn waiting_controller(seed: u64) -> Controller {
-    let mut c = Controller::new(
-        ControllerConfig::default(),
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        CLOUD_PORT,
+    let mut c = Controller::builder(ControllerConfig::default())
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    c.attach_cluster(
+        docker_backend(seed),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
     );
-    c.attach_cluster(docker_backend(seed), SimDuration::from_micros(300), DOCKER_PORT);
     c.catalog.register(service_addr(), nginx_template());
     c
 }
@@ -117,8 +120,14 @@ fn with_waiting_holds_request_until_ready() {
 
     // Cold start: pull (~seconds) + create + scale-up + app init.
     let total_s = released.as_secs_f64();
-    assert!(total_s > 1.0, "cold deployment cannot be instant: {total_s}");
-    assert!(total_s < 20.0, "cold deployment unreasonably slow: {total_s}");
+    assert!(
+        total_s > 1.0,
+        "cold deployment cannot be instant: {total_s}"
+    );
+    assert!(
+        total_s < 20.0,
+        "cold deployment unreasonably slow: {total_s}"
+    );
 
     // The deployment record has all three phases.
     assert_eq!(c.stats.deployments.len(), 1);
@@ -147,16 +156,29 @@ fn with_waiting_holds_request_until_ready() {
 fn forward_flow_rewrites_to_edge_instance() {
     let mut c = waiting_controller(2);
     let outputs = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
-    let ControllerOutput::FlowMod { matcher, actions, .. } = &outputs[0] else {
+    let ControllerOutput::FlowMod {
+        spec: FlowSpec {
+            matcher, actions, ..
+        },
+        ..
+    } = &outputs[0]
+    else {
         panic!("first output must be the forward FlowMod");
     };
-    assert_eq!(*matcher, FlowMatch::client_to_service(client_ip(1), service_addr()));
+    assert_eq!(
+        *matcher,
+        FlowMatch::client_to_service(client_ip(1), service_addr())
+    );
     assert!(matches!(actions[0], Action::SetDstIp(ip) if ip == IpAddr::new(10, 0, 0, 100)));
     assert!(matches!(actions[1], Action::SetDstPort(_)));
     assert!(matches!(actions[2], Action::Output(p) if p == DOCKER_PORT));
 
     // Reverse flow restores the cloud address.
-    let ControllerOutput::FlowMod { actions: rev, .. } = &outputs[1] else {
+    let ControllerOutput::FlowMod {
+        spec: FlowSpec { actions: rev, .. },
+        ..
+    } = &outputs[1]
+    else {
         panic!("second output must be the reverse FlowMod");
     };
     assert!(matches!(rev[0], Action::SetSrcIp(ip) if ip == service_addr().ip));
@@ -187,7 +209,10 @@ fn second_deployment_skips_pull_and_create() {
     // warm start is sub-second on Docker (the paper's headline result)
     let warm_ms = (ready2 - t2).as_millis_f64();
     assert!(warm_ms < 1000.0, "warm docker start {warm_ms} ms");
-    assert!(warm_ms > 200.0, "still a real container start: {warm_ms} ms");
+    assert!(
+        warm_ms > 200.0,
+        "still a real container start: {warm_ms} ms"
+    );
 }
 
 #[test]
@@ -232,7 +257,11 @@ fn unregistered_service_goes_to_cloud() {
     assert_eq!(c.stats.cloud_forwards, 1);
     assert_eq!(c.stats.deployments.len(), 0);
     // forward flow outputs to the cloud port without rewriting
-    let ControllerOutput::FlowMod { actions, .. } = &outputs[0] else {
+    let ControllerOutput::FlowMod {
+        spec: FlowSpec { actions, .. },
+        ..
+    } = &outputs[0]
+    else {
         panic!()
     };
     assert_eq!(actions.len(), 1);
@@ -247,14 +276,16 @@ fn without_waiting_detours_to_ready_cluster_and_retargets() {
     // Near Docker cluster (cold) + far K8s cluster with the service already
     // running: NearestReadyFirst sends the first request to the far one and
     // deploys nearby in the background (paper Fig. 3).
-    let mut c = Controller::new(
-        ControllerConfig::default(),
-        Box::new(NearestReadyFirst),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        CLOUD_PORT,
+    let mut c = Controller::builder(ControllerConfig::default())
+        .global(NearestReadyFirst)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    let near = c.attach_cluster(
+        docker_backend(7),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
     );
-    let near = c.attach_cluster(docker_backend(7), SimDuration::from_micros(300), DOCKER_PORT);
     let far = c.attach_cluster(k8s_backend(8), SimDuration::from_millis(8), K8S_PORT);
     c.catalog.register(service_addr(), nginx_template());
 
@@ -272,7 +303,11 @@ fn without_waiting_detours_to_ready_cluster_and_retargets() {
     assert!(released - warm <= SimDuration::from_millis(5));
     assert_eq!(c.stats.detoured_requests, 1);
     // Forward flow points at the far cluster's port.
-    let ControllerOutput::FlowMod { actions, .. } = &outputs[0] else {
+    let ControllerOutput::FlowMod {
+        spec: FlowSpec { actions, .. },
+        ..
+    } = &outputs[0]
+    else {
         panic!()
     };
     assert!(matches!(actions[2], Action::Output(p) if p == K8S_PORT));
@@ -288,9 +323,15 @@ fn without_waiting_detours_to_ready_cluster_and_retargets() {
     // switch gets updated FlowMods.
     let updates = c.take_retarget_outputs(near_ready + SimDuration::from_secs(1));
     assert!(!updates.is_empty(), "retarget must emit FlowMods");
-    assert!(updates.iter().all(|o| matches!(o, ControllerOutput::FlowMod { .. })));
+    assert!(updates
+        .iter()
+        .all(|o| matches!(o, ControllerOutput::FlowMod { .. })));
     assert_eq!(c.stats.retargets, 1);
-    let ControllerOutput::FlowMod { actions, .. } = &updates[0] else {
+    let ControllerOutput::FlowMod {
+        spec: FlowSpec { actions, .. },
+        ..
+    } = &updates[0]
+    else {
         panic!()
     };
     assert!(
@@ -303,14 +344,16 @@ fn without_waiting_detours_to_ready_cluster_and_retargets() {
 fn no_ready_instance_and_no_wait_policy_forwards_to_cloud() {
     // NearestReadyFirst with only a cold cluster: FAST=None → cloud, BEST →
     // background deployment.
-    let mut c = Controller::new(
-        ControllerConfig::default(),
-        Box::new(NearestReadyFirst),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        CLOUD_PORT,
+    let mut c = Controller::builder(ControllerConfig::default())
+        .global(NearestReadyFirst)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    c.attach_cluster(
+        docker_backend(9),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
     );
-    c.attach_cluster(docker_backend(9), SimDuration::from_micros(300), DOCKER_PORT);
     c.catalog.register(service_addr(), nginx_template());
 
     let outputs = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
@@ -324,14 +367,16 @@ fn no_ready_instance_and_no_wait_policy_forwards_to_cloud() {
 #[test]
 fn deployment_failure_falls_back_to_cloud() {
     // Empty registry set: the pull fails, the request must not hang.
-    let mut c = Controller::new(
-        ControllerConfig::default(),
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        RegistrySet::new(),
-        CLOUD_PORT,
+    let mut c = Controller::builder(ControllerConfig::default())
+        .global(NearestWaiting)
+        .registries(RegistrySet::new())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    c.attach_cluster(
+        docker_backend(10),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
     );
-    c.attach_cluster(docker_backend(10), SimDuration::from_micros(300), DOCKER_PORT);
     c.catalog.register(service_addr(), nginx_template());
 
     let outputs = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
@@ -369,7 +414,10 @@ fn probe_quantization_bounds_detection_lag() {
     let (_, _, expected) = rec.scale_up.unwrap();
     let lag = rec.ready_detected - expected;
     let bound = c.config().probe_interval + SimDuration::from_millis(1);
-    assert!(lag <= bound, "detection lag {lag} exceeds one probe interval");
+    assert!(
+        lag <= bound,
+        "detection lag {lag} exceeds one probe interval"
+    );
 }
 
 #[test]
@@ -389,13 +437,11 @@ fn retries_recover_from_transient_faults() {
     let run = |retries: u32, seed: u64| -> (bool, u64) {
         let mut config = ControllerConfig::default();
         config.deploy_retries = retries;
-        let mut c = Controller::new(
-            config,
-            Box::new(NearestWaiting),
-            Box::new(RoundRobinLocal::default()),
-            registries(),
-            CLOUD_PORT,
-        );
+        let mut c = Controller::builder(config)
+            .global(NearestWaiting)
+            .registries(registries())
+            .cloud_port(CLOUD_PORT)
+            .build();
         let rng = SimRng::seed_from_u64(seed);
         let inner = DockerCluster::new(
             "edge-docker",
@@ -404,7 +450,11 @@ fn retries_recover_from_transient_faults() {
             rng.stream("docker"),
         );
         c.attach_cluster(
-            Box::new(FaultyCluster::new(inner, FaultPlan::flaky(0.5), rng.stream("faults"))),
+            Box::new(FaultyCluster::new(
+                inner,
+                FaultPlan::flaky(0.5),
+                rng.stream("faults"),
+            )),
             SimDuration::from_micros(300),
             DOCKER_PORT,
         );
@@ -426,7 +476,10 @@ fn retries_recover_from_transient_faults() {
 
     let without: Vec<(bool, u64)> = (0..20).map(|s| run(0, s)).collect();
     let ok = without.iter().filter(|r| r.0).count();
-    assert!(ok <= 10, "no retries at 50% flake should fail often: {ok}/20 succeeded");
+    assert!(
+        ok <= 10,
+        "no retries at 50% flake should fail often: {ok}/20 succeeded"
+    );
 }
 
 #[test]
@@ -438,13 +491,11 @@ fn retry_backoff_delays_deployment() {
     let mut config = ControllerConfig::default();
     config.deploy_retries = 5;
     config.retry_backoff = SimDuration::from_millis(400);
-    let mut c = Controller::new(
-        config,
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        CLOUD_PORT,
-    );
+    let mut c = Controller::builder(config)
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
     // seed chosen so the first roll at 50% fails, later ones succeed
     let mut chosen = None;
     for seed in 0..50u64 {
@@ -485,14 +536,16 @@ fn retry_backoff_delays_deployment() {
 fn autoscaler_grows_replicas_with_flow_count() {
     let mut config = ControllerConfig::default();
     config.autoscale_flows_per_replica = Some(4);
-    let mut c = Controller::new(
-        config,
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        CLOUD_PORT,
+    let mut c = Controller::builder(config)
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    c.attach_cluster(
+        docker_backend(21),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
     );
-    c.attach_cluster(docker_backend(21), SimDuration::from_micros(300), DOCKER_PORT);
     c.catalog.register(service_addr(), nginx_template());
 
     // First client triggers the deployment; eleven more arrive afterwards.
@@ -529,14 +582,21 @@ fn autoscaler_grows_replicas_with_flow_count() {
             BufferId(100 + i as u64),
             CLIENT_PORT,
         );
-        let ControllerOutput::FlowMod { actions, .. } = &out[0] else {
+        let ControllerOutput::FlowMod {
+            spec: FlowSpec { actions, .. },
+            ..
+        } = &out[0]
+        else {
             panic!("expected forward FlowMod");
         };
         if let Action::SetDstPort(p) = actions[1] {
             seen.insert(p);
         }
     }
-    assert!(seen.len() >= 2, "round-robin must hit multiple replicas: {seen:?}");
+    assert!(
+        seen.len() >= 2,
+        "round-robin must hit multiple replicas: {seen:?}"
+    );
 }
 
 #[test]
@@ -545,11 +605,18 @@ fn autoscaler_disabled_by_default() {
     let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
     let ready = release_time(&out);
     for i in 2..=12u8 {
-        c.on_packet_in(ready + SimDuration::from_millis(i as u64), packet(i, i as u64), BufferId(i as u64), CLIENT_PORT);
+        c.on_packet_in(
+            ready + SimDuration::from_millis(i as u64),
+            packet(i, i as u64),
+            BufferId(i as u64),
+            CLIENT_PORT,
+        );
     }
     c.on_tick(ready + SimDuration::from_secs(2));
     assert_eq!(c.stats.autoscale_ups, 0);
-    let status = c.cluster(edgectl::ClusterId(0)).status(ready + SimDuration::from_secs(10), "edge-nginx");
+    let status = c
+        .cluster(edgectl::ClusterId(0))
+        .status(ready + SimDuration::from_secs(10), "edge-nginx");
     assert_eq!(status.ready_replicas, 1);
 }
 
@@ -575,7 +642,11 @@ fn client_mobility_reverse_flow_follows_new_port() {
     // memory fast path still applies…
     assert_eq!(c.stats.memory_hits, 1);
     // …and the reverse flow outputs to the new location.
-    let ControllerOutput::FlowMod { actions: rev, .. } = &out2[1] else {
+    let ControllerOutput::FlowMod {
+        spec: FlowSpec { actions: rev, .. },
+        ..
+    } = &out2[1]
+    else {
         panic!("second output must be the reverse FlowMod");
     };
     assert!(
@@ -590,18 +661,25 @@ fn probe_timeout_falls_back_to_cloud() {
     // is willing to wait: the buffered request must not hang forever.
     let mut config = ControllerConfig::default();
     config.probe_timeout = SimDuration::from_secs(1);
-    let mut c = Controller::new(
-        config,
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        CLOUD_PORT,
+    let mut c = Controller::builder(config)
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    c.attach_cluster(
+        docker_backend(31),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
     );
-    c.attach_cluster(docker_backend(31), SimDuration::from_micros(300), DOCKER_PORT);
     // 30 s of app init — far beyond the 1 s probe budget.
     c.catalog.register(
         service_addr(),
-        ServiceTemplate::single("edge-nginx", "nginx:1.23.2", 80, DurationDist::constant_ms(30_000.0)),
+        ServiceTemplate::single(
+            "edge-nginx",
+            "nginx:1.23.2",
+            80,
+            DurationDist::constant_ms(30_000.0),
+        ),
     );
     let outputs = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
     assert_eq!(c.stats.failed_deployments, 1);
@@ -619,13 +697,11 @@ fn multi_switch_decisions_are_relative_to_ingress() {
 
     // Two switches, one Docker site behind each. A client behind switch 0
     // must be served by site 0; a client behind switch 1 by site 1.
-    let mut c = Controller::new(
-        ControllerConfig::default(),
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        PortId(0), // switch 0's cloud port
-    );
+    let mut c = Controller::builder(ControllerConfig::default())
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(PortId(0)) // switch 0's cloud port
+        .build();
     let near0 = SimDuration::from_micros(80);
     let far = SimDuration::from_millis(3);
     // site 0: local to switch 0 on port 2
@@ -649,11 +725,27 @@ fn multi_switch_decisions_are_relative_to_ingress() {
     c.catalog.register(service_addr(), nginx_template());
 
     // Client A behind switch 0 → deployment lands on site 0.
-    let out_a = c.on_packet_in_at(SimTime::ZERO, SwitchId(0), packet(1, 1), BufferId(0), PortId(5));
+    let out_a = c.on_packet_in_at(
+        SimTime::ZERO,
+        SwitchId(0),
+        packet(1, 1),
+        BufferId(0),
+        PortId(5),
+    );
     assert_eq!(c.stats.deployments[0].cluster, edgectl::ClusterId(0));
-    let ControllerOutput::FlowMod { actions, switch, .. } = &out_a[0] else { panic!() };
+    let ControllerOutput::FlowMod {
+        spec: FlowSpec { actions, .. },
+        switch,
+        ..
+    } = &out_a[0]
+    else {
+        panic!()
+    };
     assert_eq!(*switch, SwitchId(0));
-    assert!(matches!(actions[2], Action::Output(p) if p == PortId(2)), "local site port");
+    assert!(
+        matches!(actions[2], Action::Output(p) if p == PortId(2)),
+        "local site port"
+    );
 
     // Client B behind switch 1 → deployment lands on site 1, flows installed
     // on switch 1 pointing at ITS local port.
@@ -665,13 +757,25 @@ fn multi_switch_decisions_are_relative_to_ingress() {
         PortId(6),
     );
     assert_eq!(c.stats.deployments[1].cluster, s1);
-    let ControllerOutput::FlowMod { actions, switch, .. } = &out_b[0] else { panic!() };
+    let ControllerOutput::FlowMod {
+        spec: FlowSpec { actions, .. },
+        switch,
+        ..
+    } = &out_b[0]
+    else {
+        panic!()
+    };
     assert_eq!(*switch, sw1);
     assert!(matches!(actions[2], Action::Output(p) if p == PortId(2)));
     // host route for client B appears on switch 0 (toward switch 1 = port 1)
     let host_route = out_b.iter().find_map(|o| match o {
-        ControllerOutput::FlowMod { switch: SwitchId(0), matcher, actions, .. }
-            if matcher.dst_ip == Some(client_ip(2)) => Some(actions.clone()),
+        ControllerOutput::FlowMod {
+            switch: SwitchId(0),
+            spec: FlowSpec {
+                matcher, actions, ..
+            },
+            ..
+        } if matcher.dst_ip == Some(client_ip(2)) => Some(actions.clone()),
         _ => None,
     });
     let actions = host_route.expect("host route installed on the other switch");
@@ -694,14 +798,16 @@ fn remove_phase_deletes_long_idle_services() {
     // (but not Pull: the image stays cached).
     let mut config = ControllerConfig::default();
     config.remove_after = Some(SimDuration::from_secs(120));
-    let mut c = Controller::new(
-        config,
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        CLOUD_PORT,
+    let mut c = Controller::builder(config)
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    c.attach_cluster(
+        docker_backend(51),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
     );
-    c.attach_cluster(docker_backend(51), SimDuration::from_micros(300), DOCKER_PORT);
     c.catalog.register(service_addr(), nginx_template());
 
     let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
@@ -712,7 +818,11 @@ fn remove_phase_deletes_long_idle_services() {
     c.on_tick(t1);
     assert_eq!(c.stats.scale_downs, 1);
     assert_eq!(c.stats.removals, 0);
-    assert!(c.cluster(edgectl::ClusterId(0)).status(t1, "edge-nginx").created);
+    assert!(
+        c.cluster(edgectl::ClusterId(0))
+            .status(t1, "edge-nginx")
+            .created
+    );
 
     // The tick must wake up again for the pending removal.
     let next = c.on_tick(t1 + SimDuration::from_secs(1));
@@ -722,7 +832,11 @@ fn remove_phase_deletes_long_idle_services() {
     let t2 = t1 + SimDuration::from_secs(121);
     c.on_tick(t2);
     assert_eq!(c.stats.removals, 1);
-    assert!(!c.cluster(edgectl::ClusterId(0)).status(t2, "edge-nginx").created);
+    assert!(
+        !c.cluster(edgectl::ClusterId(0))
+            .status(t2, "edge-nginx")
+            .created
+    );
 
     // A later request redeploys: Create + Scale-Up, no Pull.
     let t3 = t2 + SimDuration::from_secs(10);
@@ -738,14 +852,16 @@ fn remove_phase_deletes_long_idle_services() {
 fn revived_service_escapes_pending_removal() {
     let mut config = ControllerConfig::default();
     config.remove_after = Some(SimDuration::from_secs(120));
-    let mut c = Controller::new(
-        config,
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        CLOUD_PORT,
+    let mut c = Controller::builder(config)
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    c.attach_cluster(
+        docker_backend(52),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
     );
-    c.attach_cluster(docker_backend(52), SimDuration::from_micros(300), DOCKER_PORT);
     c.catalog.register(service_addr(), nginx_template());
 
     let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
@@ -761,8 +877,9 @@ fn revived_service_escapes_pending_removal() {
     // The removal deadline passes — nothing must be removed.
     c.on_tick(t1 + SimDuration::from_secs(121));
     assert_eq!(c.stats.removals, 0);
-    assert!(c
-        .cluster(edgectl::ClusterId(0))
-        .status(t1 + SimDuration::from_secs(121), "edge-nginx")
-        .created);
+    assert!(
+        c.cluster(edgectl::ClusterId(0))
+            .status(t1 + SimDuration::from_secs(121), "edge-nginx")
+            .created
+    );
 }

@@ -53,7 +53,10 @@ impl std::error::Error for PullError {}
 
 impl Registry {
     pub fn new(profile: RegistryProfile) -> Registry {
-        Registry { profile, images: HashMap::new() }
+        Registry {
+            profile,
+            images: HashMap::new(),
+        }
     }
 
     /// Publish an image so nodes can pull it.
@@ -152,10 +155,7 @@ impl Registry {
     /// Only the final layer's extraction is exposed; earlier layers extract
     /// while later ones download.
     fn extract_tail_time(&self, missing: &[Layer]) -> SimDuration {
-        let last = missing
-            .last()
-            .map(|l| l.uncompressed_bytes)
-            .unwrap_or(0);
+        let last = missing.last().map(|l| l.uncompressed_bytes).unwrap_or(0);
         SimDuration::from_secs_f64(last as f64 / self.profile.extract_bytes_per_sec as f64)
     }
 }
@@ -183,8 +183,14 @@ mod tests {
 
     fn hub() -> Registry {
         let mut r = Registry::new(crate::profile::RegistryProfile::docker_hub());
-        r.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 141_000_000, 6)));
-        r.publish(ImageManifest::new("josefhammer/web-asm:amd64", synthesize_layers(2, 6330, 1)));
+        r.publish(ImageManifest::new(
+            "nginx:1.23.2",
+            synthesize_layers(1, 141_000_000, 6),
+        ));
+        r.publish(ImageManifest::new(
+            "josefhammer/web-asm:amd64",
+            synthesize_layers(2, 6330, 1),
+        ));
         r
     }
 
@@ -211,7 +217,12 @@ mod tests {
         let reg = hub();
         let mut store = ImageStore::new();
         let err = reg
-            .pull(SimTime::ZERO, &ImageRef::new("ghost:latest"), &mut store, &mut rng())
+            .pull(
+                SimTime::ZERO,
+                &ImageRef::new("ghost:latest"),
+                &mut store,
+                &mut rng(),
+            )
             .unwrap_err();
         assert!(matches!(err, PullError::UnknownImage(_)));
     }
@@ -241,9 +252,15 @@ mod tests {
         let reg = hub();
         let mut store = ImageStore::new();
         let image = ImageRef::new("nginx:1.23.2");
-        reg.pull(SimTime::ZERO, &image, &mut store, &mut rng()).unwrap();
+        reg.pull(SimTime::ZERO, &image, &mut store, &mut rng())
+            .unwrap();
         let again = reg
-            .pull(SimTime::from_secs_f64(100.0), &image, &mut store, &mut rng())
+            .pull(
+                SimTime::from_secs_f64(100.0),
+                &image,
+                &mut store,
+                &mut rng(),
+            )
             .unwrap();
         assert!(again.was_cached());
         assert_eq!(again.completed_at, SimTime::from_secs_f64(100.0));
@@ -261,10 +278,20 @@ mod tests {
         let mut store = ImageStore::new();
         let mut r = rng();
         let first = reg
-            .pull(SimTime::ZERO, &ImageRef::new("nginx:1.23.2"), &mut store, &mut r)
+            .pull(
+                SimTime::ZERO,
+                &ImageRef::new("nginx:1.23.2"),
+                &mut store,
+                &mut r,
+            )
             .unwrap();
         let second = reg
-            .pull(first.completed_at, &ImageRef::new("nginx-py:combo"), &mut store, &mut r)
+            .pull(
+                first.completed_at,
+                &ImageRef::new("nginx-py:combo"),
+                &mut store,
+                &mut r,
+            )
             .unwrap();
         assert_eq!(second.layers_downloaded, 1, "only the py layer transfers");
         assert_eq!(second.layers_cached, 6);
@@ -275,8 +302,14 @@ mod tests {
     fn pull_time_grows_with_layer_count_at_equal_size() {
         // Same bytes, more layers → more per-layer overhead (paper §VI).
         let mut reg = hub();
-        reg.publish(ImageManifest::new("fat-1layer", synthesize_layers(11, 6_000_000, 1)));
-        reg.publish(ImageManifest::new("fat-9layer", synthesize_layers(12, 6_000_000, 9)));
+        reg.publish(ImageManifest::new(
+            "fat-1layer",
+            synthesize_layers(11, 6_000_000, 1),
+        ));
+        reg.publish(ImageManifest::new(
+            "fat-9layer",
+            synthesize_layers(12, 6_000_000, 9),
+        ));
         let one = pull_secs(&reg, "fat-1layer", &mut ImageStore::new());
         let nine = pull_secs(&reg, "fat-9layer", &mut ImageStore::new());
         assert!(nine > one, "nine={nine} one={one}");
@@ -287,7 +320,12 @@ mod tests {
         let reg = hub();
         let mut store = ImageStore::new();
         let out = reg
-            .pull(SimTime::ZERO, &ImageRef::new("nginx:1.23.2"), &mut store, &mut rng())
+            .pull(
+                SimTime::ZERO,
+                &ImageRef::new("nginx:1.23.2"),
+                &mut store,
+                &mut rng(),
+            )
             .unwrap();
         assert_eq!(out.layers_downloaded, 6);
         assert_eq!(out.layers_cached, 0);

@@ -67,7 +67,10 @@ mod tests {
 
     fn set() -> RegistrySet {
         let mut hub = Registry::new(RegistryProfile::docker_hub());
-        hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 1000, 2)));
+        hub.publish(ImageManifest::new(
+            "nginx:1.23.2",
+            synthesize_layers(1, 1000, 2),
+        ));
         let mut gcr = Registry::new(RegistryProfile::gcr());
         gcr.publish(ImageManifest::new(
             "gcr.io/tensorflow-serving/resnet",
@@ -83,11 +86,17 @@ mod tests {
     fn routes_by_catalog() {
         let s = set();
         assert_eq!(
-            s.route(&ImageRef::new("nginx:1.23.2")).unwrap().profile.name,
+            s.route(&ImageRef::new("nginx:1.23.2"))
+                .unwrap()
+                .profile
+                .name,
             "docker-hub"
         );
         assert_eq!(
-            s.route(&ImageRef::new("gcr.io/tensorflow-serving/resnet")).unwrap().profile.name,
+            s.route(&ImageRef::new("gcr.io/tensorflow-serving/resnet"))
+                .unwrap()
+                .profile
+                .name,
             "gcr"
         );
         assert!(s.route(&ImageRef::new("ghost")).is_none());
@@ -97,20 +106,32 @@ mod tests {
     fn mirror_preferred_when_it_has_the_image() {
         let mut s = set();
         let mut lan = Registry::new(RegistryProfile::private_lan());
-        lan.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 1000, 2)));
+        lan.publish(ImageManifest::new(
+            "nginx:1.23.2",
+            synthesize_layers(1, 1000, 2),
+        ));
         s.add_mirror(lan);
         assert_eq!(
-            s.route(&ImageRef::new("nginx:1.23.2")).unwrap().profile.name,
+            s.route(&ImageRef::new("nginx:1.23.2"))
+                .unwrap()
+                .profile
+                .name,
             "private-lan"
         );
         // mirror lacks resnet → falls through to gcr
         assert_eq!(
-            s.route(&ImageRef::new("gcr.io/tensorflow-serving/resnet")).unwrap().profile.name,
+            s.route(&ImageRef::new("gcr.io/tensorflow-serving/resnet"))
+                .unwrap()
+                .profile
+                .name,
             "gcr"
         );
         s.clear_mirror();
         assert_eq!(
-            s.route(&ImageRef::new("nginx:1.23.2")).unwrap().profile.name,
+            s.route(&ImageRef::new("nginx:1.23.2"))
+                .unwrap()
+                .profile
+                .name,
             "docker-hub"
         );
     }

@@ -94,9 +94,7 @@ impl Dist {
             Dist::Exponential { mean } => Some(*mean),
             Dist::Normal { mean, .. } => Some(*mean),
             Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
-            Dist::Pareto { x_min, alpha } if *alpha > 1.0 => {
-                Some(alpha * x_min / (alpha - 1.0))
-            }
+            Dist::Pareto { x_min, alpha } if *alpha > 1.0 => Some(alpha * x_min / (alpha - 1.0)),
             Dist::Pareto { .. } => None,
             Dist::Empirical(pairs) => {
                 let total: f64 = pairs.iter().map(|(_, w)| *w).sum();
@@ -132,7 +130,10 @@ impl DurationDist {
 
     /// Uniform in `[lo_ms, hi_ms)`.
     pub fn uniform_ms(lo_ms: f64, hi_ms: f64) -> Self {
-        DurationDist(Dist::Uniform { lo: lo_ms, hi: hi_ms })
+        DurationDist(Dist::Uniform {
+            lo: lo_ms,
+            hi: hi_ms,
+        })
     }
 
     pub fn zero() -> Self {
@@ -169,10 +170,7 @@ impl Zipf {
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let total = *self.cum.last().unwrap();
         let x = rng.f64() * total;
-        match self
-            .cum
-            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
-        {
+        match self.cum.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
             Ok(i) => i + 1.min(self.cum.len() - 1),
             Err(i) => i.min(self.cum.len() - 1),
         }
@@ -231,7 +229,10 @@ mod tests {
 
     #[test]
     fn normal_mean_and_spread() {
-        let d = Dist::Normal { mean: 10.0, std_dev: 2.0 };
+        let d = Dist::Normal {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
         let mut r = rng();
         let xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -255,14 +256,20 @@ mod tests {
 
     #[test]
     fn log_normal_mean_formula() {
-        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         let want = d.mean().unwrap();
         assert!((sample_mean(&d, 300_000) - want).abs() / want < 0.02);
     }
 
     #[test]
     fn pareto_heavy_tail() {
-        let d = Dist::Pareto { x_min: 1.0, alpha: 2.0 };
+        let d = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 2.0,
+        };
         let mut r = rng();
         let xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
         assert!(xs.iter().all(|&x| x >= 1.0));
@@ -283,7 +290,10 @@ mod tests {
 
     #[test]
     fn shifted_offsets() {
-        let d = Dist::Shifted { offset: 100.0, inner: Box::new(Dist::Constant(5.0)) };
+        let d = Dist::Shifted {
+            offset: 100.0,
+            inner: Box::new(Dist::Constant(5.0)),
+        };
         let mut r = rng();
         assert_eq!(d.sample(&mut r), 105.0);
         assert_eq!(d.mean(), Some(105.0));

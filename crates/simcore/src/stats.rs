@@ -100,7 +100,10 @@ pub struct Percentiles {
 
 impl Percentiles {
     pub fn new() -> Percentiles {
-        Percentiles { values: Vec::new(), sorted: true }
+        Percentiles {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     pub fn record(&mut self, x: f64) {
@@ -193,7 +196,10 @@ impl TimeSeries {
     pub fn new(bin: SimDuration, horizon: SimDuration) -> TimeSeries {
         assert!(!bin.is_zero(), "zero-width bin");
         let n = horizon.as_nanos().div_ceil(bin.as_nanos()).max(1) as usize;
-        TimeSeries { bin, bins: vec![0; n] }
+        TimeSeries {
+            bin,
+            bins: vec![0; n],
+        }
     }
 
     /// Record one event at instant `t`; events past the horizon land in the
@@ -220,7 +226,10 @@ impl TimeSeries {
     /// (bin start time in seconds, count) pairs — convenient for printing.
     pub fn points(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         let w = self.bin.as_secs_f64();
-        self.bins.iter().enumerate().map(move |(i, &c)| (i as f64 * w, c))
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as f64 * w, c))
     }
 }
 
@@ -286,7 +295,11 @@ impl LogHistogram {
         let mut lo = 0.0;
         let mut hi = self.first_edge;
         for (i, &c) in self.counts.iter().enumerate() {
-            let upper = if i + 1 == self.counts.len() { f64::INFINITY } else { hi };
+            let upper = if i + 1 == self.counts.len() {
+                f64::INFINITY
+            } else {
+                hi
+            };
             out.push((lo, upper, c));
             lo = hi;
             hi *= self.factor;

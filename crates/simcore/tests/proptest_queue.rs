@@ -7,7 +7,10 @@ use simcore::{EventQueue, SimTime};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Push { time_ns: u64, value: u32 },
+    Push {
+        time_ns: u64,
+        value: u32,
+    },
     /// Cancel the n-th still-tracked id (modulo live count).
     Cancel(usize),
     Pop,

@@ -80,7 +80,9 @@ impl fmt::Display for SocketAddr {
 impl FromStr for SocketAddr {
     type Err = AddrParseError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (ip, port) = s.rsplit_once(':').ok_or_else(|| AddrParseError(s.to_string()))?;
+        let (ip, port) = s
+            .rsplit_once(':')
+            .ok_or_else(|| AddrParseError(s.to_string()))?;
         Ok(SocketAddr {
             ip: ip.parse()?,
             port: port.parse().map_err(|_| AddrParseError(s.to_string()))?,

@@ -25,7 +25,9 @@ pub mod tcp;
 pub mod topology;
 
 pub use addr::{IpAddr, SocketAddr};
-pub use openflow::{Action, FlowEntry, FlowMatch, FlowTable, IpNet, PacketVerdict, Switch};
+pub use openflow::{
+    Action, FlowEntry, FlowMatch, FlowSpec, FlowTable, IpNet, PacketVerdict, Switch,
+};
 pub use packet::{Packet, Protocol};
 pub use tcp::TcpModel;
 pub use topology::{LinkId, NodeId, NodeKind, PathInfo, Topology};

@@ -10,8 +10,31 @@
 //! on-demand deployment *with waiting*. The controller later answers with a
 //! `FlowMod` (install the redirect rewrite) plus a `PacketOut` (release the
 //! buffered packet through the new actions).
+//!
+//! ## Indexed flow pipeline
+//!
+//! The table is indexed so the per-packet and per-tick costs no longer scale
+//! with the number of installed flows (see DESIGN.md, "Flow pipeline
+//! complexity"):
+//!
+//! * entries without masked (`IpNet`) fields — including the all-wildcard
+//!   catch-all — live in a hash index keyed by their exact-field *shape*
+//!   (which of protocol/src/dst/ports are specified) plus the field values;
+//!   a lookup probes one bucket per distinct shape currently installed,
+//! * entries with masked fields live in a short priority-ordered fallback
+//!   list that is scanned only until it can no longer beat the best hash hit,
+//! * a `FlowId → slot` map and a cookie index make `get`, `delete_by_cookie`
+//!   and strict deletes O(1)/O(matches) instead of O(table),
+//! * expiry runs off a lazy-deletion min-heap of `(deadline, id)` records
+//!   whose top is kept accurate after every mutation, so `next_expiry` is an
+//!   O(1) peek and an eviction sweep is O(evicted · log table).
+//!
+//! The observable semantics are unchanged: OpenFlow priority order with
+//! stable insertion order inside a priority level, `OFPFC_ADD` replace
+//! semantics, and `FlowRemoved` notifications in table order.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use simcore::{SimDuration, SimTime};
 
@@ -23,8 +46,10 @@ use crate::packet::{Packet, Protocol};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PortId(pub usize);
 
-/// Identifies an installed flow entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Identifies an installed flow entry. Ids are allocated monotonically and
+/// never reused, so they double as the insertion-order tiebreaker inside a
+/// priority level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
 
 /// Identifies a packet buffered at the switch awaiting a controller decision.
@@ -92,12 +117,18 @@ impl FlowMatch {
 
     /// Match everything destined into `net` (a topology route).
     pub fn to_net(net: IpNet) -> FlowMatch {
-        FlowMatch { dst_net: Some(net), ..FlowMatch::default() }
+        FlowMatch {
+            dst_net: Some(net),
+            ..FlowMatch::default()
+        }
     }
 
     /// Match everything whose source lies in `net`.
     pub fn from_net(net: IpNet) -> FlowMatch {
-        FlowMatch { src_net: Some(net), ..FlowMatch::default() }
+        FlowMatch {
+            src_net: Some(net),
+            ..FlowMatch::default()
+        }
     }
 
     /// Match TCP packets from one client IP to `dst` (per-client rule — what
@@ -119,6 +150,60 @@ impl FlowMatch {
             && self.src_net.is_none_or(|n| n.contains(p.src.ip))
             && self.dst_net.is_none_or(|n| n.contains(p.dst.ip))
     }
+
+    /// Exact-field shape bitmask; see [`ExactKey`].
+    fn shape(&self) -> u8 {
+        (self.protocol.is_some() as u8)
+            | (self.src_ip.is_some() as u8) << 1
+            | (self.src_port.is_some() as u8) << 2
+            | (self.dst_ip.is_some() as u8) << 3
+            | (self.dst_port.is_some() as u8) << 4
+    }
+
+    /// Whether this matcher is hash-indexable: every constrained field is an
+    /// exact equality (no masked prefixes).
+    fn is_exact(&self) -> bool {
+        self.src_net.is_none() && self.dst_net.is_none()
+    }
+}
+
+/// Hash key for exact matchers: the `Some`-ness pattern of the five exact
+/// fields is the *shape*, and the values under that shape identify the
+/// matcher uniquely. A packet is probed once per shape present in the table
+/// (tuple-space search); a bucket hit is a guaranteed match, no re-check
+/// needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ExactKey {
+    protocol: Option<Protocol>,
+    src_ip: Option<IpAddr>,
+    src_port: Option<u16>,
+    dst_ip: Option<IpAddr>,
+    dst_port: Option<u16>,
+}
+
+impl ExactKey {
+    fn of_matcher(m: &FlowMatch) -> ExactKey {
+        debug_assert!(m.is_exact());
+        ExactKey {
+            protocol: m.protocol,
+            src_ip: m.src_ip,
+            src_port: m.src_port,
+            dst_ip: m.dst_ip,
+            dst_port: m.dst_port,
+        }
+    }
+
+    /// Project a packet onto a shape: the key an exact matcher of that shape
+    /// must equal for the packet to match it.
+    fn of_packet(shape: u8, p: &Packet) -> ExactKey {
+        ExactKey {
+            protocol: (shape & 1 != 0).then_some(p.protocol),
+            src_ip: (shape & 2 != 0).then_some(p.src.ip),
+            src_port: (shape & 4 != 0).then_some(p.src.port),
+            dst_ip: (shape & 8 != 0).then_some(p.dst.ip),
+            dst_port: (shape & 16 != 0).then_some(p.dst.port),
+        }
+    }
 }
 
 /// Actions applied to a matching packet, in order.
@@ -134,6 +219,96 @@ pub enum Action {
     /// registered service addresses).
     ToController,
     Drop,
+}
+
+/// Everything that defines a flow entry except its identity and counters:
+/// matcher, priority, actions and timeouts. Built fluently and handed to
+/// [`FlowTable::install`] / [`Switch::flow_mod`]:
+///
+/// ```
+/// use simnet::openflow::{Action, FlowMatch, FlowSpec, FlowTable, PortId};
+/// use simnet::{IpAddr, SocketAddr};
+/// use simcore::{SimDuration, SimTime};
+///
+/// let mut table = FlowTable::new();
+/// let spec = FlowSpec::new(FlowMatch::to_service(SocketAddr::new(IpAddr::new(93, 184, 0, 1), 80)))
+///     .priority(100)
+///     .action(Action::Output(PortId(2)))
+///     .idle(SimDuration::from_secs(10))
+///     .cookie(7);
+/// table.install(SimTime::ZERO, spec);
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    pub matcher: FlowMatch,
+    pub priority: u16,
+    pub actions: Vec<Action>,
+    pub idle_timeout: Option<SimDuration>,
+    pub hard_timeout: Option<SimDuration>,
+    pub cookie: u64,
+}
+
+impl FlowSpec {
+    /// A spec matching `matcher` with priority 0, no actions, no timeouts and
+    /// cookie 0; chain the builder methods to refine it.
+    pub fn new(matcher: FlowMatch) -> FlowSpec {
+        FlowSpec {
+            matcher,
+            priority: 0,
+            actions: Vec::new(),
+            idle_timeout: None,
+            hard_timeout: None,
+            cookie: 0,
+        }
+    }
+
+    pub fn priority(mut self, priority: u16) -> FlowSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Append one action.
+    pub fn action(mut self, action: Action) -> FlowSpec {
+        self.actions.push(action);
+        self
+    }
+
+    /// Replace the action list.
+    pub fn actions(mut self, actions: Vec<Action>) -> FlowSpec {
+        self.actions = actions;
+        self
+    }
+
+    /// Evict after this long without a matching packet.
+    pub fn idle(mut self, timeout: SimDuration) -> FlowSpec {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Like [`FlowSpec::idle`] but taking an `Option` (for call-sites that
+    /// thread an optional timeout through).
+    pub fn idle_opt(mut self, timeout: Option<SimDuration>) -> FlowSpec {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Evict this long after installation regardless of use.
+    pub fn hard(mut self, timeout: SimDuration) -> FlowSpec {
+        self.hard_timeout = Some(timeout);
+        self
+    }
+
+    /// Like [`FlowSpec::hard`] but taking an `Option`.
+    pub fn hard_opt(mut self, timeout: Option<SimDuration>) -> FlowSpec {
+        self.hard_timeout = timeout;
+        self
+    }
+
+    pub fn cookie(mut self, cookie: u64) -> FlowSpec {
+        self.cookie = cookie;
+        self
+    }
 }
 
 /// An installed flow entry.
@@ -153,6 +328,24 @@ pub struct FlowEntry {
     pub packets: u64,
 }
 
+impl FlowEntry {
+    /// The instant at which this entry currently expires: the earlier of its
+    /// idle and hard deadlines, `None` if it has no timeouts.
+    fn deadline(&self) -> Option<SimTime> {
+        let idle = self.idle_timeout.map(|d| self.last_used + d);
+        let hard = self.hard_timeout.map(|d| self.installed_at + d);
+        match (idle, hard) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Table order: priority descending, then insertion order ascending.
+    fn rank(&self) -> (Reverse<u16>, FlowId) {
+        (Reverse(self.priority), self.id)
+    }
+}
+
 /// Why a flow entry left the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RemovalReason {
@@ -170,15 +363,41 @@ pub struct FlowRemoved {
     pub at: SimTime,
 }
 
-/// Priority-ordered flow table.
+/// Priority-ordered flow table with hash-indexed exact-match lookup.
 ///
-/// Entries are kept sorted by `(priority desc, insertion order asc)`;
-/// lookup scans in that order and takes the first match, which matches
-/// OpenFlow semantics when overlapping same-priority entries exist.
+/// Matching follows OpenFlow semantics: the winning entry is the first in
+/// `(priority desc, insertion order asc)` order whose matcher accepts the
+/// packet. Internally, exact matchers (no `IpNet` masks) are found through a
+/// per-shape hash index and masked matchers through a short ordered fallback
+/// list; the module docs describe the structures and DESIGN.md the complexity
+/// argument.
 #[derive(Debug, Default)]
 pub struct FlowTable {
-    entries: Vec<FlowEntry>,
+    /// Slab of entries; a slot is `None` after its entry is removed and may
+    /// be reused by a later install.
+    slots: Vec<Option<FlowEntry>>,
+    free_slots: Vec<usize>,
+    by_id: HashMap<FlowId, usize>,
+    /// Exact matchers: full key → bucket of slots sorted by table order.
+    /// Every entry in a bucket has the *same* matcher (the key pins all
+    /// constrained fields), so buckets only grow past 1 when the same matcher
+    /// is installed at several priorities.
+    exact: HashMap<ExactKey, Vec<usize>>,
+    /// How many exact entries exist per shape — the set of keys to probe per
+    /// packet.
+    shape_counts: HashMap<u8, usize>,
+    /// Masked (`IpNet`) matchers, sorted by table order.
+    masked: Vec<usize>,
+    /// Cookie → slots holding that cookie (unordered).
+    by_cookie: HashMap<u64, Vec<usize>>,
+    /// Lazy-deletion expiry schedule. Invariant ("accurate top"): after every
+    /// `&mut self` method returns, the heap top — if any — is a *live* record
+    /// (its entry exists and still expires at exactly that instant), so
+    /// [`FlowTable::next_expiry`] is a plain peek. Stale records below the
+    /// top are tolerated and popped when they surface.
+    expiry: BinaryHeap<Reverse<(SimTime, FlowId)>>,
     next_id: u64,
+    len: usize,
 }
 
 impl FlowTable {
@@ -187,10 +406,11 @@ impl FlowTable {
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
+
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Install an entry; returns its id.
@@ -198,19 +418,21 @@ impl FlowTable {
     /// OpenFlow `OFPFC_ADD` semantics: an entry with the same `(priority,
     /// match)` replaces the existing one (counters reset), so re-installing a
     /// redirect simply overwrites it.
-    #[allow(clippy::too_many_arguments)]
-    pub fn add(
-        &mut self,
-        now: SimTime,
-        priority: u16,
-        matcher: FlowMatch,
-        actions: Vec<Action>,
-        idle_timeout: Option<SimDuration>,
-        hard_timeout: Option<SimDuration>,
-        cookie: u64,
-    ) -> FlowId {
-        self.entries
-            .retain(|e| !(e.priority == priority && e.matcher == matcher));
+    pub fn install(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        let FlowSpec {
+            matcher,
+            priority,
+            actions,
+            idle_timeout,
+            hard_timeout,
+            cookie,
+        } = spec;
+
+        // Replace any existing entry with the same (priority, match).
+        if let Some(slot) = self.find_same_rule(priority, &matcher) {
+            self.detach(slot);
+        }
+
         let id = FlowId(self.next_id);
         self.next_id += 1;
         let entry = FlowEntry {
@@ -225,114 +447,280 @@ impl FlowTable {
             last_used: now,
             packets: 0,
         };
-        // Insert after all entries with priority >= ours (stable order).
-        let pos = self
-            .entries
-            .iter()
-            .position(|e| e.priority < priority)
-            .unwrap_or(self.entries.len());
-        self.entries.insert(pos, entry);
+        let deadline = entry.deadline();
+
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s] = Some(entry);
+                s
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        self.by_id.insert(id, slot);
+        self.by_cookie.entry(cookie).or_default().push(slot);
+
+        if matcher.is_exact() {
+            *self.shape_counts.entry(matcher.shape()).or_insert(0) += 1;
+            let bucket = self
+                .exact
+                .entry(ExactKey::of_matcher(&matcher))
+                .or_default();
+            let pos = Self::ordered_position(&self.slots, bucket, priority);
+            bucket.insert(pos, slot);
+        } else {
+            let pos = Self::ordered_position(&self.slots, &self.masked, priority);
+            self.masked.insert(pos, slot);
+        }
+
+        if let Some(d) = deadline {
+            self.expiry.push(Reverse((d, id)));
+        }
+        self.len += 1;
+        self.normalize_expiry();
         id
+    }
+
+    /// Position in `list` (sorted by table order) where a new entry of
+    /// `priority` belongs. New entries carry the largest id so far, so they
+    /// go after every entry with priority >= theirs.
+    fn ordered_position(slots: &[Option<FlowEntry>], list: &[usize], priority: u16) -> usize {
+        list.iter()
+            .position(|&s| slots[s].as_ref().unwrap().priority < priority)
+            .unwrap_or(list.len())
+    }
+
+    /// Slot of the entry with exactly this (priority, matcher), if installed.
+    fn find_same_rule(&self, priority: u16, matcher: &FlowMatch) -> Option<usize> {
+        if matcher.is_exact() {
+            let bucket = self.exact.get(&ExactKey::of_matcher(matcher))?;
+            bucket
+                .iter()
+                .copied()
+                .find(|&s| self.slots[s].as_ref().unwrap().priority == priority)
+        } else {
+            self.masked.iter().copied().find(|&s| {
+                let e = self.slots[s].as_ref().unwrap();
+                e.priority == priority && &e.matcher == matcher
+            })
+        }
+    }
+
+    /// Winning slot for a packet: best hash-bucket head across installed
+    /// shapes, then the masked fallback list scanned only while it can still
+    /// beat that.
+    fn find_slot(&self, p: &Packet) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let consider = |slots: &[Option<FlowEntry>], best: &mut Option<usize>, cand: usize| {
+            let better = match *best {
+                None => true,
+                Some(b) => slots[cand].as_ref().unwrap().rank() < slots[b].as_ref().unwrap().rank(),
+            };
+            if better {
+                *best = Some(cand);
+            }
+        };
+
+        for &shape in self.shape_counts.keys() {
+            if let Some(bucket) = self.exact.get(&ExactKey::of_packet(shape, p)) {
+                // Bucket heads are guaranteed matches: the key pins every
+                // constrained field to the packet's values.
+                if let Some(&head) = bucket.first() {
+                    consider(&self.slots, &mut best, head);
+                }
+            }
+        }
+
+        for &slot in &self.masked {
+            let e = self.slots[slot].as_ref().unwrap();
+            if let Some(b) = best {
+                // The masked list is in table order; once we fall behind the
+                // best exact candidate no masked entry can win.
+                if e.rank() > self.slots[b].as_ref().unwrap().rank() {
+                    break;
+                }
+            }
+            if e.matcher.matches(p) {
+                best = Some(slot);
+                break;
+            }
+        }
+        best
     }
 
     /// Find the highest-priority matching entry, updating its stats.
     pub fn lookup(&mut self, now: SimTime, p: &Packet) -> Option<&FlowEntry> {
-        let idx = self.entries.iter().position(|e| e.matcher.matches(p))?;
-        let e = &mut self.entries[idx];
-        e.last_used = now;
-        e.packets += 1;
-        Some(&self.entries[idx])
+        let slot = self.find_slot(p)?;
+        let (id, refresh) = {
+            let e = self.slots[slot].as_mut().unwrap();
+            e.last_used = now;
+            e.packets += 1;
+            // Touching only moves the deadline if an idle timeout exists.
+            (
+                e.id,
+                e.idle_timeout.is_some().then(|| e.deadline()).flatten(),
+            )
+        };
+        if let Some(d) = refresh {
+            self.expiry.push(Reverse((d, id)));
+        }
+        self.normalize_expiry();
+        self.slots[slot].as_ref()
     }
 
     /// Peek without touching stats (diagnostics).
     pub fn find(&self, p: &Packet) -> Option<&FlowEntry> {
-        self.entries.iter().find(|e| e.matcher.matches(p))
+        self.find_slot(p).and_then(|s| self.slots[s].as_ref())
     }
 
     pub fn get(&self, id: FlowId) -> Option<&FlowEntry> {
-        self.entries.iter().find(|e| e.id == id)
+        self.by_id.get(&id).and_then(|&s| self.slots[s].as_ref())
     }
 
     /// Remove all entries whose matcher equals `matcher` (OpenFlow strict
-    /// delete). Returns the removed entries.
+    /// delete). Returns the removed entries in table order.
     pub fn delete_matching(&mut self, now: SimTime, matcher: &FlowMatch) -> Vec<FlowRemoved> {
-        let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            if &e.matcher == matcher {
-                removed.push(FlowRemoved {
-                    entry: e.clone(),
-                    reason: RemovalReason::Deleted,
-                    at: now,
-                });
-                false
-            } else {
-                true
-            }
-        });
-        removed
+        let slots: Vec<usize> = if matcher.is_exact() {
+            // The key pins the whole matcher, so the bucket *is* the result
+            // set (already in table order).
+            self.exact
+                .get(&ExactKey::of_matcher(matcher))
+                .cloned()
+                .unwrap_or_default()
+        } else {
+            self.masked
+                .iter()
+                .copied()
+                .filter(|&s| &self.slots[s].as_ref().unwrap().matcher == matcher)
+                .collect()
+        };
+        self.remove_slots(now, slots, RemovalReason::Deleted)
     }
 
+    /// Remove all entries carrying `cookie`; returns them in table order.
     pub fn delete_by_cookie(&mut self, now: SimTime, cookie: u64) -> Vec<FlowRemoved> {
-        let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            if e.cookie == cookie {
-                removed.push(FlowRemoved {
-                    entry: e.clone(),
-                    reason: RemovalReason::Deleted,
-                    at: now,
-                });
-                false
-            } else {
-                true
-            }
-        });
+        let mut slots = self.by_cookie.get(&cookie).cloned().unwrap_or_default();
+        slots.sort_by_key(|&s| self.slots[s].as_ref().unwrap().rank());
+        self.remove_slots(now, slots, RemovalReason::Deleted)
+    }
+
+    fn remove_slots(
+        &mut self,
+        now: SimTime,
+        slots: Vec<usize>,
+        reason: RemovalReason,
+    ) -> Vec<FlowRemoved> {
+        let removed = slots
+            .into_iter()
+            .map(|slot| FlowRemoved {
+                entry: self.detach(slot),
+                reason,
+                at: now,
+            })
+            .collect();
+        self.normalize_expiry();
         removed
     }
 
     /// Evict entries whose idle or hard timeout has elapsed at `now`.
+    /// Notifications come back in table order, hard timeouts reported in
+    /// preference to idle ones, exactly like the scan-based implementation.
     pub fn expire(&mut self, now: SimTime) -> Vec<FlowRemoved> {
-        let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            if let Some(hard) = e.hard_timeout {
-                if now.since(e.installed_at) >= hard {
+        let mut removed: Vec<FlowRemoved> = Vec::new();
+        loop {
+            // The top is accurate, so `> now` means nothing else is due.
+            match self.expiry.peek() {
+                Some(&Reverse((deadline, id))) if deadline <= now => {
+                    self.expiry.pop();
+                    let slot = self.by_id[&id];
+                    let entry = self.detach(slot);
+                    let hard_elapsed = entry
+                        .hard_timeout
+                        .is_some_and(|h| now.since(entry.installed_at) >= h);
                     removed.push(FlowRemoved {
-                        entry: e.clone(),
-                        reason: RemovalReason::HardTimeout,
+                        entry,
+                        reason: if hard_elapsed {
+                            RemovalReason::HardTimeout
+                        } else {
+                            RemovalReason::IdleTimeout
+                        },
                         at: now,
                     });
-                    return false;
+                    self.normalize_expiry();
                 }
+                _ => break,
             }
-            if let Some(idle) = e.idle_timeout {
-                if now.since(e.last_used) >= idle {
-                    removed.push(FlowRemoved {
-                        entry: e.clone(),
-                        reason: RemovalReason::IdleTimeout,
-                        at: now,
-                    });
-                    return false;
-                }
-            }
-            true
-        });
+        }
+        removed.sort_by_key(|r| r.entry.rank());
         removed
     }
 
     /// The earliest instant at which some entry could expire — the testbed
-    /// schedules its next eviction sweep there.
+    /// schedules its next eviction sweep there. O(1): the heap top is kept
+    /// accurate by every mutation.
     pub fn next_expiry(&self) -> Option<SimTime> {
-        self.entries
-            .iter()
-            .flat_map(|e| {
-                let idle = e.idle_timeout.map(|d| e.last_used + d);
-                let hard = e.hard_timeout.map(|d| e.installed_at + d);
-                idle.into_iter().chain(hard)
-            })
-            .min()
+        self.expiry.peek().map(|&Reverse((deadline, _))| deadline)
     }
 
-    pub fn entries(&self) -> &[FlowEntry] {
-        &self.entries
+    /// Iterate over entries in table order (diagnostics; allocates to sort).
+    pub fn iter_ordered(&self) -> impl Iterator<Item = &FlowEntry> {
+        let mut entries: Vec<&FlowEntry> = self.slots.iter().flatten().collect();
+        entries.sort_by_key(|e| e.rank());
+        entries.into_iter()
+    }
+
+    /// Unlink an entry from every index and free its slot. Stale expiry
+    /// records are left behind for `normalize_expiry` to reap.
+    fn detach(&mut self, slot: usize) -> FlowEntry {
+        let entry = self.slots[slot].take().expect("detach of empty slot");
+        self.by_id.remove(&entry.id);
+
+        if let Some(bucket) = self.by_cookie.get_mut(&entry.cookie) {
+            bucket.retain(|&s| s != slot);
+            if bucket.is_empty() {
+                self.by_cookie.remove(&entry.cookie);
+            }
+        }
+
+        if entry.matcher.is_exact() {
+            let shape = entry.matcher.shape();
+            let count = self.shape_counts.get_mut(&shape).unwrap();
+            *count -= 1;
+            if *count == 0 {
+                self.shape_counts.remove(&shape);
+            }
+            let key = ExactKey::of_matcher(&entry.matcher);
+            let bucket = self.exact.get_mut(&key).unwrap();
+            bucket.retain(|&s| s != slot);
+            if bucket.is_empty() {
+                self.exact.remove(&key);
+            }
+        } else {
+            self.masked.retain(|&s| s != slot);
+        }
+
+        self.free_slots.push(slot);
+        self.len -= 1;
+        entry
+    }
+
+    /// Restore the accurate-top invariant: pop records whose entry is gone or
+    /// no longer expires at the recorded instant (it was touched since).
+    fn normalize_expiry(&mut self) {
+        while let Some(&Reverse((deadline, id))) = self.expiry.peek() {
+            let live = self
+                .by_id
+                .get(&id)
+                .and_then(|&s| self.slots[s].as_ref())
+                .and_then(FlowEntry::deadline)
+                == Some(deadline);
+            if live {
+                break;
+            }
+            self.expiry.pop();
+        }
     }
 }
 
@@ -402,7 +790,10 @@ impl Switch {
         let id = BufferId(self.next_buffer);
         self.next_buffer += 1;
         self.buffered.insert(id, packet);
-        PacketVerdict::PacketIn { buffer_id: id, packet }
+        PacketVerdict::PacketIn {
+            buffer_id: id,
+            packet,
+        }
     }
 
     fn apply(&mut self, _now: SimTime, mut packet: Packet, actions: &[Action]) -> PacketVerdict {
@@ -415,7 +806,10 @@ impl Switch {
                 Action::Output(port) => {
                     assert!(port.0 < self.port_count, "output to unknown port {port:?}");
                     self.stats.forwarded += 1;
-                    return PacketVerdict::Forward { packet, out_port: *port };
+                    return PacketVerdict::Forward {
+                        packet,
+                        out_port: *port,
+                    };
                 }
                 Action::ToController => {
                     return self.buffer_packet(packet);
@@ -428,19 +822,8 @@ impl Switch {
     }
 
     /// Controller → switch: install a flow entry.
-    #[allow(clippy::too_many_arguments)]
-    pub fn flow_mod(
-        &mut self,
-        now: SimTime,
-        priority: u16,
-        matcher: FlowMatch,
-        actions: Vec<Action>,
-        idle_timeout: Option<SimDuration>,
-        hard_timeout: Option<SimDuration>,
-        cookie: u64,
-    ) -> FlowId {
-        self.table
-            .add(now, priority, matcher, actions, idle_timeout, hard_timeout, cookie)
+    pub fn flow_mod(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        self.table.install(now, spec)
     }
 
     /// Controller → switch: release a buffered packet through `actions`
@@ -459,7 +842,11 @@ impl Switch {
     /// Controller → switch: re-inject a buffered packet through the flow
     /// table (OpenFlow `OFPP_TABLE`). This is what the paper's controller does
     /// after a `FlowMod`: the released packet hits the freshly installed rule.
-    pub fn packet_out_via_table(&mut self, now: SimTime, buffer_id: BufferId) -> Option<PacketVerdict> {
+    pub fn packet_out_via_table(
+        &mut self,
+        now: SimTime,
+        buffer_id: BufferId,
+    ) -> Option<PacketVerdict> {
         let packet = self.buffered.remove(&buffer_id)?;
         Some(self.receive_unbuffered(now, packet))
     }
@@ -507,6 +894,10 @@ mod tests {
         Packet::syn(sa(1, 40000), sa(200, 80), 7)
     }
 
+    fn out(port: usize) -> Vec<Action> {
+        vec![Action::Output(PortId(port))]
+    }
+
     #[test]
     fn ipnet_contains() {
         let net = IpNet::new(IpAddr::new(10, 1, 0, 0), 16);
@@ -523,8 +914,16 @@ mod tests {
     #[test]
     fn masked_match_routes_by_prefix() {
         let m = FlowMatch::to_net(IpNet::new(IpAddr::new(10, 1, 0, 0), 16));
-        let to_client = Packet::syn(sa(200, 80), SocketAddr::new(IpAddr::new(10, 1, 0, 7), 4000), 0);
-        let elsewhere = Packet::syn(sa(200, 80), SocketAddr::new(IpAddr::new(10, 2, 0, 7), 4000), 0);
+        let to_client = Packet::syn(
+            sa(200, 80),
+            SocketAddr::new(IpAddr::new(10, 1, 0, 7), 4000),
+            0,
+        );
+        let elsewhere = Packet::syn(
+            sa(200, 80),
+            SocketAddr::new(IpAddr::new(10, 2, 0, 7), 4000),
+            0,
+        );
         assert!(m.matches(&to_client));
         assert!(!m.matches(&elsewhere));
         // masked and exact fields combine conjunctively
@@ -566,16 +965,13 @@ mod tests {
         let edge = sa(50, 8080);
         sw.flow_mod(
             t(0),
-            100,
-            FlowMatch::to_service(sa(200, 80)),
-            vec![
-                Action::SetDstIp(edge.ip),
-                Action::SetDstPort(edge.port),
-                Action::Output(PortId(2)),
-            ],
-            Some(SimDuration::from_secs(10)),
-            None,
-            1,
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(100)
+                .action(Action::SetDstIp(edge.ip))
+                .action(Action::SetDstPort(edge.port))
+                .action(Action::Output(PortId(2)))
+                .idle(SimDuration::from_secs(10))
+                .cookie(1),
         );
         match sw.receive(t(1), service_packet()) {
             PacketVerdict::Forward { packet, out_port } => {
@@ -591,15 +987,15 @@ mod tests {
     #[test]
     fn priority_order_wins() {
         let mut sw = Switch::new(4);
-        sw.flow_mod(t(0), 1, FlowMatch::any(), vec![Action::Output(PortId(0))], None, None, 0);
         sw.flow_mod(
             t(0),
-            100,
-            FlowMatch::to_service(sa(200, 80)),
-            vec![Action::Output(PortId(3))],
-            None,
-            None,
-            0,
+            FlowSpec::new(FlowMatch::any()).priority(1).actions(out(0)),
+        );
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(100)
+                .actions(out(3)),
         );
         match sw.receive(t(1), service_packet()) {
             PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(3)),
@@ -611,8 +1007,14 @@ mod tests {
     fn same_priority_same_match_replaces() {
         // OFPFC_ADD semantics: identical (priority, match) overwrites.
         let mut sw = Switch::new(4);
-        sw.flow_mod(t(0), 5, FlowMatch::any(), vec![Action::Output(PortId(1))], None, None, 0);
-        sw.flow_mod(t(0), 5, FlowMatch::any(), vec![Action::Output(PortId(2))], None, None, 0);
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::any()).priority(5).actions(out(1)),
+        );
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::any()).priority(5).actions(out(2)),
+        );
         assert_eq!(sw.table.len(), 1);
         match sw.receive(t(1), service_packet()) {
             PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(2)),
@@ -625,16 +1027,78 @@ mod tests {
         let mut sw = Switch::new(4);
         sw.flow_mod(
             t(0),
-            5,
-            FlowMatch::to_service(sa(200, 80)),
-            vec![Action::Output(PortId(1))],
-            None,
-            None,
-            0,
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(5)
+                .actions(out(1)),
         );
-        sw.flow_mod(t(0), 5, FlowMatch::any(), vec![Action::Output(PortId(2))], None, None, 0);
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::any()).priority(5).actions(out(2)),
+        );
         match sw.receive(t(1), service_packet()) {
             PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn masked_entry_beats_lower_priority_exact() {
+        let mut sw = Switch::new(4);
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(1)
+                .actions(out(1)),
+        );
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 0, 0), 8)))
+                .priority(50)
+                .actions(out(2)),
+        );
+        match sw.receive(t(1), service_packet()) {
+            PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_priority_exact_vs_masked_insertion_order_wins() {
+        // Exact installed first at the same priority: insertion order decides.
+        let mut sw = Switch::new(4);
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(5)
+                .actions(out(1)),
+        );
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 0, 0), 8)))
+                .priority(5)
+                .actions(out(2)),
+        );
+        match sw.receive(t(1), service_packet()) {
+            PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(1)),
+            other => panic!("{other:?}"),
+        }
+
+        // And the mirror image: masked first, exact second.
+        let mut sw = Switch::new(4);
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 0, 0), 8)))
+                .priority(5)
+                .actions(out(2)),
+        );
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(5)
+                .actions(out(1)),
+        );
+        match sw.receive(t(1), service_packet()) {
+            PacketVerdict::Forward { out_port, .. } => assert_eq!(out_port, PortId(2)),
             other => panic!("{other:?}"),
         }
     }
@@ -672,12 +1136,10 @@ mod tests {
         };
         sw.flow_mod(
             t(1),
-            100,
-            FlowMatch::to_service(sa(200, 80)),
-            vec![Action::SetDstIp(ip(50)), Action::Output(PortId(2))],
-            None,
-            None,
-            0,
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(100)
+                .action(Action::SetDstIp(ip(50)))
+                .action(Action::Output(PortId(2))),
         );
         match sw.packet_out_via_table(t(2), buffer_id).unwrap() {
             PacketVerdict::Forward { packet, out_port } => {
@@ -705,14 +1167,13 @@ mod tests {
     #[test]
     fn idle_timeout_expires_unused_flows() {
         let mut table = FlowTable::new();
-        table.add(
+        table.install(
             t(0),
-            10,
-            FlowMatch::to_service(sa(200, 80)),
-            vec![Action::Output(PortId(0))],
-            Some(SimDuration::from_secs(5)),
-            None,
-            7,
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(10)
+                .actions(out(0))
+                .idle(SimDuration::from_secs(5))
+                .cookie(7),
         );
         assert!(table.expire(t(4999)).is_empty());
         let removed = table.expire(t(5000));
@@ -725,14 +1186,12 @@ mod tests {
     #[test]
     fn traffic_refreshes_idle_timer() {
         let mut table = FlowTable::new();
-        table.add(
+        table.install(
             t(0),
-            10,
-            FlowMatch::to_service(sa(200, 80)),
-            vec![Action::Output(PortId(0))],
-            Some(SimDuration::from_secs(5)),
-            None,
-            0,
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(10)
+                .actions(out(0))
+                .idle(SimDuration::from_secs(5)),
         );
         let p = service_packet();
         assert!(table.lookup(t(3000), &p).is_some());
@@ -743,14 +1202,13 @@ mod tests {
     #[test]
     fn hard_timeout_fires_even_with_traffic() {
         let mut table = FlowTable::new();
-        table.add(
+        table.install(
             t(0),
-            10,
-            FlowMatch::any(),
-            vec![Action::Output(PortId(0))],
-            Some(SimDuration::from_secs(60)),
-            Some(SimDuration::from_secs(10)),
-            0,
+            FlowSpec::new(FlowMatch::any())
+                .priority(10)
+                .actions(out(0))
+                .idle(SimDuration::from_secs(60))
+                .hard(SimDuration::from_secs(10)),
         );
         let p = service_packet();
         assert!(table.lookup(t(9000), &p).is_some());
@@ -762,44 +1220,119 @@ mod tests {
     #[test]
     fn next_expiry_tracks_minimum() {
         let mut table = FlowTable::new();
-        table.add(
+        table.install(
             t(0),
-            1,
-            FlowMatch::any(),
-            vec![],
-            Some(SimDuration::from_secs(30)),
-            None,
-            0,
+            FlowSpec::new(FlowMatch::any())
+                .priority(1)
+                .idle(SimDuration::from_secs(30)),
         );
-        table.add(
+        table.install(
             t(0),
-            1,
-            FlowMatch::any(),
-            vec![],
-            None,
-            Some(SimDuration::from_secs(7)),
-            0,
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(1)
+                .hard(SimDuration::from_secs(7)),
         );
         assert_eq!(table.next_expiry(), Some(t(7000)));
         assert_eq!(FlowTable::new().next_expiry(), None);
     }
 
     #[test]
+    fn next_expiry_follows_refreshes_and_deletes() {
+        let mut table = FlowTable::new();
+        let id = table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(1)
+                .idle(SimDuration::from_secs(5))
+                .cookie(9),
+        );
+        table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(201, 80)))
+                .priority(1)
+                .idle(SimDuration::from_secs(8)),
+        );
+        assert_eq!(table.next_expiry(), Some(t(5000)));
+        // a hit pushes the first entry's deadline past the second's
+        let p = Packet::syn(sa(1, 40000), sa(200, 80), 0);
+        table.lookup(t(4000), &p);
+        assert_eq!(table.next_expiry(), Some(t(8000)));
+        // deleting the second leaves only the refreshed deadline
+        table.delete_matching(t(4000), &FlowMatch::to_service(sa(201, 80)));
+        assert_eq!(table.next_expiry(), Some(t(9000)));
+        assert!(table.get(id).is_some());
+    }
+
+    #[test]
+    fn expire_reports_in_table_order() {
+        let mut table = FlowTable::new();
+        // Install in an order different from table order; give the *later*
+        // table position the earlier deadline.
+        table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(1)
+                .idle(SimDuration::from_secs(1))
+                .cookie(1),
+        );
+        table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(201, 80)))
+                .priority(9)
+                .idle(SimDuration::from_secs(2))
+                .cookie(2),
+        );
+        let removed = table.expire(t(60_000));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].entry.cookie, 2, "higher priority first");
+        assert_eq!(removed[1].entry.cookie, 1);
+    }
+
+    #[test]
     fn delete_by_cookie_and_matcher() {
         let mut table = FlowTable::new();
         let m = FlowMatch::to_service(sa(200, 80));
-        table.add(t(0), 1, m, vec![], None, None, 42);
-        table.add(t(0), 1, FlowMatch::any(), vec![], None, None, 42);
-        table.add(t(0), 1, FlowMatch::to_service(sa(201, 80)), vec![], None, None, 1);
+        table.install(t(0), FlowSpec::new(m).priority(1).cookie(42));
+        table.install(t(0), FlowSpec::new(FlowMatch::any()).priority(1).cookie(42));
+        table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(201, 80)))
+                .priority(1)
+                .cookie(1),
+        );
         assert_eq!(table.delete_matching(t(1), &m).len(), 1);
         assert_eq!(table.delete_by_cookie(t(1), 42).len(), 1);
         assert_eq!(table.len(), 1);
     }
 
     #[test]
+    fn delete_by_cookie_spans_priorities_in_table_order() {
+        let mut table = FlowTable::new();
+        table.install(t(0), FlowSpec::new(FlowMatch::any()).priority(1).cookie(7));
+        table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(9)
+                .cookie(7),
+        );
+        table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(201, 80)))
+                .priority(5)
+                .cookie(8),
+        );
+        let removed = table.delete_by_cookie(t(1), 7);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].entry.priority, 9);
+        assert_eq!(removed[1].entry.priority, 1);
+        assert!(removed.iter().all(|r| r.reason == RemovalReason::Deleted));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
     fn lookup_updates_stats() {
         let mut table = FlowTable::new();
-        let id = table.add(t(0), 1, FlowMatch::any(), vec![], None, None, 0);
+        let id = table.install(t(0), FlowSpec::new(FlowMatch::any()).priority(1));
         let p = service_packet();
         table.lookup(t(5), &p);
         table.lookup(t(9), &p);
@@ -809,9 +1342,46 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_reused_but_ids_are_not() {
+        let mut table = FlowTable::new();
+        let first = table.install(t(0), FlowSpec::new(FlowMatch::any()).priority(1).cookie(1));
+        table.delete_by_cookie(t(1), 1);
+        let second = table.install(t(2), FlowSpec::new(FlowMatch::any()).priority(1).cookie(2));
+        assert!(second > first, "flow ids must stay monotonic");
+        assert!(table.get(first).is_none());
+        assert_eq!(table.get(second).unwrap().cookie, 2);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn iter_ordered_walks_table_order() {
+        let mut table = FlowTable::new();
+        table.install(t(0), FlowSpec::new(FlowMatch::any()).priority(1).cookie(1));
+        table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(9)
+                .cookie(2),
+        );
+        table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(201, 80)))
+                .priority(9)
+                .cookie(3),
+        );
+        let cookies: Vec<u64> = table.iter_ordered().map(|e| e.cookie).collect();
+        assert_eq!(cookies, vec![2, 3, 1]);
+    }
+
+    #[test]
     fn drop_action() {
         let mut sw = Switch::new(1);
-        sw.flow_mod(t(0), 1, FlowMatch::any(), vec![Action::Drop], None, None, 0);
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::any())
+                .priority(1)
+                .action(Action::Drop),
+        );
         assert_eq!(sw.receive(t(1), service_packet()), PacketVerdict::Dropped);
         assert_eq!(sw.stats.dropped, 1);
     }
@@ -819,7 +1389,12 @@ mod tests {
     #[test]
     fn to_controller_action_buffers() {
         let mut sw = Switch::new(1);
-        sw.flow_mod(t(0), 1, FlowMatch::any(), vec![Action::ToController], None, None, 0);
+        sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::any())
+                .priority(1)
+                .action(Action::ToController),
+        );
         match sw.receive(t(1), service_packet()) {
             PacketVerdict::PacketIn { .. } => {}
             other => panic!("{other:?}"),

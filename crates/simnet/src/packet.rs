@@ -33,7 +33,13 @@ pub struct Packet {
 impl Packet {
     /// A TCP SYN-sized packet from `src` to `dst`.
     pub fn syn(src: SocketAddr, dst: SocketAddr, tag: u64) -> Packet {
-        Packet { src, dst, protocol: Protocol::Tcp, size: 74, tag }
+        Packet {
+            src,
+            dst,
+            protocol: Protocol::Tcp,
+            size: 74,
+            tag,
+        }
     }
 }
 

@@ -148,7 +148,10 @@ mod tests {
         let big = m.transfer_time(1_000_000);
         // 1 MB needs ~6 doubling rounds at 30 ms RTT ≈ 180 ms of ramp,
         // far above its 40 ms serialization
-        assert!(big > small + SimDuration::from_millis(60), "big={big} small={small}");
+        assert!(
+            big > small + SimDuration::from_millis(60),
+            "big={big} small={small}"
+        );
         let ramp_floor = m.rtt.mul_f64(5.0);
         assert!(big >= ramp_floor, "big={big}");
     }

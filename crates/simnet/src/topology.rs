@@ -103,7 +103,12 @@ impl Topology {
         assert!(a != b, "self-loop link at {a:?}");
         assert!(bandwidth_bps > 0, "zero-bandwidth link");
         let id = LinkId(self.links.len());
-        self.links.push(Link { a, b, latency, bandwidth_bps });
+        self.links.push(Link {
+            a,
+            b,
+            latency,
+            bandwidth_bps,
+        });
         self.adj[a.0].push((b, id));
         self.adj[b.0].push((a, id));
         id

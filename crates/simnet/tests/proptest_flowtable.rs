@@ -1,152 +1,289 @@
-//! Model-based property tests of the OpenFlow flow table: priority order,
-//! OFPFC_ADD replace semantics, idle/hard timeout eviction and stats must
-//! match a naive reference implementation under arbitrary operation
-//! sequences.
+//! Model-based equivalence tests of the indexed OpenFlow flow table: under
+//! arbitrary operation sequences mixing exact, wildcard and masked (`IpNet`)
+//! entries, the hash-indexed implementation must behave exactly like a naive
+//! linear scan over a priority-ordered list — identical match results,
+//! identical eviction order, identical `FlowRemoved` reasons, identical
+//! `next_expiry` schedule.
 
 use proptest::prelude::*;
 use simcore::{SimDuration, SimTime};
-use simnet::openflow::{Action, FlowMatch, FlowTable, PortId};
+use simnet::openflow::{Action, FlowMatch, FlowSpec, FlowTable, IpNet, PortId, RemovalReason};
 use simnet::{IpAddr, Packet, SocketAddr};
+
+fn client_ip(c: u8) -> IpAddr {
+    IpAddr::new(10, 0, 0, c)
+}
+
+fn svc_addr(d: u8) -> SocketAddr {
+    SocketAddr::new(IpAddr::new(93, 184, 0, d), 80)
+}
+
+fn packet(client: u8, dst: u8) -> Packet {
+    Packet::syn(SocketAddr::new(client_ip(client), 40000), svc_addr(dst), 0)
+}
+
+/// Matchers drawn from a deliberately small universe so installs collide,
+/// replace each other, and overlap in lookup: fully exact per-client rules,
+/// partially-wildcarded exact rules, catch-alls, and masked topology routes
+/// on either side.
+fn matcher_strategy() -> impl Strategy<Value = FlowMatch> {
+    let prefix = prop_oneof![Just(8u8), Just(16u8), Just(24u8), Just(32u8)];
+    let prefix2 = prop_oneof![Just(8u8), Just(16u8), Just(24u8), Just(32u8)];
+    prop_oneof![
+        3 => (0u8..4, 0u8..4).prop_map(|(c, d)| {
+            FlowMatch::client_to_service(client_ip(c), svc_addr(d))
+        }),
+        2 => (0u8..4).prop_map(|d| FlowMatch::to_service(svc_addr(d))),
+        1 => (0u8..4).prop_map(|c| FlowMatch {
+            src_ip: Some(client_ip(c)),
+            ..FlowMatch::default()
+        }),
+        1 => Just(FlowMatch::any()),
+        2 => (0u8..4, prefix).prop_map(|(c, p)| {
+            FlowMatch::from_net(IpNet::new(client_ip(c), p))
+        }),
+        2 => (0u8..4, prefix2).prop_map(|(d, p)| {
+            FlowMatch::to_net(IpNet::new(svc_addr(d).ip, p))
+        }),
+        1 => (0u8..4, 0u8..4).prop_map(|(c, d)| FlowMatch {
+            src_net: Some(IpNet::new(client_ip(c), 24)),
+            dst_ip: Some(svc_addr(d).ip),
+            dst_port: Some(80),
+            ..FlowMatch::default()
+        }),
+    ]
+}
 
 #[derive(Debug, Clone)]
 enum Op {
-    Add { priority: u16, client: u8, dst: u8, idle_ms: Option<u64>, hard_ms: Option<u64> },
-    Packet { client: u8, dst: u8, advance_ms: u64 },
-    Expire { advance_ms: u64 },
+    Install {
+        matcher: FlowMatch,
+        priority: u16,
+        idle_ms: Option<u64>,
+        hard_ms: Option<u64>,
+        cookie: u64,
+    },
+    Packet {
+        client: u8,
+        dst: u8,
+        advance_ms: u64,
+    },
+    Expire {
+        advance_ms: u64,
+    },
+    DeleteMatching {
+        matcher: FlowMatch,
+    },
+    DeleteByCookie {
+        cookie: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        3 => (0u16..4, 0u8..4, 0u8..4, prop::option::of(1u64..5000), prop::option::of(1u64..5000))
-            .prop_map(|(priority, client, dst, idle_ms, hard_ms)| Op::Add {
-                priority, client, dst, idle_ms, hard_ms
+        4 => (
+            matcher_strategy(),
+            0u16..4,
+            prop::option::of(1u64..5000),
+            prop::option::of(1u64..5000),
+            0u64..3,
+        )
+            .prop_map(|(matcher, priority, idle_ms, hard_ms, cookie)| Op::Install {
+                matcher, priority, idle_ms, hard_ms, cookie
             }),
         4 => (0u8..4, 0u8..4, 0u64..500).prop_map(|(client, dst, advance_ms)| Op::Packet {
             client, dst, advance_ms
         }),
         1 => (0u64..3000).prop_map(|advance_ms| Op::Expire { advance_ms }),
+        1 => matcher_strategy().prop_map(|matcher| Op::DeleteMatching { matcher }),
+        1 => (0u64..3).prop_map(|cookie| Op::DeleteByCookie { cookie }),
     ]
 }
 
-fn matcher(client: u8, dst: u8) -> FlowMatch {
-    FlowMatch::client_to_service(
-        IpAddr::new(10, 0, 0, client),
-        SocketAddr::new(IpAddr::new(93, 184, 0, dst), 80),
-    )
-}
-
-fn packet(client: u8, dst: u8) -> Packet {
-    Packet::syn(
-        SocketAddr::new(IpAddr::new(10, 0, 0, client), 40000),
-        SocketAddr::new(IpAddr::new(93, 184, 0, dst), 80),
-        0,
-    )
-}
-
-/// Naive reference: ordered Vec of entries.
+/// The retained reference implementation: a plain `Vec` kept in table order
+/// (priority descending, insertion order ascending) and scanned linearly for
+/// everything, exactly like the pre-index flow table.
 #[derive(Debug)]
 struct ModelEntry {
+    id: u64,
     priority: u16,
-    client: u8,
-    dst: u8,
-    idle: Option<u64>,
-    hard: Option<u64>,
-    installed: u64,
-    last_used: u64,
+    matcher: FlowMatch,
+    idle: Option<SimDuration>,
+    hard: Option<SimDuration>,
     cookie: u64,
+    installed: SimTime,
+    last_used: SimTime,
 }
 
-#[derive(Default)]
+impl ModelEntry {
+    fn deadline(&self) -> Option<SimTime> {
+        let idle = self.idle.map(|d| self.last_used + d);
+        let hard = self.hard.map(|d| self.installed + d);
+        match (idle, hard) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
 struct Model {
     entries: Vec<ModelEntry>,
+    next_id: u64,
 }
 
 impl Model {
-    fn add(&mut self, now: u64, e: ModelEntry) {
-        // OFPFC_ADD: same (priority, match) replaces
+    fn install(
+        &mut self,
+        now: SimTime,
+        matcher: FlowMatch,
+        priority: u16,
+        idle: Option<SimDuration>,
+        hard: Option<SimDuration>,
+        cookie: u64,
+    ) -> u64 {
+        // OFPFC_ADD: same (priority, match) replaces, counters reset.
         self.entries
-            .retain(|x| !(x.priority == e.priority && x.client == e.client && x.dst == e.dst));
+            .retain(|e| !(e.priority == priority && e.matcher == matcher));
         let pos = self
             .entries
             .iter()
-            .position(|x| x.priority < e.priority)
+            .position(|e| e.priority < priority)
             .unwrap_or(self.entries.len());
-        let mut e = e;
-        e.installed = now;
-        e.last_used = now;
-        self.entries.insert(pos, e);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(
+            pos,
+            ModelEntry {
+                id,
+                priority,
+                matcher,
+                idle,
+                hard,
+                cookie,
+                installed: now,
+                last_used: now,
+            },
+        );
+        id
     }
 
-    fn expire(&mut self, now: u64) -> usize {
-        let before = self.entries.len();
+    fn lookup(&mut self, now: SimTime, p: &Packet) -> Option<u64> {
+        let e = self.entries.iter_mut().find(|e| e.matcher.matches(p))?;
+        e.last_used = now;
+        Some(e.id)
+    }
+
+    fn expire(&mut self, now: SimTime) -> Vec<(u64, RemovalReason)> {
+        let mut removed = Vec::new();
         self.entries.retain(|e| {
-            let hard_dead = e.hard.is_some_and(|h| now - e.installed >= h);
-            let idle_dead = e.idle.is_some_and(|i| now - e.last_used >= i);
-            !(hard_dead || idle_dead)
+            if e.deadline().is_some_and(|d| d <= now) {
+                // Hard timeouts are reported in preference to idle ones.
+                let hard_elapsed = e.hard.is_some_and(|h| now.since(e.installed) >= h);
+                let reason = if hard_elapsed {
+                    RemovalReason::HardTimeout
+                } else {
+                    RemovalReason::IdleTimeout
+                };
+                removed.push((e.id, reason));
+                false
+            } else {
+                true
+            }
         });
-        before - self.entries.len()
+        removed
     }
 
-    fn lookup(&mut self, now: u64, client: u8, dst: u8) -> Option<u64> {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.client == client && e.dst == dst)?;
-        e.last_used = now;
-        Some(e.cookie)
+    fn delete_matching(&mut self, matcher: &FlowMatch) -> Vec<(u64, RemovalReason)> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if &e.matcher == matcher {
+                removed.push((e.id, RemovalReason::Deleted));
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    fn delete_by_cookie(&mut self, cookie: u64) -> Vec<(u64, RemovalReason)> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if e.cookie == cookie {
+                removed.push((e.id, RemovalReason::Deleted));
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    fn next_expiry(&self) -> Option<SimTime> {
+        self.entries.iter().filter_map(|e| e.deadline()).min()
     }
 }
 
+/// Removed-notification fingerprint: identity + reason, in reported order.
+fn removal_ids(removed: &[simnet::openflow::FlowRemoved]) -> Vec<(u64, RemovalReason)> {
+    removed.iter().map(|r| (r.entry.id.0, r.reason)).collect()
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(1024))]
 
     #[test]
-    fn flow_table_matches_model(ops in prop::collection::vec(op_strategy(), 0..120)) {
+    fn flow_table_matches_linear_scan_model(
+        ops in prop::collection::vec(op_strategy(), 0..120),
+    ) {
         let mut table = FlowTable::new();
         let mut model = Model::default();
-        let mut now_ms = 0u64;
-        let mut cookie = 0u64;
+        let mut now = SimTime::ZERO;
 
         for op in ops {
             match op {
-                Op::Add { priority, client, dst, idle_ms, hard_ms } => {
-                    cookie += 1;
-                    let t = SimTime::ZERO + SimDuration::from_millis(now_ms);
-                    table.add(
-                        t,
-                        priority,
-                        matcher(client, dst),
-                        vec![Action::Output(PortId(0))],
-                        idle_ms.map(SimDuration::from_millis),
-                        hard_ms.map(SimDuration::from_millis),
-                        cookie,
+                Op::Install { matcher, priority, idle_ms, hard_ms, cookie } => {
+                    let idle = idle_ms.map(SimDuration::from_millis);
+                    let hard = hard_ms.map(SimDuration::from_millis);
+                    let got = table.install(
+                        now,
+                        FlowSpec::new(matcher)
+                            .priority(priority)
+                            .action(Action::Output(PortId(0)))
+                            .idle_opt(idle)
+                            .hard_opt(hard)
+                            .cookie(cookie),
                     );
-                    model.add(now_ms, ModelEntry {
-                        priority, client, dst,
-                        idle: idle_ms, hard: hard_ms,
-                        installed: 0, last_used: 0, cookie,
-                    });
+                    let want = model.install(now, matcher, priority, idle, hard, cookie);
+                    prop_assert_eq!(got.0, want, "install ids diverged");
                 }
                 Op::Packet { client, dst, advance_ms } => {
-                    now_ms += advance_ms;
-                    let t = SimTime::ZERO + SimDuration::from_millis(now_ms);
-                    // expire first in both (the switch sweeps before receive
-                    // in the testbed loop)
-                    table.expire(t);
-                    model.expire(now_ms);
-                    let got = table.lookup(t, &packet(client, dst)).map(|e| e.cookie);
-                    let want = model.lookup(now_ms, client, dst);
-                    prop_assert_eq!(got, want, "lookup mismatch at t={}ms", now_ms);
+                    now += SimDuration::from_millis(advance_ms);
+                    // Expire first in both: the testbed sweeps before receive.
+                    let evicted = removal_ids(&table.expire(now));
+                    prop_assert_eq!(evicted, model.expire(now), "pre-lookup eviction");
+                    let p = packet(client, dst);
+                    let got = table.lookup(now, &p).map(|e| e.id.0);
+                    let want = model.lookup(now, &p);
+                    prop_assert_eq!(got, want, "lookup winner at {}", now);
                 }
                 Op::Expire { advance_ms } => {
-                    now_ms += advance_ms;
-                    let t = SimTime::ZERO + SimDuration::from_millis(now_ms);
-                    let removed = table.expire(t).len();
-                    let model_removed = model.expire(now_ms);
-                    prop_assert_eq!(removed, model_removed, "eviction count at t={}ms", now_ms);
+                    now += SimDuration::from_millis(advance_ms);
+                    let evicted = removal_ids(&table.expire(now));
+                    prop_assert_eq!(evicted, model.expire(now), "eviction at {}", now);
+                }
+                Op::DeleteMatching { matcher } => {
+                    let got = removal_ids(&table.delete_matching(now, &matcher));
+                    prop_assert_eq!(got, model.delete_matching(&matcher), "strict delete");
+                }
+                Op::DeleteByCookie { cookie } => {
+                    let got = removal_ids(&table.delete_by_cookie(now, cookie));
+                    prop_assert_eq!(got, model.delete_by_cookie(cookie), "cookie delete");
                 }
             }
             prop_assert_eq!(table.len(), model.entries.len(), "table size");
+            prop_assert_eq!(table.next_expiry(), model.next_expiry(), "next_expiry");
         }
     }
 
@@ -158,14 +295,16 @@ proptest! {
         // sweeping at next_expiry always evicts at least one entry.
         let mut table = FlowTable::new();
         for (i, &idle) in idles.iter().enumerate() {
-            table.add(
+            let matcher = FlowMatch::client_to_service(
+                client_ip((i % 250) as u8),
+                svc_addr((i / 250) as u8),
+            );
+            table.install(
                 SimTime::ZERO,
-                1,
-                matcher((i % 250) as u8, (i / 250) as u8),
-                vec![],
-                Some(SimDuration::from_millis(idle)),
-                None,
-                i as u64,
+                FlowSpec::new(matcher)
+                    .priority(1)
+                    .idle(SimDuration::from_millis(idle))
+                    .cookie(i as u64),
             );
         }
         let at = table.next_expiry().expect("entries have timeouts");

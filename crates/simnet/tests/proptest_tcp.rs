@@ -9,9 +9,8 @@ use simnet::TcpModel;
 
 fn model_strategy() -> impl Strategy<Value = TcpModel> {
     // RTT 0.1 ms .. 100 ms, bandwidth 1 Mbps .. 10 Gbps
-    (100u64..100_000, 1_000_000u64..10_000_000_000).prop_map(|(rtt_us, bw)| {
-        TcpModel::new(SimDuration::from_micros(rtt_us), bw)
-    })
+    (100u64..100_000, 1_000_000u64..10_000_000_000)
+        .prop_map(|(rtt_us, bw)| TcpModel::new(SimDuration::from_micros(rtt_us), bw))
 }
 
 proptest! {

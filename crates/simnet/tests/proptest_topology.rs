@@ -9,10 +9,7 @@ use simnet::topology::{NodeKind, Topology};
 /// plus random extra edges.
 fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
     (3usize..12).prop_flat_map(|n| {
-        let extra = prop::collection::vec(
-            (0..n, 0..n, 1u64..10_000),
-            0..20,
-        );
+        let extra = prop::collection::vec((0..n, 0..n, 1u64..10_000), 0..20);
         (Just(n), extra)
     })
 }
@@ -24,7 +21,12 @@ fn build(n: usize, edges: &[(usize, usize, u64)]) -> (Topology, Vec<simnet::Node
         .collect();
     for &(a, b, w) in edges {
         if a != b {
-            t.add_link(nodes[a], nodes[b], SimDuration::from_micros(w), 1_000_000_000);
+            t.add_link(
+                nodes[a],
+                nodes[b],
+                SimDuration::from_micros(w),
+                1_000_000_000,
+            );
         }
     }
     (t, nodes)

@@ -148,7 +148,14 @@ fn parse_site(v: &Yaml) -> Result<(SiteSpec, ClusterKind), String> {
         NodeClass::Egs => SiteSpec::egs(name),
         NodeClass::RaspberryPi => SiteSpec::pi(name, latency),
     };
-    Ok((SiteSpec { latency, nodes, ..base }, backend))
+    Ok((
+        SiteSpec {
+            latency,
+            nodes,
+            ..base
+        },
+        backend,
+    ))
 }
 
 fn parse_service(v: &Yaml, key: &str) -> Result<ServiceKind, String> {
@@ -209,11 +216,13 @@ fn as_u64(v: &Yaml, key: &str) -> Result<u64, String> {
 }
 
 fn as_f64(v: &Yaml, key: &str) -> Result<f64, String> {
-    v.as_f64().ok_or_else(|| format!("`{key}` must be a number"))
+    v.as_f64()
+        .ok_or_else(|| format!("`{key}` must be a number"))
 }
 
 fn as_bool(v: &Yaml, key: &str) -> Result<bool, String> {
-    v.as_bool().ok_or_else(|| format!("`{key}` must be a boolean"))
+    v.as_bool()
+        .ok_or_else(|| format!("`{key}` must be a boolean"))
 }
 
 #[cfg(test)]
@@ -245,13 +254,19 @@ controller:
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.service, ServiceKind::ResNet);
         assert_eq!(cfg.scheduler, SchedulerKind::HybridDockerFirst);
-        assert_eq!(cfg.backends, vec![ClusterKind::Docker, ClusterKind::Kubernetes]);
+        assert_eq!(
+            cfg.backends,
+            vec![ClusterKind::Docker, ClusterKind::Kubernetes]
+        );
         assert_eq!(cfg.phase_setup, PhaseSetup::ImagesCached);
         assert!(cfg.private_registry);
         assert_eq!(cfg.clients, 10);
         assert_eq!(cfg.predictor, PredictorKind::Popularity);
         assert_eq!(cfg.controller.probe_interval, SimDuration::from_millis(20));
-        assert_eq!(cfg.controller.memory_idle_timeout, SimDuration::from_secs(120));
+        assert_eq!(
+            cfg.controller.memory_idle_timeout,
+            SimDuration::from_secs(120)
+        );
         assert!(cfg.controller.scale_down_idle);
         assert_eq!(cfg.controller.deploy_retries, 4);
     }

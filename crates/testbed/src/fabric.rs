@@ -27,7 +27,7 @@ use edgectl::{
     Controller, ControllerConfig, ControllerOutput, NearestWaiting, RoundRobinLocal, SwitchId,
 };
 use simcore::{EventQueue, Percentiles, SimDuration, SimRng, SimTime};
-use simnet::openflow::{Action, BufferId, FlowMatch, PacketVerdict, PortId, Switch};
+use simnet::openflow::{Action, BufferId, FlowMatch, FlowSpec, PacketVerdict, PortId, Switch};
 use simnet::{IpAddr, Packet, SocketAddr, TcpModel};
 use workload::client::RequestRecord;
 use workload::ServiceProfile;
@@ -92,9 +92,20 @@ pub struct FabricResult {
 
 enum Ev {
     /// A packet arrives at a switch (hops guards against forwarding loops).
-    PacketAtSwitch { sw: usize, packet: Packet, hops: u8 },
-    CtrlPacketIn { sw: usize, packet: Packet, buffer_id: BufferId, in_port: PortId },
-    ApplyOutput { output: ControllerOutput },
+    PacketAtSwitch {
+        sw: usize,
+        packet: Packet,
+        hops: u8,
+    },
+    CtrlPacketIn {
+        sw: usize,
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    },
+    ApplyOutput {
+        output: ControllerOutput,
+    },
 }
 
 struct InFlight {
@@ -116,13 +127,12 @@ pub fn run_mobility(cfg: FabricConfig) -> FabricResult {
     let service_addr = SocketAddr::new(IpAddr::new(93, 184, 0, 1), 80);
 
     // --- controller with one Docker site per switch ---
-    let mut controller = Controller::new(
-        cfg.controller.clone(),
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries,
-        UPLINK, // cloud behind switch 0's uplink
-    );
+    let mut controller = Controller::builder(cfg.controller.clone())
+        .global(NearestWaiting)
+        .local(RoundRobinLocal::default())
+        .registries(registries)
+        .cloud_port(UPLINK) // cloud behind switch 0's uplink
+        .build();
     let site_latency = SimDuration::from_micros(80);
     // Distance from switch s to site j: hops over the chain.
     let dist = |s: usize, j: usize| -> SimDuration {
@@ -172,14 +182,16 @@ pub fn run_mobility(cfg: FabricConfig) -> FabricResult {
                 DOWNLINK
             };
             // route rewritten packets (dst = site address) toward site j
+            let matcher = FlowMatch {
+                dst_ip: Some(IpAddr::new(10, 0, j as u8, 100)),
+                ..FlowMatch::default()
+            };
             sw.flow_mod(
                 SimTime::ZERO,
-                1,
-                FlowMatch { dst_ip: Some(IpAddr::new(10, 0, j as u8, 100)), ..FlowMatch::default() },
-                vec![Action::Output(port)],
-                None,
-                None,
-                0xF0 + j as u64,
+                FlowSpec::new(matcher)
+                    .priority(1)
+                    .action(Action::Output(port))
+                    .cookie(0xF0 + j as u64),
             );
         }
     }
@@ -203,25 +215,24 @@ pub fn run_mobility(cfg: FabricConfig) -> FabricResult {
     for c in 0..total_clients {
         // Jittered periodic requests over the window.
         let mut t = SimTime::ZERO
-            + SimDuration::from_secs_f64(
-                schedule_rng.f64() * cfg.request_interval.as_secs_f64(),
-            );
+            + SimDuration::from_secs_f64(schedule_rng.f64() * cfg.request_interval.as_secs_f64());
         while t < SimTime::ZERO + cfg.duration {
             let ingress = client_switch_at(c, t);
             let syn_at = t + client_link;
             in_flight.insert(
                 tag,
-                InFlight { started: t, syn_at_switch: syn_at, client: c, ingress },
+                InFlight {
+                    started: t,
+                    syn_at_switch: syn_at,
+                    client: c,
+                    ingress,
+                },
             );
             events.push(
                 syn_at,
                 Ev::PacketAtSwitch {
                     sw: ingress,
-                    packet: Packet::syn(
-                        SocketAddr::new(client_ip(c), 40000),
-                        service_addr,
-                        tag,
-                    ),
+                    packet: Packet::syn(SocketAddr::new(client_ip(c), 40000), service_addr, tag),
                     hops: 0,
                 },
             );
@@ -246,11 +257,28 @@ pub fn run_mobility(cfg: FabricConfig) -> FabricResult {
                 switches[sw].sweep(now);
                 let verdict = switches[sw].receive(now, packet);
                 handle_verdict(
-                    now, sw, verdict, hops, &cfg, &mut events, &mut switches, &mut in_flight,
-                    &mut records, &mut lost, &profile, &mut server_rng, client_link, site_latency,
+                    now,
+                    sw,
+                    verdict,
+                    hops,
+                    &cfg,
+                    &mut events,
+                    &mut switches,
+                    &mut in_flight,
+                    &mut records,
+                    &mut lost,
+                    &profile,
+                    &mut server_rng,
+                    client_link,
+                    site_latency,
                 );
             }
-            Ev::CtrlPacketIn { sw, packet, buffer_id, in_port } => {
+            Ev::CtrlPacketIn {
+                sw,
+                packet,
+                buffer_id,
+                in_port,
+            } => {
                 let outputs =
                     controller.on_packet_in_at(now, SwitchId(sw), packet, buffer_id, in_port);
                 for output in outputs {
@@ -261,18 +289,26 @@ pub fn run_mobility(cfg: FabricConfig) -> FabricResult {
                 let sw = output.switch().0;
                 switches[sw].sweep(now);
                 match output {
-                    ControllerOutput::FlowMod {
-                        priority, matcher, actions, idle_timeout, cookie, ..
-                    } => {
-                        switches[sw]
-                            .flow_mod(now, priority, matcher, actions, idle_timeout, None, cookie);
+                    ControllerOutput::FlowMod { spec, .. } => {
+                        switches[sw].flow_mod(now, spec);
                     }
                     ControllerOutput::ReleaseViaTable { buffer_id, .. } => {
                         match switches[sw].packet_out_via_table(now, buffer_id) {
                             Some(verdict) => handle_verdict(
-                                now, sw, verdict, 0, &cfg, &mut events, &mut switches,
-                                &mut in_flight, &mut records, &mut lost, &profile,
-                                &mut server_rng, client_link, site_latency,
+                                now,
+                                sw,
+                                verdict,
+                                0,
+                                &cfg,
+                                &mut events,
+                                &mut switches,
+                                &mut in_flight,
+                                &mut records,
+                                &mut lost,
+                                &profile,
+                                &mut server_rng,
+                                client_link,
+                                site_latency,
                             ),
                             None => lost += 1,
                         }
@@ -361,7 +397,11 @@ fn handle_verdict(
             } else if out_port == UPLINK {
                 events.push(
                     now + cfg.trunk_latency,
-                    Ev::PacketAtSwitch { sw: sw - 1, packet, hops: hops + 1 },
+                    Ev::PacketAtSwitch {
+                        sw: sw - 1,
+                        packet,
+                        hops: hops + 1,
+                    },
                 );
             } else if out_port == DOWNLINK {
                 if sw + 1 >= cfg.switches {
@@ -369,7 +409,11 @@ fn handle_verdict(
                 } else {
                     events.push(
                         now + cfg.trunk_latency,
-                        Ev::PacketAtSwitch { sw: sw + 1, packet, hops: hops + 1 },
+                        Ev::PacketAtSwitch {
+                            sw: sw + 1,
+                            packet,
+                            hops: hops + 1,
+                        },
                     );
                 }
             } else {
@@ -389,7 +433,12 @@ fn handle_verdict(
                 .unwrap_or(PortId(CLIENT_PORT_BASE));
             events.push(
                 now + CTRL_LATENCY,
-                Ev::CtrlPacketIn { sw, packet, buffer_id, in_port },
+                Ev::CtrlPacketIn {
+                    sw,
+                    packet,
+                    buffer_id,
+                    in_port,
+                },
             );
         }
         PacketVerdict::Dropped => {
@@ -404,11 +453,14 @@ mod tests {
 
     #[test]
     fn fabric_serves_all_requests_without_roaming() {
-        let cfg = FabricConfig { roam_at: None, ..FabricConfig::default() };
+        let cfg = FabricConfig {
+            roam_at: None,
+            ..FabricConfig::default()
+        };
         let expected: usize = {
             // each client sends ceil(duration/interval) requests
-            let per = (cfg.duration.as_secs_f64() / cfg.request_interval.as_secs_f64()).ceil()
-                as usize;
+            let per =
+                (cfg.duration.as_secs_f64() / cfg.request_interval.as_secs_f64()).ceil() as usize;
             cfg.switches * cfg.clients_per_switch * per
         };
         let result = run_mobility(cfg);
@@ -456,7 +508,10 @@ mod tests {
             .collect();
         assert!(!after.is_empty());
         let slow = after.iter().copied().fold(0.0_f64, f64::max);
-        assert!(slow < 10.0, "late post-roam request took {slow} ms (hairpin?)");
+        assert!(
+            slow < 10.0,
+            "late post-roam request took {slow} ms (hairpin?)"
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 
 use std::collections::HashMap;
 
-use cluster::{ClusterBackend, ClusterKind, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate};
+use cluster::{
+    ClusterBackend, ClusterKind, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate,
+};
 use containers::Runtime;
 use edgectl::{
     Controller, ControllerOutput, HybridDockerFirst, LeastLoaded, NearestReadyFirst,
@@ -36,7 +38,11 @@ enum Ev {
     /// A client's SYN reaches the switch.
     SynAtSwitch { tag: u64 },
     /// A PacketIn reaches the controller.
-    CtrlPacketIn { packet: Packet, buffer_id: BufferId, in_port: PortId },
+    CtrlPacketIn {
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    },
     /// A controller output reaches the switch.
     ApplyOutput { output: ControllerOutput },
     /// Drain due retargets (a BEST deployment became ready).
@@ -153,13 +159,12 @@ impl Testbed {
             SchedulerKind::HybridWasmFirst => Box::new(edgectl::HybridWasmFirst),
             SchedulerKind::LeastLoaded => Box::new(LeastLoaded::default()),
         };
-        let mut controller = Controller::new(
-            cfg.controller.clone(),
-            global,
-            Box::new(RoundRobinLocal::default()),
-            registries,
-            CLOUD_PORT,
-        );
+        let mut controller = Controller::builder(cfg.controller.clone())
+            .global(global)
+            .local(RoundRobinLocal::default())
+            .registries(registries)
+            .cloud_port(CLOUD_PORT)
+            .build();
 
         for (i, (spec, kind)) in sites.iter().enumerate() {
             let nodes = spec.nodes.max(1) as u32;
@@ -285,11 +290,12 @@ impl Testbed {
                 // Nominate generously (the controller skips services that are
                 // already running or being deployed): every service whose
                 // decayed score clears the threshold.
-                self.controller.set_predictor(Box::new(edgectl::PopularityPredictor::new(
-                    SimDuration::from_secs(120),
-                    usize::MAX,
-                    0.4,
-                )));
+                self.controller
+                    .set_predictor(Box::new(edgectl::PopularityPredictor::new(
+                        SimDuration::from_secs(120),
+                        usize::MAX,
+                        0.4,
+                    )));
             }
             PredictorKind::Oracle => {
                 let schedule: Vec<(SimTime, simnet::SocketAddr)> = trace
@@ -307,9 +313,8 @@ impl Testbed {
             let mut t = SimTime::ZERO + offset;
             let end = SimTime::ZERO + offset + trace.config.duration;
             loop {
-                let gap = SimDuration::from_secs_f64(
-                    -mtbf.as_secs_f64() * (1.0 - crash_rng.f64()).ln(),
-                );
+                let gap =
+                    SimDuration::from_secs_f64(-mtbf.as_secs_f64() * (1.0 - crash_rng.f64()).ln());
                 t += gap;
                 if t >= end {
                     break;
@@ -320,7 +325,14 @@ impl Testbed {
 
         if self.cfg.predictor != PredictorKind::None {
             let mut t = SimTime::ZERO + offset - SimDuration::from_secs(4);
-            let end = SimTime::ZERO + offset + self.cfg.controller.probe_timeout.min(SimDuration::from_secs(1)) + trace.config.duration;
+            let end = SimTime::ZERO
+                + offset
+                + self
+                    .cfg
+                    .controller
+                    .probe_timeout
+                    .min(SimDuration::from_secs(1))
+                + trace.config.duration;
             while t <= end {
                 self.events.push(t, Ev::PredictTick);
                 t += self.cfg.predict_interval;
@@ -394,9 +406,11 @@ impl Testbed {
             self.switch.sweep(now);
             match ev {
                 Ev::SynAtSwitch { tag } => self.on_syn(now, tag),
-                Ev::CtrlPacketIn { packet, buffer_id, in_port } => {
-                    self.on_ctrl_packet_in(now, packet, buffer_id, in_port)
-                }
+                Ev::CtrlPacketIn {
+                    packet,
+                    buffer_id,
+                    in_port,
+                } => self.on_ctrl_packet_in(now, packet, buffer_id, in_port),
                 Ev::ApplyOutput { output } => self.on_apply_output(now, output),
                 Ev::RetargetDrain => self.on_retarget_drain(now),
                 Ev::Tick => self.on_tick(now),
@@ -425,7 +439,11 @@ impl Testbed {
                 let in_port = self.c3.client_port(fl.client);
                 self.events.push(
                     now + CTRL_LATENCY,
-                    Ev::CtrlPacketIn { packet, buffer_id, in_port },
+                    Ev::CtrlPacketIn {
+                        packet,
+                        buffer_id,
+                        in_port,
+                    },
                 );
             }
             PacketVerdict::Dropped => {
@@ -445,7 +463,9 @@ impl Testbed {
         if let Some(fl) = self.in_flight.get_mut(&packet.tag) {
             fl.deployments_before = self.controller.stats.deployments.len();
         }
-        let outputs = self.controller.on_packet_in(now, packet, buffer_id, in_port);
+        let outputs = self
+            .controller
+            .on_packet_in(now, packet, buffer_id, in_port);
         for output in outputs {
             let at = output.at() + CTRL_LATENCY;
             self.events.push(at, Ev::ApplyOutput { output });
@@ -455,16 +475,8 @@ impl Testbed {
 
     fn on_apply_output(&mut self, now: SimTime, output: ControllerOutput) {
         match output {
-            ControllerOutput::FlowMod {
-                priority,
-                matcher,
-                actions,
-                idle_timeout,
-                cookie,
-                ..
-            } => {
-                self.switch
-                    .flow_mod(now, priority, matcher, actions, idle_timeout, None, cookie);
+            ControllerOutput::FlowMod { spec, .. } => {
+                self.switch.flow_mod(now, spec);
             }
             ControllerOutput::ReleaseViaTable { buffer_id, .. } => {
                 match self.switch.packet_out_via_table(now, buffer_id) {
@@ -498,7 +510,9 @@ impl Testbed {
         let cluster = edgectl::ClusterId(rng.index(self.c3.site_hosts.len()));
         let start = rng.index(self.templates.len());
         for k in 0..self.templates.len() {
-            let name = self.templates[(start + k) % self.templates.len()].name.clone();
+            let name = self.templates[(start + k) % self.templates.len()]
+                .name
+                .clone();
             if self
                 .controller
                 .cluster_mut(cluster)
@@ -553,7 +567,10 @@ impl Testbed {
         } else {
             // Forwarded to a client port: a misinstalled flow. Count as
             // lost rather than fabricating a response.
-            debug_assert!(out_port.0 >= self.c3.client_port_base(), "unknown port {out_port:?}");
+            debug_assert!(
+                out_port.0 >= self.c3.client_port_base(),
+                "unknown port {out_port:?}"
+            );
             self.lost += 1;
             return;
         };
@@ -571,15 +588,21 @@ impl Testbed {
         // concurrent requests to a hot service serialize on its CPU.
         let upload = tcp.connect_time() + tcp.transfer_time(self.profile.request_bytes);
         let at_server = fl.started + hold + upload;
-        let slot = self.busy_until.entry((fl.service, out_port)).or_insert(SimTime::ZERO);
+        let slot = self
+            .busy_until
+            .entry((fl.service, out_port))
+            .or_insert(SimTime::ZERO);
         let start_serving = at_server.max(*slot);
         let queue_delay = start_serving - at_server;
         *slot = start_serving + server_time;
-        let exchange =
-            tcp.request_response_time(self.profile.request_bytes, self.profile.response_bytes, server_time);
+        let exchange = tcp.request_response_time(
+            self.profile.request_bytes,
+            self.profile.response_bytes,
+            server_time,
+        );
         let finished = fl.started + hold + queue_delay + exchange;
-        let triggered =
-            self.controller.stats.deployments.len() > fl.deployments_before && hold > SimDuration::ZERO;
+        let triggered = self.controller.stats.deployments.len() > fl.deployments_before
+            && hold > SimDuration::ZERO;
         self.records.push(RequestRecord {
             started: fl.started,
             finished,

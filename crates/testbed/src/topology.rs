@@ -99,10 +99,7 @@ impl C3Topology {
     /// EGS, `n_clients` Raspberry Pis. Site 0 answers on [`DOCKER_PORT`],
     /// site 1 on [`K8S_PORT`].
     pub fn build(n_clients: usize) -> C3Topology {
-        C3Topology::build_sites(
-            &[SiteSpec::egs("egs-a"), SiteSpec::egs("egs-b")],
-            n_clients,
-        )
+        C3Topology::build_sites(&[SiteSpec::egs("egs-a"), SiteSpec::egs("egs-b")], n_clients)
     }
 
     /// Build a network with an arbitrary list of edge sites (hierarchical
@@ -186,7 +183,9 @@ impl C3Topology {
 
     /// One-way latency switch → cloud.
     pub fn switch_cloud_latency(&self) -> SimDuration {
-        self.net.latency(self.switch, self.cloud).expect("cloud attached")
+        self.net
+            .latency(self.switch, self.cloud)
+            .expect("cloud attached")
     }
 }
 
@@ -202,7 +201,7 @@ mod tests {
         assert_eq!(c3.site_hosts.len(), 2);
         assert_eq!(c3.port_count(), 23);
         assert_eq!(c3.net.node_count(), 24); // switch + cloud + 2 sites + 20 pis
-        // every client reaches both sites through the switch
+                                             // every client reaches both sites through the switch
         for i in 0..20 {
             for &host in &c3.site_hosts {
                 let p = c3.net.path(c3.clients[i], host).unwrap();
@@ -238,7 +237,9 @@ mod tests {
         ];
         let c3 = C3Topology::build_sites(&sites, 4);
         assert_eq!(c3.site_hosts.len(), 3);
-        assert!(c3.switch_site_latency(0) < c3.switch_site_latency(1) + SimDuration::from_micros(300));
+        assert!(
+            c3.switch_site_latency(0) < c3.switch_site_latency(1) + SimDuration::from_micros(300)
+        );
         assert!(c3.switch_site_latency(2) > c3.switch_site_latency(1));
         assert!(c3.switch_cloud_latency() > c3.switch_site_latency(2));
         // distinct IPs per site

@@ -100,7 +100,10 @@ fn cold_start_includes_pull_and_dominates() {
     assert!(dep.pull.is_some(), "cold start pulls the image");
     let (p0, p1) = dep.pull.unwrap();
     let pull_ms = (p1 - p0).as_millis_f64();
-    assert!(pull_ms > 1000.0, "nginx pull takes seconds, got {pull_ms} ms");
+    assert!(
+        pull_ms > 1000.0,
+        "nginx pull takes seconds, got {pull_ms} ms"
+    );
     assert!(ms > pull_ms, "total {ms} includes the pull {pull_ms}");
 }
 
@@ -237,9 +240,15 @@ fn hierarchy_warm_far_edge_beats_cloud_detour() {
     // not the cloud, and is several times faster.
     let mut with_far = ScenarioConfig::default().with_seed(3);
     with_far.sites = vec![
-        (SiteSpec::pi("near-edge", SimDuration::from_micros(300)), ClusterKind::Docker),
         (
-            SiteSpec { latency: SimDuration::from_millis(8), ..SiteSpec::egs("far-edge") },
+            SiteSpec::pi("near-edge", SimDuration::from_micros(300)),
+            ClusterKind::Docker,
+        ),
+        (
+            SiteSpec {
+                latency: SimDuration::from_millis(8),
+                ..SiteSpec::egs("far-edge")
+            },
             ClusterKind::Docker,
         ),
     ];
@@ -257,14 +266,20 @@ fn hierarchy_warm_far_edge_beats_cloud_detour() {
     let (_, cloud) = run_bigflows(cloud_only);
 
     assert_eq!(far.cloud_forwards, 0, "warm far edge absorbs the detours");
-    assert!(cloud.cloud_forwards > 0, "without it, detours go to the cloud");
+    assert!(
+        cloud.cloud_forwards > 0,
+        "without it, detours go to the cloud"
+    );
     let far_first = far.median_first_request_ms();
     let cloud_first = cloud.median_first_request_ms();
     assert!(
         far_first < cloud_first / 2.0,
         "edge detour ({far_first} ms) must be far cheaper than cloud ({cloud_first} ms)"
     );
-    assert!(far.retargets > 0, "flows flip to the near edge once it is up");
+    assert!(
+        far.retargets > 0,
+        "flows flip to the near edge once it is up"
+    );
     // steady state: both serve from the near edge in milliseconds
     assert!(far.median_time_total_ms() < 10.0);
 }
@@ -275,7 +290,9 @@ fn pi_class_edge_is_slower_to_deploy_than_egs() {
     use testbed::topology::SiteSpec;
 
     let run = |site: SiteSpec| {
-        let mut cfg = ScenarioConfig::default().with_seed(4).with_phase(PhaseSetup::Created);
+        let mut cfg = ScenarioConfig::default()
+            .with_seed(4)
+            .with_phase(PhaseSetup::Created);
         cfg.sites = vec![(site, ClusterKind::Docker)];
         measure_first_request(cfg).0
     };
@@ -364,7 +381,11 @@ fn trace_survives_instance_crashes() {
     let mut cfg = ScenarioConfig::default().with_seed(13);
     cfg.crash_mtbf = Some(simcore::SimDuration::from_secs(20));
     let (_, result) = run_bigflows(cfg);
-    assert!(result.crashes_injected > 5, "crashes: {}", result.crashes_injected);
+    assert!(
+        result.crashes_injected > 5,
+        "crashes: {}",
+        result.crashes_injected
+    );
     assert_eq!(result.records.len(), 1708, "every request answered");
     assert_eq!(result.lost, 0);
     // recovery redeployments on top of the 42 first-time deployments
@@ -376,7 +397,9 @@ fn trace_survives_instance_crashes() {
 
     // On Kubernetes the kubelet self-heals: far fewer controller-driven
     // redeployments for the same crash schedule.
-    let mut cfg = ScenarioConfig::default().with_seed(13).with_backend(ClusterKind::Kubernetes);
+    let mut cfg = ScenarioConfig::default()
+        .with_seed(13)
+        .with_backend(ClusterKind::Kubernetes);
     cfg.crash_mtbf = Some(simcore::SimDuration::from_secs(20));
     let (_, k8s) = run_bigflows(cfg);
     assert_eq!(k8s.records.len(), 1708);
@@ -427,6 +450,10 @@ fn wasm_trace_absorbs_crashes_invisibly() {
     assert!(r.crashes_injected > 10);
     assert_eq!(r.records.len(), 1708);
     assert_eq!(r.lost, 0);
-    assert_eq!(r.deployments.len(), 42, "no crash-recovery redeployments needed");
+    assert_eq!(
+        r.deployments.len(),
+        42,
+        "no crash-recovery redeployments needed"
+    );
     assert!(r.median_time_total_ms() < 10.0);
 }

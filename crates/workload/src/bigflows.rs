@@ -115,7 +115,11 @@ impl Trace {
             }
         }
         requests.sort_by_key(|r| (r.at, r.service, r.client));
-        Trace { requests, service_addrs, config }
+        Trace {
+            requests,
+            service_addrs,
+            config,
+        }
     }
 
     /// Load a trace from CSV text with a `time_s,service,client` header —
@@ -144,11 +148,15 @@ impl Trace {
             if parts.len() != 3 {
                 return Err(format!("line {}: expected 3 fields", no + 1));
             }
-            let at: f64 = parts[0].parse().map_err(|_| format!("line {}: bad time", no + 1))?;
-            let service: usize =
-                parts[1].parse().map_err(|_| format!("line {}: bad service", no + 1))?;
-            let client: usize =
-                parts[2].parse().map_err(|_| format!("line {}: bad client", no + 1))?;
+            let at: f64 = parts[0]
+                .parse()
+                .map_err(|_| format!("line {}: bad time", no + 1))?;
+            let service: usize = parts[1]
+                .parse()
+                .map_err(|_| format!("line {}: bad service", no + 1))?;
+            let client: usize = parts[2]
+                .parse()
+                .map_err(|_| format!("line {}: bad client", no + 1))?;
             if at < 0.0 {
                 return Err(format!("line {}: negative time", no + 1));
             }
@@ -157,7 +165,11 @@ impl Trace {
             }
             max_service = max_service.max(service);
             max_time = max_time.max(at);
-            requests.push(TraceRequest { at: SimTime::from_secs_f64(at), service, client });
+            requests.push(TraceRequest {
+                at: SimTime::from_secs_f64(at),
+                service,
+                client,
+            });
         }
         if requests.is_empty() {
             return Err("trace has no requests".into());
@@ -191,7 +203,12 @@ impl Trace {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time_s,service,client\n");
         for r in &self.requests {
-            out.push_str(&format!("{:.6},{},{}\n", r.at.as_secs_f64(), r.service, r.client));
+            out.push_str(&format!(
+                "{:.6},{},{}\n",
+                r.at.as_secs_f64(),
+                r.service,
+                r.client
+            ));
         }
         out
     }
@@ -249,7 +266,10 @@ mod tests {
         assert_eq!(t.requests.len(), 1708);
         assert_eq!(t.service_addrs.len(), 42);
         let counts = t.per_service_counts();
-        assert!(counts.iter().all(|&c| c >= 20), "floor violated: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c >= 20),
+            "floor violated: {counts:?}"
+        );
         assert_eq!(counts.iter().sum::<usize>(), 1708);
     }
 
@@ -369,7 +389,10 @@ mod tests {
         assert!(Trace::from_csv("a,b,c\n", 1).is_err());
         assert!(Trace::from_csv("time_s,service,client\n", 1).is_err());
         assert!(Trace::from_csv("time_s,service,client\nx,0,0\n", 1).is_err());
-        assert!(Trace::from_csv("time_s,service,client\n1.0,0,5\n", 2).is_err(), "client range");
+        assert!(
+            Trace::from_csv("time_s,service,client\n1.0,0,5\n", 2).is_err(),
+            "client range"
+        );
         assert!(Trace::from_csv("time_s,service,client\n-1,0,0\n", 2).is_err());
     }
 

@@ -89,7 +89,10 @@ impl ServiceProfile {
 
     /// All four, in Table I order.
     pub fn catalog() -> Vec<ServiceProfile> {
-        ServiceKind::ALL.iter().map(|&k| ServiceProfile::of(k)).collect()
+        ServiceKind::ALL
+            .iter()
+            .map(|&k| ServiceProfile::of(k))
+            .collect()
     }
 
     /// Sum of compressed image sizes (the Table I Size column).
@@ -183,7 +186,10 @@ fn resnet() -> ServiceProfile {
                 mem_bytes: 2 << 30,
             }],
         },
-        manifests: vec![ImageManifest::new(image, synthesize_layers(0x7265_736e, 308 * MIB, 9))],
+        manifests: vec![ImageManifest::new(
+            image,
+            synthesize_layers(0x7265_736e, 308 * MIB, 9),
+        )],
         http_method: "POST",
         request_bytes: 83 * KIB, // the cat picture
         response_bytes: 2 * KIB, // classification scores
@@ -249,7 +255,10 @@ fn wasm_web() -> ServiceProfile {
                 mem_bytes: 32 << 20,
             }],
         },
-        manifests: vec![ImageManifest::new(module, synthesize_layers(0x7761_736d, 3 * MIB, 1))],
+        manifests: vec![ImageManifest::new(
+            module,
+            synthesize_layers(0x7761_736d, 3 * MIB, 1),
+        )],
         http_method: "GET",
         request_bytes: 180,
         // wasm call gate adds a little per-request overhead vs a native
@@ -336,7 +345,10 @@ mod tests {
         assert!(mean(ServiceKind::Asm, 0) < mean(ServiceKind::Nginx, 0));
         assert!(mean(ServiceKind::Nginx, 0) < mean(ServiceKind::NginxPy, 1));
         assert!(mean(ServiceKind::NginxPy, 1) < mean(ServiceKind::ResNet, 0));
-        assert!(mean(ServiceKind::ResNet, 0) > 2000.0, "model load is seconds");
+        assert!(
+            mean(ServiceKind::ResNet, 0) > 2000.0,
+            "model load is seconds"
+        );
     }
 
     #[test]
@@ -365,8 +377,16 @@ mod tests {
 
     #[test]
     fn server_time_ordering() {
-        let asm = ServiceProfile::of(ServiceKind::Asm).server_time.0.mean().unwrap();
-        let resnet = ServiceProfile::of(ServiceKind::ResNet).server_time.0.mean().unwrap();
+        let asm = ServiceProfile::of(ServiceKind::Asm)
+            .server_time
+            .0
+            .mean()
+            .unwrap();
+        let resnet = ServiceProfile::of(ServiceKind::ResNet)
+            .server_time
+            .0
+            .mean()
+            .unwrap();
         assert!(resnet > asm * 100.0, "inference ≫ static file serving");
     }
 

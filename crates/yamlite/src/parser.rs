@@ -20,14 +20,21 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "yaml parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parse a single YAML document. An empty (or comment-only) input parses to
@@ -93,7 +100,11 @@ fn prepare_line(raw: &str, no: usize) -> Result<Option<Line>, ParseError> {
     if body.is_empty() {
         return Ok(None);
     }
-    Ok(Some(Line { indent, text: body.to_string(), no }))
+    Ok(Some(Line {
+        indent,
+        text: body.to_string(),
+        no,
+    }))
 }
 
 /// Remove a trailing `# comment`, respecting quoted strings. A `#` only starts
@@ -134,7 +145,10 @@ fn parse_lines(lines: Vec<Line>) -> Result<Yaml, ParseError> {
         let l = &p.lines[p.pos];
         return err(
             l.no,
-            format!("unexpected content at indent {} after document root", l.indent),
+            format!(
+                "unexpected content at indent {} after document root",
+                l.indent
+            ),
         );
     }
     Ok(v)
@@ -181,7 +195,10 @@ impl Parser {
             }
             let line = self.lines[self.pos].clone();
             let Some(colon) = find_mapping_colon(&line.text) else {
-                return err(line.no, format!("expected `key:` line, got `{}`", line.text));
+                return err(
+                    line.no,
+                    format!("expected `key:` line, got `{}`", line.text),
+                );
             };
             let key = parse_key(line.text[..colon].trim(), line.no)?;
             if map.iter().any(|(k, _)| *k == key) {
@@ -495,7 +512,8 @@ mod tests {
 
     #[test]
     fn seq_of_maps_inline_dash() {
-        let y = parse("containers:\n  - name: nginx\n    image: nginx:1.23.2\n  - name: py\n").unwrap();
+        let y =
+            parse("containers:\n  - name: nginx\n    image: nginx:1.23.2\n  - name: py\n").unwrap();
         let seq = y.get("containers").unwrap().as_seq().unwrap();
         assert_eq!(seq.len(), 2);
         assert_eq!(seq[0].get("name"), Some(&Yaml::str("nginx")));
@@ -524,10 +542,7 @@ mod tests {
     fn nested_seq_in_seq() {
         let y = parse("- - a\n  - b\n- c\n").unwrap();
         let seq = y.as_seq().unwrap();
-        assert_eq!(
-            seq[0],
-            Yaml::Seq(vec![Yaml::str("a"), Yaml::str("b")])
-        );
+        assert_eq!(seq[0], Yaml::Seq(vec![Yaml::str("a"), Yaml::str("b")]));
         assert_eq!(seq[1], Yaml::str("c"));
     }
 
@@ -546,10 +561,15 @@ mod tests {
 
     #[test]
     fn flow_collections() {
-        let y = parse("args: [a, 1, true]\nsel: {app: web, tier: front}\nempty: []\nnone: {}\n").unwrap();
+        let y = parse("args: [a, 1, true]\nsel: {app: web, tier: front}\nempty: []\nnone: {}\n")
+            .unwrap();
         assert_eq!(
             y.get("args"),
-            Some(&Yaml::Seq(vec![Yaml::str("a"), Yaml::Int(1), Yaml::Bool(true)]))
+            Some(&Yaml::Seq(vec![
+                Yaml::str("a"),
+                Yaml::Int(1),
+                Yaml::Bool(true)
+            ]))
         );
         assert_eq!(y.at("sel.app"), Some(&Yaml::str("web")));
         assert_eq!(y.get("empty"), Some(&Yaml::Seq(vec![])));
@@ -651,11 +671,13 @@ spec:
         let y = parse(src).unwrap();
         assert_eq!(y.at("spec.replicas"), Some(&Yaml::Int(0)));
         assert_eq!(
-            y.at("spec.template.spec.containers.0.image").and_then(Yaml::as_str),
+            y.at("spec.template.spec.containers.0.image")
+                .and_then(Yaml::as_str),
             Some("gcr.io/tensorflow-serving/resnet")
         );
         assert_eq!(
-            y.at("spec.template.spec.volumes.0.hostPath.path").and_then(Yaml::as_str),
+            y.at("spec.template.spec.volumes.0.hostPath.path")
+                .and_then(Yaml::as_str),
             Some("/srv/models")
         );
         assert_eq!(

@@ -15,7 +15,8 @@ fn main() {
     let cfg = ScenarioConfig::default().with_seed(2026);
     let (trace, result) = run_bigflows(cfg);
 
-    println!("bigFlows-like replay: {} requests to {} services over {}s",
+    println!(
+        "bigFlows-like replay: {} requests to {} services over {}s",
         trace.requests.len(),
         trace.service_addrs.len(),
         trace.config.duration.as_secs(),
@@ -45,7 +46,10 @@ fn main() {
         .points()
         .map(|(t, c)| (format!("t={t:>3.0}s"), c as f64))
         .collect();
-    println!("deployments per 15 s (Fig. 10): total {}", result.deployments.len());
+    println!(
+        "deployments per 15 s (Fig. 10): total {}",
+        result.deployments.len()
+    );
     print!("{}", ascii_bars(&rows, 40));
     println!();
 
@@ -64,10 +68,22 @@ fn main() {
         .collect();
     let med = |mut v: Vec<f64>| -> f64 {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        if v.is_empty() { f64::NAN } else { v[v.len() / 2] }
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v[v.len() / 2]
+        }
     };
-    println!("deployment-triggering requests: {:>5}  median {:>8.1} ms", first.len(), med(first));
-    println!("steady-state requests:          {:>5}  median {:>8.1} ms", warm.len(), med(warm));
+    println!(
+        "deployment-triggering requests: {:>5}  median {:>8.1} ms",
+        first.len(),
+        med(first)
+    );
+    println!(
+        "steady-state requests:          {:>5}  median {:>8.1} ms",
+        warm.len(),
+        med(warm)
+    );
     println!();
     // Latency CDF over all requests — sub-ms steady state with a cold-start
     // tail around the Docker scale-up time.
@@ -89,7 +105,9 @@ fn main() {
     println!();
     println!(
         "switch: {} packets, {} table hits, {} misses (PacketIns to the controller)",
-        result.switch_stats.packets, result.switch_stats.table_hits, result.switch_stats.table_misses
+        result.switch_stats.packets,
+        result.switch_stats.table_hits,
+        result.switch_stats.table_misses
     );
     println!(
         "controller: {} memory fast-path hits, {} held requests, {} cloud forwards",

@@ -12,7 +12,9 @@ use simcore::SimDuration;
 use testbed::{run_bigflows, ScenarioConfig};
 
 fn run(label: &str, backend: ClusterKind) {
-    let mut cfg = ScenarioConfig::default().with_seed(17).with_backend(backend);
+    let mut cfg = ScenarioConfig::default()
+        .with_seed(17)
+        .with_backend(backend);
     cfg.crash_mtbf = Some(SimDuration::from_secs(15));
     let (_, r) = run_bigflows(cfg);
     let recoveries = r.deployments.len().saturating_sub(42);

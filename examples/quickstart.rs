@@ -29,7 +29,9 @@ fn main() {
     //    with a Docker backend; nothing is deployed yet (Cold setup means
     //    the first request pays Pull + Create + Scale-Up).
     let cloud_addr: SocketAddr = SocketAddr::new(IpAddr::new(93, 184, 0, 1), 80);
-    let cfg = ScenarioConfig::default().with_phase(PhaseSetup::Cold).with_seed(42);
+    let cfg = ScenarioConfig::default()
+        .with_phase(PhaseSetup::Cold)
+        .with_seed(42);
     let testbed = Testbed::build(cfg, vec![cloud_addr]);
 
     // 4. One client sends one request to the *cloud* address. The switch has

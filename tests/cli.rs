@@ -43,7 +43,11 @@ fn trace_command_reports_paper_marginals() {
 fn run_command_with_scenario_file() {
     let scenario = write_temp("scenario.yaml", "seed: 3\nservice: Nginx\nphase: created\n");
     let out = edgesim().arg("run").arg(&scenario).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("requests: 1708 (0 lost)"), "{text}");
     assert!(text.contains("deployments: 42"), "{text}");
@@ -61,7 +65,10 @@ fn run_command_rejects_bad_scenario() {
 #[test]
 fn run_command_with_csv_trace() {
     let scenario = write_temp("s2.yaml", "seed: 1\n");
-    let trace = write_temp("t.csv", "time_s,service,client\n0.5,0,0\n1.0,0,1\n2.0,1,2\n");
+    let trace = write_temp(
+        "t.csv",
+        "time_s,service,client\n0.5,0,0\n1.0,0,1\n2.0,1,2\n",
+    );
     let out = edgesim()
         .arg("run")
         .arg(&scenario)
@@ -69,7 +76,11 @@ fn run_command_with_csv_trace() {
         .arg(&trace)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("requests: 3 (0 lost)"), "{text}");
 }
@@ -83,7 +94,11 @@ fn annotate_command_emits_two_documents() {
         .args(["--name", "edge-web", "--port", "80"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("kind: Deployment"), "{text}");
     assert!(text.contains("kind: Service"), "{text}");
@@ -104,7 +119,11 @@ fn annotate_requires_name_and_port() {
 #[test]
 fn fabric_command_runs() {
     let out = edgesim().args(["fabric", "--no-roam"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("deployments per site"), "{text}");
 }
@@ -112,7 +131,11 @@ fn fabric_command_runs() {
 #[test]
 fn first_request_breakdown() {
     let scenario = write_temp("s3.yaml", "seed: 4\nphase: cold\n");
-    let out = edgesim().arg("first-request").arg(&scenario).output().unwrap();
+    let out = edgesim()
+        .arg("first-request")
+        .arg(&scenario)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("time_total:"), "{text}");
@@ -126,7 +149,14 @@ fn annotate_with_custom_scheduler_flag() {
     let out = edgesim()
         .arg("annotate")
         .arg(&svc)
-        .args(["--name", "edge-web", "--port", "80", "--scheduler", "edge-matcher"])
+        .args([
+            "--name",
+            "edge-web",
+            "--port",
+            "80",
+            "--scheduler",
+            "edge-matcher",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -141,8 +171,15 @@ fn run_hierarchical_scenario_from_yaml() {
         "seed: 5\nscheduler: without-waiting\nsites:\n  - name: near\n    class: pi\n    latency_ms: 0.3\n    nodes: 8\n    backend: docker\n  - name: far\n    class: egs\n    latency_ms: 8\n    backend: docker\nphase: running\nprewarm_sites: [1]\n",
     );
     let out = edgesim().arg("run").arg(&scenario).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("cloud: 0"), "warm far edge absorbs detours: {text}");
+    assert!(
+        text.contains("cloud: 0"),
+        "warm far edge absorbs detours: {text}"
+    );
     assert!(text.contains("retargets:"), "{text}");
 }

@@ -9,7 +9,9 @@ fn seeds() -> Vec<u64> {
 #[test]
 fn table1_matches_paper_exactly() {
     let t = bench::experiments::table1().table.render();
-    for needle in ["6.18 KiB", "135 MiB", "308 MiB", "181 MiB", "POST", "Nginx+Py"] {
+    for needle in [
+        "6.18 KiB", "135 MiB", "308 MiB", "181 MiB", "POST", "Nginx+Py",
+    ] {
         assert!(t.contains(needle), "Table I missing {needle}:\n{t}");
     }
 }
@@ -17,7 +19,11 @@ fn table1_matches_paper_exactly() {
 #[test]
 fn fig09_and_fig10_marginals() {
     let e9 = bench::experiments::fig09(1);
-    assert!(e9.notes[0].contains("1708 requests to 42 services"), "{:?}", e9.notes);
+    assert!(
+        e9.notes[0].contains("1708 requests to 42 services"),
+        "{:?}",
+        e9.notes
+    );
     let e10 = bench::experiments::fig10(1);
     assert!(e10.notes[0].contains("42 deployments"), "{:?}", e10.notes);
 }
@@ -45,8 +51,14 @@ fn fig11_shape_docker_fast_k8s_slow() {
         .collect();
     let docker_ms = parse_first_ms(nginx_row[1].trim());
     let k8s_ms = parse_first_ms(nginx_row[2].trim());
-    assert!(docker_ms < 1000.0, "Docker {docker_ms} ms must stay under 1 s");
-    assert!((2000.0..4000.0).contains(&k8s_ms), "K8s {k8s_ms} ms must stay ~3 s");
+    assert!(
+        docker_ms < 1000.0,
+        "Docker {docker_ms} ms must stay under 1 s"
+    );
+    assert!(
+        (2000.0..4000.0).contains(&k8s_ms),
+        "K8s {k8s_ms} ms must stay ~3 s"
+    );
 }
 
 #[test]
@@ -54,7 +66,10 @@ fn fig13_private_registry_saves_seconds() {
     let e = bench::experiments::fig13(&seeds());
     let rendered = e.table.render();
     let nginx_row = rendered.lines().find(|l| l.starts_with("Nginx ")).unwrap();
-    assert!(nginx_row.contains("s"), "pull times are in seconds: {nginx_row}");
+    assert!(
+        nginx_row.contains("s"),
+        "pull times are in seconds: {nginx_row}"
+    );
     assert!(
         e.notes[0].contains("saves"),
         "saving note present: {:?}",

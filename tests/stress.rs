@@ -41,7 +41,11 @@ fn ten_thousand_requests_two_hundred_services() {
 
     // accounting identities
     let st = result.switch_stats;
-    assert_eq!(st.packets, st.table_hits + st.table_misses, "every packet hits or misses");
+    assert_eq!(
+        st.packets,
+        st.table_hits + st.table_misses,
+        "every packet hits or misses"
+    );
     assert!(st.forwarded <= st.packets);
     // every record belongs to a known service and client
     for r in &result.records {
@@ -69,7 +73,11 @@ fn saturated_edge_degrades_to_cloud_not_to_loss() {
         ..TraceConfig::default()
     };
     let trace = Trace::generate(cfg, &mut SimRng::seed_from_u64(3));
-    let scenario = ScenarioConfig { clients: 40, seed: 3, ..ScenarioConfig::default() };
+    let scenario = ScenarioConfig {
+        clients: 40,
+        seed: 3,
+        ..ScenarioConfig::default()
+    };
     let result = run_trace_scenario(scenario, &trace);
     assert_eq!(result.records.len(), 4_000);
     assert_eq!(result.lost, 0);
@@ -89,7 +97,11 @@ fn large_run_is_deterministic() {
             ..TraceConfig::default()
         };
         let trace = Trace::generate(cfg, &mut SimRng::seed_from_u64(7));
-        let scenario = ScenarioConfig { clients: 30, seed: 7, ..ScenarioConfig::default() };
+        let scenario = ScenarioConfig {
+            clients: 30,
+            seed: 7,
+            ..ScenarioConfig::default()
+        };
         let testbed = Testbed::build(scenario, trace.service_addrs.clone());
         testbed.run_trace(&trace)
     };

@@ -2,10 +2,10 @@
 //! exchange looks like a cloud access. The switch must rewrite the
 //! destination on the way in and restore the cloud address on the way out.
 
-use edgectl::{Controller, ControllerConfig, ControllerOutput, NearestWaiting, RoundRobinLocal};
 use cluster::{DockerCluster, ServiceTemplate};
 use containers::image::synthesize_layers;
 use containers::{ImageManifest, Runtime};
+use edgectl::{Controller, ControllerConfig, ControllerOutput, NearestWaiting};
 use registry::{Registry, RegistryProfile, RegistrySet};
 use simcore::{DurationDist, SimDuration, SimRng, SimTime};
 use simnet::openflow::{PacketVerdict, PortId, Switch};
@@ -13,7 +13,10 @@ use simnet::{IpAddr, Packet, Protocol, SocketAddr};
 
 fn registries() -> RegistrySet {
     let mut hub = Registry::new(RegistryProfile::docker_hub());
-    hub.publish(ImageManifest::new("nginx:1.23.2", synthesize_layers(1, 141_000_000, 6)));
+    hub.publish(ImageManifest::new(
+        "nginx:1.23.2",
+        synthesize_layers(1, 141_000_000, 6),
+    ));
     let mut s = RegistrySet::new();
     s.add(hub);
     s
@@ -25,13 +28,11 @@ fn round_trip_is_transparent_to_the_client() {
     let client = SocketAddr::new(IpAddr::new(10, 1, 0, 1), 40000);
 
     let mut switch = Switch::new(8);
-    let mut controller = Controller::new(
-        ControllerConfig::default(),
-        Box::new(NearestWaiting),
-        Box::new(RoundRobinLocal::default()),
-        registries(),
-        PortId(0),
-    );
+    let mut controller = Controller::builder(ControllerConfig::default())
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(PortId(0))
+        .build();
     let rng = SimRng::seed_from_u64(1);
     controller.attach_cluster(
         Box::new(DockerCluster::new(
@@ -45,7 +46,12 @@ fn round_trip_is_transparent_to_the_client() {
     );
     controller.catalog.register(
         cloud_addr,
-        ServiceTemplate::single("edge-nginx", "nginx:1.23.2", 80, DurationDist::constant_ms(100.0)),
+        ServiceTemplate::single(
+            "edge-nginx",
+            "nginx:1.23.2",
+            80,
+            DurationDist::constant_ms(100.0),
+        ),
     );
 
     // First packet: miss → PacketIn → deployment → FlowMods + release.
@@ -58,8 +64,8 @@ fn round_trip_is_transparent_to_the_client() {
     let mut release_verdict = None;
     for o in outputs {
         match o {
-            ControllerOutput::FlowMod { at, priority, matcher, actions, idle_timeout, cookie, .. } => {
-                switch.flow_mod(at, priority, matcher, actions, idle_timeout, None, cookie);
+            ControllerOutput::FlowMod { at, spec, .. } => {
+                switch.flow_mod(at, spec);
             }
             ControllerOutput::ReleaseViaTable { at, buffer_id, .. } => {
                 release_verdict = switch.packet_out_via_table(at, buffer_id);
@@ -69,7 +75,11 @@ fn round_trip_is_transparent_to_the_client() {
     }
 
     // Outbound: destination rewritten to the edge instance, source intact.
-    let Some(PacketVerdict::Forward { packet: fwd, out_port }) = release_verdict else {
+    let Some(PacketVerdict::Forward {
+        packet: fwd,
+        out_port,
+    }) = release_verdict
+    else {
         panic!("released packet must forward, got {release_verdict:?}");
     };
     assert_eq!(out_port, PortId(2));
@@ -103,7 +113,10 @@ fn round_trip_is_transparent_to_the_client() {
     // Subsequent request from the same client: pure data-plane hit, no
     // controller involvement.
     let misses_before = switch.stats.table_misses;
-    match switch.receive(t1 + SimDuration::from_millis(1), Packet::syn(client, cloud_addr, 2)) {
+    match switch.receive(
+        t1 + SimDuration::from_millis(1),
+        Packet::syn(client, cloud_addr, 2),
+    ) {
         PacketVerdict::Forward { packet, .. } => assert_eq!(packet.dst, edge_instance),
         other => panic!("second request must hit the flow, got {other:?}"),
     }
@@ -122,16 +135,13 @@ fn different_clients_get_independent_flows() {
     // Manually install a redirect for client A only.
     switch.flow_mod(
         SimTime::ZERO,
-        100,
-        simnet::FlowMatch::client_to_service(a.ip, cloud_addr),
-        vec![
-            simnet::Action::SetDstIp(IpAddr::new(10, 0, 0, 100)),
-            simnet::Action::SetDstPort(8000),
-            simnet::Action::Output(PortId(2)),
-        ],
-        None,
-        None,
-        0,
+        simnet::FlowSpec::new(simnet::FlowMatch::client_to_service(a.ip, cloud_addr))
+            .priority(100)
+            .actions(vec![
+                simnet::Action::SetDstIp(IpAddr::new(10, 0, 0, 100)),
+                simnet::Action::SetDstPort(8000),
+                simnet::Action::Output(PortId(2)),
+            ]),
     );
     let t = SimTime::ZERO + SimDuration::from_millis(1);
     assert!(matches!(
