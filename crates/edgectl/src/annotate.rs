@@ -109,9 +109,9 @@ pub fn annotate_documents(
     if let Some(mut svc) = service_doc {
         // Enforce the platform-assigned identity on the user's Service.
         svc.set_path("metadata.name", Yaml::str(opts.service_name.clone()));
-        let labels = ensure_map_at(&mut svc, "metadata.labels");
+        let labels = ensure_map_at(&mut svc, "metadata.labels")?;
         labels.insert(EDGE_SERVICE_LABEL, Yaml::str(opts.service_name.clone()));
-        let selector = ensure_map_at(&mut svc, "spec.selector");
+        let selector = ensure_map_at(&mut svc, "spec.selector")?;
         selector.insert(EDGE_SERVICE_LABEL, Yaml::str(opts.service_name.clone()));
         out.service = svc;
     }
@@ -144,7 +144,7 @@ pub fn annotate(doc: &Yaml, opts: &AnnotateOptions) -> Result<AnnotatedService, 
         "spec.selector.matchLabels",
         "spec.template.metadata.labels",
     ] {
-        let labels = ensure_map_at(&mut deployment, path);
+        let labels = ensure_map_at(&mut deployment, path)?;
         labels.insert("app", Yaml::str(opts.service_name.clone()));
         labels.insert(EDGE_SERVICE_LABEL, Yaml::str(opts.service_name.clone()));
     }
@@ -156,7 +156,7 @@ pub fn annotate(doc: &Yaml, opts: &AnnotateOptions) -> Result<AnnotatedService, 
     }
 
     let template = build_template(&deployment, opts)?;
-    let service = generate_service(&template, opts);
+    let service = generate_service(&template, opts)?;
 
     Ok(AnnotatedService {
         deployment,
@@ -166,16 +166,40 @@ pub fn annotate(doc: &Yaml, opts: &AnnotateOptions) -> Result<AnnotatedService, 
 }
 
 /// Navigate to a mapping at a dotted path of *simple* segments, creating
-/// intermediate maps as needed.
-fn ensure_map_at<'a>(doc: &'a mut Yaml, path: &str) -> &'a mut Yaml {
+/// intermediate maps as needed. A scalar already sitting anywhere on the path
+/// (e.g. `metadata: 3`) is a structural error in the user's document, not a
+/// panic: it is reported via [`AnnotateError::BadStructure`] so malformed
+/// definitions lint instead of crash.
+fn ensure_map_at<'a>(doc: &'a mut Yaml, path: &str) -> Result<&'a mut Yaml, AnnotateError> {
     let mut cur = doc;
+    let mut walked = String::new();
     for seg in path.split('.') {
-        if cur.get(seg).is_none() {
-            cur.insert(seg, Yaml::map());
+        if !matches!(cur, Yaml::Map(_)) {
+            return Err(AnnotateError::BadStructure(format!(
+                "`{walked}` must be a mapping, got {}",
+                cur.type_name()
+            )));
         }
-        cur = cur.get_mut(seg).unwrap();
+        if !walked.is_empty() {
+            walked.push('.');
+        }
+        walked.push_str(seg);
+        match cur.get(seg) {
+            // `key:` with no value reads as null; treat it as an empty map.
+            None | Some(Yaml::Null) => cur.insert(seg, Yaml::map()),
+            Some(Yaml::Map(_)) => {}
+            Some(other) => {
+                return Err(AnnotateError::BadStructure(format!(
+                    "`{walked}` must be a mapping, got {}",
+                    other.type_name()
+                )))
+            }
+        }
+        cur = cur
+            .get_mut(seg)
+            .expect("segment exists: just checked or inserted");
     }
-    cur
+    Ok(cur)
 }
 
 /// Bring the user document into Deployment shape, synthesizing the scaffold
@@ -223,7 +247,9 @@ fn normalize_deployment(doc: &Yaml, opts: &AnnotateOptions) -> Result<Yaml, Anno
     let n = out
         .at("spec.template.spec.containers")
         .and_then(Yaml::as_seq)
-        .unwrap()
+        .ok_or_else(|| {
+            AnnotateError::BadStructure("spec.template.spec.containers is not a sequence".into())
+        })?
         .len();
     for i in 0..n {
         let base = format!("spec.template.spec.containers.{i}");
@@ -255,7 +281,9 @@ fn build_template(
     let containers_yaml = deployment
         .at("spec.template.spec.containers")
         .and_then(Yaml::as_seq)
-        .expect("normalized deployment has containers");
+        .ok_or_else(|| {
+            AnnotateError::BadStructure("spec.template.spec.containers is not a sequence".into())
+        })?;
 
     let app_init_ms = deployment
         .at("metadata.annotations")
@@ -310,22 +338,25 @@ fn build_template(
 }
 
 /// Build the Kubernetes `Service` document the paper generates automatically.
-fn generate_service(template: &ServiceTemplate, opts: &AnnotateOptions) -> Yaml {
+fn generate_service(
+    template: &ServiceTemplate,
+    opts: &AnnotateOptions,
+) -> Result<Yaml, AnnotateError> {
     let mut svc = Yaml::map();
     svc.insert("apiVersion", Yaml::str("v1"));
     svc.insert("kind", Yaml::str("Service"));
     svc.set_path("metadata.name", Yaml::str(opts.service_name.clone()));
-    let labels = ensure_map_at(&mut svc, "metadata.labels");
+    let labels = ensure_map_at(&mut svc, "metadata.labels")?;
     labels.insert("app", Yaml::str(opts.service_name.clone()));
     labels.insert(EDGE_SERVICE_LABEL, Yaml::str(opts.service_name.clone()));
-    let selector = ensure_map_at(&mut svc, "spec.selector");
+    let selector = ensure_map_at(&mut svc, "spec.selector")?;
     selector.insert(EDGE_SERVICE_LABEL, Yaml::str(opts.service_name.clone()));
     let mut port = Yaml::map();
     port.insert("port", Yaml::Int(opts.exposed_port as i64));
     port.insert("targetPort", Yaml::Int(template.port as i64));
     port.insert("protocol", Yaml::str("TCP"));
     svc.set_path("spec.ports", Yaml::Seq(vec![port]));
-    svc
+    Ok(svc)
 }
 
 /// Parse a Kubernetes CPU quantity: `"250m"` → 250 milli-cores, `1` / `"2"` →
@@ -569,6 +600,51 @@ spec:
     fn scalar_document_rejected() {
         assert!(matches!(
             annotate(&Yaml::Int(3), &opts()).unwrap_err(),
+            AnnotateError::BadStructure(_)
+        ));
+    }
+
+    #[test]
+    fn scalar_on_label_path_errors_instead_of_panicking() {
+        // `metadata: 3` used to panic inside ensure_map_at; it must lint.
+        let doc = parse("image: nginx:1.23.2\nmetadata: 3\n").unwrap();
+        let err = annotate(&doc, &opts()).unwrap_err();
+        match err {
+            AnnotateError::BadStructure(msg) => {
+                assert!(msg.contains("metadata"), "{msg}");
+                assert!(msg.contains("int"), "{msg}");
+            }
+            other => panic!("expected BadStructure, got {other:?}"),
+        }
+        // a scalar one level deeper (the final path element) as well
+        let doc = parse("image: nginx:1.23.2\nmetadata:\n  labels: oops\n").unwrap();
+        assert!(matches!(
+            annotate(&doc, &opts()).unwrap_err(),
+            AnnotateError::BadStructure(_)
+        ));
+    }
+
+    #[test]
+    fn null_intermediate_becomes_map() {
+        // `metadata:` with no value is null, not an error — it reads as an
+        // empty mapping like kubectl treats it.
+        let doc = parse("image: nginx:1.23.2\nmetadata:\n").unwrap();
+        let out = annotate(&doc, &opts()).unwrap();
+        assert_eq!(
+            out.deployment
+                .at("metadata.labels")
+                .and_then(|l| l.get(EDGE_SERVICE_LABEL))
+                .and_then(Yaml::as_str),
+            Some("edge-nginx-web-001")
+        );
+    }
+
+    #[test]
+    fn scalar_metadata_in_user_service_errors_instead_of_panicking() {
+        let docs = yamlite::parse_all("image: nginx:1.23.2\n---\nkind: Service\nmetadata: nope\n")
+            .unwrap();
+        assert!(matches!(
+            annotate_documents(&docs, &opts()).unwrap_err(),
             AnnotateError::BadStructure(_)
         ));
     }

@@ -1128,7 +1128,54 @@ fn flow_pair(
         ])
         .idle_opt(idle_timeout)
         .cookie(cookie);
-    [forward, reverse]
+    let pair = [forward, reverse];
+    #[cfg(debug_assertions)]
+    debug_check_flow_pair(&pair, key, target);
+    pair
+}
+
+/// Check-on-install hook (debug builds): the forward/reverse pair must be a
+/// transparent mirror — the client's packet reaches `target`, and the reply
+/// leaves re-addressed as the cloud service. A pair that fails this would
+/// break the paper's transparency invariant silently, so it is a programming
+/// error worth an assert rather than a runtime `Violation`.
+#[cfg(debug_assertions)]
+fn debug_check_flow_pair(pair: &[FlowSpec; 2], key: FlowKey, target: SocketAddr) {
+    use simnet::Packet;
+
+    let client = SocketAddr::new(key.client_ip, 40000);
+    let syn = Packet::syn(client, key.service_addr, 0);
+    debug_assert!(
+        pair[0].matcher.matches(&syn),
+        "forward rule must match the client's service-addressed packet"
+    );
+    let mut p = syn;
+    for a in &pair[0].actions {
+        match a {
+            Action::SetDstIp(ip) => p.dst.ip = *ip,
+            Action::SetDstPort(port) => p.dst.port = *port,
+            _ => {}
+        }
+    }
+    debug_assert_eq!(p.dst, target, "forward rule must rewrite to the target");
+
+    let reply = Packet::syn(target, client, 0);
+    debug_assert!(
+        pair[1].matcher.matches(&reply),
+        "reverse rule must match the instance's reply"
+    );
+    let mut r = reply;
+    for a in &pair[1].actions {
+        match a {
+            Action::SetSrcIp(ip) => r.src.ip = *ip,
+            Action::SetSrcPort(port) => r.src.port = *port,
+            _ => {}
+        }
+    }
+    debug_assert_eq!(
+        r.src, key.service_addr,
+        "reverse rule must restore the cloud service address"
+    );
 }
 
 /// Stable cookie derived from the service name (diagnostics only).

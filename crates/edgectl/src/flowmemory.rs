@@ -159,15 +159,21 @@ impl FlowMemory {
         }
         let deadline = now + self.idle_timeout;
         self.expiry.push(Reverse((deadline, key)));
-        let f = self.flows.get_mut(&key).unwrap();
+        let f = self.flows.get_mut(&key).expect("checked live above");
         f.last_seen = now;
         self.normalize_expiry();
-        Some(self.flows.get(&key).unwrap())
+        Some(self.flows.get(&key).expect("checked live above"))
     }
 
     /// Peek without refreshing (diagnostics).
     pub fn get(&self, key: FlowKey) -> Option<&MemorizedFlow> {
         self.flows.get(&key)
+    }
+
+    /// Iterate over every memorized flow in unspecified order (diagnostics —
+    /// the coherence audit walks this against the installed switch entries).
+    pub fn iter(&self) -> impl Iterator<Item = &MemorizedFlow> {
+        self.flows.values()
     }
 
     /// Drop a specific flow (e.g. its target instance was removed).
@@ -217,7 +223,7 @@ impl FlowMemory {
             }
         }
         for &key in &keys {
-            let f = self.flows.get_mut(&key).unwrap();
+            let f = self.flows.get_mut(&key).expect("key came from the index");
             let from = (f.service.clone(), f.cluster);
             f.target = target;
             f.cluster = cluster;

@@ -25,6 +25,10 @@
 //! * [`predictor`] — proactive pre-deployment (the paper's §VII outlook:
 //!   on-demand "more so when combined with good prediction").
 
+// Verifier-critical crate: non-test code must state its panic invariants via
+// `expect` instead of bare `unwrap` (CI denies this warning; tests are exempt).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod annotate;
 pub mod catalog;
 pub mod controller;

@@ -122,7 +122,7 @@ impl Predictor for PopularityPredictor {
             .map(|(&addr, &(s, at))| (addr, self.decayed(s, now.since(at))))
             .filter(|&(_, s)| s >= self.threshold)
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(self.top_k);
         scored.into_iter().map(|(a, _)| a).collect()
     }

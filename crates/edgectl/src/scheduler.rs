@@ -229,10 +229,7 @@ impl GlobalScheduler for LeastLoaded {
             .min_by(|a, b| {
                 let score =
                     |v: &ClusterView| v.distance.as_secs_f64() * (1.0 + self.load_weight * v.load);
-                score(a)
-                    .partial_cmp(&score(b))
-                    .unwrap()
-                    .then(a.id.cmp(&b.id))
+                score(a).total_cmp(&score(b)).then(a.id.cmp(&b.id))
             })
             .map(|v| v.id);
         Decision {

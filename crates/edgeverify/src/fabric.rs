@@ -1,0 +1,171 @@
+//! Symbolic reachability: walk representative packets of each client ×
+//! service class through the switch tables along the topology links, and
+//! flag rewrite cycles, blackholed service classes and misroutes.
+//!
+//! The walk is concrete-representative rather than fully symbolic: the
+//! controller only installs exact-field and CIDR matchers, so one
+//! representative packet per (client, service) class traverses exactly the
+//! rules every member of the class would. Rewrites are applied as the switch
+//! would apply them, and a revisited `(switch, header)` state is a loop.
+
+use std::collections::HashSet;
+
+use simnet::openflow::{Action, FlowId, FlowTable};
+use simnet::{Packet, SocketAddr};
+
+use crate::{Verifier, Violation};
+
+/// What hangs off each switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Link {
+    /// Inter-switch link: packets continue at that switch's table.
+    ToSwitch(usize),
+    /// The cloud uplink — a legitimate terminal for service traffic.
+    Cloud,
+    /// An edge site hosting service instances — a legitimate terminal.
+    Site,
+    /// A client access port — service-addressed traffic ending here is
+    /// misrouted.
+    Client,
+}
+
+/// One switch of the fabric under audit.
+pub struct FabricSwitch<'a> {
+    pub table: &'a FlowTable,
+    /// `links[p]` is what port `p` connects to; ports beyond the vector are
+    /// unwired.
+    pub links: Vec<Link>,
+}
+
+/// A packet class to walk: a representative header and the switch where it
+/// enters the fabric.
+#[derive(Debug, Clone)]
+pub struct PacketClass {
+    pub packet: Packet,
+    pub ingress: usize,
+    /// Report label, e.g. `10.1.0.1 -> 93.184.0.1:80`.
+    pub label: String,
+}
+
+impl PacketClass {
+    /// The canonical class: `client`'s first packet to a registered service
+    /// address, entering at `ingress`.
+    pub fn client_to_service(client: SocketAddr, service: SocketAddr, ingress: usize) -> Self {
+        PacketClass {
+            packet: Packet::syn(client, service, 0),
+            ingress,
+            label: format!("{} -> {}", client.ip, service),
+        }
+    }
+}
+
+/// The audited system: switch tables, port wiring, the registered service
+/// addresses (whose classes must not blackhole) and the classes to walk.
+pub struct Fabric<'a> {
+    pub switches: Vec<FabricSwitch<'a>>,
+    /// Cloud addresses of registered services; packets addressed to these are
+    /// `edge.service` traffic.
+    pub service_addrs: Vec<SocketAddr>,
+    pub classes: Vec<PacketClass>,
+}
+
+impl Fabric<'_> {
+    fn is_service_class(&self, p: &Packet) -> bool {
+        self.service_addrs.contains(&p.dst)
+    }
+}
+
+/// Walk every class; see module docs.
+pub(crate) fn walk_classes(verifier: &Verifier, fabric: &Fabric<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for class in &fabric.classes {
+        walk_one(verifier, fabric, class, &mut out);
+    }
+    out
+}
+
+fn walk_one(
+    verifier: &Verifier,
+    fabric: &Fabric<'_>,
+    class: &PacketClass,
+    out: &mut Vec<Violation>,
+) {
+    // Only service-addressed traffic has delivery obligations; other classes
+    // can legitimately drop or punt, but loops are wrong for everyone.
+    let service_class = fabric.is_service_class(&class.packet);
+    let mut seen: HashSet<(usize, Packet)> = HashSet::new();
+    let mut path: Vec<(usize, FlowId)> = Vec::new();
+    let mut sw = class.ingress;
+    let mut packet = class.packet;
+
+    loop {
+        if sw >= fabric.switches.len() {
+            return; // dangling link: nothing to audit
+        }
+        if !seen.insert((sw, packet)) || path.len() >= verifier.max_hops {
+            out.push(Violation::RewriteLoop {
+                class: class.label.clone(),
+                path: path.clone(),
+            });
+            return;
+        }
+        let table = fabric.switches[sw].table;
+        let Some(entry) = table.find(&packet) else {
+            // Table miss: the packet is buffered and punted to the
+            // controller — the on-demand deployment path, always legitimate.
+            return;
+        };
+        path.push((sw, entry.id));
+        let mut forwarded: Option<usize> = None;
+        for a in &entry.actions {
+            match a {
+                Action::SetSrcIp(ip) => packet.src.ip = *ip,
+                Action::SetSrcPort(p) => packet.src.port = *p,
+                Action::SetDstIp(ip) => packet.dst.ip = *ip,
+                Action::SetDstPort(p) => packet.dst.port = *p,
+                Action::Output(port) => {
+                    forwarded = Some(port.0);
+                    break;
+                }
+                Action::ToController => return, // punted: legitimate terminal
+                Action::Drop => break,
+            }
+        }
+        let Some(port) = forwarded else {
+            if service_class {
+                out.push(Violation::Blackholed {
+                    class: class.label.clone(),
+                    switch: sw,
+                    rule: entry.id,
+                });
+            }
+            return;
+        };
+        match fabric.switches[sw].links.get(port) {
+            Some(Link::ToSwitch(next)) => sw = *next,
+            Some(Link::Cloud) | Some(Link::Site) => return,
+            Some(Link::Client) => {
+                if service_class {
+                    out.push(Violation::Misrouted {
+                        class: class.label.clone(),
+                        switch: sw,
+                        rule: entry.id,
+                        port,
+                    });
+                }
+                return;
+            }
+            None => {
+                if service_class {
+                    out.push(Violation::Misrouted {
+                        class: class.label.clone(),
+                        switch: sw,
+                        rule: entry.id,
+                        port,
+                    });
+                }
+                return;
+            }
+        }
+    }
+}

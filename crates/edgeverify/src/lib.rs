@@ -1,0 +1,343 @@
+//! # edgeverify — static verification of the transparent-edge data plane
+//!
+//! The paper's transparency claim rests on the controller's installed flow
+//! rules doing exactly one thing: rewrite cloud-addressed traffic to a live
+//! edge instance and rewrite the replies back. A shadowed rule, a pair of
+//! ambiguous same-priority rules, a rewrite loop or a blackholed
+//! `edge.service` match all break that claim *silently* — the simulation
+//! keeps running, requests just go to the wrong place or nowhere. This crate
+//! is the VeriFlow / header-space-analysis style answer: a static pass over
+//! [`simnet::openflow`] rule sets and [`edgectl`] state that proves the
+//! emitted configuration well-formed, plus a lint for the annotated service
+//! definitions the deployment pipeline consumes.
+//!
+//! Five analyses, each returning structured [`Violation`]s with rule or
+//! document provenance:
+//!
+//! 1. **Shadowing** ([`Verifier::check`]) — pairwise [`FlowMatch`]
+//!    subsumption: a rule fully covered by an earlier-in-table-order rule can
+//!    never match.
+//! 2. **Overlap conflicts** ([`Verifier::check`]) — two same-priority rules
+//!    whose matches intersect but whose actions send packets to different
+//!    destinations; which one wins is an implementation accident.
+//! 3. **Reachability / loops / blackholes** ([`Verifier::check_fabric`]) —
+//!    walk representative packets of each client × service class through the
+//!    switch tables along the topology links; flag forwarding cycles, drops
+//!    of service-addressed classes, and classes misrouted off the fabric.
+//! 4. **FlowMemory coherence** ([`Verifier::check_coherence`]) — the
+//!    controller's memorized redirects and the switch tables must tell the
+//!    same story (same target, compatible idle timeouts, no redirect to a
+//!    dead instance that memory has already forgotten).
+//! 5. **Service-definition lint** ([`lint::lint_annotated`]) — unique names,
+//!    `replicas: 0`, `matchLabels ⊆ labels`, the `edge.service` label, and
+//!    Service/Deployment port consistency.
+//!
+//! The same checks run three ways: this library API, the `edgesim verify`
+//! subcommand (scenario audit), and `debug_assertions`-gated
+//! check-on-install hooks inside [`simnet::openflow::Switch::flow_mod`] and
+//! the controller's install path.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod coherence;
+pub mod fabric;
+pub mod lint;
+pub mod table;
+
+use std::fmt;
+
+use simcore::SimDuration;
+use simnet::openflow::{FlowEntry, FlowId, FlowMatch, FlowTable};
+use simnet::{IpAddr, SocketAddr};
+
+pub use coherence::CoherenceView;
+pub use fabric::{Fabric, FabricSwitch, Link, PacketClass};
+pub use lint::lint_annotated;
+
+/// Provenance of a flow rule named in a [`Violation`]: enough to find it in
+/// the table and to print a human-readable report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleRef {
+    pub id: FlowId,
+    pub priority: u16,
+    pub cookie: u64,
+    /// Rendered matcher, e.g. `tcp src 10.1.0.1 dst 93.184.0.1:80`.
+    pub matcher: String,
+}
+
+impl RuleRef {
+    pub fn of(entry: &FlowEntry) -> RuleRef {
+        RuleRef {
+            id: entry.id,
+            priority: entry.priority,
+            cookie: entry.cookie,
+            matcher: describe_match(&entry.matcher),
+        }
+    }
+}
+
+impl fmt::Display for RuleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flow #{} (prio {}, match {})",
+            self.id.0, self.priority, self.matcher
+        )
+    }
+}
+
+/// Render a matcher compactly for reports.
+pub fn describe_match(m: &FlowMatch) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(p) = m.protocol {
+        parts.push(format!("{p:?}").to_lowercase());
+    }
+    match (m.src_ip, m.src_port) {
+        (Some(ip), Some(port)) => parts.push(format!("src {ip}:{port}")),
+        (Some(ip), None) => parts.push(format!("src {ip}")),
+        (None, Some(port)) => parts.push(format!("src *:{port}")),
+        (None, None) => {}
+    }
+    if let Some(n) = m.src_net {
+        parts.push(format!("src_net {}/{}", n.addr, n.prefix));
+    }
+    match (m.dst_ip, m.dst_port) {
+        (Some(ip), Some(port)) => parts.push(format!("dst {ip}:{port}")),
+        (Some(ip), None) => parts.push(format!("dst {ip}")),
+        (None, Some(port)) => parts.push(format!("dst *:{port}")),
+        (None, None) => {}
+    }
+    if let Some(n) = m.dst_net {
+        parts.push(format!("dst_net {}/{}", n.addr, n.prefix));
+    }
+    if parts.is_empty() {
+        "any".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+/// One verified defect. Every variant names the offending rule(s) or
+/// document so the report is actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `rule` is fully covered by the earlier-in-table-order `by` and can
+    /// never match a packet.
+    Shadowed {
+        switch: usize,
+        rule: RuleRef,
+        by: RuleRef,
+    },
+    /// Two same-priority rules intersect but their actions differ — which
+    /// destination such packets reach is nondeterministic in spirit (decided
+    /// by insertion order, which nothing guarantees).
+    OverlapConflict {
+        switch: usize,
+        first: RuleRef,
+        second: RuleRef,
+    },
+    /// The rule's own conjunction admits no packet (e.g. an exact ip pinned
+    /// outside its own mask).
+    Unsatisfiable { switch: usize, rule: RuleRef },
+    /// A packet class revisits a (switch, header) state: a forwarding /
+    /// rewrite cycle. `path` lists the (switch, rule) hops taken.
+    RewriteLoop {
+        class: String,
+        path: Vec<(usize, FlowId)>,
+    },
+    /// A service-addressed class is dropped: by an explicit rule
+    /// (`Some(rule)`) or by an action list that never outputs (`rule` still
+    /// names the entry). This also catches classes that bypass the
+    /// `ToController` catch-all into a drop.
+    Blackholed {
+        class: String,
+        switch: usize,
+        rule: FlowId,
+    },
+    /// A service-addressed class leaves the fabric somewhere it cannot be
+    /// served (a client port or an unwired port).
+    Misrouted {
+        class: String,
+        switch: usize,
+        rule: FlowId,
+        port: usize,
+    },
+    /// A switch still rewrites a client↔service pair to `target`, but the
+    /// instance is gone and the controller's FlowMemory no longer knows the
+    /// flow — clients would be forwarded into a dead endpoint.
+    StaleRedirect {
+        switch: usize,
+        rule: RuleRef,
+        target: SocketAddr,
+    },
+    /// FlowMemory and the switch disagree about where a client↔service pair
+    /// goes.
+    TargetMismatch {
+        client: IpAddr,
+        service: SocketAddr,
+        memory_target: SocketAddr,
+        switch_target: SocketAddr,
+        rule: FlowId,
+    },
+    /// A switch entry backing a memorized flow can outlive the memory entry
+    /// (switch idle timeout missing or longer than memory's) — §5b's
+    /// scale-down logic would retire instances that still receive traffic.
+    IncompatibleTimeouts {
+        switch: usize,
+        rule: RuleRef,
+        switch_idle: Option<SimDuration>,
+        memory_idle: SimDuration,
+    },
+    /// A service-definition lint finding in document `doc` (0-based index in
+    /// the stream) at `path`.
+    Lint {
+        doc: usize,
+        path: String,
+        message: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Shadowed { switch, rule, by } => write!(
+                f,
+                "shadowed: switch {switch}: {rule} can never match; covered by {by}"
+            ),
+            Violation::OverlapConflict {
+                switch,
+                first,
+                second,
+            } => write!(
+                f,
+                "overlap-conflict: switch {switch}: {first} and {second} share priority, \
+                 intersect, and send traffic to different destinations"
+            ),
+            Violation::Unsatisfiable { switch, rule } => {
+                write!(f, "unsatisfiable: switch {switch}: {rule} admits no packet")
+            }
+            Violation::RewriteLoop { class, path } => {
+                write!(f, "loop: class {class} cycles through ")?;
+                let hops: Vec<String> = path
+                    .iter()
+                    .map(|(sw, id)| format!("switch {sw}/flow #{}", id.0))
+                    .collect();
+                f.write_str(&hops.join(" -> "))
+            }
+            Violation::Blackholed {
+                class,
+                switch,
+                rule,
+            } => write!(
+                f,
+                "blackhole: class {class} is dropped at switch {switch} by flow #{}",
+                rule.0
+            ),
+            Violation::Misrouted {
+                class,
+                switch,
+                rule,
+                port,
+            } => write!(
+                f,
+                "misroute: class {class} leaves switch {switch} on port {port} \
+                 (flow #{}) where no service can answer",
+                rule.0
+            ),
+            Violation::StaleRedirect {
+                switch,
+                rule,
+                target,
+            } => write!(
+                f,
+                "stale-redirect: switch {switch}: {rule} rewrites to {target}, which is \
+                 neither a live instance nor remembered by the controller"
+            ),
+            Violation::TargetMismatch {
+                client,
+                service,
+                memory_target,
+                switch_target,
+                rule,
+            } => write!(
+                f,
+                "target-mismatch: {client} -> {service}: memory says {memory_target}, \
+                 switch flow #{} rewrites to {switch_target}",
+                rule.0
+            ),
+            Violation::IncompatibleTimeouts {
+                switch,
+                rule,
+                switch_idle,
+                memory_idle,
+            } => {
+                let si = match switch_idle {
+                    Some(d) => format!("{d}"),
+                    None => "none".to_string(),
+                };
+                write!(
+                    f,
+                    "incompatible-timeouts: switch {switch}: {rule} idle timeout ({si}) \
+                     outlives FlowMemory's ({memory_idle}); scale-down would race live traffic"
+                )
+            }
+            Violation::Lint { doc, path, message } => {
+                write!(f, "lint: document {doc}: {path}: {message}")
+            }
+        }
+    }
+}
+
+/// The verifier facade. Stateless apart from tuning knobs; every `check_*`
+/// method is a pure function of its inputs.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    /// Reachability walk hop budget; exceeding it is reported as a loop.
+    pub max_hops: usize,
+}
+
+impl Default for Verifier {
+    fn default() -> Verifier {
+        Verifier { max_hops: 64 }
+    }
+}
+
+impl Verifier {
+    pub fn new() -> Verifier {
+        Verifier::default()
+    }
+
+    /// Full pairwise table audit of one switch (switch index 0): shadowing,
+    /// same-priority overlap conflicts, unsatisfiable matchers.
+    pub fn check(&self, table: &FlowTable) -> Vec<Violation> {
+        self.check_switch(0, table)
+    }
+
+    /// [`Verifier::check`] with an explicit switch index for reports.
+    pub fn check_switch(&self, switch: usize, table: &FlowTable) -> Vec<Violation> {
+        table::check_table(switch, table)
+    }
+
+    /// Incremental check-on-install: only the pairs involving the
+    /// just-installed `id` (O(table) instead of O(table²)). The audited
+    /// scenario run calls this on every `FlowMod`.
+    pub fn check_install(&self, switch: usize, table: &FlowTable, id: FlowId) -> Vec<Violation> {
+        table::check_install(switch, table, id)
+    }
+
+    /// Audit a whole fabric: per-switch table checks plus symbolic
+    /// reachability walks of every packet class.
+    pub fn check_fabric(&self, fabric: &Fabric<'_>) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (i, sw) in fabric.switches.iter().enumerate() {
+            out.extend(self.check_switch(i, sw.table));
+        }
+        out.extend(fabric::walk_classes(self, fabric));
+        out
+    }
+
+    /// Cross-check FlowMemory against the installed switch entries.
+    pub fn check_coherence(&self, view: &CoherenceView<'_>) -> Vec<Violation> {
+        coherence::check(view)
+    }
+}

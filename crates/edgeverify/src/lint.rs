@@ -1,0 +1,220 @@
+//! Service-definition lint: validate the annotated YAML stream produced by
+//! [`edgectl::annotate`] (or hand-edited afterwards) against the invariants
+//! the deployment pipeline relies on — paper §V's automated annotations.
+
+use yamlite::Yaml;
+
+use edgectl::annotate::EDGE_SERVICE_LABEL;
+
+use crate::Violation;
+
+fn lint(out: &mut Vec<Violation>, doc: usize, path: &str, message: impl Into<String>) {
+    out.push(Violation::Lint {
+        doc,
+        path: path.to_string(),
+        message: message.into(),
+    });
+}
+
+fn kind_of(doc: &Yaml) -> &str {
+    doc.get("kind")
+        .and_then(Yaml::as_str)
+        .unwrap_or("Deployment")
+}
+
+fn str_at<'a>(doc: &'a Yaml, path: &str) -> Option<&'a str> {
+    doc.at(path).and_then(Yaml::as_str)
+}
+
+/// Fetch a label value under `path` by the *literal* key `label` — the
+/// `edge.service` label contains a dot, so it must not go through the
+/// dotted-path helper.
+fn label_at<'a>(doc: &'a Yaml, path: &str, label: &str) -> Option<&'a str> {
+    doc.at(path)
+        .and_then(|m| m.get(label))
+        .and_then(Yaml::as_str)
+}
+
+/// Lint an annotated multi-document stream (Deployments + Services).
+/// Checks: unique names per kind, `replicas: 0`, the `edge.service` label on
+/// metadata and pod template, `matchLabels ⊆ template labels`, an
+/// `edge.service` selector on every Service, selector values resolving to a
+/// Deployment in the stream, and Service `targetPort` consistency with the
+/// container's declared ports.
+pub fn lint_annotated(docs: &[Yaml]) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // (service name, its declared containerPorts) per Deployment, for the
+    // cross-document Service checks.
+    let mut deployments: Vec<(usize, String, Vec<i64>)> = Vec::new();
+    let mut seen_names: Vec<(String, String)> = Vec::new(); // (kind, name)
+
+    for (i, doc) in docs.iter().enumerate() {
+        if !matches!(doc, Yaml::Map(_)) {
+            lint(
+                &mut out,
+                i,
+                "",
+                format!("document must be a mapping, got {}", doc.type_name()),
+            );
+            continue;
+        }
+        let kind = kind_of(doc).to_string();
+        match str_at(doc, "metadata.name") {
+            Some(name) => {
+                if seen_names.contains(&(kind.clone(), name.to_string())) {
+                    lint(
+                        &mut out,
+                        i,
+                        "metadata.name",
+                        format!("duplicate {kind} name `{name}` — names must be unique"),
+                    );
+                }
+                seen_names.push((kind.clone(), name.to_string()));
+            }
+            None => lint(&mut out, i, "metadata.name", "missing name"),
+        }
+
+        match kind.as_str() {
+            "Service" => lint_service(&mut out, i, doc),
+            _ => {
+                if let Some(d) = lint_deployment(&mut out, i, doc) {
+                    deployments.push(d);
+                }
+            }
+        }
+    }
+
+    // Service ↔ Deployment cross-checks need the full stream.
+    for (i, doc) in docs.iter().enumerate() {
+        if !matches!(doc, Yaml::Map(_)) || kind_of(doc) != "Service" {
+            continue;
+        }
+        let Some(selector) = label_at(doc, "spec.selector", EDGE_SERVICE_LABEL) else {
+            continue; // missing selector already reported by lint_service
+        };
+        let Some((_, _, ports)) = deployments.iter().find(|(_, svc, _)| svc == selector) else {
+            if !deployments.is_empty() {
+                lint(
+                    &mut out,
+                    i,
+                    "spec.selector",
+                    format!("selector `{EDGE_SERVICE_LABEL}: {selector}` matches no Deployment in the stream"),
+                );
+            }
+            continue;
+        };
+        if let Some(target) = doc.at("spec.ports.0.targetPort").and_then(Yaml::as_i64) {
+            if !ports.is_empty() && !ports.contains(&target) {
+                lint(
+                    &mut out,
+                    i,
+                    "spec.ports.0.targetPort",
+                    format!(
+                        "targetPort {target} is not among the container's declared ports {ports:?}"
+                    ),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// Deployment-shaped document checks. Returns (doc index, edge.service
+/// value, declared containerPorts) for the cross-document pass.
+fn lint_deployment(
+    out: &mut Vec<Violation>,
+    i: usize,
+    doc: &Yaml,
+) -> Option<(usize, String, Vec<i64>)> {
+    // The paper's scale-to-zero default: instances exist only on demand.
+    match doc.at("spec.replicas").and_then(Yaml::as_i64) {
+        Some(0) => {}
+        Some(n) => lint(
+            out,
+            i,
+            "spec.replicas",
+            format!("replicas must be 0 (on-demand deployment), got {n}"),
+        ),
+        None => lint(out, i, "spec.replicas", "replicas must be set to 0"),
+    }
+
+    for path in ["metadata.labels", "spec.template.metadata.labels"] {
+        if label_at(doc, path, EDGE_SERVICE_LABEL).is_none() {
+            lint(
+                out,
+                i,
+                path,
+                format!("missing `{EDGE_SERVICE_LABEL}` label"),
+            );
+        }
+    }
+
+    // matchLabels ⊆ template labels, key and value.
+    let template_labels = doc.at("spec.template.metadata.labels");
+    if let Some(Yaml::Map(pairs)) = doc.at("spec.selector.matchLabels") {
+        for (key, want) in pairs {
+            let have = template_labels.and_then(|l| l.get(key));
+            if have != Some(want) {
+                lint(
+                    out,
+                    i,
+                    "spec.selector.matchLabels",
+                    format!("`{key}` not carried by spec.template.metadata.labels — the selector would never match the pods"),
+                );
+            }
+        }
+    } else {
+        lint(out, i, "spec.selector.matchLabels", "missing matchLabels");
+    }
+
+    let service = label_at(doc, "metadata.labels", EDGE_SERVICE_LABEL)?.to_string();
+    let mut ports = Vec::new();
+    if let Some(Yaml::Seq(containers)) = doc.at("spec.template.spec.containers") {
+        for c in containers {
+            if let Some(Yaml::Seq(cports)) = c.get("ports") {
+                for p in cports {
+                    if let Some(n) = p.get("containerPort").and_then(Yaml::as_i64) {
+                        ports.push(n);
+                    }
+                }
+            }
+        }
+    }
+    Some((i, service, ports))
+}
+
+/// Service-shaped document checks.
+fn lint_service(out: &mut Vec<Violation>, i: usize, doc: &Yaml) {
+    if label_at(doc, "spec.selector", EDGE_SERVICE_LABEL).is_none() {
+        lint(
+            out,
+            i,
+            "spec.selector",
+            format!(
+                "missing `{EDGE_SERVICE_LABEL}` selector — the generated redirect flows key on it"
+            ),
+        );
+    }
+    match doc.at("spec.ports") {
+        Some(Yaml::Seq(ports)) if !ports.is_empty() => {
+            for (j, p) in ports.iter().enumerate() {
+                if p.get("port").and_then(Yaml::as_i64).is_none() {
+                    lint(
+                        out,
+                        i,
+                        &format!("spec.ports.{j}.port"),
+                        "missing port number",
+                    );
+                }
+            }
+        }
+        _ => lint(
+            out,
+            i,
+            "spec.ports",
+            "Service must expose at least one port",
+        ),
+    }
+}

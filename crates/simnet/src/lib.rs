@@ -18,6 +18,10 @@
 //! Everything is deterministic and free of wall-clock time; instants come from
 //! [`simcore::SimTime`].
 
+// Verifier-critical crate: non-test code must state its panic invariants via
+// `expect` instead of bare `unwrap` (CI denies this warning; tests are exempt).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod addr;
 pub mod openflow;
 pub mod packet;

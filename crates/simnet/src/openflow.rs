@@ -80,6 +80,87 @@ impl IpNet {
         };
         (ip.0 & mask) == (self.addr.0 & mask)
     }
+
+    /// Every address in `other` is also in `self` (CIDR containment: a
+    /// shorter-or-equal prefix whose network covers `other`'s network).
+    pub fn subsumes(&self, other: &IpNet) -> bool {
+        self.prefix <= other.prefix && self.contains(other.addr)
+    }
+
+    /// The two prefixes share at least one address. For CIDR prefixes this is
+    /// exactly "one contains the other" — partial overlap is impossible.
+    pub fn intersects(&self, other: &IpNet) -> bool {
+        self.subsumes(other) || other.subsumes(self)
+    }
+}
+
+/// `a == Some(x)` forces the same constraint `b` does, for exact match
+/// fields: a wildcard subsumes anything; a pinned value subsumes only the
+/// same pinned value.
+fn exact_subsumes<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> bool {
+    match a {
+        None => true,
+        Some(x) => b == Some(x),
+    }
+}
+
+/// Exact match fields are jointly satisfiable: not both pinned to different
+/// values.
+fn exact_compatible<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x == y,
+        _ => true,
+    }
+}
+
+/// One direction (src or dst) of a matcher is the conjunction of an optional
+/// exact ip and an optional masked prefix. `a` subsumes `b` iff every ip
+/// admitted by `b`'s conjunction is admitted by `a`'s. Conservative: when `b`
+/// is unsatisfiable we may answer `false` even though subsumption holds
+/// vacuously — soundness (no false shadowing reports) is what matters.
+fn dir_subsumes(
+    a_ip: Option<IpAddr>,
+    a_net: Option<IpNet>,
+    b_ip: Option<IpAddr>,
+    b_net: Option<IpNet>,
+) -> bool {
+    let ip_ok = match a_ip {
+        None => true,
+        // b must force the ip to the same value: either pinned exactly, or
+        // constrained by a /32 whose sole address is it.
+        Some(x) => b_ip == Some(x) || b_net.is_some_and(|n| n.prefix == 32 && n.contains(x)),
+    };
+    let net_ok = match a_net {
+        None => true,
+        Some(n) => {
+            n.prefix == 0
+                || b_ip.is_some_and(|y| n.contains(y))
+                || b_net.is_some_and(|m| n.subsumes(&m))
+        }
+    };
+    ip_ok && net_ok
+}
+
+/// One direction of two matchers admits at least one common ip.
+fn dir_intersects(
+    a_ip: Option<IpAddr>,
+    a_net: Option<IpNet>,
+    b_ip: Option<IpAddr>,
+    b_net: Option<IpNet>,
+) -> bool {
+    if let (Some(x), Some(y)) = (a_ip, b_ip) {
+        if x != y {
+            return false;
+        }
+    }
+    match a_ip.or(b_ip) {
+        // a pinned ip must lie inside every prefix constraint on this side
+        Some(x) => a_net.is_none_or(|n| n.contains(x)) && b_net.is_none_or(|n| n.contains(x)),
+        None => match (a_net, b_net) {
+            (Some(n), Some(m)) => n.intersects(&m),
+            _ => true,
+        },
+    }
 }
 
 /// Match fields (all optional = wildcard). The transparent-edge controller
@@ -149,6 +230,40 @@ impl FlowMatch {
             && self.dst_port.is_none_or(|v| v == p.dst.port)
             && self.src_net.is_none_or(|n| n.contains(p.src.ip))
             && self.dst_net.is_none_or(|n| n.contains(p.dst.ip))
+    }
+
+    /// Every packet matched by `other` is also matched by `self` (header-space
+    /// subsumption). If a higher-or-equal-priority rule with this matcher sits
+    /// earlier in table order, a rule with `other`'s matcher can never fire.
+    ///
+    /// Conservative: returns `false` rather than reasoning about unsatisfiable
+    /// matchers, so a `true` answer is always a genuine cover.
+    pub fn subsumes(&self, other: &FlowMatch) -> bool {
+        exact_subsumes(self.protocol, other.protocol)
+            && exact_subsumes(self.src_port, other.src_port)
+            && exact_subsumes(self.dst_port, other.dst_port)
+            && dir_subsumes(self.src_ip, self.src_net, other.src_ip, other.src_net)
+            && dir_subsumes(self.dst_ip, self.dst_net, other.dst_ip, other.dst_net)
+    }
+
+    /// Some packet is matched by both matchers. Two same-priority rules that
+    /// intersect but rewrite differently are a nondeterminism hazard.
+    pub fn intersects(&self, other: &FlowMatch) -> bool {
+        exact_compatible(self.protocol, other.protocol)
+            && exact_compatible(self.src_port, other.src_port)
+            && exact_compatible(self.dst_port, other.dst_port)
+            && dir_intersects(self.src_ip, self.src_net, other.src_ip, other.src_net)
+            && dir_intersects(self.dst_ip, self.dst_net, other.dst_ip, other.dst_net)
+    }
+
+    /// At least one packet satisfies this matcher's own conjunction (an exact
+    /// ip pinned outside its own mask makes a rule dead on arrival).
+    pub fn is_satisfiable(&self) -> bool {
+        self.src_ip
+            .is_none_or(|x| self.src_net.is_none_or(|n| n.contains(x)))
+            && self
+                .dst_ip
+                .is_none_or(|x| self.dst_net.is_none_or(|n| n.contains(x)))
     }
 
     /// Exact-field shape bitmask; see [`ExactKey`].
@@ -488,7 +603,7 @@ impl FlowTable {
     /// go after every entry with priority >= theirs.
     fn ordered_position(slots: &[Option<FlowEntry>], list: &[usize], priority: u16) -> usize {
         list.iter()
-            .position(|&s| slots[s].as_ref().unwrap().priority < priority)
+            .position(|&s| slots[s].as_ref().expect("indexed slot occupied").priority < priority)
             .unwrap_or(list.len())
     }
 
@@ -496,13 +611,16 @@ impl FlowTable {
     fn find_same_rule(&self, priority: u16, matcher: &FlowMatch) -> Option<usize> {
         if matcher.is_exact() {
             let bucket = self.exact.get(&ExactKey::of_matcher(matcher))?;
-            bucket
-                .iter()
-                .copied()
-                .find(|&s| self.slots[s].as_ref().unwrap().priority == priority)
+            bucket.iter().copied().find(|&s| {
+                self.slots[s]
+                    .as_ref()
+                    .expect("indexed slot occupied")
+                    .priority
+                    == priority
+            })
         } else {
             self.masked.iter().copied().find(|&s| {
-                let e = self.slots[s].as_ref().unwrap();
+                let e = self.slots[s].as_ref().expect("indexed slot occupied");
                 e.priority == priority && &e.matcher == matcher
             })
         }
@@ -516,7 +634,10 @@ impl FlowTable {
         let consider = |slots: &[Option<FlowEntry>], best: &mut Option<usize>, cand: usize| {
             let better = match *best {
                 None => true,
-                Some(b) => slots[cand].as_ref().unwrap().rank() < slots[b].as_ref().unwrap().rank(),
+                Some(b) => {
+                    let rank = |s: usize| slots[s].as_ref().expect("indexed slot occupied").rank();
+                    rank(cand) < rank(b)
+                }
             };
             if better {
                 *best = Some(cand);
@@ -534,11 +655,16 @@ impl FlowTable {
         }
 
         for &slot in &self.masked {
-            let e = self.slots[slot].as_ref().unwrap();
+            let e = self.slots[slot].as_ref().expect("indexed slot occupied");
             if let Some(b) = best {
                 // The masked list is in table order; once we fall behind the
                 // best exact candidate no masked entry can win.
-                if e.rank() > self.slots[b].as_ref().unwrap().rank() {
+                if e.rank()
+                    > self.slots[b]
+                        .as_ref()
+                        .expect("indexed slot occupied")
+                        .rank()
+                {
                     break;
                 }
             }
@@ -554,7 +680,7 @@ impl FlowTable {
     pub fn lookup(&mut self, now: SimTime, p: &Packet) -> Option<&FlowEntry> {
         let slot = self.find_slot(p)?;
         let (id, refresh) = {
-            let e = self.slots[slot].as_mut().unwrap();
+            let e = self.slots[slot].as_mut().expect("indexed slot occupied");
             e.last_used = now;
             e.packets += 1;
             // Touching only moves the deadline if an idle timeout exists.
@@ -593,7 +719,13 @@ impl FlowTable {
             self.masked
                 .iter()
                 .copied()
-                .filter(|&s| &self.slots[s].as_ref().unwrap().matcher == matcher)
+                .filter(|&s| {
+                    &self.slots[s]
+                        .as_ref()
+                        .expect("indexed slot occupied")
+                        .matcher
+                        == matcher
+                })
                 .collect()
         };
         self.remove_slots(now, slots, RemovalReason::Deleted)
@@ -602,7 +734,12 @@ impl FlowTable {
     /// Remove all entries carrying `cookie`; returns them in table order.
     pub fn delete_by_cookie(&mut self, now: SimTime, cookie: u64) -> Vec<FlowRemoved> {
         let mut slots = self.by_cookie.get(&cookie).cloned().unwrap_or_default();
-        slots.sort_by_key(|&s| self.slots[s].as_ref().unwrap().rank());
+        slots.sort_by_key(|&s| {
+            self.slots[s]
+                .as_ref()
+                .expect("indexed slot occupied")
+                .rank()
+        });
         self.remove_slots(now, slots, RemovalReason::Deleted)
     }
 
@@ -671,6 +808,17 @@ impl FlowTable {
         entries.into_iter()
     }
 
+    /// First entry earlier in table order whose matcher fully covers `id`'s —
+    /// if one exists, `id` can never match a packet. O(table); diagnostics
+    /// and the `debug_assertions` install hook use it, the hot path does not.
+    pub fn shadowed_by(&self, id: FlowId) -> Option<FlowId> {
+        let target = self.get(id)?;
+        self.iter_ordered()
+            .take_while(|e| e.id != id)
+            .find(|e| e.matcher.subsumes(&target.matcher))
+            .map(|e| e.id)
+    }
+
     /// Unlink an entry from every index and free its slot. Stale expiry
     /// records are left behind for `normalize_expiry` to reap.
     fn detach(&mut self, slot: usize) -> FlowEntry {
@@ -686,13 +834,19 @@ impl FlowTable {
 
         if entry.matcher.is_exact() {
             let shape = entry.matcher.shape();
-            let count = self.shape_counts.get_mut(&shape).unwrap();
+            let count = self
+                .shape_counts
+                .get_mut(&shape)
+                .expect("shape counted while entries remain");
             *count -= 1;
             if *count == 0 {
                 self.shape_counts.remove(&shape);
             }
             let key = ExactKey::of_matcher(&entry.matcher);
-            let bucket = self.exact.get_mut(&key).unwrap();
+            let bucket = self
+                .exact
+                .get_mut(&key)
+                .expect("bucket exists for installed matcher");
             bucket.retain(|&s| s != slot);
             if bucket.is_empty() {
                 self.exact.remove(&key);
@@ -745,6 +899,23 @@ pub struct Switch {
     port_count: usize,
     /// Counters for the evaluation: table misses = controller round trips.
     pub stats: SwitchStats,
+    /// Debug-build check-on-install findings: a `flow_mod` that installed a
+    /// rule already fully covered by an earlier table entry records it here
+    /// instead of panicking, so seeded-violation tests can observe the sim
+    /// running to completion. Drained by whoever audits the switch.
+    #[cfg(debug_assertions)]
+    pub install_warnings: Vec<InstallWarning>,
+}
+
+/// A suspicious install noticed by the `debug_assertions` hook in
+/// [`Switch::flow_mod`].
+#[cfg(debug_assertions)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstallWarning {
+    /// The rule that was just installed and can never match.
+    pub installed: FlowId,
+    /// The earlier, equal-or-higher-priority rule that covers it.
+    pub shadowed_by: FlowId,
 }
 
 /// Data-plane counters.
@@ -821,9 +992,19 @@ impl Switch {
         PacketVerdict::Dropped
     }
 
-    /// Controller → switch: install a flow entry.
+    /// Controller → switch: install a flow entry. Debug builds additionally
+    /// run a check-on-install shadowing probe and record (not panic on) any
+    /// rule that arrives dead — see [`InstallWarning`].
     pub fn flow_mod(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
-        self.table.install(now, spec)
+        let id = self.table.install(now, spec);
+        #[cfg(debug_assertions)]
+        if let Some(by) = self.table.shadowed_by(id) {
+            self.install_warnings.push(InstallWarning {
+                installed: id,
+                shadowed_by: by,
+            });
+        }
+        id
     }
 
     /// Controller → switch: release a buffered packet through `actions`
@@ -909,6 +1090,199 @@ mod tests {
         let host = IpNet::new(IpAddr::new(10, 0, 0, 5), 32);
         assert!(host.contains(IpAddr::new(10, 0, 0, 5)));
         assert!(!host.contains(IpAddr::new(10, 0, 0, 6)));
+    }
+
+    #[test]
+    fn ipnet_contains_edge_cases() {
+        // /0 matches everything no matter what address bits it carries
+        let all = IpNet::new(IpAddr::new(192, 0, 2, 77), 0);
+        assert!(all.contains(IpAddr::new(0, 0, 0, 0)));
+        assert!(all.contains(IpAddr::new(255, 255, 255, 255)));
+        // /32 is an exact host match, including the extremes of the space
+        let zero = IpNet::new(IpAddr::new(0, 0, 0, 0), 32);
+        assert!(zero.contains(IpAddr::new(0, 0, 0, 0)));
+        assert!(!zero.contains(IpAddr::new(0, 0, 0, 1)));
+        let top = IpNet::new(IpAddr::new(255, 255, 255, 255), 32);
+        assert!(top.contains(IpAddr::new(255, 255, 255, 255)));
+        assert!(!top.contains(IpAddr::new(255, 255, 255, 254)));
+        // /31 pairs exactly two addresses; /1 splits the space in half
+        let pair = IpNet::new(IpAddr::new(10, 0, 0, 4), 31);
+        assert!(pair.contains(IpAddr::new(10, 0, 0, 4)));
+        assert!(pair.contains(IpAddr::new(10, 0, 0, 5)));
+        assert!(!pair.contains(IpAddr::new(10, 0, 0, 6)));
+        let high_half = IpNet::new(IpAddr::new(128, 0, 0, 0), 1);
+        assert!(high_half.contains(IpAddr::new(200, 1, 2, 3)));
+        assert!(!high_half.contains(IpAddr::new(127, 255, 255, 255)));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length")]
+    fn ipnet_rejects_v6_style_prefix() {
+        // The address model is v4-only; a /128 (v6-length) prefix is the
+        // family-mismatch analogue and must be rejected loudly, not wrap.
+        let _ = IpNet::new(IpAddr::new(10, 0, 0, 0), 128);
+    }
+
+    #[test]
+    fn flow_match_edge_cases() {
+        let p = service_packet(); // tcp 10.0.0.1:40000 -> 10.0.0.200:80
+                                  // /0 masked fields are pure wildcards
+        let any_net = FlowMatch {
+            src_net: Some(IpNet::new(IpAddr::new(9, 9, 9, 9), 0)),
+            dst_net: Some(IpNet::new(IpAddr::new(1, 2, 3, 4), 0)),
+            ..FlowMatch::default()
+        };
+        assert!(any_net.matches(&p));
+        // a /32 mask behaves exactly like the corresponding exact-ip match
+        let host_net = FlowMatch {
+            dst_net: Some(IpNet::new(ip(200), 32)),
+            ..FlowMatch::default()
+        };
+        let host_exact = FlowMatch {
+            dst_ip: Some(ip(200)),
+            ..FlowMatch::default()
+        };
+        assert_eq!(host_net.matches(&p), host_exact.matches(&p));
+        let other = Packet::syn(sa(1, 40000), sa(201, 80), 0);
+        assert!(!host_net.matches(&other));
+        assert!(!host_exact.matches(&other));
+        // exact ip and mask combine conjunctively: pinning an ip outside the
+        // mask yields a dead matcher
+        let dead = FlowMatch {
+            dst_ip: Some(ip(200)),
+            dst_net: Some(IpNet::new(IpAddr::new(192, 168, 0, 0), 16)),
+            ..FlowMatch::default()
+        };
+        assert!(!dead.matches(&p));
+        assert!(!dead.is_satisfiable());
+        // protocol family mismatch: a udp-only matcher never sees tcp
+        let udp_only = FlowMatch {
+            protocol: Some(Protocol::Udp),
+            ..FlowMatch::default()
+        };
+        assert!(!udp_only.matches(&p));
+    }
+
+    #[test]
+    fn flow_match_subsumption() {
+        let svc = sa(200, 80);
+        let broad = FlowMatch::to_service(svc);
+        let narrow = FlowMatch::client_to_service(ip(1), svc);
+        assert!(broad.subsumes(&narrow));
+        assert!(!narrow.subsumes(&broad));
+        assert!(broad.subsumes(&broad));
+        // wildcard covers everything
+        assert!(FlowMatch::any().subsumes(&broad));
+        assert!(!broad.subsumes(&FlowMatch::any()));
+        // a /16 route covers the exact ips and the /24s under it
+        let wide = FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 0, 0), 16));
+        assert!(wide.subsumes(&broad));
+        assert!(wide.subsumes(&FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 3, 0), 24))));
+        assert!(!wide.subsumes(&FlowMatch::to_net(IpNet::new(IpAddr::new(10, 1, 0, 0), 24))));
+        // an exact-ip requirement is met by a /32 pinning the same host
+        let pinned = FlowMatch {
+            dst_ip: Some(ip(200)),
+            ..FlowMatch::default()
+        };
+        let via_host_mask = FlowMatch {
+            dst_net: Some(IpNet::new(ip(200), 32)),
+            ..FlowMatch::default()
+        };
+        assert!(pinned.subsumes(&via_host_mask));
+        assert!(via_host_mask.subsumes(&pinned));
+        // /0 subsumes any destination constraint
+        let zero = FlowMatch::to_net(IpNet::new(IpAddr::new(0, 0, 0, 0), 0));
+        assert!(zero.subsumes(&broad));
+    }
+
+    #[test]
+    fn flow_match_intersection() {
+        let svc = sa(200, 80);
+        // same destination, different pinned clients: disjoint
+        let a = FlowMatch::client_to_service(ip(1), svc);
+        let b = FlowMatch::client_to_service(ip(2), svc);
+        assert!(!a.intersects(&b));
+        // service-wide rule overlaps each per-client rule
+        assert!(FlowMatch::to_service(svc).intersects(&a));
+        // sibling /24s are disjoint, nested prefixes overlap
+        let left = FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 1, 0), 24));
+        let right = FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 2, 0), 24));
+        let parent = FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 0, 0), 16));
+        assert!(!left.intersects(&right));
+        assert!(parent.intersects(&left));
+        // pinned ip vs a mask that excludes it
+        let pin = FlowMatch {
+            dst_ip: Some(ip(200)),
+            ..FlowMatch::default()
+        };
+        assert!(!pin.intersects(&FlowMatch::to_net(IpNet::new(
+            IpAddr::new(192, 168, 0, 0),
+            16
+        ))));
+        assert!(pin.intersects(&FlowMatch::to_net(IpNet::new(IpAddr::new(10, 0, 0, 0), 8))));
+        // protocol disagreement kills the intersection
+        let tcp = FlowMatch {
+            protocol: Some(Protocol::Tcp),
+            ..FlowMatch::default()
+        };
+        let udp = FlowMatch {
+            protocol: Some(Protocol::Udp),
+            ..FlowMatch::default()
+        };
+        assert!(!tcp.intersects(&udp));
+    }
+
+    #[test]
+    fn shadowed_by_reports_covering_rule() {
+        let mut table = FlowTable::new();
+        let broad = table.install(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(200)
+                .actions(out(1)),
+        );
+        let narrow = table.install(
+            t(1),
+            FlowSpec::new(FlowMatch::client_to_service(ip(1), sa(200, 80)))
+                .priority(100)
+                .actions(out(2)),
+        );
+        assert_eq!(table.shadowed_by(narrow), Some(broad));
+        assert_eq!(table.shadowed_by(broad), None);
+        // an unrelated rule is not shadowed
+        let other = table.install(
+            t(2),
+            FlowSpec::new(FlowMatch::to_service(sa(201, 80)))
+                .priority(100)
+                .actions(out(3)),
+        );
+        assert_eq!(table.shadowed_by(other), None);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn flow_mod_records_install_warning_for_shadowed_rule() {
+        let mut sw = Switch::new(4);
+        let broad = sw.flow_mod(
+            t(0),
+            FlowSpec::new(FlowMatch::to_service(sa(200, 80)))
+                .priority(200)
+                .actions(out(1)),
+        );
+        assert!(sw.install_warnings.is_empty());
+        let narrow = sw.flow_mod(
+            t(1),
+            FlowSpec::new(FlowMatch::client_to_service(ip(1), sa(200, 80)))
+                .priority(100)
+                .actions(out(2)),
+        );
+        assert_eq!(
+            sw.install_warnings,
+            vec![InstallWarning {
+                installed: narrow,
+                shadowed_by: broad,
+            }]
+        );
     }
 
     #[test]

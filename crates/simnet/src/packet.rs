@@ -18,7 +18,7 @@ pub enum Protocol {
 }
 
 /// A packet observed at a switch port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Packet {
     pub src: SocketAddr,
     pub dst: SocketAddr,

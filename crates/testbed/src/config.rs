@@ -26,6 +26,8 @@
 
 use cluster::ClusterKind;
 use simcore::SimDuration;
+use simnet::openflow::PortId;
+use simnet::{Action, FlowMatch, FlowSpec, IpAddr, IpNet, Protocol};
 use workload::ServiceKind;
 use yamlite::Yaml;
 
@@ -71,6 +73,12 @@ pub fn scenario_from_yaml(doc: &Yaml) -> Result<ScenarioConfig, String> {
                 );
             }
             "controller" => apply_controller(value, &mut cfg)?,
+            "seed_flows" => {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| format!("`{key}` must be a sequence"))?;
+                cfg.seed_flows = seq.iter().map(parse_seed_flow).collect::<Result<_, _>>()?;
+            }
             "sites" => {
                 let seq = value
                     .as_seq()
@@ -156,6 +164,137 @@ fn parse_site(v: &Yaml) -> Result<(SiteSpec, ClusterKind), String> {
         },
         backend,
     ))
+}
+
+/// One pre-provisioned flow entry:
+///
+/// ```yaml
+/// seed_flows:
+///   - priority: 50
+///     cookie: 7          # optional
+///     idle_s: 30         # optional
+///     match:             # all fields optional; omitted = wildcard
+///       protocol: tcp    # tcp | udp
+///       src_ip: 10.1.0.1
+///       src_port: 40000
+///       dst_ip: 93.184.0.1
+///       dst_port: 80
+///       src_net: 10.1.0.0/16
+///       dst_net: 93.184.0.0/16
+///     actions: [to-controller]
+/// ```
+///
+/// Actions: `drop`, `to-controller`, `output:<port>`, `set-src-ip:<ip>`,
+/// `set-dst-ip:<ip>`, `set-src-port:<port>`, `set-dst-port:<port>`.
+fn parse_seed_flow(v: &Yaml) -> Result<FlowSpec, String> {
+    let Some(map) = v.as_map() else {
+        return Err("each seed flow must be a mapping".into());
+    };
+    let mut spec = FlowSpec::new(FlowMatch::default());
+    let mut has_actions = false;
+    for (key, val) in map {
+        match key.as_str() {
+            "priority" => spec.priority = as_u64(val, key)? as u16,
+            "cookie" => spec.cookie = as_u64(val, key)?,
+            "idle_s" => spec.idle_timeout = Some(SimDuration::from_secs_f64(as_f64(val, key)?)),
+            "hard_s" => spec.hard_timeout = Some(SimDuration::from_secs_f64(as_f64(val, key)?)),
+            "match" => spec.matcher = parse_flow_match(val)?,
+            "actions" => {
+                let seq = val
+                    .as_seq()
+                    .ok_or_else(|| format!("`{key}` must be a sequence"))?;
+                spec.actions = seq.iter().map(parse_action).collect::<Result<_, _>>()?;
+                has_actions = true;
+            }
+            other => return Err(format!("unknown seed flow key `{other}`")),
+        }
+    }
+    if !has_actions {
+        return Err("seed flow needs an `actions` list".into());
+    }
+    Ok(spec)
+}
+
+fn parse_flow_match(v: &Yaml) -> Result<FlowMatch, String> {
+    let Some(map) = v.as_map() else {
+        return Err("`match` must be a mapping".into());
+    };
+    let mut m = FlowMatch::default();
+    for (key, val) in map {
+        match key.as_str() {
+            "protocol" => {
+                m.protocol = Some(match val.as_str() {
+                    Some("tcp") => Protocol::Tcp,
+                    Some("udp") => Protocol::Udp,
+                    other => return Err(format!("`{key}`: unknown protocol {other:?}")),
+                })
+            }
+            "src_ip" => m.src_ip = Some(parse_ip(val, key)?),
+            "dst_ip" => m.dst_ip = Some(parse_ip(val, key)?),
+            "src_port" => m.src_port = Some(as_u64(val, key)? as u16),
+            "dst_port" => m.dst_port = Some(as_u64(val, key)? as u16),
+            "src_net" => m.src_net = Some(parse_net(val, key)?),
+            "dst_net" => m.dst_net = Some(parse_net(val, key)?),
+            other => return Err(format!("unknown match key `{other}`")),
+        }
+    }
+    Ok(m)
+}
+
+fn parse_ip(v: &Yaml, key: &str) -> Result<IpAddr, String> {
+    v.as_str()
+        .ok_or_else(|| format!("`{key}` must be a dotted-quad string"))?
+        .parse::<IpAddr>()
+        .map_err(|e| format!("`{key}`: {e}"))
+}
+
+fn parse_net(v: &Yaml, key: &str) -> Result<IpNet, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| format!("`{key}` must be a `addr/prefix` string"))?;
+    let (addr, prefix) = s
+        .split_once('/')
+        .ok_or_else(|| format!("`{key}` must be `addr/prefix`, got `{s}`"))?;
+    let addr = addr
+        .parse::<IpAddr>()
+        .map_err(|e| format!("`{key}`: {e}"))?;
+    let prefix: u8 = prefix
+        .parse()
+        .map_err(|_| format!("`{key}`: bad prefix `{prefix}`"))?;
+    if prefix > 32 {
+        return Err(format!("`{key}`: prefix {prefix} out of range (0-32)"));
+    }
+    Ok(IpNet::new(addr, prefix))
+}
+
+fn parse_action(v: &Yaml) -> Result<Action, String> {
+    let Some(s) = v.as_str() else {
+        return Err("each action must be a string".into());
+    };
+    match s {
+        "drop" => return Ok(Action::Drop),
+        "to-controller" => return Ok(Action::ToController),
+        _ => {}
+    }
+    let Some((op, arg)) = s.split_once(':') else {
+        return Err(format!("unknown action `{s}`"));
+    };
+    let port_arg = || {
+        arg.parse::<u16>()
+            .map_err(|_| format!("action `{op}`: bad port `{arg}`"))
+    };
+    let ip_arg = || {
+        arg.parse::<IpAddr>()
+            .map_err(|e| format!("action `{op}`: {e}"))
+    };
+    match op {
+        "output" => Ok(Action::Output(PortId(port_arg()? as usize))),
+        "set-src-ip" => Ok(Action::SetSrcIp(ip_arg()?)),
+        "set-dst-ip" => Ok(Action::SetDstIp(ip_arg()?)),
+        "set-src-port" => Ok(Action::SetSrcPort(port_arg()?)),
+        "set-dst-port" => Ok(Action::SetDstPort(port_arg()?)),
+        other => Err(format!("unknown action `{other}`")),
+    }
 }
 
 fn parse_service(v: &Yaml, key: &str) -> Result<ServiceKind, String> {

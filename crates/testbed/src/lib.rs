@@ -24,5 +24,8 @@ pub mod topology;
 pub use config::scenario_from_yaml;
 pub use fabric::{run_mobility, FabricConfig, FabricResult};
 pub use scenario::{PhaseSetup, PredictorKind, ScenarioConfig, SchedulerKind};
-pub use sim::{measure_first_request, run_bigflows, run_trace_scenario, RunResult, Testbed};
+pub use sim::{
+    measure_first_request, run_bigflows, run_bigflows_audited, run_trace_scenario, AuditReport,
+    RunResult, Testbed,
+};
 pub use topology::{C3Topology, CLOUD_PORT, DOCKER_PORT, K8S_PORT};

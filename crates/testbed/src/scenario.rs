@@ -7,6 +7,7 @@
 use cluster::{ClusterKind, K8sTimings};
 use edgectl::ControllerConfig;
 use simcore::SimDuration;
+use simnet::openflow::FlowSpec;
 use workload::ServiceKind;
 
 use crate::topology::SiteSpec;
@@ -89,6 +90,10 @@ pub struct ScenarioConfig {
     pub controller: ControllerConfig,
     /// Number of Raspberry Pi clients.
     pub clients: usize,
+    /// Flow entries installed on the switch before the run starts — operator
+    /// pre-provisioning (static routes, policy rules). `edgesim verify`
+    /// audits them against the controller's own installs.
+    pub seed_flows: Vec<FlowSpec>,
 }
 
 impl Default for ScenarioConfig {
@@ -115,6 +120,7 @@ impl Default for ScenarioConfig {
                 ..ControllerConfig::default()
             },
             clients: 20,
+            seed_flows: Vec::new(),
         }
     }
 }

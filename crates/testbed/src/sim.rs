@@ -11,7 +11,7 @@
 //! the SYN spent buffered at the switch (on-demand deployment *with waiting*)
 //! is part of that total, exactly as the paper measures it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cluster::{
     ClusterBackend, ClusterKind, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate,
@@ -21,6 +21,7 @@ use edgectl::{
     Controller, ControllerOutput, HybridDockerFirst, LeastLoaded, NearestReadyFirst,
     NearestWaiting, RoundRobinLocal,
 };
+use edgeverify::{CoherenceView, Fabric, FabricSwitch, Link, PacketClass, Verifier, Violation};
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
 use simnet::{Packet, SocketAddr, TcpModel};
@@ -106,6 +107,67 @@ impl RunResult {
     }
 }
 
+/// What `Testbed::run_trace_audited` found: the static verifier's view of
+/// every flow install the controller performed plus the final data-plane /
+/// control-plane state.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Violations raised while rules were being installed (including the
+    /// scenario's pre-provisioned `seed_flows`), deduplicated by message —
+    /// re-installed redirects produce fresh `FlowId`s but the same finding.
+    pub install_violations: Vec<Violation>,
+    /// Violations in the final state: reachability over the C³ fabric for
+    /// every client × service class, plus FlowMemory ↔ switch coherence.
+    pub final_violations: Vec<Violation>,
+    /// How many controller flow installs were checked.
+    pub checked_installs: u64,
+}
+
+impl AuditReport {
+    pub fn is_clean(&self) -> bool {
+        self.install_violations.is_empty() && self.final_violations.is_empty()
+    }
+
+    /// All violations in report order (install-time first).
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.install_violations
+            .iter()
+            .chain(self.final_violations.iter())
+    }
+}
+
+/// Live state of an audited run.
+struct AuditState {
+    verifier: Verifier,
+    install_violations: Vec<Violation>,
+    /// Dedup key: rendered message (stable across re-installs).
+    seen: HashSet<String>,
+    checked_installs: u64,
+    /// Timestamp of the last processed event — "now" for the final audit.
+    last_event: SimTime,
+}
+
+impl AuditState {
+    fn new() -> AuditState {
+        AuditState {
+            verifier: Verifier::new(),
+            install_violations: Vec::new(),
+            seen: HashSet::new(),
+            checked_installs: 0,
+            last_event: SimTime::ZERO,
+        }
+    }
+
+    fn record(&mut self, violations: Vec<Violation>) {
+        for v in violations {
+            let msg = v.to_string();
+            if self.seen.insert(msg) {
+                self.install_violations.push(v);
+            }
+        }
+    }
+}
+
 struct InFlight {
     started: SimTime,
     syn_at_switch: SimTime,
@@ -132,6 +194,8 @@ pub struct Testbed {
     lost: u64,
     crashes_injected: u64,
     next_tick_scheduled: Option<SimTime>,
+    /// `Some` while a `run_trace_audited` run checks every flow install.
+    audit: Option<AuditState>,
     /// Single-server FIFO queue per (service, serving port): the instant the
     /// instance frees up. Requests arriving while it is busy wait in line —
     /// that is what actually happens inside one nginx/TF-Serving instance.
@@ -148,7 +212,7 @@ impl Testbed {
             &sites.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>(),
             cfg.clients,
         );
-        let switch = Switch::new(c3.port_count());
+        let mut switch = Switch::new(c3.port_count());
         let registries = workload::services::standard_registries(cfg.private_registry);
         let profile = ServiceProfile::of(cfg.service);
 
@@ -217,6 +281,12 @@ impl Testbed {
             templates.push(template);
         }
 
+        // Operator pre-provisioning: the scenario's seed flows go onto the
+        // switch before the run starts.
+        for spec in cfg.seed_flows.clone() {
+            switch.flow_mod(SimTime::ZERO, spec);
+        }
+
         Testbed {
             cfg,
             c3,
@@ -232,6 +302,7 @@ impl Testbed {
             lost: 0,
             crashes_injected: 0,
             next_tick_scheduled: None,
+            audit: None,
             busy_until: HashMap::new(),
         }
     }
@@ -274,6 +345,28 @@ impl Testbed {
 
     /// Run a full trace through the testbed.
     pub fn run_trace(mut self, trace: &Trace) -> RunResult {
+        let offset = self.run_trace_inner(trace);
+        self.finish(offset)
+    }
+
+    /// Like [`Testbed::run_trace`], but with the `edgeverify` static checker
+    /// riding along: the pre-provisioned table is audited before the run,
+    /// every controller flow install is re-checked as it lands, and the final
+    /// state gets a full fabric-reachability and FlowMemory-coherence pass.
+    pub fn run_trace_audited(mut self, trace: &Trace) -> (RunResult, AuditReport) {
+        let mut audit = AuditState::new();
+        // The seed flows are already on the switch: audit the table they
+        // produced before any traffic moves.
+        audit.record(audit.verifier.check(&self.switch.table));
+        self.audit = Some(audit);
+        let offset = self.run_trace_inner(trace);
+        let report = self.final_audit();
+        (self.finish(offset), report)
+    }
+
+    /// Everything up to and including the event loop; returns the trace
+    /// offset [`Testbed::finish`] needs.
+    fn run_trace_inner(&mut self, trace: &Trace) -> SimDuration {
         assert_eq!(
             trace.service_addrs, self.service_addrs,
             "testbed must be built with the trace's addresses"
@@ -356,7 +449,67 @@ impl Testbed {
             self.events.push(syn_at_switch, Ev::SynAtSwitch { tag });
         }
         self.run_loop();
-        self.finish(offset)
+        offset
+    }
+
+    /// The final-state audit of an audited run: fabric reachability for every
+    /// client × service class plus FlowMemory ↔ switch coherence.
+    fn final_audit(&mut self) -> AuditReport {
+        let audit = self.audit.take().expect("audit state enabled");
+        let now = audit.last_event;
+
+        // The C³ fabric as the verifier sees it: one switch, port 0 to the
+        // cloud, one port per site, then the client access ports.
+        let mut links = vec![Link::Cloud];
+        links.resize(1 + self.c3.site_hosts.len(), Link::Site);
+        links.resize(self.c3.port_count(), Link::Client);
+        let classes = self
+            .c3
+            .client_ips
+            .iter()
+            .flat_map(|&client| {
+                self.service_addrs.iter().map(move |&svc| {
+                    PacketClass::client_to_service(SocketAddr::new(client, 40000), svc, 0)
+                })
+            })
+            .collect();
+        let fabric = Fabric {
+            switches: vec![FabricSwitch {
+                table: &self.switch.table,
+                links,
+            }],
+            service_addrs: self.service_addrs.clone(),
+            classes,
+        };
+        let mut final_violations = Vec::new();
+        // `check_fabric` re-runs the per-table analyses; keep only findings
+        // the install-time audit has not already reported.
+        for v in audit.verifier.check_fabric(&fabric) {
+            if !audit.seen.contains(&v.to_string()) {
+                final_violations.push(v);
+            }
+        }
+
+        let mut live_targets = HashSet::new();
+        for c in 0..self.c3.site_hosts.len() {
+            let cluster = self.controller.cluster(edgectl::ClusterId(c));
+            for template in &self.templates {
+                live_targets.extend(cluster.replica_endpoints(now, &template.name));
+            }
+        }
+        let view = CoherenceView {
+            now,
+            memory: self.controller.memory(),
+            tables: vec![&self.switch.table],
+            live_targets,
+        };
+        final_violations.extend(audit.verifier.check_coherence(&view));
+
+        AuditReport {
+            install_violations: audit.install_violations,
+            final_violations,
+            checked_installs: audit.checked_installs,
+        }
     }
 
     /// Run a single request to service 0 from client 0 (the per-figure
@@ -404,6 +557,9 @@ impl Testbed {
         while let Some((now, ev)) = self.events.pop() {
             // Data-plane timeouts fire lazily before each event.
             self.switch.sweep(now);
+            if let Some(audit) = &mut self.audit {
+                audit.last_event = now;
+            }
             match ev {
                 Ev::SynAtSwitch { tag } => self.on_syn(now, tag),
                 Ev::CtrlPacketIn {
@@ -476,7 +632,12 @@ impl Testbed {
     fn on_apply_output(&mut self, now: SimTime, output: ControllerOutput) {
         match output {
             ControllerOutput::FlowMod { spec, .. } => {
-                self.switch.flow_mod(now, spec);
+                let id = self.switch.flow_mod(now, spec);
+                if let Some(mut audit) = self.audit.take() {
+                    audit.checked_installs += 1;
+                    audit.record(audit.verifier.check_install(0, &self.switch.table, id));
+                    self.audit = Some(audit);
+                }
             }
             ControllerOutput::ReleaseViaTable { buffer_id, .. } => {
                 match self.switch.packet_out_via_table(now, buffer_id) {
@@ -640,6 +801,22 @@ pub fn run_bigflows(cfg: ScenarioConfig) -> (Trace, RunResult) {
     let testbed = Testbed::build(cfg, trace.service_addrs.clone());
     let result = testbed.run_trace(&trace);
     (trace, result)
+}
+
+/// [`run_bigflows`] with the static verifier auditing the whole run — the
+/// `edgesim verify` entry point for scenario files.
+pub fn run_bigflows_audited(cfg: ScenarioConfig) -> (Trace, RunResult, AuditReport) {
+    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
+    let trace = Trace::generate(
+        TraceConfig {
+            clients: cfg.clients,
+            ..TraceConfig::default()
+        },
+        &mut trace_rng,
+    );
+    let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+    let (result, report) = testbed.run_trace_audited(&trace);
+    (trace, result, report)
 }
 
 /// Measure a single first request against one service (the Figs. 11–15

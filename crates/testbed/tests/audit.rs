@@ -1,0 +1,140 @@
+//! The audited run: `edgeverify` riding along a full bigFlows-like trace.
+//!
+//! A default scenario must audit clean — the controller's own flow installs
+//! never shadow, conflict, loop, blackhole or drift from the FlowMemory. A
+//! scenario whose `seed_flows` pre-provision a broken table must be flagged
+//! with the offending rules.
+
+use testbed::{run_bigflows, run_bigflows_audited, scenario_from_yaml, ScenarioConfig};
+
+#[test]
+fn default_scenario_audits_clean() {
+    let (trace, result, report) = run_bigflows_audited(ScenarioConfig::default());
+    assert_eq!(
+        trace.requests.len(),
+        result.records.len() + result.lost as usize
+    );
+    assert!(
+        report.is_clean(),
+        "{:?}",
+        report.violations().collect::<Vec<_>>()
+    );
+    assert!(
+        report.checked_installs > 0,
+        "controller installs were checked"
+    );
+}
+
+#[test]
+fn audited_run_matches_unaudited_results() {
+    let cfg = ScenarioConfig::default();
+    let (_, plain) = run_bigflows(cfg.clone());
+    let (_, audited, _) = run_bigflows_audited(cfg);
+    assert_eq!(plain.records.len(), audited.records.len());
+    assert_eq!(plain.lost, audited.lost);
+    assert_eq!(plain.deployments.len(), audited.deployments.len());
+    assert_eq!(plain.time_totals_ms(), audited.time_totals_ms());
+}
+
+#[test]
+fn seeded_shadowed_rule_is_reported() {
+    // A broad /16 punt at priority 50 fully covers the narrower exact-match
+    // punt at priority 40: the second seed flow can never fire. Both punt to
+    // the controller, so the run itself still behaves normally.
+    let doc = yamlite::parse(
+        r#"
+seed: 3
+phase: created
+seed_flows:
+  - priority: 50
+    match:
+      dst_net: 93.184.0.0/16
+    actions: [to-controller]
+  - priority: 40
+    match:
+      protocol: tcp
+      dst_ip: 93.184.0.1
+      dst_port: 80
+    actions: [to-controller]
+"#,
+    )
+    .unwrap();
+    let cfg = scenario_from_yaml(&doc).unwrap();
+    let (_, result, report) = run_bigflows_audited(cfg);
+    assert_eq!(result.lost, 0, "shadowed punt must not lose traffic");
+    assert!(!report.is_clean());
+    let rendered: Vec<String> = report.violations().map(|v| v.to_string()).collect();
+    assert!(
+        rendered.iter().any(|m| m.starts_with("shadowed:")),
+        "{rendered:?}"
+    );
+}
+
+#[test]
+fn seeded_blackhole_is_reported_by_final_audit() {
+    // Dropping one client's service traffic at a priority above the
+    // controller's redirects (prio 100) blackholes that class.
+    let doc = yamlite::parse(
+        r#"
+seed: 3
+phase: created
+seed_flows:
+  - priority: 300
+    match:
+      src_ip: 10.1.0.1
+      dst_ip: 93.184.1.1
+      dst_port: 80
+    actions: [drop]
+"#,
+    )
+    .unwrap();
+    let cfg = scenario_from_yaml(&doc).unwrap();
+    let (_, _, report) = run_bigflows_audited(cfg);
+    let rendered: Vec<String> = report.violations().map(|v| v.to_string()).collect();
+    assert!(
+        rendered.iter().any(|m| m.starts_with("blackhole:")),
+        "{rendered:?}"
+    );
+}
+
+#[test]
+fn seed_flow_yaml_round_trip() {
+    let doc = yamlite::parse(
+        r#"
+seed_flows:
+  - priority: 50
+    cookie: 7
+    idle_s: 30
+    match:
+      protocol: tcp
+      src_net: 10.1.0.0/16
+      dst_ip: 93.184.0.1
+      dst_port: 80
+    actions: ["set-dst-ip:10.0.0.100", "set-dst-port:30000", "output:1"]
+"#,
+    )
+    .unwrap();
+    let cfg = scenario_from_yaml(&doc).unwrap();
+    assert_eq!(cfg.seed_flows.len(), 1);
+    let spec = &cfg.seed_flows[0];
+    assert_eq!(spec.priority, 50);
+    assert_eq!(spec.cookie, 7);
+    assert_eq!(spec.idle_timeout, Some(simcore::SimDuration::from_secs(30)));
+    assert_eq!(spec.matcher.dst_port, Some(80));
+    assert_eq!(spec.actions.len(), 3);
+}
+
+#[test]
+fn bad_seed_flows_rejected() {
+    for src in [
+        "seed_flows: 3\n",
+        "seed_flows:\n  - priority: 1\n",     // no actions
+        "seed_flows:\n  - actions: [warp]\n", // unknown action
+        "seed_flows:\n  - actions: [drop]\n    match:\n      dst_net: 1.2.3.4\n", // no prefix
+        "seed_flows:\n  - actions: [drop]\n    match:\n      dst_net: 1.2.3.4/40\n",
+        "seed_flows:\n  - actions: [drop]\n    flags: 1\n", // unknown key
+    ] {
+        let doc = yamlite::parse(src).unwrap();
+        assert!(scenario_from_yaml(&doc).is_err(), "{src}");
+    }
+}

@@ -5,6 +5,9 @@
 //! edgesim first-request <scenario.yaml>  measure one on-demand first request
 //! edgesim annotate <service.yaml> --name <svc> --port <p> [--scheduler <name>]
 //!                                        print the annotated Deployment + Service
+//! edgesim verify <file.yaml>             statically verify a scenario (runs it with
+//!                                        the edgeverify auditor) or a service
+//!                                        definition (annotate + lint)
 //! edgesim trace [--seed N]               print the generated workload trace summary
 //! ```
 //!
@@ -15,7 +18,10 @@ use std::process::ExitCode;
 
 use edgectl::{annotate_documents, AnnotateOptions};
 use simcore::{Percentiles, SimRng};
-use testbed::{run_bigflows, run_trace_scenario, scenario_from_yaml, ScenarioConfig, Testbed};
+use testbed::{
+    run_bigflows, run_bigflows_audited, run_trace_scenario, scenario_from_yaml, ScenarioConfig,
+    Testbed,
+};
 use workload::{Trace, TraceConfig};
 
 fn main() -> ExitCode {
@@ -24,6 +30,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("first-request") => cmd_first_request(&args[1..]),
         Some("annotate") => cmd_annotate(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("fabric") => cmd_fabric(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -45,6 +52,7 @@ const USAGE: &str = "usage:
   edgesim run <scenario.yaml> [--trace <trace.csv>]
   edgesim first-request <scenario.yaml>
   edgesim annotate <service.yaml> --name <svc> --port <port> [--scheduler <name>]
+  edgesim verify <scenario-or-service.yaml> [--name <svc>] [--port <port>]
   edgesim trace [--seed N]
   edgesim fabric [--switches N] [--no-roam]";
 
@@ -171,6 +179,111 @@ fn cmd_annotate(args: &[String]) -> Result<(), String> {
     let out = annotate_documents(&docs, &opts).map_err(|e| e.to_string())?;
     print!("{}", yamlite::to_string_all(&[out.deployment, out.service]));
     Ok(())
+}
+
+/// `edgesim verify <file>` — the static flow-rule / service-definition
+/// checker. Scenario files are run through the audited testbed (every flow
+/// install checked, final fabric + FlowMemory state verified); service
+/// definitions are annotated and linted. Exits non-zero on any violation.
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing file to verify")?;
+    let mut name = None;
+    let mut port = 80u16;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--name" => {
+                name = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--port" => {
+                port = args
+                    .get(i + 1)
+                    .and_then(|p| p.parse().ok())
+                    .ok_or("bad --port")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let docs = yamlite::parse_all(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    // Kubernetes-shaped documents carry `kind`/`image`/`spec.template`;
+    // scenario files carry none of these.
+    let is_service_definition = docs.iter().any(|d| {
+        d.get("kind").is_some() || d.get("image").is_some() || d.at("spec.template").is_some()
+    });
+
+    let violations: Vec<String> = if is_service_definition {
+        verify_service_definition(path, &docs, name, port)?
+    } else {
+        verify_scenario(&docs)?
+    };
+    for v in &violations {
+        println!("violation: {v}");
+    }
+    if violations.is_empty() {
+        println!("verify: {path}: clean");
+        Ok(())
+    } else {
+        Err(format!("{path}: {} violation(s)", violations.len()))
+    }
+}
+
+fn verify_service_definition(
+    path: &str,
+    docs: &[yamlite::Yaml],
+    name: Option<String>,
+    port: u16,
+) -> Result<Vec<String>, String> {
+    // Default service name: the file stem, as the deployment pipeline would.
+    let name = name.unwrap_or_else(|| {
+        std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "edge-service".into())
+    });
+    // A stream that already carries `edge.service` labels is the annotated
+    // form — lint it as-is (re-annotating would silently repair defects).
+    // Anything else goes through the annotation pipeline first, so the lint
+    // sees what the platform would actually deploy.
+    let already_annotated = docs.iter().any(|d| {
+        [
+            "metadata.labels",
+            "spec.template.metadata.labels",
+            "spec.selector",
+        ]
+        .iter()
+        .any(|p| d.at(p).and_then(|m| m.get("edge.service")).is_some())
+    });
+    let to_lint = if already_annotated {
+        docs.to_vec()
+    } else {
+        let opts = AnnotateOptions::new(name, port);
+        // An annotation failure is itself a verification finding, not a crash.
+        match annotate_documents(docs, &opts) {
+            Ok(out) => vec![out.deployment, out.service],
+            Err(e) => return Ok(vec![format!("lint: {e}")]),
+        }
+    };
+    Ok(edgeverify::lint_annotated(&to_lint)
+        .iter()
+        .map(|v| v.to_string())
+        .collect())
+}
+
+fn verify_scenario(docs: &[yamlite::Yaml]) -> Result<Vec<String>, String> {
+    let doc = docs.first().ok_or("empty scenario file")?;
+    let cfg = scenario_from_yaml(doc)?;
+    let (_, result, report) = run_bigflows_audited(cfg);
+    println!(
+        "audited: {} requests ({} lost), {} flow installs checked",
+        result.records.len(),
+        result.lost,
+        report.checked_installs
+    );
+    Ok(report.violations().map(|v| v.to_string()).collect())
 }
 
 fn cmd_fabric(args: &[String]) -> Result<(), String> {

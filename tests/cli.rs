@@ -183,3 +183,59 @@ fn run_hierarchical_scenario_from_yaml() {
     );
     assert!(text.contains("retargets:"), "{text}");
 }
+
+#[test]
+fn verify_clean_scenario_exits_zero() {
+    let scenario = write_temp(
+        "verify-clean.yaml",
+        "seed: 3\nservice: Nginx\nphase: created\n",
+    );
+    let out = edgesim().arg("verify").arg(&scenario).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("flow installs checked"), "{text}");
+    assert!(text.contains("clean"), "{text}");
+}
+
+#[test]
+fn verify_seeded_shadowed_rule_exits_nonzero_and_names_the_rule() {
+    // The /16 punt at priority 50 fully covers the priority-40 exact match:
+    // the second pre-provisioned rule can never fire.
+    let scenario = write_temp(
+        "verify-shadowed.yaml",
+        "seed: 3\nphase: created\nseed_flows:\n  - priority: 50\n    match:\n      dst_net: 93.184.0.0/16\n    actions: [to-controller]\n  - priority: 40\n    match:\n      protocol: tcp\n      dst_ip: 93.184.0.1\n      dst_port: 80\n    actions: [to-controller]\n",
+    );
+    let out = edgesim().arg("verify").arg(&scenario).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violation: shadowed:"), "{text}");
+    assert!(text.contains("flow #"), "{text}");
+}
+
+#[test]
+fn verify_service_definition_clean_and_broken() {
+    let svc = write_temp("verify-svc.yaml", "image: nginx:1.23.2\n");
+    let out = edgesim().arg("verify").arg(&svc).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    // An already-annotated Deployment pinning replicas to 3 violates the
+    // scale-to-zero lint (and is linted as-is, not silently re-annotated).
+    let bad = write_temp(
+        "verify-svc-bad.yaml",
+        "kind: Deployment\nmetadata:\n  name: edge-web\n  labels:\n    edge.service: edge-web\nspec:\n  replicas: 3\n  selector:\n    matchLabels:\n      edge.service: edge-web\n  template:\n    metadata:\n      labels:\n        edge.service: edge-web\n    spec:\n      containers:\n        - image: nginx:1.23.2\n",
+    );
+    let out = edgesim().arg("verify").arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violation: lint:"), "{text}");
+    assert!(text.contains("spec.replicas"), "{text}");
+}
