@@ -115,7 +115,13 @@ fn bench_flow_memory_churn(c: &mut Criterion) {
                         client_ip: IpAddr::new(10, 1, (i >> 8) as u8, (i & 0xff) as u8),
                         service_addr: service_addr((i % 42) as u8),
                     };
-                    m.remember(SimTime::ZERO, key, "svc", target, ClusterId(0));
+                    m.remember(
+                        SimTime::ZERO,
+                        key,
+                        edgectl::ServiceId(0),
+                        target,
+                        ClusterId(0),
+                    );
                 }
                 let mut hits = 0;
                 for i in 0..1024u32 {

@@ -1,0 +1,216 @@
+//! City-scale bigFlows throughput sweep — the trajectory artifact for perf
+//! PRs (`BENCH_cityscale.json`).
+//!
+//! Replays the paper's bigFlows workload at {1×, 10×, 100×} the paper's
+//! scale (clients, services and requests all multiplied; marginals at 1×
+//! are exactly the paper's trace) through the full testbed and records, per
+//! scale: wall-clock, events/sec, peak future-event-list depth and heap
+//! allocations per request. The 1× run also emits the canonical metrics
+//! hash, which CI pins against drift (see `tests/experiments_regression.rs`
+//! for the same constant).
+//!
+//! Usage:
+//!   cityscale [--quick] [--scales 1,10,100] [--out BENCH_cityscale.json]
+//!             [--expect-hash-1x 0xHEX]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use cluster::ClusterKind;
+use simcore::SimRng;
+use testbed::{ScenarioConfig, SiteSpec, Testbed};
+use workload::{Trace, TraceConfig};
+
+/// Counts every heap allocation so the benchmark can report
+/// allocations-per-request on the hot path.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const SEED: u64 = 42;
+
+struct ScaleResult {
+    scale: usize,
+    requests: usize,
+    services: usize,
+    clients: usize,
+    events_scheduled: u64,
+    peak_queue_depth: usize,
+    wall_s: f64,
+    events_per_sec: f64,
+    allocs_per_request: f64,
+    completed: usize,
+    lost: u64,
+    metrics_hash: u64,
+}
+
+fn run_scale(scale: usize) -> ScaleResult {
+    let trace_cfg = TraceConfig::scaled(scale);
+    let mut trace_rng = SimRng::seed_from_u64(SEED ^ 0xB16F_1085);
+    let trace = Trace::generate(trace_cfg, &mut trace_rng);
+
+    // The default scenario with the edge site's hardware scaled alongside
+    // the workload (one aggregate runtime backed by `scale` EGS nodes), so
+    // deployments succeed at every multiplier. At 1× this is exactly
+    // `ScenarioConfig { seed: 42, ..default }`.
+    let cfg = ScenarioConfig {
+        seed: SEED,
+        clients: trace.config.clients,
+        sites: vec![(
+            SiteSpec::egs("egs-0").with_nodes(scale),
+            ClusterKind::Docker,
+        )],
+        ..ScenarioConfig::default()
+    };
+
+    let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let result = testbed.run_trace(&trace);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+
+    ScaleResult {
+        scale,
+        requests: trace.requests.len(),
+        services: trace.config.services,
+        clients: trace.config.clients,
+        events_scheduled: result.events_scheduled,
+        peak_queue_depth: result.peak_queue_depth,
+        wall_s,
+        events_per_sec: result.events_scheduled as f64 / wall_s.max(1e-9),
+        allocs_per_request: allocs as f64 / trace.requests.len() as f64,
+        completed: result.records.len(),
+        lost: result.lost,
+        metrics_hash: result.metrics_hash(),
+    }
+}
+
+fn to_json(results: &[ScaleResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"cityscale\",\n");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    out.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"scale\": {}, \"requests\": {}, \"services\": {}, \"clients\": {}, \
+             \"events_scheduled\": {}, \"peak_queue_depth\": {}, \"wall_s\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"allocs_per_request\": {:.1}, \
+             \"completed\": {}, \"lost\": {}, \"metrics_hash\": \"{:#018x}\"}}",
+            r.scale,
+            r.requests,
+            r.services,
+            r.clients,
+            r.events_scheduled,
+            r.peak_queue_depth,
+            r.wall_s,
+            r.events_per_sec,
+            r.allocs_per_request,
+            r.completed,
+            r.lost,
+            r.metrics_hash,
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut scales = vec![1usize, 10, 100];
+    let mut out_path = String::from("BENCH_cityscale.json");
+    let mut expect_hash_1x: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scales = vec![1],
+            "--scales" => {
+                i += 1;
+                scales = args
+                    .get(i)
+                    .expect("--scales needs a comma-separated list")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("scale must be an integer"))
+                    .collect();
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--expect-hash-1x" => {
+                i += 1;
+                let s = args.get(i).expect("--expect-hash-1x needs a hex value");
+                let s = s.trim_start_matches("0x");
+                expect_hash_1x = Some(u64::from_str_radix(s, 16).expect("hash must be hex"));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut results = Vec::new();
+    for &scale in &scales {
+        eprintln!("cityscale: running {scale}x ...");
+        let r = run_scale(scale);
+        eprintln!(
+            "cityscale: {:>4}x  {:>9} req  {:>10} events  {:>8.3} s  {:>12.0} ev/s  \
+             peak {:>8}  {:>6.1} allocs/req  hash {:#018x}",
+            r.scale,
+            r.requests,
+            r.events_scheduled,
+            r.wall_s,
+            r.events_per_sec,
+            r.peak_queue_depth,
+            r.allocs_per_request,
+            r.metrics_hash,
+        );
+        results.push(r);
+    }
+
+    let json = to_json(&results);
+    std::fs::write(&out_path, &json).expect("write benchmark artifact");
+    print!("{json}");
+
+    if let Some(expect) = expect_hash_1x {
+        let got = results
+            .iter()
+            .find(|r| r.scale == 1)
+            .expect("--expect-hash-1x requires a 1x run")
+            .metrics_hash;
+        if got != expect {
+            eprintln!(
+                "cityscale: DETERMINISM DRIFT at 1x: expected {expect:#018x}, got {got:#018x}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("cityscale: 1x determinism hash OK ({got:#018x})");
+    }
+}

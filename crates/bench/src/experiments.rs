@@ -36,6 +36,10 @@ pub struct Experiment {
     pub title: &'static str,
     pub table: Table,
     pub notes: Vec<String>,
+    /// Worker threads the replicated measurements fanned out over
+    /// ([`simcore::RunnerMeta::effective_threads`]); `None` for single-run
+    /// tables.
+    pub effective_threads: Option<usize>,
 }
 
 impl Experiment {
@@ -46,14 +50,23 @@ impl Experiment {
             self.title,
             self.table.render()
         );
-        if !self.notes.is_empty() {
+        if !self.notes.is_empty() || self.effective_threads.is_some() {
             out.push('\n');
             for n in &self.notes {
                 out.push_str(&format!("  * {n}\n"));
             }
+            if let Some(t) = self.effective_threads {
+                out.push_str(&format!("  * replicas fanned out over {t} threads.\n"));
+            }
         }
         out
     }
+}
+
+/// Parallelism metadata for a replicated experiment over `seeds` (all
+/// replicated experiments request `threads = 0`, i.e. all CPUs).
+fn fanout_threads(seeds: &[u64]) -> Option<usize> {
+    Some(simcore::RunnerMeta::plan(0, seeds.len()).effective_threads)
 }
 
 // ---------------------------------------------------------------------------
@@ -89,6 +102,7 @@ pub fn table1() -> Experiment {
     }
     Experiment {
         id: "Table I",
+        effective_threads: None,
         title: "Edge services used in this work",
         table: t,
         notes: vec![
@@ -117,6 +131,7 @@ pub fn fig09(seed: u64) -> Experiment {
     let min = counts.iter().min().copied().unwrap_or(0);
     Experiment {
         id: "Fig. 9",
+        effective_threads: None,
         title: "Distribution of 1708 requests to 42 edge services over five minutes",
         table: t,
         notes: vec![format!(
@@ -142,6 +157,7 @@ pub fn fig10(seed: u64) -> Experiment {
     }
     Experiment {
         id: "Fig. 10",
+        effective_threads: None,
         title: "Distribution of 42 edge service deployments over five minutes",
         table: t,
         notes: vec![format!(
@@ -222,6 +238,7 @@ fn phase_table(phase: PhaseSetup, seeds: &[u64]) -> Table {
 pub fn fig11(seeds: &[u64]) -> Experiment {
     Experiment {
         id: "Fig. 11",
+        effective_threads: fanout_threads(seeds),
         title: "Total time (median) to scale up four services on two clusters",
         table: phase_table(PhaseSetup::Created, seeds),
         notes: vec![
@@ -234,6 +251,7 @@ pub fn fig11(seeds: &[u64]) -> Experiment {
 pub fn fig12(seeds: &[u64]) -> Experiment {
     Experiment {
         id: "Fig. 12",
+        effective_threads: fanout_threads(seeds),
         title: "Total time (median) to create + scale up four services on two clusters",
         table: phase_table(PhaseSetup::ImagesCached, seeds),
         notes: vec![
@@ -289,6 +307,7 @@ pub fn fig13(seeds: &[u64]) -> Experiment {
     notes.push("Pull time grows with size *and* layer count; the 6 KiB Asm image is near-instant (paper §VI).".into());
     Experiment {
         id: "Fig. 13",
+        effective_threads: fanout_threads(seeds),
         title: "Total time to pull the service container images",
         table: t,
         notes,
@@ -333,6 +352,7 @@ fn wait_table(phase: PhaseSetup, seeds: &[u64]) -> Table {
 pub fn fig14(seeds: &[u64]) -> Experiment {
     Experiment {
         id: "Fig. 14",
+        effective_threads: fanout_threads(seeds),
         title: "Wait time (median) until services are ready after scale-up",
         table: wait_table(PhaseSetup::Created, seeds),
         notes: vec![
@@ -345,6 +365,7 @@ pub fn fig14(seeds: &[u64]) -> Experiment {
 pub fn fig15(seeds: &[u64]) -> Experiment {
     Experiment {
         id: "Fig. 15",
+        effective_threads: fanout_threads(seeds),
         title: "Wait time (median) until services are ready after create + scale-up",
         table: wait_table(PhaseSetup::ImagesCached, seeds),
         notes: Vec::new(),
@@ -365,6 +386,7 @@ pub fn fig16(seeds: &[u64]) -> Experiment {
     }
     Experiment {
         id: "Fig. 16",
+        effective_threads: fanout_threads(seeds),
         title: "Total time (median) for client requests when the instance is already running",
         table: t,
         notes: vec![
@@ -436,6 +458,7 @@ pub fn hybrid(seeds: &[u64]) -> Experiment {
     }
     Experiment {
         id: "§VII",
+        effective_threads: fanout_threads(seeds),
         title: "Deployment strategies on the bigFlows trace (Nginx service)",
         table: t,
         notes: vec![
@@ -536,6 +559,7 @@ pub fn hierarchy(seeds: &[u64]) -> Experiment {
     }
     Experiment {
         id: "§IV-A2",
+        effective_threads: fanout_threads(seeds),
         title: "Hierarchical edge continuum (bigFlows trace, Nginx)",
         table: t,
         notes: vec![
@@ -604,6 +628,7 @@ pub fn proactive(seeds: &[u64]) -> Experiment {
     }
     Experiment {
         id: "§VII-pred",
+        effective_threads: fanout_threads(seeds),
         title: "Proactive deployment vs pure on-demand (bigFlows trace, Nginx)",
         table: t,
         notes: vec![
@@ -645,6 +670,7 @@ pub fn futurework_wasm(seeds: &[u64]) -> Experiment {
     }
     Experiment {
         id: "§VIII",
+        effective_threads: fanout_threads(seeds),
         title: "Future work: containers vs serverless WebAssembly, same controller",
         table: t,
         notes: vec![

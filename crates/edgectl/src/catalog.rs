@@ -4,26 +4,46 @@
 //! with a mobile edge platform provider, identified by their unique
 //! combination of domain name/IP address and port number." This module maps
 //! that cloud-facing address to the deployable service definition.
+//!
+//! Service names are **interned**: registration assigns each distinct name a
+//! stable, copyable [`ServiceId`] (a `u32`). The controller's hot path —
+//! FlowMemory keys, scheduler calls, pending-deployment maps — passes ids
+//! around instead of cloning `String`s, and resolves back to the name only at
+//! the cluster-backend boundary via [`ServiceCatalog::name_arc`] (a refcount
+//! bump, not an allocation).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cluster::ServiceTemplate;
 use simnet::SocketAddr;
 
+/// Interned service name: a stable dense index into the catalog's name table.
+/// Ids are never re-used — re-registering a previously seen name yields the
+/// same id, and unregistration does not free it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub u32);
+
 /// One registered edge service.
 #[derive(Debug, Clone)]
 pub struct RegisteredService {
+    /// Interned name (see [`ServiceId`]).
+    pub id: ServiceId,
     /// The cloud address clients use (the flow-match key).
     pub cloud_addr: SocketAddr,
-    /// The deployable definition (from the annotation engine).
-    pub template: ServiceTemplate,
+    /// The deployable definition (from the annotation engine). Shared so the
+    /// deployment pipeline can hold it without deep-copying container lists.
+    pub template: Arc<ServiceTemplate>,
 }
 
 /// Cloud address → service lookup, as the Dispatcher uses it on PacketIn.
 #[derive(Debug, Default, Clone)]
 pub struct ServiceCatalog {
     by_addr: HashMap<SocketAddr, RegisteredService>,
-    by_name: HashMap<String, SocketAddr>,
+    by_name: HashMap<Arc<str>, SocketAddr>,
+    /// Interner: name → id and id → name.
+    ids: HashMap<Arc<str>, ServiceId>,
+    names: Vec<Arc<str>>,
 }
 
 impl ServiceCatalog {
@@ -31,27 +51,58 @@ impl ServiceCatalog {
         ServiceCatalog::default()
     }
 
+    /// Intern a service name, assigning a fresh [`ServiceId`] on first sight.
+    pub fn intern(&mut self, name: &str) -> ServiceId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let id = ServiceId(self.names.len() as u32);
+        self.names.push(Arc::clone(&arc));
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// The interned name behind `id` as a shared handle (refcount bump, no
+    /// allocation). Panics on an id this catalog never issued.
+    pub fn name_arc(&self, id: ServiceId) -> Arc<str> {
+        Arc::clone(&self.names[id.0 as usize])
+    }
+
+    /// The interned name behind `id`, borrowed.
+    pub fn name_of(&self, id: ServiceId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// The id a name was interned under, if any.
+    pub fn id_of(&self, name: &str) -> Option<ServiceId> {
+        self.ids.get(name).copied()
+    }
+
     /// Register a service. Replaces any previous registration of the same
     /// address (re-registration updates the definition) and returns the
-    /// previous entry if there was one.
+    /// previous entry if there was one. The template's name is interned; the
+    /// assigned [`ServiceId`] is stable across re-registrations.
     pub fn register(
         &mut self,
         cloud_addr: SocketAddr,
         template: ServiceTemplate,
     ) -> Option<RegisteredService> {
-        self.by_name.insert(template.name.clone(), cloud_addr);
+        let id = self.intern(&template.name);
+        self.by_name.insert(self.name_arc(id), cloud_addr);
         self.by_addr.insert(
             cloud_addr,
             RegisteredService {
+                id,
                 cloud_addr,
-                template,
+                template: Arc::new(template),
             },
         )
     }
 
     pub fn unregister(&mut self, cloud_addr: SocketAddr) -> Option<RegisteredService> {
         let entry = self.by_addr.remove(&cloud_addr)?;
-        self.by_name.remove(&entry.template.name);
+        self.by_name.remove(entry.template.name.as_str());
         Some(entry)
     }
 
@@ -120,5 +171,26 @@ mod tests {
         assert!(c.lookup_name("svc").is_none());
         assert!(c.unregister(addr(1)).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_distinct() {
+        let mut c = ServiceCatalog::new();
+        c.register(addr(1), tpl("alpha"));
+        c.register(addr(2), tpl("beta"));
+        let alpha = c.lookup(addr(1)).unwrap().id;
+        let beta = c.lookup(addr(2)).unwrap().id;
+        assert_ne!(alpha, beta);
+        assert_eq!(c.name_of(alpha), "alpha");
+        assert_eq!(c.name_of(beta), "beta");
+        assert_eq!(c.id_of("alpha"), Some(alpha));
+        assert_eq!(c.id_of("gamma"), None);
+        // Re-registering the same name (even at another address) keeps the id.
+        c.register(addr(3), tpl("alpha"));
+        assert_eq!(c.lookup(addr(3)).unwrap().id, alpha);
+        // Unregistration does not free the id.
+        c.unregister(addr(1));
+        assert_eq!(c.name_of(alpha), "alpha");
+        assert_eq!(&*c.name_arc(alpha), "alpha");
     }
 }

@@ -11,6 +11,7 @@
 //! latency applied.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cluster::{ClusterBackend, ClusterError, ClusterKind};
 use registry::RegistrySet;
@@ -18,7 +19,7 @@ use simcore::{SimDuration, SimTime};
 use simnet::openflow::{Action, BufferId, FlowMatch, FlowSpec, PortId};
 use simnet::{IpAddr, Packet, SocketAddr};
 
-use crate::catalog::ServiceCatalog;
+use crate::catalog::{ServiceCatalog, ServiceId};
 use crate::flowmemory::{FlowKey, FlowMemory};
 use crate::predictor::{NoPrediction, Predictor};
 use crate::scheduler::{
@@ -224,16 +225,16 @@ pub struct Controller {
     /// Per-switch port toward the cloud/WAN uplink (directly or via trunks).
     cloud_ports: Vec<PortId>,
     /// In-flight (or completed) deployments: ready-detected instant.
-    pending: HashMap<(ClusterId, String), SimTime>,
+    pending: HashMap<(ClusterId, ServiceId), SimTime>,
     /// Dispatcher-tracked client locations: which switch and port each
     /// client was last seen at (paper §IV-B).
     client_ports: HashMap<IpAddr, (SwitchId, PortId)>,
     /// Pending flow moves produced by BEST deployments:
     /// (ready instant, cluster, service).
-    retarget_queue: Vec<(SimTime, ClusterId, String)>,
+    retarget_queue: Vec<(SimTime, ClusterId, ServiceId)>,
     /// Services scaled to zero, awaiting the Remove phase: when each was
     /// scaled down.
-    scaled_to_zero: HashMap<(ClusterId, String), SimTime>,
+    scaled_to_zero: HashMap<(ClusterId, ServiceId), SimTime>,
     predictor: Box<dyn Predictor>,
     pub stats: ControllerStats,
 }
@@ -444,19 +445,12 @@ impl Controller {
         // 1. Memorized flow? Re-install immediately (the fast path that lets
         //    switch idle timeouts stay low).
         if let Some(flow) = self.memory.recall(now, key) {
-            let (target, cluster) = (flow.target, flow.cluster);
-            let service_name = flow.service.clone();
+            let (target, cluster, sid) = (flow.target, flow.cluster, flow.service);
             if cluster == CLOUD_CLUSTER {
                 self.stats.memory_hits += 1;
-                return self.cloud_outputs(
-                    decide_at,
-                    sw,
-                    packet,
-                    in_port,
-                    buffer_id,
-                    Some(&service_name),
-                );
+                return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid));
             }
+            let service_name = self.catalog.name_arc(sid);
             // Follow-Me-Edge (related work [12], [13]): if the client has
             // moved and a strictly nearer cluster now has a ready instance,
             // fall through to a fresh scheduling decision instead of
@@ -480,7 +474,7 @@ impl Controller {
                     decide_at,
                     sw,
                     key,
-                    &service_name,
+                    sid,
                     target,
                     cluster,
                     in_port,
@@ -498,8 +492,9 @@ impl Controller {
         let Some(service) = self.catalog.lookup(packet.dst) else {
             return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None);
         };
-        let service_name = service.template.name.clone();
-        let template = service.template.clone();
+        let sid = service.id;
+        let template = Arc::clone(&service.template);
+        let service_name = self.catalog.name_arc(sid);
         self.predictor.observe(now, packet.dst);
 
         // 3. Feed the Global Scheduler the Dispatcher's system view.
@@ -515,14 +510,14 @@ impl Controller {
                 load: c.backend.load(),
             })
             .collect();
-        let decision = self.global.decide(&service_name, &views);
+        let decision = self.global.decide(sid, &views);
 
         // 4. Kick off the BEST deployment first (without waiting it runs in
         //    parallel with serving the current request elsewhere).
         if let Some(best) = decision.best {
             if best != decision.fast.unwrap_or(ClusterId(usize::MAX)) {
-                if let Some(ready_at) = self.ensure_deployed(now, best, &template, false) {
-                    self.schedule_retarget(ready_at, best, &service_name);
+                if let Some(ready_at) = self.ensure_deployed(now, best, sid, &template, false) {
+                    self.schedule_retarget(ready_at, best, sid);
                 }
             }
         }
@@ -538,12 +533,12 @@ impl Controller {
                         self.stats.detoured_requests += 1;
                     }
                     // Local Scheduler: pick the instance within the cluster.
-                    let target = self.pick_instance(now, fast, &service_name);
+                    let target = self.pick_instance(now, fast, sid);
                     self.redirect_outputs(
                         decide_at,
                         sw,
                         key,
-                        &service_name,
+                        sid,
                         target,
                         fast,
                         in_port,
@@ -552,15 +547,15 @@ impl Controller {
                 } else {
                     // On-demand deployment WITH waiting (paper Fig. 5): hold
                     // the buffered packet until the port opens.
-                    match self.ensure_deployed(now, fast, &template, true) {
+                    match self.ensure_deployed(now, fast, sid, &template, true) {
                         Some(ready_at) => {
                             self.stats.held_requests += 1;
-                            let target = self.pick_instance(ready_at, fast, &service_name);
+                            let target = self.pick_instance(ready_at, fast, sid);
                             self.redirect_outputs(
                                 ready_at.max(decide_at),
                                 sw,
                                 key,
-                                &service_name,
+                                sid,
                                 target,
                                 fast,
                                 in_port,
@@ -574,14 +569,7 @@ impl Controller {
                     }
                 }
             }
-            None => self.cloud_outputs(
-                decide_at,
-                sw,
-                packet,
-                in_port,
-                buffer_id,
-                Some(&service_name),
-            ),
+            None => self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid)),
         }
     }
 
@@ -597,24 +585,25 @@ impl Controller {
         &mut self,
         now: SimTime,
         cluster: ClusterId,
+        id: ServiceId,
         template: &cluster::ServiceTemplate,
         waited: bool,
     ) -> Option<SimTime> {
-        let name = template.name.clone();
-        if let Some(&t) = self.pending.get(&(cluster, name.clone())) {
+        let name = template.name.as_str();
+        if let Some(&t) = self.pending.get(&(cluster, id)) {
             if t > now {
                 return Some(t); // piggyback on the in-flight deployment
             }
         }
         let backend = &mut self.clusters[cluster.0].backend;
-        let status = backend.status(now, &name);
+        let status = backend.status(now, name);
         if status.is_ready() {
             return Some(now);
         }
         let images_cached = backend.has_images(template);
 
         let mut record = DeploymentRecord {
-            service: name.clone(),
+            service: name.to_owned(),
             cluster,
             kind: backend.kind(),
             triggered_at: now,
@@ -691,7 +680,7 @@ impl Controller {
 
         // Phase 3: Scale Up.
         let Some((issued, receipt)) = with_retries(&mut t, retries, backoff, &mut retried, |at| {
-            backend.scale_up(at, &name, 1)
+            backend.scale_up(at, name, 1)
         }) else {
             self.stats.retried_operations += retried;
             self.stats.failed_deployments += 1;
@@ -708,7 +697,7 @@ impl Controller {
         let mut probe_t = receipt.accepted_at;
         let deadline = receipt.accepted_at + self.config.probe_timeout;
         let ready_detected = loop {
-            if self.clusters[cluster.0].backend.is_ready(probe_t, &name) {
+            if self.clusters[cluster.0].backend.is_ready(probe_t, name) {
                 break Some(probe_t + probe_rtt);
             }
             probe_t += self.config.probe_interval;
@@ -723,8 +712,8 @@ impl Controller {
 
         record.ready_detected = ready_detected;
         self.stats.deployments.push(record);
-        self.scaled_to_zero.remove(&(cluster, name.clone()));
-        self.pending.insert((cluster, name), ready_detected);
+        self.scaled_to_zero.remove(&(cluster, id));
+        self.pending.insert((cluster, id), ready_detected);
         Some(ready_detected)
     }
 
@@ -733,9 +722,8 @@ impl Controller {
     /// in the meantime are retargeted too (paper Fig. 3: "future requests are
     /// redirected to this optimal location as soon as the new instance is
     /// running").
-    fn schedule_retarget(&mut self, ready_at: SimTime, cluster: ClusterId, service: &str) {
-        self.retarget_queue
-            .push((ready_at, cluster, service.to_string()));
+    fn schedule_retarget(&mut self, ready_at: SimTime, cluster: ClusterId, service: ServiceId) {
+        self.retarget_queue.push((ready_at, cluster, service));
     }
 
     /// The earliest pending retarget instant, so the event loop can schedule
@@ -748,8 +736,8 @@ impl Controller {
     /// (The testbed calls this when draining controller outputs.)
     pub fn take_retarget_outputs(&mut self, upto: SimTime) -> Vec<ControllerOutput> {
         let mut outputs = Vec::new();
-        let mut due: Vec<(SimTime, ClusterId, String)> = Vec::new();
-        let mut remaining: Vec<(SimTime, ClusterId, String)> = Vec::new();
+        let mut due: Vec<(SimTime, ClusterId, ServiceId)> = Vec::new();
+        let mut remaining: Vec<(SimTime, ClusterId, ServiceId)> = Vec::new();
         for item in std::mem::take(&mut self.retarget_queue) {
             if item.0 <= upto {
                 due.push(item);
@@ -759,11 +747,12 @@ impl Controller {
         }
         self.retarget_queue = remaining;
         for (at, cluster, service) in due {
-            let status = self.clusters[cluster.0].backend.status(at, &service);
+            let name = self.catalog.name_arc(service);
+            let status = self.clusters[cluster.0].backend.status(at, &name);
             let Some(target) = status.endpoint.filter(|_| status.is_ready()) else {
                 continue; // instance vanished before the hand-over
             };
-            let moved = self.memory.retarget_service(&service, target, cluster);
+            let moved = self.memory.retarget_service(service, target, cluster);
             self.stats.retargets += moved.len() as u64;
             for key in moved {
                 if let Some((sw, client_port)) = self.client_ports.get(&key.client_ip).copied() {
@@ -774,7 +763,7 @@ impl Controller {
                         self.clusters[cluster.0].ports[sw.0],
                         client_port,
                         Some(self.config.switch_idle_timeout),
-                        cookie_for(&service),
+                        cookie_for(&name),
                     );
                     outputs.extend(pair.into_iter().map(|spec| ControllerOutput::FlowMod {
                         at,
@@ -798,15 +787,13 @@ impl Controller {
             let Some(service) = self.catalog.lookup(addr) else {
                 continue;
             };
-            let name = service.template.name.clone();
-            let template = service.template.clone();
+            let sid = service.id;
+            let template = Arc::clone(&service.template);
+            let name = self.catalog.name_arc(sid);
             // Already running (or being deployed) somewhere? Nothing to do.
             let anywhere_ready = (0..self.clusters.len())
                 .any(|i| self.clusters[i].backend.status(now, &name).is_ready());
-            let in_flight = self
-                .pending
-                .iter()
-                .any(|((_, n), &t)| *n == name && t > now);
+            let in_flight = self.pending.iter().any(|(&(_, n), &t)| n == sid && t > now);
             if anywhere_ready || in_flight {
                 continue;
             }
@@ -824,12 +811,12 @@ impl Controller {
                     load: c.backend.load(),
                 })
                 .collect();
-            let decision = self.global.decide(&name, &views);
+            let decision = self.global.decide(sid, &views);
             let Some(target) = decision.target_for_future() else {
                 continue;
             };
             if self
-                .ensure_deployed(now, target, &template, false)
+                .ensure_deployed(now, target, sid, &template, false)
                 .is_some()
             {
                 self.stats.proactive_deployments += 1;
@@ -853,14 +840,15 @@ impl Controller {
                 if cluster == CLOUD_CLUSTER {
                     continue;
                 }
+                let name = self.catalog.name_arc(service);
                 let backend = &mut self.clusters[cluster.0].backend;
-                let status = backend.status(now, &service);
+                let status = backend.status(now, &name);
                 if !status.created {
                     continue;
                 }
                 let want = (flows as u32).div_ceil(target);
                 let have = status.desired_replicas.max(status.ready_replicas);
-                if want > have && backend.scale_up(now, &service, want).is_ok() {
+                if want > have && backend.scale_up(now, &name, want).is_ok() {
                     self.stats.autoscale_ups += 1;
                 }
             }
@@ -870,20 +858,19 @@ impl Controller {
         if self.config.scale_down_idle {
             // Group by (service, cluster); scale down instances nobody
             // references anymore.
-            let mut candidates: Vec<(String, ClusterId)> = expired
-                .iter()
-                .map(|f| (f.service.clone(), f.cluster))
-                .collect();
+            let mut candidates: Vec<(ServiceId, ClusterId)> =
+                expired.iter().map(|f| (f.service, f.cluster)).collect();
             candidates.sort();
             candidates.dedup();
             for (service, cluster) in candidates {
-                if self.memory.flows_for_service(&service, cluster) == 0 {
+                if self.memory.flows_for_service(service, cluster) == 0 {
+                    let name = self.catalog.name_arc(service);
                     let backend = &mut self.clusters[cluster.0].backend;
-                    if backend.status(now, &service).ready_replicas > 0
-                        && backend.scale_down(now, &service, 0).is_ok()
+                    if backend.status(now, &name).ready_replicas > 0
+                        && backend.scale_down(now, &name, 0).is_ok()
                     {
                         self.stats.scale_downs += 1;
-                        self.pending.remove(&(cluster, service.clone()));
+                        self.pending.remove(&(cluster, service));
                         self.scaled_to_zero.insert((cluster, service), now);
                     }
                 }
@@ -894,17 +881,18 @@ impl Controller {
         // are deleted entirely; their cached images stay on disk, so a later
         // request pays Create + Scale-Up but not Pull.
         if let Some(remove_after) = self.config.remove_after {
-            let due: Vec<(ClusterId, String)> = self
+            let due: Vec<(ClusterId, ServiceId)> = self
                 .scaled_to_zero
                 .iter()
                 .filter(|(_, &at)| now.since(at) >= remove_after)
-                .map(|(k, _)| k.clone())
+                .map(|(&k, _)| k)
                 .collect();
             for (cluster, service) in due {
+                let name = self.catalog.name_arc(service);
                 let backend = &mut self.clusters[cluster.0].backend;
                 // A request may have revived the service in the meantime.
-                if backend.status(now, &service).ready_replicas == 0
-                    && backend.remove(now, &service).is_ok()
+                if backend.status(now, &name).ready_replicas == 0
+                    && backend.remove(now, &name).is_ok()
                 {
                     self.stats.removals += 1;
                 }
@@ -925,10 +913,16 @@ impl Controller {
     /// of `service` on `cluster` (paper Fig. 6's Local Scheduler; for
     /// Kubernetes the Service VIP balances internally, so one endpoint is
     /// returned and the choice is a no-op).
-    fn pick_instance(&mut self, now: SimTime, cluster: ClusterId, service: &str) -> SocketAddr {
+    fn pick_instance(
+        &mut self,
+        now: SimTime,
+        cluster: ClusterId,
+        service: ServiceId,
+    ) -> SocketAddr {
+        let name = self.catalog.name_arc(service);
         let endpoints = self.clusters[cluster.0]
             .backend
-            .replica_endpoints(now, service);
+            .replica_endpoints(now, &name);
         assert!(
             !endpoints.is_empty(),
             "pick_instance on a service with no ready replica"
@@ -950,7 +944,7 @@ impl Controller {
         at: SimTime,
         sw: SwitchId,
         key: FlowKey,
-        service: &str,
+        service: ServiceId,
         target: SocketAddr,
         cluster: ClusterId,
         client_port: PortId,
@@ -964,7 +958,7 @@ impl Controller {
             self.clusters[cluster.0].ports[sw.0],
             client_port,
             Some(self.config.switch_idle_timeout),
-            cookie_for(service),
+            cookie_for(self.catalog.name_of(service)),
         );
         let mut outputs: Vec<ControllerOutput> = pair
             .into_iter()
@@ -1037,7 +1031,7 @@ impl Controller {
         packet: Packet,
         client_port: PortId,
         buffer_id: BufferId,
-        service: Option<&str>,
+        service: Option<ServiceId>,
     ) -> Vec<ControllerOutput> {
         self.stats.cloud_forwards += 1;
         if let Some(service) = service {

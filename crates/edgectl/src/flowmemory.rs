@@ -23,6 +23,7 @@ use std::ops::Bound;
 use simcore::{SimDuration, SimTime};
 use simnet::{IpAddr, SocketAddr};
 
+use crate::catalog::ServiceId;
 use crate::scheduler::ClusterId;
 
 /// Key of a memorized flow: one client talking to one registered service.
@@ -39,8 +40,9 @@ pub struct FlowKey {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemorizedFlow {
     pub key: FlowKey,
-    /// The service's unique name (for scale-down bookkeeping).
-    pub service: String,
+    /// The service's interned id (for scale-down bookkeeping) — resolve to a
+    /// name with [`crate::ServiceCatalog::name_of`].
+    pub service: ServiceId,
     /// Where the flow redirects to.
     pub target: SocketAddr,
     pub cluster: ClusterId,
@@ -51,7 +53,7 @@ pub struct MemorizedFlow {
 /// The FlowMemory component.
 ///
 /// ```
-/// use edgectl::{FlowKey, FlowMemory, ClusterId};
+/// use edgectl::{FlowKey, FlowMemory, ClusterId, ServiceId};
 /// use simcore::{SimDuration, SimTime};
 /// use simnet::{IpAddr, SocketAddr};
 ///
@@ -61,7 +63,7 @@ pub struct MemorizedFlow {
 ///     service_addr: SocketAddr::new(IpAddr::new(93, 184, 0, 1), 80),
 /// };
 /// let target = SocketAddr::new(IpAddr::new(10, 0, 0, 100), 8000);
-/// memory.remember(SimTime::ZERO, key, "edge-web", target, ClusterId(0));
+/// memory.remember(SimTime::ZERO, key, ServiceId(0), target, ClusterId(0));
 /// // a minute of silence later, the entry has expired
 /// assert!(memory.recall(SimTime::ZERO + SimDuration::from_secs(61), key).is_none());
 /// ```
@@ -71,7 +73,9 @@ pub struct FlowMemory {
     /// Secondary index: which flows reference a given `(service, cluster)`
     /// pair. A `BTreeMap` so `services_with_flows` can walk pairs in sorted
     /// order and `retarget_service` can range-scan one service's clusters.
-    by_service: BTreeMap<(String, ClusterId), BTreeSet<FlowKey>>,
+    /// Keys are copyable `(ServiceId, ClusterId)` pairs, so probing the index
+    /// never allocates.
+    by_service: BTreeMap<(ServiceId, ClusterId), BTreeSet<FlowKey>>,
     /// Lazy-deletion expiry schedule of `(last_seen + idle_timeout, key)`.
     /// Invariant ("accurate top"): after every `&mut self` method the heap
     /// top is live — its flow exists and still expires at that instant — so
@@ -104,17 +108,16 @@ impl FlowMemory {
         &mut self,
         now: SimTime,
         key: FlowKey,
-        service: impl Into<String>,
+        service: ServiceId,
         target: SocketAddr,
         cluster: ClusterId,
     ) {
-        let service = service.into();
         match self.flows.get_mut(&key) {
             Some(f) => {
                 if f.service != service || f.cluster != cluster {
-                    Self::index_remove(&mut self.by_service, (f.service.clone(), f.cluster), key);
+                    Self::index_remove(&mut self.by_service, (f.service, f.cluster), key);
                     self.by_service
-                        .entry((service.clone(), cluster))
+                        .entry((service, cluster))
                         .or_default()
                         .insert(key);
                 }
@@ -125,7 +128,7 @@ impl FlowMemory {
             }
             None => {
                 self.by_service
-                    .entry((service.clone(), cluster))
+                    .entry((service, cluster))
                     .or_default()
                     .insert(key);
                 self.flows.insert(
@@ -185,8 +188,8 @@ impl FlowMemory {
 
     /// Drop all flows pointing at `service` on `cluster` (instance retired).
     /// O(flows of that instance), not O(all flows).
-    pub fn forget_service(&mut self, service: &str, cluster: ClusterId) -> usize {
-        let keys = match self.by_service.remove(&(service.to_string(), cluster)) {
+    pub fn forget_service(&mut self, service: ServiceId, cluster: ClusterId) -> usize {
+        let keys = match self.by_service.remove(&(service, cluster)) {
             Some(keys) => keys,
             None => return 0,
         };
@@ -204,14 +207,14 @@ impl FlowMemory {
     /// so the controller can re-install switch rules.
     pub fn retarget_service(
         &mut self,
-        service: &str,
+        service: ServiceId,
         target: SocketAddr,
         cluster: ClusterId,
     ) -> Vec<FlowKey> {
         // All clusters currently holding flows of this service.
         let range = (
-            Bound::Included((service.to_string(), ClusterId(0))),
-            Bound::Included((service.to_string(), ClusterId(usize::MAX))),
+            Bound::Included((service, ClusterId(0))),
+            Bound::Included((service, ClusterId(usize::MAX))),
         );
         let mut keys = Vec::new();
         for ((_, from_cluster), members) in self.by_service.range(range) {
@@ -224,13 +227,13 @@ impl FlowMemory {
         }
         for &key in &keys {
             let f = self.flows.get_mut(&key).expect("key came from the index");
-            let from = (f.service.clone(), f.cluster);
+            let from = (f.service, f.cluster);
             f.target = target;
             f.cluster = cluster;
             if from.1 != cluster {
                 Self::index_remove(&mut self.by_service, from, key);
                 self.by_service
-                    .entry((service.to_string(), cluster))
+                    .entry((service, cluster))
                     .or_default()
                     .insert(key);
             }
@@ -266,9 +269,9 @@ impl FlowMemory {
 
     /// How many live flows reference `service` on `cluster` — zero means the
     /// instance is idle and a candidate for scale-down. O(1) index lookup.
-    pub fn flows_for_service(&self, service: &str, cluster: ClusterId) -> usize {
+    pub fn flows_for_service(&self, service: ServiceId, cluster: ClusterId) -> usize {
         self.by_service
-            .get(&(service.to_string(), cluster))
+            .get(&(service, cluster))
             .map_or(0, BTreeSet::len)
     }
 
@@ -282,10 +285,10 @@ impl FlowMemory {
     /// Distinct `(service, cluster)` pairs with live flows and their counts —
     /// the autoscaler's demand signal. O(pairs): reads the secondary index,
     /// which the BTreeMap already keeps sorted.
-    pub fn services_with_flows(&self) -> Vec<(String, ClusterId, usize)> {
+    pub fn services_with_flows(&self) -> Vec<(ServiceId, ClusterId, usize)> {
         self.by_service
             .iter()
-            .map(|((s, c), members)| (s.clone(), *c, members.len()))
+            .map(|(&(s, c), members)| (s, c, members.len()))
             .collect()
     }
 
@@ -293,17 +296,13 @@ impl FlowMemory {
     /// heap keeps a stale record until it surfaces).
     fn detach(&mut self, key: FlowKey) -> Option<MemorizedFlow> {
         let flow = self.flows.remove(&key)?;
-        Self::index_remove(
-            &mut self.by_service,
-            (flow.service.clone(), flow.cluster),
-            key,
-        );
+        Self::index_remove(&mut self.by_service, (flow.service, flow.cluster), key);
         Some(flow)
     }
 
     fn index_remove(
-        index: &mut BTreeMap<(String, ClusterId), BTreeSet<FlowKey>>,
-        at: (String, ClusterId),
+        index: &mut BTreeMap<(ServiceId, ClusterId), BTreeSet<FlowKey>>,
+        at: (ServiceId, ClusterId),
         key: FlowKey,
     ) {
         if let Some(members) = index.get_mut(&at) {
@@ -357,7 +356,7 @@ mod tests {
     #[test]
     fn remember_recall() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
         let f = m.recall(t(10), key(1, 1)).unwrap();
         assert_eq!(f.target, target(8000));
         assert_eq!(f.cluster, ClusterId(0));
@@ -367,7 +366,7 @@ mod tests {
     #[test]
     fn recall_refreshes_idle_timer() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
         assert!(m.recall(t(50_000), key(1, 1)).is_some()); // refresh at 50 s
         assert!(
             m.recall(t(100_000), key(1, 1)).is_some(),
@@ -383,11 +382,17 @@ mod tests {
     #[test]
     fn expire_returns_stale_entries() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "a", target(8000), ClusterId(0));
-        m.remember(t(30_000), key(2, 1), "b", target(8001), ClusterId(0));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(
+            t(30_000),
+            key(2, 1),
+            ServiceId(1),
+            target(8001),
+            ClusterId(0),
+        );
         let expired = m.expire(t(60_000));
         assert_eq!(expired.len(), 1);
-        assert_eq!(expired[0].service, "a");
+        assert_eq!(expired[0].service, ServiceId(0));
         assert_eq!(m.len(), 1);
     }
 
@@ -395,16 +400,16 @@ mod tests {
     fn next_expiry_is_minimum() {
         let mut m = mem();
         assert_eq!(m.next_expiry(), None);
-        m.remember(t(0), key(1, 1), "a", target(8000), ClusterId(0));
-        m.remember(t(5000), key(2, 1), "b", target(8001), ClusterId(0));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(t(5000), key(2, 1), ServiceId(1), target(8001), ClusterId(0));
         assert_eq!(m.next_expiry(), Some(t(60_000)));
     }
 
     #[test]
     fn next_expiry_tracks_refresh_and_forget() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "a", target(8000), ClusterId(0));
-        m.remember(t(5000), key(2, 1), "b", target(8001), ClusterId(0));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(t(5000), key(2, 1), ServiceId(1), target(8001), ClusterId(0));
         // refreshing the older flow moves the frontier to the younger one
         assert!(m.recall(t(20_000), key(1, 1)).is_some());
         assert_eq!(m.next_expiry(), Some(t(65_000)));
@@ -417,28 +422,28 @@ mod tests {
     #[test]
     fn flows_for_service_counts() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
-        m.remember(t(0), key(2, 1), "svc", target(8000), ClusterId(0));
-        m.remember(t(0), key(3, 2), "other", target(8001), ClusterId(1));
-        assert_eq!(m.flows_for_service("svc", ClusterId(0)), 2);
-        assert_eq!(m.flows_for_service("svc", ClusterId(1)), 0);
-        assert_eq!(m.forget_service("svc", ClusterId(0)), 2);
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(t(0), key(2, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(t(0), key(3, 2), ServiceId(1), target(8001), ClusterId(1));
+        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(0)), 2);
+        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(1)), 0);
+        assert_eq!(m.forget_service(ServiceId(0), ClusterId(0)), 2);
         assert_eq!(m.len(), 1);
     }
 
     #[test]
     fn services_with_flows_reports_sorted_counts() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "web", target(8000), ClusterId(1));
-        m.remember(t(0), key(2, 1), "web", target(8000), ClusterId(1));
-        m.remember(t(0), key(3, 2), "api", target(8001), ClusterId(0));
-        m.remember(t(0), key(4, 2), "web", target(8002), ClusterId(0));
+        m.remember(t(0), key(1, 1), ServiceId(1), target(8000), ClusterId(1));
+        m.remember(t(0), key(2, 1), ServiceId(1), target(8000), ClusterId(1));
+        m.remember(t(0), key(3, 2), ServiceId(0), target(8001), ClusterId(0));
+        m.remember(t(0), key(4, 2), ServiceId(1), target(8002), ClusterId(0));
         assert_eq!(
             m.services_with_flows(),
             vec![
-                ("api".to_string(), ClusterId(0), 1),
-                ("web".to_string(), ClusterId(0), 1),
-                ("web".to_string(), ClusterId(1), 2),
+                (ServiceId(0), ClusterId(0), 1),
+                (ServiceId(1), ClusterId(0), 1),
+                (ServiceId(1), ClusterId(1), 2),
             ]
         );
     }
@@ -446,38 +451,38 @@ mod tests {
     #[test]
     fn retarget_moves_flows_and_reports_keys() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
-        m.remember(t(0), key(2, 1), "svc", target(8000), ClusterId(0));
-        let moved = m.retarget_service("svc", target(30000), ClusterId(1));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(t(0), key(2, 1), ServiceId(0), target(8000), ClusterId(0));
+        let moved = m.retarget_service(ServiceId(0), target(30000), ClusterId(1));
         assert_eq!(moved.len(), 2);
         let f = m.get(key(1, 1)).unwrap();
         assert_eq!(f.target, target(30000));
         assert_eq!(f.cluster, ClusterId(1));
         // idempotent: retargeting again moves nothing
         assert!(m
-            .retarget_service("svc", target(30000), ClusterId(1))
+            .retarget_service(ServiceId(0), target(30000), ClusterId(1))
             .is_empty());
         // and the index followed the move
-        assert_eq!(m.flows_for_service("svc", ClusterId(0)), 0);
-        assert_eq!(m.flows_for_service("svc", ClusterId(1)), 2);
+        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(0)), 0);
+        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(1)), 2);
     }
 
     #[test]
     fn retarget_gathers_flows_across_clusters() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
-        m.remember(t(0), key(2, 1), "svc", target(8001), ClusterId(2));
-        m.remember(t(0), key(3, 2), "other", target(8002), ClusterId(0));
-        let moved = m.retarget_service("svc", target(30000), ClusterId(1));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(t(0), key(2, 1), ServiceId(0), target(8001), ClusterId(2));
+        m.remember(t(0), key(3, 2), ServiceId(1), target(8002), ClusterId(0));
+        let moved = m.retarget_service(ServiceId(0), target(30000), ClusterId(1));
         assert_eq!(moved, vec![key(1, 1), key(2, 1)]);
-        assert_eq!(m.flows_for_service("svc", ClusterId(1)), 2);
-        assert_eq!(m.flows_for_service("other", ClusterId(0)), 1);
+        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(1)), 2);
+        assert_eq!(m.flows_for_service(ServiceId(1), ClusterId(0)), 1);
     }
 
     #[test]
     fn forget_specific_flow() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
         assert!(m.forget(key(1, 1)).is_some());
         assert!(m.forget(key(1, 1)).is_none());
     }
@@ -485,15 +490,15 @@ mod tests {
     #[test]
     fn remember_updates_existing() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), "svc", target(8000), ClusterId(0));
-        m.remember(t(10), key(1, 1), "svc", target(9000), ClusterId(1));
+        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(t(10), key(1, 1), ServiceId(0), target(9000), ClusterId(1));
         assert_eq!(m.len(), 1);
         let f = m.get(key(1, 1)).unwrap();
         assert_eq!(f.target, target(9000));
         assert_eq!(f.installed_at, t(0), "original install time preserved");
         assert_eq!(f.last_seen, t(10));
         // the index moved with the cluster change
-        assert_eq!(m.flows_for_service("svc", ClusterId(0)), 0);
-        assert_eq!(m.flows_for_service("svc", ClusterId(1)), 1);
+        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(0)), 0);
+        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(1)), 1);
     }
 }

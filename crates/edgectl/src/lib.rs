@@ -39,7 +39,7 @@ pub mod scheduler;
 pub use annotate::{
     annotate, annotate_documents, AnnotateError, AnnotateOptions, AnnotatedService,
 };
-pub use catalog::ServiceCatalog;
+pub use catalog::{RegisteredService, ServiceCatalog, ServiceId};
 pub use controller::{
     Controller, ControllerBuilder, ControllerConfig, ControllerOutput, ControllerStats,
     DeploymentRecord, SwitchId,

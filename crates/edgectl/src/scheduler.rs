@@ -19,6 +19,8 @@
 use cluster::{ClusterKind, ServiceStatus};
 use simcore::SimDuration;
 
+use crate::catalog::ServiceId;
+
 /// Index of a cluster in the controller's cluster list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClusterId(pub usize);
@@ -76,10 +78,11 @@ impl Decision {
 pub trait GlobalScheduler: Send {
     fn name(&self) -> &'static str;
 
-    /// Decide FAST and BEST for a request to `service`, given the system
+    /// Decide FAST and BEST for a request to `service` (an interned id —
+    /// resolve via the catalog if a policy needs the name), given the system
     /// state. `views` is ordered by the controller's cluster list; distances
     /// are from the requesting client's switch.
-    fn decide(&mut self, service: &str, views: &[ClusterView]) -> Decision;
+    fn decide(&mut self, service: ServiceId, views: &[ClusterView]) -> Decision;
 }
 
 /// Picks an instance (replica) within a cluster.
@@ -87,7 +90,7 @@ pub trait LocalScheduler: Send {
     fn name(&self) -> &'static str;
 
     /// Choose a replica index in `[0, ready_replicas)`.
-    fn pick(&mut self, service: &str, ready_replicas: u32) -> u32;
+    fn pick(&mut self, service: ServiceId, ready_replicas: u32) -> u32;
 }
 
 // Already-boxed trait objects remain usable where an `impl GlobalScheduler`
@@ -98,7 +101,7 @@ impl GlobalScheduler for Box<dyn GlobalScheduler> {
         (**self).name()
     }
 
-    fn decide(&mut self, service: &str, views: &[ClusterView]) -> Decision {
+    fn decide(&mut self, service: ServiceId, views: &[ClusterView]) -> Decision {
         (**self).decide(service, views)
     }
 }
@@ -108,7 +111,7 @@ impl LocalScheduler for Box<dyn LocalScheduler> {
         (**self).name()
     }
 
-    fn pick(&mut self, service: &str, ready_replicas: u32) -> u32 {
+    fn pick(&mut self, service: ServiceId, ready_replicas: u32) -> u32 {
         (**self).pick(service, ready_replicas)
     }
 }
@@ -128,7 +131,7 @@ impl GlobalScheduler for NearestWaiting {
         "nearest-waiting"
     }
 
-    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
         let best = nearest(views, |_| true);
         Decision {
             fast: best,
@@ -148,7 +151,7 @@ impl GlobalScheduler for NearestReadyFirst {
         "nearest-ready-first"
     }
 
-    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
         let fast = nearest(views, ClusterView::has_ready_instance);
         let overall = nearest(views, |_| true);
         let best = if overall == fast { None } else { overall };
@@ -168,7 +171,7 @@ impl GlobalScheduler for HybridDockerFirst {
         "hybrid-docker-first"
     }
 
-    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
         let ready = nearest(views, ClusterView::has_ready_instance);
         let docker = nearest(views, |v| v.kind == ClusterKind::Docker);
         let k8s = nearest(views, |v| v.kind == ClusterKind::Kubernetes);
@@ -191,7 +194,7 @@ impl GlobalScheduler for HybridWasmFirst {
         "hybrid-wasm-first"
     }
 
-    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
         let ready = nearest(views, ClusterView::has_ready_instance);
         let wasm = nearest(views, |v| v.kind == ClusterKind::Wasm);
         let container = nearest(views, |v| {
@@ -223,7 +226,7 @@ impl GlobalScheduler for LeastLoaded {
         "least-loaded"
     }
 
-    fn decide(&mut self, _service: &str, views: &[ClusterView]) -> Decision {
+    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
         let best = views
             .iter()
             .min_by(|a, b| {
@@ -262,7 +265,7 @@ impl LocalScheduler for RoundRobinLocal {
         "round-robin"
     }
 
-    fn pick(&mut self, _service: &str, ready_replicas: u32) -> u32 {
+    fn pick(&mut self, _service: ServiceId, ready_replicas: u32) -> u32 {
         if ready_replicas == 0 {
             return 0;
         }
@@ -296,7 +299,7 @@ mod tests {
     fn nearest_waiting_picks_closest_regardless_of_state() {
         let mut s = NearestWaiting;
         let d = s.decide(
-            "svc",
+            ServiceId(0),
             &[
                 view(0, ClusterKind::Docker, 5, false),
                 view(1, ClusterKind::Docker, 1, false),
@@ -314,7 +317,7 @@ mod tests {
         let mut s = NearestReadyFirst;
         // nearest (id 0) not ready; farther (id 1) ready
         let d = s.decide(
-            "svc",
+            ServiceId(0),
             &[
                 view(0, ClusterKind::Docker, 1, false),
                 view(1, ClusterKind::Docker, 8, true),
@@ -329,7 +332,7 @@ mod tests {
     fn nearest_ready_first_collapses_when_nearest_is_ready() {
         let mut s = NearestReadyFirst;
         let d = s.decide(
-            "svc",
+            ServiceId(0),
             &[
                 view(0, ClusterKind::Docker, 1, true),
                 view(1, ClusterKind::Docker, 8, true),
@@ -342,7 +345,7 @@ mod tests {
     #[test]
     fn nearest_ready_first_cloud_when_nothing_ready() {
         let mut s = NearestReadyFirst;
-        let d = s.decide("svc", &[view(0, ClusterKind::Docker, 1, false)]);
+        let d = s.decide(ServiceId(0), &[view(0, ClusterKind::Docker, 1, false)]);
         assert_eq!(d.fast, None, "forward to cloud");
         assert_eq!(d.best, Some(ClusterId(0)), "still deploy for the future");
         assert!(d.is_without_waiting());
@@ -352,7 +355,7 @@ mod tests {
     fn hybrid_prefers_docker_fast_k8s_best() {
         let mut s = HybridDockerFirst;
         let d = s.decide(
-            "svc",
+            ServiceId(0),
             &[
                 view(0, ClusterKind::Docker, 2, false),
                 view(1, ClusterKind::Kubernetes, 2, false),
@@ -371,7 +374,7 @@ mod tests {
     fn hybrid_uses_ready_instance_if_one_exists() {
         let mut s = HybridDockerFirst;
         let d = s.decide(
-            "svc",
+            ServiceId(0),
             &[
                 view(0, ClusterKind::Docker, 2, false),
                 view(1, ClusterKind::Kubernetes, 5, true),
@@ -385,7 +388,7 @@ mod tests {
     fn hybrid_wasm_first_prefers_wasm_fast_container_best() {
         let mut s = HybridWasmFirst;
         let d = s.decide(
-            "svc",
+            ServiceId(0),
             &[
                 view(0, ClusterKind::Wasm, 2, false),
                 view(1, ClusterKind::Docker, 2, false),
@@ -395,7 +398,7 @@ mod tests {
         assert_eq!(d.best, Some(ClusterId(1)), "containers take over");
         // with a ready container instance, no split
         let d = s.decide(
-            "svc",
+            ServiceId(0),
             &[
                 view(0, ClusterKind::Wasm, 2, false),
                 view(1, ClusterKind::Docker, 2, true),
@@ -411,25 +414,25 @@ mod tests {
         let mut near = view(0, ClusterKind::Docker, 1, true);
         near.load = 0.95;
         let far = view(1, ClusterKind::Docker, 2, true);
-        let d = s.decide("svc", &[near.clone(), far.clone()]);
+        let d = s.decide(ServiceId(0), &[near.clone(), far.clone()]);
         assert_eq!(d.fast, Some(ClusterId(1)), "saturated near cluster skipped");
         // without load, nearest wins
         near.load = 0.0;
-        let d2 = s.decide("svc", &[near, far]);
+        let d2 = s.decide(ServiceId(0), &[near, far]);
         assert_eq!(d2.fast, Some(ClusterId(0)));
     }
 
     #[test]
     fn empty_views_mean_cloud() {
         assert_eq!(
-            NearestWaiting.decide("svc", &[]),
+            NearestWaiting.decide(ServiceId(0), &[]),
             Decision {
                 fast: None,
                 best: None
             }
         );
         assert_eq!(
-            NearestReadyFirst.decide("svc", &[]),
+            NearestReadyFirst.decide(ServiceId(0), &[]),
             Decision {
                 fast: None,
                 best: None
@@ -440,16 +443,16 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let mut rr = RoundRobinLocal::default();
-        let picks: Vec<u32> = (0..6).map(|_| rr.pick("svc", 3)).collect();
+        let picks: Vec<u32> = (0..6).map(|_| rr.pick(ServiceId(0), 3)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
-        assert_eq!(rr.pick("svc", 0), 0, "no replicas → degenerate 0");
+        assert_eq!(rr.pick(ServiceId(0), 0), 0, "no replicas → degenerate 0");
     }
 
     #[test]
     fn tie_break_is_lowest_id() {
         let mut s = NearestWaiting;
         let d = s.decide(
-            "svc",
+            ServiceId(0),
             &[
                 view(1, ClusterKind::Docker, 5, false),
                 view(0, ClusterKind::Docker, 5, false),

@@ -395,7 +395,7 @@ fn clean_redirect_reaches_site() {
 
 fn memory_with(key: FlowKey, target: SocketAddr, idle: SimDuration) -> FlowMemory {
     let mut m = FlowMemory::new(idle);
-    m.remember(t0(), key, "web".to_string(), target, ClusterId(0));
+    m.remember(t0(), key, edgectl::ServiceId(0), target, ClusterId(0));
     m
 }
 

@@ -27,6 +27,6 @@ pub mod time;
 pub use dist::{Dist, DurationDist};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
-pub use runner::run_seeds;
+pub use runner::{run_seeds, run_seeds_meta, RunnerMeta};
 pub use stats::{LogHistogram, Percentiles, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -8,6 +8,30 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// How a seed fan-out actually executed — returned alongside results so
+/// experiment reports can record the parallelism they ran under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerMeta {
+    /// Worker threads actually used, after clamping the request to the seed
+    /// count and the machine's available parallelism.
+    pub effective_threads: usize,
+    /// Seeds claimed per atomic cursor bump.
+    pub chunk_size: usize,
+}
+
+impl RunnerMeta {
+    /// The meta a `run_seeds(seeds, threads, _)` call of this shape executes
+    /// under. Pure — no threads are spawned; [`run_seeds_meta`] uses the same
+    /// computation, so a plan always matches the actual execution.
+    pub fn plan(threads: usize, jobs: usize) -> RunnerMeta {
+        let threads = effective_threads(threads, jobs);
+        RunnerMeta {
+            effective_threads: threads,
+            chunk_size: chunk_size(jobs, threads),
+        }
+    }
+}
+
 /// Run `f(seed)` for every seed, in parallel, preserving input order.
 ///
 /// `threads = 0` means "number of available CPUs". Work is distributed by
@@ -23,13 +47,28 @@ where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
+    run_seeds_meta(seeds, threads, f).0
+}
+
+/// [`run_seeds`], plus [`RunnerMeta`] describing the execution.
+///
+/// Threads claim seeds in chunks (one `fetch_add` per chunk, not per seed):
+/// neighbouring seeds stay on one core and the shared cursor line is touched
+/// `n / chunk` times instead of `n`.
+pub fn run_seeds_meta<R, F>(seeds: &[u64], threads: usize, f: F) -> (Vec<R>, RunnerMeta)
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
     let n = seeds.len();
+    let meta = RunnerMeta::plan(threads, n);
+    let threads = meta.effective_threads;
+    let chunk = meta.chunk_size;
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), meta);
     }
-    let threads = effective_threads(threads, n);
     if threads <= 1 {
-        return seeds.iter().map(|&s| f(s)).collect();
+        return (seeds.iter().map(|&s| f(s)).collect(), meta);
     }
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
@@ -43,24 +82,28 @@ where
             let cursor = &cursor;
             let slots_ptr = &slots_ptr;
             scope.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let r = f(seeds[i]);
-                // SAFETY: each index i is claimed by exactly one thread via the
-                // atomic cursor, so no two threads write the same slot; the
-                // scope guarantees all writes complete before `slots` is read.
-                unsafe { slots_ptr.0.add(i).write(Some(r)) };
+                let end = (start + chunk).min(n);
+                for (i, &seed) in seeds[start..end].iter().enumerate() {
+                    let r = f(seed);
+                    // SAFETY: each index belongs to exactly one claimed
+                    // chunk, so no two threads write the same slot; the scope
+                    // guarantees all writes complete before `slots` is read.
+                    unsafe { slots_ptr.0.add(start + i).write(Some(r)) };
+                }
             });
         }
     })
     .expect("runner thread panicked");
 
-    slots
+    let results = slots
         .into_iter()
         .map(|r| r.expect("every slot filled"))
-        .collect()
+        .collect();
+    (results, meta)
 }
 
 /// Wrapper so the raw pointer can be captured by the scoped threads.
@@ -75,6 +118,12 @@ fn effective_threads(requested: usize, jobs: usize) -> usize {
         .unwrap_or(1);
     let t = if requested == 0 { hw } else { requested };
     t.min(jobs).max(1)
+}
+
+/// Seeds per cursor bump: big enough to amortize the atomic, small enough
+/// that uneven run times still balance (aim for ≥ 8 claims per thread).
+fn chunk_size(jobs: usize, threads: usize) -> usize {
+    (jobs / (threads.max(1) * 8)).clamp(1, 16)
 }
 
 #[cfg(test)]
@@ -130,5 +179,29 @@ mod tests {
         let a = run_seeds(&seeds, 1, |s| s.wrapping_mul(0x9E3779B9));
         let b = run_seeds(&seeds, 7, |s| s.wrapping_mul(0x9E3779B9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_claiming_is_exhaustive_and_ordered() {
+        // Exercise chunk sizes > 1 (1000 seeds / 4 threads → chunk 16) and a
+        // final partial chunk (1000 % 16 != 0).
+        let seeds: Vec<u64> = (0..1000).collect();
+        let (out, meta) = run_seeds_meta(&seeds, 4, |s| s + 7);
+        let want: Vec<u64> = seeds.iter().map(|s| s + 7).collect();
+        assert_eq!(out, want);
+        assert_eq!(meta.effective_threads, effective_threads(4, 1000));
+        assert!(meta.chunk_size > 1);
+    }
+
+    #[test]
+    fn meta_reports_clamped_threads() {
+        // More threads than seeds: clamped to the job count.
+        let (_, meta) = run_seeds_meta(&[1, 2, 3], 64, |s| s);
+        assert_eq!(meta.effective_threads, 3);
+        assert_eq!(meta.chunk_size, 1);
+        // Empty input still reports a sane meta.
+        let (out, meta) = run_seeds_meta(&[], 4, |s| s);
+        assert!(out.is_empty());
+        assert_eq!(meta.effective_threads, 1);
     }
 }

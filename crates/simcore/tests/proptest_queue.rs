@@ -1,8 +1,12 @@
-//! Model-based property tests: the EventQueue must behave exactly like a
-//! naive reference model (a sorted list with FIFO tie-breaking and
-//! tombstone-free cancellation) under arbitrary operation sequences.
+//! Model-based property tests: the timing-wheel `EventQueue` must behave
+//! exactly like the retained heap+tombstone reference implementation
+//! (`simcore::queue::reference::HeapEventQueue` — the pre-wheel event core)
+//! under arbitrary push/cancel/pop/peek interleavings: same winners, same
+//! order, same cancel semantics, including far-future overflow slots,
+//! same-instant FIFO bursts and cancel-after-fire on stale ids.
 
 use proptest::prelude::*;
+use simcore::queue::reference::{HeapEventId, HeapEventQueue};
 use simcore::{EventQueue, SimTime};
 
 #[derive(Debug, Clone)]
@@ -13,117 +17,152 @@ enum Op {
     },
     /// Cancel the n-th still-tracked id (modulo live count).
     Cancel(usize),
+    /// Cancel an id that already fired or was already cancelled — both
+    /// implementations must report `false`.
+    CancelStale(usize),
     Pop,
+    Peek,
+}
+
+/// Times mix a dense band (forcing same-instant FIFO collisions), digit-
+/// boundary values (cascade edges) and far-future values up to `u64::MAX`
+/// (overflow slots).
+fn time_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        5 => 0u64..1000,
+        2 => 0u64..300_000_000_000,
+        1 => prop_oneof![
+            Just(63u64), Just(64), Just(4095), Just(4096),
+            Just(64u64.pow(5) - 1), Just(64u64.pow(5)),
+            Just(u64::MAX - 1), Just(u64::MAX),
+        ],
+        1 => any::<u64>(),
+    ]
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        4 => (0u64..1000, any::<u32>()).prop_map(|(time_ns, value)| Op::Push { time_ns, value }),
+        5 => (time_strategy(), any::<u32>())
+            .prop_map(|(time_ns, value)| Op::Push { time_ns, value }),
         1 => (0usize..16).prop_map(Op::Cancel),
-        3 => Just(Op::Pop),
+        1 => (0usize..16).prop_map(Op::CancelStale),
+        4 => Just(Op::Pop),
+        2 => Just(Op::Peek),
     ]
 }
 
-/// The reference model: a Vec of (time, seq, value, cancelled).
-#[derive(Default)]
-struct Model {
-    entries: Vec<(u64, u64, u32, bool)>,
-    next_seq: u64,
-}
-
-impl Model {
-    fn push(&mut self, time: u64, value: u32) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.entries.push((time, seq, value, false));
-        seq
-    }
-
-    fn cancel(&mut self, seq: u64) -> bool {
-        for e in &mut self.entries {
-            if e.1 == seq && !e.3 {
-                e.3 = true;
-                return true;
-            }
-        }
-        false
-    }
-
-    fn pop(&mut self) -> Option<(u64, u32)> {
-        let idx = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.3)
-            .min_by_key(|(_, e)| (e.0, e.1))
-            .map(|(i, _)| i)?;
-        let e = self.entries.remove(idx);
-        Some((e.0, e.2))
-    }
-
-    fn len(&self) -> usize {
-        self.entries.iter().filter(|e| !e.3).count()
-    }
-}
-
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(1024))]
 
+    /// The wheel and the retained heap reference, driven in lockstep.
     #[test]
-    fn queue_matches_reference_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
-        let mut queue = EventQueue::new();
-        let mut model = Model::default();
-        // parallel id tracking: queue ids and model seqs issued in lockstep
-        let mut live_ids = Vec::new();
+    fn wheel_matches_heap_reference(ops in prop::collection::vec(op_strategy(), 0..250)) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        // Ids issued in lockstep as (wheel id, heap id, time, push order);
+        // moved to `stale_ids` once cancelled or fired.
+        let mut live_ids: Vec<(simcore::EventId, HeapEventId, u64, usize)> = Vec::new();
+        let mut stale_ids: Vec<(simcore::EventId, HeapEventId)> = Vec::new();
+        let mut pushed = 0usize;
 
         for op in ops {
             match op {
                 Op::Push { time_ns, value } => {
-                    let qid = queue.push(SimTime::from_nanos(time_ns), value);
-                    let mseq = model.push(time_ns, value);
-                    live_ids.push((qid, mseq));
+                    let wid = wheel.push(SimTime::from_nanos(time_ns), value);
+                    let hid = heap.push(SimTime::from_nanos(time_ns), value);
+                    live_ids.push((wid, hid, time_ns, pushed));
+                    pushed += 1;
                 }
                 Op::Cancel(n) => {
                     if !live_ids.is_empty() {
-                        let (qid, mseq) = live_ids[n % live_ids.len()];
-                        let q = queue.cancel(qid);
-                        let m = model.cancel(mseq);
-                        prop_assert_eq!(q, m, "cancel outcome must agree");
+                        let (wid, hid, _, _) = live_ids.remove(n % live_ids.len());
+                        let w = wheel.cancel(wid);
+                        let h = heap.cancel(hid);
+                        prop_assert_eq!(w, h, "cancel outcome must agree");
+                        stale_ids.push((wid, hid));
+                    }
+                }
+                Op::CancelStale(n) => {
+                    if !stale_ids.is_empty() {
+                        let (wid, hid) = stale_ids[n % stale_ids.len()];
+                        prop_assert!(!wheel.cancel(wid), "stale id must be a no-op");
+                        prop_assert!(!heap.cancel(hid));
                     }
                 }
                 Op::Pop => {
-                    let q = queue.pop();
-                    let m = model.pop();
-                    match (q, m) {
-                        (None, None) => {}
-                        (Some((qt, qv)), Some((mt, mv))) => {
-                            prop_assert_eq!(qt.as_nanos(), mt);
-                            prop_assert_eq!(qv, mv);
-                        }
-                        other => prop_assert!(false, "pop mismatch: {:?}", other),
+                    let w = wheel.pop();
+                    let h = heap.pop();
+                    prop_assert_eq!(&w, &h, "pop must agree");
+                    if w.is_some() {
+                        // The fired entry is the live one with the minimal
+                        // (time, push order); its ids go stale.
+                        let i = live_ids
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &(_, _, t, ord))| (t, ord))
+                            .map(|(i, _)| i)
+                            .expect("a live id must back a successful pop");
+                        let (wid, hid, _, _) = live_ids.remove(i);
+                        stale_ids.push((wid, hid));
                     }
                 }
+                Op::Peek => {
+                    prop_assert_eq!(
+                        wheel.peek_time(),
+                        heap.peek_time(),
+                        "peek_time must agree"
+                    );
+                }
             }
-            prop_assert_eq!(queue.len(), model.len(), "live counts must agree");
+            prop_assert_eq!(wheel.len(), heap.len(), "live counts must agree");
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+            prop_assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
         }
 
-        // Drain both: remaining orders must agree completely.
+        // Drain both: remaining orders must agree completely, and every id
+        // that ever existed must now be stale in both implementations.
         loop {
-            let q = queue.pop();
-            let m = model.pop();
-            match (q, m) {
-                (None, None) => break,
-                (Some((qt, qv)), Some((mt, mv))) => {
-                    prop_assert_eq!(qt.as_nanos(), mt);
-                    prop_assert_eq!(qv, mv);
-                }
-                other => prop_assert!(false, "drain mismatch: {:?}", other),
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            let w = wheel.pop();
+            let h = heap.pop();
+            prop_assert_eq!(&w, &h, "drain must agree");
+            if w.is_none() {
+                break;
+            }
+        }
+        let remaining = live_ids.into_iter().map(|(wid, hid, _, _)| (wid, hid));
+        for (wid, hid) in remaining.chain(stale_ids) {
+            prop_assert!(!wheel.cancel(wid), "cancel-after-fire must be false");
+            prop_assert!(!heap.cancel(hid));
+        }
+    }
+
+    /// Same-instant bursts: strict FIFO at every colliding timestamp, in
+    /// both implementations.
+    #[test]
+    fn same_instant_fifo_matches_reference(
+        burst in prop::collection::vec((0u64..4, any::<u32>()), 1..200)
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for &(slot, value) in &burst {
+            // Four distinct instants, many collisions per instant.
+            let t = SimTime::from_nanos(slot * 1_000);
+            wheel.push(t, value);
+            heap.push(t, value);
+        }
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            prop_assert_eq!(&w, &h);
+            if w.is_none() {
+                break;
             }
         }
     }
 
     #[test]
-    fn pops_are_monotone_in_time(times in prop::collection::vec(0u64..10_000, 1..100)) {
+    fn pops_are_monotone_in_time(times in prop::collection::vec(time_strategy(), 1..100)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
@@ -136,7 +175,7 @@ proptest! {
     }
 
     #[test]
-    fn peek_agrees_with_pop(times in prop::collection::vec(0u64..1000, 0..50)) {
+    fn peek_agrees_with_pop(times in prop::collection::vec(time_strategy(), 0..50)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
@@ -146,5 +185,34 @@ proptest! {
             prop_assert_eq!(peek, t);
         }
         prop_assert!(q.pop().is_none());
+    }
+
+    /// Pushing behind the already-popped minimum (events "in the past") must
+    /// keep exact (time, seq) order — the overdue path vs. the reference.
+    #[test]
+    fn past_pushes_match_reference(
+        future in prop::collection::vec(500u64..1000, 1..20),
+        past in prop::collection::vec(0u64..600, 1..20),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for (i, &t) in future.iter().enumerate() {
+            wheel.push(SimTime::from_nanos(t), i);
+            heap.push(SimTime::from_nanos(t), i);
+        }
+        // Advance the cursor past the earliest future event.
+        prop_assert_eq!(wheel.pop(), heap.pop());
+        for (i, &t) in past.iter().enumerate() {
+            wheel.push(SimTime::from_nanos(t), 1000 + i);
+            heap.push(SimTime::from_nanos(t), 1000 + i);
+        }
+        loop {
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            let w = wheel.pop();
+            prop_assert_eq!(&w, &heap.pop());
+            if w.is_none() {
+                break;
+            }
+        }
     }
 }

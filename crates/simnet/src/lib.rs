@@ -30,8 +30,8 @@ pub mod topology;
 
 pub use addr::{IpAddr, SocketAddr};
 pub use openflow::{
-    Action, FlowEntry, FlowMatch, FlowSpec, FlowTable, IpNet, PacketVerdict, Switch,
+    Action, ActionList, FlowEntry, FlowMatch, FlowSpec, FlowTable, IpNet, PacketVerdict, Switch,
 };
 pub use packet::{Packet, Protocol};
 pub use tcp::TcpModel;
-pub use topology::{LinkId, NodeId, NodeKind, PathInfo, Topology};
+pub use topology::{LinkId, NodeId, NodeKind, PathCache, PathInfo, Topology};

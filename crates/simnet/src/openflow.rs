@@ -336,6 +336,119 @@ pub enum Action {
     Drop,
 }
 
+/// An action list with inline capacity for the common case.
+///
+/// Controller-installed redirects carry at most three actions (two rewrites
+/// plus an output), so the list stores up to [`ActionList::INLINE`] actions
+/// in place — cloning an installed entry's actions on the per-packet apply
+/// path then copies a few words instead of heap-allocating a `Vec`. Longer
+/// lists (seeded experiment flows, synthetic tests) spill to a `Vec`
+/// transparently.
+#[derive(Debug, Clone)]
+pub enum ActionList {
+    /// Up to `INLINE` actions stored in place; slots past `len` are padding.
+    Inline { len: u8, items: [Action; 4] },
+    /// Fallback for longer lists.
+    Spilled(Vec<Action>),
+}
+
+impl ActionList {
+    /// Inline capacity; pushes past this spill to the heap.
+    pub const INLINE: usize = 4;
+    const PAD: Action = Action::Drop;
+
+    pub fn new() -> ActionList {
+        ActionList::Inline {
+            len: 0,
+            items: [Self::PAD; Self::INLINE],
+        }
+    }
+
+    pub fn push(&mut self, action: Action) {
+        match self {
+            ActionList::Inline { len, items } => {
+                if (*len as usize) < Self::INLINE {
+                    items[*len as usize] = action;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(Self::INLINE + 1);
+                    v.extend_from_slice(&items[..]);
+                    v.push(action);
+                    *self = ActionList::Spilled(v);
+                }
+            }
+            ActionList::Spilled(v) => v.push(action),
+        }
+    }
+
+    pub fn as_slice(&self) -> &[Action] {
+        match self {
+            ActionList::Inline { len, items } => &items[..*len as usize],
+            ActionList::Spilled(v) => v,
+        }
+    }
+}
+
+impl Default for ActionList {
+    fn default() -> ActionList {
+        ActionList::new()
+    }
+}
+
+impl std::ops::Deref for ActionList {
+    type Target = [Action];
+    fn deref(&self) -> &[Action] {
+        self.as_slice()
+    }
+}
+
+// Padding slots are not part of the value: equality is slice equality, so an
+// inline list equals a spilled list with the same actions.
+impl PartialEq for ActionList {
+    fn eq(&self, other: &ActionList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for ActionList {}
+
+impl From<Vec<Action>> for ActionList {
+    fn from(v: Vec<Action>) -> ActionList {
+        if v.len() <= Self::INLINE {
+            let mut list = ActionList::new();
+            for a in v {
+                list.push(a);
+            }
+            list
+        } else {
+            ActionList::Spilled(v)
+        }
+    }
+}
+
+impl From<&[Action]> for ActionList {
+    fn from(v: &[Action]) -> ActionList {
+        v.iter().copied().collect()
+    }
+}
+
+impl FromIterator<Action> for ActionList {
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> ActionList {
+        let mut list = ActionList::new();
+        for a in iter {
+            list.push(a);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a ActionList {
+    type Item = &'a Action;
+    type IntoIter = std::slice::Iter<'a, Action>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Everything that defines a flow entry except its identity and counters:
 /// matcher, priority, actions and timeouts. Built fluently and handed to
 /// [`FlowTable::install`] / [`Switch::flow_mod`]:
@@ -358,7 +471,7 @@ pub enum Action {
 pub struct FlowSpec {
     pub matcher: FlowMatch,
     pub priority: u16,
-    pub actions: Vec<Action>,
+    pub actions: ActionList,
     pub idle_timeout: Option<SimDuration>,
     pub hard_timeout: Option<SimDuration>,
     pub cookie: u64,
@@ -371,7 +484,7 @@ impl FlowSpec {
         FlowSpec {
             matcher,
             priority: 0,
-            actions: Vec::new(),
+            actions: ActionList::new(),
             idle_timeout: None,
             hard_timeout: None,
             cookie: 0,
@@ -389,9 +502,10 @@ impl FlowSpec {
         self
     }
 
-    /// Replace the action list.
-    pub fn actions(mut self, actions: Vec<Action>) -> FlowSpec {
-        self.actions = actions;
+    /// Replace the action list (accepts a `Vec<Action>`, a slice or an
+    /// [`ActionList`]).
+    pub fn actions(mut self, actions: impl Into<ActionList>) -> FlowSpec {
+        self.actions = actions.into();
         self
     }
 
@@ -432,7 +546,7 @@ pub struct FlowEntry {
     pub id: FlowId,
     pub priority: u16,
     pub matcher: FlowMatch,
-    pub actions: Vec<Action>,
+    pub actions: ActionList,
     /// Evict after this long without a matching packet.
     pub idle_timeout: Option<SimDuration>,
     /// Evict this long after installation regardless of use.

@@ -1,6 +1,6 @@
 //! Network topology: nodes joined by links with propagation latency and
 //! bandwidth. Routing is shortest-path by latency (Dijkstra), computed on
-//! demand and cached per source.
+//! demand; long-running consumers memoize queries with a [`PathCache`].
 //!
 //! The evaluation topology (paper Fig. 8) is small — one OVS switch, the EGS,
 //! a cloud uplink and 20 Raspberry Pi clients — but the model supports the
@@ -206,6 +206,51 @@ impl Topology {
     }
 }
 
+/// Memoized shortest-path queries over an (immutable) [`Topology`].
+///
+/// The testbed's per-request hot path resolves the same (client, host) pairs
+/// over and over while the topology never changes mid-run, so each distinct
+/// pair pays Dijkstra once and a hash probe afterwards. Kept separate from
+/// [`Topology`] so the graph stays freely mutable; callers that alter the
+/// graph must [`PathCache::clear`] (or build a fresh cache).
+#[derive(Debug, Clone, Default)]
+pub struct PathCache {
+    paths: HashMap<(NodeId, NodeId), Option<PathInfo>>,
+}
+
+impl PathCache {
+    pub fn new() -> PathCache {
+        PathCache::default()
+    }
+
+    /// Cached equivalent of [`Topology::path`].
+    pub fn path(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<&PathInfo> {
+        self.paths
+            .entry((src, dst))
+            .or_insert_with(|| topo.path(src, dst))
+            .as_ref()
+    }
+
+    /// Cached equivalent of [`Topology::latency`].
+    pub fn latency(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        self.path(topo, src, dst).map(|p| p.latency)
+    }
+
+    /// Number of memoized (src, dst) pairs.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Forget everything — required after mutating the underlying topology.
+    pub fn clear(&mut self) {
+        self.paths.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +352,31 @@ mod tests {
         let (t, a, ..) = triangle();
         let n: Vec<_> = t.neighbors(a).collect();
         assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn path_cache_agrees_with_direct_queries() {
+        let (t, a, b, c) = triangle();
+        let mut cache = PathCache::new();
+        for &(src, dst) in &[(a, c), (c, a), (a, b), (a, a)] {
+            // Twice: once computing, once served from the memo.
+            assert_eq!(cache.path(&t, src, dst).cloned(), t.path(src, dst));
+            assert_eq!(cache.path(&t, src, dst).cloned(), t.path(src, dst));
+            assert_eq!(cache.latency(&t, src, dst), t.latency(src, dst));
+        }
+        assert_eq!(cache.len(), 4);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn path_cache_memoizes_unreachable_pairs() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host);
+        let b = t.add_node("b", NodeKind::Host);
+        let mut cache = PathCache::new();
+        assert!(cache.path(&t, a, b).is_none());
+        assert!(cache.path(&t, a, b).is_none());
+        assert_eq!(cache.len(), 1, "negative results are memoized too");
     }
 }

@@ -28,4 +28,4 @@ pub use sim::{
     measure_first_request, run_bigflows, run_bigflows_audited, run_trace_scenario, AuditReport,
     RunResult, Testbed,
 };
-pub use topology::{C3Topology, CLOUD_PORT, DOCKER_PORT, K8S_PORT};
+pub use topology::{C3Topology, SiteSpec, CLOUD_PORT, DOCKER_PORT, K8S_PORT};

@@ -24,7 +24,7 @@ use edgectl::{
 use edgeverify::{CoherenceView, Fabric, FabricSwitch, Link, PacketClass, Verifier, Violation};
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
-use simnet::{Packet, SocketAddr, TcpModel};
+use simnet::{Packet, PathCache, SocketAddr, TcpModel};
 use workload::client::RequestRecord;
 use workload::{ServiceProfile, Trace, TraceConfig};
 
@@ -77,6 +77,10 @@ pub struct RunResult {
     pub crashes_injected: u64,
     /// Instant the trace's t=0 was mapped to (after pre-warm setup).
     pub trace_offset: SimDuration,
+    /// Total events the run scheduled (engine diagnostic).
+    pub events_scheduled: u64,
+    /// High-water mark of the future-event list (engine diagnostic).
+    pub peak_queue_depth: usize,
 }
 
 impl RunResult {
@@ -104,6 +108,58 @@ impl RunResult {
             p.record_duration(r.time_total());
         }
         p.median()
+    }
+
+    /// Canonical textual trace of everything the run *measured* — the
+    /// determinism artifact. Two runs are behaviourally identical iff this
+    /// string is byte-identical. Engine-internal diagnostics (events
+    /// scheduled, peak queue depth) are deliberately excluded so the trace
+    /// is comparable across event-core implementations.
+    pub fn metrics_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 * self.records.len() + 1024);
+        let _ = writeln!(
+            out,
+            "lost={} memory_hits={} cloud_forwards={} held={} detoured={} \
+             scale_downs={} retargets={} proactive={} crashes={} offset_ns={}",
+            self.lost,
+            self.memory_hits,
+            self.cloud_forwards,
+            self.held_requests,
+            self.detoured_requests,
+            self.scale_downs,
+            self.retargets,
+            self.proactive_deployments,
+            self.crashes_injected,
+            self.trace_offset.as_nanos(),
+        );
+        let _ = writeln!(out, "switch={:?}", self.switch_stats);
+        for d in &self.deployments {
+            let _ = writeln!(out, "deploy={d:?}");
+        }
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "req started={} finished={} service={} client={} triggered={}",
+                r.started.as_nanos(),
+                r.finished.as_nanos(),
+                r.service,
+                r.client,
+                r.triggered_deployment,
+            );
+        }
+        out
+    }
+
+    /// FNV-1a over [`RunResult::metrics_trace`] — the drift gate used by the
+    /// determinism regression test and the `cityscale` benchmark.
+    pub fn metrics_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.metrics_trace().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 }
 
@@ -189,7 +245,13 @@ pub struct Testbed {
     templates: Vec<ServiceTemplate>,
     rng: SimRng,
     events: EventQueue<Ev>,
-    in_flight: HashMap<u64, InFlight>,
+    /// Per-request state, indexed by the request tag. Tags are assigned
+    /// densely from the trace, so a flat slab replaces hashing on the
+    /// per-packet path.
+    in_flight: Vec<Option<InFlight>>,
+    /// Memoized routing queries over the (immutable after build) fabric;
+    /// saves a Dijkstra per completed request.
+    paths: PathCache,
     records: Vec<RequestRecord>,
     lost: u64,
     crashes_injected: u64,
@@ -297,7 +359,8 @@ impl Testbed {
             templates,
             rng,
             events: EventQueue::new(),
-            in_flight: HashMap::new(),
+            in_flight: Vec::new(),
+            paths: PathCache::new(),
             records: Vec::new(),
             lost: 0,
             crashes_injected: 0,
@@ -432,20 +495,18 @@ impl Testbed {
             }
         }
 
+        self.in_flight.resize_with(trace.requests.len(), || None);
         for (idx, req) in trace.requests.iter().enumerate() {
             let tag = idx as u64;
             let started = req.at + offset;
             let syn_at_switch = started + self.c3.client_switch_latency(req.client);
-            self.in_flight.insert(
-                tag,
-                InFlight {
-                    started,
-                    syn_at_switch,
-                    service: req.service,
-                    client: req.client,
-                    deployments_before: 0,
-                },
-            );
+            self.in_flight[idx] = Some(InFlight {
+                started,
+                syn_at_switch,
+                service: req.service,
+                client: req.client,
+                deployments_before: 0,
+            });
             self.events.push(syn_at_switch, Ev::SynAtSwitch { tag });
         }
         self.run_loop();
@@ -478,7 +539,7 @@ impl Testbed {
                 table: &self.switch.table,
                 links,
             }],
-            service_addrs: self.service_addrs.clone(),
+            service_addrs: self.service_addrs.to_vec(),
             classes,
         };
         let mut final_violations = Vec::new();
@@ -519,16 +580,13 @@ impl Testbed {
         let offset = (setup_end - SimTime::ZERO) + SimDuration::from_secs(5);
         let started = SimTime::ZERO + offset;
         let syn_at_switch = started + self.c3.client_switch_latency(0);
-        self.in_flight.insert(
-            0,
-            InFlight {
-                started,
-                syn_at_switch,
-                service: 0,
-                client: 0,
-                deployments_before: 0,
-            },
-        );
+        self.in_flight = vec![Some(InFlight {
+            started,
+            syn_at_switch,
+            service: 0,
+            client: 0,
+            deployments_before: 0,
+        })];
         self.events.push(syn_at_switch, Ev::SynAtSwitch { tag: 0 });
         self.run_loop();
         self.finish(offset)
@@ -548,6 +606,8 @@ impl Testbed {
             retargets: stats.retargets,
             proactive_deployments: stats.proactive_deployments,
             crashes_injected: self.crashes_injected,
+            events_scheduled: self.events.scheduled_total(),
+            peak_queue_depth: self.events.peak_len(),
             records: self.records,
             trace_offset: offset,
         }
@@ -583,16 +643,21 @@ impl Testbed {
     }
 
     fn on_syn(&mut self, now: SimTime, tag: u64) {
-        let fl = &self.in_flight[&tag];
-        let src = SocketAddr::new(self.c3.client_ips[fl.client], 40000 + fl.service as u16);
-        let dst = self.service_addrs[fl.service];
+        let (client, service) = {
+            let fl = self.in_flight[tag as usize]
+                .as_ref()
+                .expect("SYN for untracked request tag");
+            (fl.client, fl.service)
+        };
+        let src = SocketAddr::new(self.c3.client_ips[client], 40000 + service as u16);
+        let dst = self.service_addrs[service];
         let packet = Packet::syn(src, dst, tag);
         match self.switch.receive(now, packet) {
             PacketVerdict::Forward { packet, out_port } => {
                 self.complete_request(now, tag, packet, out_port);
             }
             PacketVerdict::PacketIn { buffer_id, packet } => {
-                let in_port = self.c3.client_port(fl.client);
+                let in_port = self.c3.client_port(client);
                 self.events.push(
                     now + CTRL_LATENCY,
                     Ev::CtrlPacketIn {
@@ -604,7 +669,7 @@ impl Testbed {
             }
             PacketVerdict::Dropped => {
                 self.lost += 1;
-                self.in_flight.remove(&tag);
+                self.in_flight[tag as usize] = None;
             }
         }
     }
@@ -616,7 +681,11 @@ impl Testbed {
         buffer_id: BufferId,
         in_port: PortId,
     ) {
-        if let Some(fl) = self.in_flight.get_mut(&packet.tag) {
+        if let Some(fl) = self
+            .in_flight
+            .get_mut(packet.tag as usize)
+            .and_then(|slot| slot.as_mut())
+        {
             fl.deployments_before = self.controller.stats.deployments.len();
         }
         let outputs = self
@@ -718,7 +787,7 @@ impl Testbed {
     /// remainder of the exchange analytically and record timecurl's
     /// `time_total`.
     fn complete_request(&mut self, release: SimTime, tag: u64, _packet: Packet, out_port: PortId) {
-        let Some(fl) = self.in_flight.remove(&tag) else {
+        let Some(fl) = self.in_flight.get_mut(tag as usize).and_then(Option::take) else {
             return; // duplicate completion (cannot happen by construction)
         };
         let host = if out_port == CLOUD_PORT {
@@ -735,12 +804,14 @@ impl Testbed {
             self.lost += 1;
             return;
         };
-        let path = self
-            .c3
-            .net
-            .path(self.c3.clients[fl.client], host)
-            .expect("client reaches host");
-        let tcp = TcpModel::new(path.rtt(), path.bottleneck_bps);
+        let (rtt, bottleneck_bps) = {
+            let path = self
+                .paths
+                .path(&self.c3.net, self.c3.clients[fl.client], host)
+                .expect("client reaches host");
+            (path.rtt(), path.bottleneck_bps)
+        };
+        let tcp = TcpModel::new(rtt, bottleneck_bps);
         let server_time = self.profile.server_time.sample(&mut self.rng);
         // Time the SYN spent buffered at the switch (deployment wait).
         let hold = release - fl.syn_at_switch;
@@ -776,7 +847,7 @@ impl Testbed {
 
 /// Run an externally supplied trace (e.g. loaded from CSV) under a scenario.
 pub fn run_trace_scenario(cfg: ScenarioConfig, trace: &Trace) -> RunResult {
-    let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+    let testbed = Testbed::build(cfg, trace.service_addrs.to_vec());
     testbed.run_trace(trace)
 }
 
@@ -798,7 +869,7 @@ pub fn run_bigflows(cfg: ScenarioConfig) -> (Trace, RunResult) {
         },
         &mut trace_rng,
     );
-    let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+    let testbed = Testbed::build(cfg, trace.service_addrs.to_vec());
     let result = testbed.run_trace(&trace);
     (trace, result)
 }
@@ -814,7 +885,7 @@ pub fn run_bigflows_audited(cfg: ScenarioConfig) -> (Trace, RunResult, AuditRepo
         },
         &mut trace_rng,
     );
-    let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+    let testbed = Testbed::build(cfg, trace.service_addrs.to_vec());
     let (result, report) = testbed.run_trace_audited(&trace);
     (trace, result, report)
 }

@@ -127,7 +127,9 @@ impl C3Topology {
             let node = net.add_node(format!("pi{i:02}"), NodeKind::Host);
             net.add_link(node, switch, SimDuration::from_micros(200), GBPS);
             clients.push(node);
-            client_ips.push(IpAddr::new(10, 1, 0, (i + 1) as u8));
+            // 250 clients per /24 so city-scale client counts stay unique
+            // (identical to the historical 10.1.0.x layout for i < 250).
+            client_ips.push(IpAddr::new(10, 1, (i / 250) as u8, (i % 250 + 1) as u8));
         }
 
         C3Topology {

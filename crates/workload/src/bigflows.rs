@@ -45,6 +45,25 @@ impl Default for TraceConfig {
     }
 }
 
+impl TraceConfig {
+    /// The paper's trace scaled by an integer multiplier: `scale`× the
+    /// clients, services and total requests over the same five-minute
+    /// window. `scaled(1)` is exactly [`TraceConfig::default`], so all the
+    /// paper-calibrated marginals are unchanged at 1×; larger multipliers
+    /// keep the per-service floor and popularity law while widening the
+    /// service and client populations (the city-scale benchmark dimension).
+    pub fn scaled(scale: usize) -> TraceConfig {
+        assert!(scale > 0, "scale multiplier must be >= 1");
+        let base = TraceConfig::default();
+        TraceConfig {
+            services: base.services * scale,
+            total_requests: base.total_requests * scale,
+            clients: base.clients * scale,
+            ..base
+        }
+    }
+}
+
 /// One request in the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRequest {

@@ -88,6 +88,64 @@ fn fig16_running_instance_is_milliseconds() {
     assert!(resnet_row.contains("ms"), "{resnet_row}");
 }
 
+/// The canonical metrics hash of the seed-42 bigFlows replay at 1× — the
+/// same constant `cityscale --expect-hash-1x` pins in CI. A change here means
+/// the simulation's observable behaviour changed, which a pure performance
+/// PR must not do.
+const CITYSCALE_1X_HASH: u64 = 0x66cc06e4f4d26b1a;
+
+/// Exactly the `cityscale` benchmark's 1× run (same trace rng, same site
+/// scaling).
+fn cityscale_run(scale: usize) -> testbed::RunResult {
+    use cluster::ClusterKind;
+    use testbed::{ScenarioConfig, SiteSpec, Testbed};
+    use workload::{Trace, TraceConfig};
+
+    const SEED: u64 = 42;
+    let mut trace_rng = simcore::SimRng::seed_from_u64(SEED ^ 0xB16F_1085);
+    let trace = Trace::generate(TraceConfig::scaled(scale), &mut trace_rng);
+    let cfg = ScenarioConfig {
+        seed: SEED,
+        clients: trace.config.clients,
+        sites: vec![(
+            SiteSpec::egs("egs-0").with_nodes(scale),
+            ClusterKind::Docker,
+        )],
+        ..ScenarioConfig::default()
+    };
+    let testbed = Testbed::build(cfg, trace.service_addrs.to_vec());
+    testbed.run_trace(&trace)
+}
+
+#[test]
+fn bigflows_seed42_replay_is_bit_identical() {
+    // Pinned hash: the timing-wheel queue, ServiceId interning and the
+    // allocation-lean packet path must not change a single observable metric.
+    assert_eq!(
+        cityscale_run(1).metrics_hash(),
+        CITYSCALE_1X_HASH,
+        "1x determinism hash drifted — observable simulation behaviour changed"
+    );
+}
+
+#[test]
+fn bigflows_replay_identical_across_thread_counts() {
+    // Each run is a pure function of (config, seed); the chunked-claiming
+    // runner must return byte-identical traces for threads ∈ {1, 8}.
+    let replay = |threads: usize| {
+        simcore::run_seeds(&[42, 43, 44], threads, |seed| {
+            let (_, r) = testbed::run_bigflows(testbed::ScenarioConfig::default().with_seed(seed));
+            r.metrics_trace()
+        })
+    };
+    let one = replay(1);
+    let eight = replay(8);
+    assert_eq!(one, eight, "metrics traces differ across thread counts");
+    // And the seed-42 single run through run_seeds equals the direct run.
+    let (_, direct) = testbed::run_bigflows(testbed::ScenarioConfig::default().with_seed(42));
+    assert_eq!(one[0], direct.metrics_trace());
+}
+
 #[test]
 fn extension_experiments_render() {
     let seeds: Vec<u64> = (1..=2).collect();
