@@ -120,7 +120,7 @@ fn bench_flow_memory_churn(c: &mut Criterion) {
                         key,
                         edgectl::ServiceId(0),
                         target,
-                        ClusterId(0),
+                        Some(ClusterId(0)),
                     );
                 }
                 let mut hits = 0;

@@ -25,7 +25,9 @@ pub mod k8s;
 pub mod template;
 pub mod wasm;
 
-pub use api::{ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ServiceStatus};
+pub use api::{
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+};
 pub use docker::DockerCluster;
 pub use faults::{FaultPlan, FaultyCluster};
 pub use k8s::{K8sCluster, K8sTimings};

@@ -1,6 +1,9 @@
 //! The SDN controller: PacketIn handling (the Dispatcher algorithm of paper
-//! Fig. 7), the three-phase on-demand deployment pipeline, port-open polling,
-//! flow installation and idle scale-down.
+//! Fig. 7), flow installation and idle scale-down. The deployment pipeline
+//! itself (Pull → Create → Scale-Up → poll port) lives in
+//! [`crate::dispatcher`] as per-deployment state machines; the event loop
+//! drives everything through the single
+//! [`Controller::next_wakeup`]/[`Controller::on_wakeup`] surface.
 //!
 //! The controller *owns* the cluster backends and the registry routing — just
 //! like the paper's Ryu application holds the Docker/Kubernetes client
@@ -13,18 +16,20 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cluster::{ClusterBackend, ClusterError, ClusterKind};
+use cluster::{ClusterBackend, ClusterKind};
 use registry::RegistrySet;
 use simcore::{SimDuration, SimTime};
 use simnet::openflow::{Action, BufferId, FlowMatch, FlowSpec, PortId};
 use simnet::{IpAddr, Packet, SocketAddr};
 
 use crate::catalog::{ServiceCatalog, ServiceId};
+use crate::dispatcher::{
+    reference, DeployError, DeployPhaseKind, Dispatcher, MachineOutcome, StepCtx, Waiter,
+};
 use crate::flowmemory::{FlowKey, FlowMemory};
 use crate::predictor::{NoPrediction, Predictor};
 use crate::scheduler::{
     ClusterId, ClusterView, GlobalScheduler, LocalScheduler, NearestWaiting, RoundRobinLocal,
-    CLOUD_CLUSTER,
 };
 
 /// Controller tuning knobs.
@@ -194,6 +199,11 @@ pub struct ControllerStats {
     pub proactive_deployments: u64,
     /// Phase retries after transient failures.
     pub retried_operations: u64,
+    /// Mid-deployment crash recoveries: an instance died while its
+    /// deployment was still being probed and the dispatcher re-issued the
+    /// scale-up (only possible under the stepped dispatcher — the synchronous
+    /// reference pipeline can never observe a crash mid-flight).
+    pub crash_recoveries: u64,
     /// Replica increases performed by the autoscaler.
     pub autoscale_ups: u64,
     /// Memorized flows abandoned because the client moved nearer to another
@@ -213,6 +223,31 @@ pub struct AttachedCluster {
     pub ports: Vec<PortId>,
 }
 
+/// Which deployment engine drives the pipeline.
+enum Engine {
+    /// The event-driven dispatcher: one state machine per in-flight
+    /// deployment, advanced by [`Controller::on_wakeup`].
+    Stepped(Dispatcher),
+    /// The retained synchronous pipeline ([`reference`]) — the equivalence
+    /// oracle for the lockstep property test.
+    Reference(reference::ReferencePipeline),
+}
+
+/// Proactive-deployment cadence, owned by the controller so predict runs are
+/// ordinary wakeups (the event loop no longer pre-pushes tick events).
+struct PredictSchedule {
+    next: SimTime,
+    interval: SimDuration,
+    end: SimTime,
+    horizon: SimDuration,
+}
+
+impl PredictSchedule {
+    fn next_due_at(&self) -> Option<SimTime> {
+        (self.next <= self.end).then_some(self.next)
+    }
+}
+
 /// The transparent-edge SDN controller.
 pub struct Controller {
     config: ControllerConfig,
@@ -224,8 +259,8 @@ pub struct Controller {
     registries: RegistrySet,
     /// Per-switch port toward the cloud/WAN uplink (directly or via trunks).
     cloud_ports: Vec<PortId>,
-    /// In-flight (or completed) deployments: ready-detected instant.
-    pending: HashMap<(ClusterId, ServiceId), SimTime>,
+    /// The deployment pipeline: stepped dispatcher or synchronous reference.
+    engine: Engine,
     /// Dispatcher-tracked client locations: which switch and port each
     /// client was last seen at (paper §IV-B).
     client_ports: HashMap<IpAddr, (SwitchId, PortId)>,
@@ -236,7 +271,21 @@ pub struct Controller {
     /// scaled down.
     scaled_to_zero: HashMap<(ClusterId, ServiceId), SimTime>,
     predictor: Box<dyn Predictor>,
+    predict: Option<PredictSchedule>,
+    /// Most recent dispatcher deployment failure (diagnostics; see
+    /// [`Controller::last_deploy_failure`]).
+    last_deploy_failure: Option<DeployFailure>,
     pub stats: ControllerStats,
+}
+
+/// Diagnostic record of a dispatcher deployment that ended in `Failed`:
+/// which phase gave up, and why.
+#[derive(Debug, Clone)]
+pub struct DeployFailure {
+    pub cluster: ClusterId,
+    pub service: ServiceId,
+    pub phase: DeployPhaseKind,
+    pub error: DeployError,
 }
 
 /// Fluent constructor for [`Controller`] — every dependency has a default
@@ -261,6 +310,7 @@ pub struct ControllerBuilder {
     registries: RegistrySet,
     cloud_port: PortId,
     predictor: Box<dyn Predictor>,
+    reference_pipeline: bool,
 }
 
 impl ControllerBuilder {
@@ -296,8 +346,23 @@ impl ControllerBuilder {
         self
     }
 
+    /// Drive deployments through the retained **synchronous** pipeline
+    /// ([`crate::dispatcher::reference`]) instead of the stepped dispatcher.
+    /// This is the equivalence oracle: the lockstep property test runs one
+    /// controller per engine through identical inputs and asserts identical
+    /// outputs, stats and deployment records.
+    pub fn reference_pipeline(mut self) -> ControllerBuilder {
+        self.reference_pipeline = true;
+        self
+    }
+
     pub fn build(self) -> Controller {
         let memory = FlowMemory::new(self.config.memory_idle_timeout);
+        let engine = if self.reference_pipeline {
+            Engine::Reference(reference::ReferencePipeline::default())
+        } else {
+            Engine::Stepped(Dispatcher::default())
+        };
         Controller {
             config: self.config,
             catalog: ServiceCatalog::new(),
@@ -307,11 +372,13 @@ impl ControllerBuilder {
             clusters: Vec::new(),
             registries: self.registries,
             cloud_ports: vec![self.cloud_port],
-            pending: HashMap::new(),
+            engine,
             client_ports: HashMap::new(),
             retarget_queue: Vec::new(),
             scaled_to_zero: HashMap::new(),
             predictor: self.predictor,
+            predict: None,
+            last_deploy_failure: None,
             stats: ControllerStats::default(),
         }
     }
@@ -329,6 +396,7 @@ impl Controller {
             registries: RegistrySet::new(),
             cloud_port: PortId(0),
             predictor: Box::new(NoPrediction),
+            reference_pipeline: false,
         }
     }
 
@@ -446,10 +514,11 @@ impl Controller {
         //    switch idle timeouts stay low).
         if let Some(flow) = self.memory.recall(now, key) {
             let (target, cluster, sid) = (flow.target, flow.cluster, flow.service);
-            if cluster == CLOUD_CLUSTER {
+            let Some(cluster) = cluster else {
+                // Memorized as served by the cloud (no edge cluster).
                 self.stats.memory_hits += 1;
                 return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid));
-            }
+            };
             let service_name = self.catalog.name_arc(sid);
             // Follow-Me-Edge (related work [12], [13]): if the client has
             // moved and a strictly nearer cluster now has a ready instance,
@@ -498,32 +567,19 @@ impl Controller {
         self.predictor.observe(now, packet.dst);
 
         // 3. Feed the Global Scheduler the Dispatcher's system view.
-        let views: Vec<ClusterView> = self
-            .clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| ClusterView {
-                id: ClusterId(i),
-                kind: c.backend.kind(),
-                distance: c.distances[sw.0],
-                status: c.backend.status(now, &service_name),
-                load: c.backend.load(),
-            })
-            .collect();
+        let views = self.cluster_views(now, sid, sw.0, &service_name);
         let decision = self.global.decide(sid, &views);
 
         // 4. Kick off the BEST deployment first (without waiting it runs in
         //    parallel with serving the current request elsewhere).
         if let Some(best) = decision.best {
-            if best != decision.fast.unwrap_or(ClusterId(usize::MAX)) {
-                if let Some(ready_at) = self.ensure_deployed(now, best, sid, &template, false) {
-                    self.schedule_retarget(ready_at, best, sid);
-                }
+            if decision.fast != Some(best) {
+                self.request_best_deployment(now, best, sid, &template);
             }
         }
 
         // 5. Serve the current request.
-        match decision.fast {
+        let mut outputs = match decision.fast {
             Some(fast) => {
                 let status = self.clusters[fast.0].backend.status(now, &service_name);
                 if status.is_ready() {
@@ -547,41 +603,180 @@ impl Controller {
                 } else {
                     // On-demand deployment WITH waiting (paper Fig. 5): hold
                     // the buffered packet until the port opens.
-                    match self.ensure_deployed(now, fast, sid, &template, true) {
-                        Some(ready_at) => {
-                            self.stats.held_requests += 1;
-                            let target = self.pick_instance(ready_at, fast, sid);
-                            self.redirect_outputs(
-                                ready_at.max(decide_at),
-                                sw,
-                                key,
-                                sid,
-                                target,
-                                fast,
-                                in_port,
-                                Some(buffer_id),
-                            )
-                        }
-                        None => {
-                            // Deployment failed; fall back to the cloud.
-                            self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None)
-                        }
-                    }
+                    self.hold_on_deployment(
+                        now, decide_at, sw, fast, sid, &template, key, packet, in_port, buffer_id,
+                    )
                 }
             }
             None => self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid)),
+        };
+        // Advance any machine whose step is already due (e.g. the scale-up a
+        // request just triggered) before returning to the event loop, so the
+        // backend sees the same call order as the synchronous pipeline.
+        self.pump_machines(now, &mut outputs);
+        outputs
+    }
+
+    /// BEST-side deployment request (never holds the current request).
+    fn request_best_deployment(
+        &mut self,
+        now: SimTime,
+        best: ClusterId,
+        sid: ServiceId,
+        template: &Arc<cluster::ServiceTemplate>,
+    ) {
+        if matches!(self.engine, Engine::Reference(_)) {
+            if let Some(ready_at) = self.ensure_deployed_reference(now, best, sid, template, false)
+            {
+                self.schedule_retarget(ready_at, best, sid);
+            }
+            return;
         }
+        let existing = match &self.engine {
+            Engine::Stepped(d) => d.find(best, sid),
+            Engine::Reference(_) => None,
+        };
+        if let Some(i) = existing {
+            // Piggyback: the in-flight deployment will retarget when ready.
+            if let Engine::Stepped(d) = &mut self.engine {
+                d.machines[i].wants_retarget = true;
+            }
+            return;
+        }
+        let name = self.catalog.name_arc(sid);
+        if self.clusters[best.0].backend.status(now, &name).is_ready() {
+            self.schedule_retarget(now, best, sid);
+            return;
+        }
+        let i = self.start_machine(now, best, sid, template, false, false);
+        if let Engine::Stepped(d) = &mut self.engine {
+            d.machines[i].wants_retarget = true;
+        }
+    }
+
+    /// FAST-side with-waiting path: hold the buffered packet until the
+    /// deployment's port opens (joining an in-flight deployment if one
+    /// exists), or fall back to the cloud on failure.
+    #[allow(clippy::too_many_arguments)]
+    fn hold_on_deployment(
+        &mut self,
+        now: SimTime,
+        decide_at: SimTime,
+        sw: SwitchId,
+        fast: ClusterId,
+        sid: ServiceId,
+        template: &Arc<cluster::ServiceTemplate>,
+        key: FlowKey,
+        packet: Packet,
+        in_port: PortId,
+        buffer_id: BufferId,
+    ) -> Vec<ControllerOutput> {
+        if matches!(self.engine, Engine::Reference(_)) {
+            return match self.ensure_deployed_reference(now, fast, sid, template, true) {
+                Some(ready_at) => {
+                    self.stats.held_requests += 1;
+                    let target = self.pick_instance(ready_at, fast, sid);
+                    self.redirect_outputs(
+                        ready_at.max(decide_at),
+                        sw,
+                        key,
+                        sid,
+                        target,
+                        fast,
+                        in_port,
+                        Some(buffer_id),
+                    )
+                }
+                None => {
+                    // Deployment failed; fall back to the cloud.
+                    self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None)
+                }
+            };
+        }
+        // Pending placeholder: keeps the held flow visible to idle
+        // scale-down protection and the coherence audit without serving the
+        // fast path (it converts to a real entry when the redirect installs).
+        self.memory.remember_pending(now, key, sid, Some(fast));
+        let existing = match &self.engine {
+            Engine::Stepped(d) => d.find(fast, sid),
+            Engine::Reference(_) => None,
+        };
+        let i = match existing {
+            Some(i) => i,
+            None => self.start_machine(now, fast, sid, template, true, false),
+        };
+        if let Engine::Stepped(d) = &mut self.engine {
+            d.machines[i].waiters.push(Waiter {
+                key,
+                sw,
+                in_port,
+                buffer_id,
+                decide_at,
+                packet,
+            });
+        }
+        Vec::new()
     }
 
     // -----------------------------------------------------------------------
     // Deployment pipeline (Pull → Create → Scale-Up → poll port)
     // -----------------------------------------------------------------------
 
-    /// Ensure `template` has a ready instance on `cluster`; returns the
-    /// instant the controller detects readiness (`None` if the deployment
-    /// failed or timed out). Piggybacks on an in-flight deployment if one
-    /// exists.
-    fn ensure_deployed(
+    /// The Dispatcher's system view fed to the Global Scheduler: per-cluster
+    /// status at `now` from the perspective of switch `sw_idx`, including
+    /// whether a deployment of `sid` is currently in flight there.
+    fn cluster_views(
+        &self,
+        now: SimTime,
+        sid: ServiceId,
+        sw_idx: usize,
+        name: &str,
+    ) -> Vec<ClusterView> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClusterView {
+                id: ClusterId(i),
+                kind: c.backend.kind(),
+                distance: c.distances[sw_idx],
+                status: c.backend.status(now, name),
+                load: c.backend.load(),
+                deploying: match &self.engine {
+                    Engine::Stepped(d) => d.find(ClusterId(i), sid).is_some(),
+                    Engine::Reference(r) => r
+                        .pending
+                        .get(&(ClusterId(i), sid))
+                        .is_some_and(|&t| t > now),
+                },
+            })
+            .collect()
+    }
+
+    /// Seed the [`DeploymentRecord`] common to both engines.
+    fn record_seed(
+        &self,
+        now: SimTime,
+        cluster: ClusterId,
+        waited: bool,
+        name: &str,
+    ) -> DeploymentRecord {
+        DeploymentRecord {
+            service: name.to_owned(),
+            cluster,
+            kind: self.clusters[cluster.0].backend.kind(),
+            triggered_at: now,
+            pull: None,
+            create: None,
+            scale_up: None,
+            ready_detected: SimTime::FAR_FUTURE,
+            waited,
+        }
+    }
+
+    /// Reference engine only: run the synchronous pipeline (piggybacking on
+    /// a recorded in-flight readiness instant); returns the readiness instant
+    /// or `None` on failure.
+    fn ensure_deployed_reference(
         &mut self,
         now: SimTime,
         cluster: ClusterId,
@@ -589,132 +784,207 @@ impl Controller {
         template: &cluster::ServiceTemplate,
         waited: bool,
     ) -> Option<SimTime> {
-        let name = template.name.as_str();
-        if let Some(&t) = self.pending.get(&(cluster, id)) {
-            if t > now {
-                return Some(t); // piggyback on the in-flight deployment
-            }
-        }
-        let backend = &mut self.clusters[cluster.0].backend;
-        let status = backend.status(now, name);
-        if status.is_ready() {
-            return Some(now);
-        }
-        let images_cached = backend.has_images(template);
-
-        let mut record = DeploymentRecord {
-            service: name.to_owned(),
-            cluster,
-            kind: backend.kind(),
-            triggered_at: now,
-            pull: None,
-            create: None,
-            scale_up: None,
-            ready_detected: SimTime::FAR_FUTURE,
-            waited,
-        };
-        let mut t = now;
-        let retries = self.config.deploy_retries;
-        let backoff = self.config.retry_backoff;
-        let mut retried: u64 = 0;
-
-        // Retry a phase on transient errors with back-off; returns the
-        // successful result and the (possibly delayed) issue time.
-        fn with_retries<R>(
-            t: &mut SimTime,
-            retries: u32,
-            backoff: SimDuration,
-            retried: &mut u64,
-            mut op: impl FnMut(SimTime) -> Result<R, ClusterError>,
-        ) -> Option<(SimTime, R)> {
-            let mut attempt = 0;
-            loop {
-                let issued = *t;
-                match op(issued) {
-                    Ok(r) => return Some((issued, r)),
-                    Err(_) if attempt < retries => {
-                        attempt += 1;
-                        *retried += 1;
-                        *t = issued + backoff;
-                    }
-                    Err(_) => return None,
+        {
+            let Engine::Reference(r) = &self.engine else {
+                unreachable!("reference engine required")
+            };
+            if let Some(&t) = r.pending.get(&(cluster, id)) {
+                if t > now {
+                    return Some(t); // piggyback on the in-flight deployment
                 }
             }
         }
-
-        // Phase 1: Pull (skipped when cached).
-        if !images_cached {
-            let registries = &self.registries;
-            let Some((issued, end)) = with_retries(&mut t, retries, backoff, &mut retried, |at| {
-                backend.pull(at, template, registries)
-            }) else {
+        let record = self.record_seed(now, cluster, waited, template.name.as_str());
+        let probe_rtt = self.clusters[cluster.0].distances[0] * 2;
+        let mut ctx = StepCtx {
+            backend: self.clusters[cluster.0].backend.as_mut(),
+            registries: &self.registries,
+            retries: self.config.deploy_retries,
+            backoff: self.config.retry_backoff,
+            probe_interval: self.config.probe_interval,
+            probe_timeout: self.config.probe_timeout,
+            probe_rtt,
+        };
+        match reference::deploy(now, template, record, &mut ctx) {
+            reference::Outcome::AlreadyReady => Some(now),
+            reference::Outcome::Ready { record, retried } => {
+                self.stats.retried_operations += retried;
+                let ready_detected = record.ready_detected;
+                self.stats.deployments.push(*record);
+                self.scaled_to_zero.remove(&(cluster, id));
+                let Engine::Reference(r) = &mut self.engine else {
+                    unreachable!("reference engine required")
+                };
+                r.pending.insert((cluster, id), ready_detected);
+                Some(ready_detected)
+            }
+            reference::Outcome::Failed { retried } => {
                 self.stats.retried_operations += retried;
                 self.stats.failed_deployments += 1;
-                return None;
+                None
+            }
+        }
+    }
+
+    /// Stepped engine only: start a deployment machine at `now` (steps
+    /// already due run on the next pump, same call stack). Returns the
+    /// machine's index.
+    fn start_machine(
+        &mut self,
+        now: SimTime,
+        cluster: ClusterId,
+        sid: ServiceId,
+        template: &Arc<cluster::ServiceTemplate>,
+        waited: bool,
+        proactive: bool,
+    ) -> usize {
+        let record = self.record_seed(now, cluster, waited, template.name.as_str());
+        let backend = &mut self.clusters[cluster.0].backend;
+        let status = backend.status(now, &template.name);
+        let images_cached = backend.has_images(template);
+        // The machine owns the displaced Remove-phase bookkeeping so a
+        // failure can restore it.
+        let saved = self.scaled_to_zero.remove(&(cluster, sid));
+        let Engine::Stepped(d) = &mut self.engine else {
+            unreachable!("stepped engine required")
+        };
+        let m = d.start(
+            now,
+            cluster,
+            sid,
+            Arc::clone(template),
+            record,
+            images_cached,
+            status.created,
+            saved,
+        );
+        m.proactive = proactive;
+        d.machines.len() - 1
+    }
+
+    /// Advance every machine whose next step is due at or before `now`,
+    /// appending any outputs produced by terminal transitions.
+    fn pump_machines(&mut self, now: SimTime, out: &mut Vec<ControllerOutput>) {
+        loop {
+            let (idx, outcome) = {
+                let Engine::Stepped(d) = &mut self.engine else {
+                    return;
+                };
+                let Some(idx) = d.due_index(now) else {
+                    return;
+                };
+                let m = &mut d.machines[idx];
+                let cluster_idx = m.cluster.0;
+                let probe_rtt = self.clusters[cluster_idx].distances[0] * 2;
+                let mut ctx = StepCtx {
+                    backend: self.clusters[cluster_idx].backend.as_mut(),
+                    registries: &self.registries,
+                    retries: self.config.deploy_retries,
+                    backoff: self.config.retry_backoff,
+                    probe_interval: self.config.probe_interval,
+                    probe_timeout: self.config.probe_timeout,
+                    probe_rtt,
+                };
+                (idx, m.advance(&mut ctx))
             };
-            record.pull = Some((issued, end));
-            t = end;
-        }
-
-        // Phase 2: Create (skipped when the service objects exist).
-        if !status.created {
-            match with_retries(&mut t, retries, backoff, &mut retried, |at| {
-                match backend.create(at, template) {
-                    Err(ClusterError::AlreadyCreated(_)) => Ok(at),
-                    other => other,
+            match outcome {
+                MachineOutcome::Progressed => {}
+                MachineOutcome::Recovered => self.stats.crash_recoveries += 1,
+                MachineOutcome::Ready { ready_detected } => {
+                    self.finalize_machine(idx, ready_detected, out)
                 }
-            }) {
-                Some((issued, end)) => {
-                    if end > issued {
-                        record.create = Some((issued, end));
-                    }
-                    t = end.max(t);
-                }
-                None => {
-                    self.stats.retried_operations += retried;
-                    self.stats.failed_deployments += 1;
-                    return None;
+                MachineOutcome::Failed { phase, error } => {
+                    self.fail_machine(idx, phase, error, out)
                 }
             }
         }
+    }
 
-        // Phase 3: Scale Up.
-        let Some((issued, receipt)) = with_retries(&mut t, retries, backoff, &mut retried, |at| {
-            backend.scale_up(at, name, 1)
-        }) else {
-            self.stats.retried_operations += retried;
-            self.stats.failed_deployments += 1;
-            return None;
+    /// A machine reached `Ready`: record the deployment, release every held
+    /// request to the fresh instance, schedule the piggybacked retarget.
+    fn finalize_machine(
+        &mut self,
+        idx: usize,
+        ready_detected: SimTime,
+        out: &mut Vec<ControllerOutput>,
+    ) {
+        let mut m = {
+            let Engine::Stepped(d) = &mut self.engine else {
+                unreachable!("stepped engine required")
+            };
+            let m = d.remove(idx);
+            d.record_completed(m.seq);
+            m
         };
-        self.stats.retried_operations += retried;
-        record.scale_up = Some((issued, receipt.accepted_at, receipt.expected_ready));
+        m.record.ready_detected = ready_detected;
+        self.stats.retried_operations += m.retried;
+        self.stats.deployments.push(m.record.clone());
+        if m.proactive {
+            self.stats.proactive_deployments += 1;
+        }
+        self.scaled_to_zero.remove(&(m.cluster, m.service));
+        if m.wants_retarget {
+            self.schedule_retarget(ready_detected, m.cluster, m.service);
+        }
+        for w in m.waiters.drain(..) {
+            self.stats.held_requests += 1;
+            let target = self.pick_instance(ready_detected, m.cluster, m.service);
+            out.extend(self.redirect_outputs(
+                ready_detected.max(w.decide_at),
+                w.sw,
+                w.key,
+                m.service,
+                target,
+                m.cluster,
+                w.in_port,
+                Some(w.buffer_id),
+            ));
+        }
+    }
 
-        // Port polling: probe every `probe_interval` from the moment the
-        // scale-up API returned, plus the probe's own round trip to the host.
-        // Probes originate at the controller (co-located with the primary
-        // switch).
-        let probe_rtt = self.clusters[cluster.0].distances[0] * 2;
-        let mut probe_t = receipt.accepted_at;
-        let deadline = receipt.accepted_at + self.config.probe_timeout;
-        let ready_detected = loop {
-            if self.clusters[cluster.0].backend.is_ready(probe_t, name) {
-                break Some(probe_t + probe_rtt);
+    /// A machine reached `Failed`: count the failure, restore Remove-phase
+    /// bookkeeping, and fall every held request back to the cloud.
+    fn fail_machine(
+        &mut self,
+        idx: usize,
+        phase: DeployPhaseKind,
+        error: DeployError,
+        out: &mut Vec<ControllerOutput>,
+    ) {
+        let m = {
+            let Engine::Stepped(d) = &mut self.engine else {
+                unreachable!("stepped engine required")
+            };
+            d.remove(idx)
+        };
+        self.stats.retried_operations += m.retried;
+        self.stats.failed_deployments += 1;
+        self.last_deploy_failure = Some(DeployFailure {
+            cluster: m.cluster,
+            service: m.service,
+            phase,
+            error,
+        });
+        if let Some(at) = m.saved_scaled_to_zero {
+            self.scaled_to_zero
+                .entry((m.cluster, m.service))
+                .or_insert(at);
+        }
+        for w in m.waiters {
+            // Drop the pending placeholder; the request is served by the
+            // cloud without being memorized (matching the reference path).
+            if self.memory.get(w.key).is_some_and(|f| f.pending) {
+                self.memory.forget(w.key);
             }
-            probe_t += self.config.probe_interval;
-            if probe_t > deadline {
-                break None;
-            }
-        };
-        let Some(ready_detected) = ready_detected else {
-            self.stats.failed_deployments += 1;
-            return None;
-        };
-
-        record.ready_detected = ready_detected;
-        self.stats.deployments.push(record);
-        self.scaled_to_zero.remove(&(cluster, id));
-        self.pending.insert((cluster, id), ready_detected);
-        Some(ready_detected)
+            out.extend(self.cloud_outputs(
+                w.decide_at,
+                w.sw,
+                w.packet,
+                w.in_port,
+                w.buffer_id,
+                None,
+            ));
+        }
     }
 
     /// Note that a BEST deployment will become ready at `ready_at`; the flow
@@ -726,15 +996,136 @@ impl Controller {
         self.retarget_queue.push((ready_at, cluster, service));
     }
 
-    /// The earliest pending retarget instant, so the event loop can schedule
-    /// a drain exactly when a BEST deployment becomes ready.
-    pub fn next_retarget_at(&self) -> Option<SimTime> {
-        self.retarget_queue.iter().map(|(at, _, _)| *at).min()
+    // -----------------------------------------------------------------------
+    // The wakeup surface — the single interface the event loop drives
+    // -----------------------------------------------------------------------
+
+    /// The earliest instant any controller-internal work is due: a machine
+    /// step, a pending flow retarget, FlowMemory expiry / Remove-phase
+    /// housekeeping, or a predict tick. The event loop schedules exactly one
+    /// wakeup event at this instant (re-arming after every event).
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut merge = |t: SimTime| {
+            next = Some(next.map_or(t, |n: SimTime| n.min(t)));
+        };
+        if let Engine::Stepped(d) = &self.engine {
+            if let Some(t) = d.next_step_at() {
+                merge(t);
+            }
+        }
+        if let Some(t) = self.retarget_queue.iter().map(|(at, _, _)| *at).min() {
+            merge(t);
+        }
+        if self.config.scale_down_idle {
+            if let Some(t) = self.memory.next_expiry() {
+                merge(t);
+            }
+        }
+        if let Some(remove_after) = self.config.remove_after {
+            if let Some(&soonest) = self.scaled_to_zero.values().min() {
+                merge(soonest + remove_after);
+            }
+        }
+        if let Some(p) = &self.predict {
+            if let Some(t) = p.next_due_at() {
+                merge(t);
+            }
+        }
+        next
+    }
+
+    /// Run every piece of controller-internal work due at or before `now`:
+    /// predict ticks, deployment machine steps, retarget drains and
+    /// housekeeping, in that order (matching the event order of the previous
+    /// per-surface events). Idempotent on spurious or early wakeups — every
+    /// component checks its own due instant.
+    pub fn on_wakeup(&mut self, now: SimTime) -> Vec<ControllerOutput> {
+        let mut out = Vec::new();
+        self.run_predict_due(now);
+        self.pump_machines(now, &mut out);
+        let retargets = self.drain_retargets(now);
+        out.extend(retargets);
+        self.run_housekeeping(now);
+        out
+    }
+
+    /// Arm the proactive-deployment cadence: run a predict pass at `first`,
+    /// then every `interval` until `last` (inclusive), each looking `horizon`
+    /// ahead. Replaces the event loop's pre-pushed predict ticks.
+    pub fn set_predict_schedule(
+        &mut self,
+        first: SimTime,
+        interval: SimDuration,
+        last: SimTime,
+        horizon: SimDuration,
+    ) {
+        self.predict = Some(PredictSchedule {
+            next: first,
+            interval,
+            end: last,
+            horizon,
+        });
+    }
+
+    /// Deployments currently in flight (stepped: live machines; reference:
+    /// pending entries whose readiness instant lies in the future). Drives
+    /// the coherence audit's orphaned-pending check.
+    pub fn in_flight_deployments(&self, now: SimTime) -> Vec<(ServiceId, ClusterId)> {
+        match &self.engine {
+            Engine::Stepped(d) => d.machines.iter().map(|m| (m.service, m.cluster)).collect(),
+            Engine::Reference(r) => r
+                .pending
+                .iter()
+                .filter(|(_, &t)| t > now)
+                .map(|(&(c, s), _)| (s, c))
+                .collect(),
+        }
+    }
+
+    /// Coarse phase of the in-flight deployment of `service` on `cluster`,
+    /// if one exists (stepped engine only — the reference pipeline never has
+    /// an observable in-flight phase).
+    pub fn deployment_phase(
+        &self,
+        cluster: ClusterId,
+        service: ServiceId,
+    ) -> Option<DeployPhaseKind> {
+        match &self.engine {
+            Engine::Stepped(d) => d.find(cluster, service).map(|i| d.machines[i].phase.kind()),
+            Engine::Reference(_) => None,
+        }
+    }
+
+    /// The most recent deployment failure observed by the dispatcher —
+    /// which phase gave up and why (stepped engine only; `None` until a
+    /// machine fails).
+    pub fn last_deploy_failure(&self) -> Option<&DeployFailure> {
+        self.last_deploy_failure.as_ref()
+    }
+
+    /// How many deployment machines have been started so far (the reference
+    /// engine reports completed deployments — every start completes within
+    /// the same call there).
+    pub fn machines_started(&self) -> u64 {
+        match &self.engine {
+            Engine::Stepped(d) => d.next_seq(),
+            Engine::Reference(_) => self.stats.deployments.len() as u64,
+        }
+    }
+
+    /// Did any deployment machine with start ordinal in `[lo, hi)` complete
+    /// successfully? (Under the reference engine starts complete
+    /// synchronously, so the window itself is the answer.)
+    pub fn completed_machine_in(&self, lo: u64, hi: u64) -> bool {
+        match &self.engine {
+            Engine::Stepped(d) => d.completed_in(lo, hi),
+            Engine::Reference(_) => lo < hi,
+        }
     }
 
     /// Collect the FlowMods produced by retargets due at or before `upto`.
-    /// (The testbed calls this when draining controller outputs.)
-    pub fn take_retarget_outputs(&mut self, upto: SimTime) -> Vec<ControllerOutput> {
+    fn drain_retargets(&mut self, upto: SimTime) -> Vec<ControllerOutput> {
         let mut outputs = Vec::new();
         let mut due: Vec<(SimTime, ClusterId, ServiceId)> = Vec::new();
         let mut remaining: Vec<(SimTime, ClusterId, ServiceId)> = Vec::new();
@@ -777,12 +1168,24 @@ impl Controller {
         outputs
     }
 
+    /// Run every predict pass due at or before `now`.
+    fn run_predict_due(&mut self, now: SimTime) {
+        loop {
+            let Some(p) = &mut self.predict else { return };
+            if p.next > now || p.next > p.end {
+                return;
+            }
+            let (t, horizon) = (p.next, p.horizon);
+            p.next = t + p.interval;
+            self.run_predict(t, horizon);
+        }
+    }
+
     /// Ask the predictor which services should be running within `horizon`
     /// and pre-deploy the ones that are not (background, never holds a
-    /// request). Returns how many deployments were started.
-    pub fn on_predict_tick(&mut self, now: SimTime, horizon: SimDuration) -> usize {
+    /// request).
+    fn run_predict(&mut self, now: SimTime, horizon: SimDuration) {
         let nominations = self.predictor.predict(now, horizon);
-        let mut started = 0;
         for addr in nominations {
             let Some(service) = self.catalog.lookup(addr) else {
                 continue;
@@ -793,53 +1196,66 @@ impl Controller {
             // Already running (or being deployed) somewhere? Nothing to do.
             let anywhere_ready = (0..self.clusters.len())
                 .any(|i| self.clusters[i].backend.status(now, &name).is_ready());
-            let in_flight = self.pending.iter().any(|(&(_, n), &t)| n == sid && t > now);
+            let in_flight = match &self.engine {
+                Engine::Stepped(d) => d.any_for_service(sid),
+                Engine::Reference(r) => r.pending.iter().any(|(&(_, n), &t)| n == sid && t > now),
+            };
             if anywhere_ready || in_flight {
                 continue;
             }
             // Deploy at the cluster the Global Scheduler would pick for the
             // future (BEST semantics with no requesting client).
-            let views: Vec<ClusterView> = self
-                .clusters
-                .iter()
-                .enumerate()
-                .map(|(i, c)| ClusterView {
-                    id: ClusterId(i),
-                    kind: c.backend.kind(),
-                    distance: c.distances[0],
-                    status: c.backend.status(now, &name),
-                    load: c.backend.load(),
-                })
-                .collect();
+            let views = self.cluster_views(now, sid, 0, &name);
             let decision = self.global.decide(sid, &views);
             let Some(target) = decision.target_for_future() else {
                 continue;
             };
-            if self
-                .ensure_deployed(now, target, sid, &template, false)
-                .is_some()
-            {
-                self.stats.proactive_deployments += 1;
-                started += 1;
+            match self.engine {
+                Engine::Reference(_) => {
+                    if self
+                        .ensure_deployed_reference(now, target, sid, &template, false)
+                        .is_some()
+                    {
+                        self.stats.proactive_deployments += 1;
+                    }
+                }
+                Engine::Stepped(_) => {
+                    // Counted as proactive when (and if) the machine
+                    // completes, mirroring the reference's success-only count.
+                    self.start_machine(now, target, sid, &template, false, true);
+                }
             }
         }
-        started
     }
 
     // -----------------------------------------------------------------------
     // Housekeeping tick: FlowMemory expiry and idle scale-down
     // -----------------------------------------------------------------------
 
-    /// Run expiry housekeeping at `now`; returns the next instant a tick is
-    /// needed (if any flows remain).
-    pub fn on_tick(&mut self, now: SimTime) -> Option<SimTime> {
+    /// Expiry housekeeping, run from [`Controller::on_wakeup`] when a flow
+    /// expiry or Remove-phase deadline is due (early wakeups are no-ops, so
+    /// the pass fires at the same instants the dedicated tick events used
+    /// to).
+    fn run_housekeeping(&mut self, now: SimTime) {
+        let expiry_due =
+            self.config.scale_down_idle && self.memory.next_expiry().is_some_and(|t| t <= now);
+        let remove_due = self.config.remove_after.is_some_and(|remove_after| {
+            self.scaled_to_zero
+                .values()
+                .min()
+                .is_some_and(|&at| now.since(at) >= remove_after)
+        });
+        if !expiry_due && !remove_due {
+            return;
+        }
+
         // Replica autoscaling: keep flows-per-replica near the target.
         if let Some(target) = self.config.autoscale_flows_per_replica {
             let target = target.max(1);
             for (service, cluster, flows) in self.memory.services_with_flows() {
-                if cluster == CLOUD_CLUSTER {
-                    continue;
-                }
+                let Some(cluster) = cluster else {
+                    continue; // cloud-served flows have no replicas to scale
+                };
                 let name = self.catalog.name_arc(service);
                 let backend = &mut self.clusters[cluster.0].backend;
                 let status = backend.status(now, &name);
@@ -858,19 +1274,23 @@ impl Controller {
         if self.config.scale_down_idle {
             // Group by (service, cluster); scale down instances nobody
             // references anymore.
-            let mut candidates: Vec<(ServiceId, ClusterId)> =
-                expired.iter().map(|f| (f.service, f.cluster)).collect();
+            let mut candidates: Vec<(ServiceId, ClusterId)> = expired
+                .iter()
+                .filter_map(|f| f.cluster.map(|c| (f.service, c)))
+                .collect();
             candidates.sort();
             candidates.dedup();
             for (service, cluster) in candidates {
-                if self.memory.flows_for_service(service, cluster) == 0 {
+                if self.memory.flows_for_service(service, Some(cluster)) == 0 {
                     let name = self.catalog.name_arc(service);
                     let backend = &mut self.clusters[cluster.0].backend;
                     if backend.status(now, &name).ready_replicas > 0
                         && backend.scale_down(now, &name, 0).is_ok()
                     {
                         self.stats.scale_downs += 1;
-                        self.pending.remove(&(cluster, service));
+                        if let Engine::Reference(r) = &mut self.engine {
+                            r.pending.remove(&(cluster, service));
+                        }
                         self.scaled_to_zero.insert((cluster, service), now);
                     }
                 }
@@ -899,14 +1319,6 @@ impl Controller {
                 self.scaled_to_zero.remove(&(cluster, service));
             }
         }
-        let mut next = self.memory.next_expiry();
-        if let Some(remove_after) = self.config.remove_after {
-            if let Some(&soonest) = self.scaled_to_zero.values().min() {
-                let due = soonest + remove_after;
-                next = Some(next.map_or(due, |n| n.min(due)));
-            }
-        }
-        next
     }
 
     /// Local-Scheduler instance selection: pick one ready replica endpoint
@@ -950,7 +1362,8 @@ impl Controller {
         client_port: PortId,
         buffer: Option<BufferId>,
     ) -> Vec<ControllerOutput> {
-        self.memory.remember(at, key, service, target, cluster);
+        self.memory
+            .remember(at, key, service, target, Some(cluster));
         let pair = flow_pair(
             self.config.flow_priority,
             key,
@@ -1022,8 +1435,8 @@ impl Controller {
     }
 
     /// Pass-through to the cloud: forward unchanged, bring responses back.
-    /// For *registered* services the decision is memorized (under the cloud
-    /// sentinel cluster) so a later BEST deployment can retarget it.
+    /// For *registered* services the decision is memorized (with no edge
+    /// cluster) so a later BEST deployment can retarget it.
     fn cloud_outputs(
         &mut self,
         at: SimTime,
@@ -1039,8 +1452,7 @@ impl Controller {
                 client_ip: packet.src.ip,
                 service_addr: packet.dst,
             };
-            self.memory
-                .remember(at, key, service, packet.dst, CLOUD_CLUSTER);
+            self.memory.remember(at, key, service, packet.dst, None);
         }
         let cookie = cookie_for("cloud");
         let forward = ControllerOutput::FlowMod {

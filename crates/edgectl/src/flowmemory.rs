@@ -15,6 +15,13 @@
 //! `retarget_service`) proportional to the flows of the touched service, and
 //! a lazy-deletion min-heap keeps `next_expiry` an O(1) peek (see DESIGN.md,
 //! "Flow pipeline complexity").
+//!
+//! Flows served by the real cloud carry `cluster: None` (no edge instance);
+//! flows held on an in-flight deployment are stored as **pending**
+//! placeholders — invisible to [`FlowMemory::recall`]'s fast path, but
+//! visible to idle scale-down protection and the coherence audit — until the
+//! dispatcher converts them with a real [`FlowMemory::remember`] when the
+//! redirect installs.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
@@ -45,9 +52,14 @@ pub struct MemorizedFlow {
     pub service: ServiceId,
     /// Where the flow redirects to.
     pub target: SocketAddr,
-    pub cluster: ClusterId,
+    /// The edge cluster serving the flow; `None` means the real cloud.
+    pub cluster: Option<ClusterId>,
     pub installed_at: SimTime,
     pub last_seen: SimTime,
+    /// A placeholder for a request held on an in-flight deployment: no
+    /// switch rule exists yet, so `recall` never serves it. Converted to a
+    /// real entry by the `remember` that installs the redirect.
+    pub pending: bool,
 }
 
 /// The FlowMemory component.
@@ -63,7 +75,7 @@ pub struct MemorizedFlow {
 ///     service_addr: SocketAddr::new(IpAddr::new(93, 184, 0, 1), 80),
 /// };
 /// let target = SocketAddr::new(IpAddr::new(10, 0, 0, 100), 8000);
-/// memory.remember(SimTime::ZERO, key, ServiceId(0), target, ClusterId(0));
+/// memory.remember(SimTime::ZERO, key, ServiceId(0), target, Some(ClusterId(0)));
 /// // a minute of silence later, the entry has expired
 /// assert!(memory.recall(SimTime::ZERO + SimDuration::from_secs(61), key).is_none());
 /// ```
@@ -71,11 +83,11 @@ pub struct MemorizedFlow {
 pub struct FlowMemory {
     flows: HashMap<FlowKey, MemorizedFlow>,
     /// Secondary index: which flows reference a given `(service, cluster)`
-    /// pair. A `BTreeMap` so `services_with_flows` can walk pairs in sorted
-    /// order and `retarget_service` can range-scan one service's clusters.
-    /// Keys are copyable `(ServiceId, ClusterId)` pairs, so probing the index
-    /// never allocates.
-    by_service: BTreeMap<(ServiceId, ClusterId), BTreeSet<FlowKey>>,
+    /// pair (`None` = cloud, sorted first). A `BTreeMap` so
+    /// `services_with_flows` can walk pairs in sorted order and
+    /// `retarget_service` can range-scan one service's clusters. Keys are
+    /// copyable pairs, so probing the index never allocates.
+    by_service: BTreeMap<(ServiceId, Option<ClusterId>), BTreeSet<FlowKey>>,
     /// Lazy-deletion expiry schedule of `(last_seen + idle_timeout, key)`.
     /// Invariant ("accurate top"): after every `&mut self` method the heap
     /// top is live — its flow exists and still expires at that instant — so
@@ -103,14 +115,16 @@ impl FlowMemory {
         self.idle_timeout
     }
 
-    /// Record (or refresh) a flow decision.
+    /// Record (or refresh) a flow decision. Converts a pending placeholder
+    /// into a real entry (the install instant becomes `now`, matching a
+    /// fresh insert).
     pub fn remember(
         &mut self,
         now: SimTime,
         key: FlowKey,
         service: ServiceId,
         target: SocketAddr,
-        cluster: ClusterId,
+        cluster: Option<ClusterId>,
     ) {
         match self.flows.get_mut(&key) {
             Some(f) => {
@@ -120,6 +134,10 @@ impl FlowMemory {
                         .entry((service, cluster))
                         .or_default()
                         .insert(key);
+                }
+                if f.pending {
+                    f.pending = false;
+                    f.installed_at = now;
                 }
                 f.target = target;
                 f.cluster = cluster;
@@ -140,6 +158,53 @@ impl FlowMemory {
                         cluster,
                         installed_at: now,
                         last_seen: now,
+                        pending: false,
+                    },
+                );
+            }
+        }
+        self.expiry.push(Reverse((now + self.idle_timeout, key)));
+        self.normalize_expiry();
+    }
+
+    /// Insert (or refresh) a pending placeholder for a request held on an
+    /// in-flight deployment toward `cluster`. The placeholder redirects
+    /// nowhere yet — its target is the service's own cloud address.
+    pub fn remember_pending(
+        &mut self,
+        now: SimTime,
+        key: FlowKey,
+        service: ServiceId,
+        cluster: Option<ClusterId>,
+    ) {
+        match self.flows.get_mut(&key) {
+            Some(f) => {
+                debug_assert!(f.pending, "never downgrade a live entry to pending");
+                if f.cluster != cluster {
+                    Self::index_remove(&mut self.by_service, (f.service, f.cluster), key);
+                    self.by_service
+                        .entry((service, cluster))
+                        .or_default()
+                        .insert(key);
+                    f.cluster = cluster;
+                }
+                f.last_seen = now;
+            }
+            None => {
+                self.by_service
+                    .entry((service, cluster))
+                    .or_default()
+                    .insert(key);
+                self.flows.insert(
+                    key,
+                    MemorizedFlow {
+                        key,
+                        service,
+                        target: key.service_addr,
+                        cluster,
+                        installed_at: now,
+                        last_seen: now,
+                        pending: true,
                     },
                 );
             }
@@ -149,9 +214,12 @@ impl FlowMemory {
     }
 
     /// Look up a live memorized flow, refreshing its idle timer. Expired
-    /// entries are treated as absent (and dropped).
+    /// entries are treated as absent (and dropped); pending placeholders are
+    /// invisible here (the dispatcher owns their lifecycle) and are neither
+    /// refreshed nor evicted.
     pub fn recall(&mut self, now: SimTime, key: FlowKey) -> Option<&MemorizedFlow> {
         let expired = match self.flows.get(&key) {
+            Some(f) if f.pending => return None,
             Some(f) => now.since(f.last_seen) >= self.idle_timeout,
             None => return None,
         };
@@ -188,7 +256,7 @@ impl FlowMemory {
 
     /// Drop all flows pointing at `service` on `cluster` (instance retired).
     /// O(flows of that instance), not O(all flows).
-    pub fn forget_service(&mut self, service: ServiceId, cluster: ClusterId) -> usize {
+    pub fn forget_service(&mut self, service: ServiceId, cluster: Option<ClusterId>) -> usize {
         let keys = match self.by_service.remove(&(service, cluster)) {
             Some(keys) => keys,
             None => return 0,
@@ -211,16 +279,17 @@ impl FlowMemory {
         target: SocketAddr,
         cluster: ClusterId,
     ) -> Vec<FlowKey> {
-        // All clusters currently holding flows of this service.
+        // All clusters (and the cloud) currently holding flows of this
+        // service.
         let range = (
-            Bound::Included((service, ClusterId(0))),
-            Bound::Included((service, ClusterId(usize::MAX))),
+            Bound::Included((service, None)),
+            Bound::Included((service, Some(ClusterId(usize::MAX)))),
         );
         let mut keys = Vec::new();
         for ((_, from_cluster), members) in self.by_service.range(range) {
             for &key in members {
                 let f = &self.flows[&key];
-                if f.target != target || *from_cluster != cluster {
+                if f.target != target || *from_cluster != Some(cluster) {
                     keys.push(key);
                 }
             }
@@ -229,11 +298,11 @@ impl FlowMemory {
             let f = self.flows.get_mut(&key).expect("key came from the index");
             let from = (f.service, f.cluster);
             f.target = target;
-            f.cluster = cluster;
-            if from.1 != cluster {
+            f.cluster = Some(cluster);
+            if from.1 != Some(cluster) {
                 Self::index_remove(&mut self.by_service, from, key);
                 self.by_service
-                    .entry((service, cluster))
+                    .entry((service, Some(cluster)))
                     .or_default()
                     .insert(key);
             }
@@ -268,8 +337,10 @@ impl FlowMemory {
     }
 
     /// How many live flows reference `service` on `cluster` — zero means the
-    /// instance is idle and a candidate for scale-down. O(1) index lookup.
-    pub fn flows_for_service(&self, service: ServiceId, cluster: ClusterId) -> usize {
+    /// instance is idle and a candidate for scale-down. Pending placeholders
+    /// count too: a held request protects its deployment from scale-down.
+    /// O(1) index lookup.
+    pub fn flows_for_service(&self, service: ServiceId, cluster: Option<ClusterId>) -> usize {
         self.by_service
             .get(&(service, cluster))
             .map_or(0, BTreeSet::len)
@@ -285,7 +356,7 @@ impl FlowMemory {
     /// Distinct `(service, cluster)` pairs with live flows and their counts —
     /// the autoscaler's demand signal. O(pairs): reads the secondary index,
     /// which the BTreeMap already keeps sorted.
-    pub fn services_with_flows(&self) -> Vec<(ServiceId, ClusterId, usize)> {
+    pub fn services_with_flows(&self) -> Vec<(ServiceId, Option<ClusterId>, usize)> {
         self.by_service
             .iter()
             .map(|(&(s, c), members)| (s, c, members.len()))
@@ -301,8 +372,8 @@ impl FlowMemory {
     }
 
     fn index_remove(
-        index: &mut BTreeMap<(ServiceId, ClusterId), BTreeSet<FlowKey>>,
-        at: (ServiceId, ClusterId),
+        index: &mut BTreeMap<(ServiceId, Option<ClusterId>), BTreeSet<FlowKey>>,
+        at: (ServiceId, Option<ClusterId>),
         key: FlowKey,
     ) {
         if let Some(members) = index.get_mut(&at) {
@@ -356,17 +427,29 @@ mod tests {
     #[test]
     fn remember_recall() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
         let f = m.recall(t(10), key(1, 1)).unwrap();
         assert_eq!(f.target, target(8000));
-        assert_eq!(f.cluster, ClusterId(0));
+        assert_eq!(f.cluster, Some(ClusterId(0)));
         assert!(m.recall(t(10), key(2, 1)).is_none());
     }
 
     #[test]
     fn recall_refreshes_idle_timer() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
         assert!(m.recall(t(50_000), key(1, 1)).is_some()); // refresh at 50 s
         assert!(
             m.recall(t(100_000), key(1, 1)).is_some(),
@@ -382,13 +465,19 @@ mod tests {
     #[test]
     fn expire_returns_stale_entries() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
         m.remember(
             t(30_000),
             key(2, 1),
             ServiceId(1),
             target(8001),
-            ClusterId(0),
+            Some(ClusterId(0)),
         );
         let expired = m.expire(t(60_000));
         assert_eq!(expired.len(), 1);
@@ -400,16 +489,40 @@ mod tests {
     fn next_expiry_is_minimum() {
         let mut m = mem();
         assert_eq!(m.next_expiry(), None);
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
-        m.remember(t(5000), key(2, 1), ServiceId(1), target(8001), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
+        m.remember(
+            t(5000),
+            key(2, 1),
+            ServiceId(1),
+            target(8001),
+            Some(ClusterId(0)),
+        );
         assert_eq!(m.next_expiry(), Some(t(60_000)));
     }
 
     #[test]
     fn next_expiry_tracks_refresh_and_forget() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
-        m.remember(t(5000), key(2, 1), ServiceId(1), target(8001), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
+        m.remember(
+            t(5000),
+            key(2, 1),
+            ServiceId(1),
+            target(8001),
+            Some(ClusterId(0)),
+        );
         // refreshing the older flow moves the frontier to the younger one
         assert!(m.recall(t(20_000), key(1, 1)).is_some());
         assert_eq!(m.next_expiry(), Some(t(65_000)));
@@ -422,28 +535,64 @@ mod tests {
     #[test]
     fn flows_for_service_counts() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
-        m.remember(t(0), key(2, 1), ServiceId(0), target(8000), ClusterId(0));
-        m.remember(t(0), key(3, 2), ServiceId(1), target(8001), ClusterId(1));
-        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(0)), 2);
-        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(1)), 0);
-        assert_eq!(m.forget_service(ServiceId(0), ClusterId(0)), 2);
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
+        m.remember(
+            t(0),
+            key(2, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
+        m.remember(
+            t(0),
+            key(3, 2),
+            ServiceId(1),
+            target(8001),
+            Some(ClusterId(1)),
+        );
+        assert_eq!(m.flows_for_service(ServiceId(0), Some(ClusterId(0))), 2);
+        assert_eq!(m.flows_for_service(ServiceId(0), Some(ClusterId(1))), 0);
+        assert_eq!(m.forget_service(ServiceId(0), Some(ClusterId(0))), 2);
         assert_eq!(m.len(), 1);
     }
 
     #[test]
     fn services_with_flows_reports_sorted_counts() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(1), target(8000), ClusterId(1));
-        m.remember(t(0), key(2, 1), ServiceId(1), target(8000), ClusterId(1));
-        m.remember(t(0), key(3, 2), ServiceId(0), target(8001), ClusterId(0));
-        m.remember(t(0), key(4, 2), ServiceId(1), target(8002), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(1),
+            target(8000),
+            Some(ClusterId(1)),
+        );
+        m.remember(
+            t(0),
+            key(2, 1),
+            ServiceId(1),
+            target(8000),
+            Some(ClusterId(1)),
+        );
+        m.remember(
+            t(0),
+            key(3, 2),
+            ServiceId(0),
+            target(8001),
+            Some(ClusterId(0)),
+        );
+        m.remember(t(0), key(4, 2), ServiceId(1), target(8002), None);
         assert_eq!(
             m.services_with_flows(),
             vec![
-                (ServiceId(0), ClusterId(0), 1),
-                (ServiceId(1), ClusterId(0), 1),
-                (ServiceId(1), ClusterId(1), 2),
+                (ServiceId(0), Some(ClusterId(0)), 1),
+                (ServiceId(1), None, 1),
+                (ServiceId(1), Some(ClusterId(1)), 2),
             ]
         );
     }
@@ -451,38 +600,76 @@ mod tests {
     #[test]
     fn retarget_moves_flows_and_reports_keys() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
-        m.remember(t(0), key(2, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
+        m.remember(
+            t(0),
+            key(2, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
         let moved = m.retarget_service(ServiceId(0), target(30000), ClusterId(1));
         assert_eq!(moved.len(), 2);
         let f = m.get(key(1, 1)).unwrap();
         assert_eq!(f.target, target(30000));
-        assert_eq!(f.cluster, ClusterId(1));
+        assert_eq!(f.cluster, Some(ClusterId(1)));
         // idempotent: retargeting again moves nothing
         assert!(m
             .retarget_service(ServiceId(0), target(30000), ClusterId(1))
             .is_empty());
         // and the index followed the move
-        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(0)), 0);
-        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(1)), 2);
+        assert_eq!(m.flows_for_service(ServiceId(0), Some(ClusterId(0))), 0);
+        assert_eq!(m.flows_for_service(ServiceId(0), Some(ClusterId(1))), 2);
     }
 
     #[test]
-    fn retarget_gathers_flows_across_clusters() {
+    fn retarget_gathers_flows_across_clusters_and_cloud() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
-        m.remember(t(0), key(2, 1), ServiceId(0), target(8001), ClusterId(2));
-        m.remember(t(0), key(3, 2), ServiceId(1), target(8002), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
+        m.remember(
+            t(0),
+            key(2, 1),
+            ServiceId(0),
+            target(8001),
+            Some(ClusterId(2)),
+        );
+        m.remember(
+            t(0),
+            key(3, 2),
+            ServiceId(1),
+            target(8002),
+            Some(ClusterId(0)),
+        );
+        // a cloud-served flow of the same service moves over too
+        m.remember(t(0), key(4, 1), ServiceId(0), key(4, 1).service_addr, None);
         let moved = m.retarget_service(ServiceId(0), target(30000), ClusterId(1));
-        assert_eq!(moved, vec![key(1, 1), key(2, 1)]);
-        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(1)), 2);
-        assert_eq!(m.flows_for_service(ServiceId(1), ClusterId(0)), 1);
+        assert_eq!(moved, vec![key(1, 1), key(2, 1), key(4, 1)]);
+        assert_eq!(m.flows_for_service(ServiceId(0), Some(ClusterId(1))), 3);
+        assert_eq!(m.flows_for_service(ServiceId(1), Some(ClusterId(0))), 1);
     }
 
     #[test]
     fn forget_specific_flow() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
         assert!(m.forget(key(1, 1)).is_some());
         assert!(m.forget(key(1, 1)).is_none());
     }
@@ -490,15 +677,69 @@ mod tests {
     #[test]
     fn remember_updates_existing() {
         let mut m = mem();
-        m.remember(t(0), key(1, 1), ServiceId(0), target(8000), ClusterId(0));
-        m.remember(t(10), key(1, 1), ServiceId(0), target(9000), ClusterId(1));
+        m.remember(
+            t(0),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
+        m.remember(
+            t(10),
+            key(1, 1),
+            ServiceId(0),
+            target(9000),
+            Some(ClusterId(1)),
+        );
         assert_eq!(m.len(), 1);
         let f = m.get(key(1, 1)).unwrap();
         assert_eq!(f.target, target(9000));
         assert_eq!(f.installed_at, t(0), "original install time preserved");
         assert_eq!(f.last_seen, t(10));
         // the index moved with the cluster change
-        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(0)), 0);
-        assert_eq!(m.flows_for_service(ServiceId(0), ClusterId(1)), 1);
+        assert_eq!(m.flows_for_service(ServiceId(0), Some(ClusterId(0))), 0);
+        assert_eq!(m.flows_for_service(ServiceId(0), Some(ClusterId(1))), 1);
+    }
+
+    #[test]
+    fn pending_is_invisible_to_recall_but_counts_for_scale_down() {
+        let mut m = mem();
+        m.remember_pending(t(0), key(1, 1), ServiceId(0), Some(ClusterId(0)));
+        assert!(m.recall(t(10), key(1, 1)).is_none(), "no switch rule yet");
+        assert!(m.get(key(1, 1)).is_some_and(|f| f.pending));
+        // ... but the held request protects the deployment from scale-down
+        assert_eq!(m.flows_for_service(ServiceId(0), Some(ClusterId(0))), 1);
+    }
+
+    #[test]
+    fn remember_converts_pending_and_resets_install_time() {
+        let mut m = mem();
+        m.remember_pending(t(0), key(1, 1), ServiceId(0), Some(ClusterId(0)));
+        // refreshing the placeholder keeps it pending
+        m.remember_pending(t(100), key(1, 1), ServiceId(0), Some(ClusterId(0)));
+        assert!(m.get(key(1, 1)).is_some_and(|f| f.pending));
+        // the deployment became ready: the redirect install converts it
+        m.remember(
+            t(500),
+            key(1, 1),
+            ServiceId(0),
+            target(8000),
+            Some(ClusterId(0)),
+        );
+        let f = m.get(key(1, 1)).unwrap();
+        assert!(!f.pending);
+        assert_eq!(f.installed_at, t(500), "install instant is the conversion");
+        assert!(m.recall(t(600), key(1, 1)).is_some());
+    }
+
+    #[test]
+    fn pending_expires_like_any_entry() {
+        let mut m = mem();
+        m.remember_pending(t(0), key(1, 1), ServiceId(0), Some(ClusterId(0)));
+        assert_eq!(m.next_expiry(), Some(t(60_000)));
+        let expired = m.expire(t(60_000));
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].pending);
+        assert!(m.is_empty());
     }
 }

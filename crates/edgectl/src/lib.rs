@@ -18,10 +18,14 @@
 //! * [`annotate`](mod@annotate) — the automated annotation of Kubernetes-style service
 //!   definition files (unique name, matchLabels, `edge.service` label,
 //!   `replicas: 0`, `schedulerName`, generated `Service`),
-//! * [`controller`] — the Dispatcher and the controller event loop: PacketIn
-//!   handling, the three-phase deployment pipeline (Pull → Create → Scale-Up),
-//!   on-demand deployment *with* and *without* waiting, port-open polling,
-//!   flow installation and idle scale-down,
+//! * [`dispatcher`] — the per-deployment state machine (`Pulling → Creating →
+//!   ScalingUp → Probing → Ready | Failed`) advanced by discrete wakeups, plus
+//!   the retained synchronous pipeline as an equivalence oracle
+//!   ([`dispatcher::reference`]),
+//! * [`controller`] — the controller event loop: PacketIn handling, on-demand
+//!   deployment *with* and *without* waiting via the dispatcher, flow
+//!   installation and idle scale-down, all scheduled through one
+//!   `next_wakeup`/`on_wakeup` surface,
 //! * [`predictor`] — proactive pre-deployment (the paper's §VII outlook:
 //!   on-demand "more so when combined with good prediction").
 
@@ -32,6 +36,7 @@
 pub mod annotate;
 pub mod catalog;
 pub mod controller;
+pub mod dispatcher;
 pub mod flowmemory;
 pub mod predictor;
 pub mod scheduler;
@@ -42,8 +47,9 @@ pub use annotate::{
 pub use catalog::{RegisteredService, ServiceCatalog, ServiceId};
 pub use controller::{
     Controller, ControllerBuilder, ControllerConfig, ControllerOutput, ControllerStats,
-    DeploymentRecord, SwitchId,
+    DeployFailure, DeploymentRecord, SwitchId,
 };
+pub use dispatcher::{DeployError, DeployPhaseKind};
 pub use flowmemory::{FlowKey, FlowMemory, MemorizedFlow};
 pub use predictor::{NoPrediction, OraclePredictor, PopularityPredictor, Predictor};
 pub use scheduler::{

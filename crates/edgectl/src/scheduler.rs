@@ -25,11 +25,6 @@ use crate::catalog::ServiceId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClusterId(pub usize);
 
-/// Sentinel "cluster" standing for the real cloud — used by the FlowMemory
-/// to remember pass-through decisions so they can be retargeted to an edge
-/// instance once one is ready.
-pub const CLOUD_CLUSTER: ClusterId = ClusterId(usize::MAX);
-
 /// What the Dispatcher tells the Global Scheduler about one cluster
 /// (paper: "the Dispatcher component … feeds the Scheduler with information
 /// about the current system state").
@@ -43,6 +38,11 @@ pub struct ClusterView {
     pub status: ServiceStatus,
     /// CPU load fraction (0.0–1.0) for load-aware policies.
     pub load: f64,
+    /// A dispatcher state machine is mid-flight deploying this service here.
+    /// Policies can use it to avoid double-deploying or to prefer a cluster
+    /// that will be ready soon; the built-in paper policies ignore it (their
+    /// decisions predate deployment visibility and must stay byte-identical).
+    pub deploying: bool,
 }
 
 impl ClusterView {
@@ -292,6 +292,7 @@ mod tests {
                 endpoint: None,
             },
             load: 0.0,
+            deploying: false,
         }
     }
 

@@ -108,11 +108,51 @@ fn flow_mods(outputs: &[ControllerOutput]) -> Vec<&ControllerOutput> {
         .collect()
 }
 
+/// Drive every due wakeup until the dispatcher has no deployment in flight,
+/// collecting outputs. The old pipeline ran a deployment to completion inside
+/// `on_packet_in`; the stepped dispatcher spreads it over wakeups, so tests
+/// pump to recover the "dust has settled" view.
+fn pump(c: &mut Controller) -> Vec<ControllerOutput> {
+    let mut out = Vec::new();
+    while !c.in_flight_deployments(SimTime::ZERO).is_empty() {
+        let Some(at) = c.next_wakeup() else { break };
+        out.extend(c.on_wakeup(at));
+    }
+    out
+}
+
+/// Pump every wakeup due at or before `upto` — machine steps, retarget
+/// drains, and housekeeping — exactly like the simulator's event loop.
+fn pump_until(c: &mut Controller, upto: SimTime) -> Vec<ControllerOutput> {
+    let mut out = Vec::new();
+    while let Some(at) = c.next_wakeup() {
+        if at > upto {
+            break;
+        }
+        out.extend(c.on_wakeup(at));
+    }
+    out
+}
+
+/// Packet-in plus a full pump: the combined outputs include the buffered
+/// packet's eventual release, like the old synchronous `on_packet_in`.
+fn deliver(
+    c: &mut Controller,
+    t: SimTime,
+    p: Packet,
+    b: BufferId,
+    port: PortId,
+) -> Vec<ControllerOutput> {
+    let mut out = c.on_packet_in(t, p, b, port);
+    out.extend(pump(c));
+    out
+}
+
 #[test]
 fn with_waiting_holds_request_until_ready() {
     let mut c = waiting_controller(1);
     let t0 = SimTime::ZERO;
-    let outputs = c.on_packet_in(t0, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let outputs = deliver(&mut c, t0, packet(1, 1), BufferId(0), CLIENT_PORT);
 
     // Two FlowMods (forward + reverse rewrite) and one release.
     assert_eq!(flow_mods(&outputs).len(), 2);
@@ -155,7 +195,13 @@ fn with_waiting_holds_request_until_ready() {
 #[test]
 fn forward_flow_rewrites_to_edge_instance() {
     let mut c = waiting_controller(2);
-    let outputs = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let outputs = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ControllerOutput::FlowMod {
         spec: FlowSpec {
             matcher, actions, ..
@@ -189,18 +235,24 @@ fn forward_flow_rewrites_to_edge_instance() {
 #[test]
 fn second_deployment_skips_pull_and_create() {
     let mut c = waiting_controller(3);
-    let out1 = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let out1 = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ready1 = release_time(&out1);
 
     // Let the instance idle out and be scaled down.
     let idle = c.config().memory_idle_timeout;
     let tick_at = ready1 + idle + SimDuration::from_secs(1);
-    c.on_tick(tick_at);
+    pump_until(&mut c, tick_at);
     assert_eq!(c.stats.scale_downs, 1, "idle instance scaled to zero");
 
     // Next request: image cached, service created → only scale-up.
     let t2 = tick_at + SimDuration::from_secs(5);
-    let out2 = c.on_packet_in(t2, packet(1, 2), BufferId(1), CLIENT_PORT);
+    let out2 = deliver(&mut c, t2, packet(1, 2), BufferId(1), CLIENT_PORT);
     let ready2 = release_time(&out2);
     let rec = c.stats.deployments.last().unwrap();
     assert!(rec.pull.is_none(), "image already cached");
@@ -218,7 +270,13 @@ fn second_deployment_skips_pull_and_create() {
 #[test]
 fn memory_fast_path_skips_scheduler() {
     let mut c = waiting_controller(4);
-    let out1 = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let out1 = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ready = release_time(&out1);
 
     // Same client again shortly after: memory hit, instant outputs.
@@ -237,14 +295,26 @@ fn memory_fast_path_skips_scheduler() {
 #[test]
 fn concurrent_requests_piggyback_on_one_deployment() {
     let mut c = waiting_controller(5);
-    let out1 = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
     let t_mid = SimTime::ZERO + SimDuration::from_millis(500);
-    let out2 = c.on_packet_in(t_mid, packet(2, 2), BufferId(1), CLIENT_PORT);
+    c.on_packet_in(t_mid, packet(2, 2), BufferId(1), CLIENT_PORT);
 
+    // Both requests are held on the same in-flight machine; pumping it to
+    // completion releases them together.
+    let late = pump(&mut c);
     assert_eq!(c.stats.deployments.len(), 1, "one deployment for both");
-    let r1 = release_time(&out1);
-    let r2 = release_time(&out2);
-    assert_eq!(r1, r2, "both released when the single instance is ready");
+    let releases: Vec<SimTime> = late
+        .iter()
+        .filter_map(|o| match o {
+            ControllerOutput::ReleaseViaTable { at, .. } => Some(*at),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(releases.len(), 2, "both held requests are released");
+    assert_eq!(
+        releases[0], releases[1],
+        "both released when the single instance is ready"
+    );
     assert_eq!(c.stats.held_requests, 2);
 }
 
@@ -312,16 +382,21 @@ fn without_waiting_detours_to_ready_cluster_and_retargets() {
     };
     assert!(matches!(actions[2], Action::Output(p) if p == K8S_PORT));
 
-    // Background deployment at the near cluster was triggered.
+    // Background deployment at the near cluster was triggered; it completes
+    // over subsequent wakeups.
+    assert_eq!(c.in_flight_deployments(warm).len(), 1);
+    let mut updates = pump(&mut c);
     assert_eq!(c.stats.deployments.len(), 1);
-    let rec = &c.stats.deployments[0];
-    assert_eq!(rec.cluster, near);
-    assert!(!rec.waited);
-    let near_ready = rec.ready_detected;
+    let near_ready = {
+        let rec = &c.stats.deployments[0];
+        assert_eq!(rec.cluster, near);
+        assert!(!rec.waited);
+        rec.ready_detected
+    };
 
     // Once the near instance is up, the memorized flow retargets and the
     // switch gets updated FlowMods.
-    let updates = c.take_retarget_outputs(near_ready + SimDuration::from_secs(1));
+    updates.extend(pump_until(&mut c, near_ready + SimDuration::from_secs(1)));
     assert!(!updates.is_empty(), "retarget must emit FlowMods");
     assert!(updates
         .iter()
@@ -358,10 +433,13 @@ fn no_ready_instance_and_no_wait_policy_forwards_to_cloud() {
 
     let outputs = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
     assert_eq!(c.stats.cloud_forwards, 1, "first request goes to the cloud");
-    assert_eq!(c.stats.deployments.len(), 1, "background deployment runs");
-    assert!(!c.stats.deployments[0].waited);
     let released = release_time(&outputs);
     assert!(released - SimTime::ZERO <= SimDuration::from_millis(5));
+
+    // The background deployment completes over subsequent wakeups.
+    pump(&mut c);
+    assert_eq!(c.stats.deployments.len(), 1, "background deployment runs");
+    assert!(!c.stats.deployments[0].waited);
 }
 
 #[test]
@@ -379,7 +457,15 @@ fn deployment_failure_falls_back_to_cloud() {
     );
     c.catalog.register(service_addr(), nginx_template());
 
-    let outputs = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    // The pull fails; retries burn down over backoff wakeups, then the held
+    // request escapes to the cloud, stamped back at its decision time.
+    let outputs = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     assert_eq!(c.stats.failed_deployments, 1);
     assert_eq!(c.stats.cloud_forwards, 1);
     assert!(release_time(&outputs) - SimTime::ZERO <= SimDuration::from_millis(5));
@@ -388,19 +474,25 @@ fn deployment_failure_falls_back_to_cloud() {
 #[test]
 fn tick_scales_down_idle_instance_and_reports_next_wakeup() {
     let mut c = waiting_controller(11);
-    let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let out = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ready = release_time(&out);
 
-    // A tick before expiry does nothing but returns the expiry time.
-    let next = c.on_tick(ready + SimDuration::from_secs(1));
-    assert!(next.is_some());
+    // Before expiry nothing is due, but a wakeup remains armed for it.
+    pump_until(&mut c, ready + SimDuration::from_secs(1));
+    assert!(c.next_wakeup().is_some());
     assert_eq!(c.stats.scale_downs, 0);
 
     // After the memory idle timeout the instance is scaled to zero.
     let late = ready + c.config().memory_idle_timeout + SimDuration::from_secs(1);
-    let next = c.on_tick(late);
+    pump_until(&mut c, late);
     assert_eq!(c.stats.scale_downs, 1);
-    assert_eq!(next, None, "no flows left to expire");
+    assert_eq!(c.next_wakeup(), None, "no flows left to expire");
     let status = c.cluster(edgectl::ClusterId(0)).status(late, "edge-nginx");
     assert_eq!(status.ready_replicas, 0);
     assert!(status.created, "scale down keeps the service objects");
@@ -409,7 +501,13 @@ fn tick_scales_down_idle_instance_and_reports_next_wakeup() {
 #[test]
 fn probe_quantization_bounds_detection_lag() {
     let mut c = waiting_controller(12);
-    c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let rec = &c.stats.deployments[0];
     let (_, _, expected) = rec.scale_up.unwrap();
     let lag = rec.ready_detected - expected;
@@ -459,7 +557,13 @@ fn retries_recover_from_transient_faults() {
             DOCKER_PORT,
         );
         c.catalog.register(service_addr(), nginx_template());
-        c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+        deliver(
+            &mut c,
+            SimTime::ZERO,
+            packet(1, 1),
+            BufferId(0),
+            CLIENT_PORT,
+        );
         (
             c.stats.deployments.len() == 1 && c.stats.failed_deployments == 0,
             c.stats.retried_operations,
@@ -523,7 +627,13 @@ fn retry_backoff_delays_deployment() {
         DOCKER_PORT,
     );
     c.catalog.register(service_addr(), nginx_template());
-    c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     assert_eq!(c.stats.deployments.len(), 1);
     assert!(c.stats.retried_operations >= 1);
     let rec = &c.stats.deployments[0];
@@ -549,11 +659,17 @@ fn autoscaler_grows_replicas_with_flow_count() {
     c.catalog.register(service_addr(), nginx_template());
 
     // First client triggers the deployment; eleven more arrive afterwards.
-    let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let out = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ready = release_time(&out);
     for i in 2..=12u8 {
         c.on_packet_in(
-            ready + SimDuration::from_millis(i as u64 * 10),
+            ready + SimDuration::from_secs(i as u64),
             packet(i, i as u64),
             BufferId(i as u64),
             CLIENT_PORT,
@@ -561,13 +677,15 @@ fn autoscaler_grows_replicas_with_flow_count() {
     }
     assert_eq!(c.memory().len(), 12);
 
-    // Tick: 12 flows / 4 per replica → 3 replicas desired.
-    let tick_at = ready + SimDuration::from_secs(2);
-    c.on_tick(tick_at);
+    // Housekeeping rides memory-expiry wakeups: at the first one (client 1's
+    // flow, one idle timeout after release) eleven flows remain →
+    // ceil(11/4) = 3 replicas desired.
+    let tick_at = ready + c.config().memory_idle_timeout + SimDuration::from_secs(1);
+    pump_until(&mut c, tick_at);
     assert_eq!(c.stats.autoscale_ups, 1);
     let later = tick_at + SimDuration::from_secs(5);
     let status = c.cluster(edgectl::ClusterId(0)).status(later, "edge-nginx");
-    assert_eq!(status.ready_replicas, 3, "autoscaled to ceil(12/4)");
+    assert_eq!(status.ready_replicas, 3, "autoscaled to ceil(11/4)");
 
     // The Local Scheduler now spreads subsequent clients across replicas.
     let eps = c
@@ -602,7 +720,13 @@ fn autoscaler_grows_replicas_with_flow_count() {
 #[test]
 fn autoscaler_disabled_by_default() {
     let mut c = waiting_controller(22);
-    let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let out = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ready = release_time(&out);
     for i in 2..=12u8 {
         c.on_packet_in(
@@ -612,7 +736,7 @@ fn autoscaler_disabled_by_default() {
             CLIENT_PORT,
         );
     }
-    c.on_tick(ready + SimDuration::from_secs(2));
+    pump_until(&mut c, ready + SimDuration::from_secs(2));
     assert_eq!(c.stats.autoscale_ups, 0);
     let status = c
         .cluster(edgectl::ClusterId(0))
@@ -626,7 +750,13 @@ fn client_mobility_reverse_flow_follows_new_port() {
     // location". When a client reappears on a different ingress port, the
     // re-installed reverse flow must deliver responses to the new port.
     let mut c = waiting_controller(23);
-    let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let out = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ready = release_time(&out);
     assert_eq!(c.client_location(client_ip(1)), Some(CLIENT_PORT));
 
@@ -681,7 +811,13 @@ fn probe_timeout_falls_back_to_cloud() {
             DurationDist::constant_ms(30_000.0),
         ),
     );
-    let outputs = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let outputs = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     assert_eq!(c.stats.failed_deployments, 1);
     assert_eq!(c.stats.cloud_forwards, 1, "request escapes to the cloud");
     let released = release_time(&outputs);
@@ -725,13 +861,14 @@ fn multi_switch_decisions_are_relative_to_ingress() {
     c.catalog.register(service_addr(), nginx_template());
 
     // Client A behind switch 0 → deployment lands on site 0.
-    let out_a = c.on_packet_in_at(
+    let mut out_a = c.on_packet_in_at(
         SimTime::ZERO,
         SwitchId(0),
         packet(1, 1),
         BufferId(0),
         PortId(5),
     );
+    out_a.extend(pump(&mut c));
     assert_eq!(c.stats.deployments[0].cluster, edgectl::ClusterId(0));
     let ControllerOutput::FlowMod {
         spec: FlowSpec { actions, .. },
@@ -749,13 +886,14 @@ fn multi_switch_decisions_are_relative_to_ingress() {
 
     // Client B behind switch 1 → deployment lands on site 1, flows installed
     // on switch 1 pointing at ITS local port.
-    let out_b = c.on_packet_in_at(
+    let mut out_b = c.on_packet_in_at(
         SimTime::ZERO + SimDuration::from_secs(10),
         sw1,
         packet(2, 2),
         BufferId(1),
         PortId(6),
     );
+    out_b.extend(pump(&mut c));
     assert_eq!(c.stats.deployments[1].cluster, s1);
     let ControllerOutput::FlowMod {
         spec: FlowSpec { actions, .. },
@@ -810,12 +948,18 @@ fn remove_phase_deletes_long_idle_services() {
     );
     c.catalog.register(service_addr(), nginx_template());
 
-    let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let out = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ready = release_time(&out);
 
     // Idle out → scale down.
     let t1 = ready + c.config().memory_idle_timeout + SimDuration::from_secs(1);
-    c.on_tick(t1);
+    pump_until(&mut c, t1);
     assert_eq!(c.stats.scale_downs, 1);
     assert_eq!(c.stats.removals, 0);
     assert!(
@@ -824,13 +968,13 @@ fn remove_phase_deletes_long_idle_services() {
             .created
     );
 
-    // The tick must wake up again for the pending removal.
-    let next = c.on_tick(t1 + SimDuration::from_secs(1));
-    assert!(next.is_some(), "a removal is pending");
+    // The controller must wake up again for the pending removal.
+    pump_until(&mut c, t1 + SimDuration::from_secs(1));
+    assert!(c.next_wakeup().is_some(), "a removal is pending");
 
     // After remove_after at zero replicas → Remove.
     let t2 = t1 + SimDuration::from_secs(121);
-    c.on_tick(t2);
+    pump_until(&mut c, t2);
     assert_eq!(c.stats.removals, 1);
     assert!(
         !c.cluster(edgectl::ClusterId(0))
@@ -840,7 +984,7 @@ fn remove_phase_deletes_long_idle_services() {
 
     // A later request redeploys: Create + Scale-Up, no Pull.
     let t3 = t2 + SimDuration::from_secs(10);
-    let out = c.on_packet_in(t3, packet(1, 2), BufferId(1), CLIENT_PORT);
+    let out = deliver(&mut c, t3, packet(1, 2), BufferId(1), CLIENT_PORT);
     let rec = c.stats.deployments.last().unwrap();
     assert!(rec.pull.is_none(), "image still cached after Remove");
     assert!(rec.create.is_some(), "service objects must be recreated");
@@ -864,18 +1008,24 @@ fn revived_service_escapes_pending_removal() {
     );
     c.catalog.register(service_addr(), nginx_template());
 
-    let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+    let out = deliver(
+        &mut c,
+        SimTime::ZERO,
+        packet(1, 1),
+        BufferId(0),
+        CLIENT_PORT,
+    );
     let ready = release_time(&out);
     let t1 = ready + c.config().memory_idle_timeout + SimDuration::from_secs(1);
-    c.on_tick(t1);
+    pump_until(&mut c, t1);
     assert_eq!(c.stats.scale_downs, 1);
 
     // A request arrives before the removal deadline: the service revives.
     let t2 = t1 + SimDuration::from_secs(30);
-    c.on_packet_in(t2, packet(2, 2), BufferId(1), CLIENT_PORT);
+    deliver(&mut c, t2, packet(2, 2), BufferId(1), CLIENT_PORT);
 
     // The removal deadline passes — nothing must be removed.
-    c.on_tick(t1 + SimDuration::from_secs(121));
+    pump_until(&mut c, t1 + SimDuration::from_secs(121));
     assert_eq!(c.stats.removals, 0);
     assert!(
         c.cluster(edgectl::ClusterId(0))

@@ -1,0 +1,370 @@
+//! Model-based lockstep equivalence: the stepped dispatcher vs the retained
+//! synchronous reference pipeline ([`edgectl::dispatcher::reference`]).
+//!
+//! Both controllers are driven through the *same* generated request schedule
+//! against *identically-seeded but separate* backends, pumping every due
+//! wakeup between packet-ins exactly like the simulator's event loop. If the
+//! state machine decomposition is faithful, the two runs must agree on every
+//! emitted [`ControllerOutput`] (same kind, same stamp), every stats counter,
+//! and every [`edgectl::DeploymentRecord`] — the record's scale-up triple and
+//! `ready_detected` make the comparison sensitive to the retry counter and
+//! the probe deadline (see the two `lockstep_is_sensitive_to_*` tests, which
+//! prove that mutating either produces a detectable divergence).
+//!
+//! The generator deliberately avoids the documented accepted divergences
+//! (DESIGN.md §5e): piggyback bursts ride only on succeeding deployments
+//! (the old pipeline re-ran failed deployments per request; the dispatcher
+//! piggybacks on the failing machine), flaky backends serve single-request
+//! services (retry wall-clock spread is engine-visible under concurrency),
+//! and services are spaced so no two machines are ever in flight at once.
+
+use cluster::{ClusterBackend, DockerCluster, FaultPlan, FaultyCluster, ServiceTemplate};
+use containers::image::synthesize_layers;
+use containers::{ImageManifest, Runtime};
+use edgectl::{Controller, ControllerConfig, ControllerOutput, NearestReadyFirst, NearestWaiting};
+use proptest::prelude::*;
+use registry::{Registry, RegistryProfile, RegistrySet};
+use simcore::{DurationDist, SimDuration, SimRng, SimTime};
+use simnet::openflow::{BufferId, PortId};
+use simnet::{IpAddr, Packet, SocketAddr};
+
+const CLOUD_PORT: PortId = PortId(0);
+const CLIENT_PORT: PortId = PortId(1);
+const DOCKER_PORT: PortId = PortId(2);
+
+fn registries() -> RegistrySet {
+    let mut hub = Registry::new(RegistryProfile::docker_hub());
+    hub.publish(ImageManifest::new(
+        "nginx:1.23.2",
+        synthesize_layers(1, 141_000_000, 6),
+    ));
+    let mut s = RegistrySet::new();
+    s.add(hub);
+    s
+}
+
+fn service_addr(s: u8) -> SocketAddr {
+    SocketAddr::new(IpAddr::new(93, 184, 0, s + 1), 80)
+}
+
+fn template(s: u8, slow: bool) -> ServiceTemplate {
+    // A "slow" service opens its port long after the default 120 s probe
+    // budget: every deployment of it times out, in both engines.
+    let init = if slow { 200_000.0 } else { 110.0 };
+    ServiceTemplate::single(
+        format!("svc-{s}"),
+        "nginx:1.23.2",
+        80,
+        DurationDist::constant_ms(init),
+    )
+}
+
+/// One registered service's request pattern.
+#[derive(Debug, Clone)]
+struct SvcPlan {
+    /// App init far beyond the probe timeout: deployment always fails.
+    slow: bool,
+    /// Requests within the deployment window (held / piggybacked).
+    piggyback: u8,
+    /// Extra request offsets in seconds after the first (warm paths, memory
+    /// hits, idle-expiry redeploys).
+    later: Vec<u32>,
+    /// Varies which clients repeat across a service's requests.
+    client_salt: u8,
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// NearestWaiting (hold requests) vs NearestReadyFirst (cloud + background).
+    waiting: bool,
+    retries: u32,
+    /// Per-mutating-call failure probability, percent.
+    fault_rate: Option<u8>,
+    backend_seed: u64,
+    services: Vec<SvcPlan>,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let svc = (
+        prop_oneof![4 => Just(false), 1 => Just(true)],
+        0u8..3,
+        proptest::collection::vec(5u32..300, 0..3),
+        0u8..4,
+    )
+        .prop_map(|(slow, piggyback, later, client_salt)| SvcPlan {
+            slow,
+            piggyback,
+            later,
+            client_salt,
+        });
+    (
+        any::<bool>(),
+        0u32..4,
+        prop_oneof![3 => Just(None), 1 => Just(Some(30u8)), 1 => Just(Some(50u8))],
+        0u64..1_000,
+        proptest::collection::vec(svc, 1..4),
+    )
+        .prop_map(
+            |(waiting, retries, fault_rate, backend_seed, mut services)| {
+                for s in &mut services {
+                    // Keep to the equivalence envelope: failing deployments get
+                    // no companions (see module docs).
+                    if s.slow || fault_rate.is_some() {
+                        s.piggyback = 0;
+                        s.later.clear();
+                    }
+                }
+                Scenario {
+                    waiting,
+                    retries,
+                    fault_rate,
+                    backend_seed,
+                    services,
+                }
+            },
+        )
+}
+
+/// Flatten a scenario into a time-ordered `(at, service, client)` schedule.
+/// Services start 400 s apart — wider than any deployment, retry ladder, or
+/// probe timeout — so machines never overlap across services.
+fn events(sc: &Scenario) -> Vec<(SimTime, u8, u8)> {
+    let mut ev = Vec::new();
+    for (i, s) in sc.services.iter().enumerate() {
+        let svc = i as u8;
+        let client = |k: u8| (s.client_salt + k) % 4;
+        let base = SimTime::ZERO + SimDuration::from_secs(400 * i as u64 + 1);
+        ev.push((base, svc, client(0)));
+        for k in 0..s.piggyback {
+            ev.push((
+                base + SimDuration::from_millis(100 + 100 * k as u64),
+                svc,
+                client(k + 1),
+            ));
+        }
+        for (j, off) in s.later.iter().enumerate() {
+            ev.push((
+                base + SimDuration::from_secs(*off as u64) + SimDuration::from_millis(j as u64),
+                svc,
+                client(j as u8),
+            ));
+        }
+    }
+    ev.sort_by_key(|e| e.0);
+    ev
+}
+
+fn config_for(sc: &Scenario) -> ControllerConfig {
+    ControllerConfig {
+        deploy_retries: sc.retries,
+        ..Default::default()
+    }
+}
+
+fn build_with(sc: &Scenario, reference: bool, config: ControllerConfig) -> Controller {
+    let mut b = Controller::builder(config)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT);
+    b = if sc.waiting {
+        b.global(NearestWaiting)
+    } else {
+        b.global(NearestReadyFirst)
+    };
+    if reference {
+        b = b.reference_pipeline();
+    }
+    let mut c = b.build();
+    let rng = SimRng::seed_from_u64(sc.backend_seed);
+    let inner = DockerCluster::new(
+        "edge-docker",
+        IpAddr::new(10, 0, 0, 100),
+        Runtime::egs(rng.stream("rt")),
+        rng.stream("docker"),
+    );
+    let backend: Box<dyn ClusterBackend> = match sc.fault_rate {
+        Some(pct) => Box::new(FaultyCluster::new(
+            inner,
+            FaultPlan::flaky(f64::from(pct) / 100.0),
+            rng.stream("faults"),
+        )),
+        None => Box::new(inner),
+    };
+    c.attach_cluster(backend, SimDuration::from_micros(300), DOCKER_PORT);
+    for (i, s) in sc.services.iter().enumerate() {
+        c.catalog
+            .register(service_addr(i as u8), template(i as u8, s.slow));
+    }
+    c
+}
+
+fn build(sc: &Scenario, reference: bool) -> Controller {
+    build_with(sc, reference, config_for(sc))
+}
+
+/// Drive one controller through the schedule, pumping every wakeup due
+/// before each packet-in (the simulator's event loop in miniature), then
+/// drain everything that remains — machine completions, retarget FlowMods,
+/// idle expiry and scale-downs.
+fn run(c: &mut Controller, ev: &[(SimTime, u8, u8)]) -> Vec<ControllerOutput> {
+    let mut out = Vec::new();
+    let pump_until = |c: &mut Controller, upto: SimTime, out: &mut Vec<ControllerOutput>| {
+        while let Some(at) = c.next_wakeup() {
+            if at > upto {
+                break;
+            }
+            out.extend(c.on_wakeup(at));
+        }
+    };
+    for (i, (t, s, cl)) in ev.iter().enumerate() {
+        pump_until(c, *t, &mut out);
+        let p = Packet::syn(
+            SocketAddr::new(IpAddr::new(10, 1, *s, *cl), 40_000),
+            service_addr(*s),
+            i as u64,
+        );
+        out.extend(c.on_packet_in(*t, p, BufferId(i as u64), CLIENT_PORT));
+    }
+    pump_until(
+        c,
+        SimTime::ZERO + SimDuration::from_secs(1_000_000),
+        &mut out,
+    );
+    out
+}
+
+/// Canonical form: the engines may emit the same outputs in different call
+/// order (e.g. past-stamped failure releases), so compare as a multiset
+/// keyed by stamp + rendered output.
+fn canon(outs: &[ControllerOutput]) -> Vec<String> {
+    let mut v: Vec<String> = outs.iter().map(|o| format!("{:?} {o:?}", o.at())).collect();
+    v.sort();
+    v
+}
+
+fn assert_lockstep(sc: &Scenario) -> Result<(), TestCaseError> {
+    let ev = events(sc);
+    let mut stepped = build(sc, false);
+    let mut reference = build(sc, true);
+    let out_s = canon(&run(&mut stepped, &ev));
+    let out_r = canon(&run(&mut reference, &ev));
+    prop_assert_eq!(
+        out_s.len(),
+        out_r.len(),
+        "output counts diverge\nstepped: {:#?}\nreference: {:#?}",
+        out_s,
+        out_r
+    );
+    for (a, b) in out_s.iter().zip(out_r.iter()) {
+        prop_assert_eq!(a, b);
+    }
+
+    let ss = &stepped.stats;
+    let rs = &reference.stats;
+    prop_assert_eq!(ss.packet_ins, rs.packet_ins, "packet_ins");
+    prop_assert_eq!(ss.memory_hits, rs.memory_hits, "memory_hits");
+    prop_assert_eq!(ss.cloud_forwards, rs.cloud_forwards, "cloud_forwards");
+    prop_assert_eq!(ss.held_requests, rs.held_requests, "held_requests");
+    prop_assert_eq!(ss.detoured_requests, rs.detoured_requests, "detoured");
+    prop_assert_eq!(ss.failed_deployments, rs.failed_deployments, "failed");
+    prop_assert_eq!(ss.scale_downs, rs.scale_downs, "scale_downs");
+    prop_assert_eq!(ss.removals, rs.removals, "removals");
+    prop_assert_eq!(ss.retargets, rs.retargets, "retargets");
+    prop_assert_eq!(ss.retried_operations, rs.retried_operations, "retries");
+    prop_assert_eq!(ss.crash_recoveries, rs.crash_recoveries, "recoveries");
+
+    prop_assert_eq!(ss.deployments.len(), rs.deployments.len(), "record count");
+    for (a, b) in ss.deployments.iter().zip(rs.deployments.iter()) {
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    // Neither engine may leave a held request dangling after the drain.
+    prop_assert!(stepped.in_flight_deployments(SimTime::ZERO).is_empty());
+    prop_assert!(stepped.memory().iter().all(|f| !f.pending));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn stepped_dispatcher_matches_reference_pipeline(sc in scenario_strategy()) {
+        assert_lockstep(&sc)?;
+    }
+}
+
+/// Mutation validation: a broken retry counter must be *visible* to the
+/// lockstep comparison. Emulate the mutation by giving the stepped engine a
+/// different retry budget than the reference over a flaky backend — for some
+/// seed the runs must diverge in retried/failed counts or outputs.
+#[test]
+fn lockstep_is_sensitive_to_the_retry_budget() {
+    let mut diverged = false;
+    for seed in 0..50u64 {
+        let sc = Scenario {
+            waiting: true,
+            retries: 3,
+            fault_rate: Some(50),
+            backend_seed: seed,
+            services: vec![SvcPlan {
+                slow: false,
+                piggyback: 0,
+                later: Vec::new(),
+                client_salt: 0,
+            }],
+        };
+        let mutated = Scenario {
+            retries: 0,
+            ..sc.clone()
+        };
+        let ev = events(&sc);
+        let mut a = build(&sc, false);
+        let mut b = build(&mutated, true);
+        let out_a = canon(&run(&mut a, &ev));
+        let out_b = canon(&run(&mut b, &ev));
+        if out_a != out_b
+            || a.stats.failed_deployments != b.stats.failed_deployments
+            || a.stats.retried_operations != b.stats.retried_operations
+        {
+            diverged = true;
+            break;
+        }
+    }
+    assert!(
+        diverged,
+        "a mutated retry budget must produce a detectable lockstep divergence"
+    );
+}
+
+/// Mutation validation for the probe deadline: shrinking the stepped
+/// engine's probe timeout below a service's app-init time flips its
+/// deployments from Ready to Failed, which the comparison must detect.
+#[test]
+fn lockstep_is_sensitive_to_the_probe_deadline() {
+    let sc = Scenario {
+        waiting: true,
+        retries: 0,
+        fault_rate: None,
+        backend_seed: 7,
+        services: vec![SvcPlan {
+            slow: false,
+            piggyback: 0,
+            later: Vec::new(),
+            client_salt: 0,
+        }],
+    };
+    let ev = events(&sc);
+    let mut mutated_config = config_for(&sc);
+    // Mutation: a probe deadline shorter than nginx's ~110 ms app init plus
+    // container start — the stepped machine gives up before the port opens.
+    mutated_config.probe_timeout = SimDuration::from_millis(1);
+    let mut a = build_with(&sc, false, mutated_config);
+    let mut b = build(&sc, true);
+    let out_a = canon(&run(&mut a, &ev));
+    let out_b = canon(&run(&mut b, &ev));
+    assert!(
+        out_a != out_b || a.stats.failed_deployments != b.stats.failed_deployments,
+        "a mutated probe deadline must produce a detectable lockstep divergence"
+    );
+    assert_eq!(a.stats.failed_deployments, 1, "mutant times out");
+    assert_eq!(b.stats.failed_deployments, 0, "reference succeeds");
+}

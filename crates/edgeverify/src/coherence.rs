@@ -21,7 +21,7 @@ use simcore::SimTime;
 use simnet::openflow::{FlowEntry, FlowTable};
 use simnet::{Packet, SocketAddr};
 
-use edgectl::{FlowKey, FlowMemory};
+use edgectl::{ClusterId, FlowKey, FlowMemory, ServiceId};
 
 use crate::table::{destination, Terminal};
 use crate::{RuleRef, Violation};
@@ -36,6 +36,11 @@ pub struct CoherenceView<'a> {
     /// every live replica endpoint across clusters (a switch rewrite to one
     /// of these without a memory entry is benign staleness, not a defect).
     pub live_targets: HashSet<SocketAddr>,
+    /// Deployments the dispatcher currently has in flight. Pending
+    /// FlowMemory placeholders are legitimate only while a machine exists
+    /// for their service; otherwise the held request can never be released
+    /// ([`Violation::OrphanedPending`]).
+    pub in_flight: HashSet<(ServiceId, ClusterId)>,
 }
 
 /// A redirect-shaped switch entry decomposed into the controller's terms.
@@ -77,7 +82,10 @@ pub(crate) fn check(view: &CoherenceView<'_>) -> Vec<Violation> {
             let Some(redirect) = as_redirect(entry) else {
                 continue;
             };
-            match view.memory.get(redirect.key) {
+            // A pending placeholder has no switch rule of its own — a rule
+            // matching its key is leftover from an earlier installed flow,
+            // so judge it as if the memory entry were absent.
+            match view.memory.get(redirect.key).filter(|f| !f.pending) {
                 Some(flow) => {
                     if flow.target != redirect.target {
                         out.push(Violation::TargetMismatch {
@@ -116,6 +124,19 @@ pub(crate) fn check(view: &CoherenceView<'_>) -> Vec<Violation> {
     // returns nothing or a non-rewriting rule — are the §5b design, not a
     // defect. Pairs whose own entry was already compared above are skipped.
     for flow in view.memory.iter() {
+        if flow.pending {
+            // A placeholder for a held request: no rule to compare, but the
+            // deployment it waits on must still exist somewhere. (Service-
+            // level, not (service, cluster): a BEST retarget may move the
+            // placeholder to a cluster other than the machine's.)
+            if !view.in_flight.iter().any(|&(s, _)| s == flow.service) {
+                out.push(Violation::OrphanedPending {
+                    client: flow.key.client_ip,
+                    service: flow.key.service_addr,
+                });
+            }
+            continue;
+        }
         let probe = Packet::syn(
             SocketAddr::new(flow.key.client_ip, 40000),
             flow.key.service_addr,

@@ -179,6 +179,10 @@ pub enum Violation {
         switch_target: SocketAddr,
         rule: FlowId,
     },
+    /// FlowMemory holds a pending placeholder (a request held on an
+    /// in-flight deployment) but the dispatcher has no deployment in flight
+    /// for the service — the held request can never be released.
+    OrphanedPending { client: IpAddr, service: SocketAddr },
     /// A switch entry backing a memorized flow can outlive the memory entry
     /// (switch idle timeout missing or longer than memory's) — §5b's
     /// scale-down logic would retire instances that still receive traffic.
@@ -264,6 +268,11 @@ impl fmt::Display for Violation {
                 "target-mismatch: {client} -> {service}: memory says {memory_target}, \
                  switch flow #{} rewrites to {switch_target}",
                 rule.0
+            ),
+            Violation::OrphanedPending { client, service } => write!(
+                f,
+                "orphaned-pending: {client} -> {service}: memory holds a pending \
+                 placeholder but no deployment is in flight for the service"
             ),
             Violation::IncompatibleTimeouts {
                 switch,

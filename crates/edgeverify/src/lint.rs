@@ -1,5 +1,5 @@
 //! Service-definition lint: validate the annotated YAML stream produced by
-//! [`edgectl::annotate`] (or hand-edited afterwards) against the invariants
+//! [`edgectl::annotate()`] (or hand-edited afterwards) against the invariants
 //! the deployment pipeline relies on — paper §V's automated annotations.
 
 use yamlite::Yaml;

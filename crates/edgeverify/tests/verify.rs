@@ -395,7 +395,7 @@ fn clean_redirect_reaches_site() {
 
 fn memory_with(key: FlowKey, target: SocketAddr, idle: SimDuration) -> FlowMemory {
     let mut m = FlowMemory::new(idle);
-    m.remember(t0(), key, edgectl::ServiceId(0), target, ClusterId(0));
+    m.remember(t0(), key, edgectl::ServiceId(0), target, Some(ClusterId(0)));
     m
 }
 
@@ -419,6 +419,7 @@ fn coherent_memory_and_switch_pass() {
         memory: &memory,
         tables: vec![&table],
         live_targets: HashSet::from([instance(1)]),
+        in_flight: HashSet::new(),
     };
     assert!(Verifier::new().check_coherence(&view).is_empty());
 
@@ -430,6 +431,7 @@ fn coherent_memory_and_switch_pass() {
         memory: &memory,
         tables: vec![&empty],
         live_targets: HashSet::new(),
+        in_flight: HashSet::new(),
     };
     assert!(Verifier::new().check_coherence(&view).is_empty());
 }
@@ -454,6 +456,7 @@ fn target_mismatch_detected() {
         memory: &memory,
         tables: vec![&table],
         live_targets: HashSet::from([instance(1), instance(2)]),
+        in_flight: HashSet::new(),
     };
     let violations = Verifier::new().check_coherence(&view);
     assert!(
@@ -486,6 +489,7 @@ fn incompatible_timeouts_detected() {
         memory: &memory,
         tables: vec![&table],
         live_targets: HashSet::from([instance(1)]),
+        in_flight: HashSet::new(),
     };
     let violations = Verifier::new().check_coherence(&view);
     assert!(
@@ -515,6 +519,7 @@ fn stale_redirect_detected() {
         memory: &memory,
         tables: vec![&table],
         live_targets: HashSet::new(), // instance 1 is dead
+        in_flight: HashSet::new(),
     };
     let violations = Verifier::new().check_coherence(&view);
     assert!(
@@ -532,8 +537,52 @@ fn stale_redirect_detected() {
         memory: &memory,
         tables: vec![&table],
         live_targets: HashSet::from([instance(1)]),
+        in_flight: HashSet::new(),
     };
     assert!(Verifier::new().check_coherence(&view).is_empty());
+}
+
+#[test]
+fn orphaned_pending_detected() {
+    // A pending placeholder is only legitimate while the dispatcher has a
+    // machine in flight for its service — the check is service-level, since
+    // a BEST retarget may park the placeholder on a different cluster than
+    // the machine's.
+    let key = FlowKey {
+        client_ip: client(1),
+        service_addr: svc(1),
+    };
+    let mut memory = FlowMemory::new(SimDuration::from_secs(60));
+    memory.remember_pending(t0(), key, edgectl::ServiceId(0), Some(ClusterId(0)));
+    let table = FlowTable::new();
+
+    // Machine in flight for the service (even on another cluster): clean.
+    let view = CoherenceView {
+        now: t0(),
+        memory: &memory,
+        tables: vec![&table],
+        live_targets: HashSet::new(),
+        in_flight: HashSet::from([(edgectl::ServiceId(0), ClusterId(1))]),
+    };
+    assert!(Verifier::new().check_coherence(&view).is_empty());
+
+    // No machine anywhere: the held request can never be released.
+    let view = CoherenceView {
+        now: t0(),
+        memory: &memory,
+        tables: vec![&table],
+        live_targets: HashSet::new(),
+        in_flight: HashSet::new(),
+    };
+    let violations = Verifier::new().check_coherence(&view);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            Violation::OrphanedPending { client: c, service: s }
+                if *c == client(1) && *s == svc(1)
+        )),
+        "{violations:?}"
+    );
 }
 
 // --------------------------------------------------------------------- lint

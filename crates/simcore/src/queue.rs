@@ -36,7 +36,7 @@
 //! reused. Dead nodes are unlinked lazily when their bucket is next visited.
 //!
 //! The previous `BinaryHeap` + tombstone-set implementation is retained in
-//! [`reference`] as the executable specification; a model-based proptest
+//! [`mod@reference`] as the executable specification; a model-based proptest
 //! (`tests/proptest_queue.rs`) proves the wheel equivalent to it over
 //! thousands of push/cancel/pop/peek interleavings.
 

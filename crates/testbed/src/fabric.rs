@@ -106,6 +106,9 @@ enum Ev {
     ApplyOutput {
         output: ControllerOutput,
     },
+    /// The controller asked to be woken (deployment machine steps, retarget
+    /// drains, housekeeping — its `next_wakeup`/`on_wakeup` surface).
+    Wakeup,
 }
 
 struct InFlight {
@@ -246,6 +249,7 @@ pub fn run_mobility(cfg: FabricConfig) -> FabricResult {
     let mut lost = 0u64;
     let mut server_rng = rng.stream("server");
     let roam_abs = cfg.roam_at.map(|d| SimTime::ZERO + d);
+    let mut wakeup_armed: Option<SimTime> = None;
 
     while let Some((now, ev)) = events.pop() {
         match ev {
@@ -318,6 +322,21 @@ pub fn run_mobility(cfg: FabricConfig) -> FabricResult {
                         lost += 1;
                     }
                 }
+            }
+            Ev::Wakeup => {
+                wakeup_armed = None;
+                for output in controller.on_wakeup(now) {
+                    events.push(output.at() + CTRL_LATENCY, Ev::ApplyOutput { output });
+                }
+            }
+        }
+        // Keep one wakeup event armed at the controller's earliest need —
+        // without this, held requests would wait on machines nobody steps.
+        if let Some(at) = controller.next_wakeup() {
+            let at = at.max(now);
+            if wakeup_armed.is_none_or(|t| at < t) {
+                events.push(at, Ev::Wakeup);
+                wakeup_armed = Some(at);
             }
         }
     }

@@ -46,12 +46,10 @@ enum Ev {
     },
     /// A controller output reaches the switch.
     ApplyOutput { output: ControllerOutput },
-    /// Drain due retargets (a BEST deployment became ready).
-    RetargetDrain,
-    /// FlowMemory housekeeping.
-    Tick,
-    /// Proactive-deployment predictor run.
-    PredictTick,
+    /// The controller asked to be woken: deployment machine steps, retarget
+    /// drains, FlowMemory housekeeping and predictor runs all ride on this
+    /// one event (the controller's `next_wakeup`/`on_wakeup` surface).
+    Wakeup,
     /// Fault injection: crash one running instance of a random service.
     CrashTick,
 }
@@ -229,7 +227,9 @@ struct InFlight {
     syn_at_switch: SimTime,
     service: usize,
     client: usize,
-    deployments_before: usize,
+    /// Deployment machines started before this request's PacketIn — the
+    /// lower bound of the window used to attribute `triggered_deployment`.
+    machines_before: u64,
 }
 
 /// The assembled testbed.
@@ -253,9 +253,17 @@ pub struct Testbed {
     /// saves a Dijkstra per completed request.
     paths: PathCache,
     records: Vec<RequestRecord>,
+    /// Requests whose `triggered_deployment` flag depends on a machine that
+    /// may still be in flight at completion time: `(record index, lo, hi)`
+    /// machine-ordinal windows, resolved against the dispatcher's completion
+    /// log in [`Testbed::finish`].
+    triggered_windows: Vec<(usize, u64, u64)>,
     lost: u64,
     crashes_injected: u64,
-    next_tick_scheduled: Option<SimTime>,
+    /// Earliest armed controller wakeup (one outstanding event is enough —
+    /// `on_wakeup` is idempotent and re-arms from the authoritative
+    /// `next_wakeup`).
+    wakeup_armed: Option<SimTime>,
     /// `Some` while a `run_trace_audited` run checks every flow install.
     audit: Option<AuditState>,
     /// Single-server FIFO queue per (service, serving port): the instant the
@@ -362,9 +370,10 @@ impl Testbed {
             in_flight: Vec::new(),
             paths: PathCache::new(),
             records: Vec::new(),
+            triggered_windows: Vec::new(),
             lost: 0,
             crashes_injected: 0,
-            next_tick_scheduled: None,
+            wakeup_armed: None,
             audit: None,
             busy_until: HashMap::new(),
         }
@@ -480,7 +489,7 @@ impl Testbed {
         }
 
         if self.cfg.predictor != PredictorKind::None {
-            let mut t = SimTime::ZERO + offset - SimDuration::from_secs(4);
+            let first = SimTime::ZERO + offset - SimDuration::from_secs(4);
             let end = SimTime::ZERO
                 + offset
                 + self
@@ -489,10 +498,15 @@ impl Testbed {
                     .probe_timeout
                     .min(SimDuration::from_secs(1))
                 + trace.config.duration;
-            while t <= end {
-                self.events.push(t, Ev::PredictTick);
-                t += self.cfg.predict_interval;
-            }
+            // Look one interval plus the typical deployment time ahead so
+            // instances are up before their requests arrive.
+            let horizon = self.cfg.predict_interval + SimDuration::from_secs(5);
+            self.controller
+                .set_predict_schedule(first, self.cfg.predict_interval, end, horizon);
+            // Arm the first wakeup before the SYNs enter the queue so that
+            // at equal instants the predictor (like the old pre-pushed tick
+            // chain) runs first.
+            self.arm_wakeup(SimTime::ZERO);
         }
 
         self.in_flight.resize_with(trace.requests.len(), || None);
@@ -505,7 +519,7 @@ impl Testbed {
                 syn_at_switch,
                 service: req.service,
                 client: req.client,
-                deployments_before: 0,
+                machines_before: 0,
             });
             self.events.push(syn_at_switch, Ev::SynAtSwitch { tag });
         }
@@ -563,6 +577,11 @@ impl Testbed {
             memory: self.controller.memory(),
             tables: vec![&self.switch.table],
             live_targets,
+            in_flight: self
+                .controller
+                .in_flight_deployments(now)
+                .into_iter()
+                .collect(),
         };
         final_violations.extend(audit.verifier.check_coherence(&view));
 
@@ -585,14 +604,19 @@ impl Testbed {
             syn_at_switch,
             service: 0,
             client: 0,
-            deployments_before: 0,
+            machines_before: 0,
         })];
         self.events.push(syn_at_switch, Ev::SynAtSwitch { tag: 0 });
         self.run_loop();
         self.finish(offset)
     }
 
-    fn finish(self, offset: SimDuration) -> RunResult {
+    fn finish(mut self, offset: SimDuration) -> RunResult {
+        // Resolve deferred `triggered_deployment` verdicts: the event loop
+        // has drained, so every machine in a window has completed or failed.
+        for (idx, lo, hi) in std::mem::take(&mut self.triggered_windows) {
+            self.records[idx].triggered_deployment = self.controller.completed_machine_in(lo, hi);
+        }
         let stats = &self.controller.stats;
         RunResult {
             deployments: stats.deployments.clone(),
@@ -628,16 +652,34 @@ impl Testbed {
                     in_port,
                 } => self.on_ctrl_packet_in(now, packet, buffer_id, in_port),
                 Ev::ApplyOutput { output } => self.on_apply_output(now, output),
-                Ev::RetargetDrain => self.on_retarget_drain(now),
-                Ev::Tick => self.on_tick(now),
-                Ev::PredictTick => {
-                    // Look one interval plus the typical deployment time ahead
-                    // so instances are up before their requests arrive.
-                    let horizon = self.cfg.predict_interval + SimDuration::from_secs(5);
-                    self.controller.on_predict_tick(now, horizon);
-                    self.schedule_controller_wakeups(now);
-                }
+                Ev::Wakeup => self.on_wakeup(now),
                 Ev::CrashTick => self.on_crash_tick(now),
+            }
+            // Every event can change when the controller next needs to run
+            // (a machine stepped, a flow was memorized, a crash landed), so
+            // re-arm from the authoritative `next_wakeup` after each one.
+            self.arm_wakeup(now);
+        }
+    }
+
+    /// Deliver a due wakeup to the controller and ship its outputs.
+    fn on_wakeup(&mut self, now: SimTime) {
+        self.wakeup_armed = None;
+        for output in self.controller.on_wakeup(now) {
+            self.events
+                .push(output.at() + CTRL_LATENCY, Ev::ApplyOutput { output });
+        }
+    }
+
+    /// Keep exactly one wakeup event in flight, at the earliest instant the
+    /// controller reports. Stale (superseded) events are harmless: `on_wakeup`
+    /// with nothing due is a no-op.
+    fn arm_wakeup(&mut self, now: SimTime) {
+        if let Some(at) = self.controller.next_wakeup() {
+            let at = at.max(now);
+            if self.wakeup_armed.is_none_or(|t| at < t) {
+                self.events.push(at, Ev::Wakeup);
+                self.wakeup_armed = Some(at);
             }
         }
     }
@@ -686,7 +728,7 @@ impl Testbed {
             .get_mut(packet.tag as usize)
             .and_then(|slot| slot.as_mut())
         {
-            fl.deployments_before = self.controller.stats.deployments.len();
+            fl.machines_before = self.controller.machines_started();
         }
         let outputs = self
             .controller
@@ -695,7 +737,6 @@ impl Testbed {
             let at = output.at() + CTRL_LATENCY;
             self.events.push(at, Ev::ApplyOutput { output });
         }
-        self.schedule_controller_wakeups(now);
     }
 
     fn on_apply_output(&mut self, now: SimTime, output: ControllerOutput) {
@@ -725,14 +766,6 @@ impl Testbed {
         }
     }
 
-    fn on_retarget_drain(&mut self, now: SimTime) {
-        for output in self.controller.take_retarget_outputs(now) {
-            self.events
-                .push(output.at() + CTRL_LATENCY, Ev::ApplyOutput { output });
-        }
-        self.schedule_controller_wakeups(now);
-    }
-
     /// Kill one running instance of a uniformly chosen service on a
     /// uniformly chosen cluster (if any is up).
     fn on_crash_tick(&mut self, now: SimTime) {
@@ -752,34 +785,6 @@ impl Testbed {
                 self.crashes_injected += 1;
                 return;
             }
-        }
-    }
-
-    fn on_tick(&mut self, now: SimTime) {
-        self.next_tick_scheduled = None;
-        if let Some(next) = self.controller.on_tick(now) {
-            self.schedule_tick(next);
-        }
-    }
-
-    /// Make sure pending retargets and FlowMemory expiries have wake-ups.
-    fn schedule_controller_wakeups(&mut self, now: SimTime) {
-        if let Some(at) = self.controller.next_retarget_at() {
-            self.events.push(at.max(now), Ev::RetargetDrain);
-        }
-        if self.controller.config().scale_down_idle {
-            if let Some(at) = self.controller.memory().next_expiry() {
-                self.schedule_tick(at.max(now));
-            }
-        }
-    }
-
-    fn schedule_tick(&mut self, at: SimTime) {
-        // Avoid flooding the queue: one pending tick at a time is enough,
-        // since each tick reschedules from the authoritative next_expiry.
-        if self.next_tick_scheduled.is_none_or(|t| at < t) {
-            self.events.push(at, Ev::Tick);
-            self.next_tick_scheduled = Some(at);
         }
     }
 
@@ -833,14 +838,22 @@ impl Testbed {
             server_time,
         );
         let finished = fl.started + hold + queue_delay + exchange;
-        let triggered = self.controller.stats.deployments.len() > fl.deployments_before
-            && hold > SimDuration::ZERO;
+        // A request "triggered" a deployment if its own PacketIn started a
+        // machine (window [machines_before, hi)) that eventually completes,
+        // and the request was held for it. The machine may still be mid-
+        // flight here, so the verdict is resolved in `finish` against the
+        // dispatcher's completion log.
+        let hi = self.controller.machines_started();
+        if hold > SimDuration::ZERO && fl.machines_before < hi {
+            self.triggered_windows
+                .push((self.records.len(), fl.machines_before, hi));
+        }
         self.records.push(RequestRecord {
             started: fl.started,
             finished,
             service: fl.service,
             client: fl.client,
-            triggered_deployment: triggered,
+            triggered_deployment: false,
         });
     }
 }

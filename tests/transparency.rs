@@ -60,7 +60,15 @@ fn round_trip_is_transparent_to_the_client() {
     let PacketVerdict::PacketIn { buffer_id, packet } = switch.receive(t0, syn) else {
         panic!("first packet must miss");
     };
-    let outputs = controller.on_packet_in(t0, packet, buffer_id, PortId(5));
+    let mut outputs = controller.on_packet_in(t0, packet, buffer_id, PortId(5));
+    // The dispatcher finishes the deployment over discrete wakeups; drive
+    // them like the simulator's event loop would until the machine drains.
+    while !controller.in_flight_deployments(t0).is_empty() {
+        let Some(at) = controller.next_wakeup() else {
+            break;
+        };
+        outputs.extend(controller.on_wakeup(at));
+    }
     let mut release_verdict = None;
     for o in outputs {
         match o {
