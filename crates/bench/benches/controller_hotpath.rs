@@ -107,7 +107,7 @@ fn bench_packet_in_memory_hit(c: &mut Criterion) {
 fn bench_flow_memory_churn(c: &mut Criterion) {
     c.bench_function("flow_memory_remember_recall_1k", |b| {
         b.iter_batched(
-            || FlowMemory::new(SimDuration::from_secs(60)),
+            || FlowMemory::new(SimDuration::from_secs(60)).unwrap(),
             |mut m| {
                 let target = SocketAddr::new(IpAddr::new(10, 0, 0, 100), 8000);
                 for i in 0..1024u32 {

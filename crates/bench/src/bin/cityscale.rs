@@ -63,6 +63,7 @@ struct ScaleResult {
     allocs_per_request: f64,
     completed: usize,
     lost: u64,
+    removes: u64,
     metrics_hash: u64,
 }
 
@@ -104,6 +105,7 @@ fn run_scale(scale: usize) -> ScaleResult {
         allocs_per_request: allocs as f64 / trace.requests.len() as f64,
         completed: result.records.len(),
         lost: result.lost,
+        removes: result.removes,
         metrics_hash: result.metrics_hash(),
     }
 }
@@ -119,7 +121,7 @@ fn to_json(results: &[ScaleResult]) -> String {
             "    {{\"scale\": {}, \"requests\": {}, \"services\": {}, \"clients\": {}, \
              \"events_scheduled\": {}, \"peak_queue_depth\": {}, \"wall_s\": {:.6}, \
              \"events_per_sec\": {:.1}, \"allocs_per_request\": {:.1}, \
-             \"completed\": {}, \"lost\": {}, \"metrics_hash\": \"{:#018x}\"}}",
+             \"completed\": {}, \"lost\": {}, \"removes\": {}, \"metrics_hash\": \"{:#018x}\"}}",
             r.scale,
             r.requests,
             r.services,
@@ -131,6 +133,7 @@ fn to_json(results: &[ScaleResult]) -> String {
             r.allocs_per_request,
             r.completed,
             r.lost,
+            r.removes,
             r.metrics_hash,
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });

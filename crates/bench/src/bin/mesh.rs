@@ -1,0 +1,197 @@
+//! Federation sweep — the trajectory artifact for the `edgemesh` subsystem
+//! (`BENCH_mesh.json`).
+//!
+//! Replays the paper's bigFlows workload through the sharded controller
+//! mesh at {1, 2, 4, 8} ingress shards (same seed, same trace) and records,
+//! per shard count: wall-clock, completions, deployments, split-brain
+//! duplicates observed vs. avoided by the lease protocol, gossip volume,
+//! mean delta staleness and mean convergence time. The 1-shard run is the
+//! plain single-controller testbed by construction, so its hash is the same
+//! canonical metrics hash CI pins for `cityscale`.
+//!
+//! Usage:
+//!   mesh [--quick] [--shards 1,2,4,8] [--out BENCH_mesh.json]
+//!        [--expect-hash-1x 0xHEX]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use edgemesh::run_mesh_bigflows;
+use testbed::{MeshParams, ScenarioConfig};
+
+const SEED: u64 = 42;
+
+struct ShardResult {
+    shards: usize,
+    requests: usize,
+    completed: u64,
+    lost: u64,
+    deployments: u64,
+    duplicate_deployments: u64,
+    duplicate_deployments_avoided: u64,
+    deltas_sent: u64,
+    deltas_lost: u64,
+    mean_staleness_ms: f64,
+    mean_convergence_ms: f64,
+    retargets: u64,
+    scale_downs: u64,
+    removes: u64,
+    wall_s: f64,
+    mesh_hash: u64,
+}
+
+fn run_shards(shards: usize) -> ShardResult {
+    let cfg = ScenarioConfig {
+        seed: SEED,
+        mesh: MeshParams {
+            shards,
+            ..MeshParams::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    let t0 = Instant::now();
+    let (trace, result) = run_mesh_bigflows(cfg);
+    let wall_s = t0.elapsed().as_secs_f64();
+    ShardResult {
+        shards,
+        requests: trace.requests.len(),
+        completed: result.completed,
+        lost: result.lost,
+        deployments: result.deployments,
+        duplicate_deployments: result.duplicate_deployments,
+        duplicate_deployments_avoided: result.duplicate_deployments_avoided,
+        deltas_sent: result.deltas_sent,
+        deltas_lost: result.deltas_lost,
+        mean_staleness_ms: result.mean_staleness_ms(),
+        mean_convergence_ms: result.mean_convergence_ms(),
+        retargets: result.retargets,
+        scale_downs: result.scale_downs,
+        removes: result.removes,
+        wall_s,
+        mesh_hash: result.mesh_hash(),
+    }
+}
+
+fn to_json(results: &[ShardResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"mesh\",\n");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    out.push_str("  \"shards\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"shards\": {}, \"requests\": {}, \"completed\": {}, \"lost\": {}, \
+             \"deployments\": {}, \"duplicate_deployments\": {}, \
+             \"duplicate_deployments_avoided\": {}, \"deltas_sent\": {}, \"deltas_lost\": {}, \
+             \"mean_staleness_ms\": {:.3}, \"mean_convergence_ms\": {:.3}, \"retargets\": {}, \
+             \"scale_downs\": {}, \"removes\": {}, \"wall_s\": {:.6}, \"mesh_hash\": \"{:#018x}\"}}",
+            r.shards,
+            r.requests,
+            r.completed,
+            r.lost,
+            r.deployments,
+            r.duplicate_deployments,
+            r.duplicate_deployments_avoided,
+            r.deltas_sent,
+            r.deltas_lost,
+            r.mean_staleness_ms,
+            r.mean_convergence_ms,
+            r.retargets,
+            r.scale_downs,
+            r.removes,
+            r.wall_s,
+            r.mesh_hash,
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut shard_counts = vec![1usize, 2, 4, 8];
+    let mut out_path = String::from("BENCH_mesh.json");
+    let mut expect_hash_1x: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => shard_counts = vec![1, 2],
+            "--shards" => {
+                i += 1;
+                shard_counts = args
+                    .get(i)
+                    .expect("--shards needs a comma-separated list")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("shard count must be an integer"))
+                    .collect();
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--expect-hash-1x" => {
+                i += 1;
+                let s = args.get(i).expect("--expect-hash-1x needs a hex value");
+                let s = s.trim_start_matches("0x");
+                expect_hash_1x = Some(u64::from_str_radix(s, 16).expect("hash must be hex"));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut results = Vec::new();
+    for &shards in &shard_counts {
+        eprintln!("mesh: running {shards} shard(s) ...");
+        let r = run_shards(shards);
+        eprintln!(
+            "mesh: {:>2} shards  {:>5}/{:<5} req  {:>3} deployments  {:>2} dup  {:>4} avoided  \
+             {:>6} deltas  staleness {:>7.2} ms  convergence {:>7.2} ms  {:>7.3} s  hash {:#018x}",
+            r.shards,
+            r.completed,
+            r.requests,
+            r.deployments,
+            r.duplicate_deployments,
+            r.duplicate_deployments_avoided,
+            r.deltas_sent,
+            r.mean_staleness_ms,
+            r.mean_convergence_ms,
+            r.wall_s,
+            r.mesh_hash,
+        );
+        results.push(r);
+    }
+
+    let json = to_json(&results);
+    std::fs::write(&out_path, &json).expect("write benchmark artifact");
+    print!("{json}");
+
+    if let Some(expect) = expect_hash_1x {
+        let got = results
+            .iter()
+            .find(|r| r.shards == 1)
+            .expect("--expect-hash-1x requires a 1-shard run")
+            .mesh_hash;
+        if got != expect {
+            eprintln!(
+                "mesh: DETERMINISM DRIFT at 1 shard: expected {expect:#018x}, got {got:#018x}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("mesh: 1-shard determinism hash OK ({got:#018x})");
+    }
+    // Invariant gate: the lease protocol must keep the mesh free of
+    // split-brain duplicates at every swept shard count.
+    if let Some(r) = results.iter().find(|r| r.duplicate_deployments > 0) {
+        eprintln!(
+            "mesh: LEASE VIOLATION at {} shards: {} duplicate deployment(s)",
+            r.shards, r.duplicate_deployments
+        );
+        std::process::exit(1);
+    }
+}

@@ -22,6 +22,9 @@ pub struct FaultPlan {
     pub create_failure: f64,
     /// Probability that scale-up fails (placement/runtime error).
     pub scale_up_failure: f64,
+    /// Probability that scale-down fails (API error during idle scale-to-zero
+    /// — the controller must retry, not leak the instance).
+    pub scale_down_failure: f64,
     /// Extra latency added to every successful mutating call.
     pub extra_latency: DurationDist,
 }
@@ -33,6 +36,7 @@ impl FaultPlan {
             pull_failure: 0.0,
             create_failure: 0.0,
             scale_up_failure: 0.0,
+            scale_down_failure: 0.0,
             extra_latency: DurationDist::zero(),
         }
     }
@@ -43,6 +47,7 @@ impl FaultPlan {
             pull_failure: rate,
             create_failure: rate,
             scale_up_failure: rate,
+            scale_down_failure: rate,
             extra_latency: DurationDist::zero(),
         }
     }
@@ -138,7 +143,11 @@ impl<B: ClusterBackend> ClusterBackend for FaultyCluster<B> {
         service: &str,
         replicas: u32,
     ) -> Result<SimTime, ClusterError> {
-        self.inner.scale_down(now, service, replicas)
+        if self.roll(self.plan.scale_down_failure) {
+            return Err(ClusterError::InsufficientResources("scale-down api"));
+        }
+        let start = self.delay(now);
+        self.inner.scale_down(start, service, replicas)
     }
 
     fn remove(&mut self, now: SimTime, service: &str) -> Result<SimTime, ClusterError> {
@@ -223,7 +232,8 @@ mod tests {
         assert!(f.pull(SimTime::ZERO, &tpl(), &regs).is_err());
         assert!(f.create(SimTime::ZERO, &tpl()).is_err());
         assert!(f.scale_up(SimTime::ZERO, "svc", 1).is_err());
-        assert_eq!(f.injected, 3);
+        assert!(f.scale_down(SimTime::ZERO, "svc", 0).is_err());
+        assert_eq!(f.injected, 4);
     }
 
     #[test]

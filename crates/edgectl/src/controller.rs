@@ -137,6 +137,50 @@ impl ControllerOutput {
     }
 }
 
+/// Coordination hook consulted before the controller starts a new
+/// deployment machine. In a single-controller deployment no
+/// gate is installed and every acquisition trivially succeeds; a federated
+/// mesh (the `edgemesh` crate) installs a shared deployment-lease table here
+/// so two controllers that concurrently see a PacketIn for the same
+/// undeployed service at the same BEST cluster produce exactly one
+/// deployment. The gate models a linearizable coordination service (think
+/// etcd): `try_acquire` answers synchronously, and the deterministic event
+/// order of the simulation breaks ties.
+pub trait DeployGate {
+    /// Try to take (or confirm holding) the deployment lease for
+    /// `(cluster, service)`. `false` means another controller already holds
+    /// it — do not start a machine; a remote status delta will announce the
+    /// outcome.
+    fn try_acquire(&mut self, now: SimTime, cluster: ClusterId, service: ServiceId) -> bool;
+    /// Release the lease when the local deployment reaches Ready or Failed.
+    fn release(&mut self, now: SimTime, cluster: ClusterId, service: ServiceId);
+}
+
+/// What changed about one `(service, cluster)` instance — the unit of the
+/// mesh's delta-gossip state sync. Emitted by a controller (when built with
+/// [`ControllerBuilder::emit_status_deltas`]) and applied to every *other*
+/// controller via [`Controller::apply_remote_delta`] after a simulated link
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusDelta {
+    /// When the originating controller observed the change.
+    pub origin: SimTime,
+    pub cluster: ClusterId,
+    pub service: ServiceId,
+    pub kind: DeltaKind,
+}
+
+/// The kind of instance-status change carried by a [`StatusDelta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// The instance became ready (a deployment finished) — receivers
+    /// retarget their memorized flows toward it (without-waiting Fig. 3).
+    Ready,
+    /// The instance is gone (deployment failed, scaled to zero, or removed)
+    /// — receivers learn the redirect target is stale.
+    Gone,
+}
+
 /// Everything recorded about one on-demand deployment (drives Figs. 10–15).
 #[derive(Debug, Clone)]
 pub struct DeploymentRecord {
@@ -209,6 +253,13 @@ pub struct ControllerStats {
     /// Memorized flows abandoned because the client moved nearer to another
     /// ready instance (Follow-Me-Edge).
     pub follow_me_moves: u64,
+    /// Deployments *not* started because another controller in the mesh held
+    /// the lease (each one is a duplicate deployment avoided). Always zero
+    /// without a [`DeployGate`].
+    pub lease_rejections: u64,
+    /// Remote status deltas applied from mesh peers. Always zero outside a
+    /// federated mesh.
+    pub remote_deltas: u64,
 }
 
 /// One attached cluster: the backend plus where it sits.
@@ -275,6 +326,15 @@ pub struct Controller {
     /// Most recent dispatcher deployment failure (diagnostics; see
     /// [`Controller::last_deploy_failure`]).
     last_deploy_failure: Option<DeployFailure>,
+    /// Mesh deployment-lease hook; `None` (the default) grants everything.
+    gate: Option<Box<dyn DeployGate>>,
+    /// Emit [`StatusDelta`]s for instance-status changes (mesh gossip input).
+    emit_deltas: bool,
+    /// Deltas produced since the last [`Controller::drain_status_deltas`].
+    status_deltas: Vec<StatusDelta>,
+    /// Idle scale-downs whose backend call failed transiently:
+    /// (retry instant, cluster, service). Re-checked at the next due wakeup.
+    scale_down_retries: Vec<(SimTime, ClusterId, ServiceId)>,
     pub stats: ControllerStats,
 }
 
@@ -311,6 +371,8 @@ pub struct ControllerBuilder {
     cloud_port: PortId,
     predictor: Box<dyn Predictor>,
     reference_pipeline: bool,
+    gate: Option<Box<dyn DeployGate>>,
+    emit_deltas: bool,
 }
 
 impl ControllerBuilder {
@@ -356,8 +418,25 @@ impl ControllerBuilder {
         self
     }
 
+    /// Install a mesh deployment-lease gate (see [`DeployGate`]). Without
+    /// one, every acquisition succeeds — single-controller behaviour is
+    /// byte-identical.
+    pub fn deploy_gate(mut self, gate: impl DeployGate + 'static) -> ControllerBuilder {
+        self.gate = Some(Box::new(gate));
+        self
+    }
+
+    /// Emit [`StatusDelta`]s on instance-status changes for the mesh gossip
+    /// layer to distribute. Off by default (no allocation, no behaviour
+    /// change).
+    pub fn emit_status_deltas(mut self) -> ControllerBuilder {
+        self.emit_deltas = true;
+        self
+    }
+
     pub fn build(self) -> Controller {
-        let memory = FlowMemory::new(self.config.memory_idle_timeout);
+        let memory = FlowMemory::new(self.config.memory_idle_timeout)
+            .expect("memory_idle_timeout must be non-zero");
         let engine = if self.reference_pipeline {
             Engine::Reference(reference::ReferencePipeline::default())
         } else {
@@ -379,6 +458,10 @@ impl ControllerBuilder {
             predictor: self.predictor,
             predict: None,
             last_deploy_failure: None,
+            gate: self.gate,
+            emit_deltas: self.emit_deltas,
+            status_deltas: Vec::new(),
+            scale_down_retries: Vec::new(),
             stats: ControllerStats::default(),
         }
     }
@@ -397,6 +480,8 @@ impl Controller {
             cloud_port: PortId(0),
             predictor: Box::new(NoPrediction),
             reference_pipeline: false,
+            gate: None,
+            emit_deltas: false,
         }
     }
 
@@ -648,6 +733,13 @@ impl Controller {
             self.schedule_retarget(now, best, sid);
             return;
         }
+        if !self.gate_acquire(now, best, sid) {
+            // A mesh peer holds the deployment lease for this instance. The
+            // caller already serves the request at FAST (or the cloud); the
+            // lease holder's Ready delta will retarget it later.
+            self.stats.lease_rejections += 1;
+            return;
+        }
         let i = self.start_machine(now, best, sid, template, false, false);
         if let Engine::Stepped(d) = &mut self.engine {
             d.machines[i].wants_retarget = true;
@@ -703,7 +795,26 @@ impl Controller {
         };
         let i = match existing {
             Some(i) => i,
-            None => self.start_machine(now, fast, sid, template, true, false),
+            None => {
+                if !self.gate_acquire(now, fast, sid) {
+                    // Lease lost to a mesh peer: there is no local machine to
+                    // hold this request on, so fall back to the cloud
+                    // (accepted with-waiting divergence, DESIGN.md §5f). The
+                    // flow is memorized cloud-bound so the holder's Ready
+                    // delta retargets it to the edge instance.
+                    self.stats.lease_rejections += 1;
+                    self.memory.forget(key);
+                    return self.cloud_outputs(
+                        decide_at,
+                        sw,
+                        packet,
+                        in_port,
+                        buffer_id,
+                        Some(sid),
+                    );
+                }
+                self.start_machine(now, fast, sid, template, true, false)
+            }
         };
         if let Engine::Stepped(d) = &mut self.engine {
             d.machines[i].waiters.push(Waiter {
@@ -923,6 +1034,8 @@ impl Controller {
             self.stats.proactive_deployments += 1;
         }
         self.scaled_to_zero.remove(&(m.cluster, m.service));
+        self.gate_release(ready_detected, m.cluster, m.service);
+        self.push_delta(ready_detected, m.cluster, m.service, DeltaKind::Ready);
         if m.wants_retarget {
             self.schedule_retarget(ready_detected, m.cluster, m.service);
         }
@@ -970,6 +1083,9 @@ impl Controller {
                 .entry((m.cluster, m.service))
                 .or_insert(at);
         }
+        let failed_at = m.next_step;
+        self.gate_release(failed_at, m.cluster, m.service);
+        self.push_delta(failed_at, m.cluster, m.service, DeltaKind::Gone);
         for w in m.waiters {
             // Drop the pending placeholder; the request is served by the
             // cloud without being memorized (matching the reference path).
@@ -1019,6 +1135,9 @@ impl Controller {
         }
         if self.config.scale_down_idle {
             if let Some(t) = self.memory.next_expiry() {
+                merge(t);
+            }
+            if let Some(t) = self.scale_down_retries.iter().map(|(at, _, _)| *at).min() {
                 merge(t);
             }
         }
@@ -1124,6 +1243,60 @@ impl Controller {
         }
     }
 
+    // -----------------------------------------------------------------------
+    // Mesh federation surface (the `edgemesh` crate drives these)
+    // -----------------------------------------------------------------------
+
+    /// Take the status deltas produced since the last drain. Empty unless the
+    /// controller was built with [`ControllerBuilder::emit_status_deltas`].
+    pub fn drain_status_deltas(&mut self) -> Vec<StatusDelta> {
+        std::mem::take(&mut self.status_deltas)
+    }
+
+    /// Apply a status delta gossiped from a mesh peer. `Ready` schedules a
+    /// retarget of every memorized flow of the service toward the announced
+    /// instance (validated against the shared backend when the retarget
+    /// drains, so a raced scale-down is harmless); `Gone` is recorded only —
+    /// FlowMemory recall already re-checks backend readiness, so stale
+    /// entries self-heal on the next PacketIn.
+    pub fn apply_remote_delta(&mut self, now: SimTime, delta: &StatusDelta) {
+        self.stats.remote_deltas += 1;
+        match delta.kind {
+            DeltaKind::Ready => self.schedule_retarget(now, delta.cluster, delta.service),
+            DeltaKind::Gone => {}
+        }
+    }
+
+    fn gate_acquire(&mut self, now: SimTime, cluster: ClusterId, service: ServiceId) -> bool {
+        match &mut self.gate {
+            Some(g) => g.try_acquire(now, cluster, service),
+            None => true,
+        }
+    }
+
+    fn gate_release(&mut self, now: SimTime, cluster: ClusterId, service: ServiceId) {
+        if let Some(g) = &mut self.gate {
+            g.release(now, cluster, service);
+        }
+    }
+
+    fn push_delta(
+        &mut self,
+        origin: SimTime,
+        cluster: ClusterId,
+        service: ServiceId,
+        kind: DeltaKind,
+    ) {
+        if self.emit_deltas {
+            self.status_deltas.push(StatusDelta {
+                origin,
+                cluster,
+                service,
+                kind,
+            });
+        }
+    }
+
     /// Collect the FlowMods produced by retargets due at or before `upto`.
     fn drain_retargets(&mut self, upto: SimTime) -> Vec<ControllerOutput> {
         let mut outputs = Vec::new();
@@ -1220,6 +1393,10 @@ impl Controller {
                     }
                 }
                 Engine::Stepped(_) => {
+                    if !self.gate_acquire(now, target, sid) {
+                        self.stats.lease_rejections += 1;
+                        continue;
+                    }
                     // Counted as proactive when (and if) the machine
                     // completes, mirroring the reference's success-only count.
                     self.start_machine(now, target, sid, &template, false, true);
@@ -1239,13 +1416,15 @@ impl Controller {
     fn run_housekeeping(&mut self, now: SimTime) {
         let expiry_due =
             self.config.scale_down_idle && self.memory.next_expiry().is_some_and(|t| t <= now);
+        let retry_due = self.config.scale_down_idle
+            && self.scale_down_retries.iter().any(|&(at, _, _)| at <= now);
         let remove_due = self.config.remove_after.is_some_and(|remove_after| {
             self.scaled_to_zero
                 .values()
                 .min()
                 .is_some_and(|&at| now.since(at) >= remove_after)
         });
-        if !expiry_due && !remove_due {
+        if !expiry_due && !retry_due && !remove_due {
             return;
         }
 
@@ -1273,25 +1452,46 @@ impl Controller {
         let expired = self.memory.expire(now);
         if self.config.scale_down_idle {
             // Group by (service, cluster); scale down instances nobody
-            // references anymore.
+            // references anymore. Candidates whose backend call failed on an
+            // earlier pass retry once their back-off is due.
             let mut candidates: Vec<(ServiceId, ClusterId)> = expired
                 .iter()
                 .filter_map(|f| f.cluster.map(|c| (f.service, c)))
                 .collect();
+            let mut waiting: Vec<(SimTime, ClusterId, ServiceId)> = Vec::new();
+            for (at, cluster, service) in std::mem::take(&mut self.scale_down_retries) {
+                if at <= now {
+                    candidates.push((service, cluster));
+                } else {
+                    waiting.push((at, cluster, service));
+                }
+            }
+            self.scale_down_retries = waiting;
             candidates.sort();
             candidates.dedup();
             for (service, cluster) in candidates {
                 if self.memory.flows_for_service(service, Some(cluster)) == 0 {
                     let name = self.catalog.name_arc(service);
                     let backend = &mut self.clusters[cluster.0].backend;
-                    if backend.status(now, &name).ready_replicas > 0
-                        && backend.scale_down(now, &name, 0).is_ok()
-                    {
+                    if backend.status(now, &name).ready_replicas == 0 {
+                        continue; // already down (or never revived)
+                    }
+                    if backend.scale_down(now, &name, 0).is_ok() {
                         self.stats.scale_downs += 1;
+                        self.push_delta(now, cluster, service, DeltaKind::Gone);
                         if let Engine::Reference(r) = &mut self.engine {
                             r.pending.remove(&(cluster, service));
                         }
                         self.scaled_to_zero.insert((cluster, service), now);
+                    } else {
+                        // Transient backend fault (e.g. a flaky cluster API):
+                        // keep the instance a candidate and retry after the
+                        // configured back-off instead of leaking it forever.
+                        self.scale_down_retries.push((
+                            now + self.config.retry_backoff,
+                            cluster,
+                            service,
+                        ));
                     }
                 }
             }
@@ -1315,6 +1515,7 @@ impl Controller {
                     && backend.remove(now, &name).is_ok()
                 {
                     self.stats.removals += 1;
+                    self.push_delta(now, cluster, service, DeltaKind::Gone);
                 }
                 self.scaled_to_zero.remove(&(cluster, service));
             }

@@ -62,6 +62,28 @@ pub struct MemorizedFlow {
     pub pending: bool,
 }
 
+/// Why a [`FlowMemory`] could not be constructed. Mirrors the
+/// [`crate::annotate::AnnotateError`] pattern: a plain enum with `Display` so
+/// callers can match or report without parsing panic strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowMemoryError {
+    /// A zero idle timeout would evict every flow the instant it is
+    /// remembered, silently disabling Follow-Me-Edge and scale-down logic.
+    ZeroIdleTimeout,
+}
+
+impl std::fmt::Display for FlowMemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowMemoryError::ZeroIdleTimeout => {
+                f.write_str("flow memory idle timeout must be non-zero (zero evicts instantly)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowMemoryError {}
+
 /// The FlowMemory component.
 ///
 /// ```
@@ -69,7 +91,7 @@ pub struct MemorizedFlow {
 /// use simcore::{SimDuration, SimTime};
 /// use simnet::{IpAddr, SocketAddr};
 ///
-/// let mut memory = FlowMemory::new(SimDuration::from_secs(60));
+/// let mut memory = FlowMemory::new(SimDuration::from_secs(60)).expect("non-zero idle timeout");
 /// let key = FlowKey {
 ///     client_ip: IpAddr::new(10, 1, 0, 1),
 ///     service_addr: SocketAddr::new(IpAddr::new(93, 184, 0, 1), 80),
@@ -98,17 +120,16 @@ pub struct FlowMemory {
 }
 
 impl FlowMemory {
-    pub fn new(idle_timeout: SimDuration) -> FlowMemory {
-        assert!(
-            !idle_timeout.is_zero(),
-            "zero idle timeout would evict instantly"
-        );
-        FlowMemory {
+    pub fn new(idle_timeout: SimDuration) -> Result<FlowMemory, FlowMemoryError> {
+        if idle_timeout.is_zero() {
+            return Err(FlowMemoryError::ZeroIdleTimeout);
+        }
+        Ok(FlowMemory {
             flows: HashMap::new(),
             by_service: BTreeMap::new(),
             expiry: BinaryHeap::new(),
             idle_timeout,
-        }
+        })
     }
 
     pub fn idle_timeout(&self) -> SimDuration {
@@ -421,7 +442,15 @@ mod tests {
     }
 
     fn mem() -> FlowMemory {
-        FlowMemory::new(SimDuration::from_secs(60))
+        FlowMemory::new(SimDuration::from_secs(60)).unwrap()
+    }
+
+    #[test]
+    fn zero_idle_timeout_is_a_typed_error() {
+        assert_eq!(
+            FlowMemory::new(SimDuration::ZERO).unwrap_err(),
+            FlowMemoryError::ZeroIdleTimeout
+        );
     }
 
     #[test]

@@ -46,11 +46,11 @@ pub use annotate::{
 };
 pub use catalog::{RegisteredService, ServiceCatalog, ServiceId};
 pub use controller::{
-    Controller, ControllerBuilder, ControllerConfig, ControllerOutput, ControllerStats,
-    DeployFailure, DeploymentRecord, SwitchId,
+    Controller, ControllerBuilder, ControllerConfig, ControllerOutput, ControllerStats, DeltaKind,
+    DeployFailure, DeployGate, DeploymentRecord, StatusDelta, SwitchId,
 };
 pub use dispatcher::{DeployError, DeployPhaseKind};
-pub use flowmemory::{FlowKey, FlowMemory, MemorizedFlow};
+pub use flowmemory::{FlowKey, FlowMemory, FlowMemoryError, MemorizedFlow};
 pub use predictor::{NoPrediction, OraclePredictor, PopularityPredictor, Predictor};
 pub use scheduler::{
     ClusterId, ClusterView, Decision, GlobalScheduler, HybridDockerFirst, HybridWasmFirst,

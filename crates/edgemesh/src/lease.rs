@@ -1,0 +1,180 @@
+//! The deployment-lease table: mutual exclusion over `(cluster, service)`
+//! deployment decisions across controller shards.
+//!
+//! Models the linearizable coordination service every production controller
+//! cluster already operates (ONOS/etcd, Kubernetes leader-election leases):
+//! one compare-and-set per deployment decision, far off the per-packet hot
+//! path. In the simulation the table is process-shared state behind
+//! `Rc<RefCell<..>>`; linearizability falls out of the single-threaded event
+//! loop — acquisition order is event order, and the timing wheel breaks ties
+//! deterministically (FIFO at equal instants).
+//!
+//! Each shard's [`LeaseHandle`] plugs into the controller through
+//! [`edgectl::DeployGate`]: the dispatcher calls `try_acquire` immediately
+//! before starting a deployment machine and `release` when the machine
+//! finalizes or fails. Re-acquisition by the holder is idempotent (the
+//! dispatcher may retry a cluster after a transient backend fault without
+//! re-coordinating).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use edgectl::{ClusterId, DeployGate, ServiceId};
+use simcore::SimTime;
+
+#[derive(Debug, Default)]
+struct LeaseState {
+    /// Current holder (shard index) per `(cluster, service)`.
+    held: BTreeMap<(ClusterId, ServiceId), usize>,
+    granted: u64,
+    rejected: u64,
+    released: u64,
+}
+
+/// The shared lease table. Clone-cheap handles ([`LeaseTable::handle`]) are
+/// what individual controllers hold; the table itself is the test/metrics
+/// view.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    state: Rc<RefCell<LeaseState>>,
+}
+
+impl LeaseTable {
+    pub fn new() -> LeaseTable {
+        LeaseTable::default()
+    }
+
+    /// The [`DeployGate`] for controller shard `shard`.
+    pub fn handle(&self, shard: usize) -> LeaseHandle {
+        LeaseHandle {
+            shard,
+            state: Rc::clone(&self.state),
+        }
+    }
+
+    /// Number of leases currently held.
+    pub fn held(&self) -> usize {
+        self.state.borrow().held.len()
+    }
+
+    /// The shard currently holding the lease on `(cluster, service)`.
+    pub fn holder(&self, cluster: ClusterId, service: ServiceId) -> Option<usize> {
+        self.state.borrow().held.get(&(cluster, service)).copied()
+    }
+
+    /// Total acquisitions granted (first-time grants, not idempotent
+    /// re-acquisitions by the holder).
+    pub fn granted(&self) -> u64 {
+        self.state.borrow().granted
+    }
+
+    /// Total acquisitions rejected because another shard held the lease —
+    /// each one is a duplicate deployment that did not happen.
+    pub fn rejected(&self) -> u64 {
+        self.state.borrow().rejected
+    }
+
+    /// Total releases by the holding shard.
+    pub fn released(&self) -> u64 {
+        self.state.borrow().released
+    }
+}
+
+/// One shard's handle on the shared [`LeaseTable`].
+#[derive(Debug, Clone)]
+pub struct LeaseHandle {
+    shard: usize,
+    state: Rc<RefCell<LeaseState>>,
+}
+
+impl LeaseHandle {
+    /// Which shard this handle acquires for.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+impl DeployGate for LeaseHandle {
+    fn try_acquire(&mut self, _now: SimTime, cluster: ClusterId, service: ServiceId) -> bool {
+        let mut st = self.state.borrow_mut();
+        match st.held.get(&(cluster, service)).copied() {
+            Some(holder) if holder == self.shard => true,
+            Some(_) => {
+                st.rejected += 1;
+                false
+            }
+            None => {
+                st.held.insert((cluster, service), self.shard);
+                st.granted += 1;
+                true
+            }
+        }
+    }
+
+    fn release(&mut self, _now: SimTime, cluster: ClusterId, service: ServiceId) {
+        let mut st = self.state.borrow_mut();
+        if st.held.get(&(cluster, service)).copied() == Some(self.shard) {
+            st.held.remove(&(cluster, service));
+            st.released += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: ClusterId = ClusterId(0);
+    const S0: ServiceId = ServiceId(0);
+    const S1: ServiceId = ServiceId(1);
+
+    #[test]
+    fn first_acquirer_wins_and_release_frees() {
+        let table = LeaseTable::new();
+        let mut a = table.handle(0);
+        let mut b = table.handle(1);
+        assert!(a.try_acquire(SimTime::ZERO, C0, S0));
+        assert!(!b.try_acquire(SimTime::ZERO, C0, S0));
+        assert_eq!(table.holder(C0, S0), Some(0));
+        a.release(SimTime::ZERO, C0, S0);
+        assert!(b.try_acquire(SimTime::ZERO, C0, S0));
+        assert_eq!(table.holder(C0, S0), Some(1));
+        assert_eq!(
+            (table.granted(), table.rejected(), table.released()),
+            (2, 1, 1)
+        );
+    }
+
+    #[test]
+    fn holder_reacquires_idempotently() {
+        let table = LeaseTable::new();
+        let mut a = table.handle(3);
+        assert!(a.try_acquire(SimTime::ZERO, C0, S0));
+        assert!(a.try_acquire(SimTime::ZERO, C0, S0));
+        assert_eq!(table.granted(), 1, "re-acquisition is not a new grant");
+        assert_eq!(table.held(), 1);
+    }
+
+    #[test]
+    fn non_holder_release_is_a_no_op() {
+        let table = LeaseTable::new();
+        let mut a = table.handle(0);
+        let mut b = table.handle(1);
+        assert!(a.try_acquire(SimTime::ZERO, C0, S1));
+        b.release(SimTime::ZERO, C0, S1);
+        assert_eq!(table.holder(C0, S1), Some(0), "only the holder can release");
+        assert_eq!(table.released(), 0);
+    }
+
+    #[test]
+    fn leases_are_per_cluster_and_service() {
+        let table = LeaseTable::new();
+        let mut a = table.handle(0);
+        let mut b = table.handle(1);
+        assert!(a.try_acquire(SimTime::ZERO, C0, S0));
+        assert!(b.try_acquire(SimTime::ZERO, ClusterId(1), S0));
+        assert!(b.try_acquire(SimTime::ZERO, C0, S1));
+        assert_eq!(table.held(), 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! # edgemesh — multi-controller federation for the transparent edge
+//!
+//! The paper's architecture runs **one** SDN controller on the EGS; every
+//! ingress switch sends its table misses there. A city-scale deployment
+//! cannot: PacketIn fan-in saturates a single control plane long before the
+//! data plane does. This crate shards the fabric's ingress across `N`
+//! controller instances — each running the unmodified `edgectl` dispatcher
+//! state machine over its own ingress switch — and connects them with two
+//! deterministic coordination mechanisms:
+//!
+//! * **Deployment leases** ([`lease`]) — a shared lease table modelling a
+//!   linearizable coordination service (etcd-style, as every production SDN
+//!   controller cluster already runs one). Before a controller starts a
+//!   deployment machine for `(cluster, service)` it must hold the lease;
+//!   a loser shard falls back to the paper's *without-waiting* strategy
+//!   (serve from cloud/FAST now) and retargets its flows when the holder's
+//!   `Ready` delta arrives. This closes the classic split-brain window in
+//!   which two controllers concurrently observe a PacketIn for the same
+//!   undeployed service and both deploy it.
+//! * **Delta gossip** ([`sim`]) — per-`(service, cluster)` instance-status
+//!   deltas (`Ready`/`Gone`) drained from each controller after every event
+//!   and delivered to every other shard as timing-wheel events after a
+//!   configurable link latency. Loss is pre-rolled at send time from a
+//!   dedicated RNG stream, so a lossy mesh replays byte-identically under
+//!   the same seed.
+//!
+//! `shards = 1` bypasses all of this and delegates to the plain
+//! [`testbed::Testbed`], so every pinned single-controller trace stays
+//! byte-identical ([`MeshRunResult::mesh_hash`] then equals
+//! `RunResult::metrics_hash`).
+//!
+//! Configuration rides on [`testbed::MeshParams`] (the `mesh:` block of
+//! scenario YAML); the mesh-coherence static checks live in
+//! `edgeverify::Verifier::check_mesh`.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod lease;
+pub mod shared;
+pub mod sim;
+
+pub use lease::{LeaseHandle, LeaseTable};
+pub use shared::{SharedBackend, SharedHandle};
+pub use sim::{
+    run_mesh_bigflows, run_mesh_bigflows_audited, run_mesh_scenario, MeshRecord, MeshRunResult,
+    MeshSim, ShardSummary,
+};

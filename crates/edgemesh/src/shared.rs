@@ -1,0 +1,174 @@
+//! Shared cluster backends: every controller shard steers the same physical
+//! edge sites.
+//!
+//! Sharding splits the *control plane*, not the clusters — a Docker engine
+//! has one API endpoint no matter how many controllers call it. Each site's
+//! backend therefore lives once, behind a [`SharedHandle`], and every shard
+//! attaches a [`SharedBackend`] wrapper that delegates through it. Calls are
+//! serialized by the single-threaded event loop, so interleavings are exactly
+//! the deterministic event order — which is also what makes the un-leased
+//! duplicate-deployment race observable instead of a data race.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cluster::{
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+    ServiceTemplate,
+};
+use containers::ImageRef;
+use registry::RegistrySet;
+use simcore::SimTime;
+use simnet::SocketAddr;
+
+/// The single shared instance of one site's backend.
+pub type SharedHandle = Rc<RefCell<Box<dyn ClusterBackend>>>;
+
+/// Wrap a backend for shared ownership across controller shards.
+pub fn share(backend: Box<dyn ClusterBackend>) -> SharedHandle {
+    Rc::new(RefCell::new(backend))
+}
+
+/// One shard's view of a shared site backend. Implements [`ClusterBackend`]
+/// by delegation; the name and kind are cached at wrap time because the
+/// trait returns `&str` (a `RefCell` borrow cannot escape a method).
+pub struct SharedBackend {
+    name: String,
+    kind: ClusterKind,
+    inner: SharedHandle,
+}
+
+impl SharedBackend {
+    pub fn new(inner: SharedHandle) -> SharedBackend {
+        let (name, kind) = {
+            let b = inner.borrow();
+            (b.cluster_name().to_string(), b.kind())
+        };
+        SharedBackend { name, kind, inner }
+    }
+}
+
+impl ClusterBackend for SharedBackend {
+    fn cluster_name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ClusterKind {
+        self.kind
+    }
+
+    fn pull(
+        &mut self,
+        now: SimTime,
+        template: &ServiceTemplate,
+        registries: &RegistrySet,
+    ) -> Result<SimTime, ClusterError> {
+        self.inner.borrow_mut().pull(now, template, registries)
+    }
+
+    fn create(
+        &mut self,
+        now: SimTime,
+        template: &ServiceTemplate,
+    ) -> Result<SimTime, ClusterError> {
+        self.inner.borrow_mut().create(now, template)
+    }
+
+    fn scale_up(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<ScaleReceipt, ClusterError> {
+        self.inner.borrow_mut().scale_up(now, service, replicas)
+    }
+
+    fn scale_down(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<SimTime, ClusterError> {
+        self.inner.borrow_mut().scale_down(now, service, replicas)
+    }
+
+    fn remove(&mut self, now: SimTime, service: &str) -> Result<SimTime, ClusterError> {
+        self.inner.borrow_mut().remove(now, service)
+    }
+
+    fn delete_image(&mut self, now: SimTime, image: &ImageRef) -> bool {
+        self.inner.borrow_mut().delete_image(now, image)
+    }
+
+    fn status(&self, now: SimTime, service: &str) -> ServiceStatus {
+        self.inner.borrow().status(now, service)
+    }
+
+    fn has_images(&self, template: &ServiceTemplate) -> bool {
+        self.inner.borrow().has_images(template)
+    }
+
+    fn replica_endpoints(&self, now: SimTime, service: &str) -> Vec<SocketAddr> {
+        self.inner.borrow().replica_endpoints(now, service)
+    }
+
+    fn services(&self) -> Vec<String> {
+        self.inner.borrow().services()
+    }
+
+    fn load(&self) -> f64 {
+        self.inner.borrow().load()
+    }
+
+    fn inject_crash(&mut self, now: SimTime, service: &str) -> CrashOutcome {
+        self.inner.borrow_mut().inject_crash(now, service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::DockerCluster;
+    use containers::image::synthesize_layers;
+    use containers::{ImageManifest, Runtime};
+    use registry::{Registry, RegistryProfile};
+    use simcore::{DurationDist, SimRng};
+    use simnet::IpAddr;
+
+    fn registries() -> RegistrySet {
+        let mut hub = Registry::new(RegistryProfile::docker_hub());
+        hub.publish(ImageManifest::new(
+            "nginx:1.23.2",
+            synthesize_layers(1, 1_000_000, 2),
+        ));
+        let mut s = RegistrySet::new();
+        s.add(hub);
+        s
+    }
+
+    #[test]
+    fn two_views_see_one_backend() {
+        let rng = SimRng::seed_from_u64(1);
+        let docker = DockerCluster::new(
+            "site-0",
+            IpAddr::new(10, 0, 0, 100),
+            Runtime::egs(rng.stream("rt")),
+            rng.stream("d"),
+        );
+        let handle = share(Box::new(docker));
+        let mut a = SharedBackend::new(handle.clone());
+        let b = SharedBackend::new(handle);
+        assert_eq!(a.cluster_name(), "site-0");
+        assert_eq!(b.kind(), ClusterKind::Docker);
+
+        let tpl = ServiceTemplate::single("svc", "nginx:1.23.2", 80, DurationDist::zero());
+        let regs = registries();
+        let t = a.pull(SimTime::ZERO, &tpl, &regs).unwrap();
+        let t = a.create(t, &tpl).unwrap();
+        let r = a.scale_up(t, "svc", 1).unwrap();
+        // The deployment performed through `a` is visible through `b`.
+        assert!(b.status(r.expected_ready, "svc").is_ready());
+        assert!(b.has_images(&tpl));
+        assert_eq!(b.services(), vec!["svc".to_string()]);
+    }
+}

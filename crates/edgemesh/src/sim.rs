@@ -1,0 +1,876 @@
+//! The federated event loop: `N` ingress switches, `N` controllers, one set
+//! of shared edge sites, and a deterministic asynchronous gossip layer in
+//! between.
+//!
+//! Clients are partitioned statically — client `i` enters the fabric through
+//! ingress shard `i % N` (a 5G UPF pins a UE's N6 traffic to one ingress the
+//! same way). Each shard runs the unmodified `edgectl` controller over its
+//! own switch: PacketIn, FlowMod, buffered-packet release and wakeups all
+//! work exactly as in the single-controller [`testbed`], just indexed by
+//! shard. What is new:
+//!
+//! * after **every** event, each controller's pending [`StatusDelta`]s are
+//!   drained and scheduled for delivery to every other shard at
+//!   `now + link_latency`; losses are pre-rolled at send time from a
+//!   dedicated RNG stream (a lost delivery retries after `gossip_interval`),
+//!   so the whole mesh — including a lossy one — replays byte-identically
+//!   under the same seed;
+//! * after every event the per-shard in-flight deployment sets are
+//!   intersected; a `(service, cluster)` deploying on two shards at once is
+//!   a **duplicate deployment** (the split-brain failure the lease protocol
+//!   exists to prevent) and is recorded for [`MeshRunResult`] and the mesh
+//!   audit;
+//! * requests complete with a simplified release model (forwarded = served,
+//!   dropped = lost); flow-level TCP timing stays the single-controller
+//!   testbed's concern, the mesh artifact measures coordination behaviour.
+//!
+//! `shards = 1` never builds a [`MeshSim`] at all: [`run_mesh_scenario`]
+//! delegates to [`testbed::Testbed`], keeping pinned traces byte-identical.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use cluster::{
+    ClusterBackend, ClusterKind, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate,
+};
+use containers::Runtime;
+use edgectl::{
+    Controller, ControllerOutput, HybridDockerFirst, LeastLoaded, NearestReadyFirst,
+    NearestWaiting, RoundRobinLocal, StatusDelta,
+};
+use edgeverify::{MeshView, Verifier, Violation};
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
+use simnet::{Packet, SocketAddr};
+use testbed::topology::NodeClass;
+use testbed::{C3Topology, PhaseSetup, ScenarioConfig, SchedulerKind, Testbed, CLOUD_PORT};
+use workload::{ServiceProfile, Trace, TraceConfig};
+
+use crate::lease::LeaseTable;
+use crate::shared::{share, SharedBackend, SharedHandle};
+
+/// Latency of each shard's SDN control channel (same figure as the
+/// single-controller testbed: switch and controller share the EGS).
+const CTRL_LATENCY: SimDuration = SimDuration::from_micros(150);
+
+/// Retransmission cap per delta delivery. With `loss < 1` the chance of
+/// hitting it is astronomically small; it exists so a pre-rolled loss chain
+/// always terminates.
+const MAX_RETRANSMITS: u32 = 64;
+
+/// Events of the mesh simulation.
+enum Ev {
+    /// A client's SYN reaches its shard's ingress switch.
+    Syn { tag: u64 },
+    /// A PacketIn reaches shard `shard`'s controller.
+    CtrlPacketIn {
+        shard: usize,
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    },
+    /// A controller output reaches its shard's switch.
+    Apply {
+        shard: usize,
+        output: ControllerOutput,
+    },
+    /// Shard `shard`'s controller asked to be woken.
+    Wakeup { shard: usize },
+    /// A gossiped status delta arrives at shard `to`.
+    Deliver {
+        to: usize,
+        seq: u64,
+        delta: StatusDelta,
+    },
+}
+
+/// One ingress shard: its switch and its controller.
+struct Shard {
+    switch: Switch,
+    controller: Controller,
+}
+
+struct InFlight {
+    shard: usize,
+    client: usize,
+    service: usize,
+}
+
+/// A completed request: which shard released it, when, and through which
+/// switch port (cloud, a site, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshRecord {
+    pub tag: u64,
+    pub shard: usize,
+    pub released: SimTime,
+    pub port: usize,
+}
+
+/// Per-shard controller counters at the end of a run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSummary {
+    pub deployments: u64,
+    pub memory_hits: u64,
+    pub cloud_forwards: u64,
+    pub held_requests: u64,
+    pub detoured_requests: u64,
+    pub retargets: u64,
+    pub scale_downs: u64,
+    pub removes: u64,
+    /// Deployment starts this shard abandoned because another shard held
+    /// the lease — duplicate deployments avoided, from this shard's side.
+    pub lease_rejections: u64,
+    /// Remote status deltas applied.
+    pub remote_deltas: u64,
+}
+
+/// Everything a mesh run produces.
+#[derive(Debug)]
+pub struct MeshRunResult {
+    pub shards: usize,
+    pub leases: bool,
+    /// Requests whose SYN was released into the fabric.
+    pub completed: u64,
+    pub lost: u64,
+    /// Deployment machines completed, summed over shards.
+    pub deployments: u64,
+    /// Distinct `(service, cluster)` pairs observed deploying on two or more
+    /// shards concurrently — split-brain duplicates that actually happened.
+    pub duplicate_deployments: u64,
+    /// Deployment starts abandoned at the lease gate — duplicates that the
+    /// protocol prevented (sum of per-shard `lease_rejections`).
+    pub duplicate_deployments_avoided: u64,
+    pub deltas_sent: u64,
+    /// Deliveries lost on the mesh link (each one cost one `gossip_interval`
+    /// of extra staleness before its retransmission).
+    pub deltas_lost: u64,
+    pub delta_deliveries: u64,
+    /// Σ (delivery instant − delta origin) over all deliveries, ns.
+    pub staleness_ns_total: u128,
+    /// Σ (last delivery instant − delta origin) over fully-propagated
+    /// deltas, ns — how long the mesh took to converge on each fact.
+    pub convergence_ns_total: u128,
+    pub converged_deltas: u64,
+    pub scale_downs: u64,
+    pub removes: u64,
+    pub retargets: u64,
+    pub shard_stats: Vec<ShardSummary>,
+    /// Completion records (empty for the `shards = 1` delegation, which
+    /// keeps its full single-controller records in `single`).
+    pub records: Vec<MeshRecord>,
+    /// The plain testbed result backing a `shards = 1` run.
+    pub single: Option<Box<testbed::RunResult>>,
+}
+
+impl MeshRunResult {
+    /// Wrap a single-controller [`testbed::RunResult`] so `shards = 1` mesh
+    /// runs are the plain testbed, byte for byte.
+    pub fn from_single(result: testbed::RunResult) -> MeshRunResult {
+        MeshRunResult {
+            shards: 1,
+            leases: true,
+            completed: result.records.len() as u64,
+            lost: result.lost,
+            deployments: result.deployments.len() as u64,
+            duplicate_deployments: 0,
+            duplicate_deployments_avoided: 0,
+            deltas_sent: 0,
+            deltas_lost: 0,
+            delta_deliveries: 0,
+            staleness_ns_total: 0,
+            convergence_ns_total: 0,
+            converged_deltas: 0,
+            scale_downs: result.scale_downs,
+            removes: result.removes,
+            retargets: result.retargets,
+            shard_stats: Vec::new(),
+            records: Vec::new(),
+            single: Some(Box::new(result)),
+        }
+    }
+
+    /// Mean delta staleness (delivery lag behind the fact) in milliseconds.
+    pub fn mean_staleness_ms(&self) -> f64 {
+        if self.delta_deliveries == 0 {
+            return 0.0;
+        }
+        self.staleness_ns_total as f64 / 1e6 / self.delta_deliveries as f64
+    }
+
+    /// Mean time for a delta to reach every shard, in milliseconds.
+    pub fn mean_convergence_ms(&self) -> f64 {
+        if self.converged_deltas == 0 {
+            return 0.0;
+        }
+        self.convergence_ns_total as f64 / 1e6 / self.converged_deltas as f64
+    }
+
+    /// Canonical textual trace — the mesh determinism artifact, same role as
+    /// `RunResult::metrics_trace`. A `shards = 1` run returns the inner
+    /// testbed trace verbatim, so its hash equals the pinned
+    /// single-controller hash by construction.
+    pub fn mesh_trace(&self) -> String {
+        use std::fmt::Write as _;
+        if let Some(single) = &self.single {
+            return single.metrics_trace();
+        }
+        let mut out = String::with_capacity(48 * self.records.len() + 1024);
+        let _ = writeln!(
+            out,
+            "mesh shards={} leases={} completed={} lost={} duplicates={} avoided={} \
+             deltas_sent={} deltas_lost={} deliveries={} staleness_ns={} convergence_ns={} \
+             converged={}",
+            self.shards,
+            self.leases,
+            self.completed,
+            self.lost,
+            self.duplicate_deployments,
+            self.duplicate_deployments_avoided,
+            self.deltas_sent,
+            self.deltas_lost,
+            self.delta_deliveries,
+            self.staleness_ns_total,
+            self.convergence_ns_total,
+            self.converged_deltas,
+        );
+        for (i, s) in self.shard_stats.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "shard={i} deployments={} memory_hits={} cloud={} held={} detoured={} \
+                 retargets={} scale_downs={} removes={} lease_rejections={} remote_deltas={}",
+                s.deployments,
+                s.memory_hits,
+                s.cloud_forwards,
+                s.held_requests,
+                s.detoured_requests,
+                s.retargets,
+                s.scale_downs,
+                s.removes,
+                s.lease_rejections,
+                s.remote_deltas,
+            );
+        }
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "req tag={} shard={} released_ns={} port={}",
+                r.tag,
+                r.shard,
+                r.released.as_nanos(),
+                r.port,
+            );
+        }
+        out
+    }
+
+    /// FNV-1a over [`MeshRunResult::mesh_trace`].
+    pub fn mesh_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.mesh_trace().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Tracks one delta's propagation for the convergence metric.
+struct PendingDelta {
+    origin: SimTime,
+    latest: SimTime,
+    remaining: usize,
+}
+
+/// The assembled mesh.
+pub struct MeshSim {
+    cfg: ScenarioConfig,
+    c3: C3Topology,
+    shards: Vec<Shard>,
+    /// One shared backend per edge site, in site order.
+    handles: Vec<SharedHandle>,
+    lease: Option<LeaseTable>,
+    templates: Vec<ServiceTemplate>,
+    service_addrs: Vec<SocketAddr>,
+    gossip_rng: SimRng,
+    events: EventQueue<Ev>,
+    in_flight: Vec<Option<InFlight>>,
+    records: Vec<MeshRecord>,
+    lost: u64,
+    delta_seq: u64,
+    deltas_sent: u64,
+    deltas_lost: u64,
+    delta_deliveries: u64,
+    staleness_ns_total: u128,
+    convergence_ns_total: u128,
+    converged_deltas: u64,
+    pending_convergence: BTreeMap<u64, PendingDelta>,
+    /// `(service, cluster)` pairs seen deploying on ≥ 2 shards at once, with
+    /// the shards involved.
+    duplicates: BTreeMap<(u32, usize), BTreeSet<usize>>,
+    /// Earliest armed wakeup per shard (same idempotent contract as the
+    /// single-controller testbed).
+    wakeup_armed: Vec<Option<SimTime>>,
+    last_event: SimTime,
+}
+
+impl MeshSim {
+    /// Build a mesh for `cfg` over the given cloud service addresses.
+    /// `cfg.mesh.shards` must be ≥ 2 — one controller is the plain
+    /// [`testbed::Testbed`] (see [`run_mesh_scenario`]).
+    pub fn build(cfg: ScenarioConfig, service_addrs: Vec<SocketAddr>) -> MeshSim {
+        let n = cfg.mesh.shards;
+        assert!(
+            n >= 2,
+            "MeshSim needs >= 2 shards; one controller is the plain Testbed"
+        );
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        let sites = cfg.resolved_sites();
+        let c3 = C3Topology::build_sites(
+            &sites.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>(),
+            cfg.clients,
+        );
+        let profile = ServiceProfile::of(cfg.service);
+
+        // One shared backend per site — identical construction to the
+        // single-controller testbed, shared by every shard.
+        let mut handles: Vec<SharedHandle> = Vec::with_capacity(sites.len());
+        for (i, (spec, kind)) in sites.iter().enumerate() {
+            let nodes = spec.nodes.max(1) as u32;
+            let runtime = match spec.class {
+                NodeClass::Egs => Runtime::new(
+                    containers::CostModel::egs(),
+                    rng.stream(&format!("rt-{i}")),
+                    12_000 * nodes,
+                    32 * (1u64 << 30) * nodes as u64,
+                ),
+                NodeClass::RaspberryPi => Runtime::new(
+                    containers::CostModel::raspberry_pi(),
+                    rng.stream(&format!("rt-{i}")),
+                    4_000 * nodes,
+                    4 * (1u64 << 30) * nodes as u64,
+                ),
+            };
+            let ip = c3.site_ips[i];
+            let backend: Box<dyn ClusterBackend> = match kind {
+                ClusterKind::Docker => Box::new(DockerCluster::new(
+                    format!("{}-docker", spec.name),
+                    ip,
+                    runtime,
+                    rng.stream(&format!("docker-{i}")),
+                )),
+                ClusterKind::Kubernetes => Box::new(K8sCluster::new(
+                    format!("{}-k8s", spec.name),
+                    ip,
+                    runtime,
+                    rng.stream(&format!("k8s-{i}")),
+                    cfg.k8s_timings.clone().unwrap_or_else(K8sTimings::egs),
+                )),
+                ClusterKind::Wasm => Box::new(cluster::WasmEdgeCluster::new(
+                    format!("{}-wasm", spec.name),
+                    ip,
+                    rng.stream(&format!("wasm-{i}")),
+                    cluster::WasmTimings::egs(),
+                )),
+            };
+            handles.push(share(backend));
+        }
+
+        let lease = cfg.mesh.leases.then(LeaseTable::new);
+
+        let mut templates = Vec::with_capacity(service_addrs.len());
+        for i in 0..service_addrs.len() {
+            let mut template = profile.template.clone();
+            template.name = format!("{}-{i:02}", profile.template.name);
+            templates.push(template);
+        }
+
+        let mut shards = Vec::with_capacity(n);
+        for s in 0..n {
+            let global: Box<dyn edgectl::GlobalScheduler> = match cfg.scheduler {
+                SchedulerKind::NearestWaiting => Box::new(NearestWaiting),
+                SchedulerKind::NearestReadyFirst => Box::new(NearestReadyFirst),
+                SchedulerKind::HybridDockerFirst => Box::new(HybridDockerFirst),
+                SchedulerKind::HybridWasmFirst => Box::new(edgectl::HybridWasmFirst),
+                SchedulerKind::LeastLoaded => Box::new(LeastLoaded::default()),
+            };
+            let mut builder = Controller::builder(cfg.controller.clone())
+                .global(global)
+                .local(RoundRobinLocal::default())
+                .registries(workload::services::standard_registries(
+                    cfg.private_registry,
+                ))
+                .cloud_port(CLOUD_PORT)
+                .emit_status_deltas();
+            if let Some(table) = &lease {
+                builder = builder.deploy_gate(table.handle(s));
+            }
+            let mut controller = builder.build();
+            for (i, handle) in handles.iter().enumerate() {
+                controller.attach_cluster(
+                    Box::new(SharedBackend::new(handle.clone())),
+                    c3.switch_site_latency(i),
+                    c3.site_port(i),
+                );
+            }
+            // Identical registration order on every shard, so ServiceId
+            // values are comparable across controllers (gossip relies on it).
+            for (i, addr) in service_addrs.iter().enumerate() {
+                controller.catalog.register(*addr, templates[i].clone());
+            }
+            let mut switch = Switch::new(c3.port_count());
+            for spec in cfg.seed_flows.clone() {
+                switch.flow_mod(SimTime::ZERO, spec);
+            }
+            shards.push(Shard { switch, controller });
+        }
+
+        let wakeup_armed = vec![None; n];
+        MeshSim {
+            cfg,
+            c3,
+            shards,
+            handles,
+            lease,
+            templates,
+            service_addrs,
+            gossip_rng: rng.stream("mesh-gossip"),
+            events: EventQueue::new(),
+            in_flight: Vec::new(),
+            records: Vec::new(),
+            lost: 0,
+            delta_seq: 0,
+            deltas_sent: 0,
+            deltas_lost: 0,
+            delta_deliveries: 0,
+            staleness_ns_total: 0,
+            convergence_ns_total: 0,
+            converged_deltas: 0,
+            pending_convergence: BTreeMap::new(),
+            duplicates: BTreeMap::new(),
+            wakeup_armed,
+            last_event: SimTime::ZERO,
+        }
+    }
+
+    /// The shared lease table, for inspection in tests.
+    pub fn lease_table(&self) -> Option<&LeaseTable> {
+        self.lease.as_ref()
+    }
+
+    /// Run a full trace through the mesh.
+    pub fn run_trace(mut self, trace: &Trace) -> MeshRunResult {
+        self.run_inner(trace);
+        self.finish()
+    }
+
+    /// Like [`MeshSim::run_trace`], plus the mesh-coherence audit over the
+    /// final state and the split-brain duplicates observed during the run.
+    pub fn run_trace_audited(mut self, trace: &Trace) -> (MeshRunResult, Vec<Violation>) {
+        self.run_inner(trace);
+        let violations = self.audit();
+        (self.finish(), violations)
+    }
+
+    fn run_inner(&mut self, trace: &Trace) {
+        assert_eq!(
+            trace.service_addrs, self.service_addrs,
+            "mesh must be built with the trace's addresses"
+        );
+        let setup_end = self.prewarm();
+        let offset = (setup_end - SimTime::ZERO) + SimDuration::from_secs(5);
+        let n = self.shards.len();
+        self.in_flight.resize_with(trace.requests.len(), || None);
+        for (idx, req) in trace.requests.iter().enumerate() {
+            let shard = req.client % n;
+            let at = req.at + offset + self.c3.client_switch_latency(req.client);
+            self.in_flight[idx] = Some(InFlight {
+                shard,
+                client: req.client,
+                service: req.service,
+            });
+            self.events.push(at, Ev::Syn { tag: idx as u64 });
+        }
+        self.run_loop();
+    }
+
+    /// Pre-warm every shared site once (not once per shard — the sites are
+    /// shared), mirroring the single-controller testbed's setup.
+    fn prewarm(&mut self) -> SimTime {
+        let setup = self.cfg.phase_setup;
+        if setup == PhaseSetup::Cold {
+            return SimTime::ZERO;
+        }
+        let registries = workload::services::standard_registries(self.cfg.private_registry);
+        let mut t_end = SimTime::ZERO;
+        for (c, handle) in self.handles.iter().enumerate() {
+            if let Some(only) = &self.cfg.prewarm_sites {
+                if !only.contains(&c) {
+                    continue;
+                }
+            }
+            let mut cluster = handle.borrow_mut();
+            let mut t = SimTime::ZERO;
+            for template in &self.templates {
+                t = cluster
+                    .pull(t, template, &registries)
+                    .expect("prewarm pull");
+                if matches!(setup, PhaseSetup::Created | PhaseSetup::Running) {
+                    t = cluster.create(t, template).expect("prewarm create");
+                }
+                if setup == PhaseSetup::Running {
+                    t = cluster
+                        .scale_up(t, &template.name, 1)
+                        .expect("prewarm scale-up")
+                        .expected_ready;
+                }
+            }
+            t_end = t_end.max(t);
+        }
+        t_end
+    }
+
+    fn run_loop(&mut self) {
+        while let Some((now, ev)) = self.events.pop() {
+            self.last_event = now;
+            for shard in &mut self.shards {
+                shard.switch.sweep(now);
+            }
+            match ev {
+                Ev::Syn { tag } => self.on_syn(now, tag),
+                Ev::CtrlPacketIn {
+                    shard,
+                    packet,
+                    buffer_id,
+                    in_port,
+                } => self.on_packet_in(now, shard, packet, buffer_id, in_port),
+                Ev::Apply { shard, output } => self.on_apply(now, shard, output),
+                Ev::Wakeup { shard } => self.on_wakeup(now, shard),
+                Ev::Deliver { to, seq, delta } => self.on_deliver(now, to, seq, delta),
+            }
+            // Any event can produce status deltas (machine finalized on a
+            // wakeup, scale-down in housekeeping, …) or change deployment
+            // state: gossip, then scan for split-brain, then re-arm wakeups.
+            self.pump_gossip(now);
+            self.scan_duplicates(now);
+            for s in 0..self.shards.len() {
+                self.arm_wakeup(s, now);
+            }
+        }
+    }
+
+    fn on_syn(&mut self, now: SimTime, tag: u64) {
+        let (shard, client, service) = {
+            let fl = self.in_flight[tag as usize]
+                .as_ref()
+                .expect("SYN for untracked request tag");
+            (fl.shard, fl.client, fl.service)
+        };
+        let src = SocketAddr::new(self.c3.client_ips[client], 40000 + service as u16);
+        let packet = Packet::syn(src, self.service_addrs[service], tag);
+        match self.shards[shard].switch.receive(now, packet) {
+            PacketVerdict::Forward { out_port, .. } => self.complete(now, tag, out_port),
+            PacketVerdict::PacketIn { buffer_id, packet } => {
+                let in_port = self.c3.client_port(client);
+                self.events.push(
+                    now + CTRL_LATENCY,
+                    Ev::CtrlPacketIn {
+                        shard,
+                        packet,
+                        buffer_id,
+                        in_port,
+                    },
+                );
+            }
+            PacketVerdict::Dropped => {
+                self.lost += 1;
+                self.in_flight[tag as usize] = None;
+            }
+        }
+    }
+
+    fn on_packet_in(
+        &mut self,
+        now: SimTime,
+        shard: usize,
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    ) {
+        let outputs = self.shards[shard]
+            .controller
+            .on_packet_in(now, packet, buffer_id, in_port);
+        for output in outputs {
+            let at = output.at() + CTRL_LATENCY;
+            self.events.push(at, Ev::Apply { shard, output });
+        }
+    }
+
+    fn on_apply(&mut self, now: SimTime, shard: usize, output: ControllerOutput) {
+        match output {
+            ControllerOutput::FlowMod { spec, .. } => {
+                self.shards[shard].switch.flow_mod(now, spec);
+            }
+            ControllerOutput::ReleaseViaTable { buffer_id, .. } => {
+                match self.shards[shard]
+                    .switch
+                    .packet_out_via_table(now, buffer_id)
+                {
+                    Some(PacketVerdict::Forward { packet, out_port }) => {
+                        self.complete(now, packet.tag, out_port);
+                    }
+                    Some(_) | None => {
+                        self.lost += 1;
+                    }
+                }
+            }
+            ControllerOutput::DropBuffered { buffer_id, .. } => {
+                self.shards[shard].switch.discard_buffer(buffer_id);
+                self.lost += 1;
+            }
+        }
+    }
+
+    fn on_wakeup(&mut self, now: SimTime, shard: usize) {
+        self.wakeup_armed[shard] = None;
+        let outputs = self.shards[shard].controller.on_wakeup(now);
+        for output in outputs {
+            let at = output.at() + CTRL_LATENCY;
+            self.events.push(at, Ev::Apply { shard, output });
+        }
+    }
+
+    fn on_deliver(&mut self, now: SimTime, to: usize, seq: u64, delta: StatusDelta) {
+        self.delta_deliveries += 1;
+        self.staleness_ns_total += now.since(delta.origin).as_nanos() as u128;
+        if let Some(p) = self.pending_convergence.get_mut(&seq) {
+            p.latest = p.latest.max(now);
+            p.remaining -= 1;
+            if p.remaining == 0 {
+                let p = self
+                    .pending_convergence
+                    .remove(&seq)
+                    .expect("entry checked above");
+                self.convergence_ns_total += p.latest.since(p.origin).as_nanos() as u128;
+                self.converged_deltas += 1;
+            }
+        }
+        self.shards[to].controller.apply_remote_delta(now, &delta);
+    }
+
+    /// Drain every shard's pending deltas and schedule their deliveries.
+    /// Losses are pre-rolled *at send time*: the delivery event is pushed at
+    /// its final (post-retransmission) instant, so the trace is a pure
+    /// function of the seed regardless of loss.
+    fn pump_gossip(&mut self, now: SimTime) {
+        let n = self.shards.len();
+        for s in 0..n {
+            let deltas = self.shards[s].controller.drain_status_deltas();
+            for delta in deltas {
+                let seq = self.delta_seq;
+                self.delta_seq += 1;
+                self.pending_convergence.insert(
+                    seq,
+                    PendingDelta {
+                        origin: delta.origin,
+                        latest: SimTime::ZERO,
+                        remaining: n - 1,
+                    },
+                );
+                for t in 0..n {
+                    if t == s {
+                        continue;
+                    }
+                    self.deltas_sent += 1;
+                    let mut at = now + self.cfg.mesh.link_latency;
+                    let mut tries = 0;
+                    while tries < MAX_RETRANSMITS && self.gossip_rng.chance(self.cfg.mesh.loss) {
+                        self.deltas_lost += 1;
+                        at += self.cfg.mesh.gossip_interval;
+                        tries += 1;
+                    }
+                    self.events.push(at, Ev::Deliver { to: t, seq, delta });
+                }
+            }
+        }
+    }
+
+    /// Record any `(service, cluster)` currently deploying on two or more
+    /// shards — the split-brain duplicate the lease protocol prevents.
+    fn scan_duplicates(&mut self, now: SimTime) {
+        let mut holders: BTreeMap<(u32, usize), Vec<usize>> = BTreeMap::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (svc, cluster) in shard.controller.in_flight_deployments(now) {
+                holders.entry((svc.0, cluster.0)).or_default().push(s);
+            }
+        }
+        for (key, involved) in holders {
+            if involved.len() >= 2 {
+                self.duplicates.entry(key).or_default().extend(involved);
+            }
+        }
+    }
+
+    fn arm_wakeup(&mut self, shard: usize, now: SimTime) {
+        if let Some(at) = self.shards[shard].controller.next_wakeup() {
+            let at = at.max(now);
+            if self.wakeup_armed[shard].is_none_or(|t| at < t) {
+                self.events.push(at, Ev::Wakeup { shard });
+                self.wakeup_armed[shard] = Some(at);
+            }
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, tag: u64, out_port: PortId) {
+        if let Some(fl) = self.in_flight.get_mut(tag as usize).and_then(Option::take) {
+            self.records.push(MeshRecord {
+                tag,
+                shard: fl.shard,
+                released: now,
+                port: out_port.0,
+            });
+        }
+    }
+
+    /// The mesh-coherence audit: `edgeverify`'s static checks over the final
+    /// state, plus the split-brain duplicates observed while the run was
+    /// live (the final snapshot alone would miss them — machines drain).
+    pub fn audit(&self) -> Vec<Violation> {
+        let now = self.last_event;
+        let verifier = Verifier::new();
+        let mut view = MeshView {
+            in_flight: Vec::with_capacity(self.shards.len()),
+            redirects: Vec::with_capacity(self.shards.len()),
+            ready: HashSet::new(),
+        };
+        for shard in &self.shards {
+            view.in_flight.push(
+                shard
+                    .controller
+                    .in_flight_deployments(now)
+                    .into_iter()
+                    .map(|(svc, c)| (svc.0, c.0))
+                    .collect(),
+            );
+            view.redirects.push(
+                shard
+                    .controller
+                    .memory()
+                    .iter()
+                    .filter(|f| !f.pending)
+                    .filter_map(|f| f.cluster.map(|c| (f.service.0, c.0)))
+                    .collect(),
+            );
+        }
+        for (c, handle) in self.handles.iter().enumerate() {
+            let cluster = handle.borrow();
+            for (i, template) in self.templates.iter().enumerate() {
+                if cluster.status(now, &template.name).is_ready() {
+                    view.ready.insert((i as u32, c));
+                }
+            }
+        }
+        let mut out = verifier.check_mesh(&view);
+        for (&(service, cluster), involved) in &self.duplicates {
+            let v = Violation::SplitBrainDeployment {
+                service,
+                cluster,
+                shards: involved.iter().copied().collect(),
+            };
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn finish(self) -> MeshRunResult {
+        let shard_stats: Vec<ShardSummary> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let st = &s.controller.stats;
+                ShardSummary {
+                    deployments: st.deployments.len() as u64,
+                    memory_hits: st.memory_hits,
+                    cloud_forwards: st.cloud_forwards,
+                    held_requests: st.held_requests,
+                    detoured_requests: st.detoured_requests,
+                    retargets: st.retargets,
+                    scale_downs: st.scale_downs,
+                    removes: st.removals,
+                    lease_rejections: st.lease_rejections,
+                    remote_deltas: st.remote_deltas,
+                }
+            })
+            .collect();
+        let total = |f: fn(&ShardSummary) -> u64| shard_stats.iter().map(f).sum::<u64>();
+        MeshRunResult {
+            shards: self.shards.len(),
+            leases: self.cfg.mesh.leases,
+            completed: self.records.len() as u64,
+            lost: self.lost,
+            deployments: total(|s| s.deployments),
+            duplicate_deployments: self.duplicates.len() as u64,
+            duplicate_deployments_avoided: total(|s| s.lease_rejections),
+            deltas_sent: self.deltas_sent,
+            deltas_lost: self.deltas_lost,
+            delta_deliveries: self.delta_deliveries,
+            staleness_ns_total: self.staleness_ns_total,
+            convergence_ns_total: self.convergence_ns_total,
+            converged_deltas: self.converged_deltas,
+            scale_downs: total(|s| s.scale_downs),
+            removes: total(|s| s.removes),
+            retargets: total(|s| s.retargets),
+            shard_stats,
+            records: self.records,
+            single: None,
+        }
+    }
+}
+
+/// Run a trace under a scenario, honouring `cfg.mesh.shards`: one shard is
+/// the plain single-controller [`testbed::Testbed`] (byte-identical to every
+/// pinned trace), two or more build a [`MeshSim`].
+pub fn run_mesh_scenario(cfg: ScenarioConfig, trace: &Trace) -> MeshRunResult {
+    if cfg.mesh.shards <= 1 {
+        let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+        return MeshRunResult::from_single(testbed.run_trace(trace));
+    }
+    MeshSim::build(cfg, trace.service_addrs.clone()).run_trace(trace)
+}
+
+/// Generate the paper's bigFlows-like trace for `cfg` and run it through
+/// [`run_mesh_scenario`]. The trace seed derivation matches
+/// `testbed::run_bigflows`, so `shards = 1` replays that run exactly.
+pub fn run_mesh_bigflows(cfg: ScenarioConfig) -> (Trace, MeshRunResult) {
+    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
+    let trace = Trace::generate(
+        TraceConfig {
+            clients: cfg.clients,
+            ..TraceConfig::default()
+        },
+        &mut trace_rng,
+    );
+    let result = run_mesh_scenario(cfg, &trace);
+    (trace, result)
+}
+
+/// [`run_mesh_bigflows`] with the mesh-coherence audit riding along — the
+/// `edgesim verify` entry point for `mesh:` scenarios. Requires
+/// `cfg.mesh.shards >= 2`.
+pub fn run_mesh_bigflows_audited(cfg: ScenarioConfig) -> (Trace, MeshRunResult, Vec<Violation>) {
+    assert!(
+        cfg.mesh.shards >= 2,
+        "single-shard scenarios audit through the plain testbed path"
+    );
+    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
+    let trace = Trace::generate(
+        TraceConfig {
+            clients: cfg.clients,
+            ..TraceConfig::default()
+        },
+        &mut trace_rng,
+    );
+    let (result, violations) =
+        MeshSim::build(cfg, trace.service_addrs.clone()).run_trace_audited(&trace);
+    (trace, result, violations)
+}

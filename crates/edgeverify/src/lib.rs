@@ -11,7 +11,7 @@
 //! emitted configuration well-formed, plus a lint for the annotated service
 //! definitions the deployment pipeline consumes.
 //!
-//! Five analyses, each returning structured [`Violation`]s with rule or
+//! Six analyses, each returning structured [`Violation`]s with rule or
 //! document provenance:
 //!
 //! 1. **Shadowing** ([`Verifier::check`]) — pairwise [`FlowMatch`]
@@ -31,6 +31,11 @@
 //! 5. **Service-definition lint** ([`lint::lint_annotated`]) — unique names,
 //!    `replicas: 0`, `matchLabels ⊆ labels`, the `edge.service` label, and
 //!    Service/Deployment port consistency.
+//! 6. **Mesh coherence** ([`Verifier::check_mesh`]) — cross-controller
+//!    invariants of a sharded `edgemesh` federation: no `(service, cluster)`
+//!    deployment in flight on two shards at once (split-brain duplicates the
+//!    lease protocol must prevent), and no shard still steering flows at a
+//!    cluster with no ready replica after gossip has quiesced.
 //!
 //! The same checks run three ways: this library API, the `edgesim verify`
 //! subcommand (scenario audit), and `debug_assertions`-gated
@@ -42,6 +47,7 @@
 pub mod coherence;
 pub mod fabric;
 pub mod lint;
+pub mod mesh;
 pub mod table;
 
 use std::fmt;
@@ -53,6 +59,7 @@ use simnet::{IpAddr, SocketAddr};
 pub use coherence::CoherenceView;
 pub use fabric::{Fabric, FabricSwitch, Link, PacketClass};
 pub use lint::lint_annotated;
+pub use mesh::MeshView;
 
 /// Provenance of a flow rule named in a [`Violation`]: enough to find it in
 /// the table and to print a human-readable report.
@@ -199,6 +206,23 @@ pub enum Violation {
         path: String,
         message: String,
     },
+    /// Two or more controller shards have a deployment machine in flight for
+    /// the same `(service, cluster)` — the split-brain duplicate the
+    /// deployment-lease protocol exists to prevent. The shared backend would
+    /// receive conflicting pull/create/scale sequences.
+    SplitBrainDeployment {
+        service: u32,
+        cluster: usize,
+        shards: Vec<usize>,
+    },
+    /// A controller shard still steers a service's flows at a cluster where
+    /// no replica is ready — cross-shard staleness that outlived the gossip
+    /// convergence envelope (a `Gone` delta that never took effect).
+    StaleMeshRedirect {
+        shard: usize,
+        service: u32,
+        cluster: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -293,6 +317,24 @@ impl fmt::Display for Violation {
             Violation::Lint { doc, path, message } => {
                 write!(f, "lint: document {doc}: {path}: {message}")
             }
+            Violation::SplitBrainDeployment {
+                service,
+                cluster,
+                shards,
+            } => write!(
+                f,
+                "split-brain: service #{service} deploying at cluster {cluster} \
+                 concurrently on shards {shards:?}"
+            ),
+            Violation::StaleMeshRedirect {
+                shard,
+                service,
+                cluster,
+            } => write!(
+                f,
+                "stale-mesh-redirect: shard {shard} still steers service #{service} to \
+                 cluster {cluster} where no replica is ready"
+            ),
         }
     }
 }
@@ -348,5 +390,11 @@ impl Verifier {
     /// Cross-check FlowMemory against the installed switch entries.
     pub fn check_coherence(&self, view: &CoherenceView<'_>) -> Vec<Violation> {
         coherence::check(view)
+    }
+
+    /// Cross-controller mesh invariants: split-brain deployments and stale
+    /// cross-shard redirects (see [`mesh`]).
+    pub fn check_mesh(&self, view: &MeshView) -> Vec<Violation> {
+        mesh::check(view)
     }
 }

@@ -1,0 +1,135 @@
+//! Mesh coherence: cross-controller invariants of an `edgemesh` federation.
+//!
+//! Sharding the ingress across controllers introduces failure modes a single
+//! controller cannot have. Two are worth proving absent statically:
+//!
+//! * **Split-brain deployment** — two shards concurrently run a deployment
+//!   machine for the same `(service, cluster)`. The shared backend then
+//!   receives duplicate pull/create/scale-up sequences: wasted work at best,
+//!   conflicting replica counts at worst. The deployment-lease protocol
+//!   exists precisely to make this impossible; the checker is the proof
+//!   obligation ([`crate::Violation::SplitBrainDeployment`]).
+//! * **Stale mesh redirect** — a shard still steers flows at a cluster where
+//!   no replica of the service is ready. Bounded staleness between a `Gone`
+//!   event and its gossip delivery is the *accepted divergence envelope*
+//!   (DESIGN.md §5f) while the instance drains; a redirect surviving to a
+//!   quiesced end-of-run state means the shard never learned, which is a
+//!   defect ([`crate::Violation::StaleMeshRedirect`]).
+//!
+//! The view is deliberately plain data (`u32` service ids, `usize` cluster
+//! and shard indices) so the mesh runner can build it without `edgeverify`
+//! depending on `edgemesh` or vice versa.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use crate::Violation;
+
+/// Snapshot of the federation handed to [`crate::Verifier::check_mesh`],
+/// indexed by shard.
+#[derive(Debug, Default)]
+pub struct MeshView {
+    /// Per shard: `(service, cluster)` deployments its dispatcher has in
+    /// flight.
+    pub in_flight: Vec<Vec<(u32, usize)>>,
+    /// Per shard: `(service, cluster)` pairs its FlowMemory still steers
+    /// traffic to (non-pending memorized flows with an edge target).
+    pub redirects: Vec<Vec<(u32, usize)>>,
+    /// `(service, cluster)` pairs with at least one ready replica on the
+    /// shared backends.
+    pub ready: HashSet<(u32, usize)>,
+}
+
+pub(crate) fn check(view: &MeshView) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Split-brain: the same (service, cluster) in flight on >= 2 shards.
+    let mut holders: BTreeMap<(u32, usize), BTreeSet<usize>> = BTreeMap::new();
+    for (shard, in_flight) in view.in_flight.iter().enumerate() {
+        for &key in in_flight {
+            holders.entry(key).or_default().insert(shard);
+        }
+    }
+    for ((service, cluster), shards) in holders {
+        if shards.len() >= 2 {
+            out.push(Violation::SplitBrainDeployment {
+                service,
+                cluster,
+                shards: shards.into_iter().collect(),
+            });
+        }
+    }
+
+    // Stale redirects: a shard steering a service at a cluster with no ready
+    // replica. Deduplicate per shard — many flows share one stale fact.
+    for (shard, redirects) in view.redirects.iter().enumerate() {
+        let distinct: BTreeSet<(u32, usize)> = redirects.iter().copied().collect();
+        for (service, cluster) in distinct {
+            if !view.ready.contains(&(service, cluster)) {
+                out.push(Violation::StaleMeshRedirect {
+                    shard,
+                    service,
+                    cluster,
+                });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_mesh_has_no_violations() {
+        let mut ready = HashSet::new();
+        ready.insert((0, 1));
+        let view = MeshView {
+            in_flight: vec![vec![(2, 0)], vec![]],
+            redirects: vec![vec![(0, 1)], vec![(0, 1), (0, 1)]],
+            ready,
+        };
+        assert!(check(&view).is_empty());
+    }
+
+    #[test]
+    fn concurrent_in_flight_is_split_brain() {
+        let view = MeshView {
+            in_flight: vec![vec![(3, 0)], vec![(3, 0), (4, 1)], vec![(3, 0)]],
+            redirects: vec![vec![], vec![], vec![]],
+            ready: HashSet::new(),
+        };
+        let out = check(&view);
+        assert_eq!(
+            out,
+            vec![Violation::SplitBrainDeployment {
+                service: 3,
+                cluster: 0,
+                shards: vec![0, 1, 2],
+            }]
+        );
+    }
+
+    #[test]
+    fn redirect_to_unready_cluster_is_stale() {
+        let mut ready = HashSet::new();
+        ready.insert((1, 0));
+        let view = MeshView {
+            in_flight: vec![vec![], vec![]],
+            // Shard 1 steers service 1 at cluster 2, where nothing is ready;
+            // the duplicate flow collapses to one violation.
+            redirects: vec![vec![(1, 0)], vec![(1, 2), (1, 2)]],
+            ready,
+        };
+        let out = check(&view);
+        assert_eq!(
+            out,
+            vec![Violation::StaleMeshRedirect {
+                shard: 1,
+                service: 1,
+                cluster: 2,
+            }]
+        );
+    }
+}

@@ -394,7 +394,7 @@ fn clean_redirect_reaches_site() {
 // ---------------------------------------------------------------- coherence
 
 fn memory_with(key: FlowKey, target: SocketAddr, idle: SimDuration) -> FlowMemory {
-    let mut m = FlowMemory::new(idle);
+    let mut m = FlowMemory::new(idle).unwrap();
     m.remember(t0(), key, edgectl::ServiceId(0), target, Some(ClusterId(0)));
     m
 }
@@ -513,7 +513,7 @@ fn stale_redirect_detected() {
         instance(1),
         Some(SimDuration::from_secs(10)),
     );
-    let memory = FlowMemory::new(SimDuration::from_secs(60));
+    let memory = FlowMemory::new(SimDuration::from_secs(60)).unwrap();
     let view = CoherenceView {
         now: t0(),
         memory: &memory,
@@ -552,7 +552,7 @@ fn orphaned_pending_detected() {
         client_ip: client(1),
         service_addr: svc(1),
     };
-    let mut memory = FlowMemory::new(SimDuration::from_secs(60));
+    let mut memory = FlowMemory::new(SimDuration::from_secs(60)).unwrap();
     memory.remember_pending(t0(), key, edgectl::ServiceId(0), Some(ClusterId(0)));
     let table = FlowTable::new();
 

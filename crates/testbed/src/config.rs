@@ -31,7 +31,7 @@ use simnet::{Action, FlowMatch, FlowSpec, IpAddr, IpNet, Protocol};
 use workload::ServiceKind;
 use yamlite::Yaml;
 
-use crate::scenario::{PhaseSetup, PredictorKind, ScenarioConfig, SchedulerKind};
+use crate::scenario::{MeshParams, PhaseSetup, PredictorKind, ScenarioConfig, SchedulerKind};
 use crate::topology::{NodeClass, SiteSpec};
 
 /// Parse a scenario from a YAML document. Unknown keys are rejected so typos
@@ -73,6 +73,7 @@ pub fn scenario_from_yaml(doc: &Yaml) -> Result<ScenarioConfig, String> {
                 );
             }
             "controller" => apply_controller(value, &mut cfg)?,
+            "mesh" => apply_mesh(value, &mut cfg)?,
             "seed_flows" => {
                 let seq = value
                     .as_seq()
@@ -123,6 +124,49 @@ fn apply_controller(value: &Yaml, cfg: &mut ScenarioConfig) -> Result<(), String
             other => return Err(format!("unknown controller key `{other}`")),
         }
     }
+    Ok(())
+}
+
+/// Controller-federation knobs:
+///
+/// ```yaml
+/// mesh:
+///   shards: 4            # controller instances; 1 = plain testbed
+///   link_latency_us: 500 # one-way gossip latency
+///   loss: 0.05           # per-delivery delta loss probability
+///   leases: true         # deployment-lease coordination
+///   gossip_interval_ms: 50 # retransmit back-off after a lost delta
+/// ```
+fn apply_mesh(value: &Yaml, cfg: &mut ScenarioConfig) -> Result<(), String> {
+    let Some(map) = value.as_map() else {
+        return Err("`mesh` must be a mapping".into());
+    };
+    let mut mesh = MeshParams::default();
+    for (key, v) in map {
+        match key.as_str() {
+            "shards" => {
+                mesh.shards = as_u64(v, key)? as usize;
+                if mesh.shards == 0 {
+                    return Err("`mesh.shards` must be at least 1".into());
+                }
+            }
+            "link_latency_us" => {
+                mesh.link_latency = SimDuration::from_micros(as_u64(v, key)?);
+            }
+            "loss" => {
+                mesh.loss = as_f64(v, key)?;
+                if !(0.0..1.0).contains(&mesh.loss) {
+                    return Err("`mesh.loss` must be in [0, 1)".into());
+                }
+            }
+            "leases" => mesh.leases = as_bool(v, key)?,
+            "gossip_interval_ms" => {
+                mesh.gossip_interval = SimDuration::from_millis_f64(as_f64(v, key)?);
+            }
+            other => return Err(format!("unknown mesh key `{other}`")),
+        }
+    }
+    cfg.mesh = mesh;
     Ok(())
 }
 
@@ -460,6 +504,43 @@ sites:
         assert!(scenario_from_yaml(&yamlite::parse("seed: -4").unwrap()).is_err());
         assert!(scenario_from_yaml(&yamlite::parse("backends: docker").unwrap()).is_err());
         assert!(scenario_from_yaml(&yamlite::parse("42").unwrap()).is_err());
+    }
+
+    #[test]
+    fn mesh_block_parses() {
+        let doc = yamlite::parse(
+            r#"
+mesh:
+  shards: 4
+  link_latency_us: 800
+  loss: 0.05
+  leases: false
+  gossip_interval_ms: 25
+"#,
+        )
+        .unwrap();
+        let cfg = scenario_from_yaml(&doc).unwrap();
+        assert_eq!(cfg.mesh.shards, 4);
+        assert_eq!(cfg.mesh.link_latency, SimDuration::from_micros(800));
+        assert!((cfg.mesh.loss - 0.05).abs() < 1e-12);
+        assert!(!cfg.mesh.leases);
+        assert_eq!(cfg.mesh.gossip_interval, SimDuration::from_millis(25));
+        // Defaults: single shard, lossless, leases on.
+        let cfg = scenario_from_yaml(&yamlite::parse("{}").unwrap()).unwrap();
+        assert_eq!(cfg.mesh, MeshParams::default());
+        assert_eq!(cfg.mesh.shards, 1);
+    }
+
+    #[test]
+    fn mesh_bad_values_rejected() {
+        for bad in [
+            "mesh:\n  shards: 0",
+            "mesh:\n  loss: 1.5",
+            "mesh:\n  sharts: 2",
+        ] {
+            let err = scenario_from_yaml(&yamlite::parse(bad).unwrap()).unwrap_err();
+            assert!(err.contains("mesh"), "{err}");
+        }
     }
 
     #[test]

@@ -56,6 +56,39 @@ pub enum PhaseSetup {
     Running,
 }
 
+/// Multi-controller federation knobs (the `edgemesh` crate's input). Plain
+/// data here so scenario files can configure a mesh without `testbed`
+/// depending on `edgemesh` (the dependency runs the other way).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshParams {
+    /// How many controller instances the ingress switches are sharded
+    /// across. `1` (the default) is the plain single-controller testbed —
+    /// byte-identical to every pinned trace.
+    pub shards: usize,
+    /// One-way controller↔controller gossip link latency.
+    pub link_latency: SimDuration,
+    /// Per-delivery loss probability of a gossiped delta; lost deltas are
+    /// retransmitted every `gossip_interval` until delivered.
+    pub loss: f64,
+    /// Deployment-lease coordination on/off. Off reproduces Cohen et al.'s
+    /// duplicate-deployment failure mode.
+    pub leases: bool,
+    /// Retransmission back-off after a lost delta delivery.
+    pub gossip_interval: SimDuration,
+}
+
+impl Default for MeshParams {
+    fn default() -> Self {
+        MeshParams {
+            shards: 1,
+            link_latency: SimDuration::from_micros(500),
+            loss: 0.0,
+            leases: true,
+            gossip_interval: SimDuration::from_millis(50),
+        }
+    }
+}
+
 /// Full scenario description; `Default` is the paper's standard setup.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -94,6 +127,9 @@ pub struct ScenarioConfig {
     /// pre-provisioning (static routes, policy rules). `edgesim verify`
     /// audits them against the controller's own installs.
     pub seed_flows: Vec<FlowSpec>,
+    /// Controller federation (shard count, gossip link, leases). The default
+    /// single-shard mesh leaves every existing scenario untouched.
+    pub mesh: MeshParams,
 }
 
 impl Default for ScenarioConfig {
@@ -121,6 +157,7 @@ impl Default for ScenarioConfig {
             },
             clients: 20,
             seed_flows: Vec::new(),
+            mesh: MeshParams::default(),
         }
     }
 }

@@ -69,6 +69,10 @@ pub struct RunResult {
     pub held_requests: u64,
     pub detoured_requests: u64,
     pub scale_downs: u64,
+    /// Services fully removed after prolonged idleness (Fig. 4 Remove).
+    /// Surfaced for the bench reports; deliberately NOT part of
+    /// [`RunResult::metrics_trace`] so pinned hashes stay stable.
+    pub removes: u64,
     pub retargets: u64,
     pub proactive_deployments: u64,
     /// Instances killed by fault injection.
@@ -627,6 +631,7 @@ impl Testbed {
             held_requests: stats.held_requests,
             detoured_requests: stats.detoured_requests,
             scale_downs: stats.scale_downs,
+            removes: stats.removals,
             retargets: stats.retargets,
             proactive_deployments: stats.proactive_deployments,
             crashes_injected: self.crashes_injected,

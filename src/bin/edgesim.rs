@@ -69,6 +69,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .iter()
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1));
+    if cfg.mesh.shards > 1 {
+        if trace_path.is_some() {
+            return Err("--trace is not supported for mesh (shards > 1) scenarios yet".into());
+        }
+        return run_mesh(cfg);
+    }
     let (trace, result) = match trace_path {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -117,6 +123,56 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         result.switch_stats.table_misses,
         result.memory_hits
     );
+    Ok(())
+}
+
+/// `edgesim run` for a federated scenario (`mesh.shards > 1`): replay the
+/// bigFlows trace through the sharded mesh and report the coordination
+/// metrics alongside the usual counters.
+fn run_mesh(cfg: ScenarioConfig) -> Result<(), String> {
+    let (trace, result) = edgemesh::run_mesh_bigflows(cfg);
+    println!(
+        "mesh: {} shards, leases {}",
+        result.shards,
+        if result.leases { "on" } else { "off" }
+    );
+    println!(
+        "requests: {} ({} lost) over {}s, services: {}",
+        result.completed,
+        result.lost,
+        trace.config.duration.as_secs(),
+        trace.service_addrs.len()
+    );
+    println!(
+        "deployments: {} ({} duplicates, {} avoided by leases), scale-downs: {}, removes: {}, retargets: {}",
+        result.deployments,
+        result.duplicate_deployments,
+        result.duplicate_deployments_avoided,
+        result.scale_downs,
+        result.removes,
+        result.retargets
+    );
+    println!(
+        "gossip: {} deltas sent ({} lost on link), {} delivered; staleness mean {:.2} ms, convergence mean {:.2} ms",
+        result.deltas_sent,
+        result.deltas_lost,
+        result.delta_deliveries,
+        result.mean_staleness_ms(),
+        result.mean_convergence_ms()
+    );
+    for (i, s) in result.shard_stats.iter().enumerate() {
+        println!(
+            "shard {i}: deployments {}, memory hits {}, cloud {}, held {}, detoured {}, retargets {}, lease rejections {}, remote deltas {}",
+            s.deployments,
+            s.memory_hits,
+            s.cloud_forwards,
+            s.held_requests,
+            s.detoured_requests,
+            s.retargets,
+            s.lease_rejections,
+            s.remote_deltas
+        );
+    }
     Ok(())
 }
 
@@ -276,6 +332,19 @@ fn verify_service_definition(
 fn verify_scenario(docs: &[yamlite::Yaml]) -> Result<Vec<String>, String> {
     let doc = docs.first().ok_or("empty scenario file")?;
     let cfg = scenario_from_yaml(doc)?;
+    if cfg.mesh.shards > 1 {
+        let (_, result, violations) = edgemesh::run_mesh_bigflows_audited(cfg);
+        println!(
+            "audited: {} shards, {} requests ({} lost), {} duplicate deployments \
+             ({} avoided by leases)",
+            result.shards,
+            result.completed,
+            result.lost,
+            result.duplicate_deployments,
+            result.duplicate_deployments_avoided
+        );
+        return Ok(violations.iter().map(|v| v.to_string()).collect());
+    }
     let (_, result, report) = run_bigflows_audited(cfg);
     println!(
         "audited: {} requests ({} lost), {} flow installs checked",
