@@ -10,7 +10,7 @@
 use bench::report::{fmt_ms, Table};
 use cluster::ClusterKind;
 use simcore::{run_seeds, Percentiles, SimDuration};
-use testbed::{measure_first_request, run_bigflows, PhaseSetup, ScenarioConfig, SchedulerKind};
+use testbed::{measure_first_request, run_bigflows, PhaseSetup, ScenarioConfig, SchedulerSpec};
 use workload::ServiceKind;
 
 fn median(samples: Vec<f64>) -> f64 {
@@ -202,14 +202,14 @@ fn strategy_ablation() {
         (
             "without waiting",
             ScenarioConfig {
-                scheduler: SchedulerKind::NearestReadyFirst,
+                scheduler: SchedulerSpec::nearest_ready_first(),
                 ..ScenarioConfig::default()
             },
         ),
         (
             "hybrid Docker+K8s",
             ScenarioConfig {
-                scheduler: SchedulerKind::HybridDockerFirst,
+                scheduler: SchedulerSpec::hybrid_docker_first(),
                 backends: vec![ClusterKind::Docker, ClusterKind::Kubernetes],
                 ..ScenarioConfig::default()
             },

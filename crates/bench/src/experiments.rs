@@ -11,7 +11,7 @@ use cluster::ClusterKind;
 use containers::ImageStore;
 use simcore::time::SimDuration;
 use simcore::{run_seeds, Percentiles, SimRng, SimTime, TimeSeries};
-use testbed::{measure_first_request, run_bigflows, PhaseSetup, ScenarioConfig, SchedulerKind};
+use testbed::{measure_first_request, run_bigflows, PhaseSetup, ScenarioConfig, SchedulerSpec};
 use workload::{ServiceKind, ServiceProfile, Trace, TraceConfig};
 
 use crate::report::{fmt_ms, Table};
@@ -418,14 +418,14 @@ pub fn hybrid(seeds: &[u64]) -> Experiment {
         (
             "without waiting (cloud detour)",
             ScenarioConfig {
-                scheduler: SchedulerKind::NearestReadyFirst,
+                scheduler: SchedulerSpec::nearest_ready_first(),
                 ..ScenarioConfig::default()
             },
         ),
         (
             "hybrid Docker-first + K8s",
             ScenarioConfig {
-                scheduler: SchedulerKind::HybridDockerFirst,
+                scheduler: SchedulerSpec::hybrid_docker_first(),
                 backends: vec![ClusterKind::Docker, ClusterKind::Kubernetes],
                 ..ScenarioConfig::default()
             },
@@ -506,7 +506,7 @@ pub fn hierarchy(seeds: &[u64]) -> Experiment {
                     (near_pi(), ClusterKind::Docker),
                     (far_egs(), ClusterKind::Docker),
                 ],
-                scheduler: SchedulerKind::NearestReadyFirst,
+                scheduler: SchedulerSpec::nearest_ready_first(),
                 phase_setup: PhaseSetup::Running,
                 prewarm_sites: Some(vec![1]),
                 ..ScenarioConfig::default()
@@ -516,7 +516,7 @@ pub fn hierarchy(seeds: &[u64]) -> Experiment {
             "near Pi edge only, without waiting (cloud detour)",
             ScenarioConfig {
                 sites: vec![(near_pi(), ClusterKind::Docker)],
-                scheduler: SchedulerKind::NearestReadyFirst,
+                scheduler: SchedulerSpec::nearest_ready_first(),
                 ..ScenarioConfig::default()
             },
         ),

@@ -542,6 +542,7 @@ mod tests {
             name: "nginx-py".into(),
             port: 80,
             scheduler_name: None,
+            requirements: crate::capacity::DeploymentRequirements::none(),
             containers: vec![
                 crate::template::ContainerTemplate {
                     name: "nginx".into(),

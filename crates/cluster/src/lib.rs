@@ -19,6 +19,7 @@
 //!   propagation (~3 s total, Fig. 11).
 
 pub mod api;
+pub mod capacity;
 pub mod docker;
 pub mod faults;
 pub mod k8s;
@@ -27,6 +28,9 @@ pub mod wasm;
 
 pub use api::{
     ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+};
+pub use capacity::{
+    CapacityShortfall, DeploymentRequirements, ResourceAllocation, ResourceRequest, SiteCapacity,
 };
 pub use docker::DockerCluster;
 pub use faults::{FaultPlan, FaultyCluster};

@@ -9,6 +9,8 @@
 use containers::ImageRef;
 use simcore::DurationDist;
 
+use crate::capacity::{DeploymentRequirements, ResourceRequest};
+
 /// One container of a service.
 #[derive(Debug, Clone)]
 pub struct ContainerTemplate {
@@ -34,6 +36,9 @@ pub struct ServiceTemplate {
     /// (`spec.template.spec.schedulerName`, paper §V and \[26\]/\[27\]);
     /// `None` = the default kube-scheduler.
     pub scheduler_name: Option<String>,
+    /// Placement constraints (affinity/anti-affinity site labels); empty by
+    /// default — every site qualifies.
+    pub requirements: DeploymentRequirements,
 }
 
 impl ServiceTemplate {
@@ -57,6 +62,7 @@ impl ServiceTemplate {
             name,
             port,
             scheduler_name: None,
+            requirements: DeploymentRequirements::none(),
         }
     }
 
@@ -75,6 +81,16 @@ impl ServiceTemplate {
     pub fn total_mem_bytes(&self) -> u64 {
         self.containers.iter().map(|c| c.mem_bytes).sum()
     }
+
+    /// The per-replica resource demand the scheduler and admission control
+    /// reason about: the sum of the container requests, memory rounded up to
+    /// whole MiB.
+    pub fn resource_request(&self) -> ResourceRequest {
+        ResourceRequest::new(
+            self.total_cpu_millis(),
+            self.total_mem_bytes().div_ceil(1 << 20),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +106,10 @@ mod tests {
         assert_eq!(t.images().next().unwrap().0, "nginx:1.23.2");
         assert!(t.total_cpu_millis() > 0);
         assert!(t.total_mem_bytes() > 0);
+        let req = t.resource_request();
+        assert_eq!(req.cpu_millis, 250);
+        assert_eq!(req.memory_mib, 256);
+        assert_eq!(req.replicas, 1);
+        assert!(t.requirements.is_empty());
     }
 }

@@ -18,7 +18,7 @@
 //! in the paper's prototype. The output of this module is both the annotated
 //! YAML documents and the backend-neutral [`ServiceTemplate`].
 
-use cluster::{ContainerTemplate, ServiceTemplate};
+use cluster::{ContainerTemplate, DeploymentRequirements, ServiceTemplate};
 use containers::ImageRef;
 use simcore::DurationDist;
 use yamlite::Yaml;
@@ -28,6 +28,12 @@ pub const EDGE_SERVICE_LABEL: &str = "edge.service";
 /// Optional annotation carrying the service's measured app-init median (ms);
 /// used by the simulation to model readiness.
 pub const APP_INIT_ANNOTATION: &str = "edge.service/app-init-ms";
+/// Optional annotation: comma-separated site labels the service *requires*
+/// (affinity); compiled into [`DeploymentRequirements::label_match_all`].
+pub const AFFINITY_ANNOTATION: &str = "edge.service/affinity";
+/// Optional annotation: comma-separated site labels the service *refuses*
+/// (anti-affinity); compiled into [`DeploymentRequirements::label_match_none`].
+pub const ANTI_AFFINITY_ANNOTATION: &str = "edge.service/anti-affinity";
 
 /// Controller-side inputs to annotation.
 #[derive(Debug, Clone)]
@@ -285,10 +291,14 @@ fn build_template(
             AnnotateError::BadStructure("spec.template.spec.containers is not a sequence".into())
         })?;
 
-    let app_init_ms = deployment
-        .at("metadata.annotations")
+    let annotations = deployment.at("metadata.annotations");
+    let app_init_ms = annotations
         .and_then(|a| a.get(APP_INIT_ANNOTATION))
         .and_then(Yaml::as_f64);
+    let requirements = DeploymentRequirements {
+        label_match_all: parse_label_list(annotations, AFFINITY_ANNOTATION)?,
+        label_match_none: parse_label_list(annotations, ANTI_AFFINITY_ANNOTATION)?,
+    };
 
     let mut containers = Vec::with_capacity(containers_yaml.len());
     for c in containers_yaml {
@@ -334,7 +344,26 @@ fn build_template(
         containers,
         port,
         scheduler_name: opts.local_scheduler.clone(),
+        requirements,
     })
+}
+
+/// Read a comma-separated label list annotation; absent → empty. A non-string
+/// value is a structural error (lint, don't crash).
+fn parse_label_list(annotations: Option<&Yaml>, key: &str) -> Result<Vec<String>, AnnotateError> {
+    match annotations.and_then(|a| a.get(key)) {
+        None | Some(Yaml::Null) => Ok(Vec::new()),
+        Some(Yaml::Str(s)) => Ok(s
+            .split(',')
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect()),
+        Some(other) => Err(AnnotateError::BadStructure(format!(
+            "`{key}` must be a comma-separated string, got {}",
+            other.type_name()
+        ))),
+    }
 }
 
 /// Build the Kubernetes `Service` document the paper generates automatically.
@@ -581,6 +610,28 @@ spec:
         let out = annotate(&parse(&src).unwrap(), &opts()).unwrap();
         let mean = out.template.containers[0].app_init.0.mean().unwrap();
         assert!(mean > 2000.0, "annotation median 2300 ms, mean={mean}");
+    }
+
+    #[test]
+    fn affinity_annotations_compile_into_requirements() {
+        let src = format!(
+            "image: nginx:1.23.2\nmetadata:\n  annotations:\n    {AFFINITY_ANNOTATION}: \"gpu, zone-a\"\n    {ANTI_AFFINITY_ANNOTATION}: far-edge\n"
+        );
+        let out = annotate(&parse(&src).unwrap(), &opts()).unwrap();
+        assert_eq!(
+            out.template.requirements.label_match_all,
+            vec!["gpu", "zone-a"]
+        );
+        assert_eq!(out.template.requirements.label_match_none, vec!["far-edge"]);
+        // absent annotations → no constraints
+        let plain = annotate(&parse("image: nginx:1.23.2\n").unwrap(), &opts()).unwrap();
+        assert!(plain.template.requirements.is_empty());
+        // a non-string value lints
+        let bad = format!("image: nginx:1.23.2\nmetadata:\n  annotations:\n    {AFFINITY_ANNOTATION}:\n      - gpu\n");
+        assert!(matches!(
+            annotate(&parse(&bad).unwrap(), &opts()).unwrap_err(),
+            AnnotateError::BadStructure(_)
+        ));
     }
 
     #[test]

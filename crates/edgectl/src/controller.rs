@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cluster::{ClusterBackend, ClusterKind};
+use cluster::{ClusterBackend, ClusterKind, ResourceAllocation, ResourceRequest, SiteCapacity};
 use registry::RegistrySet;
 use simcore::{SimDuration, SimTime};
 use simnet::openflow::{Action, BufferId, FlowMatch, FlowSpec, PortId};
@@ -24,12 +24,14 @@ use simnet::{IpAddr, Packet, SocketAddr};
 
 use crate::catalog::{ServiceCatalog, ServiceId};
 use crate::dispatcher::{
-    reference, DeployError, DeployPhaseKind, Dispatcher, MachineOutcome, StepCtx, Waiter,
+    reference, AdmissionError, DeployError, DeployPhaseKind, Dispatcher, MachineOutcome, StepCtx,
+    Waiter,
 };
 use crate::flowmemory::{FlowKey, FlowMemory};
 use crate::predictor::{NoPrediction, Predictor};
 use crate::scheduler::{
     ClusterId, ClusterView, GlobalScheduler, LocalScheduler, NearestWaiting, RoundRobinLocal,
+    SchedulingContext,
 };
 
 /// Controller tuning knobs.
@@ -260,6 +262,15 @@ pub struct ControllerStats {
     /// Remote status deltas applied from mesh peers. Always zero outside a
     /// federated mesh.
     pub remote_deltas: u64,
+    /// Scheduler decisions the dispatcher refused because the target site was
+    /// out of capacity or failed a placement requirement (each one fell
+    /// through to the next-best option or the cloud). Always zero under the
+    /// default unlimited [`SiteCapacity`].
+    pub admission_rejections: u64,
+    /// Times a booking pushed a site's allocation above its declared
+    /// capacity. The admission check makes this impossible; the bench gates
+    /// on it staying zero.
+    pub capacity_violations: u64,
 }
 
 /// One attached cluster: the backend plus where it sits.
@@ -272,6 +283,17 @@ pub struct AttachedCluster {
     /// Per-switch port leading (directly or via trunks) to this cluster's
     /// host; indexed by [`SwitchId`]. Single-switch setups have one entry.
     pub ports: Vec<PortId>,
+    /// Declared resources of the site ([`SiteCapacity::UNLIMITED`] unless
+    /// [`Controller::configure_site`] says otherwise).
+    pub capacity: SiteCapacity,
+    /// Placement labels the site advertises (matched against
+    /// [`cluster::DeploymentRequirements`]).
+    pub labels: Arc<[String]>,
+    /// Resources currently booked on the site by admitted deployments.
+    pub allocated: ResourceAllocation,
+    /// Per-service booking: the per-replica demand admitted and how many
+    /// replicas are booked.
+    admitted: HashMap<ServiceId, (ResourceRequest, u32)>,
 }
 
 /// Which deployment engine drives the pipeline.
@@ -326,6 +348,9 @@ pub struct Controller {
     /// Most recent dispatcher deployment failure (diagnostics; see
     /// [`Controller::last_deploy_failure`]).
     last_deploy_failure: Option<DeployFailure>,
+    /// Most recent admission rejection (diagnostics; see
+    /// [`Controller::last_admission_error`]).
+    last_admission_error: Option<AdmissionError>,
     /// Mesh deployment-lease hook; `None` (the default) grants everything.
     gate: Option<Box<dyn DeployGate>>,
     /// Emit [`StatusDelta`]s for instance-status changes (mesh gossip input).
@@ -458,6 +483,7 @@ impl ControllerBuilder {
             predictor: self.predictor,
             predict: None,
             last_deploy_failure: None,
+            last_admission_error: None,
             gate: self.gate,
             emit_deltas: self.emit_deltas,
             status_deltas: Vec::new(),
@@ -505,8 +531,55 @@ impl Controller {
             backend,
             distances: vec![distance],
             ports: vec![port],
+            capacity: SiteCapacity::UNLIMITED,
+            labels: Arc::from(Vec::new()),
+            allocated: ResourceAllocation::default(),
+            admitted: HashMap::new(),
         });
         ClusterId(self.clusters.len() - 1)
+    }
+
+    /// Declare a site's resource capacity and placement labels (defaults:
+    /// [`SiteCapacity::UNLIMITED`], no labels). Scheduling decisions that
+    /// would overrun the declared capacity are rejected by admission control
+    /// and fall through to the next-best site or the cloud.
+    pub fn configure_site(&mut self, id: ClusterId, capacity: SiteCapacity, labels: Vec<String>) {
+        let site = &mut self.clusters[id.0];
+        site.capacity = capacity;
+        site.labels = Arc::from(labels);
+    }
+
+    /// Resources currently booked on a site by admitted deployments.
+    pub fn site_allocation(&self, id: ClusterId) -> ResourceAllocation {
+        self.clusters[id.0].allocated
+    }
+
+    /// A site's declared capacity.
+    pub fn site_capacity(&self, id: ClusterId) -> SiteCapacity {
+        self.clusters[id.0].capacity
+    }
+
+    /// Book resources for instances started outside the controller's own
+    /// pipeline (testbed prewarm): `replicas` replicas of `service` running
+    /// on `cluster`. No-op if the service is already booked there.
+    pub fn note_external_deployment(
+        &mut self,
+        cluster: ClusterId,
+        service: ServiceId,
+        replicas: u32,
+    ) {
+        let name = self.catalog.name_arc(service);
+        let Some(registered) = self.catalog.lookup_name(&name) else {
+            return;
+        };
+        let demand = registered.template.resource_request();
+        self.book(cluster, service, demand, replicas.max(1));
+    }
+
+    /// The most recent admission rejection, if any (diagnostics for tests and
+    /// the verifier; cleared never, overwritten on each rejection).
+    pub fn last_admission_error(&self) -> Option<&AdmissionError> {
+        self.last_admission_error.as_ref()
     }
 
     /// Register an additional ingress switch: its port toward the cloud and,
@@ -653,7 +726,15 @@ impl Controller {
 
         // 3. Feed the Global Scheduler the Dispatcher's system view.
         let views = self.cluster_views(now, sid, sw.0, &service_name);
-        let decision = self.global.decide(sid, &views);
+        let ctx = SchedulingContext::new(
+            sid,
+            &views,
+            template.resource_request(),
+            &template.requirements,
+            &self.catalog,
+            now,
+        );
+        let decision = self.global.decide(&ctx);
 
         // 4. Kick off the BEST deployment first (without waiting it runs in
         //    parallel with serving the current request elsewhere).
@@ -710,6 +791,12 @@ impl Controller {
         sid: ServiceId,
         template: &Arc<cluster::ServiceTemplate>,
     ) {
+        // Admission control: a BEST decision targeting a site that cannot
+        // take the deployment is dropped — the caller already serves the
+        // request at FAST or the cloud, which *is* the fall-through.
+        if !self.deployment_exists(now, best, sid) && self.admit(best, sid, template).is_err() {
+            return;
+        }
         if matches!(self.engine, Engine::Reference(_)) {
             if let Some(ready_at) = self.ensure_deployed_reference(now, best, sid, template, false)
             {
@@ -763,6 +850,36 @@ impl Controller {
         in_port: PortId,
         buffer_id: BufferId,
     ) -> Vec<ControllerOutput> {
+        // Admission control: the scheduler picked a with-waiting deployment
+        // at `fast`, but the site may not take it (capacity / labels). Fall
+        // through to the nearest other ready instance, else the cloud.
+        if !self.deployment_exists(now, fast, sid) && self.admit(fast, sid, template).is_err() {
+            let name = self.catalog.name_arc(sid);
+            let fallback = self
+                .clusters
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| ClusterId(*i) != fast && c.backend.status(now, &name).is_ready())
+                .min_by_key(|(i, c)| (c.distances[sw.0], *i))
+                .map(|(i, _)| ClusterId(i));
+            return match fallback {
+                Some(cluster) => {
+                    self.stats.detoured_requests += 1;
+                    let target = self.pick_instance(now, cluster, sid);
+                    self.redirect_outputs(
+                        decide_at,
+                        sw,
+                        key,
+                        sid,
+                        target,
+                        cluster,
+                        in_port,
+                        Some(buffer_id),
+                    )
+                }
+                None => self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid)),
+            };
+        }
         if matches!(self.engine, Engine::Reference(_)) {
             return match self.ensure_deployed_reference(now, fast, sid, template, true) {
                 Some(ready_at) => {
@@ -846,21 +963,173 @@ impl Controller {
         self.clusters
             .iter()
             .enumerate()
-            .map(|(i, c)| ClusterView {
-                id: ClusterId(i),
-                kind: c.backend.kind(),
-                distance: c.distances[sw_idx],
-                status: c.backend.status(now, name),
-                load: c.backend.load(),
-                deploying: match &self.engine {
+            .map(|(i, c)| {
+                let deploying = match &self.engine {
                     Engine::Stepped(d) => d.find(ClusterId(i), sid).is_some(),
                     Engine::Reference(r) => r
                         .pending
                         .get(&(ClusterId(i), sid))
                         .is_some_and(|&t| t > now),
-                },
+                };
+                ClusterView::builder(
+                    ClusterId(i),
+                    c.backend.kind(),
+                    c.distances[sw_idx],
+                    c.backend.status(now, name),
+                )
+                .load(c.backend.load())
+                .deploying(deploying)
+                .capacity(c.capacity)
+                .allocated(c.allocated)
+                .labels(Arc::clone(&c.labels))
+                .build()
             })
             .collect()
+    }
+
+    /// Is a deployment of `sid` at `cluster` already in flight (either
+    /// engine), or an instance already ready there? Either way no new
+    /// replicas would start, so admission control does not apply.
+    fn deployment_exists(&self, now: SimTime, cluster: ClusterId, sid: ServiceId) -> bool {
+        let in_flight = match &self.engine {
+            Engine::Stepped(d) => d.find(cluster, sid).is_some(),
+            Engine::Reference(r) => r.pending.get(&(cluster, sid)).is_some_and(|&t| t > now),
+        };
+        in_flight
+            || self.clusters[cluster.0]
+                .backend
+                .status(now, self.catalog.name_of(sid))
+                .is_ready()
+    }
+
+    /// Admission control for starting a new deployment of `sid` at
+    /// `cluster`: placement labels first, then capacity against the current
+    /// allocation (a service already booked there re-admits for free — its
+    /// resources are still reserved). Rejections are counted and recorded.
+    fn admit(
+        &mut self,
+        cluster: ClusterId,
+        sid: ServiceId,
+        template: &cluster::ServiceTemplate,
+    ) -> Result<(), AdmissionError> {
+        let site = &self.clusters[cluster.0];
+        let err = if let Some(label) = template.requirements.first_unmet(&site.labels) {
+            AdmissionError::RequirementsUnmet {
+                cluster,
+                label: label.to_owned(),
+            }
+        } else if site.admitted.contains_key(&sid) {
+            return Ok(());
+        } else {
+            match site
+                .capacity
+                .admits(&site.allocated, &template.resource_request())
+            {
+                Ok(()) => return Ok(()),
+                Err(shortfall) => AdmissionError::Capacity { cluster, shortfall },
+            }
+        };
+        self.stats.admission_rejections += 1;
+        self.last_admission_error = Some(err.clone());
+        Err(err)
+    }
+
+    /// Book `replicas` replicas of `sid` on `cluster` at `demand` each.
+    /// No-op if the service already holds a booking there (re-deployments
+    /// reuse the reservation).
+    fn book(&mut self, cluster: ClusterId, sid: ServiceId, demand: ResourceRequest, replicas: u32) {
+        let site = &mut self.clusters[cluster.0];
+        if site.admitted.contains_key(&sid) {
+            return;
+        }
+        site.allocated.add(&demand, replicas);
+        site.admitted.insert(sid, (demand, replicas));
+        if site.allocated.exceeds(&site.capacity) {
+            self.stats.capacity_violations += 1;
+        }
+    }
+
+    /// Release the booking `sid` holds on `cluster`, if any.
+    fn release_booking(&mut self, cluster: ClusterId, sid: ServiceId) {
+        let site = &mut self.clusters[cluster.0];
+        if let Some((demand, replicas)) = site.admitted.remove(&sid) {
+            site.allocated.remove(&demand, replicas);
+        }
+    }
+
+    /// Grow or shrink the booking of `sid` on `cluster` to `replicas`
+    /// (autoscaler bookkeeping).
+    fn set_booked_replicas(&mut self, cluster: ClusterId, sid: ServiceId, replicas: u32) {
+        let demand = match self.clusters[cluster.0].admitted.get(&sid) {
+            Some(&(demand, _)) => demand,
+            None => {
+                let name = self.catalog.name_arc(sid);
+                match self.catalog.lookup_name(&name) {
+                    Some(registered) => registered.template.resource_request(),
+                    None => return,
+                }
+            }
+        };
+        let site = &mut self.clusters[cluster.0];
+        let booked = site.admitted.get(&sid).map_or(0, |&(_, r)| r);
+        if replicas > booked {
+            site.allocated.add(&demand, replicas - booked);
+        } else {
+            site.allocated.remove(&demand, booked - replicas);
+        }
+        if replicas == 0 {
+            site.admitted.remove(&sid);
+        } else {
+            site.admitted.insert(sid, (demand, replicas));
+        }
+        if site.allocated.exceeds(&site.capacity) {
+            self.stats.capacity_violations += 1;
+        }
+    }
+
+    /// Autoscale clamp: the largest total replica count of `sid` that fits
+    /// on `cluster` (its current booking counts as already paid for).
+    /// Unlimited capacity grants everything.
+    fn max_replicas_within_capacity(&self, cluster: ClusterId, sid: ServiceId, want: u32) -> u32 {
+        let site = &self.clusters[cluster.0];
+        if site.capacity.is_unlimited() {
+            return want;
+        }
+        let (demand, booked) = match site.admitted.get(&sid) {
+            Some(&(demand, booked)) => (demand, booked),
+            None => {
+                let name = self.catalog.name_arc(sid);
+                match self.catalog.lookup_name(&name) {
+                    Some(registered) => (registered.template.resource_request(), 0),
+                    None => return want,
+                }
+            }
+        };
+        if want <= booked {
+            return want;
+        }
+        let mut extra = want - booked;
+        if demand.cpu_millis > 0 && site.capacity.cpu_millis != u32::MAX {
+            let free =
+                u64::from(site.capacity.cpu_millis).saturating_sub(site.allocated.cpu_millis);
+            extra =
+                extra.min(u32::try_from(free / u64::from(demand.cpu_millis)).unwrap_or(u32::MAX));
+        }
+        if demand.memory_mib > 0 && site.capacity.memory_mib != u64::MAX {
+            let free = site
+                .capacity
+                .memory_mib
+                .saturating_sub(site.allocated.memory_mib);
+            extra = extra.min(u32::try_from(free / demand.memory_mib).unwrap_or(u32::MAX));
+        }
+        if site.capacity.max_replicas != u32::MAX {
+            extra = extra.min(
+                site.capacity
+                    .max_replicas
+                    .saturating_sub(site.allocated.replicas),
+            );
+        }
+        booked + extra
     }
 
     /// Seed the [`DeploymentRecord`] common to both engines.
@@ -917,8 +1186,12 @@ impl Controller {
             probe_rtt,
         };
         match reference::deploy(now, template, record, &mut ctx) {
-            reference::Outcome::AlreadyReady => Some(now),
+            reference::Outcome::AlreadyReady => {
+                self.book(cluster, id, template.resource_request(), 1);
+                Some(now)
+            }
             reference::Outcome::Ready { record, retried } => {
+                self.book(cluster, id, template.resource_request(), 1);
                 self.stats.retried_operations += retried;
                 let ready_detected = record.ready_detected;
                 self.stats.deployments.push(*record);
@@ -949,6 +1222,7 @@ impl Controller {
         waited: bool,
         proactive: bool,
     ) -> usize {
+        self.book(cluster, sid, template.resource_request(), 1);
         let record = self.record_seed(now, cluster, waited, template.name.as_str());
         let backend = &mut self.clusters[cluster.0].backend;
         let status = backend.status(now, &template.name);
@@ -1070,6 +1344,7 @@ impl Controller {
             };
             d.remove(idx)
         };
+        self.release_booking(m.cluster, m.service);
         self.stats.retried_operations += m.retried;
         self.stats.failed_deployments += 1;
         self.last_deploy_failure = Some(DeployFailure {
@@ -1379,10 +1654,22 @@ impl Controller {
             // Deploy at the cluster the Global Scheduler would pick for the
             // future (BEST semantics with no requesting client).
             let views = self.cluster_views(now, sid, 0, &name);
-            let decision = self.global.decide(sid, &views);
+            let ctx = SchedulingContext::new(
+                sid,
+                &views,
+                template.resource_request(),
+                &template.requirements,
+                &self.catalog,
+                now,
+            );
+            let decision = self.global.decide(&ctx);
             let Some(target) = decision.target_for_future() else {
                 continue;
             };
+            // Nothing is in flight here (checked above); admission applies.
+            if self.admit(target, sid, &template).is_err() {
+                continue;
+            }
             match self.engine {
                 Engine::Reference(_) => {
                     if self
@@ -1443,8 +1730,29 @@ impl Controller {
                 }
                 let want = (flows as u32).div_ceil(target);
                 let have = status.desired_replicas.max(status.ready_replicas);
-                if want > have && backend.scale_up(now, &name, want).is_ok() {
+                if want <= have {
+                    continue;
+                }
+                // Admission: never scale past the site's declared capacity.
+                let granted = self.max_replicas_within_capacity(cluster, service, want);
+                if granted < want {
+                    self.stats.admission_rejections += 1;
+                    self.last_admission_error = Some(AdmissionError::Capacity {
+                        cluster,
+                        shortfall: cluster::CapacityShortfall::Replicas {
+                            requested: want,
+                            free: granted,
+                        },
+                    });
+                }
+                if granted > have
+                    && self.clusters[cluster.0]
+                        .backend
+                        .scale_up(now, &name, granted)
+                        .is_ok()
+                {
                     self.stats.autoscale_ups += 1;
+                    self.set_booked_replicas(cluster, service, granted);
                 }
             }
         }
@@ -1478,6 +1786,7 @@ impl Controller {
                     }
                     if backend.scale_down(now, &name, 0).is_ok() {
                         self.stats.scale_downs += 1;
+                        self.release_booking(cluster, service);
                         self.push_delta(now, cluster, service, DeltaKind::Gone);
                         if let Engine::Reference(r) = &mut self.engine {
                             r.pending.remove(&(cluster, service));
@@ -1515,6 +1824,7 @@ impl Controller {
                     && backend.remove(now, &name).is_ok()
                 {
                     self.stats.removals += 1;
+                    self.release_booking(cluster, service);
                     self.push_delta(now, cluster, service, DeltaKind::Gone);
                 }
                 self.scaled_to_zero.remove(&(cluster, service));

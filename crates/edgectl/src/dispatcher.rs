@@ -66,6 +66,54 @@ pub enum DeployError {
     ProbeTimeout { deadline: SimTime },
 }
 
+/// Why admission control refused to start a deployment at a site. A scheduler
+/// [`crate::Decision`] is advisory — the dispatcher re-checks the target's
+/// [`cluster::SiteCapacity`] and labels at deployment time and falls through
+/// to next-best/cloud on rejection instead of overcommitting the site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The site's remaining capacity cannot hold the service's demand.
+    Capacity {
+        cluster: ClusterId,
+        shortfall: cluster::CapacityShortfall,
+    },
+    /// The site's labels fail the service's placement requirements.
+    RequirementsUnmet {
+        cluster: ClusterId,
+        /// The first affinity label missing or anti-affinity label present.
+        label: String,
+    },
+}
+
+impl AdmissionError {
+    /// The rejecting site.
+    pub fn cluster(&self) -> ClusterId {
+        match self {
+            AdmissionError::Capacity { cluster, .. }
+            | AdmissionError::RequirementsUnmet { cluster, .. } => *cluster,
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Capacity { cluster, shortfall } => {
+                write!(f, "cluster {} out of capacity: {shortfall}", cluster.0)
+            }
+            AdmissionError::RequirementsUnmet { cluster, label } => {
+                write!(
+                    f,
+                    "cluster {} fails placement requirement `{label}`",
+                    cluster.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// Detailed state of one machine (the `Probing` data is what the crash
 /// observation logic needs).
 #[derive(Debug, Clone)]

@@ -38,7 +38,9 @@ pub mod catalog;
 pub mod controller;
 pub mod dispatcher;
 pub mod flowmemory;
+pub mod policy;
 pub mod predictor;
+pub mod provisioning;
 pub mod scheduler;
 
 pub use annotate::{
@@ -49,10 +51,13 @@ pub use controller::{
     Controller, ControllerBuilder, ControllerConfig, ControllerOutput, ControllerStats, DeltaKind,
     DeployFailure, DeployGate, DeploymentRecord, StatusDelta, SwitchId,
 };
-pub use dispatcher::{DeployError, DeployPhaseKind};
+pub use dispatcher::{AdmissionError, DeployError, DeployPhaseKind};
 pub use flowmemory::{FlowKey, FlowMemory, FlowMemoryError, MemorizedFlow};
+pub use policy::{RegistryEntry, SchedulerRegistry, SchedulerSpec, UnknownPolicy};
 pub use predictor::{NoPrediction, OraclePredictor, PopularityPredictor, Predictor};
+pub use provisioning::{BoundedCostProvisioning, TierSpillPlacement};
 pub use scheduler::{
-    ClusterId, ClusterView, Decision, GlobalScheduler, HybridDockerFirst, HybridWasmFirst,
-    LeastLoaded, LocalScheduler, NearestReadyFirst, NearestWaiting, RoundRobinLocal,
+    ClusterId, ClusterView, ClusterViewBuilder, Decision, GlobalScheduler, HybridDockerFirst,
+    HybridWasmFirst, LeastLoaded, LoadFraction, LocalScheduler, NearestReadyFirst, NearestWaiting,
+    RoundRobinLocal, SchedulingContext,
 };

@@ -1,10 +1,12 @@
 //! The pluggable schedulers (paper Fig. 6).
 //!
 //! * The **Global Scheduler** chooses the edge *cluster*. It receives the
-//!   Dispatcher's view of every cluster and returns two results (paper
-//!   §IV-B): **FAST** — the fastest location for the *current* request — and
-//!   **BEST** — the best location for *future* requests. BEST is empty when
-//!   it equals FAST; FAST empty means "forward toward the cloud".
+//!   Dispatcher's view of every cluster (a [`SchedulingContext`]: cluster
+//!   views, the service's resource demand and placement requirements, and a
+//!   catalog handle) and returns two results (paper §IV-B): **FAST** — the
+//!   fastest location for the *current* request — and **BEST** — the best
+//!   location for *future* requests. BEST is empty when it equals FAST; FAST
+//!   empty means "forward toward the cloud".
 //!   If FAST == BEST and no instance runs there yet, the Dispatcher performs
 //!   on-demand deployment **with waiting** (the request is held). If BEST is
 //!   non-empty and differs from FAST, deployment runs at BEST **without
@@ -13,22 +15,80 @@
 //!   on Kubernetes this may be the default kube-scheduler or a custom one
 //!   (the controller's annotation step writes its name into the manifest).
 //!
+//! A `Decision` is advisory: the dispatcher re-checks capacity at admission
+//! time (see `AdmissionError` in [`crate::dispatcher`]) so a policy that
+//! targets a full site falls through to next-best/cloud instead of
+//! overcommitting it.
+//!
 //! The paper loads the concrete scheduler from controller configuration; here
-//! the same role is played by trait objects handed to the controller.
+//! the same role is played by trait objects handed to the controller, and
+//! configuration-driven selection goes through `SchedulerRegistry` (in
+//! [`crate::policy`]).
 
-use cluster::{ClusterKind, ServiceStatus};
-use simcore::SimDuration;
+use std::cmp::Ordering;
+use std::sync::Arc;
 
-use crate::catalog::ServiceId;
+use cluster::{
+    ClusterKind, DeploymentRequirements, ResourceAllocation, ResourceRequest, ServiceStatus,
+    SiteCapacity,
+};
+use simcore::{SimDuration, SimTime};
+
+use crate::catalog::{ServiceCatalog, ServiceId};
 
 /// Index of a cluster in the controller's cluster list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClusterId(pub usize);
 
+/// A CPU load fraction, clamped to `0.0..=1.0` with a total order (NaN maps
+/// to 0.0 at construction, so comparisons never hit the partial-order trap
+/// raw `f64` loads had).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadFraction(f64);
+
+impl LoadFraction {
+    pub const ZERO: LoadFraction = LoadFraction(0.0);
+
+    /// Clamp `raw` into `[0, 1]`; NaN becomes 0 (an unknown load must not
+    /// poison scheduler comparisons).
+    pub fn new(raw: f64) -> LoadFraction {
+        if raw.is_nan() {
+            LoadFraction(0.0)
+        } else {
+            LoadFraction(raw.clamp(0.0, 1.0))
+        }
+    }
+
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for LoadFraction {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for LoadFraction {}
+impl PartialOrd for LoadFraction {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LoadFraction {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
 /// What the Dispatcher tells the Global Scheduler about one cluster
 /// (paper: "the Dispatcher component … feeds the Scheduler with information
 /// about the current system state").
+///
+/// `#[non_exhaustive]`: construct through [`ClusterView::builder`] so new
+/// fields (as capacity/allocation were) don't break policy crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ClusterView {
     pub id: ClusterId,
     pub kind: ClusterKind,
@@ -36,22 +96,150 @@ pub struct ClusterView {
     pub distance: SimDuration,
     /// State of the requested service on this cluster.
     pub status: ServiceStatus,
-    /// CPU load fraction (0.0–1.0) for load-aware policies.
-    pub load: f64,
+    /// CPU load fraction for load-aware policies.
+    pub load: LoadFraction,
     /// A dispatcher state machine is mid-flight deploying this service here.
     /// Policies can use it to avoid double-deploying or to prefer a cluster
     /// that will be ready soon; the built-in paper policies ignore it (their
     /// decisions predate deployment visibility and must stay byte-identical).
     pub deploying: bool,
+    /// The site's resource budget ([`SiteCapacity::UNLIMITED`] by default —
+    /// the paper's implicit setting).
+    pub capacity: SiteCapacity,
+    /// What admission control has already booked onto the site.
+    pub allocated: ResourceAllocation,
+    /// Operator labels on the site (matched against a service's
+    /// [`DeploymentRequirements`]).
+    pub labels: Arc<[String]>,
 }
 
 impl ClusterView {
+    /// Start building a view; unset fields default to idle/unlimited.
+    pub fn builder(
+        id: ClusterId,
+        kind: ClusterKind,
+        distance: SimDuration,
+        status: ServiceStatus,
+    ) -> ClusterViewBuilder {
+        ClusterViewBuilder {
+            view: ClusterView {
+                id,
+                kind,
+                distance,
+                status,
+                load: LoadFraction::ZERO,
+                deploying: false,
+                capacity: SiteCapacity::UNLIMITED,
+                allocated: ResourceAllocation::default(),
+                labels: Arc::from(Vec::new()),
+            },
+        }
+    }
+
+    /// Would this site admit one more deployment of `demand` under
+    /// `requirements`? (The same predicate the dispatcher enforces at
+    /// admission time.)
+    pub fn admits(&self, demand: &ResourceRequest, requirements: &DeploymentRequirements) -> bool {
+        requirements.satisfied_by(&self.labels)
+            && self.capacity.admits(&self.allocated, demand).is_ok()
+    }
+
     fn has_ready_instance(&self) -> bool {
         self.status.is_ready()
     }
 }
 
-/// The Global Scheduler's verdict.
+/// Fluent constructor for [`ClusterView`] (the struct is
+/// `#[non_exhaustive]`).
+#[derive(Debug, Clone)]
+pub struct ClusterViewBuilder {
+    view: ClusterView,
+}
+
+impl ClusterViewBuilder {
+    /// Raw load in; clamped into a [`LoadFraction`].
+    pub fn load(mut self, load: f64) -> ClusterViewBuilder {
+        self.view.load = LoadFraction::new(load);
+        self
+    }
+
+    pub fn deploying(mut self, deploying: bool) -> ClusterViewBuilder {
+        self.view.deploying = deploying;
+        self
+    }
+
+    pub fn capacity(mut self, capacity: SiteCapacity) -> ClusterViewBuilder {
+        self.view.capacity = capacity;
+        self
+    }
+
+    pub fn allocated(mut self, allocated: ResourceAllocation) -> ClusterViewBuilder {
+        self.view.allocated = allocated;
+        self
+    }
+
+    pub fn labels(mut self, labels: Arc<[String]>) -> ClusterViewBuilder {
+        self.view.labels = labels;
+        self
+    }
+
+    pub fn build(self) -> ClusterView {
+        self.view
+    }
+}
+
+/// Everything a Global Scheduler may consult for one decision. Grown behind
+/// [`SchedulingContext::new`] (`#[non_exhaustive]`) so adding inputs no
+/// longer breaks the `GlobalScheduler` trait.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SchedulingContext<'a> {
+    /// The requested service (interned; resolve names via `catalog`).
+    pub service: ServiceId,
+    /// Per-cluster views, ordered by the controller's cluster list;
+    /// distances are from the requesting client's ingress switch.
+    pub views: &'a [ClusterView],
+    /// The service's per-replica resource demand.
+    pub demand: ResourceRequest,
+    /// The service's placement constraints.
+    pub requirements: &'a DeploymentRequirements,
+    /// Catalog handle for policies that need names or other registrations.
+    pub catalog: &'a ServiceCatalog,
+    /// Decision instant (virtual time).
+    pub now: SimTime,
+}
+
+impl<'a> SchedulingContext<'a> {
+    pub fn new(
+        service: ServiceId,
+        views: &'a [ClusterView],
+        demand: ResourceRequest,
+        requirements: &'a DeploymentRequirements,
+        catalog: &'a ServiceCatalog,
+        now: SimTime,
+    ) -> SchedulingContext<'a> {
+        SchedulingContext {
+            service,
+            views,
+            demand,
+            requirements,
+            catalog,
+            now,
+        }
+    }
+
+    /// Is `view` an eligible deployment target for this request (labels
+    /// satisfied, capacity left)?
+    pub fn eligible(&self, view: &ClusterView) -> bool {
+        view.admits(&self.demand, self.requirements)
+    }
+}
+
+/// The Global Scheduler's verdict. Construct via [`Decision::cloud`],
+/// [`Decision::fast`], [`Decision::deploy_at`] or
+/// [`Decision::serve_and_deploy`] — not struct literals — so the layout can
+/// evolve.
+#[must_use = "a scheduling decision does nothing until the dispatcher acts on it"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decision {
     /// Cluster for the *current* request; `None` = forward toward the cloud
@@ -62,6 +250,42 @@ pub struct Decision {
 }
 
 impl Decision {
+    /// Forward toward the cloud; deploy nowhere.
+    pub fn cloud() -> Decision {
+        Decision {
+            fast: None,
+            best: None,
+        }
+    }
+
+    /// Serve at `id` — redirecting if an instance is ready, else deploying
+    /// there *with waiting* (paper Fig. 5).
+    pub fn fast(id: ClusterId) -> Decision {
+        Decision {
+            fast: Some(id),
+            best: None,
+        }
+    }
+
+    /// Serve the current request from the cloud while deploying at `id`
+    /// *without waiting* (paper Fig. 3 with no ready instance).
+    pub fn deploy_at(id: ClusterId) -> Decision {
+        Decision {
+            fast: None,
+            best: Some(id),
+        }
+    }
+
+    /// General form: serve at `fast` (or the cloud) while deploying at
+    /// `best` for the future. Normalizes `best == fast` to an empty BEST —
+    /// the canonical encoding every paper policy uses.
+    pub fn serve_and_deploy(fast: Option<ClusterId>, best: Option<ClusterId>) -> Decision {
+        Decision {
+            fast,
+            best: if best == fast { None } else { best },
+        }
+    }
+
     /// Normalized accessor: where should future requests land?
     pub fn target_for_future(&self) -> Option<ClusterId> {
         self.best.or(self.fast)
@@ -78,11 +302,9 @@ impl Decision {
 pub trait GlobalScheduler: Send {
     fn name(&self) -> &'static str;
 
-    /// Decide FAST and BEST for a request to `service` (an interned id —
-    /// resolve via the catalog if a policy needs the name), given the system
-    /// state. `views` is ordered by the controller's cluster list; distances
-    /// are from the requesting client's switch.
-    fn decide(&mut self, service: ServiceId, views: &[ClusterView]) -> Decision;
+    /// Decide FAST and BEST for the request described by `ctx` (views,
+    /// service id and demand, catalog handle).
+    fn decide(&mut self, ctx: &SchedulingContext<'_>) -> Decision;
 }
 
 /// Picks an instance (replica) within a cluster.
@@ -94,15 +316,15 @@ pub trait LocalScheduler: Send {
 }
 
 // Already-boxed trait objects remain usable where an `impl GlobalScheduler`
-// is expected (e.g. `ControllerBuilder::global` after a config-driven match
+// is expected (e.g. `ControllerBuilder::global` after a registry lookup
 // produced a `Box<dyn GlobalScheduler>`).
 impl GlobalScheduler for Box<dyn GlobalScheduler> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
 
-    fn decide(&mut self, service: ServiceId, views: &[ClusterView]) -> Decision {
-        (**self).decide(service, views)
+    fn decide(&mut self, ctx: &SchedulingContext<'_>) -> Decision {
+        (**self).decide(ctx)
     }
 }
 
@@ -131,11 +353,10 @@ impl GlobalScheduler for NearestWaiting {
         "nearest-waiting"
     }
 
-    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
-        let best = nearest(views, |_| true);
-        Decision {
-            fast: best,
-            best: None,
+    fn decide(&mut self, ctx: &SchedulingContext<'_>) -> Decision {
+        match nearest(ctx.views, |_| true) {
+            Some(id) => Decision::fast(id),
+            None => Decision::cloud(),
         }
     }
 }
@@ -151,11 +372,10 @@ impl GlobalScheduler for NearestReadyFirst {
         "nearest-ready-first"
     }
 
-    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
-        let fast = nearest(views, ClusterView::has_ready_instance);
-        let overall = nearest(views, |_| true);
-        let best = if overall == fast { None } else { overall };
-        Decision { fast, best }
+    fn decide(&mut self, ctx: &SchedulingContext<'_>) -> Decision {
+        let fast = nearest(ctx.views, ClusterView::has_ready_instance);
+        let overall = nearest(ctx.views, |_| true);
+        Decision::serve_and_deploy(fast, overall)
     }
 }
 
@@ -171,13 +391,12 @@ impl GlobalScheduler for HybridDockerFirst {
         "hybrid-docker-first"
     }
 
-    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
-        let ready = nearest(views, ClusterView::has_ready_instance);
-        let docker = nearest(views, |v| v.kind == ClusterKind::Docker);
-        let k8s = nearest(views, |v| v.kind == ClusterKind::Kubernetes);
+    fn decide(&mut self, ctx: &SchedulingContext<'_>) -> Decision {
+        let ready = nearest(ctx.views, ClusterView::has_ready_instance);
+        let docker = nearest(ctx.views, |v| v.kind == ClusterKind::Docker);
+        let k8s = nearest(ctx.views, |v| v.kind == ClusterKind::Kubernetes);
         let fast = ready.or(docker).or(k8s);
-        let best = if k8s == fast { None } else { k8s };
-        Decision { fast, best }
+        Decision::serve_and_deploy(fast, k8s)
     }
 }
 
@@ -194,15 +413,14 @@ impl GlobalScheduler for HybridWasmFirst {
         "hybrid-wasm-first"
     }
 
-    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
-        let ready = nearest(views, ClusterView::has_ready_instance);
-        let wasm = nearest(views, |v| v.kind == ClusterKind::Wasm);
-        let container = nearest(views, |v| {
+    fn decide(&mut self, ctx: &SchedulingContext<'_>) -> Decision {
+        let ready = nearest(ctx.views, ClusterView::has_ready_instance);
+        let wasm = nearest(ctx.views, |v| v.kind == ClusterKind::Wasm);
+        let container = nearest(ctx.views, |v| {
             matches!(v.kind, ClusterKind::Docker | ClusterKind::Kubernetes)
         });
         let fast = ready.or(wasm).or(container);
-        let best = if container == fast { None } else { container };
-        Decision { fast, best }
+        Decision::serve_and_deploy(fast, container)
     }
 }
 
@@ -226,23 +444,28 @@ impl GlobalScheduler for LeastLoaded {
         "least-loaded"
     }
 
-    fn decide(&mut self, _service: ServiceId, views: &[ClusterView]) -> Decision {
-        let best = views
+    fn decide(&mut self, ctx: &SchedulingContext<'_>) -> Decision {
+        let best = ctx
+            .views
             .iter()
             .min_by(|a, b| {
-                let score =
-                    |v: &ClusterView| v.distance.as_secs_f64() * (1.0 + self.load_weight * v.load);
+                let score = |v: &ClusterView| {
+                    v.distance.as_secs_f64() * (1.0 + self.load_weight * v.load.value())
+                };
                 score(a).total_cmp(&score(b)).then(a.id.cmp(&b.id))
             })
             .map(|v| v.id);
-        Decision {
-            fast: best,
-            best: None,
+        match best {
+            Some(id) => Decision::fast(id),
+            None => Decision::cloud(),
         }
     }
 }
 
-fn nearest(views: &[ClusterView], pred: impl Fn(&ClusterView) -> bool) -> Option<ClusterId> {
+pub(crate) fn nearest(
+    views: &[ClusterView],
+    pred: impl Fn(&ClusterView) -> bool,
+) -> Option<ClusterId> {
     views
         .iter()
         .filter(|v| pred(v))
@@ -276,31 +499,153 @@ impl LocalScheduler for RoundRobinLocal {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod testutil {
     use super::*;
 
-    fn view(id: usize, kind: ClusterKind, distance_ms: u64, ready: bool) -> ClusterView {
-        ClusterView {
-            id: ClusterId(id),
+    /// A test view: `ready` controls whether an instance is up.
+    pub(crate) fn view(id: usize, kind: ClusterKind, distance_ms: u64, ready: bool) -> ClusterView {
+        ClusterView::builder(
+            ClusterId(id),
             kind,
-            distance: SimDuration::from_millis(distance_ms),
-            status: ServiceStatus {
+            SimDuration::from_millis(distance_ms),
+            ServiceStatus {
                 images_cached: true,
                 created: ready,
                 desired_replicas: ready as u32,
                 ready_replicas: ready as u32,
                 endpoint: None,
             },
-            load: 0.0,
-            deploying: false,
-        }
+        )
+        .build()
+    }
+
+    /// Decide with an empty catalog, no placement constraints and the
+    /// default 250m/128Mi demand — the pre-capacity call shape.
+    pub(crate) fn decide(s: &mut impl GlobalScheduler, views: &[ClusterView]) -> Decision {
+        let catalog = ServiceCatalog::new();
+        let reqs = DeploymentRequirements::none();
+        let ctx = SchedulingContext::new(
+            ServiceId(0),
+            views,
+            ResourceRequest::new(250, 128),
+            &reqs,
+            &catalog,
+            SimTime::ZERO,
+        );
+        s.decide(&ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{decide, view};
+    use super::*;
+
+    #[test]
+    fn load_fraction_clamps_and_orders() {
+        assert_eq!(LoadFraction::new(-0.5), LoadFraction::ZERO);
+        assert_eq!(LoadFraction::new(1.5), LoadFraction::new(1.0));
+        assert_eq!(LoadFraction::new(f64::NAN), LoadFraction::ZERO);
+        let mut loads = [
+            LoadFraction::new(0.9),
+            LoadFraction::new(0.1),
+            LoadFraction::new(0.5),
+        ];
+        loads.sort();
+        assert_eq!(loads[0].value(), 0.1);
+        assert_eq!(loads[2].value(), 0.9);
+    }
+
+    #[test]
+    fn builder_defaults_are_idle_and_unlimited() {
+        let v = view(0, ClusterKind::Docker, 5, false);
+        assert_eq!(v.load, LoadFraction::ZERO);
+        assert!(!v.deploying);
+        assert!(v.capacity.is_unlimited());
+        assert_eq!(v.allocated, cluster::ResourceAllocation::default());
+        assert!(v.labels.is_empty());
+        assert!(v.admits(
+            &ResourceRequest::new(u32::MAX - 1, u64::MAX - 1),
+            &DeploymentRequirements::none()
+        ));
+    }
+
+    #[test]
+    fn admits_respects_capacity_and_labels() {
+        let v = ClusterView::builder(
+            ClusterId(0),
+            ClusterKind::Docker,
+            SimDuration::from_millis(1),
+            ServiceStatus::absent(),
+        )
+        .capacity(SiteCapacity::new(1000, 1024))
+        .allocated({
+            let mut a = ResourceAllocation::default();
+            a.add(&ResourceRequest::new(900, 512), 1);
+            a
+        })
+        .labels(Arc::from(vec!["zone-a".to_owned()]))
+        .build();
+        let fits = ResourceRequest::new(50, 64);
+        assert!(v.admits(&fits, &DeploymentRequirements::none()));
+        assert!(!v.admits(
+            &ResourceRequest::new(500, 64),
+            &DeploymentRequirements::none()
+        ));
+        let mut gpu = DeploymentRequirements::none();
+        gpu.label_match_all.push("gpu".to_owned());
+        assert!(!v.admits(&fits, &gpu));
+        let mut not_a = DeploymentRequirements::none();
+        not_a.label_match_none.push("zone-a".to_owned());
+        assert!(!v.admits(&fits, &not_a));
+    }
+
+    #[test]
+    fn decision_constructors() {
+        let a = ClusterId(1);
+        let b = ClusterId(2);
+        assert_eq!(
+            Decision::cloud(),
+            Decision {
+                fast: None,
+                best: None
+            }
+        );
+        assert_eq!(
+            Decision::fast(a),
+            Decision {
+                fast: Some(a),
+                best: None
+            }
+        );
+        assert_eq!(
+            Decision::deploy_at(b),
+            Decision {
+                fast: None,
+                best: Some(b)
+            }
+        );
+        assert!(Decision::deploy_at(b).is_without_waiting());
+        // serve_and_deploy normalizes best == fast to empty BEST
+        assert_eq!(
+            Decision::serve_and_deploy(Some(a), Some(a)),
+            Decision::fast(a)
+        );
+        assert_eq!(
+            Decision::serve_and_deploy(Some(a), Some(b)),
+            Decision {
+                fast: Some(a),
+                best: Some(b)
+            }
+        );
+        assert_eq!(Decision::serve_and_deploy(None, None), Decision::cloud());
     }
 
     #[test]
     fn nearest_waiting_picks_closest_regardless_of_state() {
         let mut s = NearestWaiting;
-        let d = s.decide(
-            ServiceId(0),
+        let d = decide(
+            &mut s,
             &[
                 view(0, ClusterKind::Docker, 5, false),
                 view(1, ClusterKind::Docker, 1, false),
@@ -317,8 +662,8 @@ mod tests {
     fn nearest_ready_first_splits_fast_and_best() {
         let mut s = NearestReadyFirst;
         // nearest (id 0) not ready; farther (id 1) ready
-        let d = s.decide(
-            ServiceId(0),
+        let d = decide(
+            &mut s,
             &[
                 view(0, ClusterKind::Docker, 1, false),
                 view(1, ClusterKind::Docker, 8, true),
@@ -332,8 +677,8 @@ mod tests {
     #[test]
     fn nearest_ready_first_collapses_when_nearest_is_ready() {
         let mut s = NearestReadyFirst;
-        let d = s.decide(
-            ServiceId(0),
+        let d = decide(
+            &mut s,
             &[
                 view(0, ClusterKind::Docker, 1, true),
                 view(1, ClusterKind::Docker, 8, true),
@@ -346,7 +691,7 @@ mod tests {
     #[test]
     fn nearest_ready_first_cloud_when_nothing_ready() {
         let mut s = NearestReadyFirst;
-        let d = s.decide(ServiceId(0), &[view(0, ClusterKind::Docker, 1, false)]);
+        let d = decide(&mut s, &[view(0, ClusterKind::Docker, 1, false)]);
         assert_eq!(d.fast, None, "forward to cloud");
         assert_eq!(d.best, Some(ClusterId(0)), "still deploy for the future");
         assert!(d.is_without_waiting());
@@ -355,8 +700,8 @@ mod tests {
     #[test]
     fn hybrid_prefers_docker_fast_k8s_best() {
         let mut s = HybridDockerFirst;
-        let d = s.decide(
-            ServiceId(0),
+        let d = decide(
+            &mut s,
             &[
                 view(0, ClusterKind::Docker, 2, false),
                 view(1, ClusterKind::Kubernetes, 2, false),
@@ -374,8 +719,8 @@ mod tests {
     #[test]
     fn hybrid_uses_ready_instance_if_one_exists() {
         let mut s = HybridDockerFirst;
-        let d = s.decide(
-            ServiceId(0),
+        let d = decide(
+            &mut s,
             &[
                 view(0, ClusterKind::Docker, 2, false),
                 view(1, ClusterKind::Kubernetes, 5, true),
@@ -388,8 +733,8 @@ mod tests {
     #[test]
     fn hybrid_wasm_first_prefers_wasm_fast_container_best() {
         let mut s = HybridWasmFirst;
-        let d = s.decide(
-            ServiceId(0),
+        let d = decide(
+            &mut s,
             &[
                 view(0, ClusterKind::Wasm, 2, false),
                 view(1, ClusterKind::Docker, 2, false),
@@ -398,8 +743,8 @@ mod tests {
         assert_eq!(d.fast, Some(ClusterId(0)), "wasm answers the first request");
         assert_eq!(d.best, Some(ClusterId(1)), "containers take over");
         // with a ready container instance, no split
-        let d = s.decide(
-            ServiceId(0),
+        let d = decide(
+            &mut s,
             &[
                 view(0, ClusterKind::Wasm, 2, false),
                 view(1, ClusterKind::Docker, 2, true),
@@ -413,32 +758,20 @@ mod tests {
     fn least_loaded_spills_under_load() {
         let mut s = LeastLoaded::default();
         let mut near = view(0, ClusterKind::Docker, 1, true);
-        near.load = 0.95;
+        near.load = LoadFraction::new(0.95);
         let far = view(1, ClusterKind::Docker, 2, true);
-        let d = s.decide(ServiceId(0), &[near.clone(), far.clone()]);
+        let d = decide(&mut s, &[near.clone(), far.clone()]);
         assert_eq!(d.fast, Some(ClusterId(1)), "saturated near cluster skipped");
         // without load, nearest wins
-        near.load = 0.0;
-        let d2 = s.decide(ServiceId(0), &[near, far]);
+        near.load = LoadFraction::ZERO;
+        let d2 = decide(&mut s, &[near, far]);
         assert_eq!(d2.fast, Some(ClusterId(0)));
     }
 
     #[test]
     fn empty_views_mean_cloud() {
-        assert_eq!(
-            NearestWaiting.decide(ServiceId(0), &[]),
-            Decision {
-                fast: None,
-                best: None
-            }
-        );
-        assert_eq!(
-            NearestReadyFirst.decide(ServiceId(0), &[]),
-            Decision {
-                fast: None,
-                best: None
-            }
-        );
+        assert_eq!(decide(&mut NearestWaiting, &[]), Decision::cloud());
+        assert_eq!(decide(&mut NearestReadyFirst, &[]), Decision::cloud());
     }
 
     #[test]
@@ -452,8 +785,8 @@ mod tests {
     #[test]
     fn tie_break_is_lowest_id() {
         let mut s = NearestWaiting;
-        let d = s.decide(
-            ServiceId(0),
+        let d = decide(
+            &mut s,
             &[
                 view(1, ClusterKind::Docker, 5, false),
                 view(0, ClusterKind::Docker, 5, false),

@@ -8,13 +8,13 @@
 
 use cluster::{
     ClusterBackend, ClusterError, ClusterKind, CrashOutcome, DockerCluster, FaultPlan,
-    FaultyCluster, ScaleReceipt, ServiceStatus, ServiceTemplate,
+    FaultyCluster, ScaleReceipt, ServiceStatus, ServiceTemplate, SiteCapacity,
 };
 use containers::image::synthesize_layers;
 use containers::{ImageManifest, ImageRef, Runtime};
 use edgectl::{
-    ClusterId, Controller, ControllerConfig, ControllerOutput, DeployError, DeployPhaseKind,
-    NearestWaiting,
+    AdmissionError, ClusterId, Controller, ControllerConfig, ControllerOutput, DeployError,
+    DeployPhaseKind, NearestWaiting,
 };
 use registry::{Registry, RegistryProfile, RegistrySet};
 use simcore::{DurationDist, SimDuration, SimRng, SimTime};
@@ -469,6 +469,77 @@ fn scale_down_fault_leaves_stats_unchanged_and_arms_retry() {
         Some(second_attempt + SimDuration::from_millis(250))
     );
     assert!(out.is_empty(), "scale-down housekeeping emits no outputs");
+}
+
+/// Admission rejection before the machine ever starts: the site's declared
+/// capacity cannot hold the service's resource request, so the scheduler's
+/// deploy decision is refused *before* any backend call — no machine, no
+/// retries — and the held request escapes to the cloud immediately, with the
+/// typed [`AdmissionError`] surfaced for diagnostics.
+#[test]
+fn admission_rejection_falls_back_to_cloud() {
+    let mut c = controller_with(Box::new(docker(7)), ControllerConfig::default());
+    // `edge-nginx` asks for 250 milli-cores (the template default); a site
+    // with 100m free can never admit it.
+    c.configure_site(ClusterId(0), SiteCapacity::new(100, 4_096), Vec::new());
+
+    let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+
+    assert!(
+        c.in_flight_deployments(SimTime::ZERO).is_empty(),
+        "a rejected decision must not start a deployment machine"
+    );
+    assert_eq!(c.stats.admission_rejections, 1);
+    assert_eq!(c.stats.capacity_violations, 0);
+    assert_eq!(c.stats.cloud_forwards, 1, "request escapes to the cloud");
+    assert_eq!(c.stats.failed_deployments, 0, "rejection is not a failure");
+    assert_eq!(c.stats.deployments.len(), 0);
+    match c.last_admission_error() {
+        Some(AdmissionError::Capacity { cluster, .. }) => assert_eq!(*cluster, ClusterId(0)),
+        other => panic!("expected a capacity rejection, got {other:?}"),
+    }
+    // Released right away toward the cloud — the client never waits on a
+    // deployment that was never going to be admitted.
+    assert!(release_time(&out) - SimTime::ZERO <= SimDuration::from_millis(5));
+    assert!(c.memory().iter().all(|f| !f.pending));
+}
+
+/// Affinity rejection: the service requires a label no site advertises. The
+/// typed error names the missing label, and the request is cloud-served.
+#[test]
+fn unmet_affinity_label_is_rejected_with_the_label_named() {
+    let mut c = Controller::builder(ControllerConfig::default())
+        .global(NearestWaiting)
+        .registries(registries())
+        .cloud_port(CLOUD_PORT)
+        .build();
+    c.attach_cluster(
+        Box::new(docker(8)),
+        SimDuration::from_micros(300),
+        DOCKER_PORT,
+    );
+    let mut template = ServiceTemplate::single(
+        "edge-nginx",
+        "nginx:1.23.2",
+        80,
+        DurationDist::constant_ms(110.0),
+    );
+    template.requirements.label_match_all = vec!["accelerator:gpu".into()];
+    c.catalog.register(service_addr(), template);
+
+    let out = c.on_packet_in(SimTime::ZERO, packet(1, 1), BufferId(0), CLIENT_PORT);
+
+    assert!(c.in_flight_deployments(SimTime::ZERO).is_empty());
+    assert_eq!(c.stats.admission_rejections, 1);
+    assert_eq!(c.stats.cloud_forwards, 1);
+    match c.last_admission_error() {
+        Some(AdmissionError::RequirementsUnmet { cluster, label }) => {
+            assert_eq!(*cluster, ClusterId(0));
+            assert_eq!(label, "accelerator:gpu");
+        }
+        other => panic!("expected a requirements rejection, got {other:?}"),
+    }
+    release_time(&out);
 }
 
 /// A *transient* scale-down fault: the first backend call fails, the armed

@@ -33,16 +33,13 @@ use cluster::{
     ClusterBackend, ClusterKind, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate,
 };
 use containers::Runtime;
-use edgectl::{
-    Controller, ControllerOutput, HybridDockerFirst, LeastLoaded, NearestReadyFirst,
-    NearestWaiting, RoundRobinLocal, StatusDelta,
-};
+use edgectl::{Controller, ControllerOutput, RoundRobinLocal, SchedulerRegistry, StatusDelta};
 use edgeverify::{MeshView, Verifier, Violation};
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
 use simnet::{Packet, SocketAddr};
 use testbed::topology::NodeClass;
-use testbed::{C3Topology, PhaseSetup, ScenarioConfig, SchedulerKind, Testbed, CLOUD_PORT};
+use testbed::{C3Topology, PhaseSetup, ScenarioConfig, Testbed, CLOUD_PORT};
 use workload::{ServiceProfile, Trace, TraceConfig};
 
 use crate::lease::LeaseTable;
@@ -385,13 +382,9 @@ impl MeshSim {
 
         let mut shards = Vec::with_capacity(n);
         for s in 0..n {
-            let global: Box<dyn edgectl::GlobalScheduler> = match cfg.scheduler {
-                SchedulerKind::NearestWaiting => Box::new(NearestWaiting),
-                SchedulerKind::NearestReadyFirst => Box::new(NearestReadyFirst),
-                SchedulerKind::HybridDockerFirst => Box::new(HybridDockerFirst),
-                SchedulerKind::HybridWasmFirst => Box::new(edgectl::HybridWasmFirst),
-                SchedulerKind::LeastLoaded => Box::new(LeastLoaded::default()),
-            };
+            let global = SchedulerRegistry::builtin()
+                .create(&cfg.scheduler)
+                .unwrap_or_else(|e| panic!("scenario scheduler: {e}"));
             let mut builder = Controller::builder(cfg.controller.clone())
                 .global(global)
                 .local(RoundRobinLocal::default())
@@ -405,11 +398,12 @@ impl MeshSim {
             }
             let mut controller = builder.build();
             for (i, handle) in handles.iter().enumerate() {
-                controller.attach_cluster(
+                let id = controller.attach_cluster(
                     Box::new(SharedBackend::new(handle.clone())),
                     c3.switch_site_latency(i),
                     c3.site_port(i),
                 );
+                controller.configure_site(id, sites[i].0.capacity, sites[i].0.labels.clone());
             }
             // Identical registration order on every shard, so ServiceId
             // values are comparable across controllers (gossip relies on it).

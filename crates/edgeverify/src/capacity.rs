@@ -1,0 +1,74 @@
+//! Site-capacity accounting audit.
+//!
+//! The controller's admission control (DESIGN.md §5g) promises that a site's
+//! booked allocation never exceeds its [`SiteCapacity`]: every deployment and
+//! scale-up is admitted against the free budget before the backend sees it.
+//! This check re-derives that invariant from the controller's final books —
+//! an allocation above capacity means a booking path skipped admission (or a
+//! release was lost, leaving phantom load that starves future admissions).
+
+use cluster::{ResourceAllocation, SiteCapacity};
+
+use crate::Violation;
+
+/// One site's books as handed to [`crate::Verifier::check_capacity`]:
+/// `(cluster index, configured capacity, booked allocation)`.
+pub type SiteBooks = (usize, SiteCapacity, ResourceAllocation);
+
+pub(crate) fn check(sites: &[SiteBooks]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &(cluster, capacity, allocated) in sites {
+        if allocated.exceeds(&capacity) {
+            out.push(Violation::CapacityExceeded {
+                cluster,
+                capacity,
+                allocated,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::ResourceRequest;
+
+    fn booked(requests: &[(u32, u64)]) -> ResourceAllocation {
+        let mut a = ResourceAllocation::default();
+        for &(cpu, mem) in requests {
+            a.add(&ResourceRequest::new(cpu, mem), 1);
+        }
+        a
+    }
+
+    #[test]
+    fn within_capacity_is_clean() {
+        let sites = vec![
+            (0, SiteCapacity::UNLIMITED, booked(&[(4000, 8192)])),
+            (1, SiteCapacity::new(2000, 4096), booked(&[(1500, 2048)])),
+        ];
+        assert!(check(&sites).is_empty());
+    }
+
+    #[test]
+    fn overbooked_site_is_flagged() {
+        let sites = vec![
+            (
+                0,
+                SiteCapacity::new(1000, 1024),
+                booked(&[(800, 512), (800, 512)]),
+            ),
+            (1, SiteCapacity::new(1000, 1024), booked(&[(500, 512)])),
+        ];
+        let violations = check(&sites);
+        assert_eq!(violations.len(), 1);
+        match &violations[0] {
+            Violation::CapacityExceeded { cluster, .. } => assert_eq!(*cluster, 0),
+            other => panic!("unexpected violation {other}"),
+        }
+        let text = violations[0].to_string();
+        assert!(text.contains("capacity-exceeded"), "{text}");
+        assert!(text.contains("cluster 0"), "{text}");
+    }
+}

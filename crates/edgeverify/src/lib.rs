@@ -36,6 +36,10 @@
 //!    deployment in flight on two shards at once (split-brain duplicates the
 //!    lease protocol must prevent), and no shard still steering flows at a
 //!    cluster with no ready replica after gossip has quiesced.
+//! 7. **Capacity accounting** ([`Verifier::check_capacity`]) — the
+//!    controller's booked allocation at each site must fit the site's
+//!    configured [`cluster::SiteCapacity`]; an overbooked site means a
+//!    deployment or scale-up path bypassed admission control (§5g).
 //!
 //! The same checks run three ways: this library API, the `edgesim verify`
 //! subcommand (scenario audit), and `debug_assertions`-gated
@@ -44,6 +48,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod capacity;
 pub mod coherence;
 pub mod fabric;
 pub mod lint;
@@ -56,6 +61,7 @@ use simcore::SimDuration;
 use simnet::openflow::{FlowEntry, FlowId, FlowMatch, FlowTable};
 use simnet::{IpAddr, SocketAddr};
 
+pub use capacity::SiteBooks;
 pub use coherence::CoherenceView;
 pub use fabric::{Fabric, FabricSwitch, Link, PacketClass};
 pub use lint::lint_annotated;
@@ -223,6 +229,14 @@ pub enum Violation {
         service: u32,
         cluster: usize,
     },
+    /// The controller's booked allocation at a site exceeds the site's
+    /// configured capacity — some deployment or scale-up path bypassed the
+    /// §5g admission check, or a release was lost.
+    CapacityExceeded {
+        cluster: usize,
+        capacity: cluster::SiteCapacity,
+        allocated: cluster::ResourceAllocation,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -335,6 +349,21 @@ impl fmt::Display for Violation {
                 "stale-mesh-redirect: shard {shard} still steers service #{service} to \
                  cluster {cluster} where no replica is ready"
             ),
+            Violation::CapacityExceeded {
+                cluster,
+                capacity,
+                allocated,
+            } => write!(
+                f,
+                "capacity-exceeded: cluster {cluster}: booked {}m CPU / {} MiB / {} replicas \
+                 exceeds capacity {}m CPU / {} MiB / {} replicas",
+                allocated.cpu_millis,
+                allocated.memory_mib,
+                allocated.replicas,
+                capacity.cpu_millis,
+                capacity.memory_mib,
+                capacity.max_replicas,
+            ),
         }
     }
 }
@@ -396,5 +425,11 @@ impl Verifier {
     /// cross-shard redirects (see [`mesh`]).
     pub fn check_mesh(&self, view: &MeshView) -> Vec<Violation> {
         mesh::check(view)
+    }
+
+    /// Capacity accounting: each site's booked allocation must fit its
+    /// configured capacity (see [`capacity`]).
+    pub fn check_capacity(&self, sites: &[SiteBooks]) -> Vec<Violation> {
+        capacity::check(sites)
     }
 }

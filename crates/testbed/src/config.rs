@@ -22,16 +22,24 @@
 //!     latency_ms: 0.3
 //!     nodes: 8
 //!     backend: docker
+//!     cpu_millis: 4000       # optional; omitted = unlimited
+//!     memory_mib: 4096       # optional; omitted = unlimited
+//!     max_replicas: 16       # optional; omitted = unlimited
+//!     labels: [gpu]          # optional placement labels
 //! ```
+//!
+//! The `scheduler` value is any name or alias the
+//! [`edgectl::SchedulerRegistry`] knows (`edgesim schedulers` lists them).
 
-use cluster::ClusterKind;
+use cluster::{ClusterKind, SiteCapacity};
+use edgectl::{SchedulerRegistry, SchedulerSpec};
 use simcore::SimDuration;
 use simnet::openflow::PortId;
 use simnet::{Action, FlowMatch, FlowSpec, IpAddr, IpNet, Protocol};
 use workload::ServiceKind;
 use yamlite::Yaml;
 
-use crate::scenario::{MeshParams, PhaseSetup, PredictorKind, ScenarioConfig, SchedulerKind};
+use crate::scenario::{MeshParams, PhaseSetup, PredictorKind, ScenarioConfig};
 use crate::topology::{NodeClass, SiteSpec};
 
 /// Parse a scenario from a YAML document. Unknown keys are rejected so typos
@@ -179,6 +187,8 @@ fn parse_site(v: &Yaml) -> Result<(SiteSpec, ClusterKind), String> {
     let mut latency = SimDuration::from_micros(80);
     let mut nodes = 1usize;
     let mut backend = ClusterKind::Docker;
+    let mut capacity = SiteCapacity::UNLIMITED;
+    let mut labels = Vec::new();
     for (key, val) in map {
         match key.as_str() {
             "name" => name = val.as_str().map(str::to_string),
@@ -192,6 +202,28 @@ fn parse_site(v: &Yaml) -> Result<(SiteSpec, ClusterKind), String> {
             "latency_ms" => latency = SimDuration::from_millis_f64(as_f64(val, key)?),
             "nodes" => nodes = as_u64(val, key)? as usize,
             "backend" => backend = parse_backend(val, key)?,
+            "cpu_millis" => {
+                capacity.cpu_millis =
+                    u32::try_from(as_u64(val, key)?).map_err(|_| format!("`{key}` out of range"))?
+            }
+            "memory_mib" => capacity.memory_mib = as_u64(val, key)?,
+            "max_replicas" => {
+                capacity.max_replicas =
+                    u32::try_from(as_u64(val, key)?).map_err(|_| format!("`{key}` out of range"))?
+            }
+            "labels" => {
+                let seq = val
+                    .as_seq()
+                    .ok_or_else(|| format!("`{key}` must be a sequence"))?;
+                labels = seq
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("`{key}` entries must be strings"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             other => return Err(format!("unknown site key `{other}`")),
         }
     }
@@ -204,6 +236,8 @@ fn parse_site(v: &Yaml) -> Result<(SiteSpec, ClusterKind), String> {
         SiteSpec {
             latency,
             nodes,
+            capacity,
+            labels,
             ..base
         },
         backend,
@@ -352,15 +386,16 @@ fn parse_service(v: &Yaml, key: &str) -> Result<ServiceKind, String> {
     }
 }
 
-fn parse_scheduler(v: &Yaml, key: &str) -> Result<SchedulerKind, String> {
-    match v.as_str() {
-        Some("nearest-waiting" | "waiting") => Ok(SchedulerKind::NearestWaiting),
-        Some("nearest-ready-first" | "without-waiting") => Ok(SchedulerKind::NearestReadyFirst),
-        Some("hybrid" | "hybrid-docker-first") => Ok(SchedulerKind::HybridDockerFirst),
-        Some("hybrid-wasm-first") => Ok(SchedulerKind::HybridWasmFirst),
-        Some("least-loaded") => Ok(SchedulerKind::LeastLoaded),
-        other => Err(format!("`{key}`: unknown scheduler {other:?}")),
-    }
+fn parse_scheduler(v: &Yaml, key: &str) -> Result<SchedulerSpec, String> {
+    let Some(name) = v.as_str() else {
+        return Err(format!("`{key}` must be a scheduler name string"));
+    };
+    // Validate at parse time so bad scenario files fail with the registry's
+    // typed error (listing the available policies) instead of at build time.
+    SchedulerRegistry::builtin()
+        .resolve(name)
+        .map_err(|e| format!("`{key}`: {e}"))?;
+    Ok(SchedulerSpec::named(name))
 }
 
 fn parse_backend(v: &Yaml, key: &str) -> Result<ClusterKind, String> {
@@ -436,7 +471,7 @@ controller:
         let cfg = scenario_from_yaml(&doc).unwrap();
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.service, ServiceKind::ResNet);
-        assert_eq!(cfg.scheduler, SchedulerKind::HybridDockerFirst);
+        assert_eq!(cfg.scheduler, SchedulerSpec::named("hybrid"));
         assert_eq!(
             cfg.backends,
             vec![ClusterKind::Docker, ClusterKind::Kubernetes]
@@ -468,6 +503,10 @@ sites:
     class: egs
     latency_ms: 8
     backend: k8s
+    cpu_millis: 8000
+    memory_mib: 16384
+    max_replicas: 12
+    labels: [gpu, metro]
 "#,
         )
         .unwrap();
@@ -478,8 +517,20 @@ sites:
         assert_eq!(sites[0].0.class, NodeClass::RaspberryPi);
         assert_eq!(sites[0].0.nodes, 8);
         assert_eq!(sites[0].1, ClusterKind::Docker);
+        assert!(sites[0].0.capacity.is_unlimited());
         assert_eq!(sites[1].0.latency, SimDuration::from_millis(8));
         assert_eq!(sites[1].1, ClusterKind::Kubernetes);
+        assert_eq!(sites[1].0.capacity.cpu_millis, 8000);
+        assert_eq!(sites[1].0.capacity.memory_mib, 16384);
+        assert_eq!(sites[1].0.capacity.max_replicas, 12);
+        assert_eq!(sites[1].0.labels, vec!["gpu", "metro"]);
+    }
+
+    #[test]
+    fn unknown_scheduler_lists_available() {
+        let err = scenario_from_yaml(&yamlite::parse("scheduler: magic").unwrap()).unwrap_err();
+        assert!(err.contains("unknown scheduler `magic`"), "{err}");
+        assert!(err.contains("bounded-cost"), "{err}");
     }
 
     #[test]

@@ -22,8 +22,9 @@ pub mod sim;
 pub mod topology;
 
 pub use config::scenario_from_yaml;
+pub use edgectl::{SchedulerRegistry, SchedulerSpec};
 pub use fabric::{run_mobility, FabricConfig, FabricResult};
-pub use scenario::{MeshParams, PhaseSetup, PredictorKind, ScenarioConfig, SchedulerKind};
+pub use scenario::{MeshParams, PhaseSetup, PredictorKind, ScenarioConfig};
 pub use sim::{
     measure_first_request, run_bigflows, run_bigflows_audited, run_trace_scenario, AuditReport,
     RunResult, Testbed,

@@ -5,7 +5,7 @@
 //! Pull phase, Fig. 16 a running instance).
 
 use cluster::{ClusterKind, K8sTimings};
-use edgectl::ControllerConfig;
+use edgectl::{ControllerConfig, SchedulerSpec};
 use simcore::SimDuration;
 use simnet::openflow::FlowSpec;
 use workload::ServiceKind;
@@ -21,25 +21,6 @@ pub enum PredictorKind {
     Popularity,
     /// Perfect foresight over the trace — bounds the achievable benefit.
     Oracle,
-}
-
-/// Which Global Scheduler policy drives the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchedulerKind {
-    /// On-demand deployment *with waiting* (paper Fig. 5) at the nearest
-    /// cluster.
-    NearestWaiting,
-    /// On-demand *without waiting* (paper Fig. 3): serve from a ready
-    /// instance or the cloud while deploying at the best cluster.
-    NearestReadyFirst,
-    /// §VII's combination: Docker answers the first request, Kubernetes takes
-    /// over.
-    HybridDockerFirst,
-    /// §VIII side-by-side: a wasm function answers the first request, a
-    /// container cluster takes over.
-    HybridWasmFirst,
-    /// Load-aware ablation policy.
-    LeastLoaded,
 }
 
 /// How much of the pipeline is already done before the measured request.
@@ -102,7 +83,10 @@ pub struct ScenarioConfig {
     /// Explicit edge sites for hierarchical continuum scenarios
     /// (paper §IV-A2). Empty = derive EGS-class sites from `backends`.
     pub sites: Vec<(SiteSpec, ClusterKind)>,
-    pub scheduler: SchedulerKind,
+    /// Which Global Scheduler policy drives the run, by registry name (see
+    /// [`edgectl::SchedulerRegistry`]). Unknown names fail at build time with
+    /// the registry's typed [`edgectl::UnknownPolicy`] error.
+    pub scheduler: SchedulerSpec,
     /// Pull from the private LAN registry instead of Docker Hub / GCR.
     pub private_registry: bool,
     pub phase_setup: PhaseSetup,
@@ -139,7 +123,7 @@ impl Default for ScenarioConfig {
             service: ServiceKind::Nginx,
             backends: vec![ClusterKind::Docker],
             sites: Vec::new(),
-            scheduler: SchedulerKind::NearestWaiting,
+            scheduler: SchedulerSpec::default(),
             private_registry: false,
             phase_setup: PhaseSetup::Created,
             prewarm_sites: None,
@@ -180,6 +164,11 @@ impl ScenarioConfig {
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    pub fn with_scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.scheduler = scheduler;
         self
     }
 

@@ -17,10 +17,7 @@ use cluster::{
     ClusterBackend, ClusterKind, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate,
 };
 use containers::Runtime;
-use edgectl::{
-    Controller, ControllerOutput, HybridDockerFirst, LeastLoaded, NearestReadyFirst,
-    NearestWaiting, RoundRobinLocal,
-};
+use edgectl::{Controller, ControllerOutput, RoundRobinLocal, SchedulerRegistry};
 use edgeverify::{CoherenceView, Fabric, FabricSwitch, Link, PacketClass, Verifier, Violation};
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
@@ -28,7 +25,7 @@ use simnet::{Packet, PathCache, SocketAddr, TcpModel};
 use workload::client::RequestRecord;
 use workload::{ServiceProfile, Trace, TraceConfig};
 
-use crate::scenario::{PhaseSetup, PredictorKind, ScenarioConfig, SchedulerKind};
+use crate::scenario::{PhaseSetup, PredictorKind, ScenarioConfig};
 use crate::topology::{C3Topology, NodeClass, CLOUD_PORT};
 
 /// Latency of the SDN control channel (switch ↔ controller, both on the EGS).
@@ -73,6 +70,14 @@ pub struct RunResult {
     /// Surfaced for the bench reports; deliberately NOT part of
     /// [`RunResult::metrics_trace`] so pinned hashes stay stable.
     pub removes: u64,
+    /// Scheduler decisions refused by admission control (site out of
+    /// capacity / labels unmet). Like `removes`, surfaced for the bench
+    /// reports and deliberately NOT part of [`RunResult::metrics_trace`]:
+    /// the default unlimited capacities keep pinned hashes byte-identical.
+    pub admission_rejections: u64,
+    /// Bookings that pushed a site past its declared capacity — the bench
+    /// gates on this staying zero.
+    pub capacity_violations: u64,
     pub retargets: u64,
     pub proactive_deployments: u64,
     /// Instances killed by fault injection.
@@ -290,13 +295,9 @@ impl Testbed {
         let registries = workload::services::standard_registries(cfg.private_registry);
         let profile = ServiceProfile::of(cfg.service);
 
-        let global: Box<dyn edgectl::GlobalScheduler> = match cfg.scheduler {
-            SchedulerKind::NearestWaiting => Box::new(NearestWaiting),
-            SchedulerKind::NearestReadyFirst => Box::new(NearestReadyFirst),
-            SchedulerKind::HybridDockerFirst => Box::new(HybridDockerFirst),
-            SchedulerKind::HybridWasmFirst => Box::new(edgectl::HybridWasmFirst),
-            SchedulerKind::LeastLoaded => Box::new(LeastLoaded::default()),
-        };
+        let global = SchedulerRegistry::builtin()
+            .create(&cfg.scheduler)
+            .unwrap_or_else(|e| panic!("scenario scheduler: {e}"));
         let mut controller = Controller::builder(cfg.controller.clone())
             .global(global)
             .local(RoundRobinLocal::default())
@@ -342,7 +343,8 @@ impl Testbed {
                     cluster::WasmTimings::egs(),
                 )),
             };
-            controller.attach_cluster(backend, c3.switch_site_latency(i), c3.site_port(i));
+            let id = controller.attach_cluster(backend, c3.switch_site_latency(i), c3.site_port(i));
+            controller.configure_site(id, spec.capacity, spec.labels.clone());
         }
 
         // Register one service per cloud address; all are instances of the
@@ -412,6 +414,12 @@ impl Testbed {
                         .scale_up(t, &template.name, 1)
                         .expect("prewarm scale-up")
                         .expected_ready;
+                    // Booked like any controller-driven deployment so finite
+                    // capacities account for the pre-warmed replica.
+                    if let Some(sid) = self.controller.catalog.id_of(&template.name) {
+                        self.controller
+                            .note_external_deployment(edgectl::ClusterId(c), sid, 1);
+                    }
                 }
             }
             t_end = t_end.max(t);
@@ -589,6 +597,18 @@ impl Testbed {
         };
         final_violations.extend(audit.verifier.check_coherence(&view));
 
+        let books: Vec<edgeverify::SiteBooks> = (0..self.c3.site_hosts.len())
+            .map(|c| {
+                let id = edgectl::ClusterId(c);
+                (
+                    c,
+                    self.controller.site_capacity(id),
+                    self.controller.site_allocation(id),
+                )
+            })
+            .collect();
+        final_violations.extend(audit.verifier.check_capacity(&books));
+
         AuditReport {
             install_violations: audit.install_violations,
             final_violations,
@@ -632,6 +652,8 @@ impl Testbed {
             detoured_requests: stats.detoured_requests,
             scale_downs: stats.scale_downs,
             removes: stats.removals,
+            admission_rejections: stats.admission_rejections,
+            capacity_violations: stats.capacity_violations,
             retargets: stats.retargets,
             proactive_deployments: stats.proactive_deployments,
             crashes_injected: self.crashes_injected,

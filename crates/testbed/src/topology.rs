@@ -5,6 +5,7 @@
 //! (1 Gbps), and the WAN uplink to the cloud. The SDN control channel between
 //! switch and controller is local (both run on the EGS).
 
+use cluster::SiteCapacity;
 use simcore::SimDuration;
 use simnet::openflow::PortId;
 use simnet::topology::{NodeId, NodeKind, Topology};
@@ -46,6 +47,13 @@ pub struct SiteSpec {
     /// capacity scales linearly (the paper's C³ has 35 Raspberry Pis behind
     /// the edge layer). Modelled as one aggregate runtime.
     pub nodes: usize,
+    /// Schedulable resources the controller's admission control enforces.
+    /// [`SiteCapacity::UNLIMITED`] (the default) reproduces the paper's
+    /// capacity-blind behaviour byte-identically.
+    pub capacity: SiteCapacity,
+    /// Placement labels the site advertises (matched against service
+    /// affinity/anti-affinity requirements).
+    pub labels: Vec<String>,
 }
 
 impl SiteSpec {
@@ -57,6 +65,8 @@ impl SiteSpec {
             latency: SimDuration::from_micros(80),
             bandwidth_bps: 10 * GBPS,
             nodes: 1,
+            capacity: SiteCapacity::UNLIMITED,
+            labels: Vec::new(),
         }
     }
 
@@ -68,12 +78,26 @@ impl SiteSpec {
             latency,
             bandwidth_bps: GBPS,
             nodes: 8,
+            capacity: SiteCapacity::UNLIMITED,
+            labels: Vec::new(),
         }
     }
 
     /// Override the number of backing nodes.
     pub fn with_nodes(mut self, nodes: usize) -> SiteSpec {
         self.nodes = nodes;
+        self
+    }
+
+    /// Declare a finite schedulable capacity for this site.
+    pub fn with_capacity(mut self, capacity: SiteCapacity) -> SiteSpec {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Advertise placement labels on this site.
+    pub fn with_labels(mut self, labels: impl IntoIterator<Item = impl Into<String>>) -> SiteSpec {
+        self.labels = labels.into_iter().map(Into::into).collect();
         self
     }
 }

@@ -3,7 +3,7 @@
 
 use cluster::ClusterKind;
 use simcore::run_seeds;
-use testbed::{measure_first_request, run_bigflows, PhaseSetup, ScenarioConfig, SchedulerKind};
+use testbed::{measure_first_request, run_bigflows, PhaseSetup, ScenarioConfig, SchedulerSpec};
 use workload::ServiceKind;
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -148,7 +148,7 @@ fn bigflows_deterministic_per_seed() {
 #[test]
 fn without_waiting_policy_first_requests_fast_via_cloud() {
     let mut cfg = ScenarioConfig::default().with_seed(5);
-    cfg.scheduler = SchedulerKind::NearestReadyFirst;
+    cfg.scheduler = SchedulerSpec::nearest_ready_first();
     let (_, result) = run_bigflows(cfg);
     assert_eq!(result.records.len(), 1708);
     // First requests are *not* held: they detour to the cloud while the edge
@@ -171,7 +171,7 @@ fn without_waiting_policy_first_requests_fast_via_cloud() {
 #[test]
 fn hybrid_scheduler_uses_docker_then_k8s() {
     let mut cfg = ScenarioConfig::default().with_seed(6);
-    cfg.scheduler = SchedulerKind::HybridDockerFirst;
+    cfg.scheduler = SchedulerSpec::hybrid_docker_first();
     cfg.backends = vec![ClusterKind::Docker, ClusterKind::Kubernetes];
     let (_, result) = run_bigflows(cfg);
     assert_eq!(result.records.len(), 1708);
@@ -252,7 +252,7 @@ fn hierarchy_warm_far_edge_beats_cloud_detour() {
             ClusterKind::Docker,
         ),
     ];
-    with_far.scheduler = SchedulerKind::NearestReadyFirst;
+    with_far.scheduler = SchedulerSpec::nearest_ready_first();
     with_far.phase_setup = PhaseSetup::Running;
     with_far.prewarm_sites = Some(vec![1]);
     let (_, far) = run_bigflows(with_far);
@@ -262,7 +262,7 @@ fn hierarchy_warm_far_edge_beats_cloud_detour() {
         SiteSpec::pi("near-edge", SimDuration::from_micros(300)),
         ClusterKind::Docker,
     )];
-    cloud_only.scheduler = SchedulerKind::NearestReadyFirst;
+    cloud_only.scheduler = SchedulerSpec::nearest_ready_first();
     let (_, cloud) = run_bigflows(cloud_only);
 
     assert_eq!(far.cloud_forwards, 0, "warm far edge absorbs the detours");
@@ -357,7 +357,7 @@ fn wasm_first_hybrid_serves_fast_then_hands_over_to_containers() {
     let mut cfg = ScenarioConfig::default().with_seed(21);
     cfg.service = ServiceKind::WasmWeb;
     cfg.backends = vec![ClusterKind::Wasm, ClusterKind::Docker];
-    cfg.scheduler = SchedulerKind::HybridWasmFirst;
+    cfg.scheduler = SchedulerSpec::hybrid_wasm_first();
     let (_, result) = run_bigflows(cfg);
     assert_eq!(result.records.len(), 1708);
     assert_eq!(result.lost, 0);

@@ -14,7 +14,7 @@
 //! and the Python side-app reads config and warms up before writing its
 //! first index.html.
 
-use cluster::{ContainerTemplate, ServiceTemplate};
+use cluster::{ContainerTemplate, DeploymentRequirements, ServiceTemplate};
 use containers::image::synthesize_layers;
 use containers::{ImageManifest, ImageRef};
 use registry::{Registry, RegistryProfile, RegistrySet};
@@ -123,6 +123,7 @@ fn asm() -> ServiceProfile {
             name: "web-asm".into(),
             port: 80,
             scheduler_name: None,
+            requirements: DeploymentRequirements::none(),
             containers: vec![ContainerTemplate {
                 name: "asmttpd".into(),
                 image: ImageRef::new(image),
@@ -152,6 +153,7 @@ fn nginx() -> ServiceProfile {
             name: "nginx-web".into(),
             port: 80,
             scheduler_name: None,
+            requirements: DeploymentRequirements::none(),
             containers: vec![ContainerTemplate {
                 name: "nginx".into(),
                 image: ImageRef::new("nginx:1.23.2"),
@@ -176,6 +178,7 @@ fn resnet() -> ServiceProfile {
             name: "resnet-serving".into(),
             port: 8501,
             scheduler_name: None,
+            requirements: DeploymentRequirements::none(),
             containers: vec![ContainerTemplate {
                 name: "tf-serving".into(),
                 image: ImageRef::new(image),
@@ -205,6 +208,7 @@ fn nginx_py() -> ServiceProfile {
             name: "nginx-py".into(),
             port: 80,
             scheduler_name: None,
+            requirements: DeploymentRequirements::none(),
             containers: vec![
                 ContainerTemplate {
                     name: "nginx".into(),
@@ -245,6 +249,7 @@ fn wasm_web() -> ServiceProfile {
             name: "wasm-web".into(),
             port: 80,
             scheduler_name: None,
+            requirements: DeploymentRequirements::none(),
             containers: vec![ContainerTemplate {
                 name: "web-fn".into(),
                 image: ImageRef::new(module),

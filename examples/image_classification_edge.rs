@@ -8,7 +8,7 @@
 //! ```
 
 use cluster::ClusterKind;
-use testbed::{measure_first_request, PhaseSetup, ScenarioConfig, SchedulerKind};
+use testbed::{measure_first_request, PhaseSetup, ScenarioConfig, SchedulerSpec};
 use workload::ServiceKind;
 
 fn measure(label: &str, cfg: ScenarioConfig) {
@@ -78,7 +78,7 @@ fn main() {
         .with_service(ServiceKind::ResNet)
         .with_phase(PhaseSetup::Created)
         .with_seed(1);
-    detour.scheduler = SchedulerKind::NearestReadyFirst;
+    detour.scheduler = SchedulerSpec::nearest_ready_first();
     measure("without waiting (first request via cloud)", detour);
 
     println!(

@@ -9,7 +9,7 @@
 
 use cluster::ClusterKind;
 use simcore::Percentiles;
-use testbed::{run_bigflows, ScenarioConfig, SchedulerKind};
+use testbed::{run_bigflows, ScenarioConfig, SchedulerSpec};
 
 struct Row {
     name: &'static str,
@@ -29,14 +29,14 @@ fn main() {
         Row {
             name: "without waiting (detour via cloud)",
             cfg: ScenarioConfig {
-                scheduler: SchedulerKind::NearestReadyFirst,
+                scheduler: SchedulerSpec::nearest_ready_first(),
                 ..ScenarioConfig::default()
             },
         },
         Row {
             name: "hybrid Docker-first + K8s",
             cfg: ScenarioConfig {
-                scheduler: SchedulerKind::HybridDockerFirst,
+                scheduler: SchedulerSpec::hybrid_docker_first(),
                 backends: vec![ClusterKind::Docker, ClusterKind::Kubernetes],
                 ..ScenarioConfig::default()
             },
@@ -44,7 +44,7 @@ fn main() {
         Row {
             name: "least-loaded (load-aware ablation)",
             cfg: ScenarioConfig {
-                scheduler: SchedulerKind::LeastLoaded,
+                scheduler: SchedulerSpec::least_loaded(),
                 ..ScenarioConfig::default()
             },
         },

@@ -16,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use edgectl::{annotate_documents, AnnotateOptions};
+use edgectl::{annotate_documents, AnnotateOptions, SchedulerRegistry, SchedulerSpec};
 use simcore::{Percentiles, SimRng};
 use testbed::{
     run_bigflows, run_bigflows_audited, run_trace_scenario, scenario_from_yaml, ScenarioConfig,
@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("fabric") => cmd_fabric(&args[1..]),
+        Some("schedulers") => cmd_schedulers(),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -49,12 +50,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  edgesim run <scenario.yaml> [--trace <trace.csv>]
+  edgesim run <scenario.yaml> [--trace <trace.csv>] [--scheduler <name>]
   edgesim first-request <scenario.yaml>
   edgesim annotate <service.yaml> --name <svc> --port <port> [--scheduler <name>]
   edgesim verify <scenario-or-service.yaml> [--name <svc>] [--port <port>]
   edgesim trace [--seed N]
-  edgesim fabric [--switches N] [--no-roam]";
+  edgesim fabric [--switches N] [--no-roam]
+  edgesim schedulers                      list the global-scheduler policies";
 
 fn load_scenario(args: &[String]) -> Result<ScenarioConfig, String> {
     let path = args.first().ok_or("missing scenario file")?;
@@ -63,8 +65,39 @@ fn load_scenario(args: &[String]) -> Result<ScenarioConfig, String> {
     scenario_from_yaml(&doc)
 }
 
+fn cmd_schedulers() -> Result<(), String> {
+    let registry = SchedulerRegistry::builtin();
+    let width = registry
+        .entries()
+        .iter()
+        .map(|e| e.name.len())
+        .max()
+        .unwrap_or(0);
+    for entry in registry.entries() {
+        let aliases = if entry.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", entry.aliases.join(", "))
+        };
+        println!(
+            "{:width$}  {}{aliases}",
+            entry.name,
+            entry.description,
+            width = width
+        );
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let cfg = load_scenario(args)?;
+    let mut cfg = load_scenario(args)?;
+    if let Some(i) = args.iter().position(|a| a == "--scheduler") {
+        let name = args.get(i + 1).ok_or("--scheduler needs a policy name")?;
+        SchedulerRegistry::builtin()
+            .resolve(name)
+            .map_err(|e| e.to_string())?;
+        cfg.scheduler = SchedulerSpec::named(name);
+    }
     let trace_path = args
         .iter()
         .position(|a| a == "--trace")
@@ -105,6 +138,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         result.scale_downs,
         result.retargets
     );
+    if result.admission_rejections > 0 || result.capacity_violations > 0 {
+        println!(
+            "admission: {} rejections, {} capacity violations",
+            result.admission_rejections, result.capacity_violations
+        );
+    }
     println!(
         "time_total: median {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
         p.median(),
