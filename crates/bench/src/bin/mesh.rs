@@ -9,6 +9,13 @@
 //! plain single-controller testbed by construction, so its hash is the same
 //! canonical metrics hash CI pins for `cityscale`.
 //!
+//! A second sweep (`"churn"` rows) re-runs the sharded mesh with idle
+//! scale-down and the Remove phase enabled (30 s idle timeout, 60 s Remove
+//! deadline) so the federation is exercised under instance churn: `Gone`
+//! deltas, revived services, lease traffic on redeploys. CI asserts the
+//! churn rows show `scale_downs > 0` and `removes > 0` — the lifecycle must
+//! stay live, not just compiled.
+//!
 //! Usage:
 //!   mesh [--quick] [--shards 1,2,4,8] [--out BENCH_mesh.json]
 //!        [--expect-hash-1x 0xHEX]
@@ -17,9 +24,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use edgemesh::run_mesh_bigflows;
+use simcore::SimDuration;
 use testbed::{MeshParams, ScenarioConfig};
 
 const SEED: u64 = 42;
+/// Churn sweep knobs (mirrored by `examples/scenarios/mesh_scaledown.yaml`
+/// and `crates/edgemesh/tests/scaledown.rs`).
+const CHURN_IDLE_TIMEOUT_S: u64 = 30;
+const CHURN_REMOVE_AFTER_S: u64 = 60;
 
 struct ShardResult {
     shards: usize,
@@ -41,7 +53,18 @@ struct ShardResult {
 }
 
 fn run_shards(shards: usize) -> ShardResult {
-    let cfg = ScenarioConfig {
+    run_cfg(ScenarioConfig {
+        seed: SEED,
+        mesh: MeshParams {
+            shards,
+            ..MeshParams::default()
+        },
+        ..ScenarioConfig::default()
+    })
+}
+
+fn run_churn(shards: usize) -> ShardResult {
+    let mut cfg = ScenarioConfig {
         seed: SEED,
         mesh: MeshParams {
             shards,
@@ -49,6 +72,14 @@ fn run_shards(shards: usize) -> ShardResult {
         },
         ..ScenarioConfig::default()
     };
+    cfg.controller.scale_down_idle = true;
+    cfg.controller.memory_idle_timeout = SimDuration::from_secs(CHURN_IDLE_TIMEOUT_S);
+    cfg.controller.remove_after = Some(SimDuration::from_secs(CHURN_REMOVE_AFTER_S));
+    run_cfg(cfg)
+}
+
+fn run_cfg(cfg: ScenarioConfig) -> ShardResult {
+    let shards = cfg.mesh.shards;
     let t0 = Instant::now();
     let (trace, result) = run_mesh_bigflows(cfg);
     let wall_s = t0.elapsed().as_secs_f64();
@@ -72,11 +103,21 @@ fn run_shards(shards: usize) -> ShardResult {
     }
 }
 
-fn to_json(results: &[ShardResult]) -> String {
+fn to_json(results: &[ShardResult], churn: &[ShardResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"mesh\",\n");
     let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"churn_idle_timeout_s\": {CHURN_IDLE_TIMEOUT_S},");
+    let _ = writeln!(out, "  \"churn_remove_after_s\": {CHURN_REMOVE_AFTER_S},");
     out.push_str("  \"shards\": [\n");
+    write_rows(&mut out, results);
+    out.push_str("  ],\n  \"churn\": [\n");
+    write_rows(&mut out, churn);
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_rows(out: &mut String, results: &[ShardResult]) {
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             out,
@@ -104,8 +145,6 @@ fn to_json(results: &[ShardResult]) -> String {
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
-    out
 }
 
 fn main() {
@@ -167,7 +206,29 @@ fn main() {
         results.push(r);
     }
 
-    let json = to_json(&results);
+    // Churn sweep: sharded only (shards >= 2) — the point is churn *through
+    // the federation*, and the plain 1-shard lifecycle is already covered by
+    // cityscale and the testbed tests.
+    let mut churn = Vec::new();
+    for &shards in shard_counts.iter().filter(|&&s| s >= 2) {
+        eprintln!("mesh: running {shards} shard(s) with idle scale-down ...");
+        let r = run_churn(shards);
+        eprintln!(
+            "mesh: {:>2} shards (churn)  {:>5}/{:<5} req  {:>3} deployments  \
+             {:>3} scale-downs  {:>3} removes  {:>7.3} s  hash {:#018x}",
+            r.shards,
+            r.completed,
+            r.requests,
+            r.deployments,
+            r.scale_downs,
+            r.removes,
+            r.wall_s,
+            r.mesh_hash,
+        );
+        churn.push(r);
+    }
+
+    let json = to_json(&results, &churn);
     std::fs::write(&out_path, &json).expect("write benchmark artifact");
     print!("{json}");
 
@@ -186,11 +247,25 @@ fn main() {
         eprintln!("mesh: 1-shard determinism hash OK ({got:#018x})");
     }
     // Invariant gate: the lease protocol must keep the mesh free of
-    // split-brain duplicates at every swept shard count.
-    if let Some(r) = results.iter().find(|r| r.duplicate_deployments > 0) {
+    // split-brain duplicates at every swept shard count, churn included.
+    if let Some(r) = results
+        .iter()
+        .chain(&churn)
+        .find(|r| r.duplicate_deployments > 0)
+    {
         eprintln!(
             "mesh: LEASE VIOLATION at {} shards: {} duplicate deployment(s)",
             r.shards, r.duplicate_deployments
+        );
+        std::process::exit(1);
+    }
+    // Liveness gate: a churn row where nothing scaled down or got removed
+    // means the idle lifecycle silently died — fail loudly, not via a stale
+    // all-zero artifact.
+    if let Some(r) = churn.iter().find(|r| r.scale_downs == 0 || r.removes == 0) {
+        eprintln!(
+            "mesh: CHURN LIVENESS FAILURE at {} shards: scale_downs={} removes={}",
+            r.shards, r.scale_downs, r.removes
         );
         std::process::exit(1);
     }

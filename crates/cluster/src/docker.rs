@@ -6,7 +6,7 @@
 //! a started container is connectable as soon as its app opens the port —
 //! which is why Docker's scale-up lands well under one second (Fig. 11).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use containers::{ContainerId, ContainerSpec, ContainerState, Runtime};
 use registry::RegistrySet;
@@ -46,7 +46,8 @@ pub struct DockerCluster {
     rng: SimRng,
     /// Engine API latency per call (CLI/SDK → dockerd → containerd).
     api_call: DurationDist,
-    services: HashMap<String, DockerService>,
+    // BTreeMap: `services()` iterates; name order must not depend on hash seed.
+    services: BTreeMap<String, DockerService>,
     next_host_port: u16,
 }
 
@@ -63,7 +64,7 @@ impl DockerCluster {
             runtime,
             rng,
             api_call: DurationDist::log_normal_ms(18.0, 0.25),
-            services: HashMap::new(),
+            services: BTreeMap::new(),
             next_host_port: 8000,
         }
     }
@@ -377,9 +378,8 @@ impl ClusterBackend for DockerCluster {
     }
 
     fn services(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.services.keys().cloned().collect();
-        v.sort();
-        v
+        // BTreeMap keys are already in sorted order.
+        self.services.keys().cloned().collect()
     }
 
     fn load(&self) -> f64 {

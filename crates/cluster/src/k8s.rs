@@ -18,7 +18,7 @@
 //! container creation itself is the *same containerd work Docker does* — the
 //! difference is pure orchestration latency, which is the paper's point.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use containers::{ContainerId, ContainerSpec, ContainerState, Runtime};
 use registry::RegistrySet;
@@ -99,7 +99,8 @@ pub struct K8sCluster {
     pub runtime: Runtime,
     rng: SimRng,
     timings: K8sTimings,
-    services: HashMap<String, K8sService>,
+    // BTreeMap: `services()` iterates; name order must not depend on hash seed.
+    services: BTreeMap<String, K8sService>,
     next_node_port: u16,
 }
 
@@ -117,7 +118,7 @@ impl K8sCluster {
             runtime,
             rng,
             timings,
-            services: HashMap::new(),
+            services: BTreeMap::new(),
             next_node_port: 30000,
         }
     }
@@ -403,9 +404,8 @@ impl ClusterBackend for K8sCluster {
     }
 
     fn services(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.services.keys().cloned().collect();
-        v.sort();
-        v
+        // BTreeMap keys are already in sorted order.
+        self.services.keys().cloned().collect()
     }
 
     fn load(&self) -> f64 {

@@ -20,7 +20,7 @@
 //!   (call gate + sandboxing), reflecting the papers' observation that wasm
 //!   wins cold starts but not necessarily steady-state throughput.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use containers::{ImageRef, ImageStore};
 use registry::RegistrySet;
@@ -73,7 +73,8 @@ pub struct WasmEdgeCluster {
     pub store: ImageStore,
     timings: WasmTimings,
     rng: SimRng,
-    functions: HashMap<String, WasmFunction>,
+    // BTreeMap: `services()` iterates; name order must not depend on hash seed.
+    functions: BTreeMap<String, WasmFunction>,
     /// Modules already compiled on this node (first-use cache).
     compiled: HashSet<ImageRef>,
     next_port: u16,
@@ -92,7 +93,7 @@ impl WasmEdgeCluster {
             store: ImageStore::new(),
             timings,
             rng,
-            functions: HashMap::new(),
+            functions: BTreeMap::new(),
             compiled: HashSet::new(),
             next_port: 9000,
         }
@@ -245,9 +246,8 @@ impl ClusterBackend for WasmEdgeCluster {
     }
 
     fn services(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.functions.keys().cloned().collect();
-        v.sort();
-        v
+        // BTreeMap keys are already in sorted order.
+        self.functions.keys().cloned().collect()
     }
 
     fn load(&self) -> f64 {

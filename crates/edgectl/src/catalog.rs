@@ -12,7 +12,7 @@
 //! the cluster-backend boundary via [`ServiceCatalog::name_arc`] (a refcount
 //! bump, not an allocation).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use cluster::ServiceTemplate;
@@ -39,7 +39,9 @@ pub struct RegisteredService {
 /// Cloud address → service lookup, as the Dispatcher uses it on PacketIn.
 #[derive(Debug, Default, Clone)]
 pub struct ServiceCatalog {
-    by_addr: HashMap<SocketAddr, RegisteredService>,
+    // BTreeMap: `services()` iterates for diagnostics and audits; the order
+    // must be address order, not the process hash seed.
+    by_addr: BTreeMap<SocketAddr, RegisteredService>,
     by_name: HashMap<Arc<str>, SocketAddr>,
     /// Interner: name → id and id → name.
     ids: HashMap<Arc<str>, ServiceId>,

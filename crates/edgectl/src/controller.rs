@@ -13,7 +13,7 @@
 //! event loop (the `testbed` crate) delivers them with the control-channel
 //! latency applied.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use cluster::{ClusterBackend, ClusterKind, ResourceAllocation, ResourceRequest, SiteCapacity};
@@ -342,7 +342,10 @@ pub struct Controller {
     retarget_queue: Vec<(SimTime, ClusterId, ServiceId)>,
     /// Services scaled to zero, awaiting the Remove phase: when each was
     /// scaled down.
-    scaled_to_zero: HashMap<(ClusterId, ServiceId), SimTime>,
+    // BTreeMap: the Remove phase iterates to collect due services; removal
+    // (and the `Gone` delta it gossips) must happen in key order, not hash
+    // order, or federated replays diverge.
+    scaled_to_zero: BTreeMap<(ClusterId, ServiceId), SimTime>,
     predictor: Box<dyn Predictor>,
     predict: Option<PredictSchedule>,
     /// Most recent dispatcher deployment failure (diagnostics; see
@@ -479,7 +482,7 @@ impl ControllerBuilder {
             engine,
             client_ports: HashMap::new(),
             retarget_queue: Vec::new(),
-            scaled_to_zero: HashMap::new(),
+            scaled_to_zero: BTreeMap::new(),
             predictor: self.predictor,
             predict: None,
             last_deploy_failure: None,

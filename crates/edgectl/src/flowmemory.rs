@@ -262,10 +262,15 @@ impl FlowMemory {
         self.flows.get(&key)
     }
 
-    /// Iterate over every memorized flow in unspecified order (diagnostics —
-    /// the coherence audit walks this against the installed switch entries).
+    /// Iterate over every memorized flow in [`FlowKey`] order (diagnostics —
+    /// the coherence audit walks this against the installed switch entries;
+    /// key order keeps audit reports stable across runs). The backing map
+    /// stays a `HashMap` because the per-packet lookups are the hot path.
     pub fn iter(&self) -> impl Iterator<Item = &MemorizedFlow> {
-        self.flows.values()
+        // edgelint: allow(det-collections) — sorted by FlowKey before exposure
+        let mut sorted: Vec<&MemorizedFlow> = self.flows.values().collect();
+        sorted.sort_by_key(|f| f.key);
+        sorted.into_iter()
     }
 
     /// Drop a specific flow (e.g. its target instance was removed).

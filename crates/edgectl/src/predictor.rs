@@ -19,7 +19,7 @@
 //!   a perfect ML model could reach (the "100 % correct prediction" that the
 //!   paper argues is unattainable in practice — useful to bound the benefit).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::{SimDuration, SimTime};
 use simnet::SocketAddr;
@@ -76,7 +76,9 @@ pub struct PopularityPredictor {
     pub top_k: usize,
     /// Minimum decayed score to qualify.
     pub threshold: f64,
-    scores: HashMap<SocketAddr, (f64, SimTime)>,
+    // BTreeMap: `predict` iterates to rank candidates; address order keeps
+    // the scan deterministic (ties already break on the address).
+    scores: BTreeMap<SocketAddr, (f64, SimTime)>,
 }
 
 impl PopularityPredictor {
@@ -86,7 +88,7 @@ impl PopularityPredictor {
             half_life,
             top_k,
             threshold,
-            scores: HashMap::new(),
+            scores: BTreeMap::new(),
         }
     }
 

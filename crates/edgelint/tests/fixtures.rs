@@ -1,0 +1,155 @@
+//! Mutation-style liveness proof for every lint: each committed bad fixture
+//! MUST be flagged (with correct file:line provenance), the fully annotated
+//! fixture MUST pass, and a reason-less `allow` MUST fail. If a lint is ever
+//! disabled or its detection broken, the corresponding test here fails CI.
+
+use std::path::Path;
+
+use edgelint::{check_source, FileOptions, Lint, Violation};
+
+fn check(name: &str, source: &str) -> Vec<Violation> {
+    check_source(Path::new(name), source, FileOptions::default())
+}
+
+/// Line numbers (1-based) in `source` on which `lint` fired.
+fn lines_for(violations: &[Violation], lint: Lint) -> Vec<u32> {
+    violations
+        .iter()
+        .filter(|v| v.lint == lint)
+        .map(|v| v.line)
+        .collect()
+}
+
+/// The 1-based line of `source` containing `needle` (must be unique).
+fn line_of(source: &str, needle: &str) -> u32 {
+    let hits: Vec<u32> = source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(needle))
+        .map(|(i, _)| i as u32 + 1)
+        .collect();
+    assert_eq!(hits.len(), 1, "`{needle}` not unique in fixture: {hits:?}");
+    hits[0]
+}
+
+#[test]
+fn det_collections_fixture_is_flagged_with_provenance() {
+    let src = include_str!("fixtures/bad_det_collections.rs");
+    let violations = check("bad_det_collections.rs", src);
+    let lines = lines_for(&violations, Lint::DetCollections);
+    assert!(
+        lines.contains(&line_of(src, "self.pending.values()")),
+        "missing .values() finding: {violations:?}"
+    );
+    assert!(
+        lines.contains(&line_of(src, "for (_k, _v) in &self.pending")),
+        "missing for-loop finding: {violations:?}"
+    );
+    assert!(violations.iter().all(|v| v.lint == Lint::DetCollections));
+    assert!(violations
+        .iter()
+        .all(|v| v.file == Path::new("bad_det_collections.rs")));
+}
+
+#[test]
+fn ambient_time_fixture_is_flagged_with_provenance() {
+    let src = include_str!("fixtures/bad_ambient_time.rs");
+    let violations = check("bad_ambient_time.rs", src);
+    let lines = lines_for(&violations, Lint::AmbientTime);
+    assert!(
+        lines.contains(&line_of(src, "Instant::now()")),
+        "{violations:?}"
+    );
+    assert!(
+        lines.contains(&line_of(src, "std::thread::sleep")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn ambient_rng_fixture_is_flagged_with_provenance() {
+    let src = include_str!("fixtures/bad_ambient_rng.rs");
+    let violations = check("bad_ambient_rng.rs", src);
+    let lines = lines_for(&violations, Lint::AmbientRng);
+    assert!(
+        lines.contains(&line_of(src, "thread_rng()")),
+        "{violations:?}"
+    );
+    assert!(
+        lines.contains(&line_of(src, "RandomState::new()")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn ambient_env_fixture_is_flagged_with_provenance() {
+    let src = include_str!("fixtures/bad_ambient_env.rs");
+    let violations = check("bad_ambient_env.rs", src);
+    assert_eq!(
+        lines_for(&violations, Lint::AmbientEnv),
+        vec![line_of(src, "std::env::var")],
+        "{violations:?}"
+    );
+    // The same file under bin/config options is exempt — the lint is a
+    // boundary rule, not a blanket ban.
+    let as_bin = check_source(
+        Path::new("src/bin/tool.rs"),
+        src,
+        FileOptions::for_path(Path::new("src/bin/tool.rs")),
+    );
+    assert_eq!(as_bin, vec![], "bin code may read the environment");
+}
+
+#[test]
+fn float_order_fixture_is_flagged_with_provenance() {
+    let src = include_str!("fixtures/bad_float_order.rs");
+    let violations = check("bad_float_order.rs", src);
+    assert_eq!(
+        lines_for(&violations, Lint::FloatOrder),
+        vec![line_of(src, "partial_cmp(b).unwrap()")],
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn annotated_fixture_passes() {
+    let src = include_str!("fixtures/allowed_annotated.rs");
+    let violations = check("allowed_annotated.rs", src);
+    assert_eq!(violations, vec![], "reasoned allows must suppress");
+}
+
+#[test]
+fn allow_without_reason_fails_twice() {
+    let src = include_str!("fixtures/allow_without_reason.rs");
+    let violations = check("allow_without_reason.rs", src);
+    // The malformed directive is a finding...
+    assert_eq!(
+        lines_for(&violations, Lint::MalformedAllow),
+        vec![line_of(src, "edgelint: allow(det-collections)")],
+        "{violations:?}"
+    );
+    // ...and it does NOT silence the underlying violation.
+    assert_eq!(
+        lines_for(&violations, Lint::DetCollections),
+        vec![line_of(src, "self.seen.iter()")],
+        "{violations:?}"
+    );
+}
+
+/// The acceptance gate in library form: the workspace's own determinism
+/// crates must be clean. (CI also runs the `edgelint` binary; this keeps
+/// `cargo test` sufficient locally.)
+#[test]
+fn workspace_is_clean() {
+    // crates/edgelint/tests -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let violations = edgelint::check_workspace(root).expect("walk workspace");
+    assert_eq!(
+        violations,
+        vec![],
+        "unannotated determinism violations in the workspace"
+    );
+}

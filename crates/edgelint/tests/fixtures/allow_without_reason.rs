@@ -1,0 +1,16 @@
+//! Fixture: an `allow` with no reason string. `edgelint` must report a
+//! `malformed-allow` AND still report the underlying `det-collections`
+//! violation (an unexplained suppression does not suppress). Never compiled.
+
+use std::collections::HashSet;
+
+pub struct Tracker {
+    seen: HashSet<u64>,
+}
+
+impl Tracker {
+    pub fn snapshot(&self) -> Vec<u64> {
+        // edgelint: allow(det-collections)
+        self.seen.iter().copied().collect()
+    }
+}

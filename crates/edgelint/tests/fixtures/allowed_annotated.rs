@@ -1,0 +1,20 @@
+//! Fixture: every finding is suppressed by a well-formed, reasoned
+//! `allow` — `edgelint` must report nothing here. Never compiled.
+
+use std::collections::HashMap;
+
+pub struct Stats {
+    samples: HashMap<u64, f64>,
+}
+
+impl Stats {
+    pub fn total(&self) -> f64 {
+        // edgelint: allow(det-collections) — sum() is a commutative reduction
+        self.samples.values().copied().collect::<Vec<f64>>().iter().sum()
+    }
+
+    pub fn wall_clock_label() -> String {
+        // edgelint: allow(ambient-time) — label for a human report, never traced
+        format!("{:?}", Instant::now())
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: environment read outside bin/config code. `edgelint` must flag
+//! the `env::var` call. Never compiled.
+
+pub fn shard_count() -> usize {
+    std::env::var("SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,11 @@
+//! Fixture: process-entropy randomness. `edgelint` must flag `thread_rng`
+//! and `RandomState::new`. Never compiled.
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn seeded_state() -> RandomState {
+    RandomState::new()
+}

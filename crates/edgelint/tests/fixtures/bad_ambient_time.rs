@@ -1,0 +1,10 @@
+//! Fixture: wall-clock reads in simulation code. `edgelint` must flag both
+//! the wall-clock read and the blocking sleep. Never compiled.
+
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,21 @@
+//! Fixture: trace-affecting iteration over a hash-seeded collection.
+//! `edgelint` must flag the `.values()` chain and the bare `for` loop.
+//! Never compiled — read as text by `fixtures.rs`.
+
+use std::collections::HashMap;
+
+pub struct Dispatcher {
+    pending: HashMap<u64, u32>,
+}
+
+impl Dispatcher {
+    pub fn drain_in_hash_order(&self) -> Vec<u32> {
+        self.pending.values().copied().collect()
+    }
+
+    pub fn visit(&self) {
+        for (_k, _v) in &self.pending {
+            // order observed here differs per process
+        }
+    }
+}

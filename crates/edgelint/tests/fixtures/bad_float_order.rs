@@ -1,0 +1,7 @@
+//! Fixture: non-total float ordering. `edgelint` must flag the
+//! `.partial_cmp(..).unwrap()` sort key. Never compiled.
+
+pub fn rank(mut latencies: Vec<f64>) -> Vec<f64> {
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies
+}

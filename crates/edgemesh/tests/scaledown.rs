@@ -1,0 +1,57 @@
+//! Idle scale-down and Remove-phase churn through the federated mesh: with
+//! `scale_down_idle` on and a short idle window, a sharded run of the
+//! bigFlows workload must actually scale services to zero and remove them
+//! (gossiping `Gone` deltas), and stay deterministic while doing so.
+//! `BENCH_mesh.json`'s churn rows pin the same behaviour in CI.
+
+use edgemesh::run_mesh_bigflows;
+use simcore::SimDuration;
+use testbed::{MeshParams, ScenarioConfig};
+
+/// The mesh bench's churn configuration: the standard seed-42 bigFlows
+/// replay with a 30 s flow-memory idle timeout and a 60 s Remove deadline —
+/// short enough that sparsely-requested services churn inside the
+/// five-minute trace window.
+fn churn_cfg(shards: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        seed: 42,
+        mesh: MeshParams {
+            shards,
+            ..MeshParams::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    cfg.controller.scale_down_idle = true;
+    cfg.controller.memory_idle_timeout = SimDuration::from_secs(30);
+    cfg.controller.remove_after = Some(SimDuration::from_secs(60));
+    cfg
+}
+
+#[test]
+fn sharded_mesh_scales_down_and_removes_idle_services() {
+    for shards in [2, 4] {
+        let (_, result) = run_mesh_bigflows(churn_cfg(shards));
+        assert!(
+            result.scale_downs > 0,
+            "no idle scale-downs at {shards} shards: {result:?}"
+        );
+        assert!(
+            result.removes > 0,
+            "no Remove-phase deletions at {shards} shards (scale_downs={})",
+            result.scale_downs
+        );
+        assert_eq!(
+            result.duplicate_deployments, 0,
+            "churn caused split-brain at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn churn_run_is_deterministic() {
+    let (_, a) = run_mesh_bigflows(churn_cfg(2));
+    let (_, b) = run_mesh_bigflows(churn_cfg(2));
+    assert!(a.scale_downs > 0 && a.removes > 0, "{a:?}");
+    assert_eq!(a.mesh_hash(), b.mesh_hash(), "churn replay diverged");
+    assert_eq!(a.mesh_trace(), b.mesh_trace());
+}

@@ -31,6 +31,18 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Config { cases }
         }
+
+        /// Cases the runner will actually execute. Under Miri every case is
+        /// interpreted (~2 orders of magnitude slower), so the sweep is
+        /// clamped: the UB check needs each code path exercised, not the
+        /// full statistical sample — natively, `cases` is honoured as-is.
+        pub fn effective_cases(&self) -> u32 {
+            if cfg!(miri) {
+                self.cases.min(8)
+            } else {
+                self.cases
+            }
+        }
     }
 
     impl Default for Config {
@@ -635,7 +647,7 @@ macro_rules! __proptest_fns {
                 let mut __rng = $crate::TestRng::from_label(
                     concat!(module_path!(), "::", stringify!($name)),
                 );
-                for __case in 0..__config.cases {
+                for __case in 0..__config.effective_cases() {
                     let mut __args_dbg: Vec<String> = Vec::new();
                     $(
                         let __generated = $crate::Strategy::generate(&($strat), &mut __rng);
@@ -658,7 +670,7 @@ macro_rules! __proptest_fns {
                             "proptest: {} failed at case {}/{} with inputs:",
                             stringify!($name),
                             __case + 1,
-                            __config.cases,
+                            __config.effective_cases(),
                         );
                         for __line in lines {
                             eprintln!("{__line}");

@@ -170,7 +170,7 @@ impl Zipf {
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let total = *self.cum.last().unwrap();
         let x = rng.f64() * total;
-        match self.cum.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+        match self.cum.binary_search_by(|c| c.total_cmp(&x)) {
             Ok(i) => i + 1.min(self.cum.len() - 1),
             Err(i) => i.min(self.cum.len() - 1),
         }

@@ -34,7 +34,7 @@
 //! semantics, and `FlowRemoved` notifications in table order.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use simcore::{SimDuration, SimTime};
 
@@ -614,7 +614,9 @@ pub struct FlowTable {
     exact: HashMap<ExactKey, Vec<usize>>,
     /// How many exact entries exist per shape — the set of keys to probe per
     /// packet.
-    shape_counts: HashMap<u8, usize>,
+    // BTreeMap: `find_slot` iterates the live shapes per lookup; the probe
+    // order must not depend on the process hash seed.
+    shape_counts: BTreeMap<u8, usize>,
     /// Masked (`IpNet`) matchers, sorted by table order.
     masked: Vec<usize>,
     /// Cookie → slots holding that cookie (unordered).

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("fabric") => cmd_fabric(&args[1..]),
         Some("schedulers") => cmd_schedulers(),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -51,12 +52,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   edgesim run <scenario.yaml> [--trace <trace.csv>] [--scheduler <name>]
+              [--dump-trace <path>]
   edgesim first-request <scenario.yaml>
   edgesim annotate <service.yaml> --name <svc> --port <port> [--scheduler <name>]
   edgesim verify <scenario-or-service.yaml> [--name <svc>] [--port <port>]
   edgesim trace [--seed N]
   edgesim fabric [--switches N] [--no-roam]
-  edgesim schedulers                      list the global-scheduler policies";
+  edgesim schedulers                      list the global-scheduler policies
+  edgesim lint [--root <dir>]             determinism lint over the sim crates";
 
 fn load_scenario(args: &[String]) -> Result<ScenarioConfig, String> {
     let path = args.first().ok_or("missing scenario file")?;
@@ -102,11 +105,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .iter()
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1));
+    // `--dump-trace <path>`: write the canonical metrics trace (the byte
+    // stream behind every pinned hash) to a file. The replay-determinism
+    // harness diffs this against an in-process run to catch ambient-state
+    // nondeterminism that only shows across process boundaries.
+    let dump_path = args
+        .iter()
+        .position(|a| a == "--dump-trace")
+        .map(|i| args.get(i + 1).ok_or("--dump-trace needs a file path"))
+        .transpose()?;
     if cfg.mesh.shards > 1 {
         if trace_path.is_some() {
             return Err("--trace is not supported for mesh (shards > 1) scenarios yet".into());
         }
-        return run_mesh(cfg);
+        return run_mesh(cfg, dump_path);
     }
     let (trace, result) = match trace_path {
         Some(path) => {
@@ -117,6 +129,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         None => run_bigflows(cfg),
     };
+    if let Some(path) = dump_path {
+        std::fs::write(path, result.metrics_trace()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "metrics trace written to {path} (hash {:#018x})",
+            result.metrics_hash()
+        );
+    }
     let mut p = Percentiles::new();
     for r in &result.records {
         p.record_duration(r.time_total());
@@ -168,8 +187,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 /// `edgesim run` for a federated scenario (`mesh.shards > 1`): replay the
 /// bigFlows trace through the sharded mesh and report the coordination
 /// metrics alongside the usual counters.
-fn run_mesh(cfg: ScenarioConfig) -> Result<(), String> {
+fn run_mesh(cfg: ScenarioConfig, dump_path: Option<&String>) -> Result<(), String> {
     let (trace, result) = edgemesh::run_mesh_bigflows(cfg);
+    if let Some(path) = dump_path {
+        std::fs::write(path, result.mesh_trace()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "mesh trace written to {path} (hash {:#018x})",
+            result.mesh_hash()
+        );
+    }
     println!(
         "mesh: {} shards, leases {}",
         result.shards,
@@ -213,6 +239,40 @@ fn run_mesh(cfg: ScenarioConfig) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `edgesim lint` — the determinism linter over the simulation crates (the
+/// same pass as `cargo run -p edgelint`; see DESIGN.md §5h).
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let mut root = String::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                root = args.get(i + 1).ok_or("--root needs a directory")?.clone();
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let violations = edgelint::check_workspace(std::path::Path::new(&root))
+        .map_err(|e| format!("{root}: {e}"))?;
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "lint: clean ({} crates checked)",
+            edgelint::DETERMINISM_CRATES.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} determinism violation(s); annotate provably-safe sites with \
+             `// edgelint: allow(<lint>) — <reason>`",
+            violations.len()
+        ))
+    }
 }
 
 fn cmd_first_request(args: &[String]) -> Result<(), String> {

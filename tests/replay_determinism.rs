@@ -1,0 +1,70 @@
+//! Runtime half of the determinism contract (DESIGN.md §5h): a run is a pure
+//! function of (scenario, seed). `edgelint` proves the *sources* are free of
+//! ambient state; this harness proves the *runtime* is — the seed-42 bigFlows
+//! replay must produce a byte-identical metrics trace twice in-process AND in
+//! a fresh `edgesim` subprocess, where a new SipHash seed, ASLR layout and
+//! environment would expose anything the static pass missed.
+
+use std::io::Write;
+use std::process::Command;
+
+use testbed::{run_bigflows, ScenarioConfig};
+
+/// The pinned seed-42 hash from `tests/experiments_regression.rs` and the
+/// cityscale/mesh/sched CI gates.
+const SEED42_HASH: u64 = 0x66cc06e4f4d26b1a;
+
+fn seed42_trace() -> (String, u64) {
+    let (_, result) = run_bigflows(ScenarioConfig {
+        seed: 42,
+        ..ScenarioConfig::default()
+    });
+    (result.metrics_trace(), result.metrics_hash())
+}
+
+#[test]
+fn seed42_replay_is_byte_identical_in_process() {
+    let (first, first_hash) = seed42_trace();
+    let (second, second_hash) = seed42_trace();
+    assert_eq!(first_hash, SEED42_HASH, "pinned seed-42 hash drifted");
+    assert_eq!(second_hash, first_hash);
+    assert_eq!(
+        first, second,
+        "two in-process seed-42 replays diverged byte-for-byte"
+    );
+}
+
+#[test]
+fn seed42_replay_is_byte_identical_across_processes() {
+    let (in_process, in_process_hash) = seed42_trace();
+    assert_eq!(in_process_hash, SEED42_HASH, "pinned seed-42 hash drifted");
+
+    let dir = std::env::temp_dir().join("transparent-edge-replay-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario = dir.join("seed42.yaml");
+    std::fs::File::create(&scenario)
+        .unwrap()
+        .write_all(b"seed: 42\n")
+        .unwrap();
+    let dump = dir.join("seed42.trace");
+
+    // A fresh process gets a fresh HashMap SipHash key, heap layout and
+    // environment — any dependence on those shows up as a trace diff here.
+    let out = Command::new(env!("CARGO_BIN_EXE_edgesim"))
+        .arg("run")
+        .arg(&scenario)
+        .arg("--dump-trace")
+        .arg(&dump)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "edgesim run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let subprocess = std::fs::read_to_string(&dump).unwrap();
+    assert_eq!(
+        in_process, subprocess,
+        "subprocess seed-42 replay diverged from the in-process trace"
+    );
+}
