@@ -1,55 +1,42 @@
 //! City-scale bigFlows throughput sweep — the trajectory artifact for perf
 //! PRs (`BENCH_cityscale.json`).
 //!
-//! Replays the paper's bigFlows workload at {1×, 10×, 100×} the paper's
-//! scale (clients, services and requests all multiplied; marginals at 1×
-//! are exactly the paper's trace) through the full testbed and records, per
-//! scale: wall-clock, events/sec, peak future-event-list depth and heap
-//! allocations per request. The 1× run also emits the canonical metrics
-//! hash, which CI pins against drift (see `tests/experiments_regression.rs`
-//! for the same constant).
+//! Replays the paper's bigFlows workload at {1×, 10×, 100×, 1000×} the
+//! paper's scale (clients, services and requests all multiplied; marginals
+//! at 1× are exactly the paper's trace) through the full testbed and
+//! records, per scale: wall-clock, events/sec, peak future-event-list depth
+//! and heap allocations per request (from simcore's workspace-wide counting
+//! allocator, feature `counting-alloc`). The 1× run also emits the
+//! canonical metrics hash, which CI pins against drift (see
+//! `tests/experiments_regression.rs` for the same constant).
 //!
 //! Usage:
-//!   cityscale [--quick] [--scales 1,10,100] [--out BENCH_cityscale.json]
-//!             [--expect-hash-1x 0xHEX]
+//!   cityscale [--quick] [--scales 1,10,100,1000] [--out BENCH_cityscale.json]
+//!             [--expect-hash-1x 0xHEX] [--profile-allocs] [--repeat N]
+//!
+//! `--repeat N` measures every scale N times (each in its own child
+//! process) and keeps the lowest-wall-clock row — best-of-N is the standard
+//! way to report a deterministic workload's cost on a host with noisy
+//! neighbours, since the metrics are identical across runs and only the
+//! wall clock varies.
 
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cluster::ClusterKind;
-use simcore::SimRng;
-use testbed::{ScenarioConfig, SiteSpec, Testbed};
+use simcore::{alloc_count, SimRng};
+use testbed::{AllocProfile, ScenarioConfig, SiteSpec, Testbed};
 use workload::{Trace, TraceConfig};
 
-/// Counts every heap allocation so the benchmark can report
-/// allocations-per-request on the hot path.
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
-#[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
 const SEED: u64 = 42;
+
+/// Per-phase allocation counts for `--profile-allocs`: the testbed's own
+/// phases plus the two the bench measures around it.
+struct AllocPhases {
+    build: u64,
+    profile: AllocProfile,
+    hash: u64,
+}
 
 struct ScaleResult {
     scale: usize,
@@ -65,9 +52,10 @@ struct ScaleResult {
     lost: u64,
     removes: u64,
     metrics_hash: u64,
+    phases: Option<AllocPhases>,
 }
 
-fn run_scale(scale: usize) -> ScaleResult {
+fn run_scale(scale: usize, profile_allocs: bool) -> ScaleResult {
     let trace_cfg = TraceConfig::scaled(scale);
     let mut trace_rng = SimRng::seed_from_u64(SEED ^ 0xB16F_1085);
     let trace = Trace::generate(trace_cfg, &mut trace_rng);
@@ -86,12 +74,20 @@ fn run_scale(scale: usize) -> ScaleResult {
         ..ScenarioConfig::default()
     };
 
+    let allocs_at_build = alloc_count::total();
     let testbed = Testbed::build(cfg, trace.service_addrs.clone());
-    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let allocs_before = alloc_count::total();
     let t0 = Instant::now();
     let result = testbed.run_trace(&trace);
     let wall_s = t0.elapsed().as_secs_f64();
-    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let allocs = alloc_count::total() - allocs_before;
+    let allocs_at_hash = alloc_count::total();
+    let metrics_hash = result.metrics_hash();
+    let phases = profile_allocs.then(|| AllocPhases {
+        build: allocs_before - allocs_at_build,
+        profile: result.alloc_profile.unwrap_or_default(),
+        hash: alloc_count::total() - allocs_at_hash,
+    });
 
     ScaleResult {
         scale,
@@ -106,46 +102,116 @@ fn run_scale(scale: usize) -> ScaleResult {
         completed: result.records.len(),
         lost: result.lost,
         removes: result.removes,
-        metrics_hash: result.metrics_hash(),
+        metrics_hash,
+        phases,
     }
 }
 
-fn to_json(results: &[ScaleResult]) -> String {
+/// One scale's JSON row (no indentation, no trailing comma) — the unit both
+/// the in-process path and the per-scale child processes produce.
+fn row_json(r: &ScaleResult) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"scale\": {}, \"requests\": {}, \"services\": {}, \"clients\": {}, \
+         \"events_scheduled\": {}, \"peak_queue_depth\": {}, \"wall_s\": {:.6}, \
+         \"events_per_sec\": {:.1}, \"allocs_per_request\": {:.1}, \
+         \"completed\": {}, \"lost\": {}, \"removes\": {}, \"metrics_hash\": \"{:#018x}\"",
+        r.scale,
+        r.requests,
+        r.services,
+        r.clients,
+        r.events_scheduled,
+        r.peak_queue_depth,
+        r.wall_s,
+        r.events_per_sec,
+        r.allocs_per_request,
+        r.completed,
+        r.lost,
+        r.removes,
+        r.metrics_hash,
+    );
+    if let Some(p) = &r.phases {
+        let _ = write!(
+            out,
+            ", \"alloc_phases\": {{\"build\": {}, \"prewarm\": {}, \"schedule\": {}, \
+             \"event_loop\": {}, \"hash\": {}}}",
+            p.build, p.profile.prewarm, p.profile.schedule, p.profile.event_loop, p.hash,
+        );
+    }
+    out.push('}');
+    out
+}
+
+fn to_json(rows: &[String]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"cityscale\",\n");
     let _ = writeln!(out, "  \"seed\": {SEED},");
     out.push_str("  \"scales\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"scale\": {}, \"requests\": {}, \"services\": {}, \"clients\": {}, \
-             \"events_scheduled\": {}, \"peak_queue_depth\": {}, \"wall_s\": {:.6}, \
-             \"events_per_sec\": {:.1}, \"allocs_per_request\": {:.1}, \
-             \"completed\": {}, \"lost\": {}, \"removes\": {}, \"metrics_hash\": \"{:#018x}\"}}",
-            r.scale,
-            r.requests,
-            r.services,
-            r.clients,
-            r.events_scheduled,
-            r.peak_queue_depth,
-            r.wall_s,
-            r.events_per_sec,
-            r.allocs_per_request,
-            r.completed,
-            r.lost,
-            r.removes,
-            r.metrics_hash,
-        );
-        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(row);
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
 }
 
+/// Run one scale in a fresh child process so every tier is measured on a
+/// pristine heap: the big tiers are sensitive to allocator/page state left
+/// behind by earlier runs in the same process (~10% wall on the 100x tier
+/// after a 1x+10x warm-up — the artifact should report per-scale cost, not
+/// heap-history cost). Falls back to in-process measurement if the binary
+/// cannot re-exec itself.
+fn run_scale_isolated(scale: usize, profile_allocs: bool) -> String {
+    let child = std::env::current_exe().ok().and_then(|exe| {
+        let mut cmd = std::process::Command::new(exe);
+        cmd.arg("--scale-row").arg(scale.to_string());
+        if profile_allocs {
+            cmd.arg("--profile-allocs");
+        }
+        cmd.stderr(std::process::Stdio::inherit());
+        cmd.output().ok()
+    });
+    match child {
+        Some(out) if out.status.success() => {
+            let row = String::from_utf8(out.stdout).expect("child row is UTF-8");
+            let row = row.trim();
+            assert!(
+                row.starts_with('{') && row.ends_with('}'),
+                "malformed child row: {row:?}"
+            );
+            row.to_string()
+        }
+        Some(out) => {
+            panic!("scale {scale} child failed with {}", out.status);
+        }
+        None => row_json(&run_scale(scale, profile_allocs)),
+    }
+}
+
+/// Extract `"metrics_hash": "0x..."` back out of a JSON row.
+fn row_hash(row: &str) -> u64 {
+    let key = "\"metrics_hash\": \"0x";
+    let at = row.find(key).expect("row carries a metrics_hash") + key.len();
+    u64::from_str_radix(&row[at..at + 16], 16).expect("hash is 16 hex digits")
+}
+
+/// Extract `"wall_s": ...` back out of a JSON row (for `--repeat` best-of-N).
+fn row_wall(row: &str) -> f64 {
+    let key = "\"wall_s\": ";
+    let at = row.find(key).expect("row carries a wall_s") + key.len();
+    let end = row[at..].find(',').expect("wall_s is not the last field") + at;
+    row[at..end].parse().expect("wall_s is a float")
+}
+
 fn main() {
-    let mut scales = vec![1usize, 10, 100];
+    let mut scales = vec![1usize, 10, 100, 1000];
     let mut out_path = String::from("BENCH_cityscale.json");
     let mut expect_hash_1x: Option<u64> = None;
+    let mut profile_allocs = false;
+    let mut scale_row: Option<usize> = None;
+    let mut repeat = 1usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -171,6 +237,27 @@ fn main() {
                 let s = s.trim_start_matches("0x");
                 expect_hash_1x = Some(u64::from_str_radix(s, 16).expect("hash must be hex"));
             }
+            "--profile-allocs" => profile_allocs = true,
+            "--repeat" => {
+                i += 1;
+                repeat = args
+                    .get(i)
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("repeat must be an integer");
+                assert!(repeat >= 1, "--repeat must be at least 1");
+            }
+            // Child mode of `run_scale_isolated`: measure one scale and
+            // print its JSON row on stdout.
+            "--scale-row" => {
+                i += 1;
+                scale_row = Some(
+                    args.get(i)
+                        .expect("--scale-row needs a scale")
+                        .parse()
+                        .expect("scale must be an integer"),
+                );
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -179,35 +266,38 @@ fn main() {
         i += 1;
     }
 
-    let mut results = Vec::new();
-    for &scale in &scales {
-        eprintln!("cityscale: running {scale}x ...");
-        let r = run_scale(scale);
-        eprintln!(
-            "cityscale: {:>4}x  {:>9} req  {:>10} events  {:>8.3} s  {:>12.0} ev/s  \
-             peak {:>8}  {:>6.1} allocs/req  hash {:#018x}",
-            r.scale,
-            r.requests,
-            r.events_scheduled,
-            r.wall_s,
-            r.events_per_sec,
-            r.peak_queue_depth,
-            r.allocs_per_request,
-            r.metrics_hash,
-        );
-        results.push(r);
+    if let Some(scale) = scale_row {
+        let r = run_scale(scale, profile_allocs);
+        report(&r);
+        println!("{}", row_json(&r));
+        return;
     }
 
-    let json = to_json(&results);
+    let mut rows = Vec::new();
+    for &scale in &scales {
+        let mut best: Option<String> = None;
+        for rep in 0..repeat {
+            eprintln!("cityscale: running {scale}x ({}/{repeat}) ...", rep + 1);
+            let row = run_scale_isolated(scale, profile_allocs);
+            if best.as_ref().is_none_or(|b| row_wall(&row) < row_wall(b)) {
+                best = Some(row);
+            }
+        }
+        rows.push(best.expect("--repeat is at least 1"));
+    }
+
+    let json = to_json(&rows);
     std::fs::write(&out_path, &json).expect("write benchmark artifact");
     print!("{json}");
 
     if let Some(expect) = expect_hash_1x {
-        let got = results
+        let got = rows
             .iter()
-            .find(|r| r.scale == 1)
+            .map(|row| row_hash(row))
+            .zip(&scales)
+            .find(|&(_, &s)| s == 1)
             .expect("--expect-hash-1x requires a 1x run")
-            .metrics_hash;
+            .0;
         if got != expect {
             eprintln!(
                 "cityscale: DETERMINISM DRIFT at 1x: expected {expect:#018x}, got {got:#018x}"
@@ -215,5 +305,28 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("cityscale: 1x determinism hash OK ({got:#018x})");
+    }
+}
+
+/// The per-scale human-readable summary (stderr).
+fn report(r: &ScaleResult) {
+    eprintln!(
+        "cityscale: {:>4}x  {:>9} req  {:>10} events  {:>8.3} s  {:>12.0} ev/s  \
+         peak {:>8}  {:>6.1} allocs/req  hash {:#018x}",
+        r.scale,
+        r.requests,
+        r.events_scheduled,
+        r.wall_s,
+        r.events_per_sec,
+        r.peak_queue_depth,
+        r.allocs_per_request,
+        r.metrics_hash,
+    );
+    if let Some(p) = &r.phases {
+        eprintln!(
+            "cityscale:       allocs  build {:>10}  prewarm {:>8}  schedule {:>8}  \
+             event_loop {:>10}  hash {:>6}",
+            p.build, p.profile.prewarm, p.profile.schedule, p.profile.event_loop, p.hash,
+        );
     }
 }

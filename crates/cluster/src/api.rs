@@ -46,6 +46,22 @@ pub struct ServiceStatus {
     pub endpoint: Option<SocketAddr>,
 }
 
+/// A [`ServiceStatus`] plus an explicit validity window, for controller-side
+/// caching (DESIGN.md §5i). The snapshot stays *exact* — bit-identical to a
+/// fresh [`ClusterBackend::status`] call — until either the backend's
+/// mutation epoch changes (any `&mut` operation) or sim time reaches
+/// `stable_until` (the next container state/readiness transition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    pub status: ServiceStatus,
+    /// First future instant at which `status` (or the endpoint list) could
+    /// change without a backend mutation; `SimTime::FAR_FUTURE` once every
+    /// container has settled.
+    pub stable_until: SimTime,
+    /// The backend's mutation epoch at snapshot time.
+    pub epoch: u64,
+}
+
 impl ServiceStatus {
     pub fn absent() -> ServiceStatus {
         ServiceStatus {
@@ -172,6 +188,37 @@ pub trait ClusterBackend {
             s if s.is_ready() => s.endpoint.into_iter().collect(),
             _ => Vec::new(),
         }
+    }
+
+    /// Allocation-free variant of [`ClusterBackend::replica_endpoints`] for
+    /// the controller's per-packet-in path: append the ready endpoints to a
+    /// caller-owned scratch buffer instead of returning a fresh `Vec`.
+    fn replica_endpoints_into(&self, now: SimTime, service: &str, out: &mut Vec<SocketAddr>) {
+        out.extend(self.replica_endpoints(now, service));
+    }
+
+    /// One-shot status + ready-endpoints snapshot with a validity window, so
+    /// the controller can cache per-service state densely instead of paying
+    /// a name-keyed probe on every packet-in. Appends the ready endpoints to
+    /// `endpoints` (same contents as
+    /// [`ClusterBackend::replica_endpoints_into`]). Backends that cannot
+    /// bound validity return `None` (the default) and callers fall back to
+    /// per-call queries.
+    fn service_snapshot(
+        &self,
+        now: SimTime,
+        service: &str,
+        endpoints: &mut Vec<SocketAddr>,
+    ) -> Option<ServiceSnapshot> {
+        let _ = (now, service, endpoints);
+        None
+    }
+
+    /// Monotonic counter that changes on every `&mut` operation, letting
+    /// callers cheaply validate cached [`ServiceSnapshot`]s. `None` (the
+    /// default) means the backend does not support snapshot caching.
+    fn mutation_epoch(&self) -> Option<u64> {
+        None
     }
 
     /// Names of all created services (for inventory / scale-down sweeps).

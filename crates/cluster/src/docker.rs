@@ -6,15 +6,14 @@
 //! a started container is connectable as soon as its app opens the port —
 //! which is why Docker's scale-up lands well under one second (Fig. 11).
 
-use std::collections::BTreeMap;
-
 use containers::{ContainerId, ContainerSpec, ContainerState, Runtime};
 use registry::RegistrySet;
-use simcore::{DurationDist, SimRng, SimTime};
+use simcore::{DetHashMap, DurationDist, SimRng, SimTime};
 use simnet::{IpAddr, SocketAddr};
 
 use crate::api::{
-    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceSnapshot,
+    ServiceStatus,
 };
 use crate::template::ServiceTemplate;
 
@@ -46,9 +45,15 @@ pub struct DockerCluster {
     rng: SimRng,
     /// Engine API latency per call (CLI/SDK → dockerd → containerd).
     api_call: DurationDist,
-    // BTreeMap: `services()` iterates; name order must not depend on hash seed.
-    services: BTreeMap<String, DockerService>,
+    // Probed several times per packet-in (status/readiness checks); the
+    // deterministic hasher keeps lookups cheap and `services()` sorts before
+    // exposing names, so order never depends on map internals.
+    services: DetHashMap<String, DockerService>,
     next_host_port: u16,
+    /// Mutation counter backing [`ClusterBackend::mutation_epoch`]: bumped
+    /// by every `&mut` backend operation so controller-side snapshot caches
+    /// can tell "nothing changed" apart from "re-query needed".
+    epoch: u64,
 }
 
 impl DockerCluster {
@@ -64,8 +69,9 @@ impl DockerCluster {
             runtime,
             rng,
             api_call: DurationDist::log_normal_ms(18.0, 0.25),
-            services: BTreeMap::new(),
+            services: DetHashMap::default(),
             next_host_port: 8000,
+            epoch: 0,
         }
     }
 
@@ -165,6 +171,7 @@ impl ClusterBackend for DockerCluster {
         template: &ServiceTemplate,
         registries: &RegistrySet,
     ) -> Result<SimTime, ClusterError> {
+        self.epoch += 1;
         // Images pull sequentially (docker pull a; docker pull b), skipping
         // cached ones.
         let mut t = now;
@@ -187,6 +194,7 @@ impl ClusterBackend for DockerCluster {
         now: SimTime,
         template: &ServiceTemplate,
     ) -> Result<SimTime, ClusterError> {
+        self.epoch += 1;
         if self.services.contains_key(&template.name) {
             return Err(ClusterError::AlreadyCreated(template.name.clone()));
         }
@@ -208,6 +216,7 @@ impl ClusterBackend for DockerCluster {
         service: &str,
         replicas: u32,
     ) -> Result<ScaleReceipt, ClusterError> {
+        self.epoch += 1;
         if !self.services.contains_key(service) {
             return Err(ClusterError::NotCreated(service.to_string()));
         }
@@ -270,6 +279,7 @@ impl ClusterBackend for DockerCluster {
         service: &str,
         replicas: u32,
     ) -> Result<SimTime, ClusterError> {
+        self.epoch += 1;
         if !self.services.contains_key(service) {
             return Err(ClusterError::UnknownService(service.to_string()));
         }
@@ -299,6 +309,7 @@ impl ClusterBackend for DockerCluster {
     }
 
     fn remove(&mut self, now: SimTime, service: &str) -> Result<SimTime, ClusterError> {
+        self.epoch += 1;
         let svc = self
             .services
             .remove(service)
@@ -324,6 +335,7 @@ impl ClusterBackend for DockerCluster {
     }
 
     fn delete_image(&mut self, _now: SimTime, image: &containers::ImageRef) -> bool {
+        self.epoch += 1;
         self.runtime.store.remove_image(image)
     }
 
@@ -335,51 +347,119 @@ impl ClusterBackend for DockerCluster {
             .template
             .images()
             .all(|i| self.runtime.store.has_image(i));
-        let ready_ports: Vec<u16> = svc
-            .replicas
-            .iter()
-            .filter(|r| {
-                r.started
-                    && r.containers
-                        .iter()
-                        .all(|&id| self.runtime.is_port_open(now, id))
-            })
-            .map(|r| r.host_port)
-            .collect();
+        // Single pass, no intermediate Vec: `status` sits on the controller's
+        // per-packet-in path, so it must stay allocation-free.
+        let mut ready = 0u32;
+        let mut first_ready_port: Option<u16> = None;
+        for r in &svc.replicas {
+            if r.started
+                && r.containers
+                    .iter()
+                    .all(|&id| self.runtime.is_port_open(now, id))
+            {
+                ready += 1;
+                first_ready_port.get_or_insert(r.host_port);
+            }
+        }
         ServiceStatus {
             images_cached,
             created: true,
             desired_replicas: svc.desired,
-            ready_replicas: ready_ports.len() as u32,
+            ready_replicas: ready,
             endpoint: Some(SocketAddr::new(
                 self.ip,
-                ready_ports
-                    .first()
-                    .copied()
-                    .unwrap_or(svc.replicas[0].host_port),
+                first_ready_port.unwrap_or(svc.replicas[0].host_port),
             )),
         }
     }
 
     fn replica_endpoints(&self, now: SimTime, service: &str) -> Vec<SocketAddr> {
+        let mut out = Vec::new();
+        self.replica_endpoints_into(now, service, &mut out);
+        out
+    }
+
+    fn service_snapshot(
+        &self,
+        now: SimTime,
+        service: &str,
+        endpoints: &mut Vec<SocketAddr>,
+    ) -> Option<ServiceSnapshot> {
         let Ok(svc) = self.service(service) else {
-            return Vec::new();
+            // Absence is stable until a mutation (create) bumps the epoch.
+            return Some(ServiceSnapshot {
+                status: ServiceStatus::absent(),
+                stable_until: SimTime::FAR_FUTURE,
+                epoch: self.epoch,
+            });
         };
-        svc.replicas
-            .iter()
-            .filter(|r| {
-                r.started
-                    && r.containers
-                        .iter()
-                        .all(|&id| self.runtime.is_port_open(now, id))
-            })
-            .map(|r| SocketAddr::new(self.ip, r.host_port))
-            .collect()
+        let images_cached = svc
+            .template
+            .images()
+            .all(|i| self.runtime.store.has_image(i));
+        // One pass over the replicas: readiness, ready endpoints, and the
+        // earliest future instant any container's observable state can flip
+        // without a mutation (which bounds the snapshot's validity).
+        let mut ready = 0u32;
+        let mut first_ready_port: Option<u16> = None;
+        let mut stable_until = SimTime::FAR_FUTURE;
+        for r in &svc.replicas {
+            for &id in &r.containers {
+                if let Some(t) = self.runtime.port_transition_after(now, id) {
+                    stable_until = stable_until.min(t);
+                }
+            }
+            if r.started
+                && r.containers
+                    .iter()
+                    .all(|&id| self.runtime.is_port_open(now, id))
+            {
+                ready += 1;
+                first_ready_port.get_or_insert(r.host_port);
+                endpoints.push(SocketAddr::new(self.ip, r.host_port));
+            }
+        }
+        Some(ServiceSnapshot {
+            status: ServiceStatus {
+                images_cached,
+                created: true,
+                desired_replicas: svc.desired,
+                ready_replicas: ready,
+                endpoint: Some(SocketAddr::new(
+                    self.ip,
+                    first_ready_port.unwrap_or(svc.replicas[0].host_port),
+                )),
+            },
+            stable_until,
+            epoch: self.epoch,
+        })
+    }
+
+    fn mutation_epoch(&self) -> Option<u64> {
+        Some(self.epoch)
+    }
+
+    fn replica_endpoints_into(&self, now: SimTime, service: &str, out: &mut Vec<SocketAddr>) {
+        let Ok(svc) = self.service(service) else {
+            return;
+        };
+        out.extend(
+            svc.replicas
+                .iter()
+                .filter(|r| {
+                    r.started
+                        && r.containers
+                            .iter()
+                            .all(|&id| self.runtime.is_port_open(now, id))
+                })
+                .map(|r| SocketAddr::new(self.ip, r.host_port)),
+        );
     }
 
     fn services(&self) -> Vec<String> {
-        // BTreeMap keys are already in sorted order.
-        self.services.keys().cloned().collect()
+        let mut names: Vec<String> = self.services.keys().cloned().collect();
+        names.sort_unstable();
+        names
     }
 
     fn load(&self) -> f64 {
@@ -393,6 +473,7 @@ impl ClusterBackend for DockerCluster {
     /// Without a restart policy the engine does nothing: the replica stays
     /// down until something (the controller) scales it up again.
     fn inject_crash(&mut self, now: SimTime, service: &str) -> CrashOutcome {
+        self.epoch += 1;
         let Some(svc) = self.services.get(service) else {
             return CrashOutcome::NoInstance;
         };

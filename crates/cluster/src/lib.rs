@@ -27,7 +27,8 @@ pub mod template;
 pub mod wasm;
 
 pub use api::{
-    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceStatus,
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, ScaleReceipt, ServiceSnapshot,
+    ServiceStatus,
 };
 pub use capacity::{
     CapacityShortfall, DeploymentRequirements, ResourceAllocation, ResourceRequest, SiteCapacity,

@@ -12,7 +12,7 @@
 //! process start until the service's port opens) comes from the service spec —
 //! it is the part the paper's controller polls for (Figs. 14/15).
 
-use std::collections::HashMap;
+use simcore::DetHashMap;
 
 use simcore::{DurationDist, SimDuration, SimRng, SimTime};
 
@@ -128,6 +128,27 @@ impl Container {
     pub fn ready_at(&self) -> SimTime {
         self.ready_at
     }
+
+    /// Earliest instant strictly after `now` at which this container's
+    /// observable state (`state_at` / `is_ready`) can still change without a
+    /// runtime mutation; `None` once fully settled. Used to bound the
+    /// validity of controller-side status snapshots (DESIGN.md §5i).
+    pub fn next_transition_after(&self, now: SimTime) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        if matches!(
+            self.state,
+            ContainerState::Creating | ContainerState::Starting
+        ) {
+            consider(self.transition_done);
+        }
+        consider(self.ready_at);
+        next
+    }
 }
 
 /// Why a runtime operation was rejected.
@@ -168,7 +189,9 @@ pub struct Runtime {
     pub store: ImageStore,
     cost: CostModel,
     rng: SimRng,
-    containers: HashMap<ContainerId, Container>,
+    // Probed by every controller-side readiness check (`is_port_open`); the
+    // deterministic hasher keeps the per-packet-in probe cheap.
+    containers: DetHashMap<ContainerId, Container>,
     next_id: u64,
     cpu_capacity_millis: u32,
     mem_capacity_bytes: u64,
@@ -182,7 +205,7 @@ impl Runtime {
             store: ImageStore::new(),
             cost,
             rng,
-            containers: HashMap::new(),
+            containers: DetHashMap::default(),
             next_id: 0,
             cpu_capacity_millis: cpu_millis,
             mem_capacity_bytes: mem_bytes,
@@ -360,6 +383,11 @@ impl Runtime {
     /// readiness probe tests.)
     pub fn is_port_open(&self, now: SimTime, id: ContainerId) -> bool {
         self.get(id).is_some_and(|c| c.is_ready(now))
+    }
+
+    /// See [`Container::next_transition_after`].
+    pub fn port_transition_after(&self, now: SimTime, id: ContainerId) -> Option<SimTime> {
+        self.get(id).and_then(|c| c.next_transition_after(now))
     }
 
     /// All containers whose state at `now` matches `state`.

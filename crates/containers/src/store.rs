@@ -11,7 +11,7 @@
 //!   ref-counted and [`ImageStore::missing_layers`] reports only what must
 //!   actually be downloaded.
 
-use std::collections::HashMap;
+use simcore::DetHashMap;
 
 use crate::image::{ImageManifest, ImageRef, Layer, LayerDigest};
 
@@ -27,9 +27,11 @@ pub struct StoreStats {
 #[derive(Debug, Default, Clone)]
 pub struct ImageStore {
     /// Layers on disk with the number of stored images referencing each.
-    layers: HashMap<LayerDigest, (Layer, usize)>,
-    /// Complete images present (manifest pinned).
-    images: HashMap<ImageRef, ImageManifest>,
+    layers: DetHashMap<LayerDigest, (Layer, usize)>,
+    /// Complete images present (manifest pinned). Probed by every
+    /// controller-side readiness check, so a fast deterministic hasher
+    /// (DESIGN.md §5i) rather than std's SipHash.
+    images: DetHashMap<ImageRef, ImageManifest>,
 }
 
 impl ImageStore {

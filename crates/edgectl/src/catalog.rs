@@ -12,10 +12,11 @@
 //! the cluster-backend boundary via [`ServiceCatalog::name_arc`] (a refcount
 //! bump, not an allocation).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use cluster::ServiceTemplate;
+use simcore::DetHashMap;
 use simnet::SocketAddr;
 
 /// Interned service name: a stable dense index into the catalog's name table.
@@ -39,9 +40,10 @@ pub struct RegisteredService {
 /// Cloud address → service lookup, as the Dispatcher uses it on PacketIn.
 #[derive(Debug, Default, Clone)]
 pub struct ServiceCatalog {
-    // BTreeMap: `services()` iterates for diagnostics and audits; the order
-    // must be address order, not the process hash seed.
-    by_addr: BTreeMap<SocketAddr, RegisteredService>,
+    // Probed on every PacketIn, so a fast deterministic hasher; `services()`
+    // sorts by address before exposing entries, keeping diagnostics and
+    // audits in address order regardless of map internals.
+    by_addr: DetHashMap<SocketAddr, RegisteredService>,
     by_name: HashMap<Arc<str>, SocketAddr>,
     /// Interner: name → id and id → name.
     ids: HashMap<Arc<str>, ServiceId>,
@@ -126,7 +128,9 @@ impl ServiceCatalog {
     }
 
     pub fn services(&self) -> impl Iterator<Item = &RegisteredService> {
-        self.by_addr.values()
+        let mut entries: Vec<&RegisteredService> = self.by_addr.values().collect();
+        entries.sort_by_key(|s| s.cloud_addr);
+        entries.into_iter()
     }
 }
 

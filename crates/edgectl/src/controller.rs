@@ -16,9 +16,11 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use cluster::{ClusterBackend, ClusterKind, ResourceAllocation, ResourceRequest, SiteCapacity};
+use cluster::{
+    ClusterBackend, ClusterKind, ResourceAllocation, ResourceRequest, ServiceStatus, SiteCapacity,
+};
 use registry::RegistrySet;
-use simcore::{SimDuration, SimTime};
+use simcore::{DetHashMap, SimDuration, SimTime};
 use simnet::openflow::{Action, BufferId, FlowMatch, FlowSpec, PortId};
 use simnet::{IpAddr, Packet, SocketAddr};
 
@@ -294,6 +296,73 @@ pub struct AttachedCluster {
     /// Per-service booking: the per-replica demand admitted and how many
     /// replicas are booked.
     admitted: HashMap<ServiceId, (ResourceRequest, u32)>,
+    /// Dense per-service snapshot cache (DESIGN.md §5i), indexed by
+    /// [`ServiceId`]. Each entry is validated against the backend's mutation
+    /// epoch and its own `stable_until` before reuse, so a hit is exact —
+    /// bit-identical to a fresh `status`/`replica_endpoints` query. Unused
+    /// (always empty) for backends without snapshot support.
+    snap_cache: Vec<Option<SnapEntry>>,
+}
+
+/// One cached [`cluster::ServiceSnapshot`] plus the endpoint list that came
+/// with it.
+struct SnapEntry {
+    epoch: u64,
+    snapped_at: SimTime,
+    stable_until: SimTime,
+    status: ServiceStatus,
+    endpoints: Vec<SocketAddr>,
+}
+
+impl AttachedCluster {
+    /// Cached status + ready endpoints of `sid` at `now`, refreshed from the
+    /// backend when the cached entry is missing, from a different mutation
+    /// epoch, or past its validity window. Returns `None` when the backend
+    /// does not support snapshots (callers fall back to direct queries).
+    fn snapshot(
+        &mut self,
+        now: SimTime,
+        sid: ServiceId,
+        name: &str,
+    ) -> Option<(&ServiceStatus, &[SocketAddr])> {
+        let cur_epoch = self.backend.mutation_epoch()?;
+        let idx = sid.0 as usize;
+        if idx >= self.snap_cache.len() {
+            self.snap_cache.resize_with(idx + 1, || None);
+        }
+        let valid = self.snap_cache[idx]
+            .as_ref()
+            .is_some_and(|e| e.epoch == cur_epoch && e.snapped_at <= now && now < e.stable_until);
+        if !valid {
+            // Reuse the old entry's endpoint buffer to stay allocation-free
+            // in steady state.
+            let mut endpoints = self.snap_cache[idx]
+                .take()
+                .map(|e| e.endpoints)
+                .unwrap_or_default();
+            endpoints.clear();
+            let snap = self.backend.service_snapshot(now, name, &mut endpoints)?;
+            self.snap_cache[idx] = Some(SnapEntry {
+                epoch: snap.epoch,
+                snapped_at: now,
+                stable_until: snap.stable_until,
+                status: snap.status,
+                endpoints,
+            });
+        }
+        let e = self.snap_cache[idx].as_ref().expect("entry just ensured");
+        Some((&e.status, &e.endpoints[..]))
+    }
+
+    /// Convenience wrapper over [`AttachedCluster::snapshot`] that falls
+    /// back to a direct backend query, preserving exact semantics for
+    /// backends without snapshot support.
+    fn status_of(&mut self, now: SimTime, sid: ServiceId, name: &str) -> ServiceStatus {
+        match self.snapshot(now, sid, name) {
+            Some((status, _)) => status.clone(),
+            None => self.backend.status(now, name),
+        }
+    }
 }
 
 /// Which deployment engine drives the pipeline.
@@ -336,7 +405,12 @@ pub struct Controller {
     engine: Engine,
     /// Dispatcher-tracked client locations: which switch and port each
     /// client was last seen at (paper §IV-B).
-    client_ports: HashMap<IpAddr, (SwitchId, PortId)>,
+    client_ports: DetHashMap<IpAddr, (SwitchId, PortId)>,
+    /// Reused buffer for the per-decision scheduler view (cleared between
+    /// PacketIns; only its capacity survives).
+    views_scratch: Vec<ClusterView>,
+    /// Reused buffer for Local-Scheduler endpoint listing (same rationale).
+    endpoints_scratch: Vec<SocketAddr>,
     /// Pending flow moves produced by BEST deployments:
     /// (ready instant, cluster, service).
     retarget_queue: Vec<(SimTime, ClusterId, ServiceId)>,
@@ -480,7 +554,9 @@ impl ControllerBuilder {
             registries: self.registries,
             cloud_ports: vec![self.cloud_port],
             engine,
-            client_ports: HashMap::new(),
+            client_ports: DetHashMap::default(),
+            views_scratch: Vec::new(),
+            endpoints_scratch: Vec::new(),
             retarget_queue: Vec::new(),
             scaled_to_zero: BTreeMap::new(),
             predictor: self.predictor,
@@ -538,6 +614,7 @@ impl Controller {
             labels: Arc::from(Vec::new()),
             allocated: ResourceAllocation::default(),
             admitted: HashMap::new(),
+            snap_cache: Vec::new(),
         });
         ClusterId(self.clusters.len() - 1)
     }
@@ -663,6 +740,24 @@ impl Controller {
         buffer_id: BufferId,
         in_port: PortId,
     ) -> Vec<ControllerOutput> {
+        let mut out = Vec::new();
+        self.on_packet_in_at_into(now, sw, packet, buffer_id, in_port, &mut out);
+        out
+    }
+
+    /// [`Controller::on_packet_in_at`] appending into a caller-owned buffer —
+    /// the allocation-free form the testbed's batched event loop drives. The
+    /// outputs appended are exactly (and in the same order as) what the
+    /// `Vec`-returning wrapper would have returned.
+    pub fn on_packet_in_at_into(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+        out: &mut Vec<ControllerOutput>,
+    ) {
         self.stats.packet_ins += 1;
         self.client_ports.insert(packet.src.ip, (sw, in_port));
         let decide_at = now + self.config.processing_delay;
@@ -678,7 +773,15 @@ impl Controller {
             let Some(cluster) = cluster else {
                 // Memorized as served by the cloud (no edge cluster).
                 self.stats.memory_hits += 1;
-                return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid));
+                return self.cloud_outputs(
+                    decide_at,
+                    sw,
+                    packet,
+                    in_port,
+                    buffer_id,
+                    Some(sid),
+                    out,
+                );
             };
             let service_name = self.catalog.name_arc(sid);
             // Follow-Me-Edge (related work [12], [13]): if the client has
@@ -687,16 +790,22 @@ impl Controller {
             // re-installing the stale redirect (which would hairpin traffic
             // across the fabric).
             let cur_dist = self.clusters[cluster.0].distances[sw.0];
-            let nearer_ready = self.clusters.iter().enumerate().any(|(i, c)| {
-                i != cluster.0
-                    && c.distances[sw.0] < cur_dist
-                    && c.backend.status(now, &service_name).is_ready()
-            });
+            let mut nearer_ready = false;
+            for i in 0..self.clusters.len() {
+                if i != cluster.0
+                    && self.clusters[i].distances[sw.0] < cur_dist
+                    && self.clusters[i]
+                        .status_of(now, sid, &service_name)
+                        .is_ready()
+                {
+                    nearer_ready = true;
+                    break;
+                }
+            }
             // The remembered instance may have been scaled down meanwhile.
             if !nearer_ready
                 && self.clusters[cluster.0]
-                    .backend
-                    .status(now, &service_name)
+                    .status_of(now, sid, &service_name)
                     .is_ready()
             {
                 self.stats.memory_hits += 1;
@@ -709,6 +818,7 @@ impl Controller {
                     cluster,
                     in_port,
                     Some(buffer_id),
+                    out,
                 );
             }
             if nearer_ready {
@@ -720,15 +830,18 @@ impl Controller {
         // 2. Registered service? Unregistered destinations pass through to
         //    the cloud untouched.
         let Some(service) = self.catalog.lookup(packet.dst) else {
-            return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None);
+            return self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None, out);
         };
         let sid = service.id;
         let template = Arc::clone(&service.template);
         let service_name = self.catalog.name_arc(sid);
         self.predictor.observe(now, packet.dst);
 
-        // 3. Feed the Global Scheduler the Dispatcher's system view.
-        let views = self.cluster_views(now, sid, sw.0, &service_name);
+        // 3. Feed the Global Scheduler the Dispatcher's system view. The
+        //    view buffer is reused across decisions (take/put so the borrow
+        //    checker sees it detached from `self` while the context lives).
+        let mut views = std::mem::take(&mut self.views_scratch);
+        self.cluster_views_into(now, sid, sw.0, &service_name, &mut views);
         let ctx = SchedulingContext::new(
             sid,
             &views,
@@ -748,10 +861,14 @@ impl Controller {
         }
 
         // 5. Serve the current request.
-        let mut outputs = match decision.fast {
+        match decision.fast {
             Some(fast) => {
-                let status = self.clusters[fast.0].backend.status(now, &service_name);
-                if status.is_ready() {
+                // The view built for the scheduler already holds this
+                // cluster's status at `now` (nothing between the snapshot and
+                // here mutates `fast` — BEST-side deployment only runs when
+                // it targets a *different* cluster), so reuse it instead of
+                // re-querying the backend on the per-request path.
+                if views[fast.0].status.is_ready() {
                     // Redirect immediately (possibly a detour to a farther
                     // cluster while BEST deploys).
                     if decision.is_without_waiting() {
@@ -768,22 +885,25 @@ impl Controller {
                         fast,
                         in_port,
                         Some(buffer_id),
+                        out,
                     )
                 } else {
                     // On-demand deployment WITH waiting (paper Fig. 5): hold
                     // the buffered packet until the port opens.
                     self.hold_on_deployment(
                         now, decide_at, sw, fast, sid, &template, key, packet, in_port, buffer_id,
+                        out,
                     )
                 }
             }
-            None => self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid)),
+            None => self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid), out),
         };
+        views.clear();
+        self.views_scratch = views;
         // Advance any machine whose step is already due (e.g. the scale-up a
         // request just triggered) before returning to the event loop, so the
         // backend sees the same call order as the synchronous pipeline.
-        self.pump_machines(now, &mut outputs);
-        outputs
+        self.pump_machines(now, out);
     }
 
     /// BEST-side deployment request (never holds the current request).
@@ -852,7 +972,8 @@ impl Controller {
         packet: Packet,
         in_port: PortId,
         buffer_id: BufferId,
-    ) -> Vec<ControllerOutput> {
+        out: &mut Vec<ControllerOutput>,
+    ) {
         // Admission control: the scheduler picked a with-waiting deployment
         // at `fast`, but the site may not take it (capacity / labels). Fall
         // through to the nearest other ready instance, else the cloud.
@@ -878,9 +999,12 @@ impl Controller {
                         cluster,
                         in_port,
                         Some(buffer_id),
+                        out,
                     )
                 }
-                None => self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid)),
+                None => {
+                    self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, Some(sid), out)
+                }
             };
         }
         if matches!(self.engine, Engine::Reference(_)) {
@@ -897,11 +1021,12 @@ impl Controller {
                         fast,
                         in_port,
                         Some(buffer_id),
+                        out,
                     )
                 }
                 None => {
                     // Deployment failed; fall back to the cloud.
-                    self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None)
+                    self.cloud_outputs(decide_at, sw, packet, in_port, buffer_id, None, out)
                 }
             };
         }
@@ -931,6 +1056,7 @@ impl Controller {
                         in_port,
                         buffer_id,
                         Some(sid),
+                        out,
                     );
                 }
                 self.start_machine(now, fast, sid, template, true, false)
@@ -946,7 +1072,6 @@ impl Controller {
                 packet,
             });
         }
-        Vec::new()
     }
 
     // -----------------------------------------------------------------------
@@ -956,38 +1081,34 @@ impl Controller {
     /// The Dispatcher's system view fed to the Global Scheduler: per-cluster
     /// status at `now` from the perspective of switch `sw_idx`, including
     /// whether a deployment of `sid` is currently in flight there.
-    fn cluster_views(
-        &self,
+    fn cluster_views_into(
+        &mut self,
         now: SimTime,
         sid: ServiceId,
         sw_idx: usize,
         name: &str,
-    ) -> Vec<ClusterView> {
-        self.clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let deploying = match &self.engine {
-                    Engine::Stepped(d) => d.find(ClusterId(i), sid).is_some(),
-                    Engine::Reference(r) => r
-                        .pending
-                        .get(&(ClusterId(i), sid))
-                        .is_some_and(|&t| t > now),
-                };
-                ClusterView::builder(
-                    ClusterId(i),
-                    c.backend.kind(),
-                    c.distances[sw_idx],
-                    c.backend.status(now, name),
-                )
-                .load(c.backend.load())
-                .deploying(deploying)
-                .capacity(c.capacity)
-                .allocated(c.allocated)
-                .labels(Arc::clone(&c.labels))
-                .build()
-            })
-            .collect()
+        out: &mut Vec<ClusterView>,
+    ) {
+        for i in 0..self.clusters.len() {
+            let deploying = match &self.engine {
+                Engine::Stepped(d) => d.find(ClusterId(i), sid).is_some(),
+                Engine::Reference(r) => r
+                    .pending
+                    .get(&(ClusterId(i), sid))
+                    .is_some_and(|&t| t > now),
+            };
+            let c = &mut self.clusters[i];
+            let status = c.status_of(now, sid, name);
+            out.push(
+                ClusterView::builder(ClusterId(i), c.backend.kind(), c.distances[sw_idx], status)
+                    .load(c.backend.load())
+                    .deploying(deploying)
+                    .capacity(c.capacity)
+                    .allocated(c.allocated)
+                    .labels(Arc::clone(&c.labels))
+                    .build(),
+            );
+        }
     }
 
     /// Is a deployment of `sid` at `cluster` already in flight (either
@@ -1319,7 +1440,7 @@ impl Controller {
         for w in m.waiters.drain(..) {
             self.stats.held_requests += 1;
             let target = self.pick_instance(ready_detected, m.cluster, m.service);
-            out.extend(self.redirect_outputs(
+            self.redirect_outputs(
                 ready_detected.max(w.decide_at),
                 w.sw,
                 w.key,
@@ -1328,7 +1449,8 @@ impl Controller {
                 m.cluster,
                 w.in_port,
                 Some(w.buffer_id),
-            ));
+                out,
+            );
         }
     }
 
@@ -1370,14 +1492,15 @@ impl Controller {
             if self.memory.get(w.key).is_some_and(|f| f.pending) {
                 self.memory.forget(w.key);
             }
-            out.extend(self.cloud_outputs(
+            self.cloud_outputs(
                 w.decide_at,
                 w.sw,
                 w.packet,
                 w.in_port,
                 w.buffer_id,
                 None,
-            ));
+                out,
+            );
         }
     }
 
@@ -1439,12 +1562,17 @@ impl Controller {
     /// component checks its own due instant.
     pub fn on_wakeup(&mut self, now: SimTime) -> Vec<ControllerOutput> {
         let mut out = Vec::new();
-        self.run_predict_due(now);
-        self.pump_machines(now, &mut out);
-        let retargets = self.drain_retargets(now);
-        out.extend(retargets);
-        self.run_housekeeping(now);
+        self.on_wakeup_into(now, &mut out);
         out
+    }
+
+    /// [`Controller::on_wakeup`] appending into a caller-owned buffer (the
+    /// allocation-free form the testbed's event loop drives).
+    pub fn on_wakeup_into(&mut self, now: SimTime, out: &mut Vec<ControllerOutput>) {
+        self.run_predict_due(now);
+        self.pump_machines(now, out);
+        self.drain_retargets(now, out);
+        self.run_housekeeping(now);
     }
 
     /// Arm the proactive-deployment cadence: run a predict pass at `first`,
@@ -1575,9 +1703,13 @@ impl Controller {
         }
     }
 
-    /// Collect the FlowMods produced by retargets due at or before `upto`.
-    fn drain_retargets(&mut self, upto: SimTime) -> Vec<ControllerOutput> {
-        let mut outputs = Vec::new();
+    /// Append the FlowMods produced by retargets due at or before `upto`.
+    fn drain_retargets(&mut self, upto: SimTime, outputs: &mut Vec<ControllerOutput>) {
+        // Fast path: most wakeups have no due retarget — don't shuffle the
+        // queue (three Vec builds) just to discover that.
+        if !self.retarget_queue.iter().any(|item| item.0 <= upto) {
+            return;
+        }
         let mut due: Vec<(SimTime, ClusterId, ServiceId)> = Vec::new();
         let mut remaining: Vec<(SimTime, ClusterId, ServiceId)> = Vec::new();
         for item in std::mem::take(&mut self.retarget_queue) {
@@ -1612,11 +1744,10 @@ impl Controller {
                         switch: sw,
                         spec,
                     }));
-                    outputs.extend(self.host_route_outputs(at, sw, key.client_ip, client_port));
+                    self.host_route_outputs(at, sw, key.client_ip, client_port, outputs);
                 }
             }
         }
-        outputs
     }
 
     /// Run every predict pass due at or before `now`.
@@ -1656,7 +1787,8 @@ impl Controller {
             }
             // Deploy at the cluster the Global Scheduler would pick for the
             // future (BEST semantics with no requesting client).
-            let views = self.cluster_views(now, sid, 0, &name);
+            let mut views = std::mem::take(&mut self.views_scratch);
+            self.cluster_views_into(now, sid, 0, &name, &mut views);
             let ctx = SchedulingContext::new(
                 sid,
                 &views,
@@ -1666,6 +1798,8 @@ impl Controller {
                 now,
             );
             let decision = self.global.decide(&ctx);
+            views.clear();
+            self.views_scratch = views;
             let Some(target) = decision.target_for_future() else {
                 continue;
             };
@@ -1846,15 +1980,32 @@ impl Controller {
         service: ServiceId,
     ) -> SocketAddr {
         let name = self.catalog.name_arc(service);
-        let endpoints = self.clusters[cluster.0]
+        // Snapshot hit: pick straight out of the cached endpoint list.
+        if let Some((_, endpoints)) = self.clusters[cluster.0].snapshot(now, service, &name) {
+            assert!(
+                !endpoints.is_empty(),
+                "pick_instance on a service with no ready replica"
+            );
+            let n = endpoints.len();
+            let idx = (self.local.pick(service, n as u32) as usize).min(n - 1);
+            return self.clusters[cluster.0].snap_cache[service.0 as usize]
+                .as_ref()
+                .expect("snapshot just validated")
+                .endpoints[idx];
+        }
+        let mut endpoints = std::mem::take(&mut self.endpoints_scratch);
+        endpoints.clear();
+        self.clusters[cluster.0]
             .backend
-            .replica_endpoints(now, &name);
+            .replica_endpoints_into(now, &name, &mut endpoints);
         assert!(
             !endpoints.is_empty(),
             "pick_instance on a service with no ready replica"
         );
         let idx = self.local.pick(service, endpoints.len() as u32) as usize;
-        endpoints[idx.min(endpoints.len() - 1)]
+        let chosen = endpoints[idx.min(endpoints.len() - 1)];
+        self.endpoints_scratch = endpoints;
+        chosen
     }
 
     // -----------------------------------------------------------------------
@@ -1875,7 +2026,8 @@ impl Controller {
         cluster: ClusterId,
         client_port: PortId,
         buffer: Option<BufferId>,
-    ) -> Vec<ControllerOutput> {
+        out: &mut Vec<ControllerOutput>,
+    ) {
         self.memory
             .remember(at, key, service, target, Some(cluster));
         let pair = flow_pair(
@@ -1887,23 +2039,19 @@ impl Controller {
             Some(self.config.switch_idle_timeout),
             cookie_for(self.catalog.name_of(service)),
         );
-        let mut outputs: Vec<ControllerOutput> = pair
-            .into_iter()
-            .map(|spec| ControllerOutput::FlowMod {
-                at,
-                switch: sw,
-                spec,
-            })
-            .collect();
-        outputs.extend(self.host_route_outputs(at, sw, key.client_ip, client_port));
+        out.extend(pair.into_iter().map(|spec| ControllerOutput::FlowMod {
+            at,
+            switch: sw,
+            spec,
+        }));
+        self.host_route_outputs(at, sw, key.client_ip, client_port, out);
         if let Some(buffer_id) = buffer {
-            outputs.push(ControllerOutput::ReleaseViaTable {
+            out.push(ControllerOutput::ReleaseViaTable {
                 at,
                 switch: sw,
                 buffer_id,
             });
         }
-        outputs
     }
 
     /// Host routes steering traffic for `client_ip` toward its current
@@ -1915,8 +2063,8 @@ impl Controller {
         client_sw: SwitchId,
         client_ip: IpAddr,
         _client_port: PortId,
-    ) -> Vec<ControllerOutput> {
-        let mut outputs = Vec::new();
+        outputs: &mut Vec<ControllerOutput>,
+    ) {
         for s in 0..self.switch_count() {
             if s == client_sw.0 {
                 continue;
@@ -1945,12 +2093,12 @@ impl Controller {
                     .cookie(cookie_for("host-route")),
             });
         }
-        outputs
     }
 
     /// Pass-through to the cloud: forward unchanged, bring responses back.
     /// For *registered* services the decision is memorized (with no edge
     /// cluster) so a later BEST deployment can retarget it.
+    #[allow(clippy::too_many_arguments)]
     fn cloud_outputs(
         &mut self,
         at: SimTime,
@@ -1959,7 +2107,8 @@ impl Controller {
         client_port: PortId,
         buffer_id: BufferId,
         service: Option<ServiceId>,
-    ) -> Vec<ControllerOutput> {
+        outputs: &mut Vec<ControllerOutput>,
+    ) {
         self.stats.cloud_forwards += 1;
         if let Some(service) = service {
             let key = FlowKey {
@@ -1969,7 +2118,7 @@ impl Controller {
             self.memory.remember(at, key, service, packet.dst, None);
         }
         let cookie = cookie_for("cloud");
-        let forward = ControllerOutput::FlowMod {
+        outputs.push(ControllerOutput::FlowMod {
             at,
             switch: sw,
             spec: FlowSpec::new(FlowMatch::client_to_service(packet.src.ip, packet.dst))
@@ -1977,7 +2126,7 @@ impl Controller {
                 .action(Action::Output(self.cloud_ports[sw.0]))
                 .idle(self.config.switch_idle_timeout)
                 .cookie(cookie),
-        };
+        });
         let reverse_matcher = FlowMatch {
             protocol: Some(packet.protocol),
             src_ip: Some(packet.dst.ip),
@@ -1985,7 +2134,7 @@ impl Controller {
             dst_ip: Some(packet.src.ip),
             ..FlowMatch::default()
         };
-        let reverse = ControllerOutput::FlowMod {
+        outputs.push(ControllerOutput::FlowMod {
             at,
             switch: sw,
             spec: FlowSpec::new(reverse_matcher)
@@ -1993,15 +2142,13 @@ impl Controller {
                 .action(Action::Output(client_port))
                 .idle(self.config.switch_idle_timeout)
                 .cookie(cookie),
-        };
-        let mut outputs = vec![forward, reverse];
-        outputs.extend(self.host_route_outputs(at, sw, packet.src.ip, client_port));
+        });
+        self.host_route_outputs(at, sw, packet.src.ip, client_port, outputs);
         outputs.push(ControllerOutput::ReleaseViaTable {
             at,
             switch: sw,
             buffer_id,
         });
-        outputs
     }
 }
 
@@ -2023,11 +2170,11 @@ fn flow_pair(
         key.service_addr,
     ))
     .priority(priority)
-    .actions(vec![
-        Action::SetDstIp(target.ip),
-        Action::SetDstPort(target.port),
-        Action::Output(cluster_port),
-    ])
+    // Chained `.action()` stays in the ActionList's inline storage — no
+    // heap allocation on the per-request install path.
+    .action(Action::SetDstIp(target.ip))
+    .action(Action::SetDstPort(target.port))
+    .action(Action::Output(cluster_port))
     .idle_opt(idle_timeout)
     .cookie(cookie);
     // Response path: rewrite the edge instance's address back to the cloud
@@ -2041,11 +2188,9 @@ fn flow_pair(
     };
     let reverse = FlowSpec::new(reverse_matcher)
         .priority(priority)
-        .actions(vec![
-            Action::SetSrcIp(key.service_addr.ip),
-            Action::SetSrcPort(key.service_addr.port),
-            Action::Output(client_port),
-        ])
+        .action(Action::SetSrcIp(key.service_addr.ip))
+        .action(Action::SetSrcPort(key.service_addr.port))
+        .action(Action::Output(client_port))
         .idle_opt(idle_timeout)
         .cookie(cookie);
     let pair = [forward, reverse];

@@ -24,10 +24,9 @@
 //! redirect installs.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
-use std::ops::Bound;
+use std::collections::BinaryHeap;
 
-use simcore::{SimDuration, SimTime};
+use simcore::{DetHashMap, DetHashSet, SimDuration, SimTime};
 use simnet::{IpAddr, SocketAddr};
 
 use crate::catalog::ServiceId;
@@ -103,13 +102,13 @@ impl std::error::Error for FlowMemoryError {}
 /// ```
 #[derive(Debug)]
 pub struct FlowMemory {
-    flows: HashMap<FlowKey, MemorizedFlow>,
+    flows: DetHashMap<FlowKey, MemorizedFlow>,
     /// Secondary index: which flows reference a given `(service, cluster)`
-    /// pair (`None` = cloud, sorted first). A `BTreeMap` so
-    /// `services_with_flows` can walk pairs in sorted order and
-    /// `retarget_service` can range-scan one service's clusters. Keys are
-    /// copyable pairs, so probing the index never allocates.
-    by_service: BTreeMap<(ServiceId, Option<ClusterId>), BTreeSet<FlowKey>>,
+    /// pair (`None` = cloud). Hashed on both levels because the per-request
+    /// path maintains it on every new flow; the rare order-sensitive readers
+    /// (`services_with_flows`, `retarget_service`) sort before exposure.
+    /// Keys are copyable pairs, so probing the index never allocates.
+    by_service: DetHashMap<(ServiceId, Option<ClusterId>), DetHashSet<FlowKey>>,
     /// Lazy-deletion expiry schedule of `(last_seen + idle_timeout, key)`.
     /// Invariant ("accurate top"): after every `&mut self` method the heap
     /// top is live — its flow exists and still expires at that instant — so
@@ -125,8 +124,8 @@ impl FlowMemory {
             return Err(FlowMemoryError::ZeroIdleTimeout);
         }
         Ok(FlowMemory {
-            flows: HashMap::new(),
-            by_service: BTreeMap::new(),
+            flows: DetHashMap::default(),
+            by_service: DetHashMap::default(),
             expiry: BinaryHeap::new(),
             idle_timeout,
         })
@@ -307,15 +306,14 @@ impl FlowMemory {
     ) -> Vec<FlowKey> {
         // All clusters (and the cloud) currently holding flows of this
         // service.
-        let range = (
-            Bound::Included((service, None)),
-            Bound::Included((service, Some(ClusterId(usize::MAX)))),
-        );
         let mut keys = Vec::new();
-        for ((_, from_cluster), members) in self.by_service.range(range) {
+        for (&(svc, from_cluster), members) in &self.by_service {
+            if svc != service {
+                continue;
+            }
             for &key in members {
                 let f = &self.flows[&key];
-                if f.target != target || *from_cluster != Some(cluster) {
+                if f.target != target || from_cluster != Some(cluster) {
                     keys.push(key);
                 }
             }
@@ -369,7 +367,7 @@ impl FlowMemory {
     pub fn flows_for_service(&self, service: ServiceId, cluster: Option<ClusterId>) -> usize {
         self.by_service
             .get(&(service, cluster))
-            .map_or(0, BTreeSet::len)
+            .map_or(0, DetHashSet::len)
     }
 
     pub fn len(&self) -> usize {
@@ -380,13 +378,17 @@ impl FlowMemory {
     }
 
     /// Distinct `(service, cluster)` pairs with live flows and their counts —
-    /// the autoscaler's demand signal. O(pairs): reads the secondary index,
-    /// which the BTreeMap already keeps sorted.
+    /// the autoscaler's demand signal. O(pairs log pairs): reads the hashed
+    /// secondary index and sorts so callers see `(service, cluster)` order
+    /// (cloud `None` first), as the old BTreeMap exposed.
     pub fn services_with_flows(&self) -> Vec<(ServiceId, Option<ClusterId>, usize)> {
-        self.by_service
+        let mut pairs: Vec<(ServiceId, Option<ClusterId>, usize)> = self
+            .by_service
             .iter()
             .map(|(&(s, c), members)| (s, c, members.len()))
-            .collect()
+            .collect();
+        pairs.sort_unstable_by_key(|&(s, c, _)| (s, c));
+        pairs
     }
 
     /// Remove a flow from the primary map and the service index (the expiry
@@ -398,7 +400,7 @@ impl FlowMemory {
     }
 
     fn index_remove(
-        index: &mut BTreeMap<(ServiceId, Option<ClusterId>), BTreeSet<FlowKey>>,
+        index: &mut DetHashMap<(ServiceId, Option<ClusterId>), DetHashSet<FlowKey>>,
         at: (ServiceId, Option<ClusterId>),
         key: FlowKey,
     ) {

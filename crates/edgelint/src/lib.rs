@@ -690,9 +690,10 @@ fn check_ambient(
                     "`rand::random` draws process entropy; use the scenario-seeded SimRng".into(),
                 ));
             }
-            "env" if !opts.allow_env
-                && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
-                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(':')) =>
+            "env"
+                if !opts.allow_env
+                    && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(':')) =>
             {
                 if let Some(read) = tokens.get(i + 3).and_then(|t| t.kind.ident()) {
                     if ENV_READS.contains(&read) {

@@ -1,0 +1,62 @@
+//! Global allocation counter (feature `counting-alloc`, on by default).
+//!
+//! The workspace budgets heap traffic on the packet hot path —
+//! `allocs/request` is a pinned regression threshold, not just a bench
+//! statistic. Counting from *inside* the process is the only way to assert
+//! it in `cargo test`: a wrapper over the [`std::alloc::System`] allocator
+//! bumps a relaxed atomic on every `alloc`/`realloc`. One counter for the
+//! whole workspace lives here (feature-unification would reject two crates
+//! both claiming `#[global_allocator]`), and both the testbed's per-phase
+//! profile and the `cityscale` bench read it.
+//!
+//! Cost when enabled: one relaxed `fetch_add` per allocation — noise next to
+//! the allocation itself. Builds that want the pristine system allocator can
+//! opt out with `default-features = false`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter has no effect on the
+// returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Total heap allocations (`alloc` + `realloc`) since process start.
+/// Monotone; diff two reads to attribute a region of work.
+pub fn total() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_an_allocation() {
+        let before = total();
+        let v = std::hint::black_box(vec![0u8; 4096]);
+        let after = total();
+        assert!(after > before, "boxed vec was not counted");
+        drop(v);
+    }
+}

@@ -17,14 +17,20 @@
 //! Every simulation in this workspace is **single-threaded and deterministic** given
 //! `(config, seed)`; parallelism only ever happens *across* replicas (see DESIGN.md §7).
 
+#[cfg(feature = "counting-alloc")]
+pub mod alloc_count;
+pub mod dethash;
 pub mod dist;
+pub mod fnv;
 pub mod queue;
 pub mod rng;
 pub mod runner;
 pub mod stats;
 pub mod time;
 
+pub use dethash::{det_map_with_capacity, det_set_with_capacity, DetHashMap, DetHashSet};
 pub use dist::{Dist, DurationDist};
+pub use fnv::FnvStream;
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use runner::{run_seeds, run_seeds_meta, RunnerMeta};

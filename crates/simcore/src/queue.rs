@@ -252,6 +252,43 @@ impl<E> EventQueue<E> {
         (self.min != NIL).then(|| self.nodes[self.min as usize].time)
     }
 
+    /// `(time, seq)` of the earliest live event, if any. O(1), `&self`.
+    ///
+    /// The sequence number totally orders same-instant events (FIFO push
+    /// order), which lets a caller merging an *external* sorted stream with
+    /// the queue decide ties exactly: an external item ranks before the queue
+    /// head iff it would have been pushed with a smaller seq.
+    pub fn peek_time_seq(&self) -> Option<(SimTime, u64)> {
+        (self.min != NIL).then(|| {
+            let node = &self.nodes[self.min as usize];
+            (node.time, node.seq)
+        })
+    }
+
+    /// Pop the earliest live event only if `pred(time, &event)` accepts it.
+    ///
+    /// This is the batch-drain primitive: a caller can peel a maximal run of
+    /// same-timestamp events of one kind off the head of the queue without
+    /// popping (and having to re-push, perturbing seq order) the first event
+    /// that does not belong to the batch.
+    pub fn pop_if(&mut self, pred: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        if self.min == NIL {
+            return None;
+        }
+        let node = &self.nodes[self.min as usize];
+        let event = node.event.as_ref().expect("minimum node is live");
+        if !pred(node.time, event) {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Pre-size the node slab for `additional` more live events, avoiding
+    /// incremental slab growth on the hot path.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+    }
+
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
         self.live

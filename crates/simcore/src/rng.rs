@@ -61,6 +61,37 @@ impl SimRng {
         SimRng::seed_from_u64(self.s[0] ^ self.s[2].rotate_left(17) ^ salt)
     }
 
+    /// Derive the same child generator as `stream(&format!("{prefix}-{idx}"))`
+    /// without allocating the label. The decimal digits of `idx` are folded
+    /// into the FNV salt directly, so the derived stream is byte-identical to
+    /// the formatted-label form — setup loops keyed by a site/entity index
+    /// keep their exact historical streams at zero heap cost.
+    pub fn stream_indexed(&self, prefix: &str, idx: usize) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in prefix.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= b'-' as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+        let mut digits = [0u8; 20];
+        let mut at = digits.len();
+        let mut v = idx;
+        loop {
+            at -= 1;
+            digits[at] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        for &b in &digits[at..] {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        SimRng::seed_from_u64(self.s[0] ^ self.s[2].rotate_left(17) ^ h)
+    }
+
     /// Derive an independent child generator from an integer index (e.g. a
     /// per-entity stream keyed by id).
     pub fn stream_u64(&self, idx: u64) -> SimRng {
@@ -173,6 +204,18 @@ mod tests {
         let mut s1c = root.stream("network");
         let eq = (0..64).filter(|_| s1c.next_u64() == s2.next_u64()).count();
         assert!(eq < 2);
+    }
+
+    #[test]
+    fn stream_indexed_matches_formatted_label() {
+        let root = SimRng::seed_from_u64(42);
+        for idx in [0usize, 1, 9, 10, 41, 100, 12_345, usize::MAX] {
+            let mut via_fmt = root.stream(&format!("rt-{idx}"));
+            let mut via_idx = root.stream_indexed("rt", idx);
+            for _ in 0..8 {
+                assert_eq!(via_fmt.next_u64(), via_idx.next_u64(), "idx={idx}");
+            }
+        }
     }
 
     #[test]

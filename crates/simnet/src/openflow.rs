@@ -34,9 +34,9 @@
 //! semantics, and `FlowRemoved` notifications in table order.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
-use simcore::{SimDuration, SimTime};
+use simcore::{DetHashMap, SimDuration, SimTime};
 
 use crate::addr::{IpAddr, SocketAddr};
 use crate::packet::{Packet, Protocol};
@@ -592,6 +592,78 @@ pub struct FlowRemoved {
     pub at: SimTime,
 }
 
+/// A bucket of slot indices with inline storage for the common case.
+///
+/// Exact-match buckets hold one slot per `(matcher, priority)`; more than
+/// one entry only appears when the same matcher is installed at several
+/// priorities. Keeping two slots inline means the per-request install path
+/// never allocates a bucket `Vec`.
+#[derive(Debug, Clone)]
+enum SlotBucket {
+    Inline { len: u8, slots: [usize; 2] },
+    Spilled(Vec<usize>),
+}
+
+impl SlotBucket {
+    fn one(slot: usize) -> SlotBucket {
+        SlotBucket::Inline {
+            len: 1,
+            slots: [slot, 0],
+        }
+    }
+
+    fn slice(&self) -> &[usize] {
+        match self {
+            SlotBucket::Inline { len, slots } => &slots[..*len as usize],
+            SlotBucket::Spilled(v) => v,
+        }
+    }
+
+    /// Insert `slot` at `pos`, spilling to a `Vec` past two entries.
+    fn insert(&mut self, pos: usize, slot: usize) {
+        match self {
+            SlotBucket::Inline { len, slots } if (*len as usize) < slots.len() => {
+                let n = *len as usize;
+                debug_assert!(pos <= n);
+                if pos < n {
+                    slots[1] = slots[0];
+                }
+                slots[pos] = slot;
+                *len = (n + 1) as u8;
+            }
+            SlotBucket::Inline { len, slots } => {
+                let mut v = Vec::with_capacity(*len as usize + 1);
+                v.extend_from_slice(&slots[..*len as usize]);
+                v.insert(pos, slot);
+                *self = SlotBucket::Spilled(v);
+            }
+            SlotBucket::Spilled(v) => v.insert(pos, slot),
+        }
+    }
+
+    /// Remove every occurrence of `slot`, preserving order.
+    fn remove_slot(&mut self, slot: usize) {
+        match self {
+            SlotBucket::Inline { len, slots } => {
+                let n = *len as usize;
+                let mut kept = 0usize;
+                for i in 0..n {
+                    if slots[i] != slot {
+                        slots[kept] = slots[i];
+                        kept += 1;
+                    }
+                }
+                *len = kept as u8;
+            }
+            SlotBucket::Spilled(v) => v.retain(|&s| s != slot),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slice().is_empty()
+    }
+}
+
 /// Priority-ordered flow table with hash-indexed exact-match lookup.
 ///
 /// Matching follows OpenFlow semantics: the winning entry is the first in
@@ -606,12 +678,13 @@ pub struct FlowTable {
     /// be reused by a later install.
     slots: Vec<Option<FlowEntry>>,
     free_slots: Vec<usize>,
-    by_id: HashMap<FlowId, usize>,
+    by_id: DetHashMap<FlowId, usize>,
     /// Exact matchers: full key → bucket of slots sorted by table order.
     /// Every entry in a bucket has the *same* matcher (the key pins all
     /// constrained fields), so buckets only grow past 1 when the same matcher
-    /// is installed at several priorities.
-    exact: HashMap<ExactKey, Vec<usize>>,
+    /// is installed at several priorities — [`SlotBucket`] keeps the common
+    /// 1–2 entry case inline, so an install allocates nothing here.
+    exact: DetHashMap<ExactKey, SlotBucket>,
     /// How many exact entries exist per shape — the set of keys to probe per
     /// packet.
     // BTreeMap: `find_slot` iterates the live shapes per lookup; the probe
@@ -619,8 +692,14 @@ pub struct FlowTable {
     shape_counts: BTreeMap<u8, usize>,
     /// Masked (`IpNet`) matchers, sorted by table order.
     masked: Vec<usize>,
-    /// Cookie → slots holding that cookie (unordered).
-    by_cookie: HashMap<u64, Vec<usize>>,
+    /// Cookie → slots holding that cookie (unordered). Buckets are kept
+    /// even when drained: cookies are per-service, so the map stays tiny and
+    /// the bucket `Vec`s are reused across the service's whole flow churn.
+    by_cookie: DetHashMap<u64, Vec<usize>>,
+    /// Position of each occupied slot inside its cookie bucket — makes the
+    /// detach-side bucket removal O(1) `swap_remove` instead of an O(bucket)
+    /// scan (hot: every expiry sweeps through here).
+    cookie_pos: Vec<usize>,
     /// Lazy-deletion expiry schedule. Invariant ("accurate top"): after every
     /// `&mut self` method returns, the heap top — if any — is a *live* record
     /// (its entry exists and still expires at exactly that instant), so
@@ -687,20 +766,26 @@ impl FlowTable {
             }
             None => {
                 self.slots.push(Some(entry));
+                self.cookie_pos.push(0);
                 self.slots.len() - 1
             }
         };
         self.by_id.insert(id, slot);
-        self.by_cookie.entry(cookie).or_default().push(slot);
+        let bucket = self.by_cookie.entry(cookie).or_default();
+        bucket.push(slot);
+        self.cookie_pos[slot] = bucket.len() - 1;
 
         if matcher.is_exact() {
             *self.shape_counts.entry(matcher.shape()).or_insert(0) += 1;
-            let bucket = self
-                .exact
-                .entry(ExactKey::of_matcher(&matcher))
-                .or_default();
-            let pos = Self::ordered_position(&self.slots, bucket, priority);
-            bucket.insert(pos, slot);
+            match self.exact.entry(ExactKey::of_matcher(&matcher)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let pos = Self::ordered_position(&self.slots, e.get().slice(), priority);
+                    e.get_mut().insert(pos, slot);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(SlotBucket::one(slot));
+                }
+            }
         } else {
             let pos = Self::ordered_position(&self.slots, &self.masked, priority);
             self.masked.insert(pos, slot);
@@ -727,7 +812,7 @@ impl FlowTable {
     fn find_same_rule(&self, priority: u16, matcher: &FlowMatch) -> Option<usize> {
         if matcher.is_exact() {
             let bucket = self.exact.get(&ExactKey::of_matcher(matcher))?;
-            bucket.iter().copied().find(|&s| {
+            bucket.slice().iter().copied().find(|&s| {
                 self.slots[s]
                     .as_ref()
                     .expect("indexed slot occupied")
@@ -764,7 +849,7 @@ impl FlowTable {
             if let Some(bucket) = self.exact.get(&ExactKey::of_packet(shape, p)) {
                 // Bucket heads are guaranteed matches: the key pins every
                 // constrained field to the packet's values.
-                if let Some(&head) = bucket.first() {
+                if let Some(&head) = bucket.slice().first() {
                     consider(&self.slots, &mut best, head);
                 }
             }
@@ -829,7 +914,7 @@ impl FlowTable {
             // set (already in table order).
             self.exact
                 .get(&ExactKey::of_matcher(matcher))
-                .cloned()
+                .map(|b| b.slice().to_vec())
                 .unwrap_or_default()
         } else {
             self.masked
@@ -910,11 +995,36 @@ impl FlowTable {
         removed
     }
 
+    /// [`FlowTable::expire`] without materializing the notifications: evict
+    /// everything due at `now` and drop the removed entries. The testbed's
+    /// event loop discards its sweep results, so the hot path takes this
+    /// no-`Vec`, no-sort variant; the eviction *order* is unobservable here
+    /// because nothing is reported.
+    pub fn expire_discard(&mut self, now: SimTime) {
+        while let Some(&Reverse((deadline, id))) = self.expiry.peek() {
+            if deadline > now {
+                break;
+            }
+            self.expiry.pop();
+            let slot = self.by_id[&id];
+            self.detach(slot);
+            self.normalize_expiry();
+        }
+    }
+
     /// The earliest instant at which some entry could expire — the testbed
     /// schedules its next eviction sweep there. O(1): the heap top is kept
     /// accurate by every mutation.
     pub fn next_expiry(&self) -> Option<SimTime> {
         self.expiry.peek().map(|&Reverse((deadline, _))| deadline)
+    }
+
+    /// Pre-size the slab and hash indexes for `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+        self.cookie_pos.reserve(additional);
+        self.by_id.reserve(additional);
+        self.exact.reserve(additional);
     }
 
     /// Iterate over entries in table order (diagnostics; allocates to sort).
@@ -941,11 +1051,18 @@ impl FlowTable {
         let entry = self.slots[slot].take().expect("detach of empty slot");
         self.by_id.remove(&entry.id);
 
-        if let Some(bucket) = self.by_cookie.get_mut(&entry.cookie) {
-            bucket.retain(|&s| s != slot);
-            if bucket.is_empty() {
-                self.by_cookie.remove(&entry.cookie);
-            }
+        // O(1) bucket removal via the back-index; the moved tail element (if
+        // any) inherits the vacated position. Drained buckets stay in the map
+        // — cookies are per-service, so they are about to be refilled.
+        let bucket = self
+            .by_cookie
+            .get_mut(&entry.cookie)
+            .expect("cookie bucket exists for installed entry");
+        let pos = self.cookie_pos[slot];
+        debug_assert_eq!(bucket[pos], slot);
+        bucket.swap_remove(pos);
+        if pos < bucket.len() {
+            self.cookie_pos[bucket[pos]] = pos;
         }
 
         if entry.matcher.is_exact() {
@@ -963,7 +1080,7 @@ impl FlowTable {
                 .exact
                 .get_mut(&key)
                 .expect("bucket exists for installed matcher");
-            bucket.retain(|&s| s != slot);
+            bucket.remove_slot(slot);
             if bucket.is_empty() {
                 self.exact.remove(&key);
             }
@@ -1010,7 +1127,7 @@ pub enum PacketVerdict {
 #[derive(Debug, Default)]
 pub struct Switch {
     pub table: FlowTable,
-    buffered: HashMap<BufferId, Packet>,
+    buffered: DetHashMap<BufferId, Packet>,
     next_buffer: u64,
     port_count: usize,
     /// Counters for the evaluation: table misses = controller round trips.
@@ -1170,6 +1287,24 @@ impl Switch {
     /// Run a timeout sweep; returns flow-removed notifications.
     pub fn sweep(&mut self, now: SimTime) -> Vec<FlowRemoved> {
         self.table.expire(now)
+    }
+
+    /// [`Switch::sweep`] for callers that discard the notifications: no
+    /// `Vec`, no table-order sort (see [`FlowTable::expire_discard`]).
+    pub fn sweep_discard(&mut self, now: SimTime) {
+        self.table.expire_discard(now);
+    }
+
+    /// Earliest instant a timeout sweep could evict anything. O(1); lets the
+    /// event loop skip sweeps entirely while nothing is due.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.table.next_expiry()
+    }
+
+    /// Pre-size the flow table and packet buffer for an expected load.
+    pub fn reserve(&mut self, flows: usize, buffers: usize) {
+        self.table.reserve(flows);
+        self.buffered.reserve(buffers);
     }
 }
 

@@ -9,7 +9,7 @@
 
 use std::collections::{BinaryHeap, HashMap};
 
-use simcore::SimDuration;
+use simcore::{DetHashMap, SimDuration};
 
 /// Index of a node in a [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -215,7 +215,7 @@ impl Topology {
 /// graph must [`PathCache::clear`] (or build a fresh cache).
 #[derive(Debug, Clone, Default)]
 pub struct PathCache {
-    paths: HashMap<(NodeId, NodeId), Option<PathInfo>>,
+    paths: DetHashMap<(NodeId, NodeId), Option<PathInfo>>,
 }
 
 impl PathCache {

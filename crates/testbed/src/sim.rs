@@ -11,12 +11,13 @@
 //! the SYN spent buffered at the switch (on-demand deployment *with waiting*)
 //! is part of that total, exactly as the paper measures it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use cluster::{
     ClusterBackend, ClusterKind, DockerCluster, K8sCluster, K8sTimings, ServiceTemplate,
 };
 use containers::Runtime;
+use edgectl::controller::INGRESS;
 use edgectl::{Controller, ControllerOutput, RoundRobinLocal, SchedulerRegistry};
 use edgeverify::{CoherenceView, Fabric, FabricSwitch, Link, PacketClass, Verifier, Violation};
 use simcore::{EventQueue, SimDuration, SimRng, SimTime};
@@ -31,10 +32,11 @@ use crate::topology::{C3Topology, NodeClass, CLOUD_PORT};
 /// Latency of the SDN control channel (switch ↔ controller, both on the EGS).
 const CTRL_LATENCY: SimDuration = SimDuration::from_micros(150);
 
-/// Events of the testbed simulation.
+/// Events of the testbed simulation. Client SYN arrivals are *not* queued:
+/// they are fed lazily from the sorted arrival index (see
+/// [`Testbed::run_loop`]), so the future-event list holds only the live
+/// control-plane horizon instead of the whole trace.
 enum Ev {
-    /// A client's SYN reaches the switch.
-    SynAtSwitch { tag: u64 },
     /// A PacketIn reaches the controller.
     CtrlPacketIn {
         packet: Packet,
@@ -84,10 +86,28 @@ pub struct RunResult {
     pub crashes_injected: u64,
     /// Instant the trace's t=0 was mapped to (after pre-warm setup).
     pub trace_offset: SimDuration,
-    /// Total events the run scheduled (engine diagnostic).
+    /// Total events the run scheduled (engine diagnostic; lazily fed SYN
+    /// arrivals count like queue pushes so the figure matches an eager loop).
     pub events_scheduled: u64,
     /// High-water mark of the future-event list (engine diagnostic).
     pub peak_queue_depth: usize,
+    /// Per-phase heap-allocation counts (populated when the
+    /// `counting-alloc` feature is on; `None` otherwise).
+    pub alloc_profile: Option<AllocProfile>,
+}
+
+/// Heap allocations attributed to each phase of a trace run, measured with
+/// the workspace-wide counting allocator (feature `counting-alloc`). The
+/// `event_loop` lane is the numerator of the pinned allocs/request budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocProfile {
+    /// Cluster pre-warm per the scenario's [`PhaseSetup`].
+    pub prewarm: u64,
+    /// Predictor/crash-schedule arming plus request-lane construction.
+    pub schedule: u64,
+    /// The event loop itself — every allocation between the first and last
+    /// simulated event.
+    pub event_loop: u64,
 }
 
 impl RunResult {
@@ -117,14 +137,11 @@ impl RunResult {
         p.median()
     }
 
-    /// Canonical textual trace of everything the run *measured* — the
-    /// determinism artifact. Two runs are behaviourally identical iff this
-    /// string is byte-identical. Engine-internal diagnostics (events
-    /// scheduled, peak queue depth) are deliberately excluded so the trace
-    /// is comparable across event-core implementations.
-    pub fn metrics_trace(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::with_capacity(64 * self.records.len() + 1024);
+    /// Stream the canonical metrics text into any [`std::fmt::Write`] sink —
+    /// the one formatter behind both [`RunResult::metrics_trace`] (a `String`
+    /// for dumps/diffs) and [`RunResult::metrics_hash`] (a streaming FNV
+    /// state, so hashing never materializes the multi-hundred-MB trace).
+    fn write_metrics<W: std::fmt::Write>(&self, out: &mut W) {
         let _ = writeln!(
             out,
             "lost={} memory_hits={} cloud_forwards={} held={} detoured={} \
@@ -155,18 +172,28 @@ impl RunResult {
                 r.triggered_deployment,
             );
         }
+    }
+
+    /// Canonical textual trace of everything the run *measured* — the
+    /// determinism artifact. Two runs are behaviourally identical iff this
+    /// string is byte-identical. Engine-internal diagnostics (events
+    /// scheduled, peak queue depth) are deliberately excluded so the trace
+    /// is comparable across event-core implementations.
+    pub fn metrics_trace(&self) -> String {
+        let mut out = String::with_capacity(64 * self.records.len() + 1024);
+        self.write_metrics(&mut out);
         out
     }
 
     /// FNV-1a over [`RunResult::metrics_trace`] — the drift gate used by the
-    /// determinism regression test and the `cityscale` benchmark.
+    /// determinism regression test and the `cityscale` benchmark. Streams
+    /// the formatter's bytes straight into the hash state (no intermediate
+    /// `String`), which is byte-equivalent because `fmt::Write` delivers the
+    /// identical byte sequence either way (see `simcore::FnvStream`).
     pub fn metrics_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.metrics_trace().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        let mut h = simcore::FnvStream::new();
+        self.write_metrics(&mut h);
+        h.finish()
     }
 }
 
@@ -231,16 +258,6 @@ impl AuditState {
     }
 }
 
-struct InFlight {
-    started: SimTime,
-    syn_at_switch: SimTime,
-    service: usize,
-    client: usize,
-    /// Deployment machines started before this request's PacketIn — the
-    /// lower bound of the window used to attribute `triggered_deployment`.
-    machines_before: u64,
-}
-
 /// The assembled testbed.
 pub struct Testbed {
     cfg: ScenarioConfig,
@@ -254,10 +271,31 @@ pub struct Testbed {
     templates: Vec<ServiceTemplate>,
     rng: SimRng,
     events: EventQueue<Ev>,
-    /// Per-request state, indexed by the request tag. Tags are assigned
-    /// densely from the trace, so a flat slab replaces hashing on the
-    /// per-packet path.
-    in_flight: Vec<Option<InFlight>>,
+    // --- Per-request state as SoA lanes (DESIGN.md §5i), indexed by the
+    // dense trace tag. The packet path touches only the lanes it needs —
+    // no boxed per-request struct, no hashing.
+    req_started: Vec<SimTime>,
+    req_syn_at: Vec<SimTime>,
+    req_service: Vec<u32>,
+    req_client: Vec<u32>,
+    /// Deployment machines started before this request's PacketIn — the
+    /// lower bound of the window used to attribute `triggered_deployment`.
+    req_machines_before: Vec<u64>,
+    req_live: Vec<bool>,
+    /// Lazy SYN feed: `(syn_at_switch, tag)` ascending, `arrival_next` the
+    /// cursor. Future SYNs never enter the event queue, so its depth tracks
+    /// the live control-plane horizon instead of the whole trace.
+    arrivals: Vec<(SimTime, u32)>,
+    arrival_next: usize,
+    /// Queue seq watermark captured right before the run starts: an entry
+    /// with `seq >= runtime_seq_floor` was pushed *during* the run and loses
+    /// same-instant ties against a fed SYN (the eager loop pushed all SYNs
+    /// first), while setup-time pushes (crash ticks, the initial predictor
+    /// wakeup) keep winning them.
+    runtime_seq_floor: u64,
+    /// SYNs delivered from `arrivals`, counted into `events_scheduled` so
+    /// the diagnostic matches the eager loop's accounting.
+    fed_arrivals: u64,
     /// Memoized routing queries over the (immutable after build) fabric;
     /// saves a Dijkstra per completed request.
     paths: PathCache,
@@ -278,7 +316,25 @@ pub struct Testbed {
     /// Single-server FIFO queue per (service, serving port): the instant the
     /// instance frees up. Requests arriving while it is busy wait in line —
     /// that is what actually happens inside one nginx/TF-Serving instance.
-    busy_until: HashMap<(usize, PortId), SimTime>,
+    /// Dense lanes: `service * busy_stride` is the cloud port, `+ 1 + site`
+    /// the site ports (`SimTime::ZERO` = idle).
+    busy: Vec<SimTime>,
+    busy_stride: usize,
+    /// Reused buffer for controller outputs — the event loop's only `Vec`,
+    /// drained and put back after every controller call.
+    outputs_scratch: Vec<ControllerOutput>,
+    /// Per-phase allocation counts of the last `run_trace` (populated when
+    /// the `counting-alloc` feature is on).
+    alloc_profile: Option<AllocProfile>,
+    /// Test-only: disable the same-instant PacketIn batch drain and process
+    /// one event per loop iteration — the reference schedule the batched
+    /// path must match byte-for-byte (`tests/batching_equivalence.rs`).
+    #[doc(hidden)]
+    pub debug_unbatched: bool,
+    /// Test-only mutation: process each same-instant PacketIn batch in
+    /// reverse order. Exists to prove the equivalence property can fail.
+    #[doc(hidden)]
+    pub debug_reverse_batches: bool,
 }
 
 impl Testbed {
@@ -310,13 +366,13 @@ impl Testbed {
             let runtime = match spec.class {
                 NodeClass::Egs => Runtime::new(
                     containers::CostModel::egs(),
-                    rng.stream(&format!("rt-{i}")),
+                    rng.stream_indexed("rt", i),
                     12_000 * nodes,
                     32 * (1u64 << 30) * nodes as u64,
                 ),
                 NodeClass::RaspberryPi => Runtime::new(
                     containers::CostModel::raspberry_pi(),
-                    rng.stream(&format!("rt-{i}")),
+                    rng.stream_indexed("rt", i),
                     4_000 * nodes,
                     4 * (1u64 << 30) * nodes as u64,
                 ),
@@ -327,19 +383,19 @@ impl Testbed {
                     format!("{}-docker", spec.name),
                     ip,
                     runtime,
-                    rng.stream(&format!("docker-{i}")),
+                    rng.stream_indexed("docker", i),
                 )),
                 ClusterKind::Kubernetes => Box::new(K8sCluster::new(
                     format!("{}-k8s", spec.name),
                     ip,
                     runtime,
-                    rng.stream(&format!("k8s-{i}")),
+                    rng.stream_indexed("k8s", i),
                     cfg.k8s_timings.clone().unwrap_or_else(K8sTimings::egs),
                 )),
                 ClusterKind::Wasm => Box::new(cluster::WasmEdgeCluster::new(
                     format!("{}-wasm", spec.name),
                     ip,
-                    rng.stream(&format!("wasm-{i}")),
+                    rng.stream_indexed("wasm", i),
                     cluster::WasmTimings::egs(),
                 )),
             };
@@ -363,6 +419,10 @@ impl Testbed {
             switch.flow_mod(SimTime::ZERO, spec);
         }
 
+        // One busy lane per service × {cloud, site…} pair, sized up front
+        // from the scenario metadata (a few MB even at 1000×).
+        let busy_stride = 1 + c3.site_hosts.len();
+        let busy = vec![SimTime::ZERO; service_addrs.len() * busy_stride];
         Testbed {
             cfg,
             c3,
@@ -373,7 +433,16 @@ impl Testbed {
             templates,
             rng,
             events: EventQueue::new(),
-            in_flight: Vec::new(),
+            req_started: Vec::new(),
+            req_syn_at: Vec::new(),
+            req_service: Vec::new(),
+            req_client: Vec::new(),
+            req_machines_before: Vec::new(),
+            req_live: Vec::new(),
+            arrivals: Vec::new(),
+            arrival_next: 0,
+            runtime_seq_floor: 0,
+            fed_arrivals: 0,
             paths: PathCache::new(),
             records: Vec::new(),
             triggered_windows: Vec::new(),
@@ -381,8 +450,46 @@ impl Testbed {
             crashes_injected: 0,
             wakeup_armed: None,
             audit: None,
-            busy_until: HashMap::new(),
+            busy,
+            busy_stride,
+            outputs_scratch: Vec::new(),
+            alloc_profile: None,
+            debug_unbatched: false,
+            debug_reverse_batches: false,
         }
+    }
+
+    /// Allocation counter snapshot (zero when `counting-alloc` is off).
+    #[inline]
+    fn alloc_snapshot() -> u64 {
+        #[cfg(feature = "counting-alloc")]
+        {
+            simcore::alloc_count::total()
+        }
+        #[cfg(not(feature = "counting-alloc"))]
+        {
+            0
+        }
+    }
+
+    /// Pre-size every per-request structure from the trace metadata so the
+    /// event loop itself never grows them.
+    fn reserve_requests(&mut self, n: usize) {
+        self.req_started.reserve(n);
+        self.req_syn_at.reserve(n);
+        self.req_service.reserve(n);
+        self.req_client.reserve(n);
+        self.req_machines_before.reserve(n);
+        self.req_live.reserve(n);
+        self.arrivals.reserve(n);
+        self.records.reserve(n);
+        // The queue holds only the live horizon (SYNs are fed lazily), but
+        // seeding the node slab skips the doubling ramp.
+        self.events.reserve((n / 8).clamp(64, 65_536));
+        // Flow rules are bounded by live client × service pairs (two rules
+        // per redirect); buffers by concurrently held SYNs.
+        let clients = self.c3.client_ips.len();
+        self.switch.reserve(4 * clients, clients);
     }
 
     /// Pre-warm the pipeline per the scenario's [`PhaseSetup`] on every
@@ -455,7 +562,9 @@ impl Testbed {
             trace.service_addrs, self.service_addrs,
             "testbed must be built with the trace's addresses"
         );
+        let a_start = Self::alloc_snapshot();
         let setup_end = self.prewarm();
+        let a_prewarm = Self::alloc_snapshot();
         // Leave slack after setup so in-flight readiness (Running setup)
         // settles before the first request.
         let offset = (setup_end - SimTime::ZERO) + SimDuration::from_secs(5);
@@ -521,21 +630,40 @@ impl Testbed {
             self.arm_wakeup(SimTime::ZERO);
         }
 
-        self.in_flight.resize_with(trace.requests.len(), || None);
-        for (idx, req) in trace.requests.iter().enumerate() {
-            let tag = idx as u64;
-            let started = req.at + offset;
-            let syn_at_switch = started + self.c3.client_switch_latency(req.client);
-            self.in_flight[idx] = Some(InFlight {
-                started,
-                syn_at_switch,
-                service: req.service,
-                client: req.client,
-                machines_before: 0,
-            });
-            self.events.push(syn_at_switch, Ev::SynAtSwitch { tag });
+        // SoA request lanes plus the sorted arrival index that feeds SYNs
+        // lazily into the loop (per-client propagation delays differ, so
+        // switch-arrival order is not trace order; ties stay in tag order,
+        // the eager loop's push order).
+        self.reserve_requests(trace.requests.len());
+        // Per-client access latency, one Dijkstra per *client* instead of
+        // one per request (the graph is immutable after build).
+        let mut client_latency = vec![SimDuration::ZERO; self.c3.client_ips.len()];
+        for (c, lat) in client_latency.iter_mut().enumerate() {
+            *lat = self.c3.client_switch_latency(c);
         }
+        for req in &trace.requests {
+            let started = req.at + offset;
+            let syn_at_switch = started + client_latency[req.client];
+            let tag = self.req_started.len() as u32;
+            self.req_started.push(started);
+            self.req_syn_at.push(syn_at_switch);
+            self.req_service.push(req.service as u32);
+            self.req_client.push(req.client as u32);
+            self.req_machines_before.push(0);
+            self.req_live.push(true);
+            self.arrivals.push((syn_at_switch, tag));
+        }
+        self.arrivals.sort_unstable();
+        self.runtime_seq_floor = self.events.scheduled_total();
+        let a_schedule = Self::alloc_snapshot();
         self.run_loop();
+        if cfg!(feature = "counting-alloc") {
+            self.alloc_profile = Some(AllocProfile {
+                prewarm: a_prewarm - a_start,
+                schedule: a_schedule - a_prewarm,
+                event_loop: Self::alloc_snapshot() - a_schedule,
+            });
+        }
         offset
     }
 
@@ -623,14 +751,14 @@ impl Testbed {
         let offset = (setup_end - SimTime::ZERO) + SimDuration::from_secs(5);
         let started = SimTime::ZERO + offset;
         let syn_at_switch = started + self.c3.client_switch_latency(0);
-        self.in_flight = vec![Some(InFlight {
-            started,
-            syn_at_switch,
-            service: 0,
-            client: 0,
-            machines_before: 0,
-        })];
-        self.events.push(syn_at_switch, Ev::SynAtSwitch { tag: 0 });
+        self.req_started.push(started);
+        self.req_syn_at.push(syn_at_switch);
+        self.req_service.push(0);
+        self.req_client.push(0);
+        self.req_machines_before.push(0);
+        self.req_live.push(true);
+        self.arrivals.push((syn_at_switch, 0));
+        self.runtime_seq_floor = self.events.scheduled_total();
         self.run_loop();
         self.finish(offset)
     }
@@ -657,27 +785,49 @@ impl Testbed {
             retargets: stats.retargets,
             proactive_deployments: stats.proactive_deployments,
             crashes_injected: self.crashes_injected,
-            events_scheduled: self.events.scheduled_total(),
+            events_scheduled: self.events.scheduled_total() + self.fed_arrivals,
             peak_queue_depth: self.events.peak_len(),
+            alloc_profile: self.alloc_profile,
             records: self.records,
             trace_offset: offset,
         }
     }
 
     fn run_loop(&mut self) {
-        while let Some((now, ev)) = self.events.pop() {
-            // Data-plane timeouts fire lazily before each event.
-            self.switch.sweep(now);
-            if let Some(audit) = &mut self.audit {
-                audit.last_event = now;
+        loop {
+            // Pick the earlier of the next queued event and the next lazy
+            // SYN arrival. A fed SYN behaves exactly like the eager loop's
+            // pre-pushed event: it loses same-instant ties to setup-time
+            // pushes (seq below the floor) and wins them against anything
+            // pushed during the run.
+            let take_arrival = match (
+                self.arrivals.get(self.arrival_next),
+                self.events.peek_time_seq(),
+            ) {
+                (Some(&(a, _)), Some((qt, qs))) => {
+                    a < qt || (a == qt && qs >= self.runtime_seq_floor)
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let (now, tag) = self.arrivals[self.arrival_next];
+                self.arrival_next += 1;
+                self.fed_arrivals += 1;
+                self.pre_event(now);
+                self.on_syn(now, u64::from(tag));
+                self.arm_wakeup(now);
+                continue;
             }
+            let (now, ev) = self.events.pop().expect("peeked a non-empty queue");
+            self.pre_event(now);
             match ev {
-                Ev::SynAtSwitch { tag } => self.on_syn(now, tag),
                 Ev::CtrlPacketIn {
                     packet,
                     buffer_id,
                     in_port,
-                } => self.on_ctrl_packet_in(now, packet, buffer_id, in_port),
+                } => self.on_packet_in_batch(now, packet, buffer_id, in_port),
                 Ev::ApplyOutput { output } => self.on_apply_output(now, output),
                 Ev::Wakeup => self.on_wakeup(now),
                 Ev::CrashTick => self.on_crash_tick(now),
@@ -689,13 +839,87 @@ impl Testbed {
         }
     }
 
+    /// Per-event prologue: the lazy data-plane timeout sweep (skipped
+    /// entirely while the switch reports nothing due — its expiry heap keeps
+    /// an accurate top, so the check is an O(1) peek) and the audit
+    /// timestamp.
+    fn pre_event(&mut self, now: SimTime) {
+        if self.switch.next_expiry().is_some_and(|t| t <= now) {
+            self.switch.sweep_discard(now);
+        }
+        if let Some(audit) = &mut self.audit {
+            audit.last_event = now;
+        }
+    }
+
+    /// Handle a PacketIn, then drain every further PacketIn queued at the
+    /// same instant — a *maximal same-time run*: the drain stops at the
+    /// first event of any other kind, so interleavings with same-instant
+    /// wakeups or crash ticks are preserved. Batching amortizes the sweep
+    /// check and the wakeup re-arm; the only wakeups it elides are stale
+    /// duplicates that are documented no-ops. Equivalence with the
+    /// one-event-per-iteration schedule is enforced by
+    /// `tests/batching_equivalence.rs`.
+    fn on_packet_in_batch(
+        &mut self,
+        now: SimTime,
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    ) {
+        if self.debug_unbatched {
+            self.on_ctrl_packet_in(now, packet, buffer_id, in_port);
+            return;
+        }
+        if self.debug_reverse_batches {
+            let mut batch = vec![(packet, buffer_id, in_port)];
+            while let Some((_, ev)) = self
+                .events
+                .pop_if(|t, e| t == now && matches!(e, Ev::CtrlPacketIn { .. }))
+            {
+                let Ev::CtrlPacketIn {
+                    packet,
+                    buffer_id,
+                    in_port,
+                } = ev
+                else {
+                    unreachable!("pop_if predicate admitted only PacketIns")
+                };
+                batch.push((packet, buffer_id, in_port));
+            }
+            batch.reverse();
+            for (packet, buffer_id, in_port) in batch {
+                self.on_ctrl_packet_in(now, packet, buffer_id, in_port);
+            }
+            return;
+        }
+        self.on_ctrl_packet_in(now, packet, buffer_id, in_port);
+        while let Some((_, ev)) = self
+            .events
+            .pop_if(|t, e| t == now && matches!(e, Ev::CtrlPacketIn { .. }))
+        {
+            let Ev::CtrlPacketIn {
+                packet,
+                buffer_id,
+                in_port,
+            } = ev
+            else {
+                unreachable!("pop_if predicate admitted only PacketIns")
+            };
+            self.on_ctrl_packet_in(now, packet, buffer_id, in_port);
+        }
+    }
+
     /// Deliver a due wakeup to the controller and ship its outputs.
     fn on_wakeup(&mut self, now: SimTime) {
         self.wakeup_armed = None;
-        for output in self.controller.on_wakeup(now) {
+        let mut out = std::mem::take(&mut self.outputs_scratch);
+        self.controller.on_wakeup_into(now, &mut out);
+        for output in out.drain(..) {
             self.events
                 .push(output.at() + CTRL_LATENCY, Ev::ApplyOutput { output });
         }
+        self.outputs_scratch = out;
     }
 
     /// Keep exactly one wakeup event in flight, at the earliest instant the
@@ -712,12 +936,10 @@ impl Testbed {
     }
 
     fn on_syn(&mut self, now: SimTime, tag: u64) {
-        let (client, service) = {
-            let fl = self.in_flight[tag as usize]
-                .as_ref()
-                .expect("SYN for untracked request tag");
-            (fl.client, fl.service)
-        };
+        let idx = tag as usize;
+        debug_assert!(self.req_live[idx], "SYN for untracked request tag");
+        let client = self.req_client[idx] as usize;
+        let service = self.req_service[idx] as usize;
         let src = SocketAddr::new(self.c3.client_ips[client], 40000 + service as u16);
         let dst = self.service_addrs[service];
         let packet = Packet::syn(src, dst, tag);
@@ -738,7 +960,7 @@ impl Testbed {
             }
             PacketVerdict::Dropped => {
                 self.lost += 1;
-                self.in_flight[tag as usize] = None;
+                self.req_live[idx] = false;
             }
         }
     }
@@ -750,20 +972,18 @@ impl Testbed {
         buffer_id: BufferId,
         in_port: PortId,
     ) {
-        if let Some(fl) = self
-            .in_flight
-            .get_mut(packet.tag as usize)
-            .and_then(|slot| slot.as_mut())
-        {
-            fl.machines_before = self.controller.machines_started();
+        let idx = packet.tag as usize;
+        if idx < self.req_live.len() && self.req_live[idx] {
+            self.req_machines_before[idx] = self.controller.machines_started();
         }
-        let outputs = self
-            .controller
-            .on_packet_in(now, packet, buffer_id, in_port);
-        for output in outputs {
+        let mut out = std::mem::take(&mut self.outputs_scratch);
+        self.controller
+            .on_packet_in_at_into(now, INGRESS, packet, buffer_id, in_port, &mut out);
+        for output in out.drain(..) {
             let at = output.at() + CTRL_LATENCY;
             self.events.push(at, Ev::ApplyOutput { output });
         }
+        self.outputs_scratch = out;
     }
 
     fn on_apply_output(&mut self, now: SimTime, output: ControllerOutput) {
@@ -819,13 +1039,23 @@ impl Testbed {
     /// remainder of the exchange analytically and record timecurl's
     /// `time_total`.
     fn complete_request(&mut self, release: SimTime, tag: u64, _packet: Packet, out_port: PortId) {
-        let Some(fl) = self.in_flight.get_mut(tag as usize).and_then(Option::take) else {
+        let idx = tag as usize;
+        if idx >= self.req_live.len() || !self.req_live[idx] {
             return; // duplicate completion (cannot happen by construction)
-        };
-        let host = if out_port == CLOUD_PORT {
-            self.c3.cloud
+        }
+        self.req_live[idx] = false;
+        let started = self.req_started[idx];
+        let syn_at_switch = self.req_syn_at[idx];
+        let service = self.req_service[idx] as usize;
+        let client = self.req_client[idx] as usize;
+        let machines_before = self.req_machines_before[idx];
+        let (host, busy_lane) = if out_port == CLOUD_PORT {
+            (self.c3.cloud, service * self.busy_stride)
         } else if let Some(site) = self.c3.site_of_port(out_port) {
-            self.c3.site_hosts[site]
+            (
+                self.c3.site_hosts[site],
+                service * self.busy_stride + 1 + site,
+            )
         } else {
             // Forwarded to a client port: a misinstalled flow. Count as
             // lost rather than fabricating a response.
@@ -839,23 +1069,20 @@ impl Testbed {
         let (rtt, bottleneck_bps) = {
             let path = self
                 .paths
-                .path(&self.c3.net, self.c3.clients[fl.client], host)
+                .path(&self.c3.net, self.c3.clients[client], host)
                 .expect("client reaches host");
             (path.rtt(), path.bottleneck_bps)
         };
         let tcp = TcpModel::new(rtt, bottleneck_bps);
         let server_time = self.profile.server_time.sample(&mut self.rng);
         // Time the SYN spent buffered at the switch (deployment wait).
-        let hold = release - fl.syn_at_switch;
+        let hold = release - syn_at_switch;
         // Queueing at the instance: the request's processing starts when the
         // instance frees up (single-server FIFO per service instance), so
         // concurrent requests to a hot service serialize on its CPU.
         let upload = tcp.connect_time() + tcp.transfer_time(self.profile.request_bytes);
-        let at_server = fl.started + hold + upload;
-        let slot = self
-            .busy_until
-            .entry((fl.service, out_port))
-            .or_insert(SimTime::ZERO);
+        let at_server = started + hold + upload;
+        let slot = &mut self.busy[busy_lane];
         let start_serving = at_server.max(*slot);
         let queue_delay = start_serving - at_server;
         *slot = start_serving + server_time;
@@ -864,22 +1091,22 @@ impl Testbed {
             self.profile.response_bytes,
             server_time,
         );
-        let finished = fl.started + hold + queue_delay + exchange;
+        let finished = started + hold + queue_delay + exchange;
         // A request "triggered" a deployment if its own PacketIn started a
         // machine (window [machines_before, hi)) that eventually completes,
         // and the request was held for it. The machine may still be mid-
         // flight here, so the verdict is resolved in `finish` against the
         // dispatcher's completion log.
         let hi = self.controller.machines_started();
-        if hold > SimDuration::ZERO && fl.machines_before < hi {
+        if hold > SimDuration::ZERO && machines_before < hi {
             self.triggered_windows
-                .push((self.records.len(), fl.machines_before, hi));
+                .push((self.records.len(), machines_before, hi));
         }
         self.records.push(RequestRecord {
-            started: fl.started,
+            started,
             finished,
-            service: fl.service,
-            client: fl.client,
+            service,
+            client,
             triggered_deployment: false,
         });
     }

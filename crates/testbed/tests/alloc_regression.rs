@@ -1,0 +1,87 @@
+//! Allocation-budget regression gate for the hot path (DESIGN.md §5i).
+//!
+//! The city-scale benchmark's headline claim is that steady-state request
+//! processing stays within a fixed heap-allocation budget: fewer than
+//! **8 allocations per request** across the whole `run_trace` call
+//! (pre-warm + scheduling + event loop), measured with simcore's
+//! workspace-wide counting allocator. This test pins that budget in
+//! `cargo test` so a regression shows up before the bench is re-run.
+//!
+//! Deliberately a single `#[test]` in its own integration-test binary: the
+//! counting allocator is process-global, so a sibling test thread would
+//! pollute the before/after snapshots. One test = one thread = clean delta.
+
+use cluster::ClusterKind;
+use simcore::SimRng;
+use testbed::{ScenarioConfig, SiteSpec, Testbed};
+use workload::{Trace, TraceConfig};
+
+/// The pinned budget, per build profile. Optimized builds — the profile the
+/// bench and the headline claim are measured in — currently sit at ~2
+/// allocations/request (BENCH_cityscale.json); 8 leaves headroom for benign
+/// drift while still catching any per-request `Vec`/`String`/boxing leak —
+/// one stray `format!` or `to_vec` per request blows straight past it.
+/// Debug builds measure more for two structural reasons: the optimizer is
+/// what elides the short-lived scratch allocations (rustc marks allocation
+/// calls removable, but only optimized builds take the offer), and
+/// `debug_assertions` enables check-on-install hooks (flow-pair shadowing
+/// probes) that do their own bookkeeping. Debug currently measures ~23 per
+/// request, so its budget is a coarse leak gate rather than the sharp one.
+const ALLOCS_PER_REQUEST_BUDGET: f64 = if cfg!(debug_assertions) { 32.0 } else { 8.0 };
+
+#[test]
+fn steady_state_allocs_per_request_stay_under_budget() {
+    if cfg!(not(feature = "counting-alloc")) {
+        eprintln!("counting-alloc feature off; alloc budget not measurable");
+        return;
+    }
+
+    // The bench's 10x tier, byte-for-byte: same seed, same scaled trace,
+    // same scaled site. Big enough that per-request costs dominate fixed
+    // setup noise, small enough for a debug-profile test run.
+    let scale = 10;
+    let trace_cfg = TraceConfig::scaled(scale);
+    let mut trace_rng = SimRng::seed_from_u64(42 ^ 0xB16F_1085);
+    let trace = Trace::generate(trace_cfg, &mut trace_rng);
+    let requests = trace.requests.len();
+
+    let cfg = ScenarioConfig {
+        seed: 42,
+        clients: trace.config.clients,
+        sites: vec![(
+            SiteSpec::egs("egs-0").with_nodes(scale),
+            ClusterKind::Docker,
+        )],
+        ..ScenarioConfig::default()
+    };
+    let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+
+    let before = simcore::alloc_count::total();
+    let result = testbed.run_trace(&trace);
+    let allocs = simcore::alloc_count::total() - before;
+
+    let per_request = allocs as f64 / requests as f64;
+    let profile = result
+        .alloc_profile
+        .expect("counting-alloc is on, profile must be populated");
+    assert!(
+        per_request < ALLOCS_PER_REQUEST_BUDGET,
+        "allocation budget blown: {allocs} allocations / {requests} requests \
+         = {per_request:.2} per request (budget {ALLOCS_PER_REQUEST_BUDGET}); \
+         phases: prewarm={} schedule={} event_loop={}",
+        profile.prewarm,
+        profile.schedule,
+        profile.event_loop,
+    );
+
+    // The event loop itself (between the first and last simulated event) is
+    // the lane the arena/SoA work flattened — hold it to the same budget so
+    // a regression can't hide behind a cheap setup phase.
+    let loop_per_request = profile.event_loop as f64 / requests as f64;
+    assert!(
+        loop_per_request < ALLOCS_PER_REQUEST_BUDGET,
+        "event-loop allocation budget blown: {} allocations / {requests} \
+         requests = {loop_per_request:.2} per request (budget {ALLOCS_PER_REQUEST_BUDGET})",
+        profile.event_loop,
+    );
+}
