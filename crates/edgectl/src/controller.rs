@@ -1469,6 +1469,7 @@ impl Controller {
             };
             d.remove(idx)
         };
+        let revoked = matches!(error, DeployError::LeaseRevoked);
         self.release_booking(m.cluster, m.service);
         self.stats.retried_operations += m.retried;
         self.stats.failed_deployments += 1;
@@ -1488,17 +1489,21 @@ impl Controller {
         self.push_delta(failed_at, m.cluster, m.service, DeltaKind::Gone);
         for w in m.waiters {
             // Drop the pending placeholder; the request is served by the
-            // cloud without being memorized (matching the reference path).
+            // cloud (matching the reference path). A lease-revoked abort is
+            // not a real failure — the winning shard's instance is coming up
+            // — so its waiters are memorized cloud-bound, giving them the
+            // same retarget-on-Ready a loser that rejected at the gate gets.
             if self.memory.get(w.key).is_some_and(|f| f.pending) {
                 self.memory.forget(w.key);
             }
+            let memorize = if revoked { Some(m.service) } else { None };
             self.cloud_outputs(
                 w.decide_at,
                 w.sw,
                 w.packet,
                 w.in_port,
                 w.buffer_id,
-                None,
+                memorize,
                 out,
             );
         }
@@ -1657,6 +1662,43 @@ impl Controller {
     /// controller was built with [`ControllerBuilder::emit_status_deltas`].
     pub fn drain_status_deltas(&mut self) -> Vec<StatusDelta> {
         std::mem::take(&mut self.status_deltas)
+    }
+
+    /// Abort the in-flight deployment machine for `(cluster, service)`: the
+    /// deployment lease was revoked because another shard won the
+    /// window-boundary merge for the same decision. Routes through the
+    /// ordinary failure path ([`DeployError::LeaseRevoked`]) so bookings are
+    /// released, Remove-phase bookkeeping is restored, a `Gone` delta is
+    /// emitted and every held request falls back to the cloud. Returns the
+    /// resulting controller outputs; `None` if no such machine is in flight
+    /// (or the reference pipeline is active — it deploys synchronously and
+    /// has no abortable window).
+    pub fn abort_deployment(
+        &mut self,
+        now: SimTime,
+        cluster: ClusterId,
+        service: ServiceId,
+    ) -> Option<Vec<ControllerOutput>> {
+        let idx = {
+            let Engine::Stepped(d) = &mut self.engine else {
+                return None;
+            };
+            let idx = d.find(cluster, service)?;
+            // Fail at the abort instant, not the machine's own next step:
+            // `fail_machine` stamps the failure (and the `Gone` delta) with
+            // `next_step`.
+            d.machines[idx].next_step = now;
+            idx
+        };
+        let phase = {
+            let Engine::Stepped(d) = &self.engine else {
+                unreachable!("checked above")
+            };
+            d.machines[idx].phase.kind()
+        };
+        let mut out = Vec::new();
+        self.fail_machine(idx, phase, DeployError::LeaseRevoked, &mut out);
+        Some(out)
     }
 
     /// Apply a status delta gossiped from a mesh peer. `Ready` schedules a

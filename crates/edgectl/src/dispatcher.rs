@@ -64,6 +64,11 @@ pub enum DeployError {
     Cluster(ClusterError),
     /// The port never opened within the probe window.
     ProbeTimeout { deadline: SimTime },
+    /// The deployment lease on `(cluster, service)` was revoked: another
+    /// controller shard won the window-boundary merge for the same
+    /// deployment decision, so this machine is aborted mid-flight
+    /// ([`crate::Controller::abort_deployment`]).
+    LeaseRevoked,
 }
 
 /// Why admission control refused to start a deployment at a site. A scheduler

@@ -32,6 +32,13 @@
 //!   `sort_by`). Besides the NaN panic, `partial_cmp` invites ad-hoc
 //!   fallback orderings that differ between call sites; `f64::total_cmp`
 //!   is the one total order.
+//! * **threading** — `thread::spawn` and the `std::sync` coordination
+//!   primitives (`Mutex`/`RwLock`/`Condvar`/`Barrier`/`mpsc`/`Atomic*`).
+//!   Within-run parallelism is confined to the conservative-window protocol
+//!   in `simcore::shard_runner` (a scoped carve-out, like ambient-env's
+//!   `bin/`): anywhere else, a lock or channel is an invitation to make the
+//!   trace depend on the thread schedule. `Arc` is deliberately exempt —
+//!   immutable sharing cannot reorder anything.
 //!
 //! Escape hatch: a finding that is provably order-insensitive (or
 //! deliberately ambient, e.g. wall-clock in a bench harness) is silenced
@@ -61,16 +68,18 @@ pub enum Lint {
     AmbientRng,
     AmbientEnv,
     FloatOrder,
+    Threading,
     MalformedAllow,
 }
 
 impl Lint {
-    pub const ALL: [Lint; 6] = [
+    pub const ALL: [Lint; 7] = [
         Lint::DetCollections,
         Lint::AmbientTime,
         Lint::AmbientRng,
         Lint::AmbientEnv,
         Lint::FloatOrder,
+        Lint::Threading,
         Lint::MalformedAllow,
     ];
 
@@ -81,6 +90,7 @@ impl Lint {
             Lint::AmbientRng => "ambient-rng",
             Lint::AmbientEnv => "ambient-env",
             Lint::FloatOrder => "float-order",
+            Lint::Threading => "threading",
             Lint::MalformedAllow => "malformed-allow",
         }
     }
@@ -113,6 +123,11 @@ impl Lint {
             Lint::FloatOrder => {
                 "partial_cmp().unwrap() panics on NaN and invites per-call-site fallback \
                  orderings; float keys must be ordered with total_cmp (one total order)."
+            }
+            Lint::Threading => {
+                "thread::spawn and std::sync coordination primitives make results depend on \
+                 the thread schedule; within-run parallelism is confined to the windowed \
+                 barrier protocol in simcore::shard_runner, which proves thread-invariance."
             }
             Lint::MalformedAllow => {
                 "every `edgelint: allow(<lint>)` must name a known lint and carry a reason \
@@ -157,11 +172,16 @@ pub struct FileOptions {
     /// Bin / config code may read `std::env` (the CLI folds flags and
     /// environment into the scenario; everything downstream is pure).
     pub allow_env: bool,
+    /// The shard-runner module owns within-run threading: it spawns the
+    /// worker threads and the barrier channels whose merge order is proven
+    /// thread-invariant. Everywhere else, thread primitives are findings.
+    pub allow_threading: bool,
 }
 
 impl FileOptions {
     /// Derive options from a path: files under a `bin/` directory, `main.rs`
-    /// and `config.rs` are the designated ambient-env boundary.
+    /// and `config.rs` are the designated ambient-env boundary, and
+    /// `shard_runner.rs` is the designated within-run threading boundary.
     pub fn for_path(path: &Path) -> FileOptions {
         let in_bin = path
             .components()
@@ -169,6 +189,7 @@ impl FileOptions {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         FileOptions {
             allow_env: in_bin || name == "main.rs" || name == "config.rs",
+            allow_threading: name == "shard_runner.rs",
         }
     }
 }
@@ -235,6 +256,7 @@ pub fn check_source(file: &Path, source: &str, opts: FileOptions) -> Vec<Violati
     check_det_collections(&lexed.tokens, &skip, &hash_names, &mut raw);
     check_ambient(&lexed.tokens, &skip, opts, &mut raw);
     check_float_order(&lexed.tokens, &skip, &mut raw);
+    check_threading(&lexed.tokens, &skip, opts, &mut raw);
 
     let mut out = Vec::new();
     for (lint, line, message) in raw {
@@ -713,6 +735,67 @@ fn check_ambient(
     }
 }
 
+/// `std::sync` coordination types whose mere presence is a finding. `Arc`
+/// is absent on purpose: immutable sharing has no schedule-visible order.
+/// `Sender`/`Receiver` are also absent (too generic a name); the `mpsc`
+/// path segment they are imported through is flagged instead.
+const SYNC_PRIMITIVES: [&str; 6] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "JoinHandle",
+    "mpsc",
+];
+
+fn check_threading(
+    tokens: &[Token],
+    skip: &[bool],
+    opts: FileOptions,
+    out: &mut Vec<(Lint, u32, String)>,
+) {
+    if opts.allow_threading {
+        return;
+    }
+    let path_next = |i: usize, want: &str| {
+        tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+            && tokens.get(i + 3).and_then(|t| t.kind.ident()) == Some(want)
+    };
+    for i in 0..tokens.len() {
+        if skip[i] {
+            continue;
+        }
+        let Some(name) = tokens[i].kind.ident() else {
+            continue;
+        };
+        let line = tokens[i].line;
+        if name == "thread" {
+            for spawn in ["spawn", "scope", "Builder"] {
+                if path_next(i, spawn) {
+                    out.push((
+                        Lint::Threading,
+                        line,
+                        format!(
+                            "`thread::{spawn}` outside the shard-runner module; within-run \
+                             workers belong to simcore::shard_runner's window protocol"
+                        ),
+                    ));
+                }
+            }
+        } else if SYNC_PRIMITIVES.contains(&name) || name.starts_with("Atomic") {
+            out.push((
+                Lint::Threading,
+                line,
+                format!(
+                    "`{name}` is a cross-thread coordination primitive; outside \
+                     simcore::shard_runner it invites schedule-dependent results"
+                ),
+            ));
+        }
+    }
+}
+
 fn check_float_order(tokens: &[Token], skip: &[bool], out: &mut Vec<(Lint, u32, String)>) {
     for i in 0..tokens.len() {
         if skip[i] {
@@ -837,6 +920,43 @@ mod tests {
             lints("fn f(xs: &mut Vec<f64>) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }"),
             vec![Lint::FloatOrder]
         );
+    }
+
+    #[test]
+    fn threading_primitives_flagged() {
+        for stmt in [
+            "let h = thread::spawn(|| 1)",
+            "let m = Mutex::new(0)",
+            "let l = RwLock::new(0)",
+            "let c = Condvar::new()",
+            "let b = Barrier::new(2)",
+            "let (tx, rx) = std::sync::mpsc::channel::<u64>()",
+            "let n = AtomicUsize::new(0)",
+        ] {
+            let src = format!("fn f() {{ {stmt}; }}\n");
+            assert_eq!(lints(&src), vec![Lint::Threading], "{stmt}");
+        }
+    }
+
+    #[test]
+    fn arc_is_not_a_threading_finding() {
+        assert_eq!(
+            lints("fn f() { let a = Arc::new(1); let b = Arc::clone(&a); }"),
+            vec![]
+        );
+        // `thread::current` is an identity read, not a spawn.
+        assert_eq!(lints("fn f() { let _ = thread::current(); }"), vec![]);
+    }
+
+    #[test]
+    fn threading_allowed_in_shard_runner_module() {
+        let path = Path::new("crates/simcore/src/shard_runner.rs");
+        let src = "use std::sync::mpsc::channel;\n\
+                   fn f() { let h = thread::spawn(|| 1); h.join().unwrap(); }\n";
+        assert_eq!(check_source(path, src, FileOptions::for_path(path)), vec![]);
+        // The same source anywhere else is a finding per primitive.
+        let got = lints(src);
+        assert_eq!(got, vec![Lint::Threading, Lint::Threading], "{got:?}");
     }
 
     #[test]

@@ -112,6 +112,38 @@ fn float_order_fixture_is_flagged_with_provenance() {
 }
 
 #[test]
+fn threading_fixture_is_flagged_with_provenance() {
+    let src = include_str!("fixtures/bad_threading.rs");
+    let violations = check("bad_threading.rs", src);
+    let lines = lines_for(&violations, Lint::Threading);
+    assert!(
+        lines.contains(&line_of(src, "use std::sync::mpsc::channel")),
+        "missing mpsc import finding: {violations:?}"
+    );
+    assert!(
+        lines.contains(&line_of(src, "Mutex::new")),
+        "missing Mutex finding: {violations:?}"
+    );
+    assert!(
+        lines.contains(&line_of(src, "thread::spawn")),
+        "missing thread::spawn finding: {violations:?}"
+    );
+    // The identical source inside the shard-runner module is exempt — the
+    // carve-out is scoped to the one file whose protocol proves
+    // thread-invariance, exactly like ambient-env's bin/ boundary.
+    let as_runner = check_source(
+        Path::new("crates/simcore/src/shard_runner.rs"),
+        src,
+        FileOptions::for_path(Path::new("crates/simcore/src/shard_runner.rs")),
+    );
+    assert_eq!(
+        as_runner,
+        vec![],
+        "shard_runner.rs owns within-run threading"
+    );
+}
+
+#[test]
 fn annotated_fixture_passes() {
     let src = include_str!("fixtures/allowed_annotated.rs");
     let violations = check("allowed_annotated.rs", src);

@@ -1,0 +1,15 @@
+//! Fixture: within-run thread primitives outside the shard-runner module.
+//! `edgelint` must flag the channel import, the lock, and the spawn.
+//! Never compiled.
+
+use std::sync::mpsc::channel;
+
+pub fn racy_fan_out(work: Vec<u64>) -> u64 {
+    let total = Mutex::new(0u64);
+    let (tx, rx) = channel();
+    let handle = thread::spawn(move || {
+        tx.send(work.len() as u64).expect("send");
+    });
+    handle.join().expect("join");
+    *total.lock().expect("lock") + rx.recv().expect("recv")
+}

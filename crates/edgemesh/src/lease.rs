@@ -4,10 +4,29 @@
 //! Models the linearizable coordination service every production controller
 //! cluster already operates (ONOS/etcd, Kubernetes leader-election leases):
 //! one compare-and-set per deployment decision, far off the per-packet hot
-//! path. In the simulation the table is process-shared state behind
-//! `Rc<RefCell<..>>`; linearizability falls out of the single-threaded event
-//! loop — acquisition order is event order, and the timing wheel breaks ties
-//! deterministically (FIFO at equal instants).
+//! path. Linearizability is an ordering contract, and each engine discharges
+//! it with its own total order over acquire/release operations:
+//!
+//! * In the **windowed parallel engine** ([`crate::par`]) shards acquire
+//!   *tentatively* against a canonical snapshot and log every operation;
+//!   at each window boundary the coordinator replays all logged operations
+//!   against the canonical table in the merge order `(time, origin_shard,
+//!   seq)`. That replay is the linearization point of every acquire and
+//!   release — first committed acquirer wins, a tentative holder that lost
+//!   is revoked and aborts its machine. The merge key is a total order on
+//!   operations that is independent of worker-thread schedule, which is
+//!   exactly why the lease outcome (and the mesh trace hash) cannot depend
+//!   on the thread count.
+//! * In the **interleaved reference engine** ([`crate::reference`]) the
+//!   same total order degenerates to event order: this table is process-
+//!   shared state behind `Rc<RefCell<..>>`, acquisition order is the order
+//!   the single event loop executes PacketIns, and the timing wheel breaks
+//!   ties deterministically (FIFO at equal instants). Equivalently: every
+//!   event is its own window and every window boundary is empty.
+//!
+//! This `LeaseTable` is the reference engine's (and the model proptest's)
+//! concrete table; the parallel engine's window-scoped counterpart lives in
+//! `par` as `WindowGate`.
 //!
 //! Each shard's [`LeaseHandle`] plugs into the controller through
 //! [`edgectl::DeployGate`]: the dispatcher calls `try_acquire` immediately

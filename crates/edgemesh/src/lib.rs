@@ -8,7 +8,7 @@
 //! state machine over its own ingress switch — and connects them with two
 //! deterministic coordination mechanisms:
 //!
-//! * **Deployment leases** ([`lease`]) — a shared lease table modelling a
+//! * **Deployment leases** ([`lease`]) — a lease table modelling a
 //!   linearizable coordination service (etcd-style, as every production SDN
 //!   controller cluster already runs one). Before a controller starts a
 //!   deployment machine for `(cluster, service)` it must hold the lease;
@@ -17,31 +17,95 @@
 //!   `Ready` delta arrives. This closes the classic split-brain window in
 //!   which two controllers concurrently observe a PacketIn for the same
 //!   undeployed service and both deploy it.
-//! * **Delta gossip** ([`sim`]) — per-`(service, cluster)` instance-status
-//!   deltas (`Ready`/`Gone`) drained from each controller after every event
-//!   and delivered to every other shard as timing-wheel events after a
-//!   configurable link latency. Loss is pre-rolled at send time from a
-//!   dedicated RNG stream, so a lossy mesh replays byte-identically under
-//!   the same seed.
+//! * **Delta gossip** — per-`(service, cluster)` instance-status deltas
+//!   (`Ready`/`Gone`) drained from each controller after every event and
+//!   delivered to every other shard after a configurable link latency. Loss
+//!   is pre-rolled at send time from a dedicated RNG stream, so a lossy mesh
+//!   replays byte-identically under the same seed.
 //!
-//! `shards = 1` bypasses all of this and delegates to the plain
+//! Two engines execute the federation:
+//!
+//! * [`par`] — the **windowed parallel engine** (the default for
+//!   `shards >= 2`): thread-per-shard conservative PDES with deterministic
+//!   lookahead windows. Each shard owns its controller, switch and event
+//!   queue on one worker thread and everything cross-shard exchanges at
+//!   window barriers in one canonical merge order, so the mesh trace hash
+//!   is byte-identical for any thread count.
+//! * [`mod@reference`] — the original interleaved single-event-loop engine, kept
+//!   as the executable specification the parallel engine is held equivalent
+//!   to by the model-based lockstep test.
+//!
+//! `shards = 1` bypasses both and delegates to the plain
 //! [`testbed::Testbed`], so every pinned single-controller trace stays
 //! byte-identical ([`MeshRunResult::mesh_hash`] then equals
 //! `RunResult::metrics_hash`).
 //!
 //! Configuration rides on [`testbed::MeshParams`] (the `mesh:` block of
-//! scenario YAML); the mesh-coherence static checks live in
-//! `edgeverify::Verifier::check_mesh`.
+//! scenario YAML, including the `threads` knob); the mesh-coherence static
+//! checks live in `edgeverify::Verifier::check_mesh`.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod lease;
+pub mod par;
+pub mod reference;
+pub mod result;
 pub mod shared;
-pub mod sim;
 
 pub use lease::{LeaseHandle, LeaseTable};
+pub use par::{run_windowed, run_windowed_audited, validate_threads, ThreadsExceedShards};
+pub use reference::MeshSim;
+pub use result::{MeshRecord, MeshRunResult, ShardSummary};
 pub use shared::{SharedBackend, SharedHandle};
-pub use sim::{
-    run_mesh_bigflows, run_mesh_bigflows_audited, run_mesh_scenario, MeshRecord, MeshRunResult,
-    MeshSim, ShardSummary,
-};
+
+use edgeverify::Violation;
+use simcore::SimRng;
+use testbed::{ScenarioConfig, Testbed};
+use workload::{Trace, TraceConfig};
+
+/// Run a trace under a scenario, honouring `cfg.mesh.shards` and
+/// `cfg.mesh.threads`: one shard is the plain single-controller
+/// [`testbed::Testbed`] (byte-identical to every pinned trace), two or more
+/// run the windowed parallel engine ([`par::run_windowed`]).
+pub fn run_mesh_scenario(cfg: ScenarioConfig, trace: &Trace) -> MeshRunResult {
+    if cfg.mesh.shards <= 1 {
+        let testbed = Testbed::build(cfg, trace.service_addrs.clone());
+        return MeshRunResult::from_single(testbed.run_trace(trace));
+    }
+    let threads = cfg.mesh.threads;
+    par::run_windowed(cfg, trace, threads)
+}
+
+/// Generate the paper's bigFlows-like trace for `cfg` and run it through
+/// [`run_mesh_scenario`]. The trace seed derivation matches
+/// `testbed::run_bigflows`, so `shards = 1` replays that run exactly.
+pub fn run_mesh_bigflows(cfg: ScenarioConfig) -> (Trace, MeshRunResult) {
+    let trace = bigflows_trace(&cfg);
+    let result = run_mesh_scenario(cfg, &trace);
+    (trace, result)
+}
+
+/// [`run_mesh_bigflows`] with the mesh-coherence audit riding along — the
+/// `edgesim verify` entry point for `mesh:` scenarios. Requires
+/// `cfg.mesh.shards >= 2`.
+pub fn run_mesh_bigflows_audited(cfg: ScenarioConfig) -> (Trace, MeshRunResult, Vec<Violation>) {
+    assert!(
+        cfg.mesh.shards >= 2,
+        "single-shard scenarios audit through the plain testbed path"
+    );
+    let trace = bigflows_trace(&cfg);
+    let threads = cfg.mesh.threads;
+    let (result, violations) = par::run_windowed_audited(cfg, &trace, threads);
+    (trace, result, violations)
+}
+
+fn bigflows_trace(cfg: &ScenarioConfig) -> Trace {
+    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
+    Trace::generate(
+        TraceConfig {
+            clients: cfg.clients,
+            ..TraceConfig::default()
+        },
+        &mut trace_rng,
+    )
+}

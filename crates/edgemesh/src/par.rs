@@ -1,0 +1,1324 @@
+//! The windowed parallel mesh engine: thread-per-shard conservative PDES.
+//!
+//! Each ingress shard owns its controller, its switch, its event queue
+//! ([`simcore::ShardRunner`]) and a full set of *replica* site backends, all
+//! living on one worker thread of a [`simcore::ShardCrew`]. Shards advance
+//! freely to a common window end `T_min + lookahead` (`T_min` = earliest
+//! pending activity across the mesh, lookahead = the inter-shard link
+//! latency), then exchange everything cross-shard at a barrier:
+//!
+//! * **gossip deltas** drained during the window, delivered at
+//!   `drain time + link_latency` (losses pre-rolled by the coordinator from
+//!   the `"mesh-gossip"` stream, exactly like the reference engine);
+//! * **lease operations**, resolved by the coordinator against the canonical
+//!   lease table in merged order — the commit point of the coordination
+//!   service. A shard that optimistically started a deployment and lost the
+//!   merge receives a *revocation* and aborts the machine
+//!   ([`edgectl::Controller::abort_deployment`]) at the next window start;
+//! * **site backend mutations**, logged by a `LoggingBackend` wrapper and
+//!   replayed onto every peer's replicas at the barrier instant.
+//!
+//! Everything cross-shard is merged in one canonical order — sorted by
+//! `(time, origin shard, per-shard sequence)` — on the coordinator thread,
+//! so the merge does not depend on which worker finished first. A shard's
+//! window is a sequential computation over its own state plus its barrier
+//! inbox, so the whole run is a pure function of `(config, seed)`: the
+//! thread count only chooses which worker executes a shard and the mesh
+//! trace hash is byte-identical for any `threads`, including 1 (which runs
+//! the same windowed algorithm on a single worker).
+//!
+//! ## Divergence envelope
+//!
+//! Replicas are *eventually* identical, not continuously: shard `A`'s own
+//! backend ops apply at their true instants while peers replay them at the
+//! next barrier, and a revoked (optimistic loser) machine's already-logged
+//! ops are not compensated. Both model the real federation — a controller
+//! acts on its own view immediately and peers converge at gossip latency —
+//! and both are deterministic, so they live inside the accepted divergence
+//! envelope documented in DESIGN.md §5f alongside the reference engine's
+//! shared-backend idealization.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use cluster::{
+    ClusterBackend, ClusterError, ClusterKind, CrashOutcome, DockerCluster, K8sCluster, K8sTimings,
+    ScaleReceipt, ServiceStatus, ServiceTemplate,
+};
+use containers::{ImageRef, Runtime};
+use edgectl::{
+    ClusterId, Controller, ControllerOutput, DeployGate, RoundRobinLocal, SchedulerRegistry,
+    ServiceId, StatusDelta,
+};
+use edgeverify::{MeshView, Verifier, Violation};
+use registry::RegistrySet;
+use simcore::{ShardActor, ShardCrew, ShardRunner, SimDuration, SimRng, SimTime};
+use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
+use simnet::{Packet, SocketAddr};
+use testbed::topology::NodeClass;
+use testbed::{C3Topology, PhaseSetup, ScenarioConfig, CLOUD_PORT};
+use workload::{ServiceProfile, Trace};
+
+use crate::result::{MeshRecord, MeshRunResult, ShardSummary};
+use crate::shared::{share, SharedHandle};
+
+/// Latency of each shard's SDN control channel (same figure as the
+/// reference engine and the single-controller testbed).
+const CTRL_LATENCY: SimDuration = SimDuration::from_micros(150);
+
+/// Retransmission cap per delta delivery (see `reference::MAX_RETRANSMITS`).
+const MAX_RETRANSMITS: u32 = 64;
+
+/// `--threads` asked for more workers than there are shards. Extra workers
+/// could only idle, so the CLI and bench reject the request outright rather
+/// than silently clamping a user-visible knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadsExceedShards {
+    pub threads: usize,
+    pub shards: usize,
+}
+
+impl fmt::Display for ThreadsExceedShards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "threads ({}) exceeds mesh shards ({}): each worker thread owns whole \
+             shards, so at most `shards` threads can do work",
+            self.threads, self.shards
+        )
+    }
+}
+
+impl std::error::Error for ThreadsExceedShards {}
+
+/// Validate a user-supplied thread count against a shard count: `0` means
+/// "default" and maps to 1; anything above `shards` is a typed error.
+pub fn validate_threads(threads: usize, shards: usize) -> Result<usize, ThreadsExceedShards> {
+    let threads = threads.max(1);
+    if threads > shards.max(1) {
+        return Err(ThreadsExceedShards { threads, shards });
+    }
+    Ok(threads)
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard messages. Everything here is plain `Send` data: the only values
+// that ever cross a thread boundary.
+// ---------------------------------------------------------------------------
+
+/// A mutating call performed on one site's backend, by argument value so a
+/// peer can replay it on its own replica.
+#[derive(Debug, Clone)]
+enum SiteCall {
+    Pull { template: String },
+    Create { template: String },
+    ScaleUp { service: String, replicas: u32 },
+    ScaleDown { service: String, replicas: u32 },
+    Remove { service: String },
+    DeleteImage { image: String },
+    InjectCrash { service: String },
+}
+
+#[derive(Debug, Clone)]
+struct SiteOp {
+    time: SimTime,
+    origin: usize,
+    seq: u64,
+    site: usize,
+    call: SiteCall,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LeaseCall {
+    Acquire,
+    Release,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LeaseOp {
+    time: SimTime,
+    origin: usize,
+    seq: u64,
+    cluster: ClusterId,
+    service: ServiceId,
+    call: LeaseCall,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DeltaOut {
+    time: SimTime,
+    origin: usize,
+    seq: u64,
+    delta: StatusDelta,
+}
+
+/// What the coordinator hands a shard at a barrier, to apply at the window
+/// start (revocations, foreign ops, canonical lease holders) or inject as
+/// future events (delta deliveries).
+#[derive(Debug, Default)]
+struct Inbox {
+    deliveries: Vec<(SimTime, StatusDelta)>,
+    foreign_ops: Vec<SiteOp>,
+    lease_holders: Vec<(ClusterId, ServiceId, usize)>,
+    revocations: Vec<(ClusterId, ServiceId)>,
+}
+
+impl Inbox {
+    fn needs_barrier_work(&self) -> bool {
+        !self.foreign_ops.is_empty() || !self.revocations.is_empty()
+    }
+}
+
+struct WindowCmd {
+    /// Exclusive end of the window. `end == horizon` is the initial probe.
+    end: SimTime,
+    inbox: Inbox,
+}
+
+struct WindowReport {
+    next_time: Option<SimTime>,
+    lease_ops: Vec<LeaseOp>,
+    site_ops: Vec<SiteOp>,
+    deltas: Vec<DeltaOut>,
+    /// `(service, cluster)` pairs with a deployment machine in flight at the
+    /// window end, for the split-brain scan.
+    in_flight: Vec<(ServiceId, ClusterId)>,
+}
+
+struct ShardFinal {
+    summary: ShardSummary,
+    records: Vec<MeshRecord>,
+    lost: u64,
+    in_flight: Vec<(u32, usize)>,
+    redirects: Vec<(u32, usize)>,
+    /// `(service index, site)` pairs ready on this shard's replicas. The
+    /// audit uses shard 0's set (replicas converge at barriers).
+    ready: Vec<(u32, usize)>,
+    stalls: u64,
+    events: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Shard-local lease view.
+// ---------------------------------------------------------------------------
+
+/// Shard-local view of the lease table: the canonical holders as of the last
+/// barrier plus a tentative overlay of this window's own operations. The
+/// *canonical* state only ever changes at a barrier, when the coordinator
+/// replays every shard's logged operations in merged order — that replay is
+/// the linearization point of each acquire/release.
+#[derive(Debug, Default)]
+struct GateState {
+    canonical: BTreeMap<(ClusterId, ServiceId), usize>,
+    /// `true`: tentatively acquired this window; `false`: released.
+    tentative: BTreeMap<(ClusterId, ServiceId), bool>,
+}
+
+/// The [`DeployGate`] a windowed controller plugs in: optimistic acquire
+/// against the last canonical snapshot, logged for the coordinator to commit
+/// (or revoke) at the barrier.
+struct WindowGate {
+    shard: usize,
+    state: Rc<RefCell<GateState>>,
+    outbox: Rc<RefCell<Outbox>>,
+}
+
+impl WindowGate {
+    fn log(&self, now: SimTime, cluster: ClusterId, service: ServiceId, call: LeaseCall) {
+        let mut ob = self.outbox.borrow_mut();
+        let seq = ob.next_seq();
+        ob.lease_ops.push(LeaseOp {
+            time: now,
+            origin: self.shard,
+            seq,
+            cluster,
+            service,
+            call,
+        });
+    }
+}
+
+impl DeployGate for WindowGate {
+    fn try_acquire(&mut self, now: SimTime, cluster: ClusterId, service: ServiceId) -> bool {
+        let key = (cluster, service);
+        let held = {
+            let st = self.state.borrow();
+            st.tentative
+                .get(&key)
+                .copied()
+                .or_else(|| st.canonical.get(&key).map(|&h| h == self.shard))
+        };
+        match held {
+            // Tentatively ours (or canonically ours with no overlay):
+            // idempotent re-acquire, logged so the canonical replay sees it.
+            Some(true) => {
+                self.log(now, cluster, service, LeaseCall::Acquire);
+                true
+            }
+            // Overlay says we released it this window — reacquire unless the
+            // canonical holder is a peer.
+            Some(false)
+                if self
+                    .state
+                    .borrow()
+                    .canonical
+                    .get(&key)
+                    .is_some_and(|&h| h != self.shard) =>
+            {
+                false
+            }
+            Some(false) | None => {
+                if self
+                    .state
+                    .borrow()
+                    .canonical
+                    .get(&key)
+                    .is_some_and(|&h| h != self.shard)
+                {
+                    // A peer holds it as of the last barrier: reject, no log
+                    // (a rejection changes nothing canonically).
+                    return false;
+                }
+                self.state.borrow_mut().tentative.insert(key, true);
+                self.log(now, cluster, service, LeaseCall::Acquire);
+                true
+            }
+        }
+    }
+
+    fn release(&mut self, now: SimTime, cluster: ClusterId, service: ServiceId) {
+        let key = (cluster, service);
+        let ours = {
+            let st = self.state.borrow();
+            st.tentative
+                .get(&key)
+                .copied()
+                .unwrap_or_else(|| st.canonical.get(&key).copied() == Some(self.shard))
+        };
+        if ours {
+            self.state.borrow_mut().tentative.insert(key, false);
+            self.log(now, cluster, service, LeaseCall::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend op logging.
+// ---------------------------------------------------------------------------
+
+/// Everything a shard produced this window, tagged by one per-shard lifetime
+/// sequence counter so the coordinator's `(time, origin, seq)` sort is a
+/// total order that respects intra-shard causality.
+#[derive(Debug, Default)]
+struct Outbox {
+    seq: u64,
+    lease_ops: Vec<LeaseOp>,
+    site_ops: Vec<SiteOp>,
+    deltas: Vec<DeltaOut>,
+}
+
+impl Outbox {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+/// One shard's view of its own replica of a site: delegates every call and
+/// logs the successful mutations for barrier broadcast (reads don't gossip;
+/// failed mutations have no side effect to replicate).
+struct LoggingBackend {
+    site: usize,
+    origin: usize,
+    name: String,
+    kind: ClusterKind,
+    inner: SharedHandle,
+    outbox: Rc<RefCell<Outbox>>,
+}
+
+impl LoggingBackend {
+    fn new(site: usize, origin: usize, inner: SharedHandle, outbox: Rc<RefCell<Outbox>>) -> Self {
+        let (name, kind) = {
+            let b = inner.borrow();
+            (b.cluster_name().to_string(), b.kind())
+        };
+        LoggingBackend {
+            site,
+            origin,
+            name,
+            kind,
+            inner,
+            outbox,
+        }
+    }
+
+    fn log(&self, time: SimTime, call: SiteCall) {
+        let mut ob = self.outbox.borrow_mut();
+        let seq = ob.next_seq();
+        ob.site_ops.push(SiteOp {
+            time,
+            origin: self.origin,
+            seq,
+            site: self.site,
+            call,
+        });
+    }
+}
+
+impl ClusterBackend for LoggingBackend {
+    fn cluster_name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ClusterKind {
+        self.kind
+    }
+
+    fn pull(
+        &mut self,
+        now: SimTime,
+        template: &ServiceTemplate,
+        registries: &RegistrySet,
+    ) -> Result<SimTime, ClusterError> {
+        let r = self.inner.borrow_mut().pull(now, template, registries);
+        if r.is_ok() {
+            self.log(
+                now,
+                SiteCall::Pull {
+                    template: template.name.clone(),
+                },
+            );
+        }
+        r
+    }
+
+    fn create(
+        &mut self,
+        now: SimTime,
+        template: &ServiceTemplate,
+    ) -> Result<SimTime, ClusterError> {
+        let r = self.inner.borrow_mut().create(now, template);
+        if r.is_ok() {
+            self.log(
+                now,
+                SiteCall::Create {
+                    template: template.name.clone(),
+                },
+            );
+        }
+        r
+    }
+
+    fn scale_up(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<ScaleReceipt, ClusterError> {
+        let r = self.inner.borrow_mut().scale_up(now, service, replicas);
+        if r.is_ok() {
+            self.log(
+                now,
+                SiteCall::ScaleUp {
+                    service: service.to_string(),
+                    replicas,
+                },
+            );
+        }
+        r
+    }
+
+    fn scale_down(
+        &mut self,
+        now: SimTime,
+        service: &str,
+        replicas: u32,
+    ) -> Result<SimTime, ClusterError> {
+        let r = self.inner.borrow_mut().scale_down(now, service, replicas);
+        if r.is_ok() {
+            self.log(
+                now,
+                SiteCall::ScaleDown {
+                    service: service.to_string(),
+                    replicas,
+                },
+            );
+        }
+        r
+    }
+
+    fn remove(&mut self, now: SimTime, service: &str) -> Result<SimTime, ClusterError> {
+        let r = self.inner.borrow_mut().remove(now, service);
+        if r.is_ok() {
+            self.log(
+                now,
+                SiteCall::Remove {
+                    service: service.to_string(),
+                },
+            );
+        }
+        r
+    }
+
+    fn delete_image(&mut self, now: SimTime, image: &ImageRef) -> bool {
+        let deleted = self.inner.borrow_mut().delete_image(now, image);
+        if deleted {
+            self.log(
+                now,
+                SiteCall::DeleteImage {
+                    image: image.0.clone(),
+                },
+            );
+        }
+        deleted
+    }
+
+    fn status(&self, now: SimTime, service: &str) -> ServiceStatus {
+        self.inner.borrow().status(now, service)
+    }
+
+    fn has_images(&self, template: &ServiceTemplate) -> bool {
+        self.inner.borrow().has_images(template)
+    }
+
+    fn replica_endpoints(&self, now: SimTime, service: &str) -> Vec<SocketAddr> {
+        self.inner.borrow().replica_endpoints(now, service)
+    }
+
+    fn services(&self) -> Vec<String> {
+        self.inner.borrow().services()
+    }
+
+    fn load(&self) -> f64 {
+        self.inner.borrow().load()
+    }
+
+    fn inject_crash(&mut self, now: SimTime, service: &str) -> CrashOutcome {
+        let outcome = self.inner.borrow_mut().inject_crash(now, service);
+        self.log(
+            now,
+            SiteCall::InjectCrash {
+                service: service.to_string(),
+            },
+        );
+        outcome
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shard actor.
+// ---------------------------------------------------------------------------
+
+/// Events of one windowed shard (same dispatch as the reference engine's
+/// global `Ev`, minus the shard index — the queue itself is per shard).
+enum Ev2 {
+    Syn {
+        tag: u64,
+    },
+    CtrlPacketIn {
+        packet: Packet,
+        buffer_id: BufferId,
+        in_port: PortId,
+    },
+    Apply {
+        output: ControllerOutput,
+    },
+    Wakeup,
+    Deliver {
+        delta: StatusDelta,
+    },
+}
+
+struct MeshShard {
+    shard: usize,
+    c3: C3Topology,
+    /// This shard's replicas of every site, in site order.
+    handles: Vec<SharedHandle>,
+    templates: Vec<ServiceTemplate>,
+    registries: RegistrySet,
+    service_addrs: Vec<SocketAddr>,
+    controller: Controller,
+    switch: Switch,
+    gate: Option<Rc<RefCell<GateState>>>,
+    outbox: Rc<RefCell<Outbox>>,
+    runner: ShardRunner<Ev2>,
+    /// `tag -> (client, service)` for this shard's not-yet-released requests.
+    in_flight: BTreeMap<u64, (usize, usize)>,
+    records: Vec<MeshRecord>,
+    lost: u64,
+    revocations: u64,
+    wakeup_armed: Option<SimTime>,
+}
+
+impl MeshShard {
+    fn drain_deltas(&mut self, now: SimTime) {
+        let deltas = self.controller.drain_status_deltas();
+        if deltas.is_empty() {
+            return;
+        }
+        let mut ob = self.outbox.borrow_mut();
+        for delta in deltas {
+            let seq = ob.next_seq();
+            ob.deltas.push(DeltaOut {
+                time: now,
+                origin: self.shard,
+                seq,
+                delta,
+            });
+        }
+    }
+
+    fn arm_wakeup(&mut self, now: SimTime) {
+        if let Some(at) = self.controller.next_wakeup() {
+            let at = at.max(now);
+            if self.wakeup_armed.is_none_or(|t| at < t) {
+                self.runner.inject(at, Ev2::Wakeup);
+                self.wakeup_armed = Some(at);
+            }
+        }
+    }
+
+    /// Replay a peer's backend op on the local replica at the barrier
+    /// instant. Errors are swallowed: they mean this replica had already
+    /// diverged inside the accepted envelope (e.g. a revoked machine's
+    /// uncompensated ops), and the replay is the convergence mechanism, not
+    /// a correctness gate.
+    fn replay(&mut self, at: SimTime, op: &SiteOp) {
+        let mut b = self.handles[op.site].borrow_mut();
+        match &op.call {
+            SiteCall::Pull { template } => {
+                if let Some(t) = self.templates.iter().find(|t| &t.name == template) {
+                    let _ = b.pull(at, t, &self.registries);
+                }
+            }
+            SiteCall::Create { template } => {
+                if let Some(t) = self.templates.iter().find(|t| &t.name == template) {
+                    let _ = b.create(at, t);
+                }
+            }
+            SiteCall::ScaleUp { service, replicas } => {
+                let _ = b.scale_up(at, service, *replicas);
+            }
+            SiteCall::ScaleDown { service, replicas } => {
+                let _ = b.scale_down(at, service, *replicas);
+            }
+            SiteCall::Remove { service } => {
+                let _ = b.remove(at, service);
+            }
+            SiteCall::DeleteImage { image } => {
+                let _ = b.delete_image(at, &ImageRef::new(image.clone()));
+            }
+            SiteCall::InjectCrash { service } => {
+                let _ = b.inject_crash(at, service);
+            }
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, tag: u64, out_port: PortId) {
+        if self.in_flight.remove(&tag).is_some() {
+            self.records.push(MeshRecord {
+                tag,
+                shard: self.shard,
+                released: now,
+                port: out_port.0,
+            });
+        }
+    }
+
+    fn on_syn(&mut self, now: SimTime, tag: u64) {
+        let Some(&(client, service)) = self.in_flight.get(&tag) else {
+            return;
+        };
+        let src = SocketAddr::new(self.c3.client_ips[client], 40000 + service as u16);
+        let packet = Packet::syn(src, self.service_addrs[service], tag);
+        match self.switch.receive(now, packet) {
+            PacketVerdict::Forward { out_port, .. } => self.complete(now, tag, out_port),
+            PacketVerdict::PacketIn { buffer_id, packet } => {
+                let in_port = self.c3.client_port(client);
+                self.runner.inject(
+                    now + CTRL_LATENCY,
+                    Ev2::CtrlPacketIn {
+                        packet,
+                        buffer_id,
+                        in_port,
+                    },
+                );
+            }
+            PacketVerdict::Dropped => {
+                self.lost += 1;
+                self.in_flight.remove(&tag);
+            }
+        }
+    }
+
+    fn on_apply(&mut self, now: SimTime, output: ControllerOutput) {
+        match output {
+            ControllerOutput::FlowMod { spec, .. } => {
+                self.switch.flow_mod(now, spec);
+            }
+            ControllerOutput::ReleaseViaTable { buffer_id, .. } => {
+                match self.switch.packet_out_via_table(now, buffer_id) {
+                    Some(PacketVerdict::Forward { packet, out_port }) => {
+                        self.complete(now, packet.tag, out_port);
+                    }
+                    Some(_) | None => {
+                        self.lost += 1;
+                    }
+                }
+            }
+            ControllerOutput::DropBuffered { buffer_id, .. } => {
+                self.switch.discard_buffer(buffer_id);
+                self.lost += 1;
+            }
+        }
+    }
+
+    fn push_outputs(&mut self, outputs: Vec<ControllerOutput>) {
+        for output in outputs {
+            // An output stamped before the horizon applies "now": abort
+            // fallout re-stamps waiters with their original decision times,
+            // which lie in the executed past of the windowed clock.
+            let at = (output.at() + CTRL_LATENCY).max(self.runner.horizon());
+            self.runner.inject(at, Ev2::Apply { output });
+        }
+    }
+}
+
+impl ShardActor for MeshShard {
+    type Cmd = WindowCmd;
+    type Report = WindowReport;
+    type Final = ShardFinal;
+
+    fn run_window(&mut self, cmd: WindowCmd) -> WindowReport {
+        let at = self.runner.horizon();
+        // Barrier inbox, in order: canonical lease state first (so revocation
+        // fallout sees it), then peer backend ops (already merged-sorted),
+        // then revocations, then future delta deliveries.
+        if let Some(gate) = &self.gate {
+            let mut st = gate.borrow_mut();
+            st.canonical = cmd
+                .inbox
+                .lease_holders
+                .iter()
+                .map(|&(c, s, h)| ((c, s), h))
+                .collect();
+            st.tentative.clear();
+        }
+        for op in &cmd.inbox.foreign_ops {
+            self.replay(at, op);
+        }
+        let barrier_work = cmd.inbox.needs_barrier_work();
+        for &(cluster, service) in &cmd.inbox.revocations {
+            if let Some(outputs) = self.controller.abort_deployment(at, cluster, service) {
+                self.revocations += 1;
+                self.push_outputs(outputs);
+            }
+        }
+        if barrier_work {
+            // Aborts emit `Gone` deltas and change machine timing; gossip and
+            // re-arm exactly as after an ordinary event.
+            self.drain_deltas(at);
+            self.arm_wakeup(at);
+        }
+        for &(t, delta) in &cmd.inbox.deliveries {
+            self.runner.inject(t, Ev2::Deliver { delta });
+        }
+        // The window body: free-running dispatch up to the horizon.
+        self.runner.begin_window(cmd.end);
+        while let Some((now, ev)) = self.runner.pop() {
+            self.switch.sweep(now);
+            match ev {
+                Ev2::Syn { tag } => self.on_syn(now, tag),
+                Ev2::CtrlPacketIn {
+                    packet,
+                    buffer_id,
+                    in_port,
+                } => {
+                    let outputs = self
+                        .controller
+                        .on_packet_in(now, packet, buffer_id, in_port);
+                    self.push_outputs(outputs);
+                }
+                Ev2::Apply { output } => self.on_apply(now, output),
+                Ev2::Wakeup => {
+                    self.wakeup_armed = None;
+                    let outputs = self.controller.on_wakeup(now);
+                    self.push_outputs(outputs);
+                }
+                Ev2::Deliver { delta } => {
+                    self.controller.apply_remote_delta(now, &delta);
+                }
+            }
+            self.drain_deltas(now);
+            self.arm_wakeup(now);
+        }
+        self.runner.end_window();
+        let mut ob = self.outbox.borrow_mut();
+        WindowReport {
+            next_time: self.runner.next_time(),
+            lease_ops: std::mem::take(&mut ob.lease_ops),
+            site_ops: std::mem::take(&mut ob.site_ops),
+            deltas: std::mem::take(&mut ob.deltas),
+            in_flight: self.controller.in_flight_deployments(self.runner.horizon()),
+        }
+    }
+
+    fn finish(self) -> ShardFinal {
+        let now = self.runner.horizon();
+        let st = &self.controller.stats;
+        let summary = ShardSummary {
+            deployments: st.deployments.len() as u64,
+            memory_hits: st.memory_hits,
+            cloud_forwards: st.cloud_forwards,
+            held_requests: st.held_requests,
+            detoured_requests: st.detoured_requests,
+            retargets: st.retargets,
+            scale_downs: st.scale_downs,
+            removes: st.removals,
+            lease_rejections: st.lease_rejections,
+            lease_revocations: self.revocations,
+            remote_deltas: st.remote_deltas,
+        };
+        let in_flight = self
+            .controller
+            .in_flight_deployments(now)
+            .into_iter()
+            .map(|(svc, c)| (svc.0, c.0))
+            .collect();
+        let redirects = self
+            .controller
+            .memory()
+            .iter()
+            .filter(|f| !f.pending)
+            .filter_map(|f| f.cluster.map(|c| (f.service.0, c.0)))
+            .collect();
+        let mut ready = Vec::new();
+        for (c, handle) in self.handles.iter().enumerate() {
+            let cluster = handle.borrow();
+            for (i, template) in self.templates.iter().enumerate() {
+                if cluster.status(now, &template.name).is_ready() {
+                    ready.push((i as u32, c));
+                }
+            }
+        }
+        ShardFinal {
+            summary,
+            records: self.records,
+            lost: self.lost,
+            in_flight,
+            redirects,
+            ready,
+            stalls: self.runner.stalls(),
+            events: self.runner.events(),
+        }
+    }
+}
+
+/// Build shard `shard`'s full state. Runs *on the worker thread that owns
+/// the shard* ([`ShardCrew::spawn`]'s contract), so everything here —
+/// `Rc`/`RefCell` graphs, trait objects — stays thread-local. Every shard
+/// derives its replica RNG streams from the same `(seed, stream name)`
+/// pairs, so all replicas of a site are byte-identical at birth and stay so
+/// under the identical prewarm performed here.
+fn build_shard(shard: usize, cfg: &ScenarioConfig, trace: &Trace) -> MeshShard {
+    let n = cfg.mesh.shards;
+    let rng = SimRng::seed_from_u64(cfg.seed);
+    let sites = cfg.resolved_sites();
+    let c3 = C3Topology::build_sites(
+        &sites.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>(),
+        cfg.clients,
+    );
+    let profile = ServiceProfile::of(cfg.service);
+    let service_addrs = trace.service_addrs.clone();
+
+    let mut handles: Vec<SharedHandle> = Vec::with_capacity(sites.len());
+    for (i, (spec, kind)) in sites.iter().enumerate() {
+        let nodes = spec.nodes.max(1) as u32;
+        let runtime = match spec.class {
+            NodeClass::Egs => Runtime::new(
+                containers::CostModel::egs(),
+                rng.stream(&format!("rt-{i}")),
+                12_000 * nodes,
+                32 * (1u64 << 30) * nodes as u64,
+            ),
+            NodeClass::RaspberryPi => Runtime::new(
+                containers::CostModel::raspberry_pi(),
+                rng.stream(&format!("rt-{i}")),
+                4_000 * nodes,
+                4 * (1u64 << 30) * nodes as u64,
+            ),
+        };
+        let ip = c3.site_ips[i];
+        let backend: Box<dyn ClusterBackend> = match kind {
+            ClusterKind::Docker => Box::new(DockerCluster::new(
+                format!("{}-docker", spec.name),
+                ip,
+                runtime,
+                rng.stream(&format!("docker-{i}")),
+            )),
+            ClusterKind::Kubernetes => Box::new(K8sCluster::new(
+                format!("{}-k8s", spec.name),
+                ip,
+                runtime,
+                rng.stream(&format!("k8s-{i}")),
+                cfg.k8s_timings.clone().unwrap_or_else(K8sTimings::egs),
+            )),
+            ClusterKind::Wasm => Box::new(cluster::WasmEdgeCluster::new(
+                format!("{}-wasm", spec.name),
+                ip,
+                rng.stream(&format!("wasm-{i}")),
+                cluster::WasmTimings::egs(),
+            )),
+        };
+        handles.push(share(backend));
+    }
+
+    let mut templates = Vec::with_capacity(service_addrs.len());
+    for i in 0..service_addrs.len() {
+        let mut template = profile.template.clone();
+        template.name = format!("{}-{i:02}", profile.template.name);
+        templates.push(template);
+    }
+
+    let outbox = Rc::new(RefCell::new(Outbox::default()));
+    let gate = cfg
+        .mesh
+        .leases
+        .then(|| Rc::new(RefCell::new(GateState::default())));
+
+    let global = SchedulerRegistry::builtin()
+        .create(&cfg.scheduler)
+        .unwrap_or_else(|e| panic!("scenario scheduler: {e}"));
+    let mut builder = Controller::builder(cfg.controller.clone())
+        .global(global)
+        .local(RoundRobinLocal::default())
+        .registries(workload::services::standard_registries(
+            cfg.private_registry,
+        ))
+        .cloud_port(CLOUD_PORT)
+        .emit_status_deltas();
+    if let Some(state) = &gate {
+        builder = builder.deploy_gate(WindowGate {
+            shard,
+            state: Rc::clone(state),
+            outbox: Rc::clone(&outbox),
+        });
+    }
+    let mut controller = builder.build();
+    for (i, handle) in handles.iter().enumerate() {
+        let id = controller.attach_cluster(
+            Box::new(LoggingBackend::new(
+                i,
+                shard,
+                handle.clone(),
+                Rc::clone(&outbox),
+            )),
+            c3.switch_site_latency(i),
+            c3.site_port(i),
+        );
+        controller.configure_site(id, sites[i].0.capacity, sites[i].0.labels.clone());
+    }
+    for (i, addr) in service_addrs.iter().enumerate() {
+        controller.catalog.register(*addr, templates[i].clone());
+    }
+    let mut switch = Switch::new(c3.port_count());
+    for spec in cfg.seed_flows.clone() {
+        switch.flow_mod(SimTime::ZERO, spec);
+    }
+
+    // Identical prewarm on every shard's replicas, applied directly (not
+    // through the LoggingBackend — broadcasting it would double-apply).
+    let registries = workload::services::standard_registries(cfg.private_registry);
+    let setup = cfg.phase_setup;
+    let mut setup_end = SimTime::ZERO;
+    if setup != PhaseSetup::Cold {
+        for (c, handle) in handles.iter().enumerate() {
+            if let Some(only) = &cfg.prewarm_sites {
+                if !only.contains(&c) {
+                    continue;
+                }
+            }
+            let mut cluster = handle.borrow_mut();
+            let mut t = SimTime::ZERO;
+            for template in &templates {
+                t = cluster
+                    .pull(t, template, &registries)
+                    .expect("prewarm pull");
+                if matches!(setup, PhaseSetup::Created | PhaseSetup::Running) {
+                    t = cluster.create(t, template).expect("prewarm create");
+                }
+                if setup == PhaseSetup::Running {
+                    t = cluster
+                        .scale_up(t, &template.name, 1)
+                        .expect("prewarm scale-up")
+                        .expected_ready;
+                }
+            }
+            setup_end = setup_end.max(t);
+        }
+    }
+
+    let mut runner = ShardRunner::new();
+    let mut in_flight = BTreeMap::new();
+    let offset = (setup_end - SimTime::ZERO) + SimDuration::from_secs(5);
+    for (idx, req) in trace.requests.iter().enumerate() {
+        if req.client % n != shard {
+            continue;
+        }
+        let at = req.at + offset + c3.client_switch_latency(req.client);
+        in_flight.insert(idx as u64, (req.client, req.service));
+        runner.inject(at, Ev2::Syn { tag: idx as u64 });
+    }
+
+    MeshShard {
+        shard,
+        c3,
+        handles,
+        templates,
+        registries,
+        service_addrs,
+        controller,
+        switch,
+        gate,
+        outbox,
+        runner,
+        in_flight,
+        records: Vec::new(),
+        lost: 0,
+        revocations: 0,
+        wakeup_armed: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The coordinator.
+// ---------------------------------------------------------------------------
+
+fn merge_cmp(a: (SimTime, usize, u64), b: (SimTime, usize, u64), perturb: bool) -> Ordering {
+    match a.0.cmp(&b.0) {
+        Ordering::Equal => {
+            let tie = (a.1, a.2).cmp(&(b.1, b.2));
+            if perturb {
+                tie.reverse()
+            } else {
+                tie
+            }
+        }
+        other => other,
+    }
+}
+
+/// Run `trace` through the windowed engine with `threads` worker threads
+/// (clamped to the shard count). Requires `cfg.mesh.shards >= 2`.
+pub fn run_windowed(cfg: ScenarioConfig, trace: &Trace, threads: usize) -> MeshRunResult {
+    run_inner(cfg, trace, threads, false).0
+}
+
+/// [`run_windowed`] plus the mesh-coherence audit over the final state and
+/// the split-brain duplicates observed at barriers.
+pub fn run_windowed_audited(
+    cfg: ScenarioConfig,
+    trace: &Trace,
+    threads: usize,
+) -> (MeshRunResult, Vec<Violation>) {
+    run_inner(cfg, trace, threads, false)
+}
+
+/// Test-only sensitivity hook: run with the barrier merge order perturbed
+/// (tie-break and fan-out order reversed). The determinism regression suite
+/// asserts the canonical hash *changes* under this mutation — proof the
+/// pinned hashes actually pin the merge order.
+#[doc(hidden)]
+pub fn run_windowed_perturbed(cfg: ScenarioConfig, trace: &Trace, threads: usize) -> MeshRunResult {
+    run_inner(cfg, trace, threads, true).0
+}
+
+fn run_inner(
+    cfg: ScenarioConfig,
+    trace: &Trace,
+    threads: usize,
+    perturb: bool,
+) -> (MeshRunResult, Vec<Violation>) {
+    let n = cfg.mesh.shards;
+    assert!(
+        n >= 2,
+        "windowed engine needs >= 2 shards; one controller is the plain Testbed"
+    );
+    let threads = threads.clamp(1, n);
+    let leases = cfg.mesh.leases;
+    let link_latency = cfg.mesh.link_latency;
+    let gossip_interval = cfg.mesh.gossip_interval;
+    let loss = cfg.mesh.loss;
+    let lookahead = if link_latency > SimDuration::ZERO {
+        link_latency
+    } else {
+        SimDuration::from_nanos(1)
+    };
+    let mut gossip_rng = SimRng::seed_from_u64(cfg.seed).stream("mesh-gossip");
+
+    let shared = Arc::new((cfg, trace.clone()));
+    let build_input = Arc::clone(&shared);
+    let mut crew: ShardCrew<MeshShard> = ShardCrew::spawn(n, threads, move |shard| {
+        build_shard(shard, &build_input.0, &build_input.1)
+    });
+    let effective_threads = crew.effective_threads();
+
+    // Canonical (coordinator-side) state.
+    let mut canonical: BTreeMap<(ClusterId, ServiceId), usize> = BTreeMap::new();
+    let mut duplicates: BTreeMap<(u32, usize), BTreeSet<usize>> = BTreeMap::new();
+    let mut deltas_sent = 0u64;
+    let mut deltas_lost = 0u64;
+    let mut delta_deliveries = 0u64;
+    let mut staleness_ns_total = 0u128;
+    let mut convergence_ns_total = 0u128;
+    let mut converged_deltas = 0u64;
+    let mut windows = 0u64;
+    let mut horizon = SimTime::ZERO;
+
+    // Probe round: learn each shard's first pending time without executing
+    // anything (window end == horizon == 0).
+    let probe: Vec<WindowCmd> = (0..n)
+        .map(|_| WindowCmd {
+            end: SimTime::ZERO,
+            inbox: Inbox::default(),
+        })
+        .collect();
+    let mut reports = crew.run_windows(probe);
+
+    loop {
+        // --- Merge phase (coordinator thread, deterministic order). ---
+        let mut lease_ops: Vec<LeaseOp> = Vec::new();
+        let mut site_ops: Vec<SiteOp> = Vec::new();
+        let mut deltas: Vec<DeltaOut> = Vec::new();
+        for r in &reports {
+            lease_ops.extend(r.lease_ops.iter().copied());
+            site_ops.extend(r.site_ops.iter().cloned());
+            deltas.extend(r.deltas.iter().copied());
+        }
+        lease_ops.sort_by(|a, b| {
+            merge_cmp(
+                (a.time, a.origin, a.seq),
+                (b.time, b.origin, b.seq),
+                perturb,
+            )
+        });
+        site_ops.sort_by(|a, b| {
+            merge_cmp(
+                (a.time, a.origin, a.seq),
+                (b.time, b.origin, b.seq),
+                perturb,
+            )
+        });
+        deltas.sort_by(|a, b| {
+            merge_cmp(
+                (a.time, a.origin, a.seq),
+                (b.time, b.origin, b.seq),
+                perturb,
+            )
+        });
+
+        // Lease resolution: replay every logged op against the canonical
+        // table in merged order. First committed acquirer wins; a tentative
+        // holder that lost is revoked.
+        let mut inboxes: Vec<Inbox> = (0..n).map(|_| Inbox::default()).collect();
+        let mut revoked_keys: BTreeSet<(ClusterId, ServiceId)> = BTreeSet::new();
+        let mut revoked_once: BTreeSet<(usize, ClusterId, ServiceId)> = BTreeSet::new();
+        for op in &lease_ops {
+            let key = (op.cluster, op.service);
+            match op.call {
+                LeaseCall::Acquire => match canonical.get(&key).copied() {
+                    None => {
+                        canonical.insert(key, op.origin);
+                    }
+                    Some(holder) if holder == op.origin => {}
+                    Some(_) => {
+                        if revoked_once.insert((op.origin, op.cluster, op.service)) {
+                            inboxes[op.origin].revocations.push(key);
+                        }
+                        revoked_keys.insert(key);
+                    }
+                },
+                LeaseCall::Release => {
+                    if canonical.get(&key).copied() == Some(op.origin) {
+                        canonical.remove(&key);
+                    }
+                }
+            }
+        }
+        if leases {
+            let snapshot: Vec<(ClusterId, ServiceId, usize)> =
+                canonical.iter().map(|(&(c, s), &h)| (c, s, h)).collect();
+            for inbox in &mut inboxes {
+                inbox.lease_holders = snapshot.clone();
+            }
+        }
+
+        // Route backend ops to every peer for barrier replay.
+        for op in &site_ops {
+            for (s, inbox) in inboxes.iter_mut().enumerate() {
+                if s != op.origin {
+                    inbox.foreign_ops.push(op.clone());
+                }
+            }
+        }
+
+        // Gossip fan-out with pre-rolled loss, in merged delta order. A
+        // delivery computed behind the current horizon (a barrier-instant
+        // drain) arrives "now" at the earliest — the clamp that keeps every
+        // injection at or after the receiving shard's horizon.
+        let mut next_activity: Option<SimTime> = None;
+        fn bump(t: SimTime, next_activity: &mut Option<SimTime>) {
+            *next_activity = Some(next_activity.map_or(t, |n: SimTime| n.min(t)));
+        }
+        let targets: Vec<usize> = if perturb {
+            (0..n).rev().collect()
+        } else {
+            (0..n).collect()
+        };
+        for d in &deltas {
+            let mut latest = SimTime::ZERO;
+            for &t in &targets {
+                if t == d.origin {
+                    continue;
+                }
+                deltas_sent += 1;
+                let mut at = d.time + link_latency;
+                let mut tries = 0;
+                while tries < MAX_RETRANSMITS && gossip_rng.chance(loss) {
+                    deltas_lost += 1;
+                    at += gossip_interval;
+                    tries += 1;
+                }
+                let at = at.max(horizon);
+                delta_deliveries += 1;
+                staleness_ns_total += at.since(d.delta.origin).as_nanos() as u128;
+                latest = latest.max(at);
+                bump(at, &mut next_activity);
+                inboxes[t].deliveries.push((at, d.delta));
+            }
+            convergence_ns_total += latest.since(d.delta.origin).as_nanos() as u128;
+            converged_deltas += 1;
+        }
+
+        // Split-brain scan over the window-end in-flight sets, minus the
+        // keys this barrier just revoked (the revocation *is* the protocol
+        // resolving the race — only a key still contested after resolution
+        // is a real duplicate).
+        let mut holders: BTreeMap<(u32, usize), Vec<usize>> = BTreeMap::new();
+        for (s, r) in reports.iter().enumerate() {
+            for &(svc, cluster) in &r.in_flight {
+                if revoked_keys.contains(&(cluster, svc)) {
+                    continue;
+                }
+                holders.entry((svc.0, cluster.0)).or_default().push(s);
+            }
+        }
+        for (key, involved) in holders {
+            if involved.len() >= 2 {
+                duplicates.entry(key).or_default().extend(involved);
+            }
+        }
+
+        // Earliest pending activity across the mesh: queue heads, scheduled
+        // deliveries (bumped above), and the barrier instant itself when a
+        // shard has revocations or foreign ops to apply at window start.
+        for (s, r) in reports.iter().enumerate() {
+            if let Some(t) = r.next_time {
+                bump(t, &mut next_activity);
+            }
+            if inboxes[s].needs_barrier_work() {
+                bump(horizon, &mut next_activity);
+            }
+        }
+
+        let Some(t_min) = next_activity else {
+            break;
+        };
+        let end = t_min + lookahead;
+        windows += 1;
+        let cmds: Vec<WindowCmd> = inboxes
+            .into_iter()
+            .map(|inbox| WindowCmd { end, inbox })
+            .collect();
+        reports = crew.run_windows(cmds);
+        horizon = end;
+    }
+
+    let finals = crew.finish();
+
+    // Deterministic cross-shard record order: completion time, then shard,
+    // then tag — a pure function of the simulation, never of the workers.
+    let mut records: Vec<MeshRecord> = finals
+        .iter()
+        .flat_map(|f| f.records.iter().copied())
+        .collect();
+    records.sort_by_key(|r| (r.released, r.shard, r.tag));
+
+    let violations = audit(&finals, &duplicates);
+
+    let shard_stats: Vec<ShardSummary> = finals.iter().map(|f| f.summary.clone()).collect();
+    let total = |f: fn(&ShardSummary) -> u64| shard_stats.iter().map(f).sum::<u64>();
+    let result = MeshRunResult {
+        shards: n,
+        threads: effective_threads,
+        leases,
+        completed: records.len() as u64,
+        lost: finals.iter().map(|f| f.lost).sum(),
+        deployments: total(|s| s.deployments),
+        duplicate_deployments: duplicates.len() as u64,
+        duplicate_deployments_avoided: total(|s| s.lease_rejections)
+            + total(|s| s.lease_revocations),
+        lease_revocations: total(|s| s.lease_revocations),
+        deltas_sent,
+        deltas_lost,
+        delta_deliveries,
+        staleness_ns_total,
+        convergence_ns_total,
+        converged_deltas,
+        scale_downs: total(|s| s.scale_downs),
+        removes: total(|s| s.removes),
+        retargets: total(|s| s.retargets),
+        windows,
+        barrier_stalls: finals.iter().map(|f| f.stalls).sum(),
+        events: finals.iter().map(|f| f.events).sum(),
+        shard_stats,
+        records,
+        single: None,
+    };
+    (result, violations)
+}
+
+/// The mesh-coherence audit over the final shard states: `edgeverify`'s
+/// static checks (using shard 0's replica-derived ready set — replicas
+/// converge at barriers) plus the split-brain duplicates observed live.
+fn audit(
+    finals: &[ShardFinal],
+    duplicates: &BTreeMap<(u32, usize), BTreeSet<usize>>,
+) -> Vec<Violation> {
+    let verifier = Verifier::new();
+    let view = MeshView {
+        in_flight: finals.iter().map(|f| f.in_flight.to_vec()).collect(),
+        redirects: finals.iter().map(|f| f.redirects.to_vec()).collect(),
+        ready: finals
+            .first()
+            .map(|f| f.ready.iter().copied().collect::<HashSet<_>>())
+            .unwrap_or_default(),
+    };
+    let mut out = verifier.check_mesh(&view);
+    for (&(service, cluster), involved) in duplicates {
+        let v = Violation::SplitBrainDeployment {
+            service,
+            cluster,
+            shards: involved.iter().copied().collect(),
+        };
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}

@@ -24,8 +24,13 @@
 //!   dropped = lost); flow-level TCP timing stays the single-controller
 //!   testbed's concern, the mesh artifact measures coordination behaviour.
 //!
-//! `shards = 1` never builds a [`MeshSim`] at all: [`run_mesh_scenario`]
-//! delegates to [`testbed::Testbed`], keeping pinned traces byte-identical.
+//! This module is the **interleaved reference engine**: one global event
+//! queue, every shard's events executed in a single stream. It is the
+//! executable specification that the windowed parallel engine
+//! ([`crate::par`]) is held equivalent to by the lockstep model test.
+//! `shards = 1` never builds a [`MeshSim`] at all:
+//! [`crate::run_mesh_scenario`] delegates to [`testbed::Testbed`], keeping
+//! pinned traces byte-identical.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
@@ -39,10 +44,11 @@ use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
 use simnet::{Packet, SocketAddr};
 use testbed::topology::NodeClass;
-use testbed::{C3Topology, PhaseSetup, ScenarioConfig, Testbed, CLOUD_PORT};
-use workload::{ServiceProfile, Trace, TraceConfig};
+use testbed::{C3Topology, PhaseSetup, ScenarioConfig, CLOUD_PORT};
+use workload::{ServiceProfile, Trace};
 
 use crate::lease::LeaseTable;
+use crate::result::{MeshRecord, MeshRunResult, ShardSummary};
 use crate::shared::{share, SharedBackend, SharedHandle};
 
 /// Latency of each shard's SDN control channel (same figure as the
@@ -92,184 +98,6 @@ struct InFlight {
     service: usize,
 }
 
-/// A completed request: which shard released it, when, and through which
-/// switch port (cloud, a site, …).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MeshRecord {
-    pub tag: u64,
-    pub shard: usize,
-    pub released: SimTime,
-    pub port: usize,
-}
-
-/// Per-shard controller counters at the end of a run.
-#[derive(Debug, Clone, Default)]
-pub struct ShardSummary {
-    pub deployments: u64,
-    pub memory_hits: u64,
-    pub cloud_forwards: u64,
-    pub held_requests: u64,
-    pub detoured_requests: u64,
-    pub retargets: u64,
-    pub scale_downs: u64,
-    pub removes: u64,
-    /// Deployment starts this shard abandoned because another shard held
-    /// the lease — duplicate deployments avoided, from this shard's side.
-    pub lease_rejections: u64,
-    /// Remote status deltas applied.
-    pub remote_deltas: u64,
-}
-
-/// Everything a mesh run produces.
-#[derive(Debug)]
-pub struct MeshRunResult {
-    pub shards: usize,
-    pub leases: bool,
-    /// Requests whose SYN was released into the fabric.
-    pub completed: u64,
-    pub lost: u64,
-    /// Deployment machines completed, summed over shards.
-    pub deployments: u64,
-    /// Distinct `(service, cluster)` pairs observed deploying on two or more
-    /// shards concurrently — split-brain duplicates that actually happened.
-    pub duplicate_deployments: u64,
-    /// Deployment starts abandoned at the lease gate — duplicates that the
-    /// protocol prevented (sum of per-shard `lease_rejections`).
-    pub duplicate_deployments_avoided: u64,
-    pub deltas_sent: u64,
-    /// Deliveries lost on the mesh link (each one cost one `gossip_interval`
-    /// of extra staleness before its retransmission).
-    pub deltas_lost: u64,
-    pub delta_deliveries: u64,
-    /// Σ (delivery instant − delta origin) over all deliveries, ns.
-    pub staleness_ns_total: u128,
-    /// Σ (last delivery instant − delta origin) over fully-propagated
-    /// deltas, ns — how long the mesh took to converge on each fact.
-    pub convergence_ns_total: u128,
-    pub converged_deltas: u64,
-    pub scale_downs: u64,
-    pub removes: u64,
-    pub retargets: u64,
-    pub shard_stats: Vec<ShardSummary>,
-    /// Completion records (empty for the `shards = 1` delegation, which
-    /// keeps its full single-controller records in `single`).
-    pub records: Vec<MeshRecord>,
-    /// The plain testbed result backing a `shards = 1` run.
-    pub single: Option<Box<testbed::RunResult>>,
-}
-
-impl MeshRunResult {
-    /// Wrap a single-controller [`testbed::RunResult`] so `shards = 1` mesh
-    /// runs are the plain testbed, byte for byte.
-    pub fn from_single(result: testbed::RunResult) -> MeshRunResult {
-        MeshRunResult {
-            shards: 1,
-            leases: true,
-            completed: result.records.len() as u64,
-            lost: result.lost,
-            deployments: result.deployments.len() as u64,
-            duplicate_deployments: 0,
-            duplicate_deployments_avoided: 0,
-            deltas_sent: 0,
-            deltas_lost: 0,
-            delta_deliveries: 0,
-            staleness_ns_total: 0,
-            convergence_ns_total: 0,
-            converged_deltas: 0,
-            scale_downs: result.scale_downs,
-            removes: result.removes,
-            retargets: result.retargets,
-            shard_stats: Vec::new(),
-            records: Vec::new(),
-            single: Some(Box::new(result)),
-        }
-    }
-
-    /// Mean delta staleness (delivery lag behind the fact) in milliseconds.
-    pub fn mean_staleness_ms(&self) -> f64 {
-        if self.delta_deliveries == 0 {
-            return 0.0;
-        }
-        self.staleness_ns_total as f64 / 1e6 / self.delta_deliveries as f64
-    }
-
-    /// Mean time for a delta to reach every shard, in milliseconds.
-    pub fn mean_convergence_ms(&self) -> f64 {
-        if self.converged_deltas == 0 {
-            return 0.0;
-        }
-        self.convergence_ns_total as f64 / 1e6 / self.converged_deltas as f64
-    }
-
-    /// Canonical textual trace — the mesh determinism artifact, same role as
-    /// `RunResult::metrics_trace`. A `shards = 1` run returns the inner
-    /// testbed trace verbatim, so its hash equals the pinned
-    /// single-controller hash by construction.
-    pub fn mesh_trace(&self) -> String {
-        use std::fmt::Write as _;
-        if let Some(single) = &self.single {
-            return single.metrics_trace();
-        }
-        let mut out = String::with_capacity(48 * self.records.len() + 1024);
-        let _ = writeln!(
-            out,
-            "mesh shards={} leases={} completed={} lost={} duplicates={} avoided={} \
-             deltas_sent={} deltas_lost={} deliveries={} staleness_ns={} convergence_ns={} \
-             converged={}",
-            self.shards,
-            self.leases,
-            self.completed,
-            self.lost,
-            self.duplicate_deployments,
-            self.duplicate_deployments_avoided,
-            self.deltas_sent,
-            self.deltas_lost,
-            self.delta_deliveries,
-            self.staleness_ns_total,
-            self.convergence_ns_total,
-            self.converged_deltas,
-        );
-        for (i, s) in self.shard_stats.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "shard={i} deployments={} memory_hits={} cloud={} held={} detoured={} \
-                 retargets={} scale_downs={} removes={} lease_rejections={} remote_deltas={}",
-                s.deployments,
-                s.memory_hits,
-                s.cloud_forwards,
-                s.held_requests,
-                s.detoured_requests,
-                s.retargets,
-                s.scale_downs,
-                s.removes,
-                s.lease_rejections,
-                s.remote_deltas,
-            );
-        }
-        for r in &self.records {
-            let _ = writeln!(
-                out,
-                "req tag={} shard={} released_ns={} port={}",
-                r.tag,
-                r.shard,
-                r.released.as_nanos(),
-                r.port,
-            );
-        }
-        out
-    }
-
-    /// FNV-1a over [`MeshRunResult::mesh_trace`].
-    pub fn mesh_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.mesh_trace().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
-    }
-}
-
 /// Tracks one delta's propagation for the convergence metric.
 struct PendingDelta {
     origin: SimTime,
@@ -312,7 +140,7 @@ pub struct MeshSim {
 impl MeshSim {
     /// Build a mesh for `cfg` over the given cloud service addresses.
     /// `cfg.mesh.shards` must be ≥ 2 — one controller is the plain
-    /// [`testbed::Testbed`] (see [`run_mesh_scenario`]).
+    /// [`testbed::Testbed`] (see [`crate::run_mesh_scenario`]).
     pub fn build(cfg: ScenarioConfig, service_addrs: Vec<SocketAddr>) -> MeshSim {
         let n = cfg.mesh.shards;
         assert!(
@@ -792,6 +620,7 @@ impl MeshSim {
                     scale_downs: st.scale_downs,
                     removes: st.removals,
                     lease_rejections: st.lease_rejections,
+                    lease_revocations: 0,
                     remote_deltas: st.remote_deltas,
                 }
             })
@@ -799,12 +628,14 @@ impl MeshSim {
         let total = |f: fn(&ShardSummary) -> u64| shard_stats.iter().map(f).sum::<u64>();
         MeshRunResult {
             shards: self.shards.len(),
+            threads: 1,
             leases: self.cfg.mesh.leases,
             completed: self.records.len() as u64,
             lost: self.lost,
             deployments: total(|s| s.deployments),
             duplicate_deployments: self.duplicates.len() as u64,
             duplicate_deployments_avoided: total(|s| s.lease_rejections),
+            lease_revocations: 0,
             deltas_sent: self.deltas_sent,
             deltas_lost: self.deltas_lost,
             delta_deliveries: self.delta_deliveries,
@@ -814,57 +645,12 @@ impl MeshSim {
             scale_downs: total(|s| s.scale_downs),
             removes: total(|s| s.removes),
             retargets: total(|s| s.retargets),
+            windows: 0,
+            barrier_stalls: 0,
+            events: self.events.scheduled_total(),
             shard_stats,
             records: self.records,
             single: None,
         }
     }
-}
-
-/// Run a trace under a scenario, honouring `cfg.mesh.shards`: one shard is
-/// the plain single-controller [`testbed::Testbed`] (byte-identical to every
-/// pinned trace), two or more build a [`MeshSim`].
-pub fn run_mesh_scenario(cfg: ScenarioConfig, trace: &Trace) -> MeshRunResult {
-    if cfg.mesh.shards <= 1 {
-        let testbed = Testbed::build(cfg, trace.service_addrs.clone());
-        return MeshRunResult::from_single(testbed.run_trace(trace));
-    }
-    MeshSim::build(cfg, trace.service_addrs.clone()).run_trace(trace)
-}
-
-/// Generate the paper's bigFlows-like trace for `cfg` and run it through
-/// [`run_mesh_scenario`]. The trace seed derivation matches
-/// `testbed::run_bigflows`, so `shards = 1` replays that run exactly.
-pub fn run_mesh_bigflows(cfg: ScenarioConfig) -> (Trace, MeshRunResult) {
-    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
-    let trace = Trace::generate(
-        TraceConfig {
-            clients: cfg.clients,
-            ..TraceConfig::default()
-        },
-        &mut trace_rng,
-    );
-    let result = run_mesh_scenario(cfg, &trace);
-    (trace, result)
-}
-
-/// [`run_mesh_bigflows`] with the mesh-coherence audit riding along — the
-/// `edgesim verify` entry point for `mesh:` scenarios. Requires
-/// `cfg.mesh.shards >= 2`.
-pub fn run_mesh_bigflows_audited(cfg: ScenarioConfig) -> (Trace, MeshRunResult, Vec<Violation>) {
-    assert!(
-        cfg.mesh.shards >= 2,
-        "single-shard scenarios audit through the plain testbed path"
-    );
-    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
-    let trace = Trace::generate(
-        TraceConfig {
-            clients: cfg.clients,
-            ..TraceConfig::default()
-        },
-        &mut trace_rng,
-    );
-    let (result, violations) =
-        MeshSim::build(cfg, trace.service_addrs.clone()).run_trace_audited(&trace);
-    (trace, result, violations)
 }

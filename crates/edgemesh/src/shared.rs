@@ -2,12 +2,24 @@
 //! edge sites.
 //!
 //! Sharding splits the *control plane*, not the clusters — a Docker engine
-//! has one API endpoint no matter how many controllers call it. Each site's
-//! backend therefore lives once, behind a [`SharedHandle`], and every shard
-//! attaches a [`SharedBackend`] wrapper that delegates through it. Calls are
-//! serialized by the single-threaded event loop, so interleavings are exactly
-//! the deterministic event order — which is also what makes the un-leased
-//! duplicate-deployment race observable instead of a data race.
+//! has one API endpoint no matter how many controllers call it. The two
+//! engines realize "one site, many controllers" differently:
+//!
+//! * The **interleaved reference engine** ([`crate::reference`]) keeps each
+//!   site's backend once, behind a [`SharedHandle`], and every shard
+//!   attaches a [`SharedBackend`] wrapper that delegates through it. Calls
+//!   are serialized by the shared event loop, so interleavings are exactly
+//!   the deterministic event order — which is what makes the un-leased
+//!   duplicate-deployment race observable instead of a data race.
+//! * The **windowed parallel engine** ([`crate::par`]) cannot share a
+//!   `Rc<RefCell<..>>` across worker threads, so every shard owns an
+//!   identical *replica* of every site (same seed, same RNG streams) and
+//!   logs its own successful mutations; peers replay those logs at the next
+//!   window boundary in the canonical `(time, origin_shard, seq)` merge
+//!   order. Replaying the same mutations in the same total order against
+//!   the same initial state keeps all replicas convergent without any
+//!   cross-thread aliasing — the serialized-interleaving argument above,
+//!   restated per window instead of per event.
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -1,0 +1,159 @@
+//! Model-based lockstep equivalence: the interleaved reference engine
+//! ([`edgemesh::MeshSim`]) is the executable specification the windowed
+//! parallel engine ([`edgemesh::par`]) is held to. Both replay the same
+//! scenarios — lossy WAN, engineered lease contention, instance churn —
+//! and must agree on every workload-visible counter. The one accepted
+//! divergence is *how* lease losers lose (DESIGN.md §5f): the reference
+//! gate rejects synchronously inside the shared event loop, while the
+//! windowed engine's optimistic losers acquire tentatively and are revoked
+//! at the next barrier, so the rejected/revoked split and the extra `Gone`
+//! deltas from aborted machines differ while the outcome (one deployment,
+//! zero duplicates, every loser retargeted) does not.
+
+use edgemesh::MeshSim;
+use simcore::{SimDuration, SimRng, SimTime};
+use simnet::{IpAddr, SocketAddr};
+use testbed::{MeshParams, ScenarioConfig};
+use workload::{Trace, TraceConfig, TraceRequest};
+
+fn bigflows(seed: u64) -> Trace {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xB16F_1085);
+    Trace::generate(
+        TraceConfig {
+            clients: 20,
+            ..TraceConfig::default()
+        },
+        &mut rng,
+    )
+}
+
+fn contention_trace() -> Trace {
+    let config = TraceConfig {
+        services: 1,
+        total_requests: 8,
+        clients: 8,
+        min_per_service: 1,
+        ..TraceConfig::default()
+    };
+    Trace {
+        requests: (0..8)
+            .map(|client| TraceRequest {
+                at: SimTime::ZERO,
+                service: 0,
+                client,
+            })
+            .collect(),
+        service_addrs: vec![SocketAddr::new(IpAddr::new(93, 184, 1, 1), 80)],
+        config,
+    }
+}
+
+/// Run both engines on the same input and assert the workload-visible
+/// counters match exactly. Used for the scenarios where the engines are in
+/// true lockstep (no lease contention, so the optimistic-vs-pessimistic
+/// loser path never activates).
+fn assert_lockstep(name: &str, cfg: ScenarioConfig, trace: &Trace) {
+    let r = MeshSim::build(cfg.clone(), trace.service_addrs.clone()).run_trace(trace);
+    let p = edgemesh::run_windowed(cfg, trace, 1);
+    let pair = |a: u64, b: u64, what: &str| {
+        assert_eq!(a, b, "{name}: reference {what} {a} != parallel {what} {b}");
+    };
+    pair(r.completed, p.completed, "completed");
+    pair(r.lost, p.lost, "lost");
+    pair(r.deployments, p.deployments, "deployments");
+    pair(
+        r.duplicate_deployments,
+        p.duplicate_deployments,
+        "duplicate_deployments",
+    );
+    pair(
+        r.duplicate_deployments_avoided,
+        p.duplicate_deployments_avoided,
+        "duplicate_deployments_avoided",
+    );
+    pair(r.scale_downs, p.scale_downs, "scale_downs");
+    pair(r.removes, p.removes, "removes");
+    pair(r.retargets, p.retargets, "retargets");
+    pair(r.deltas_sent, p.deltas_sent, "deltas_sent");
+    pair(r.deltas_lost, p.deltas_lost, "deltas_lost");
+    pair(r.delta_deliveries, p.delta_deliveries, "delta_deliveries");
+    assert_eq!(
+        r.completed + r.lost,
+        trace.requests.len() as u64,
+        "{name}: reference engine dropped requests"
+    );
+}
+
+#[test]
+fn lossy_wan_runs_in_lockstep() {
+    let trace = bigflows(3);
+    let cfg = ScenarioConfig {
+        seed: 3,
+        mesh: MeshParams {
+            shards: 2,
+            link_latency: SimDuration::from_micros(5000),
+            loss: 0.1,
+            ..MeshParams::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    assert_lockstep("lossy", cfg, &trace);
+}
+
+#[test]
+fn churning_mesh_runs_in_lockstep() {
+    let trace = bigflows(42);
+    let mut cfg = ScenarioConfig {
+        seed: 42,
+        mesh: MeshParams {
+            shards: 2,
+            ..MeshParams::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    cfg.controller.scale_down_idle = true;
+    cfg.controller.memory_idle_timeout = SimDuration::from_secs(30);
+    cfg.controller.remove_after = Some(SimDuration::from_secs(60));
+    assert_lockstep("churn", cfg, &trace);
+}
+
+/// Engineered contention is where the engines' lease mechanics differ by
+/// design, so the equivalence is over the protocol *outcome*: exactly one
+/// deployment, zero split-brain duplicates, all requests served, at least
+/// one loser per engine retargeted to the winner's instance.
+#[test]
+fn contended_leases_reach_the_same_outcome() {
+    let trace = contention_trace();
+    let cfg = ScenarioConfig {
+        seed: 7,
+        clients: 8,
+        mesh: MeshParams {
+            shards: 4,
+            link_latency: SimDuration::from_millis(100),
+            gossip_interval: SimDuration::from_millis(20),
+            ..MeshParams::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    let r = MeshSim::build(cfg.clone(), trace.service_addrs.clone()).run_trace(&trace);
+    let p = edgemesh::run_windowed(cfg.clone(), &trace, 1);
+    for (engine, res) in [("reference", &r), ("parallel", &p)] {
+        assert_eq!(res.deployments, 1, "{engine}: exactly one shard deploys");
+        assert_eq!(res.duplicate_deployments, 0, "{engine}: split-brain");
+        assert_eq!(res.completed, 8, "{engine}: all requests served");
+        assert_eq!(res.lost, 0, "{engine}");
+        assert!(
+            res.duplicate_deployments_avoided >= 1,
+            "{engine}: the lease protocol never fired"
+        );
+        assert!(res.retargets >= 1, "{engine}: losers never retargeted");
+    }
+    // And without leases, both engines must exhibit the same split-brain
+    // failure mode the protocol exists to close.
+    let mut cfg_off = cfg;
+    cfg_off.mesh.leases = false;
+    let r = MeshSim::build(cfg_off.clone(), trace.service_addrs.clone()).run_trace(&trace);
+    let p = edgemesh::run_windowed(cfg_off, &trace, 1);
+    assert!(r.duplicate_deployments >= 1, "reference: no split-brain");
+    assert!(p.duplicate_deployments >= 1, "parallel: no split-brain");
+}

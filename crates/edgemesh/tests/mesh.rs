@@ -42,6 +42,7 @@ fn contention_cfg(shards: usize, leases: bool, loss: f64) -> ScenarioConfig {
             loss,
             link_latency: SimDuration::from_millis(100),
             gossip_interval: SimDuration::from_millis(20),
+            ..MeshParams::default()
         },
         ..ScenarioConfig::default()
     }

@@ -14,8 +14,11 @@
 //! opt out with `default-features = false`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+// edgelint: allow(threading) — a monotone diagnostics counter: allocation
+// totals are read as before/after diffs and never feed a trace or schedule
 use std::sync::atomic::{AtomicU64, Ordering};
 
+// edgelint: allow(threading) — same counter as above (directives scope per line)
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 struct CountingAlloc;

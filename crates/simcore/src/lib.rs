@@ -12,10 +12,16 @@
 //! * [`stats`] — streaming summaries, percentile estimation and time-binned counters
 //!   used by the benchmark harness,
 //! * [`runner`] — a crossbeam-based fan-out runner that executes many independent
-//!   (seed, config) simulation replicas in parallel and returns results in seed order.
+//!   (seed, config) simulation replicas in parallel and returns results in seed order,
+//! * [`shard_runner`] — conservative-PDES window execution *within* one replica:
+//!   the per-shard [`shard_runner::ShardRunner`] horizon primitive and the
+//!   [`shard_runner::ShardCrew`] thread-per-shard pool with deterministic
+//!   barrier synchronization.
 //!
-//! Every simulation in this workspace is **single-threaded and deterministic** given
-//! `(config, seed)`; parallelism only ever happens *across* replicas (see DESIGN.md §7).
+//! Every simulation in this workspace is **deterministic** given `(config, seed)`:
+//! each shard's event execution is single-threaded and pure; parallelism happens
+//! across replicas ([`runner`]) or across shards between lookahead barriers
+//! ([`shard_runner`]), never inside a shard's event stream (see DESIGN.md §7).
 
 #[cfg(feature = "counting-alloc")]
 pub mod alloc_count;
@@ -25,6 +31,7 @@ pub mod fnv;
 pub mod queue;
 pub mod rng;
 pub mod runner;
+pub mod shard_runner;
 pub mod stats;
 pub mod time;
 
@@ -34,5 +41,6 @@ pub use fnv::FnvStream;
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use runner::{run_seeds, run_seeds_meta, RunnerMeta};
+pub use shard_runner::{ShardActor, ShardCrew, ShardRunner};
 pub use stats::{LogHistogram, Percentiles, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

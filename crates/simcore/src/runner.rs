@@ -6,6 +6,8 @@
 //! **in seed order**, so the output of an experiment is itself deterministic
 //! regardless of thread scheduling.
 
+// edgelint: allow(threading) — cross-run fan-out, not within-run state: each
+// seed's simulation is single-threaded and results return in seed order
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How a seed fan-out actually executed — returned alongside results so
@@ -73,6 +75,9 @@ where
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    // edgelint: allow(threading) — work-stealing cursor orders only which
+    // thread claims a chunk; slots are written by input index, so the output
+    // is schedule-independent
     let cursor = AtomicUsize::new(0);
     let slots_ptr = SlotVec(slots.as_mut_ptr());
 

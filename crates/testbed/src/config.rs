@@ -144,6 +144,7 @@ fn apply_controller(value: &Yaml, cfg: &mut ScenarioConfig) -> Result<(), String
 ///   loss: 0.05           # per-delivery delta loss probability
 ///   leases: true         # deployment-lease coordination
 ///   gossip_interval_ms: 50 # retransmit back-off after a lost delta
+///   threads: 4           # worker threads (<= shards); hash-invariant
 /// ```
 fn apply_mesh(value: &Yaml, cfg: &mut ScenarioConfig) -> Result<(), String> {
     let Some(map) = value.as_map() else {
@@ -171,8 +172,21 @@ fn apply_mesh(value: &Yaml, cfg: &mut ScenarioConfig) -> Result<(), String> {
             "gossip_interval_ms" => {
                 mesh.gossip_interval = SimDuration::from_millis_f64(as_f64(v, key)?);
             }
+            "threads" => {
+                mesh.threads = as_u64(v, key)? as usize;
+                if mesh.threads == 0 {
+                    return Err("`mesh.threads` must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown mesh key `{other}`")),
         }
+    }
+    if mesh.threads > mesh.shards {
+        return Err(format!(
+            "`mesh.threads` ({}) exceeds `mesh.shards` ({}): each worker \
+             thread owns whole shards, so extra threads could only idle",
+            mesh.threads, mesh.shards
+        ));
     }
     cfg.mesh = mesh;
     Ok(())
@@ -567,6 +581,7 @@ mesh:
   loss: 0.05
   leases: false
   gossip_interval_ms: 25
+  threads: 2
 "#,
         )
         .unwrap();
@@ -576,6 +591,7 @@ mesh:
         assert!((cfg.mesh.loss - 0.05).abs() < 1e-12);
         assert!(!cfg.mesh.leases);
         assert_eq!(cfg.mesh.gossip_interval, SimDuration::from_millis(25));
+        assert_eq!(cfg.mesh.threads, 2);
         // Defaults: single shard, lossless, leases on.
         let cfg = scenario_from_yaml(&yamlite::parse("{}").unwrap()).unwrap();
         assert_eq!(cfg.mesh, MeshParams::default());
@@ -588,6 +604,8 @@ mesh:
             "mesh:\n  shards: 0",
             "mesh:\n  loss: 1.5",
             "mesh:\n  sharts: 2",
+            "mesh:\n  threads: 0",
+            "mesh:\n  shards: 2\n  threads: 4",
         ] {
             let err = scenario_from_yaml(&yamlite::parse(bad).unwrap()).unwrap_err();
             assert!(err.contains("mesh"), "{err}");

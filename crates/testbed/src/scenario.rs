@@ -56,6 +56,12 @@ pub struct MeshParams {
     pub leases: bool,
     /// Retransmission back-off after a lost delta delivery.
     pub gossip_interval: SimDuration,
+    /// Worker threads for the windowed parallel mesh engine. `1` (the
+    /// default) runs the same windowed algorithm single-threaded; the mesh
+    /// trace hash is identical for every value. Callers reject values above
+    /// `shards` (`edgemesh::validate_threads`) — extra workers could only
+    /// idle.
+    pub threads: usize,
 }
 
 impl Default for MeshParams {
@@ -66,6 +72,7 @@ impl Default for MeshParams {
             loss: 0.0,
             leases: true,
             gossip_interval: SimDuration::from_millis(50),
+            threads: 1,
         }
     }
 }

@@ -52,7 +52,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   edgesim run <scenario.yaml> [--trace <trace.csv>] [--scheduler <name>]
-              [--dump-trace <path>]
+              [--dump-trace <path>] [--threads <n>]
   edgesim first-request <scenario.yaml>
   edgesim annotate <service.yaml> --name <svc> --port <port> [--scheduler <name>]
   edgesim verify <scenario-or-service.yaml> [--name <svc>] [--port <port>]
@@ -114,6 +114,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .position(|a| a == "--dump-trace")
         .map(|i| args.get(i + 1).ok_or("--dump-trace needs a file path"))
         .transpose()?;
+    // `--threads <n>`: worker threads for the windowed mesh engine,
+    // overriding the scenario's `mesh.threads`. The mesh trace hash is
+    // identical for every accepted value; values above `mesh.shards` are
+    // rejected (extra workers could only idle).
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or("--threads needs a positive integer")?;
+        cfg.mesh.threads =
+            edgemesh::validate_threads(n, cfg.mesh.shards).map_err(|e| e.to_string())?;
+    }
     if cfg.mesh.shards > 1 {
         if trace_path.is_some() {
             return Err("--trace is not supported for mesh (shards > 1) scenarios yet".into());
@@ -197,9 +209,14 @@ fn run_mesh(cfg: ScenarioConfig, dump_path: Option<&String>) -> Result<(), Strin
         );
     }
     println!(
-        "mesh: {} shards, leases {}",
+        "mesh: {} shards on {} worker thread{}, leases {}; {} windows ({:.2} barrier stalls/window), {} events",
         result.shards,
-        if result.leases { "on" } else { "off" }
+        result.threads,
+        if result.threads == 1 { "" } else { "s" },
+        if result.leases { "on" } else { "off" },
+        result.windows,
+        result.stalls_per_window(),
+        result.events
     );
     println!(
         "requests: {} ({} lost) over {}s, services: {}",
