@@ -121,6 +121,14 @@ pub enum ControllerOutput {
         switch: SwitchId,
         buffer_id: BufferId,
     },
+    /// Tear down every installed entry matching `matcher` — feed it into
+    /// [`simnet::FlowTable::delete_matching`]. Emitted on client handover so
+    /// the departing ingress stops rewriting a client it no longer serves.
+    FlowDelete {
+        at: SimTime,
+        switch: SwitchId,
+        matcher: FlowMatch,
+    },
 }
 
 impl ControllerOutput {
@@ -128,7 +136,8 @@ impl ControllerOutput {
         match self {
             ControllerOutput::FlowMod { at, .. }
             | ControllerOutput::ReleaseViaTable { at, .. }
-            | ControllerOutput::DropBuffered { at, .. } => *at,
+            | ControllerOutput::DropBuffered { at, .. }
+            | ControllerOutput::FlowDelete { at, .. } => *at,
         }
     }
 
@@ -136,7 +145,8 @@ impl ControllerOutput {
         match self {
             ControllerOutput::FlowMod { switch, .. }
             | ControllerOutput::ReleaseViaTable { switch, .. }
-            | ControllerOutput::DropBuffered { switch, .. } => *switch,
+            | ControllerOutput::DropBuffered { switch, .. }
+            | ControllerOutput::FlowDelete { switch, .. } => *switch,
         }
     }
 }
@@ -257,6 +267,10 @@ pub struct ControllerStats {
     /// Memorized flows abandoned because the client moved nearer to another
     /// ready instance (Follow-Me-Edge).
     pub follow_me_moves: u64,
+    /// Client handovers processed: the client left this controller's ingress
+    /// and its memorized flows were torn down so the next ingress re-runs
+    /// FAST/BEST from scratch. Always zero with static clients.
+    pub handovers: u64,
     /// Deployments *not* started because another controller in the mesh held
     /// the lease (each one is a duplicate deployment avoided). Always zero
     /// without a [`DeployGate`].
@@ -713,6 +727,54 @@ impl Controller {
     /// Which switch the client was last seen behind.
     pub fn client_switch(&self, ip: IpAddr) -> Option<SwitchId> {
         self.client_ports.get(&ip).map(|&(s, _)| s)
+    }
+
+    /// The client moved to another ingress. Forget its memorized flows and
+    /// tear down the matching switch entries on the ingress it is leaving,
+    /// so its next request table-misses at the new ingress and re-runs the
+    /// Dispatcher (fresh FAST/BEST evaluation) there. Pending placeholders
+    /// are kept: a request held on an in-flight deployment stays anchored
+    /// here until it resolves (make-before-break), which is what the
+    /// session-continuity analysis verifies.
+    pub fn on_client_handover(&mut self, now: SimTime, client: IpAddr) -> Vec<ControllerOutput> {
+        self.stats.handovers += 1;
+        let Some(switch) = self.client_switch(client) else {
+            // Never seen here — nothing installed, nothing to tear down.
+            return Vec::new();
+        };
+        // Sorted for deterministic teardown order (FlowKey orders by client
+        // ip then service address).
+        let mut departing: Vec<(FlowKey, SocketAddr)> = self
+            .memory
+            .iter()
+            .filter(|f| f.key.client_ip == client && !f.pending)
+            .map(|f| (f.key, f.target))
+            .collect();
+        departing.sort_unstable();
+        let mut out = Vec::with_capacity(departing.len() * 2);
+        for (key, target) in departing {
+            self.memory.forget(key);
+            out.push(ControllerOutput::FlowDelete {
+                at: now,
+                switch,
+                matcher: FlowMatch::client_to_service(client, key.service_addr),
+            });
+            out.push(ControllerOutput::FlowDelete {
+                at: now,
+                switch,
+                matcher: FlowMatch {
+                    protocol: Some(simnet::Protocol::Tcp),
+                    src_ip: Some(target.ip),
+                    src_port: Some(target.port),
+                    dst_ip: Some(client),
+                    ..FlowMatch::default()
+                },
+            });
+        }
+        // Forget the stale location too: if the client returns to this
+        // ingress later, its first packet re-registers it.
+        self.client_ports.remove(&client);
+        out
     }
 
     // -----------------------------------------------------------------------

@@ -58,10 +58,9 @@ pub use reference::MeshSim;
 pub use result::{MeshRecord, MeshRunResult, ShardSummary};
 pub use shared::{SharedBackend, SharedHandle};
 
-use edgeverify::Violation;
-use simcore::SimRng;
+use edgeverify::{ContinuityView, Violation};
 use testbed::{ScenarioConfig, Testbed};
-use workload::{Trace, TraceConfig};
+use workload::Trace;
 
 /// Run a trace under a scenario, honouring `cfg.mesh.shards` and
 /// `cfg.mesh.threads`: one shard is the plain single-controller
@@ -76,8 +75,9 @@ pub fn run_mesh_scenario(cfg: ScenarioConfig, trace: &Trace) -> MeshRunResult {
     par::run_windowed(cfg, trace, threads)
 }
 
-/// Generate the paper's bigFlows-like trace for `cfg` and run it through
-/// [`run_mesh_scenario`]. The trace seed derivation matches
+/// Generate `cfg`'s workload (its `workload:` block — arrival model, mix,
+/// mobility) and run it through [`run_mesh_scenario`]. Generation goes
+/// through `testbed::generate_workload`, the same path as
 /// `testbed::run_bigflows`, so `shards = 1` replays that run exactly.
 pub fn run_mesh_bigflows(cfg: ScenarioConfig) -> (Trace, MeshRunResult) {
     let trace = bigflows_trace(&cfg);
@@ -100,12 +100,40 @@ pub fn run_mesh_bigflows_audited(cfg: ScenarioConfig) -> (Trace, MeshRunResult, 
 }
 
 fn bigflows_trace(cfg: &ScenarioConfig) -> Trace {
-    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
-    Trace::generate(
-        TraceConfig {
-            clients: cfg.clients,
-            ..TraceConfig::default()
-        },
-        &mut trace_rng,
-    )
+    testbed::generate_workload(cfg)
+}
+
+/// Build the session-continuity accounting for a multi-shard run: per-tag
+/// completion counts from the completion records plus the loss ledger, ready
+/// for [`edgeverify::Verifier::check_continuity`]. Returns `None` for the
+/// `shards = 1` delegation (the plain testbed keeps no per-tag ledger — its
+/// single event loop cannot blackhole a session across a handover, the
+/// failure mode the analysis exists for).
+pub fn continuity_view(trace: &Trace, result: &MeshRunResult) -> Option<ContinuityView> {
+    if result.single.is_some() {
+        return None;
+    }
+    Some(continuity_view_parts(
+        trace,
+        &result.records,
+        &result.lost_tags,
+    ))
+}
+
+pub(crate) fn continuity_view_parts(
+    trace: &Trace,
+    records: &[MeshRecord],
+    lost_tags: &[u64],
+) -> ContinuityView {
+    let mut completions = vec![0u32; trace.requests.len()];
+    for r in records {
+        if let Some(c) = completions.get_mut(r.tag as usize) {
+            *c += 1;
+        }
+    }
+    ContinuityView {
+        clients: trace.requests.iter().map(|r| r.client as u32).collect(),
+        completions,
+        lost: lost_tags.to_vec(),
+    }
 }

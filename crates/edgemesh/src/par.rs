@@ -61,7 +61,7 @@ use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
 use simnet::{Packet, SocketAddr};
 use testbed::topology::NodeClass;
 use testbed::{C3Topology, PhaseSetup, ScenarioConfig, CLOUD_PORT};
-use workload::{ServiceProfile, Trace};
+use workload::{departures, ingress_at, ServiceProfile, Trace};
 
 use crate::result::{MeshRecord, MeshRunResult, ShardSummary};
 use crate::shared::{share, SharedHandle};
@@ -193,6 +193,10 @@ struct ShardFinal {
     summary: ShardSummary,
     records: Vec<MeshRecord>,
     lost: u64,
+    /// Tags this shard accounted as lost (continuity loss ledger).
+    lost_tags: Vec<u64>,
+    /// Client handovers this shard's controller processed.
+    handovers: u64,
     in_flight: Vec<(u32, usize)>,
     redirects: Vec<(u32, usize)>,
     /// `(service index, site)` pairs ready on this shard's replicas. The
@@ -532,6 +536,10 @@ enum Ev2 {
     Deliver {
         delta: StatusDelta,
     },
+    /// `client` hands over away from this ingress: tear down its flows.
+    Handover {
+        client: usize,
+    },
 }
 
 struct MeshShard {
@@ -551,6 +559,7 @@ struct MeshShard {
     in_flight: BTreeMap<u64, (usize, usize)>,
     records: Vec<MeshRecord>,
     lost: u64,
+    lost_tags: Vec<u64>,
     revocations: u64,
     wakeup_armed: Option<SimTime>,
 }
@@ -651,6 +660,7 @@ impl MeshShard {
             }
             PacketVerdict::Dropped => {
                 self.lost += 1;
+                self.lost_tags.push(tag);
                 self.in_flight.remove(&tag);
             }
         }
@@ -662,18 +672,29 @@ impl MeshShard {
                 self.switch.flow_mod(now, spec);
             }
             ControllerOutput::ReleaseViaTable { buffer_id, .. } => {
+                let tag = self.switch.buffered_packet(buffer_id).map(|p| p.tag);
                 match self.switch.packet_out_via_table(now, buffer_id) {
                     Some(PacketVerdict::Forward { packet, out_port }) => {
                         self.complete(now, packet.tag, out_port);
                     }
                     Some(_) | None => {
                         self.lost += 1;
+                        if let Some(tag) = tag {
+                            self.lost_tags.push(tag);
+                            self.in_flight.remove(&tag);
+                        }
                     }
                 }
             }
             ControllerOutput::DropBuffered { buffer_id, .. } => {
-                self.switch.discard_buffer(buffer_id);
+                if let Some(packet) = self.switch.discard_buffer(buffer_id) {
+                    self.lost_tags.push(packet.tag);
+                    self.in_flight.remove(&packet.tag);
+                }
                 self.lost += 1;
+            }
+            ControllerOutput::FlowDelete { matcher, .. } => {
+                self.switch.table.delete_matching(now, &matcher);
             }
         }
     }
@@ -753,6 +774,11 @@ impl ShardActor for MeshShard {
                 Ev2::Deliver { delta } => {
                     self.controller.apply_remote_delta(now, &delta);
                 }
+                Ev2::Handover { client } => {
+                    let ip = self.c3.client_ips[client];
+                    let outputs = self.controller.on_client_handover(now, ip);
+                    self.push_outputs(outputs);
+                }
             }
             self.drain_deltas(now);
             self.arm_wakeup(now);
@@ -810,6 +836,8 @@ impl ShardActor for MeshShard {
             summary,
             records: self.records,
             lost: self.lost,
+            lost_tags: self.lost_tags,
+            handovers: st.handovers,
             in_flight,
             redirects,
             ready,
@@ -825,7 +853,12 @@ impl ShardActor for MeshShard {
 /// derives its replica RNG streams from the same `(seed, stream name)`
 /// pairs, so all replicas of a site are byte-identical at birth and stay so
 /// under the identical prewarm performed here.
-fn build_shard(shard: usize, cfg: &ScenarioConfig, trace: &Trace) -> MeshShard {
+fn build_shard(
+    shard: usize,
+    cfg: &ScenarioConfig,
+    trace: &Trace,
+    blackhole_victim: Option<usize>,
+) -> MeshShard {
     let n = cfg.mesh.shards;
     let rng = SimRng::seed_from_u64(cfg.seed);
     let sites = cfg.resolved_sites();
@@ -967,12 +1000,30 @@ fn build_shard(shard: usize, cfg: &ScenarioConfig, trace: &Trace) -> MeshShard {
     let mut in_flight = BTreeMap::new();
     let offset = (setup_end - SimTime::ZERO) + SimDuration::from_secs(5);
     for (idx, req) in trace.requests.iter().enumerate() {
-        if req.client % n != shard {
+        // Static ingress assignment (home shard advanced by the client's
+        // prior handovers) — a pure function of the trace, so every shard
+        // and the reference engine partition identically with no cross-shard
+        // machinery.
+        if ingress_at(&trace.handovers, req.client, req.at, n) != shard {
+            continue;
+        }
+        // Seeded-fault hook: swallow the victim's post-handover requests —
+        // the session is neither served nor accounted lost, exactly the
+        // blackhole the continuity analysis exists to catch.
+        if blackhole_victim == Some(req.client)
+            && ingress_at(&trace.handovers, req.client, req.at, n) != req.client % n
+        {
             continue;
         }
         let at = req.at + offset + c3.client_switch_latency(req.client);
         in_flight.insert(idx as u64, (req.client, req.service));
         runner.inject(at, Ev2::Syn { tag: idx as u64 });
+    }
+    for (old, h) in departures(&trace.handovers, n) {
+        if old != shard {
+            continue;
+        }
+        runner.inject(h.at + offset, Ev2::Handover { client: h.client });
     }
 
     MeshShard {
@@ -990,6 +1041,7 @@ fn build_shard(shard: usize, cfg: &ScenarioConfig, trace: &Trace) -> MeshShard {
         in_flight,
         records: Vec::new(),
         lost: 0,
+        lost_tags: Vec::new(),
         revocations: 0,
         wakeup_armed: None,
     }
@@ -1016,7 +1068,7 @@ fn merge_cmp(a: (SimTime, usize, u64), b: (SimTime, usize, u64), perturb: bool) 
 /// Run `trace` through the windowed engine with `threads` worker threads
 /// (clamped to the shard count). Requires `cfg.mesh.shards >= 2`.
 pub fn run_windowed(cfg: ScenarioConfig, trace: &Trace, threads: usize) -> MeshRunResult {
-    run_inner(cfg, trace, threads, false).0
+    run_inner(cfg, trace, threads, false, None).0
 }
 
 /// [`run_windowed`] plus the mesh-coherence audit over the final state and
@@ -1026,7 +1078,7 @@ pub fn run_windowed_audited(
     trace: &Trace,
     threads: usize,
 ) -> (MeshRunResult, Vec<Violation>) {
-    run_inner(cfg, trace, threads, false)
+    run_inner(cfg, trace, threads, false, None)
 }
 
 /// Test-only sensitivity hook: run with the barrier merge order perturbed
@@ -1035,7 +1087,21 @@ pub fn run_windowed_audited(
 /// pinned hashes actually pin the merge order.
 #[doc(hidden)]
 pub fn run_windowed_perturbed(cfg: ScenarioConfig, trace: &Trace, threads: usize) -> MeshRunResult {
-    run_inner(cfg, trace, threads, true).0
+    run_inner(cfg, trace, threads, true, None).0
+}
+
+/// Seeded-fault hook for the session-continuity analysis: run with
+/// `victim`'s post-handover requests silently swallowed (never served, never
+/// accounted lost). The mutation test asserts the continuity check flags the
+/// blackholed sessions — proof the analysis is live, not vacuously green.
+#[doc(hidden)]
+pub fn run_windowed_blackholed(
+    cfg: ScenarioConfig,
+    trace: &Trace,
+    threads: usize,
+    victim: usize,
+) -> (MeshRunResult, Vec<Violation>) {
+    run_inner(cfg, trace, threads, false, Some(victim))
 }
 
 fn run_inner(
@@ -1043,6 +1109,7 @@ fn run_inner(
     trace: &Trace,
     threads: usize,
     perturb: bool,
+    blackhole_victim: Option<usize>,
 ) -> (MeshRunResult, Vec<Violation>) {
     let n = cfg.mesh.shards;
     assert!(
@@ -1064,7 +1131,7 @@ fn run_inner(
     let shared = Arc::new((cfg, trace.clone()));
     let build_input = Arc::clone(&shared);
     let mut crew: ShardCrew<MeshShard> = ShardCrew::spawn(n, threads, move |shard| {
-        build_shard(shard, &build_input.0, &build_input.1)
+        build_shard(shard, &build_input.0, &build_input.1, blackhole_victim)
     });
     let effective_threads = crew.effective_threads();
 
@@ -1259,7 +1326,17 @@ fn run_inner(
         .collect();
     records.sort_by_key(|r| (r.released, r.shard, r.tag));
 
-    let violations = audit(&finals, &duplicates);
+    let mut lost_tags: Vec<u64> = finals
+        .iter()
+        .flat_map(|f| f.lost_tags.iter().copied())
+        .collect();
+    lost_tags.sort_unstable();
+
+    let mut violations = audit(&finals, &duplicates);
+    violations.extend(
+        Verifier::new()
+            .check_continuity(&crate::continuity_view_parts(trace, &records, &lost_tags)),
+    );
 
     let shard_stats: Vec<ShardSummary> = finals.iter().map(|f| f.summary.clone()).collect();
     let total = |f: fn(&ShardSummary) -> u64| shard_stats.iter().map(f).sum::<u64>();
@@ -1283,11 +1360,13 @@ fn run_inner(
         scale_downs: total(|s| s.scale_downs),
         removes: total(|s| s.removes),
         retargets: total(|s| s.retargets),
+        handovers: finals.iter().map(|f| f.handovers).sum(),
         windows,
         barrier_stalls: finals.iter().map(|f| f.stalls).sum(),
         events: finals.iter().map(|f| f.events).sum(),
         shard_stats,
         records,
+        lost_tags,
         single: None,
     };
     (result, violations)

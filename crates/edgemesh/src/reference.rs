@@ -45,7 +45,7 @@ use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
 use simnet::{Packet, SocketAddr};
 use testbed::topology::NodeClass;
 use testbed::{C3Topology, PhaseSetup, ScenarioConfig, CLOUD_PORT};
-use workload::{ServiceProfile, Trace};
+use workload::{departures, ingress_at, ServiceProfile, Trace};
 
 use crate::lease::LeaseTable;
 use crate::result::{MeshRecord, MeshRunResult, ShardSummary};
@@ -78,6 +78,9 @@ enum Ev {
     },
     /// Shard `shard`'s controller asked to be woken.
     Wakeup { shard: usize },
+    /// `client` hands over away from ingress `shard` — the departing
+    /// controller tears down the client's flows.
+    Handover { shard: usize, client: usize },
     /// A gossiped status delta arrives at shard `to`.
     Deliver {
         to: usize,
@@ -120,6 +123,9 @@ pub struct MeshSim {
     in_flight: Vec<Option<InFlight>>,
     records: Vec<MeshRecord>,
     lost: u64,
+    /// Tags of requests accounted as lost, for the session-continuity
+    /// analysis (a tag neither completed nor here was blackholed).
+    lost_tags: Vec<u64>,
     delta_seq: u64,
     deltas_sent: u64,
     deltas_lost: u64,
@@ -259,6 +265,7 @@ impl MeshSim {
             in_flight: Vec::new(),
             records: Vec::new(),
             lost: 0,
+            lost_tags: Vec::new(),
             delta_seq: 0,
             deltas_sent: 0,
             deltas_lost: 0,
@@ -302,7 +309,10 @@ impl MeshSim {
         let n = self.shards.len();
         self.in_flight.resize_with(trace.requests.len(), || None);
         for (idx, req) in trace.requests.iter().enumerate() {
-            let shard = req.client % n;
+            // Ingress assignment is a static function of the trace (home
+            // shard advanced by the client's prior handovers), so both
+            // engines agree on it by construction.
+            let shard = ingress_at(&trace.handovers, req.client, req.at, n);
             let at = req.at + offset + self.c3.client_switch_latency(req.client);
             self.in_flight[idx] = Some(InFlight {
                 shard,
@@ -310,6 +320,15 @@ impl MeshSim {
                 service: req.service,
             });
             self.events.push(at, Ev::Syn { tag: idx as u64 });
+        }
+        for (shard, h) in departures(&trace.handovers, n) {
+            self.events.push(
+                h.at + offset,
+                Ev::Handover {
+                    shard,
+                    client: h.client,
+                },
+            );
         }
         self.run_loop();
     }
@@ -366,6 +385,7 @@ impl MeshSim {
                 } => self.on_packet_in(now, shard, packet, buffer_id, in_port),
                 Ev::Apply { shard, output } => self.on_apply(now, shard, output),
                 Ev::Wakeup { shard } => self.on_wakeup(now, shard),
+                Ev::Handover { shard, client } => self.on_handover(now, shard, client),
                 Ev::Deliver { to, seq, delta } => self.on_deliver(now, to, seq, delta),
             }
             // Any event can produce status deltas (machine finalized on a
@@ -404,6 +424,7 @@ impl MeshSim {
             }
             PacketVerdict::Dropped => {
                 self.lost += 1;
+                self.lost_tags.push(tag);
                 self.in_flight[tag as usize] = None;
             }
         }
@@ -432,6 +453,10 @@ impl MeshSim {
                 self.shards[shard].switch.flow_mod(now, spec);
             }
             ControllerOutput::ReleaseViaTable { buffer_id, .. } => {
+                let tag = self.shards[shard]
+                    .switch
+                    .buffered_packet(buffer_id)
+                    .map(|p| p.tag);
                 match self.shards[shard]
                     .switch
                     .packet_out_via_table(now, buffer_id)
@@ -441,13 +466,37 @@ impl MeshSim {
                     }
                     Some(_) | None => {
                         self.lost += 1;
+                        if let Some(tag) = tag {
+                            self.lost_tags.push(tag);
+                            self.in_flight[tag as usize] = None;
+                        }
                     }
                 }
             }
             ControllerOutput::DropBuffered { buffer_id, .. } => {
-                self.shards[shard].switch.discard_buffer(buffer_id);
+                if let Some(packet) = self.shards[shard].switch.discard_buffer(buffer_id) {
+                    self.lost_tags.push(packet.tag);
+                    self.in_flight[packet.tag as usize] = None;
+                }
                 self.lost += 1;
             }
+            ControllerOutput::FlowDelete { matcher, .. } => {
+                self.shards[shard]
+                    .switch
+                    .table
+                    .delete_matching(now, &matcher);
+            }
+        }
+    }
+
+    fn on_handover(&mut self, now: SimTime, shard: usize, client: usize) {
+        let client_ip = self.c3.client_ips[client];
+        let outputs = self.shards[shard]
+            .controller
+            .on_client_handover(now, client_ip);
+        for output in outputs {
+            let at = output.at() + CTRL_LATENCY;
+            self.events.push(at, Ev::Apply { shard, output });
         }
     }
 
@@ -604,7 +653,13 @@ impl MeshSim {
         out
     }
 
-    fn finish(self) -> MeshRunResult {
+    fn finish(mut self) -> MeshRunResult {
+        self.lost_tags.sort_unstable();
+        let handovers = self
+            .shards
+            .iter()
+            .map(|s| s.controller.stats.handovers)
+            .sum();
         let shard_stats: Vec<ShardSummary> = self
             .shards
             .iter()
@@ -645,11 +700,13 @@ impl MeshSim {
             scale_downs: total(|s| s.scale_downs),
             removes: total(|s| s.removes),
             retargets: total(|s| s.retargets),
+            handovers,
             windows: 0,
             barrier_stalls: 0,
             events: self.events.scheduled_total(),
             shard_stats,
             records: self.records,
+            lost_tags: self.lost_tags,
             single: None,
         }
     }

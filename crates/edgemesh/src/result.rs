@@ -80,6 +80,11 @@ pub struct MeshRunResult {
     pub scale_downs: u64,
     pub removes: u64,
     pub retargets: u64,
+    /// Client handovers processed across all shards: a mobile client left
+    /// one ingress for another and the departing controller tore its flows
+    /// down. In the trace only when non-zero, so every pinned static-client
+    /// hash stays byte-identical.
+    pub handovers: u64,
     /// Synchronization windows executed (windowed engine; 0 for reference).
     pub windows: u64,
     /// Shard-windows that executed zero events — the shard only waited at
@@ -91,6 +96,11 @@ pub struct MeshRunResult {
     /// Completion records (empty for the `shards = 1` delegation, which
     /// keeps its full single-controller records in `single`).
     pub records: Vec<MeshRecord>,
+    /// Sorted tags of requests accounted as lost — the session-continuity
+    /// analysis's loss ledger (a tag neither completed nor listed here was
+    /// blackholed). Deliberately NOT part of [`MeshRunResult::mesh_trace`]:
+    /// `lost` already carries the count.
+    pub lost_tags: Vec<u64>,
     /// The plain testbed result backing a `shards = 1` run.
     pub single: Option<Box<testbed::RunResult>>,
 }
@@ -118,11 +128,13 @@ impl MeshRunResult {
             scale_downs: result.scale_downs,
             removes: result.removes,
             retargets: result.retargets,
+            handovers: result.handovers,
             windows: 0,
             barrier_stalls: 0,
             events: result.events_scheduled,
             shard_stats: Vec::new(),
             records: Vec::new(),
+            lost_tags: Vec::new(),
             single: Some(Box::new(result)),
         }
     }
@@ -184,6 +196,11 @@ impl MeshRunResult {
             self.barrier_stalls,
             self.events,
         );
+        // Mobility line only when live: static-client hashes predate it and
+        // must stay byte-identical.
+        if self.handovers > 0 {
+            let _ = writeln!(out, "handovers={}", self.handovers);
+        }
         for (i, s) in self.shard_stats.iter().enumerate() {
             let _ = writeln!(
                 out,

@@ -29,6 +29,7 @@ fn contention_trace() -> Trace {
             .collect(),
         service_addrs: vec![SocketAddr::new(IpAddr::new(93, 184, 1, 1), 80)],
         config,
+        handovers: Vec::new(),
     }
 }
 

@@ -1,0 +1,165 @@
+//! Client mobility across ingress shards: mid-session handovers force the
+//! departing controller to tear its flows down while the new ingress
+//! re-learns them on the next PacketIn. These tests hold the two mesh
+//! engines in lockstep under mobility, pin thread-invariance of the mesh
+//! hash, and prove the session-continuity analysis end to end — including a
+//! seeded-fault mutation run that must be *caught*, so a regression that
+//! silently disables the analysis fails loudly.
+
+use edgemesh::MeshSim;
+use edgeverify::Violation;
+use simcore::SimRng;
+use testbed::{MeshParams, ScenarioConfig};
+use workload::{ingress_at, Trace, TraceConfig, WorkloadConfig};
+
+/// Generate a mobility workload the same way `testbed::generate_workload`
+/// does (same seed derivation), so scenario-file runs replay these traces.
+fn mobile_trace(seed: u64, model: &str, handovers_per_client: f64) -> Trace {
+    let wl = WorkloadConfig {
+        model: model.into(),
+        handovers_per_client,
+        mix: TraceConfig::default(),
+        ..WorkloadConfig::default()
+    };
+    wl.generate(&mut SimRng::seed_from_u64(seed ^ 0xB16F_1085))
+        .expect("builtin model")
+}
+
+fn mesh_cfg(seed: u64, shards: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        mesh: MeshParams {
+            shards,
+            ..MeshParams::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Reference vs windowed equivalence with mobile clients: every
+/// workload-visible counter, including the handover count, must agree.
+#[test]
+fn handover_scenarios_run_in_lockstep() {
+    for (seed, model) in [(11, "bigflows"), (12, "poisson")] {
+        let trace = mobile_trace(seed, model, 2.0);
+        assert!(
+            !trace.handovers.is_empty(),
+            "{model}: no mobility generated"
+        );
+        let cfg = mesh_cfg(seed, 2);
+        let r = MeshSim::build(cfg.clone(), trace.service_addrs.clone()).run_trace(&trace);
+        let p = edgemesh::run_windowed(cfg, &trace, 1);
+        let pair = |a: u64, b: u64, what: &str| {
+            assert_eq!(a, b, "{model}: reference {what} {a} != parallel {what} {b}");
+        };
+        pair(r.completed, p.completed, "completed");
+        pair(r.lost, p.lost, "lost");
+        pair(r.handovers, p.handovers, "handovers");
+        pair(r.deployments, p.deployments, "deployments");
+        pair(r.retargets, p.retargets, "retargets");
+        pair(r.scale_downs, p.scale_downs, "scale_downs");
+        assert!(r.handovers > 0, "{model}: no handover was processed");
+        assert_eq!(
+            r.completed + r.lost,
+            trace.requests.len() as u64,
+            "{model}: requests leaked"
+        );
+    }
+}
+
+/// The mesh trace hash must not depend on the worker-thread count, mobility
+/// included: handover teardown happens inside a shard's own event stream, so
+/// the windowed merge order is unchanged.
+#[test]
+fn mesh_hash_is_thread_invariant_under_mobility() {
+    let trace = mobile_trace(21, "mmpp", 3.0);
+    let a = edgemesh::run_windowed(mesh_cfg(21, 4), &trace, 1);
+    let b = edgemesh::run_windowed(mesh_cfg(21, 4), &trace, 2);
+    let c = edgemesh::run_windowed(mesh_cfg(21, 4), &trace, 4);
+    assert!(a.handovers > 0);
+    assert_eq!(a.mesh_hash(), b.mesh_hash(), "1 vs 2 threads");
+    assert_eq!(a.mesh_hash(), c.mesh_hash(), "1 vs 4 threads");
+}
+
+/// The mobility acceptance bar: every session in a handover-heavy run either
+/// completes exactly once or is explicitly accounted lost — the audited run
+/// (which includes the continuity analysis) reports zero violations.
+#[test]
+fn mobile_sessions_complete_exactly_once() {
+    let trace = mobile_trace(31, "bigflows", 2.0);
+    let (result, violations) = edgemesh::run_windowed_audited(mesh_cfg(31, 2), &trace, 2);
+    assert!(result.handovers > 0, "no handovers exercised");
+    assert!(
+        violations.is_empty(),
+        "continuity/coherence violations: {violations:?}"
+    );
+    assert_eq!(
+        result.completed + result.lost,
+        trace.requests.len() as u64,
+        "a session fell through the handover gap"
+    );
+    let view = edgemesh::continuity_view(&trace, &result).expect("multi-shard run");
+    assert_eq!(view.completions.len(), trace.requests.len());
+}
+
+/// Mutation test: seed a fault that swallows one mobile client's
+/// post-handover requests (served nowhere, accounted nowhere) and assert the
+/// continuity analysis flags exactly that client's sessions as blackholed.
+/// This is the proof the `mobile_sessions_complete_exactly_once` green run
+/// is meaningful — the analysis can actually fail.
+#[test]
+fn blackholed_handover_is_flagged() {
+    let trace = mobile_trace(31, "bigflows", 2.0);
+    let shards = 2;
+    // Pick a client that issues at least one request from its post-handover
+    // ingress — the requests the seeded fault will swallow.
+    let victim = (0..trace.config.clients)
+        .find(|&c| {
+            trace.requests.iter().any(|r| {
+                r.client == c && ingress_at(&trace.handovers, c, r.at, shards) != c % shards
+            })
+        })
+        .expect("some client must issue post-handover requests");
+    let (result, violations) =
+        edgemesh::par::run_windowed_blackholed(mesh_cfg(31, shards), &trace, 2, victim);
+    let blackholed: Vec<_> = violations
+        .iter()
+        .filter_map(|v| match v {
+            Violation::BlackholedSession { tag, client } => Some((*tag, *client)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !blackholed.is_empty(),
+        "seeded blackhole was not flagged — the continuity analysis is dead"
+    );
+    assert!(
+        blackholed.iter().all(|&(_, c)| c as usize == victim),
+        "only the victim's sessions may be blackholed: {blackholed:?}"
+    );
+    assert!(
+        (result.completed + result.lost) < trace.requests.len() as u64,
+        "the seeded fault swallowed nothing"
+    );
+}
+
+/// The flash-crowd acceptance bar: thousands of arrivals slam one cold
+/// service across >= 2 ingress shards inside the spike window. With leases
+/// on, the lease gate must convert every would-be concurrent deployment into
+/// an avoided duplicate — zero split-brain, `avoided > 0`.
+#[test]
+fn flash_crowd_contention_is_resolved_by_leases() {
+    let trace = mobile_trace(41, "flash-crowd", 0.0);
+    let cfg = mesh_cfg(41, 4);
+    let result = edgemesh::run_windowed(cfg, &trace, 2);
+    assert_eq!(
+        result.duplicate_deployments, 0,
+        "split-brain deployments under flash crowd"
+    );
+    assert!(
+        result.duplicate_deployments_avoided > 0,
+        "flash crowd produced no lease contention — the spike is not \
+         concentrated enough to exercise the protocol"
+    );
+    assert_eq!(result.completed + result.lost, trace.requests.len() as u64);
+}

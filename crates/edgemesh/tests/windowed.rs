@@ -121,6 +121,7 @@ fn perturbed_merge_tie_break_changes_the_hash() {
             .collect(),
         service_addrs: vec![SocketAddr::new(IpAddr::new(93, 184, 1, 1), 80)],
         config,
+        handovers: Vec::new(),
     };
     let cfg = ScenarioConfig {
         seed: 7,

@@ -1,0 +1,124 @@
+//! Session-continuity analysis for mobile-client runs.
+//!
+//! A mid-session ingress handover tears flows down on the departing
+//! controller and re-establishes them on the new one. Two silent failure
+//! modes hide in that window: a request that is neither served nor accounted
+//! lost (**blackholed** — the teardown raced the in-flight exchange and
+//! nobody noticed), and a request served twice (**double-served** — both the
+//! old and the new flow released it, so the client sees a duplicated
+//! side-effect). The engines keep a per-tag completion count and a loss
+//! ledger exactly so this pass can prove the complement: every request either
+//! completed exactly once or appears in the loss ledger.
+//!
+//! The view is plain indexed data — no dependency on the workload or mesh
+//! crates — so the testbed, both mesh engines, and `edgesim verify` can all
+//! feed it.
+
+use crate::Violation;
+
+/// Per-request accounting for one run, indexed by request tag (tags are the
+/// trace request indices, dense from 0).
+#[derive(Debug, Clone, Default)]
+pub struct ContinuityView {
+    /// `clients[tag]` = the client that issued request `tag`.
+    pub clients: Vec<u32>,
+    /// `completions[tag]` = how many times request `tag` was released to a
+    /// serving port.
+    pub completions: Vec<u32>,
+    /// Sorted tags the run explicitly accounted as lost (dropped SYN, failed
+    /// buffered release). A lost request is *accounted for* — it is the
+    /// unaccounted ones the blackhole check exists to catch.
+    pub lost: Vec<u64>,
+}
+
+pub(crate) fn check(view: &ContinuityView) -> Vec<Violation> {
+    debug_assert_eq!(view.clients.len(), view.completions.len());
+    debug_assert!(view.lost.windows(2).all(|w| w[0] <= w[1]));
+    let mut out = Vec::new();
+    for (tag, (&client, &completions)) in
+        view.clients.iter().zip(view.completions.iter()).enumerate()
+    {
+        let tag = tag as u64;
+        match completions {
+            0 if view.lost.binary_search(&tag).is_err() => {
+                out.push(Violation::BlackholedSession { tag, client });
+            }
+            0 | 1 => {}
+            n => out.push(Violation::DoubleServedSession {
+                tag,
+                client,
+                completions: n,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Verifier;
+
+    fn view(completions: Vec<u32>, lost: Vec<u64>) -> ContinuityView {
+        ContinuityView {
+            clients: (0..completions.len() as u32).collect(),
+            completions,
+            lost,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let v = view(vec![1, 1, 1], vec![]);
+        assert!(Verifier::new().check_continuity(&v).is_empty());
+    }
+
+    #[test]
+    fn lost_requests_are_accounted_not_blackholed() {
+        let v = view(vec![1, 0, 1], vec![1]);
+        assert!(Verifier::new().check_continuity(&v).is_empty());
+    }
+
+    #[test]
+    fn unaccounted_zero_completion_is_blackholed() {
+        let v = view(vec![1, 0, 1], vec![]);
+        let violations = Verifier::new().check_continuity(&v);
+        assert_eq!(
+            violations,
+            vec![Violation::BlackholedSession { tag: 1, client: 1 }]
+        );
+    }
+
+    #[test]
+    fn multiple_completions_are_double_served() {
+        let v = view(vec![1, 2, 3], vec![]);
+        let violations = Verifier::new().check_continuity(&v);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(
+            violations[0],
+            Violation::DoubleServedSession {
+                tag: 1,
+                client: 1,
+                completions: 2
+            }
+        );
+        assert_eq!(
+            violations[1],
+            Violation::DoubleServedSession {
+                tag: 2,
+                client: 2,
+                completions: 3
+            }
+        );
+    }
+
+    #[test]
+    fn lost_and_completed_is_fine_but_lost_and_double_is_flagged() {
+        // A tag both lost and completed once: the loss ledger is advisory,
+        // one completion is still exactly-once from the client's view.
+        let v = view(vec![1], vec![0]);
+        assert!(Verifier::new().check_continuity(&v).is_empty());
+        let v = view(vec![2], vec![0]);
+        assert_eq!(Verifier::new().check_continuity(&v).len(), 1);
+    }
+}

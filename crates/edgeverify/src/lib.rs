@@ -11,7 +11,7 @@
 //! emitted configuration well-formed, plus a lint for the annotated service
 //! definitions the deployment pipeline consumes.
 //!
-//! Six analyses, each returning structured [`Violation`]s with rule or
+//! Eight analyses, each returning structured [`Violation`]s with rule or
 //! document provenance:
 //!
 //! 1. **Shadowing** ([`Verifier::check`]) — pairwise [`FlowMatch`]
@@ -40,6 +40,10 @@
 //!    controller's booked allocation at each site must fit the site's
 //!    configured [`cluster::SiteCapacity`]; an overbooked site means a
 //!    deployment or scale-up path bypassed admission control (§5g).
+//! 8. **Session continuity** ([`Verifier::check_continuity`]) — under client
+//!    mobility every request must complete exactly once or be explicitly
+//!    accounted lost; a handover that blackholes or double-serves a session
+//!    breaks transparency invisibly (§5k).
 //!
 //! The same checks run three ways: this library API, the `edgesim verify`
 //! subcommand (scenario audit), and `debug_assertions`-gated
@@ -50,6 +54,7 @@
 
 pub mod capacity;
 pub mod coherence;
+pub mod continuity;
 pub mod fabric;
 pub mod lint;
 pub mod mesh;
@@ -63,6 +68,7 @@ use simnet::{IpAddr, SocketAddr};
 
 pub use capacity::SiteBooks;
 pub use coherence::CoherenceView;
+pub use continuity::ContinuityView;
 pub use fabric::{Fabric, FabricSwitch, Link, PacketClass};
 pub use lint::lint_annotated;
 pub use mesh::MeshView;
@@ -237,6 +243,20 @@ pub enum Violation {
         capacity: cluster::SiteCapacity,
         allocated: cluster::ResourceAllocation,
     },
+    /// A request was neither served nor accounted as lost — its session fell
+    /// into the gap between an ingress handover's flow teardown and the
+    /// re-establishment on the new controller, and nothing noticed. The
+    /// complement of the exactly-once guarantee the continuity analysis
+    /// proves (see [`continuity`]).
+    BlackholedSession { tag: u64, client: u32 },
+    /// A request was released to a serving port more than once — e.g. both
+    /// the pre- and post-handover flow answered it, duplicating the client's
+    /// side-effect.
+    DoubleServedSession {
+        tag: u64,
+        client: u32,
+        completions: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -364,6 +384,20 @@ impl fmt::Display for Violation {
                 capacity.memory_mib,
                 capacity.max_replicas,
             ),
+            Violation::BlackholedSession { tag, client } => write!(
+                f,
+                "blackholed-session: request tag {tag} from client {client} was neither \
+                 served nor accounted lost — swallowed across a handover"
+            ),
+            Violation::DoubleServedSession {
+                tag,
+                client,
+                completions,
+            } => write!(
+                f,
+                "double-served-session: request tag {tag} from client {client} was \
+                 released {completions} times"
+            ),
         }
     }
 }
@@ -431,5 +465,11 @@ impl Verifier {
     /// configured capacity (see [`capacity`]).
     pub fn check_capacity(&self, sites: &[SiteBooks]) -> Vec<Violation> {
         capacity::check(sites)
+    }
+
+    /// Session continuity across client handovers: every request either
+    /// completed exactly once or is in the loss ledger (see [`continuity`]).
+    pub fn check_continuity(&self, view: &ContinuityView) -> Vec<Violation> {
+        continuity::check(view)
     }
 }

@@ -1178,6 +1178,13 @@ impl Switch {
         self.buffered.len()
     }
 
+    /// Peek a parked packet without releasing it — lets an engine attribute
+    /// a buffered-packet outcome (release failure, discard) to the packet's
+    /// tag before deciding its fate.
+    pub fn buffered_packet(&self, buffer_id: BufferId) -> Option<&Packet> {
+        self.buffered.get(&buffer_id)
+    }
+
     /// Process a packet arriving on a port.
     pub fn receive(&mut self, now: SimTime, packet: Packet) -> PacketVerdict {
         self.stats.packets += 1;

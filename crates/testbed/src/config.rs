@@ -16,6 +16,9 @@
 //!   scale_down_idle: false
 //!   deploy_retries: 2
 //!   autoscale_flows_per_replica: 8
+//! workload:                  # optional workload-engine block (see below)
+//!   model: flash-crowd       # edgesim workloads lists the models
+//!   handovers_per_client: 2
 //! sites:                     # optional hierarchical layout
 //!   - name: near-edge
 //!     class: pi              # pi | egs
@@ -36,7 +39,7 @@ use edgectl::{SchedulerRegistry, SchedulerSpec};
 use simcore::SimDuration;
 use simnet::openflow::PortId;
 use simnet::{Action, FlowMatch, FlowSpec, IpAddr, IpNet, Protocol};
-use workload::ServiceKind;
+use workload::{ServiceKind, WorkloadRegistry};
 use yamlite::Yaml;
 
 use crate::scenario::{MeshParams, PhaseSetup, PredictorKind, ScenarioConfig};
@@ -82,6 +85,7 @@ pub fn scenario_from_yaml(doc: &Yaml) -> Result<ScenarioConfig, String> {
             }
             "controller" => apply_controller(value, &mut cfg)?,
             "mesh" => apply_mesh(value, &mut cfg)?,
+            "workload" => apply_workload(value, &mut cfg)?,
             "seed_flows" => {
                 let seq = value
                     .as_seq()
@@ -189,6 +193,123 @@ fn apply_mesh(value: &Yaml, cfg: &mut ScenarioConfig) -> Result<(), String> {
         ));
     }
     cfg.mesh = mesh;
+    Ok(())
+}
+
+/// Workload-engine knobs — which arrival model shapes the generated trace,
+/// the service mix, per-model parameters, and client mobility:
+///
+/// ```yaml
+/// workload:
+///   model: flash-crowd      # any name/alias the WorkloadRegistry knows
+///   services: 42            # service population
+///   total_requests: 1708    # requests over the window
+///   duration_s: 300         # window length
+///   min_per_service: 20     # per-service request floor
+///   zipf_exponent: 0.9      # popularity law
+///   first_seen_mean_s: 18   # bigflows: mean first-seen offset
+///   handovers_per_client: 2 # expected mid-session ingress handovers
+///   spike_at_s: 10          # flash-crowd: spike start
+///   spike_window_s: 5       # flash-crowd: spike length
+///   spike_fraction: 0.5     # flash-crowd: request mass inside the spike
+///   burst_on_s: 5           # mmpp: ON-phase length
+///   burst_off_s: 20         # mmpp: OFF-phase length
+///   burst_ratio: 9          # mmpp: ON-phase rate multiplier (>= 1)
+///   diurnal_peak: 0.5       # diurnal: peak position in [0, 1)
+///   diurnal_amplitude: 0.8  # diurnal: rate swing in [0, 1)
+/// ```
+///
+/// `model` is validated at parse time against [`workload::WorkloadRegistry`]
+/// (the typed [`workload::UnknownModel`] error lists what exists — same
+/// contract as `scheduler`). The number of clients comes from the top-level
+/// `clients` key; `generate_workload` overrides the mix with it.
+fn apply_workload(value: &Yaml, cfg: &mut ScenarioConfig) -> Result<(), String> {
+    let Some(map) = value.as_map() else {
+        return Err("`workload` must be a mapping".into());
+    };
+    let mut wl = workload::WorkloadConfig::default();
+    for (key, v) in map {
+        match key.as_str() {
+            "model" => {
+                let Some(name) = v.as_str() else {
+                    return Err(format!("`{key}` must be a workload model name string"));
+                };
+                // Parse-time validation: fail with the registry's typed
+                // error (listing available models) instead of at run time.
+                WorkloadRegistry::builtin()
+                    .resolve(name)
+                    .map_err(|e| format!("`{key}`: {e}"))?;
+                wl.model = name.to_string();
+            }
+            "services" => wl.mix.services = as_u64(v, key)? as usize,
+            "total_requests" => wl.mix.total_requests = as_u64(v, key)? as usize,
+            "duration_s" => wl.mix.duration = SimDuration::from_secs_f64(as_f64(v, key)?),
+            "min_per_service" => wl.mix.min_per_service = as_u64(v, key)? as usize,
+            "zipf_exponent" => wl.mix.zipf_exponent = as_f64(v, key)?,
+            "first_seen_mean_s" => {
+                wl.mix.first_seen_mean = SimDuration::from_secs_f64(as_f64(v, key)?)
+            }
+            "handovers_per_client" => {
+                wl.handovers_per_client = as_f64(v, key)?;
+                if wl.handovers_per_client < 0.0 {
+                    return Err("`workload.handovers_per_client` must be non-negative".into());
+                }
+            }
+            "spike_at_s" => wl.spike_at = SimDuration::from_secs_f64(as_f64(v, key)?),
+            "spike_window_s" => wl.spike_window = SimDuration::from_secs_f64(as_f64(v, key)?),
+            "spike_fraction" => {
+                wl.spike_fraction = as_f64(v, key)?;
+                if !(0.0..1.0).contains(&wl.spike_fraction) {
+                    return Err("`workload.spike_fraction` must be in [0, 1)".into());
+                }
+            }
+            "burst_on_s" => wl.burst_on = SimDuration::from_secs_f64(as_f64(v, key)?),
+            "burst_off_s" => wl.burst_off = SimDuration::from_secs_f64(as_f64(v, key)?),
+            "burst_ratio" => {
+                wl.burst_ratio = as_f64(v, key)?;
+                if wl.burst_ratio < 1.0 {
+                    return Err("`workload.burst_ratio` must be at least 1".into());
+                }
+            }
+            "diurnal_peak" => {
+                wl.diurnal_peak = as_f64(v, key)?;
+                if !(0.0..1.0).contains(&wl.diurnal_peak) {
+                    return Err("`workload.diurnal_peak` must be in [0, 1)".into());
+                }
+            }
+            "diurnal_amplitude" => {
+                wl.diurnal_amplitude = as_f64(v, key)?;
+                if !(0.0..1.0).contains(&wl.diurnal_amplitude) {
+                    return Err("`workload.diurnal_amplitude` must be in [0, 1)".into());
+                }
+            }
+            other => return Err(format!("unknown workload key `{other}`")),
+        }
+    }
+    if wl.mix.services == 0 {
+        return Err("`workload.services` must be at least 1".into());
+    }
+    if wl.mix.total_requests < wl.mix.services * wl.mix.min_per_service {
+        return Err(format!(
+            "`workload.total_requests` ({}) cannot satisfy the per-service \
+             floor ({} services x {} min_per_service = {})",
+            wl.mix.total_requests,
+            wl.mix.services,
+            wl.mix.min_per_service,
+            wl.mix.services * wl.mix.min_per_service
+        ));
+    }
+    let registry = WorkloadRegistry::builtin();
+    let resolved = registry
+        .resolve(&wl.model)
+        .map_err(|e| format!("`workload.model`: {e}"))?;
+    if resolved.name == "flash-crowd" && wl.spike_at + wl.spike_window > wl.mix.duration {
+        return Err(format!(
+            "`workload`: the flash-crowd spike ({} + {}) overruns the window ({})",
+            wl.spike_at, wl.spike_window, wl.mix.duration
+        ));
+    }
+    cfg.workload = wl;
     Ok(())
 }
 
@@ -609,6 +730,84 @@ mesh:
         ] {
             let err = scenario_from_yaml(&yamlite::parse(bad).unwrap()).unwrap_err();
             assert!(err.contains("mesh"), "{err}");
+        }
+    }
+
+    #[test]
+    fn workload_block_parses() {
+        let doc = yamlite::parse(
+            r#"
+clients: 40
+workload:
+  model: spike
+  services: 10
+  total_requests: 500
+  duration_s: 60
+  min_per_service: 5
+  zipf_exponent: 1.1
+  handovers_per_client: 1.5
+  spike_at_s: 20
+  spike_window_s: 4
+  spike_fraction: 0.6
+"#,
+        )
+        .unwrap();
+        let cfg = scenario_from_yaml(&doc).unwrap();
+        assert_eq!(cfg.workload.model, "spike");
+        assert_eq!(cfg.workload.mix.services, 10);
+        assert_eq!(cfg.workload.mix.total_requests, 500);
+        assert_eq!(cfg.workload.mix.duration, SimDuration::from_secs(60));
+        assert_eq!(cfg.workload.mix.min_per_service, 5);
+        assert!((cfg.workload.handovers_per_client - 1.5).abs() < 1e-12);
+        assert_eq!(cfg.workload.spike_at, SimDuration::from_secs(20));
+        assert!((cfg.workload.spike_fraction - 0.6).abs() < 1e-12);
+        // Defaults: the paper's bigflows replay, static clients.
+        let cfg = scenario_from_yaml(&yamlite::parse("{}").unwrap()).unwrap();
+        assert_eq!(cfg.workload, workload::WorkloadConfig::default());
+    }
+
+    #[test]
+    fn unknown_workload_model_lists_available() {
+        let err = scenario_from_yaml(
+            &yamlite::parse(
+                "workload:
+  model: tsunami",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown workload model `tsunami`"), "{err}");
+        assert!(err.contains("flash-crowd"), "{err}");
+        assert!(err.contains("bigflows"), "{err}");
+    }
+
+    #[test]
+    fn workload_bad_values_rejected() {
+        for bad in [
+            "workload:
+  modle: poisson",
+            "workload:
+  handovers_per_client: -1",
+            "workload:
+  spike_fraction: 1.5",
+            "workload:
+  burst_ratio: 0.5",
+            "workload:
+  diurnal_peak: 1.0",
+            "workload:
+  diurnal_amplitude: -0.1",
+            "workload:
+  services: 0",
+            "workload:
+  services: 50
+  total_requests: 100
+  min_per_service: 20",
+            "workload:
+  model: flash-crowd
+  duration_s: 8",
+        ] {
+            let err = scenario_from_yaml(&yamlite::parse(bad).unwrap()).unwrap_err();
+            assert!(err.contains("workload"), "{bad}: {err}");
         }
     }
 

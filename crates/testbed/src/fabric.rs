@@ -321,6 +321,9 @@ pub fn run_mobility(cfg: FabricConfig) -> FabricResult {
                         switches[sw].discard_buffer(buffer_id);
                         lost += 1;
                     }
+                    ControllerOutput::FlowDelete { matcher, .. } => {
+                        switches[sw].table.delete_matching(now, &matcher);
+                    }
                 }
             }
             Ev::Wakeup => {

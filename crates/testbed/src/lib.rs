@@ -26,7 +26,7 @@ pub use edgectl::{SchedulerRegistry, SchedulerSpec};
 pub use fabric::{run_mobility, FabricConfig, FabricResult};
 pub use scenario::{MeshParams, PhaseSetup, PredictorKind, ScenarioConfig};
 pub use sim::{
-    measure_first_request, run_bigflows, run_bigflows_audited, run_trace_scenario, AllocProfile,
-    AuditReport, RunResult, Testbed,
+    generate_workload, measure_first_request, run_bigflows, run_bigflows_audited,
+    run_trace_scenario, AllocProfile, AuditReport, RunResult, Testbed,
 };
 pub use topology::{C3Topology, SiteSpec, CLOUD_PORT, DOCKER_PORT, K8S_PORT};

@@ -121,6 +121,12 @@ pub struct ScenarioConfig {
     /// Controller federation (shard count, gossip link, leases). The default
     /// single-shard mesh leaves every existing scenario untouched.
     pub mesh: MeshParams,
+    /// The workload engine's description of the generated traffic: arrival
+    /// model, service mix, model knobs and client mobility (the `workload:`
+    /// scenario block). The default replays the paper's bigFlows trace
+    /// byte-identically. `mix.clients` is overridden by `clients` at
+    /// generation time (see `generate_workload`).
+    pub workload: workload::WorkloadConfig,
 }
 
 impl Default for ScenarioConfig {
@@ -149,6 +155,7 @@ impl Default for ScenarioConfig {
             clients: 20,
             seed_flows: Vec::new(),
             mesh: MeshParams::default(),
+            workload: workload::WorkloadConfig::default(),
         }
     }
 }

@@ -24,7 +24,7 @@ use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use simnet::openflow::{BufferId, PacketVerdict, PortId, Switch};
 use simnet::{Packet, PathCache, SocketAddr, TcpModel};
 use workload::client::RequestRecord;
-use workload::{ServiceProfile, Trace, TraceConfig};
+use workload::{ServiceProfile, Trace};
 
 use crate::scenario::{PhaseSetup, PredictorKind, ScenarioConfig};
 use crate::topology::{C3Topology, NodeClass, CLOUD_PORT};
@@ -51,6 +51,9 @@ enum Ev {
     Wakeup,
     /// Fault injection: crash one running instance of a random service.
     CrashTick,
+    /// A mobile client hands over away from this ingress: tear down its
+    /// flows so the next request re-runs the Dispatcher.
+    Handover { client: u32 },
 }
 
 /// Everything a run produces.
@@ -81,6 +84,10 @@ pub struct RunResult {
     /// gates on this staying zero.
     pub capacity_violations: u64,
     pub retargets: u64,
+    /// Client handovers processed (flow teardowns for departing clients).
+    /// In [`RunResult::metrics_trace`] only when non-zero, so static-client
+    /// pinned hashes stay byte-identical.
+    pub handovers: u64,
     pub proactive_deployments: u64,
     /// Instances killed by fault injection.
     pub crashes_injected: u64,
@@ -157,6 +164,9 @@ impl RunResult {
             self.crashes_injected,
             self.trace_offset.as_nanos(),
         );
+        if self.handovers > 0 {
+            let _ = writeln!(out, "handovers={}", self.handovers);
+        }
         let _ = writeln!(out, "switch={:?}", self.switch_stats);
         for d in &self.deployments {
             let _ = writeln!(out, "deploy={d:?}");
@@ -654,6 +664,18 @@ impl Testbed {
             self.arrivals.push((syn_at_switch, tag));
         }
         self.arrivals.sort_unstable();
+        // Handover events are setup-time pushes: at equal instants the
+        // teardown runs before the arriving SYN, matching the mobility
+        // model's boundary rule (a request at the handover instant already
+        // belongs to the new ingress).
+        for h in &trace.handovers {
+            self.events.push(
+                h.at + offset,
+                Ev::Handover {
+                    client: h.client as u32,
+                },
+            );
+        }
         self.runtime_seq_floor = self.events.scheduled_total();
         let a_schedule = Self::alloc_snapshot();
         self.run_loop();
@@ -783,6 +805,7 @@ impl Testbed {
             admission_rejections: stats.admission_rejections,
             capacity_violations: stats.capacity_violations,
             retargets: stats.retargets,
+            handovers: stats.handovers,
             proactive_deployments: stats.proactive_deployments,
             crashes_injected: self.crashes_injected,
             events_scheduled: self.events.scheduled_total() + self.fed_arrivals,
@@ -831,6 +854,7 @@ impl Testbed {
                 Ev::ApplyOutput { output } => self.on_apply_output(now, output),
                 Ev::Wakeup => self.on_wakeup(now),
                 Ev::CrashTick => self.on_crash_tick(now),
+                Ev::Handover { client } => self.on_handover(now, client as usize),
             }
             // Every event can change when the controller next needs to run
             // (a machine stepped, a flow was memorized, a crash landed), so
@@ -925,6 +949,18 @@ impl Testbed {
     /// Keep exactly one wakeup event in flight, at the earliest instant the
     /// controller reports. Stale (superseded) events are harmless: `on_wakeup`
     /// with nothing due is a no-op.
+    /// The client left this ingress: forget its flows and tear down its
+    /// switch entries so its next request (at whatever ingress) re-runs the
+    /// Dispatcher from scratch.
+    fn on_handover(&mut self, now: SimTime, client: usize) {
+        let client_ip = self.c3.client_ips[client];
+        let outputs = self.controller.on_client_handover(now, client_ip);
+        for output in outputs {
+            let at = output.at() + CTRL_LATENCY;
+            self.events.push(at, Ev::ApplyOutput { output });
+        }
+    }
+
     fn arm_wakeup(&mut self, now: SimTime) {
         if let Some(at) = self.controller.next_wakeup() {
             let at = at.max(now);
@@ -1009,6 +1045,9 @@ impl Testbed {
             ControllerOutput::DropBuffered { buffer_id, .. } => {
                 self.switch.discard_buffer(buffer_id);
                 self.lost += 1;
+            }
+            ControllerOutput::FlowDelete { matcher, .. } => {
+                self.switch.table.delete_matching(now, &matcher);
             }
         }
     }
@@ -1128,30 +1167,28 @@ pub fn run_trace_scenario(cfg: ScenarioConfig, trace: &Trace) -> RunResult {
 /// assert_eq!(result.deployments.len(), 42); // one per service, Fig. 10
 /// ```
 pub fn run_bigflows(cfg: ScenarioConfig) -> (Trace, RunResult) {
-    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
-    let trace = Trace::generate(
-        TraceConfig {
-            clients: cfg.clients,
-            ..TraceConfig::default()
-        },
-        &mut trace_rng,
-    );
+    let trace = generate_workload(&cfg);
     let testbed = Testbed::build(cfg, trace.service_addrs.to_vec());
     let result = testbed.run_trace(&trace);
     (trace, result)
 }
 
+/// Generate the trace `cfg.workload` describes, with the scenario's client
+/// population and the canonical trace-seed derivation (`seed ^ 0xB16F_1085`
+/// — the same stream `run_bigflows` has always used, so the default
+/// workload replays every pinned trace byte-identically).
+pub fn generate_workload(cfg: &ScenarioConfig) -> Trace {
+    let mut wl = cfg.workload.clone();
+    wl.mix.clients = cfg.clients;
+    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
+    wl.generate(&mut trace_rng)
+        .unwrap_or_else(|e| panic!("scenario workload: {e}"))
+}
+
 /// [`run_bigflows`] with the static verifier auditing the whole run — the
 /// `edgesim verify` entry point for scenario files.
 pub fn run_bigflows_audited(cfg: ScenarioConfig) -> (Trace, RunResult, AuditReport) {
-    let mut trace_rng = SimRng::seed_from_u64(cfg.seed ^ 0xB16F_1085);
-    let trace = Trace::generate(
-        TraceConfig {
-            clients: cfg.clients,
-            ..TraceConfig::default()
-        },
-        &mut trace_rng,
-    );
+    let trace = generate_workload(&cfg);
     let testbed = Testbed::build(cfg, trace.service_addrs.to_vec());
     let (result, report) = testbed.run_trace_audited(&trace);
     (trace, result, report)

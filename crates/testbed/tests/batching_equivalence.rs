@@ -55,6 +55,7 @@ fn dense_trace(triples: &[(u64, usize, usize)], services: usize, clients: usize)
             clients,
             ..TraceConfig::default()
         },
+        handovers: Vec::new(),
     }
 }
 

@@ -1,0 +1,81 @@
+//! Golden-marginals regression for the workload engine's default path: the
+//! paper's bigFlows replay must survive the engine refactor byte for byte —
+//! exactly 42 services, exactly 1708 requests, and the pinned seed-42
+//! metrics hash unchanged whether the scenario spells its `workload:` block
+//! out explicitly or relies on the defaults.
+
+use testbed::{generate_workload, run_bigflows, scenario_from_yaml, ScenarioConfig};
+
+/// The pinned seed-42 hash from `tests/experiments_regression.rs` and the
+/// cityscale/mesh/sched CI gates.
+const SEED42_HASH: u64 = 0x66cc06e4f4d26b1a;
+
+#[test]
+fn default_workload_marginals_are_golden() {
+    let trace = generate_workload(&ScenarioConfig::default());
+    assert_eq!(trace.service_addrs.len(), 42, "service population drifted");
+    assert_eq!(trace.requests.len(), 1708, "request count drifted");
+    assert!(trace.handovers.is_empty(), "default clients are static");
+}
+
+#[test]
+fn explicit_default_workload_block_is_the_pinned_replay() {
+    // The `workload:` block spelling every default out must be the *same
+    // byte stream* as no block at all — the engine's config surface cannot
+    // perturb the RNG discipline.
+    let doc = yamlite::parse(
+        r#"
+seed: 42
+workload:
+  model: bigflows
+  services: 42
+  total_requests: 1708
+  duration_s: 300
+  min_per_service: 20
+  zipf_exponent: 0.9
+  first_seen_mean_s: 18
+  handovers_per_client: 0
+"#,
+    )
+    .unwrap();
+    let cfg = scenario_from_yaml(&doc).unwrap();
+    let (_, result) = run_bigflows(cfg);
+    assert_eq!(
+        result.metrics_hash(),
+        SEED42_HASH,
+        "explicit workload block perturbed the pinned seed-42 replay"
+    );
+}
+
+#[test]
+fn implicit_default_matches_explicit_default() {
+    let implicit = generate_workload(&ScenarioConfig {
+        seed: 9,
+        ..ScenarioConfig::default()
+    });
+    let cfg =
+        scenario_from_yaml(&yamlite::parse("seed: 9\nworkload:\n  model: paper").unwrap()).unwrap();
+    let explicit = generate_workload(&cfg);
+    assert_eq!(implicit.requests, explicit.requests);
+    assert_eq!(implicit.service_addrs, explicit.service_addrs);
+}
+
+/// A mobile single-controller run: the plain testbed processes handovers
+/// (flow teardown at the departing ingress) and still serves or accounts for
+/// every request.
+#[test]
+fn single_controller_mobility_accounts_for_every_request() {
+    let doc = yamlite::parse("seed: 7\nworkload:\n  handovers_per_client: 2\n").unwrap();
+    let cfg = scenario_from_yaml(&doc).unwrap();
+    let (trace, result) = run_bigflows(cfg);
+    assert!(!trace.handovers.is_empty());
+    assert!(result.handovers > 0, "no handover was processed");
+    assert_eq!(
+        result.records.len() as u64 + result.lost,
+        trace.requests.len() as u64,
+        "a request leaked across a handover"
+    );
+    // The handover line only enters the trace when mobility is live, so the
+    // static-client pinned hashes cannot see it.
+    assert!(result.metrics_trace().contains("handovers="));
+}

@@ -12,11 +12,14 @@
 //! seconds see a burst of fresh services, as in real captures where popular
 //! flows appear immediately.
 
-use simcore::{dist::Zipf, SimDuration, SimRng, SimTime};
+use simcore::{SimDuration, SimRng, SimTime};
 use simnet::{IpAddr, SocketAddr};
 
+use crate::mobility::Handover;
+use crate::spec::WorkloadConfig;
+
 /// Trace shape parameters, defaulting to the paper's numbers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceConfig {
     pub services: usize,
     pub total_requests: usize,
@@ -91,54 +94,25 @@ pub struct Trace {
     pub requests: Vec<TraceRequest>,
     pub service_addrs: Vec<SocketAddr>,
     pub config: TraceConfig,
+    /// Client-mobility schedule (empty for the paper's static replay). See
+    /// [`crate::mobility`].
+    pub handovers: Vec<Handover>,
 }
 
 impl Trace {
     /// Generate a trace. Deterministic in `(config, rng seed)`.
+    ///
+    /// Thin wrapper over the workload engine's default pipeline
+    /// ([`WorkloadConfig::generate`] with the `bigflows` model and no
+    /// mobility) — the RNG consumption is byte-identical to the historical
+    /// inline generator, so every pinned hash replays unchanged.
     pub fn generate(config: TraceConfig, rng: &mut SimRng) -> Trace {
-        assert!(config.services > 0 && config.clients > 0);
-        assert!(
-            config.total_requests >= config.services * config.min_per_service,
-            "total_requests cannot satisfy the per-service floor"
-        );
-
-        let counts = popularity_counts(&config, rng);
-        debug_assert_eq!(counts.iter().sum::<usize>(), config.total_requests);
-
-        // Synthetic public addresses: 93.184.x.y:80 (TEST-NET-ish).
-        let service_addrs: Vec<SocketAddr> = (0..config.services)
-            .map(|i| {
-                SocketAddr::new(
-                    IpAddr::new(93, 184, (i / 250 + 1) as u8, (i % 250 + 1) as u8),
-                    80,
-                )
-            })
-            .collect();
-
-        let horizon = config.duration.as_secs_f64();
-        let mut requests = Vec::with_capacity(config.total_requests);
-        for (svc, &count) in counts.iter().enumerate() {
-            // Front-loaded first-seen offset, truncated so every service fits
-            // its ≥ min_per_service requests into the remaining window.
-            let mean = config.first_seen_mean.as_secs_f64();
-            let first_seen = (-mean * (1.0 - rng.f64()).ln()).min(horizon * 0.5);
-            // Uniform order statistics over [first_seen, horizon) ≈ Poisson
-            // process conditioned on the count.
-            for _ in 0..count {
-                let at = first_seen + (horizon - first_seen) * rng.f64();
-                requests.push(TraceRequest {
-                    at: SimTime::from_secs_f64(at),
-                    service: svc,
-                    client: rng.index(config.clients),
-                });
-            }
+        WorkloadConfig {
+            mix: config,
+            ..WorkloadConfig::default()
         }
-        requests.sort_by_key(|r| (r.at, r.service, r.client));
-        Trace {
-            requests,
-            service_addrs,
-            config,
-        }
+        .generate(rng)
+        .expect("bigflows is a builtin workload model")
     }
 
     /// Load a trace from CSV text with a `time_s,service,client` header —
@@ -215,6 +189,7 @@ impl Trace {
                 clients,
                 ..TraceConfig::default()
             },
+            handovers: Vec::new(),
         })
     }
 
@@ -252,23 +227,6 @@ impl Trace {
         }
         first
     }
-}
-
-/// Allocate per-service request counts: Zipf weights with a floor, exact sum.
-fn popularity_counts(config: &TraceConfig, rng: &mut SimRng) -> Vec<usize> {
-    let zipf = Zipf::new(config.services, config.zipf_exponent);
-    let spare = config.total_requests - config.services * config.min_per_service;
-    // Distribute the non-floor mass by expected Zipf share, then hand out the
-    // rounding remainder one by one to random (weighted) services.
-    let mut counts: Vec<usize> = (0..config.services)
-        .map(|i| config.min_per_service + (zipf.probability(i) * spare as f64).floor() as usize)
-        .collect();
-    let mut assigned: usize = counts.iter().sum();
-    while assigned < config.total_requests {
-        counts[zipf.sample(rng)] += 1;
-        assigned += 1;
-    }
-    counts
 }
 
 #[cfg(test)]

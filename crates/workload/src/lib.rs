@@ -7,12 +7,26 @@
 //!   paper replays: 42 services, 1708 requests, five minutes, every service
 //!   receiving ≥ 20 requests, with the bursty start that produces up to
 //!   ~8 deployments/s (Figs. 9–10),
-//! * [`client`] — timecurl semantics: what `time_total` measures.
+//! * [`client`] — timecurl semantics: what `time_total` measures,
+//! * [`arrival`], [`mix`], [`mobility`], [`spec`] — the workload engine:
+//!   pluggable arrival models (Poisson, MMPP bursts, diurnal curves,
+//!   flash crowds) behind a named-model registry, a service-mix model
+//!   decoupled from the bigFlows generator, and client mobility (mid-session
+//!   ingress handovers). The default [`WorkloadConfig`] replays bigFlows
+//!   byte-identically.
 
+pub mod arrival;
 pub mod bigflows;
 pub mod client;
+pub mod mix;
+pub mod mobility;
 pub mod services;
+pub mod spec;
 
+pub use arrival::ArrivalModel;
 pub use bigflows::{Trace, TraceConfig, TraceRequest};
 pub use client::HttpExchange;
+pub use mix::ServiceMix;
+pub use mobility::{departures, generate_handovers, ingress_at, Handover};
 pub use services::{ServiceKind, ServiceProfile};
+pub use spec::{ModelEntry, UnknownModel, WorkloadConfig, WorkloadRegistry};

@@ -1,0 +1,101 @@
+//! Property tests over the workload engine: every arrival model, fed the
+//! same `(config, seed)`, must produce the same trace byte for byte —
+//! requests, service addresses, and the mobility schedule alike. The
+//! determinism contract every pinned hash downstream (testbed metrics, mesh
+//! traces, bench artifacts) rests on.
+
+use proptest::prelude::*;
+use simcore::SimRng;
+use workload::{TraceConfig, WorkloadConfig, WorkloadRegistry};
+
+/// Decode a randomized-but-valid workload config: any builtin model, a mix
+/// that always satisfies the per-service floor, optional mobility.
+fn decode(model_idx: usize, services: usize, extra: usize, handovers: u32) -> WorkloadConfig {
+    let names = WorkloadRegistry::builtin().names();
+    let min_per_service = 2;
+    WorkloadConfig {
+        model: names[model_idx % names.len()].to_string(),
+        mix: TraceConfig {
+            services,
+            total_requests: services * min_per_service + extra,
+            min_per_service,
+            ..TraceConfig::default()
+        },
+        handovers_per_client: f64::from(handovers) / 2.0,
+        ..WorkloadConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_config_same_seed_is_byte_identical(
+        seed in any::<u64>(),
+        model_idx in 0usize..5,
+        services in 1usize..40,
+        extra in 0usize..400,
+        handovers in 0u32..5,
+    ) {
+        let cfg = decode(model_idx, services, extra, handovers);
+        let a = cfg.generate(&mut SimRng::seed_from_u64(seed)).unwrap();
+        let b = cfg.generate(&mut SimRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(&a.requests, &b.requests, "arrivals diverged");
+        prop_assert_eq!(&a.service_addrs, &b.service_addrs);
+        prop_assert_eq!(&a.handovers, &b.handovers, "mobility diverged");
+    }
+
+    #[test]
+    fn every_model_upholds_trace_invariants(
+        seed in any::<u64>(),
+        model_idx in 0usize..5,
+        services in 1usize..40,
+        extra in 0usize..400,
+        handovers in 0u32..5,
+    ) {
+        let cfg = decode(model_idx, services, extra, handovers);
+        let trace = cfg.generate(&mut SimRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(trace.requests.len(), cfg.mix.total_requests);
+        prop_assert_eq!(trace.service_addrs.len(), services);
+        let horizon = trace.config.duration;
+        prop_assert!(trace.requests.iter().all(|r| r.at.as_nanos()
+            <= horizon.as_nanos() as u64
+            && r.service < services
+            && r.client < trace.config.clients));
+        prop_assert!(
+            trace.requests.windows(2).all(|w| w[0].at <= w[1].at),
+            "requests not time-sorted"
+        );
+        prop_assert!(
+            trace
+                .handovers
+                .windows(2)
+                .all(|w| (w[0].at, w[0].client) <= (w[1].at, w[1].client)),
+            "handovers not time-sorted"
+        );
+        prop_assert!(trace
+            .handovers
+            .iter()
+            .all(|h| h.client < trace.config.clients));
+        if cfg.handovers_per_client == 0.0 {
+            prop_assert!(trace.handovers.is_empty());
+        }
+    }
+
+    /// Mobility must never perturb arrivals: the handover schedule runs on a
+    /// non-advancing derived RNG stream, so turning it on or off leaves the
+    /// request sequence untouched for every model.
+    #[test]
+    fn mobility_is_arrival_invariant_for_every_model(
+        seed in any::<u64>(),
+        model_idx in 0usize..5,
+    ) {
+        let without = decode(model_idx, 10, 200, 0);
+        let with = decode(model_idx, 10, 200, 4);
+        let a = without.generate(&mut SimRng::seed_from_u64(seed)).unwrap();
+        let b = with.generate(&mut SimRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(&a.requests, &b.requests);
+        prop_assert!(a.handovers.is_empty());
+        prop_assert!(!b.handovers.is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 //!                                        the edgeverify auditor) or a service
 //!                                        definition (annotate + lint)
 //! edgesim trace [--seed N]               print the generated workload trace summary
+//! edgesim workloads                      list the workload arrival models
 //! ```
 //!
 //! Scenario files are documented in `testbed::config`; an empty file runs the
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("fabric") => cmd_fabric(&args[1..]),
         Some("schedulers") => cmd_schedulers(),
+        Some("workloads") => cmd_workloads(),
         Some("lint") => cmd_lint(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{}", USAGE);
@@ -59,6 +61,7 @@ const USAGE: &str = "usage:
   edgesim trace [--seed N]
   edgesim fabric [--switches N] [--no-roam]
   edgesim schedulers                      list the global-scheduler policies
+  edgesim workloads                       list the workload arrival models
   edgesim lint [--root <dir>]             determinism lint over the sim crates";
 
 fn load_scenario(args: &[String]) -> Result<ScenarioConfig, String> {
@@ -70,6 +73,33 @@ fn load_scenario(args: &[String]) -> Result<ScenarioConfig, String> {
 
 fn cmd_schedulers() -> Result<(), String> {
     let registry = SchedulerRegistry::builtin();
+    let width = registry
+        .entries()
+        .iter()
+        .map(|e| e.name.len())
+        .max()
+        .unwrap_or(0);
+    for entry in registry.entries() {
+        let aliases = if entry.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", entry.aliases.join(", "))
+        };
+        println!(
+            "{:width$}  {}{aliases}",
+            entry.name,
+            entry.description,
+            width = width
+        );
+    }
+    Ok(())
+}
+
+/// `edgesim workloads` — list the arrival models the workload engine ships,
+/// exactly as the `workload:` scenario block accepts them (both go through
+/// [`workload::WorkloadRegistry`], so this listing can never drift).
+fn cmd_workloads() -> Result<(), String> {
+    let registry = workload::WorkloadRegistry::builtin();
     let width = registry
         .entries()
         .iter()
@@ -169,6 +199,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         result.scale_downs,
         result.retargets
     );
+    if result.handovers > 0 {
+        println!(
+            "handovers: {} (mid-session ingress moves)",
+            result.handovers
+        );
+    }
     if result.admission_rejections > 0 || result.capacity_violations > 0 {
         println!(
             "admission: {} rejections, {} capacity violations",
@@ -234,6 +270,12 @@ fn run_mesh(cfg: ScenarioConfig, dump_path: Option<&String>) -> Result<(), Strin
         result.removes,
         result.retargets
     );
+    if result.handovers > 0 {
+        println!(
+            "handovers: {} (mid-session ingress moves)",
+            result.handovers
+        );
+    }
     println!(
         "gossip: {} deltas sent ({} lost on link), {} delivered; staleness mean {:.2} ms, convergence mean {:.2} ms",
         result.deltas_sent,

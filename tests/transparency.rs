@@ -79,6 +79,7 @@ fn round_trip_is_transparent_to_the_client() {
                 release_verdict = switch.packet_out_via_table(at, buffer_id);
             }
             ControllerOutput::DropBuffered { .. } => panic!("must not drop"),
+            ControllerOutput::FlowDelete { .. } => panic!("no handover in this run"),
         }
     }
 
